@@ -1,0 +1,107 @@
+// Ablation: fixed-fraction cache refill (the paper's §III-C rule — refill
+// to capacity when below 25 %) vs. the adaptive flow-control policy the
+// paper leaves as future work (§VIII), which sizes and times refills from
+// estimated demand and the measured server round trip.
+//
+// Sweeps demand level; reports hit rate, response percentiles, and the
+// server-tier traffic each policy generates.
+#include <cstdio>
+
+#include "testbed/topology.h"
+#include "testbed/workload.h"
+
+using namespace cadet;
+using namespace cadet::testbed;
+
+namespace {
+
+struct Outcome {
+  double hit_rate = 0.0;
+  double mean_s = 0.0;
+  double p95_s = 0.0;
+  std::uint64_t server_requests = 0;
+  std::uint64_t server_bytes = 0;
+};
+
+Outcome run(RefillPolicy policy, double request_rate_hz, bool bursty,
+            std::uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.num_networks = 1;
+  config.clients_per_network = 8;
+  config.profiles = {NetworkProfile::kConsumer};
+  config.refill_policy = policy;
+  config.server_seed_bytes = 1 << 21;
+  World world(config);
+  world.register_edges();
+
+  WorkloadDriver driver(world, seed + 1);
+  const util::SimTime t_end = util::from_seconds(900);
+  ClientBehavior consumer;
+  consumer.request_rate_hz = request_rate_hz;
+  consumer.request_bits = 1024;
+  for (std::size_t i = 0; i < world.num_clients(); ++i) {
+    if (bursty) {
+      // Quiet baseline with a 100 s synchronized burst at 10x the rate.
+      ClientBehavior quiet = consumer;
+      quiet.request_rate_hz = request_rate_hz / 5.0;
+      ClientBehavior burst = consumer;
+      burst.request_rate_hz = request_rate_hz * 2.0;
+      driver.drive(i, quiet, 0, util::from_seconds(400));
+      driver.drive(i, burst, util::from_seconds(400),
+                   util::from_seconds(500));
+      driver.drive(i, quiet, util::from_seconds(500), t_end);
+    } else {
+      driver.drive(i, consumer, 0, t_end);
+    }
+  }
+  world.simulator().run();
+
+  Outcome out;
+  const auto& stats = world.edge(0).stats();
+  out.hit_rate = stats.requests_received
+                     ? static_cast<double>(stats.cache_hits) /
+                           static_cast<double>(stats.requests_received)
+                     : 0.0;
+  const auto& rt = driver.metrics().response_times_s;
+  out.mean_s = rt.mean();
+  out.p95_s = rt.count() ? rt.quantile(0.95) : 0.0;
+  out.server_requests = world.server().stats().requests_served;
+  out.server_bytes = world.server().stats().bytes_served;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: fixed-fraction vs adaptive cache refill ===\n");
+  std::printf("(8 consumers, 900 s, 1024-bit requests)\n\n");
+  std::printf("%-10s %-9s %9s %8s %8s %10s %12s\n", "Demand", "Policy",
+              "hit rate", "mean(s)", "p95(s)", "srv reqs", "srv bytes");
+
+  struct Level {
+    const char* name;
+    double rate_hz;
+    bool bursty;
+  };
+  const Level levels[] = {{"low", 0.05, false},
+                          {"medium", 0.3, false},
+                          {"high", 1.0, false},
+                          {"bursty", 0.5, true}};
+  for (const auto& level : levels) {
+    for (const RefillPolicy policy :
+         {RefillPolicy::kFixedFraction, RefillPolicy::kAdaptive}) {
+      const Outcome o = run(policy, level.rate_hz, level.bursty, 606);
+      std::printf("%-10s %-9s %8.1f%% %8.3f %8.3f %10llu %12llu\n",
+                  level.name,
+                  policy == RefillPolicy::kAdaptive ? "adaptive" : "fixed",
+                  100.0 * o.hit_rate, o.mean_s, o.p95_s,
+                  static_cast<unsigned long long>(o.server_requests),
+                  static_cast<unsigned long long>(o.server_bytes));
+    }
+  }
+  std::printf("\nThe adaptive policy should match the fixed rule's hit rate "
+              "while pulling fewer\nbytes at low demand (it stops hoarding) "
+              "and handle bursts at least as well.\n");
+  return 0;
+}

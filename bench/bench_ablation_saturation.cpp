@@ -1,0 +1,86 @@
+// Ablation: edge CPU saturation under upload load.
+//
+// The paper's own measurement (§VI-C1: sanity checks take 70-80 ms per
+// 256-bit block at 300 MHz) caps an edge's inspection throughput at
+// ~53 kB/s — ~13 32-byte uploads per second. This bench ramps aggregate
+// upload rate past that ceiling and shows the consequence: the edge CPU
+// queue grows without bound and head-of-line blocking destroys response
+// times for everyone behind it. Deployments must rate-limit producers
+// (batch exports) or provision faster edges.
+#include <cstdio>
+
+#include "testbed/topology.h"
+#include "testbed/workload.h"
+
+using namespace cadet;
+using namespace cadet::testbed;
+
+namespace {
+
+struct Outcome {
+  double probe_mean_s = 0.0;
+  double probe_p95_s = 0.0;
+  std::uint64_t uploads_sent = 0;
+  std::uint64_t uploads_processed = 0;  // reached the edge engine in time
+};
+
+Outcome run(double uploads_per_second, std::uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.num_networks = 1;
+  config.clients_per_network = 8;
+  config.profiles = {NetworkProfile::kBalanced};
+  config.server_seed_bytes = 1 << 20;
+  World world(config);
+  world.register_edges();
+
+  WorkloadDriver driver(world, seed + 1);
+  const util::SimTime t_end = util::from_seconds(120);
+
+  // 7 producers share the aggregate upload rate; client 7 probes.
+  ClientBehavior producer;
+  producer.upload_rate_hz = uploads_per_second / 7.0;
+  producer.upload_bytes = 32;
+  for (std::size_t i = 0; i < 7; ++i) driver.drive(i, producer, 0, t_end);
+  ClientBehavior probe;
+  probe.request_rate_hz = 0.2;
+  probe.request_bits = 512;
+  driver.drive(7, probe, 0, t_end);
+
+  // Let the backlog drain for a bounded grace period only — an unbounded
+  // run() would hide the saturation we are measuring.
+  world.simulator().run_until(t_end + util::from_seconds(30));
+
+  Outcome out;
+  const auto& metrics = driver.metrics();
+  if (metrics.response_times_s.count() > 0) {
+    out.probe_mean_s = metrics.response_times_s.mean();
+    out.probe_p95_s = metrics.response_times_s.quantile(0.95);
+  }
+  out.uploads_sent = metrics.uploads_sent;
+  const auto& stats = world.edge(0).stats();
+  out.uploads_processed = stats.uploads_received;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: edge saturation under upload load ===\n");
+  std::printf("(300 MHz edge; sanity checks cost ~75 ms per 32-byte upload,\n"
+              " so inspection capacity is ~13 uploads/s. 120 s runs.)\n\n");
+  std::printf("%12s %14s %12s %12s %16s\n", "uploads/s", "probe mean(s)",
+              "probe p95", "sent", "processed(+30s)");
+  for (const double rate : {2.0, 8.0, 12.0, 16.0, 24.0}) {
+    const Outcome o = run(rate, 777);
+    std::printf("%12.0f %14.3f %12.3f %12llu %16llu\n", rate, o.probe_mean_s,
+                o.probe_p95_s,
+                static_cast<unsigned long long>(o.uploads_sent),
+                static_cast<unsigned long long>(o.uploads_processed));
+  }
+  std::printf("\nBelow ~13 uploads/s the probe sees normal (~0.1 s) service;\n"
+              "past the ceiling the edge queue grows without bound and the\n"
+              "probe's requests wait behind an ever-longer sanity-check "
+              "backlog.\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Component micro-benchmarks (google-benchmark): the substrate costs the
+// cycle-cost model in cadet/config.h abstracts — hashing, stream cipher,
+// X25519, sealing, the sanity battery (paper (VI-C1: 70-80 ms per 256-bit
+// block at 300 MHz in Python; the C++ battery is orders of magnitude
+// faster, which is why the simulator charges calibrated cycle costs
+// instead of wall time), the Yarrow mixer, and the packet codec.
+#include <benchmark/benchmark.h>
+
+#include "cadet/node_common.h"
+#include "cadet/packet.h"
+#include "cadet/registration.h"
+#include "cadet/seal.h"
+#include "crypto/chacha20.h"
+#include "crypto/csprng.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+#include "entropy/estimator.h"
+#include "entropy/linux_prng.h"
+#include "entropy/pool.h"
+#include "entropy/yarrow.h"
+#include "nist/battery.h"
+#include "util/bitview.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cadet;
+
+void BM_Sha256(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_ChaCha20(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  const auto key = rng.bytes(32);
+  const auto nonce = rng.bytes(12);
+  auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::ChaCha20 cipher(key, nonce);
+    cipher.crypt(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(64)->Arg(4096);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  crypto::Csprng rng(std::uint64_t{3});
+  const auto a = make_keypair(rng);
+  const auto b = make_keypair(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.shared_secret(b.public_key));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_Seal(benchmark::State& state) {
+  crypto::Csprng rng(std::uint64_t{4});
+  util::Xoshiro256 data_rng(5);
+  const auto key = data_rng.bytes(32);
+  const auto payload = data_rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seal(key, payload, rng));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Seal)->Arg(64)->Arg(4096);
+
+void BM_SanityBattery256Bits(benchmark::State& state) {
+  util::Xoshiro256 rng(6);
+  const auto payload = rng.bytes(32);
+  const auto previous = rng.bytes(32);
+  nist::SanityBattery battery;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(battery.run(payload, previous));
+  }
+}
+BENCHMARK(BM_SanityBattery256Bits);
+
+void BM_QualityBattery50kBits(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  const auto pool = rng.bytes(6250);
+  nist::QualityBattery battery;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(battery.run(pool, 50000));
+  }
+}
+BENCHMARK(BM_QualityBattery50kBits);
+
+void BM_SpectralTest50kBits(benchmark::State& state) {
+  util::Xoshiro256 rng(20);
+  const auto pool = rng.bytes(6250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nist::spectral_test(util::BitView(pool)));
+  }
+}
+BENCHMARK(BM_SpectralTest50kBits);
+
+void BM_RankTest50kBits(benchmark::State& state) {
+  util::Xoshiro256 rng(21);
+  const auto pool = rng.bytes(6250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nist::rank_test(util::BitView(pool)));
+  }
+}
+BENCHMARK(BM_RankTest50kBits);
+
+void BM_LinearComplexity50kBits(benchmark::State& state) {
+  util::Xoshiro256 rng(22);
+  const auto pool = rng.bytes(6250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nist::linear_complexity_test(util::BitView(pool), 500));
+  }
+}
+BENCHMARK(BM_LinearComplexity50kBits);
+
+void BM_MinEntropyEstimate(benchmark::State& state) {
+  util::Xoshiro256 rng(23);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entropy::estimate_min_entropy_bits(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MinEntropyEstimate)->Arg(256)->Arg(4096);
+
+void BM_YarrowMix(benchmark::State& state) {
+  util::Xoshiro256 rng(8);
+  entropy::ServerEntropyPool pool(1 << 20);
+  entropy::YarrowMixer mixer(pool);
+  const auto chunk = rng.bytes(32);
+  for (auto _ : state) {
+    mixer.add_input(chunk);
+    benchmark::DoNotOptimize(pool.size());
+  }
+  state.SetBytesProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_YarrowMix);
+
+void BM_ClientPoolExtract(benchmark::State& state) {
+  util::Xoshiro256 rng(9);
+  entropy::EntropyPool pool;
+  for (auto _ : state) {
+    state.PauseTiming();
+    pool.add(rng.bytes(64), 512);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(pool.extract(64));
+  }
+}
+BENCHMARK(BM_ClientPoolExtract);
+
+void BM_LinuxPrngExtract(benchmark::State& state) {
+  entropy::LinuxPrngModel prng;
+  prng.add_timer_event(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prng.extract(64));
+  }
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LinuxPrngExtract);
+
+void BM_PacketEncodeDecode(benchmark::State& state) {
+  util::Xoshiro256 rng(10);
+  const auto payload = rng.bytes(64);
+  for (auto _ : state) {
+    const auto wire = encode(Packet::data_upload(payload, false));
+    benchmark::DoNotOptimize(decode(wire));
+  }
+}
+BENCHMARK(BM_PacketEncodeDecode);
+
+void BM_SanityCheckerEndToEnd(benchmark::State& state) {
+  util::Xoshiro256 rng(11);
+  SanityChecker checker;
+  std::uint32_t device = 0;
+  for (auto _ : state) {
+    const auto payload = rng.bytes(32);
+    benchmark::DoNotOptimize(checker.check(device % 16, payload));
+    ++device;
+  }
+}
+BENCHMARK(BM_SanityCheckerEndToEnd);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Regenerates Table II: sanity-check classification accuracy vs. client
+// behaviour (percent of uploads that are intentionally — mildly — bad).
+// 5000 packets of 256 bits per behaviour, measured at the edge with the
+// penalty gate active, so the high-misbehaviour columns show penalty-drop
+// collateral exactly as the paper's do.
+//
+// Paper's row for reference:
+//   behaviour:  Honest   2%     4%     6%     8%     10%
+//   accuracy:   98.76  98.50  97.50  96.70  94.52  85.50
+#include <cstdio>
+
+#include "testbed/experiments.h"
+
+int main() {
+  using namespace cadet::testbed::experiments;
+  std::printf("=== Table II: Sanity Check Accuracy vs. Client Behavior ===\n");
+  std::printf("(5000 x 256-bit packets per behaviour; %% of all packets)\n\n");
+
+  const std::vector<double> percents = {0.0, 2.0, 4.0, 6.0, 8.0, 10.0};
+  const auto results = sanity_accuracy(percents, /*packets=*/5000,
+                                       /*seed=*/777);
+
+  std::printf("%-16s", "Client Behavior");
+  std::printf(" %8s", "Honest");
+  for (std::size_t i = 1; i < percents.size(); ++i) {
+    std::printf(" %7.0f%%", percents[i]);
+  }
+  std::printf("\n");
+
+  auto row = [&](const char* name, auto getter) {
+    std::printf("%-16s", name);
+    for (const auto& r : results) std::printf(" %8.2f", getter(r));
+    std::printf("\n");
+  };
+  row("True Positive", [](const SanityAccuracyResult& r) {
+    return r.true_positive;
+  });
+  row("True Negative", [](const SanityAccuracyResult& r) {
+    return r.true_negative;
+  });
+  row("False Positive", [](const SanityAccuracyResult& r) {
+    return r.false_positive;
+  });
+  row("False Negative", [](const SanityAccuracyResult& r) {
+    return r.false_negative;
+  });
+  row("Accuracy", [](const SanityAccuracyResult& r) { return r.accuracy; });
+
+  std::printf("\n(Classifier view: TP = good not flagged, TN = bad flagged,\n"
+              " FP = bad not flagged, FN = good flagged. Packets the penalty\n"
+              " gate ignores are never inspected, so they count as not\n"
+              " flagged — that is what makes FP jump once a 8-10 %% client\n"
+              " goes delinquent and its traffic stops being examined.)\n");
+  std::printf("Paper: accuracy 98.76 -> 85.50 as bad data grows to 10 %%, "
+              "with the error jumping past 8 %% as penalties bite.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates Table III: p-values for the quality-assurance tests on data
+// accumulated in the CADET server pool, against the Linux-PRNG model
+// baseline. Following the paper's method, 50 000 bits are accumulated and
+// tested, repeated 200 times; per SP800-22's multi-run methodology the
+// reported p-value is the uniformity meta p-value across runs, and the
+// pass proportion is shown alongside.
+//
+// Paper's rows for reference (single-run p-values; all pass at 0.01):
+//          Freq  B.Freq  CS(F)  CS(R)  Runs   LROO   AE
+//   CADET  0.49   0.39    0.90   0.04   0.82   0.10  0.10
+//   LPRNG  0.73   0.62    0.57   0.72   0.51   0.27  0.03
+#include <cstdio>
+
+#include "entropy/sources.h"
+#include "entropy/yarrow.h"
+#include "nist/battery.h"
+#include "testbed/experiments.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace cadet::testbed::experiments;
+  std::printf("=== Table III: P-values for Quality Assurance Tests ===\n");
+  std::printf("(50 000 bits per run, 200 runs; uniformity meta p-value and "
+              "pass proportion at alpha = 0.01)\n\n");
+
+  const auto results = quality_pvalues(/*bits=*/50000, /*reps=*/200,
+                                       /*seed=*/90210);
+
+  std::printf("%-8s", "");
+  for (const auto& [name, p] : results.front().p_values) {
+    std::printf(" %16s", name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& r : results) {
+    std::printf("%-8s", r.generator.c_str());
+    for (const auto& [name, p] : r.p_values) std::printf(" %16.4f", p);
+    std::printf("\n");
+  }
+  std::printf("\n%-8s %18s %15s\n", "", "tests passed", "min proportion");
+  for (const auto& r : results) {
+    std::printf("%-8s %12d / %d %14.3f\n", r.generator.c_str(), r.passed,
+                r.total, r.min_proportion);
+  }
+  std::printf("\n(Uniformity meta p-value passes at 0.0001; proportion must "
+              "exceed ~0.9675 for 200 runs per SP800-22 4.2.1.)\n");
+  std::printf("Paper: all tests passed by both generators; CADET comparable "
+              "to LPRNG.\n");
+
+  // ---- extended suite (paper SIV-C: "more tests can be included") ----
+  std::printf("\n--- Extended suite on one CADET pool snapshot (the full 15-test "
+              "SP800-22 battery) ---\n");
+  {
+    cadet::entropy::ServerEntropyPool pool(1 << 20);
+    cadet::entropy::YarrowMixer mixer(pool);
+    cadet::util::Xoshiro256 rng(90211);
+    while (pool.size() < 6250) {
+      mixer.add_input(cadet::entropy::synth::good(rng, 32));
+    }
+    cadet::nist::QualityBattery battery;
+    battery.extended = true;
+    const auto result = battery.run(pool.peek(6250), 50000);
+    for (const auto& r : result.results) {
+      std::printf("  %-18s p=%.4f %s\n", r.name.c_str(), r.p_value,
+                  r.pass ? "pass" : "FAIL");
+    }
+    std::printf("  => %d/%d\n", result.passed(), result.total());
+  }
+  return 0;
+}

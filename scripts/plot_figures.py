@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Render the figure benches' --csv output to standalone SVG files.
+
+Dependency-free (standard library only), so the paper's figures can be
+regenerated anywhere the benches run:
+
+    mkdir -p out && for b in build/bench/bench_fig*; do $b --csv out; done
+    python3 scripts/plot_figures.py out
+
+Produces fig8a.svg, fig8b.svg, fig8c.svg, fig10a.svg, fig10b.svg and
+fig10c.svg inside the same directory.
+"""
+import csv
+import os
+import sys
+
+W, H = 640, 400
+ML, MR, MT, MB = 60, 20, 30, 45  # margins
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#8c564b", "#e377c2", "#7f7f7f", "#17becf", "#bcbd22"]
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def scale(v, lo, hi, a, b):
+    if hi == lo:
+        return (a + b) / 2
+    return a + (v - lo) * (b - a) / (hi - lo)
+
+
+def nice_ticks(lo, hi, n=5):
+    if hi <= lo:
+        hi = lo + 1
+    span = (hi - lo) / n
+    mag = 10 ** int(f"{span:e}".split("e")[1])
+    for step in (1, 2, 5, 10):
+        if span <= step * mag:
+            span = step * mag
+            break
+    start = int(lo / span) * span
+    ticks = []
+    t = start
+    while t <= hi + 1e-9:
+        if t >= lo - 1e-9:
+            ticks.append(t)
+        t += span
+    return ticks
+
+
+class Svg:
+    def __init__(self, title, xlabel, ylabel):
+        self.parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" '
+            f'height="{H}" font-family="sans-serif" font-size="11">',
+            f'<rect width="{W}" height="{H}" fill="white"/>',
+            f'<text x="{W/2}" y="18" text-anchor="middle" '
+            f'font-size="14">{title}</text>',
+            f'<text x="{W/2}" y="{H-8}" text-anchor="middle">{xlabel}</text>',
+            f'<text x="14" y="{H/2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {H/2})">{ylabel}</text>',
+        ]
+
+    def axes(self, xlo, xhi, ylo, yhi):
+        self.xlo, self.xhi, self.ylo, self.yhi = xlo, xhi, ylo, yhi
+        self.parts.append(
+            f'<rect x="{ML}" y="{MT}" width="{W-ML-MR}" '
+            f'height="{H-MT-MB}" fill="none" stroke="#999"/>')
+        for t in nice_ticks(xlo, xhi):
+            x = scale(t, xlo, xhi, ML, W - MR)
+            self.parts.append(
+                f'<line x1="{x:.1f}" y1="{H-MB}" x2="{x:.1f}" '
+                f'y2="{H-MB+4}" stroke="#666"/>')
+            self.parts.append(
+                f'<text x="{x:.1f}" y="{H-MB+16}" '
+                f'text-anchor="middle">{t:g}</text>')
+        for t in nice_ticks(ylo, yhi):
+            y = scale(t, ylo, yhi, H - MB, MT)
+            self.parts.append(
+                f'<line x1="{ML-4}" y1="{y:.1f}" x2="{ML}" y2="{y:.1f}" '
+                f'stroke="#666"/>')
+            self.parts.append(
+                f'<text x="{ML-7}" y="{y+3:.1f}" '
+                f'text-anchor="end">{t:g}</text>')
+
+    def line(self, xs, ys, color, label=None, dash=False):
+        pts = " ".join(
+            f"{scale(x, self.xlo, self.xhi, ML, W-MR):.1f},"
+            f"{scale(y, self.ylo, self.yhi, H-MB, MT):.1f}"
+            for x, y in zip(xs, ys))
+        dash_attr = ' stroke-dasharray="6,3"' if dash else ""
+        self.parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"{dash_attr}/>')
+
+    def bar(self, i, n, group, value, color):
+        # n bars per group, groups indexed from 0.
+        gw = (W - ML - MR) / (self.xhi + 1)
+        bw = gw / (n + 1)
+        x = ML + group * gw + (i + 0.5) * bw
+        y = scale(value, self.ylo, self.yhi, H - MB, MT)
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bw:.1f}" '
+            f'height="{H-MB-y:.1f}" fill="{color}"/>')
+
+    def legend(self, labels_colors):
+        x, y = ML + 10, MT + 14
+        for label, color in labels_colors:
+            self.parts.append(
+                f'<line x1="{x}" y1="{y-4}" x2="{x+18}" y2="{y-4}" '
+                f'stroke="{color}" stroke-width="2"/>')
+            self.parts.append(f'<text x="{x+22}" y="{y}">{label}</text>')
+            y += 14
+
+    def save(self, path):
+        self.parts.append("</svg>")
+        with open(path, "w") as f:
+            f.write("\n".join(self.parts))
+        print(f"wrote {path}")
+
+
+def plot_series_csv(path, out, title, xlabel, ylabel, dash_cols=()):
+    header, rows = read_csv(path)
+    xs = [float(r[0]) for r in rows]
+    svg = Svg(title, xlabel, ylabel)
+    cols = list(range(1, len(header)))
+    ymax = max(float(r[c]) for r in rows for c in cols)
+    svg.axes(min(xs), max(xs), 0, ymax * 1.05)
+    legend = []
+    for i, c in enumerate(cols):
+        color = PALETTE[i % len(PALETTE)]
+        svg.line(xs, [float(r[c]) for r in rows], color,
+                 dash=header[c] in dash_cols)
+        legend.append((header[c], color))
+    svg.legend(legend)
+    svg.save(out)
+
+
+def plot_fig8a(path, out):
+    header, rows = read_csv(path)
+    ops = sorted({r[0] for r in rows}, key=lambda o: [r[0] for r in rows].index(o))
+    svg = Svg("Fig 8a: protocol operation timing", "operation", "seconds")
+    svg.xhi = len(ops) - 1
+    ymax = max(float(r[2]) for r in rows)
+    svg.axes(0, len(ops) - 1, 0, ymax * 1.15)
+    # Override x tick labels with operation names.
+    for g, op in enumerate(ops):
+        gw = (W - ML - MR) / len(ops)
+        svg.parts.append(
+            f'<text x="{ML + (g+0.5)*gw:.1f}" y="{H-MB+16}" '
+            f'text-anchor="middle" font-size="9">{op}</text>')
+    for g, op in enumerate(ops):
+        for i, env in enumerate(("testbed", "internet")):
+            for r in rows:
+                if r[0] == op and r[1] == env:
+                    svg.bar(i, 2, g, float(r[2]), PALETTE[i])
+    svg.legend([("testbed", PALETTE[0]), ("internet", PALETTE[1])])
+    svg.save(out)
+
+
+def plot_fig10(path, out_a, out_b):
+    header, rows = read_csv(path)
+    sizes = sorted({int(r[0]) for r in rows})
+    for out, column, title in ((out_a, "server_total",
+                                "Fig 10a: server-processed packets"),
+                               (out_b, "network_total",
+                                "Fig 10b: total network packets")):
+        idx = header.index(column)
+        svg = Svg(title, "upload payload (bytes)", "packets")
+        ymax = max(float(r[idx]) for r in rows)
+        svg.axes(0, len(sizes) - 1, 0, ymax * 1.1)
+        for g, size in enumerate(sizes):
+            gw = (W - ML - MR) / len(sizes)
+            svg.parts.append(
+                f'<text x="{ML + (g+0.5)*gw:.1f}" y="{H-MB+16}" '
+                f'text-anchor="middle">{size} B</text>')
+            for i, with_edge in enumerate(("0", "1")):
+                for r in rows:
+                    if int(r[0]) == size and r[1] == with_edge:
+                        svg.bar(i, 2, g, float(r[idx]), PALETTE[i])
+        svg.legend([("without edge", PALETTE[0]), ("with edge", PALETTE[1])])
+        svg.save(out)
+
+
+def plot_fig8b(path, out):
+    header, rows = read_csv(path)
+    svg = Svg("Fig 8b: response time during heavy use", "population",
+              "seconds")
+    ymax = max(float(r[3]) for r in rows)  # p95 column
+    svg.axes(0, len(rows) - 1, 0, ymax * 1.2)
+    for g, r in enumerate(rows):
+        gw = (W - ML - MR) / len(rows)
+        svg.parts.append(
+            f'<text x="{ML + (g+0.5)*gw:.1f}" y="{H-MB+16}" '
+            f'text-anchor="middle" font-size="9">{r[0]}</text>')
+        svg.bar(0, 2, g, float(r[1]), PALETTE[0])  # mean
+        svg.bar(1, 2, g, float(r[3]), PALETTE[1])  # p95
+    svg.legend([("mean", PALETTE[0]), ("p95", PALETTE[1])])
+    svg.save(out)
+
+
+def main():
+    directory = sys.argv[1] if len(sys.argv) > 1 else "."
+    jobs = [
+        ("fig8a_protocol_timing.csv", lambda p: plot_fig8a(
+            p, os.path.join(directory, "fig8a.svg"))),
+        ("fig8b_heavy_use.csv", lambda p: plot_fig8b(
+            p, os.path.join(directory, "fig8b.svg"))),
+        ("fig8c_usage_score.csv", lambda p: plot_series_csv(
+            p, os.path.join(directory, "fig8c.svg"),
+            "Fig 8c: usage score over time", "time (s)", "usage score",
+            dash_cols=("threshold",))),
+        ("fig10ab_edge_offload.csv", lambda p: plot_fig10(
+            p, os.path.join(directory, "fig10a.svg"),
+            os.path.join(directory, "fig10b.svg"))),
+        ("fig10c_penalty.csv", lambda p: plot_series_csv(
+            p, os.path.join(directory, "fig10c.svg"),
+            "Fig 10c: user penalty over time", "time (s)", "penalty")),
+    ]
+    any_found = False
+    for name, fn in jobs:
+        path = os.path.join(directory, name)
+        if os.path.exists(path):
+            fn(path)
+            any_found = True
+        else:
+            print(f"skipping {name} (not found)")
+    if not any_found:
+        print("no CSVs found; run the figure benches with --csv first",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

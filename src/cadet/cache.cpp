@@ -1,0 +1,43 @@
+#include "cadet/cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cadet {
+
+EdgeCache::EdgeCache(std::size_t num_clients, double reserve_fraction,
+                     double refill_fraction) {
+  if (num_clients == 0) {
+    throw std::invalid_argument("EdgeCache: need at least one client");
+  }
+  capacity_bytes_ = kClientBufferBits / 8 * num_clients;
+  reserve_bytes_ =
+      static_cast<std::size_t>(reserve_fraction * static_cast<double>(capacity_bytes_));
+  refill_threshold_bytes_ =
+      static_cast<std::size_t>(refill_fraction * static_cast<double>(capacity_bytes_));
+}
+
+void EdgeCache::insert(util::BytesView bytes) {
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  while (data_.size() > capacity_bytes_) data_.pop_front();
+}
+
+util::Bytes EdgeCache::take(std::size_t nbytes, bool heavy_user) {
+  const std::size_t floor = heavy_user ? reserve_bytes_ : 0;
+  if (data_.size() < floor + nbytes) {
+    return {};  // cannot serve at this tier
+  }
+  util::Bytes out(data_.begin(), data_.begin() + static_cast<long>(nbytes));
+  data_.erase(data_.begin(), data_.begin() + static_cast<long>(nbytes));
+  return out;
+}
+
+bool EdgeCache::needs_refill() const noexcept {
+  return data_.size() < refill_threshold_bytes_;
+}
+
+std::size_t EdgeCache::refill_amount() const noexcept {
+  return capacity_bytes_ - data_.size();
+}
+
+}  // namespace cadet

@@ -1,0 +1,51 @@
+// Edge-tier entropy cache (paper §III-C).
+//
+// Capacity = 4096 bits per served client. A reserve partition (default the
+// bottom 25 %) is withheld from heavy users: a heavy user's draw fails once
+// it would cut into the reserve, forcing that request up to the server tier,
+// while regular users can drain the cache to empty. A refill is signalled
+// when occupancy falls below 25 % of capacity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "cadet/config.h"
+#include "util/bytes.h"
+
+namespace cadet {
+
+class EdgeCache {
+ public:
+  /// Capacity is kClientBufferBits * num_clients (bits), converted to bytes.
+  explicit EdgeCache(std::size_t num_clients,
+                     double reserve_fraction = kCacheReserveFraction,
+                     double refill_fraction = kCacheRefillFraction);
+
+  std::size_t capacity_bytes() const noexcept { return capacity_bytes_; }
+  std::size_t size_bytes() const noexcept { return data_.size(); }
+  std::size_t reserve_bytes() const noexcept { return reserve_bytes_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Mix delivered entropy in (oldest evicted beyond capacity).
+  void insert(util::BytesView bytes);
+
+  /// Attempt to serve `nbytes`. A heavy user may not dip into the reserve
+  /// partition; regular users may. Returns the served bytes (empty if the
+  /// request cannot be served at this tier and must go upstream).
+  util::Bytes take(std::size_t nbytes, bool heavy_user);
+
+  /// True when occupancy has fallen below the refill threshold.
+  bool needs_refill() const noexcept;
+
+  /// Bytes to ask the server for when refilling (top up to capacity).
+  std::size_t refill_amount() const noexcept;
+
+ private:
+  std::size_t capacity_bytes_;
+  std::size_t reserve_bytes_;
+  std::size_t refill_threshold_bytes_;
+  std::deque<std::uint8_t> data_;
+};
+
+}  // namespace cadet

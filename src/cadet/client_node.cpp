@@ -1,0 +1,231 @@
+#include "cadet/client_node.h"
+
+#include <cstring>
+
+#include "cadet/config.h"
+#include "cadet/seal.h"
+#include "util/log.h"
+
+namespace cadet {
+
+ClientNode::ClientNode(const Config& config)
+    : config_(config),
+      csprng_(config.seed ^ 0xc11e47c11e47ULL),
+      pool_(config.pool_bits) {}
+
+std::vector<net::Outgoing> ClientNode::begin_init(util::SimTime now,
+                                                  RegCallback on_complete) {
+  (void)now;
+  on_init_complete_ = std::move(on_complete);
+  // Fresh keypair + nonce. Key generation is the expensive one-time entropy
+  // and compute spend the token scheme exists to avoid repeating.
+  init_keypair_ = make_keypair(csprng_);
+  init_nonce_ = csprng_.array<8>();
+  cost_.add(cost::kX25519 + cost::kCraftPacket);
+
+  Packet p = Packet::registration(
+      RegSubtype::kClientInitReq,
+      encode_reg_request(init_keypair_->public_key, *init_nonce_),
+      /*req=*/true, /*ack=*/false, /*client_edge=*/false,
+      /*edge_server=*/false);
+  return {{config_.server, encode(p)}};
+}
+
+std::vector<net::Outgoing> ClientNode::begin_rereg(util::SimTime now,
+                                                   RegCallback on_complete) {
+  if (!csk_ || !token_) {
+    CADET_LOG_WARN << "client " << config_.id
+                   << ": rereg attempted before init";
+    return {};
+  }
+  on_rereg_complete_ = std::move(on_complete);
+  const auto hash = token_hash(*token_, token_window(now));
+  cost_.add(cost::kTokenHash + cost::kCraftPacket);
+
+  util::Bytes payload(4);
+  util::put_u32_be(payload.data(), config_.id);
+  util::append(payload, hash);
+  Packet p = Packet::registration(RegSubtype::kReregReq, std::move(payload),
+                                  /*req=*/true, /*ack=*/false,
+                                  /*client_edge=*/true, /*edge_server=*/false);
+  return {{config_.edge, encode(p)}};
+}
+
+std::vector<net::Outgoing> ClientNode::request_entropy(
+    std::uint16_t bits, util::SimTime now, RequestCallback on_complete,
+    bool end_to_end) {
+  expire_stale_requests(now);
+  if (end_to_end && !csk_) {
+    CADET_LOG_WARN << "client " << config_.id
+                   << ": end-to-end request before initialization";
+    return {};
+  }
+  cost_.add(cost::kCraftPacket);
+  pending_.push_back(
+      PendingRequest{bits, std::move(on_complete), end_to_end, now});
+  Packet p = end_to_end
+                 ? Packet::data_request_e2e(bits, /*edge_server=*/false,
+                                            config_.id)
+                 : Packet::data_request(bits, /*edge_server=*/false);
+  return {{config_.edge, encode(p)}};
+}
+
+std::vector<net::Outgoing> ClientNode::upload_entropy(util::Bytes payload,
+                                                      util::SimTime now) {
+  (void)now;
+  cost_.add(cost::kCraftPacket);
+  Packet p = Packet::data_upload(std::move(payload), /*edge_server=*/false);
+  return {{config_.edge, encode(p)}};
+}
+
+void ClientNode::expire_stale_requests(util::SimTime now) {
+  while (!pending_.empty() &&
+         now - pending_.front().issued_at > config_.request_timeout) {
+    PendingRequest req = std::move(pending_.front());
+    pending_.pop_front();
+    ++expired_;
+    if (req.callback) req.callback({}, now);
+  }
+}
+
+std::vector<net::Outgoing> ClientNode::on_packet(net::NodeId from,
+                                                 util::BytesView data,
+                                                 util::SimTime now) {
+  cost_.add(cost::kProcessPacket);
+  expire_stale_requests(now);
+  const auto packet = decode(data);
+  if (!packet) {
+    CADET_LOG_DEBUG << "client " << config_.id << ": malformed packet from "
+                    << from;
+    return {};
+  }
+
+  if (packet->header.reg) {
+    switch (packet->header.subtype) {
+      case RegSubtype::kClientInitReqAck:
+        return handle_init_ack(*packet, now);
+      case RegSubtype::kReregAckToClient:
+        handle_rereg_ack(*packet, now);
+        return {};
+      default:
+        return {};
+    }
+  }
+  if (packet->header.dat && packet->header.ack) {
+    handle_data_ack(*packet, now);
+  }
+  return {};
+}
+
+std::vector<net::Outgoing> ClientNode::handle_init_ack(const Packet& packet,
+                                                       util::SimTime now) {
+  // [s.pub(32) || seal_csk(n+1)(36) || seal_csk(token)(60)]
+  if (!init_keypair_ || !init_nonce_) return {};
+  if (packet.payload.size() != 32 + (8 + kSealOverhead) + (32 + kSealOverhead)) {
+    return {};
+  }
+  crypto::X25519Key server_pub;
+  std::memcpy(server_pub.data(), packet.payload.data(), 32);
+  const auto shared = init_keypair_->shared_secret(server_pub);
+  const SharedKey csk =
+      derive_key(shared, util::BytesView(kLabelCsk, sizeof(kLabelCsk)));
+  cost_.add(cost::kX25519 + cost::kSealPerByte * 100);
+
+  const auto sealed_nonce =
+      util::BytesView(packet.payload.data() + 32, 8 + kSealOverhead);
+  const auto nonce_plain = open(csk, sealed_nonce);
+  if (!nonce_plain || nonce_plain->size() != 8) {
+    CADET_LOG_WARN << "client " << config_.id << ": init nonce open failed";
+    return {};
+  }
+  const Nonce expected = nonce_add(*init_nonce_, 1);
+  if (!util::ct_equal(*nonce_plain,
+                      util::BytesView(expected.data(), expected.size()))) {
+    CADET_LOG_WARN << "client " << config_.id << ": init nonce mismatch";
+    return {};
+  }
+
+  const auto sealed_token = util::BytesView(
+      packet.payload.data() + 32 + 8 + kSealOverhead, 32 + kSealOverhead);
+  const auto token_plain = open(csk, sealed_token);
+  if (!token_plain || token_plain->size() != 32) return {};
+
+  csk_ = csk;
+  Token token;
+  std::memcpy(token.data(), token_plain->data(), 32);
+  token_ = token;
+
+  // Confirm with E(n+2, csk) (Fig. 7b packet 3).
+  const Nonce confirm = nonce_add(*init_nonce_, 2);
+  util::Bytes sealed = seal(
+      *csk_, util::BytesView(confirm.data(), confirm.size()), csprng_);
+  cost_.add(cost::kCraftPacket);
+  Packet reply = Packet::registration(RegSubtype::kClientInitAck,
+                                      std::move(sealed), /*req=*/false,
+                                      /*ack=*/true, /*client_edge=*/false,
+                                      /*edge_server=*/false,
+                                      /*encrypted=*/true);
+  if (on_init_complete_) on_init_complete_(now);
+  return {{config_.server, encode(reply)}};
+}
+
+void ClientNode::handle_rereg_ack(const Packet& packet, util::SimTime now) {
+  if (!csk_) return;
+  const auto cek_plain = open(*csk_, packet.payload);
+  cost_.add(cost::kSealPerByte * static_cast<double>(packet.payload.size()));
+  if (!cek_plain || cek_plain->size() != 32) {
+    CADET_LOG_WARN << "client " << config_.id << ": rereg ack open failed";
+    return;
+  }
+  SharedKey cek;
+  std::memcpy(cek.data(), cek_plain->data(), 32);
+  cek_ = cek;
+  if (on_rereg_complete_) on_rereg_complete_(now);
+}
+
+void ClientNode::handle_data_ack(const Packet& packet, util::SimTime now) {
+  util::Bytes delivered;
+  if (packet.header.end_to_end) {
+    // Sealed by the server under csk; the relaying edge never saw the
+    // plaintext.
+    if (!csk_) {
+      CADET_LOG_WARN << "client " << config_.id
+                     << ": end-to-end delivery without csk";
+      return;
+    }
+    const auto plain = open(*csk_, packet.payload);
+    cost_.add(cost::kSealPerByte * static_cast<double>(packet.payload.size()));
+    if (!plain) return;
+    delivered = *plain;
+  } else if (packet.header.encrypted) {
+    if (!cek_) {
+      CADET_LOG_WARN << "client " << config_.id
+                     << ": encrypted delivery without cek";
+      return;
+    }
+    const auto plain = open(*cek_, packet.payload);
+    cost_.add(cost::kSealPerByte * static_cast<double>(packet.payload.size()));
+    if (!plain) return;
+    delivered = *plain;
+  } else {
+    delivered = packet.payload;
+  }
+
+  // NIST guidance (paper §VI-C2): remote entropy bolsters the on-board RNG
+  // rather than being consumed directly — mix into the local pool.
+  // Remote bytes are credited at half weight as a trust haircut.
+  pool_.add(delivered, delivered.size() * 4);
+
+  // Fulfil the oldest pending request of the matching mode (end-to-end and
+  // cached deliveries can overtake each other in flight).
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->end_to_end != packet.header.end_to_end) continue;
+    PendingRequest req = std::move(*it);
+    pending_.erase(it);
+    ++fulfilled_;
+    if (req.callback) req.callback(delivered, now);
+    break;
+  }
+}
+
+}  // namespace cadet

@@ -1,0 +1,98 @@
+// Protocol-wide constants and tunables.
+//
+// Values follow the paper's prototype: edge cache sized at 4096 bits per
+// client with a 25 % refill trigger (§III-C), EWMA usage decay 0.96 with a
+// mu+3sigma heavy threshold (§III-C), penalty drop_thresh 10 / max_penalty 35
+// (§IV-A). Cycle costs calibrate the simulator to the timings the paper
+// reports for its Python prototype (e.g. sanity checks ~75 ms per 256-bit
+// block at 300 MHz, D.Req ~0.12 s cached vs ~0.25 s uncached in Fig. 8a).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cadet {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+// ---------------------------------------------------------------- caching
+/// Client randomness-buffer size; the edge cache reserves one of these per
+/// client (paper: "4096 bits, the typical size of a client's own randomness
+/// buffer, multiplied by the number of clients").
+inline constexpr std::size_t kClientBufferBits = 4096;
+
+/// Edge requests a refill when the cache drops below this fraction.
+inline constexpr double kCacheRefillFraction = 0.25;
+
+/// Fraction of the edge cache set aside for regular users when heavy users
+/// have drained the open portion (§III-C reserve-cache).
+inline constexpr double kCacheReserveFraction = 0.25;
+
+// ------------------------------------------------------------ usage score
+/// EWMA decay (paper Eq. 1, empirically chosen 0.96).
+inline constexpr double kUsageDecay = 0.96;
+
+/// Heavy-user threshold: this many standard deviations above the mean.
+inline constexpr double kUsageSigmaThreshold = 3.0;
+
+// ---------------------------------------------------------------- penalty
+inline constexpr double kDropThresh = 10.0;
+inline constexpr double kMaxPenalty = 35.0;
+
+/// If a cache-refill response has not arrived after this long, the edge
+/// considers the request lost (UDP gives no delivery guarantee) and allows
+/// a new refill to be issued. Checked lazily on packet processing.
+inline constexpr std::int64_t kRefillTimeoutNs = 2'000'000'000;  // 2 s
+
+/// Queued client requests the edge has not been able to serve after this
+/// long are discarded (the client will have expired its own side already).
+/// Bounds the pending queue against clients that vanish.
+inline constexpr std::int64_t kEdgePendingTimeoutNs = 8'000'000'000;  // 8 s
+
+// ----------------------------------------------------------------- upload
+/// Edge forwards its upload buffer to the server once it holds this many
+/// payload bytes ("after enough entropy data has accumulated", §III-A).
+inline constexpr std::size_t kUploadForwardBytes = 1024;
+
+// ------------------------------------------------------- cycle-cost model
+// Costs are in CPU cycles; the simulator divides by the tier clock rate
+// (20 MHz client / 300 MHz edge / 600 MHz server). Calibrated so the
+// reproduction matches the paper's measured protocol-operation times.
+namespace cost {
+
+/// Serializing an outgoing packet (craft reply / request).
+inline constexpr double kCraftPacket = 1.0e6;
+
+/// Parsing + dispatching an incoming packet (packet processor).
+inline constexpr double kProcessPacket = 1.0e6;
+
+/// Sanity-check battery, per payload byte. Paper §VI-C1: 70-80 ms for
+/// 256 bits at 300 MHz => ~22.5e6 cycles / 32 bytes.
+inline constexpr double kSanityPerByte = 7.0e5;
+
+/// Mixing received entropy into the edge cache, per byte. Dominates the
+/// cache-miss path (edge mixing, Fig. 2 downstream step 5): a full ~5.7 kB
+/// refill costs ~23e6 cycles => ~76 ms at the 300 MHz edge, which is what
+/// separates the cached (~0.12 s) and uncached (~0.25 s) request times.
+inline constexpr double kEdgeMixPerByte = 4.0e3;
+
+/// Server mixing-function cost per input byte (hash folds).
+inline constexpr double kServerMixPerByte = 1.0e4;
+
+/// One X25519 scalar multiplication (keygen or shared secret). ~30 ms on
+/// the 20 MHz client: two of these plus packet handling keeps client
+/// initialization just under the paper's 0.25 s ceiling.
+inline constexpr double kX25519 = 0.6e6;
+
+/// Hashing cost for token operations, per invocation.
+inline constexpr double kTokenHash = 2.0e5;
+
+/// Symmetric seal/open, per byte.
+inline constexpr double kSealPerByte = 2.0e3;
+
+/// Quality-check battery per pool byte (runs on the 600 MHz server).
+inline constexpr double kQualityPerByte = 1.0e5;
+
+}  // namespace cost
+
+}  // namespace cadet

@@ -1,0 +1,437 @@
+#include "cadet/edge_node.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "cadet/config.h"
+#include "cadet/seal.h"
+#include "crypto/sha256.h"
+#include "util/log.h"
+
+namespace cadet {
+
+EdgeNode::EdgeNode(const Config& config)
+    : config_(config),
+      csprng_(config.seed ^ 0xed6eed6eed6eULL),
+      rng_(config.seed ^ 0x1234abcdULL),
+      cache_(config.num_clients),
+      penalty_(config.penalty),
+      sanity_(config.sanity_alpha) {}
+
+std::vector<net::Outgoing> EdgeNode::begin_edge_reg(util::SimTime now,
+                                                    RegCallback on_complete) {
+  (void)now;
+  on_reg_complete_ = std::move(on_complete);
+  reg_keypair_ = make_keypair(csprng_);
+  reg_nonce_ = csprng_.array<8>();
+  cost_.add(cost::kX25519 + cost::kCraftPacket);
+
+  Packet p = Packet::registration(
+      RegSubtype::kEdgeRegReq,
+      encode_reg_request(reg_keypair_->public_key, *reg_nonce_),
+      /*req=*/true, /*ack=*/false, /*client_edge=*/false,
+      /*edge_server=*/true);
+  return {{config_.server, encode(p)}};
+}
+
+std::vector<net::Outgoing> EdgeNode::on_packet(net::NodeId from,
+                                               util::BytesView data,
+                                               util::SimTime now) {
+  cost_.add(cost::kProcessPacket);
+  if (config_.inject_timing_entropy) {
+    // Fold the packet inter-arrival delta into the timing-jitter state
+    // (SVI-D3: "measure some local sources of entropy, such as CADET
+    // packet inter-arrival times").
+    crypto::Sha256 h;
+    h.update(timing_state_);
+    std::uint8_t delta[8];
+    util::put_u64_be(delta, static_cast<std::uint64_t>(now - last_packet_at_));
+    h.update(util::BytesView(delta, 8));
+    timing_state_ = h.finish();
+    last_packet_at_ = now;
+  }
+  const auto packet = decode(data);
+  if (!packet) {
+    usage_.tick();
+    CADET_LOG_DEBUG << "edge " << config_.id << ": malformed packet from "
+                    << from;
+    return {};
+  }
+
+  if (packet->header.reg) {
+    usage_.tick();
+    return handle_reg_packet(from, *packet, now);
+  }
+
+  // Data packets.
+  if (from == config_.server) {
+    usage_.tick();
+    return handle_server_data(*packet, now);
+  }
+  if (packet->header.req) {
+    return handle_client_request(from, *packet, now);
+  }
+  usage_.tick();
+  return handle_client_upload(from, *packet);
+}
+
+util::Bytes EdgeNode::harvest_timing_bytes(std::size_t n) {
+  crypto::Sha256 h;
+  h.update(timing_state_);
+  std::uint8_t ctr[8];
+  util::put_u64_be(ctr, timing_counter_++);
+  h.update(util::BytesView(ctr, 8));
+  const auto digest = h.finish();
+  return util::Bytes(digest.begin(),
+                     digest.begin() + std::min<std::size_t>(n, digest.size()));
+}
+
+std::vector<net::Outgoing> EdgeNode::handle_client_upload(
+    net::NodeId client, const Packet& packet) {
+  ++stats_.uploads_received;
+
+  // (2) penalty gate: delinquent devices are randomly ignored; the device
+  // cannot tell whether a given packet was scored, so it must play fair.
+  if (penalty_.should_drop(client, rng_)) {
+    ++stats_.uploads_dropped_penalty;
+    return {};
+  }
+
+  // (3) sanity check.
+  int checks_passed = nist::SanityBattery::kNumChecks;
+  bool accepted = true;
+  if (config_.sanity_checks_enabled) {
+    cost_.add(cost::kSanityPerByte *
+              static_cast<double>(packet.payload.size()));
+    const auto outcome = sanity_.check(client, packet.payload);
+    checks_passed = outcome.checks_passed;
+    accepted = outcome.accepted;
+    penalty_.record_result(client, checks_passed);
+  }
+  if (!accepted) {
+    ++stats_.uploads_rejected_sanity;
+    return {};
+  }
+
+  // (4) accumulate in the upload buffer, optionally interleaved with
+  // locally harvested timing jitter (SVI-D3).
+  ++stats_.uploads_accepted;
+  buffer_contributors_.insert(client);
+  util::append(upload_buffer_, packet.payload);
+  if (config_.inject_timing_entropy) {
+    const util::Bytes jitter = harvest_timing_bytes(2);
+    stats_.timing_bytes_injected += jitter.size();
+    util::append(upload_buffer_, jitter);
+  }
+
+  // (5) forward in bulk once enough has accumulated — and, when
+  // configured, only once several distinct clients have contributed, so a
+  // single uploader cannot fill a whole aggregate with chosen data.
+  std::vector<net::Outgoing> out;
+  if (upload_buffer_.size() >= config_.upload_forward_bytes &&
+      buffer_contributors_.size() >= config_.min_contributors) {
+    cost_.add(cost::kCraftPacket);
+    Packet bulk =
+        Packet::data_upload(std::move(upload_buffer_), /*edge_server=*/true);
+    upload_buffer_.clear();
+    buffer_contributors_.clear();
+    ++stats_.bulk_uploads_sent;
+    out.push_back({config_.server, encode(bulk)});
+  }
+  return out;
+}
+
+std::vector<net::Outgoing> EdgeNode::handle_client_request(
+    net::NodeId client, const Packet& packet, util::SimTime now) {
+  ++stats_.requests_received;
+  // Clamp to what this cache tier can ever hold: the 16-bit request field
+  // allows asks (8 kB) larger than a small edge's whole cache, which could
+  // otherwise queue forever.
+  const std::size_t bytes =
+      std::min<std::size_t>((packet.header.argument + 7) / 8,
+                            cache_.capacity_bytes() - cache_.reserve_bytes());
+  usage_.record(client, static_cast<double>(bytes));
+  note_demand(bytes, now);
+
+  if (packet.header.end_to_end) {
+    // Untrusted-edge mode: the cache holds plaintext this edge could read,
+    // so the request is relayed to the server, which seals the reply under
+    // the client's own csk. Costs a full server round trip by design.
+    ++stats_.e2e_forwarded;
+    cost_.add(cost::kCraftPacket);
+    Packet fwd = Packet::data_request_e2e(packet.header.argument,
+                                          /*edge_server=*/true, client);
+    return {{config_.server, encode(fwd)}};
+  }
+
+  const bool heavy = usage_.is_heavy(client);
+
+  std::vector<net::Outgoing> out;
+  util::Bytes served = cache_.take(bytes, heavy);
+  if (!served.empty()) {
+    ++stats_.cache_hits;
+    cost_.add(cost::kCraftPacket);
+    out.push_back(make_client_delivery(client, std::move(served)));
+  } else {
+    if (heavy && cache_.size_bytes() >= bytes) ++stats_.heavy_rejections;
+    ++stats_.cache_misses;
+    pending_.push_back(PendingRequest{client, bytes, heavy, now});
+  }
+
+  const auto refill = maybe_refill(bytes, now);
+  out.insert(out.end(), refill.begin(), refill.end());
+  return out;
+}
+
+std::vector<net::Outgoing> EdgeNode::maybe_refill(std::size_t extra_bytes,
+                                                  util::SimTime now) {
+  if (refill_outstanding_) {
+    // UDP gives no delivery guarantee: a refill whose response never came
+    // must not wedge the edge forever (it would starve every queued
+    // client). Declare it lost after a timeout and re-issue.
+    if (now - refill_sent_at_ < kRefillTimeoutNs) return {};
+    refill_outstanding_ = false;
+  }
+  const bool low = config_.refill_policy == RefillPolicy::kAdaptive
+                       ? adaptive_needs_refill()
+                       : cache_.needs_refill();
+  if (!low && pending_.empty()) return {};
+  const std::size_t base_want =
+      config_.refill_policy == RefillPolicy::kAdaptive
+          ? adaptive_refill_amount()
+          : cache_.refill_amount();
+  const std::size_t want = base_want + extra_bytes;
+  // The 16-bit argument field carries the request size in bits.
+  const std::uint16_t bits = static_cast<std::uint16_t>(
+      std::min<std::size_t>(want * 8, 0xffff));
+  cost_.add(cost::kCraftPacket);
+  refill_outstanding_ = true;
+  refill_sent_at_ = now;
+  Packet req = Packet::data_request(bits, /*edge_server=*/true);
+  return {{config_.server, encode(req)}};
+}
+
+std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
+                                                        util::SimTime now) {
+  if (!packet.header.ack) return {};
+
+  if (packet.header.end_to_end) {
+    // Relay an end-to-end delivery: [client_id(4) || seal_csk(entropy)].
+    // This edge cannot open the sealed part — it only routes it.
+    if (packet.payload.size() <= 4) return {};
+    const net::NodeId client = util::get_u32_be(packet.payload.data());
+    util::Bytes sealed(packet.payload.begin() + 4, packet.payload.end());
+    cost_.add(cost::kCraftPacket);
+    Packet fwd = Packet::data_ack_e2e(std::move(sealed),
+                                      /*edge_server=*/false);
+    return {{client, encode(fwd)}};
+  }
+
+  // TCP-style smoothed RTT of the refill round trip feeds the adaptive
+  // refill trigger.
+  if (refill_outstanding_) {
+    const double sample_s = util::to_seconds(now - refill_sent_at_);
+    refill_rtt_s_ = 0.875 * refill_rtt_s_ + 0.125 * sample_s;
+  }
+  refill_outstanding_ = false;
+
+  util::Bytes delivered;
+  if (packet.header.encrypted) {
+    if (!esk_) return {};
+    const auto plain = open(*esk_, packet.payload);
+    cost_.add(cost::kSealPerByte * static_cast<double>(packet.payload.size()));
+    if (!plain) {
+      // A restarted server no longer holds our esk; its replies (sealed
+      // under a key we do not have, or rejected by ours) show up here as
+      // repeated open failures. Recover by re-registering.
+      return note_open_failure(now);
+    }
+    consecutive_open_failures_ = 0;
+    delivered = *plain;
+  } else {
+    if (esk_) {
+      // Downgrade: a registered edge must not accept plaintext deliveries.
+      // This is also what a restarted server (which lost our esk) sends,
+      // so it feeds the same recovery counter.
+      return note_open_failure(now);
+    }
+    delivered = packet.payload;
+  }
+  if (delivered.empty()) return {};
+
+  // Edge mixing (Fig. 2 downstream step 5) dominates the cache-miss path.
+  cost_.add(cost::kEdgeMixPerByte * static_cast<double>(delivered.size()));
+  cache_.insert(delivered);
+
+  return drain_pending(now);
+}
+
+std::vector<net::Outgoing> EdgeNode::drain_pending(util::SimTime now) {
+  // Discard entries whose client has long since given up.
+  while (!pending_.empty() &&
+         now - pending_.front().queued_at > kEdgePendingTimeoutNs) {
+    pending_.pop_front();
+  }
+  std::vector<net::Outgoing> out;
+  while (!pending_.empty()) {
+    PendingRequest& req = pending_.front();
+    util::Bytes served = cache_.take(req.bytes, req.heavy);
+    if (served.empty()) break;
+    cost_.add(cost::kCraftPacket);
+    out.push_back(make_client_delivery(req.client, std::move(served)));
+    pending_.pop_front();
+  }
+  if (!pending_.empty()) {
+    const auto refill = maybe_refill(pending_.front().bytes, now);
+    out.insert(out.end(), refill.begin(), refill.end());
+  }
+  return out;
+}
+
+net::Outgoing EdgeNode::make_client_delivery(net::NodeId client,
+                                             util::Bytes data) {
+  const auto key_it = client_keys_.find(client);
+  if (key_it != client_keys_.end()) {
+    cost_.add(cost::kSealPerByte * static_cast<double>(data.size()));
+    util::Bytes sealed = seal(key_it->second, data, csprng_);
+    return {client,
+            encode(Packet::data_ack(std::move(sealed), /*edge_server=*/false,
+                                    /*encrypted=*/true))};
+  }
+  return {client, encode(Packet::data_ack(std::move(data),
+                                          /*edge_server=*/false,
+                                          /*encrypted=*/false))};
+}
+
+std::vector<net::Outgoing> EdgeNode::note_open_failure(util::SimTime now) {
+  if (config_.reregister_after_failures == 0) return {};
+  ++consecutive_open_failures_;
+  if (consecutive_open_failures_ < config_.reregister_after_failures) {
+    return {};
+  }
+  CADET_LOG_WARN << "edge " << config_.id << ": " << consecutive_open_failures_
+                 << " consecutive sealed-open failures; re-registering";
+  consecutive_open_failures_ = 0;
+  esk_.reset();
+  ++stats_.reregistrations;
+  return begin_edge_reg(now, std::move(on_reg_complete_));
+}
+
+void EdgeNode::note_demand(std::size_t bytes, util::SimTime now) {
+  // Exponentially decayed rate estimator with a 30 s time constant: the
+  // estimate halves after ~20 quiet seconds and tracks bursts quickly.
+  constexpr double kTauS = 30.0;
+  const double dt = util::to_seconds(now - last_demand_at_);
+  if (dt > 0) {
+    demand_rate_Bps_ *= std::exp(-dt / kTauS);
+  }
+  demand_rate_Bps_ += static_cast<double>(bytes) / kTauS;
+  last_demand_at_ = now;
+}
+
+bool EdgeNode::adaptive_needs_refill() const {
+  const double in_flight_window_s =
+      refill_rtt_s_ * config_.adaptive_safety_factor;
+  const double needed = demand_rate_Bps_ * in_flight_window_s;
+  return static_cast<double>(cache_.size_bytes()) < std::max(needed, 64.0);
+}
+
+std::size_t EdgeNode::adaptive_refill_amount() const {
+  // Target a horizon's worth of demand, floored at one client-buffer (tiny
+  // refills would thrash the server) and capped at cache capacity.
+  const std::size_t target = std::clamp<std::size_t>(
+      static_cast<std::size_t>(demand_rate_Bps_ * config_.adaptive_horizon_s),
+      kClientBufferBits / 8, cache_.capacity_bytes());
+  return target - std::min(cache_.size_bytes(), target);
+}
+
+std::vector<net::Outgoing> EdgeNode::handle_reg_packet(net::NodeId from,
+                                                       const Packet& packet,
+                                                       util::SimTime now) {
+  switch (packet.header.subtype) {
+    case RegSubtype::kEdgeRegReqAck: {
+      // [s.pub(32) || seal_esk(n+1)(36)] (Fig. 7a packet 2)
+      if (!reg_keypair_ || !reg_nonce_) return {};
+      if (packet.payload.size() != 32 + 8 + kSealOverhead) return {};
+      crypto::X25519Key server_pub;
+      std::memcpy(server_pub.data(), packet.payload.data(), 32);
+      const auto shared = reg_keypair_->shared_secret(server_pub);
+      const SharedKey esk =
+          derive_key(shared, util::BytesView(kLabelEsk, sizeof(kLabelEsk)));
+      cost_.add(cost::kX25519);
+
+      const auto nonce_plain =
+          open(esk, util::BytesView(packet.payload.data() + 32,
+                                    8 + kSealOverhead));
+      if (!nonce_plain || nonce_plain->size() != 8) return {};
+      const Nonce expected = nonce_add(*reg_nonce_, 1);
+      if (!util::ct_equal(*nonce_plain,
+                          util::BytesView(expected.data(), expected.size()))) {
+        CADET_LOG_WARN << "edge " << config_.id << ": reg nonce mismatch";
+        return {};
+      }
+      esk_ = esk;
+
+      const Nonce confirm = nonce_add(*reg_nonce_, 2);
+      util::Bytes sealed = seal(
+          *esk_, util::BytesView(confirm.data(), confirm.size()), csprng_);
+      cost_.add(cost::kCraftPacket);
+      if (on_reg_complete_) on_reg_complete_(now);
+      Packet reply = Packet::registration(
+          RegSubtype::kEdgeRegAck, std::move(sealed), /*req=*/false,
+          /*ack=*/true, /*client_edge=*/false, /*edge_server=*/true,
+          /*encrypted=*/true);
+      return {{config_.server, encode(reply)}};
+    }
+
+    case RegSubtype::kReregReq: {
+      // Client rereg: seal [client_id || h(T)] under esk, forward to the
+      // server (Fig. 7c packet 2).
+      if (!esk_) {
+        CADET_LOG_WARN << "edge " << config_.id
+                       << ": rereg before edge registration";
+        return {};
+      }
+      if (packet.payload.size() != 36) return {};
+      cost_.add(cost::kSealPerByte * 36 + cost::kCraftPacket);
+      util::Bytes sealed = seal(*esk_, packet.payload, csprng_);
+      Packet fwd = Packet::registration(
+          RegSubtype::kReregFwd, std::move(sealed), /*req=*/true,
+          /*ack=*/false, /*client_edge=*/false, /*edge_server=*/true,
+          /*encrypted=*/true);
+      return {{config_.server, encode(fwd)}};
+    }
+
+    case RegSubtype::kReregAckToEdge: {
+      // [client_id(4) || seal_esk(cek)(60) || seal_csk(cek)(60)]
+      if (!esk_) return {};
+      constexpr std::size_t kSealedKey = 32 + kSealOverhead;
+      if (packet.payload.size() != 4 + 2 * kSealedKey) return {};
+      const net::NodeId client = util::get_u32_be(packet.payload.data());
+      const auto cek_plain =
+          open(*esk_, util::BytesView(packet.payload.data() + 4, kSealedKey));
+      cost_.add(cost::kSealPerByte * static_cast<double>(packet.payload.size()));
+      if (!cek_plain || cek_plain->size() != 32) return {};
+      SharedKey cek;
+      std::memcpy(cek.data(), cek_plain->data(), 32);
+      client_keys_[client] = cek;
+
+      // Forward the client's sealed copy (Fig. 7c packet 4).
+      util::Bytes client_part(packet.payload.begin() + 4 + kSealedKey,
+                              packet.payload.end());
+      cost_.add(cost::kCraftPacket);
+      Packet fwd = Packet::registration(
+          RegSubtype::kReregAckToClient, std::move(client_part),
+          /*req=*/false, /*ack=*/true, /*client_edge=*/true,
+          /*edge_server=*/false, /*encrypted=*/true);
+      return {{client, encode(fwd)}};
+    }
+
+    default:
+      (void)from;
+      return {};
+  }
+}
+
+}  // namespace cadet

@@ -1,0 +1,177 @@
+// Edge-tier protocol engine (paper §II "Edge", Fig. 2 middle column).
+//
+// The edge is the LAN gateway: it aggregates client uploads into bulk
+// transfers (slashing server load ~98 %, Fig. 10a), answers most entropy
+// requests from a local cache, polices uploads with sanity checks + the
+// penalty table, tracks per-client EWMA usage to shield a reserve cache
+// partition from heavy users, and brokers client reregistration.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cadet/cache.h"
+#include "cadet/node_common.h"
+#include "cadet/packet.h"
+#include "cadet/penalty.h"
+#include "cadet/registration.h"
+#include "cadet/usage.h"
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace cadet {
+
+/// When to ask the server tier for more cache data (paper §III-C fixes the
+/// trigger at 25 % of capacity and notes the problem "could potentially be
+/// modeled as a flow control problem" — kAdaptive is that future-work
+/// policy: it estimates local demand and the server round-trip time and
+/// refills just early enough to cover the in-flight window).
+enum class RefillPolicy { kFixedFraction, kAdaptive };
+
+class EdgeNode {
+ public:
+  struct Config {
+    net::NodeId id = net::kInvalidNode;
+    net::NodeId server = net::kInvalidNode;
+    std::uint64_t seed = 0;
+    std::size_t num_clients = 11;  // sizes the cache (Fig. 9: 11 per edge)
+    std::size_t upload_forward_bytes = kUploadForwardBytes;
+    PenaltyConfig penalty{};
+    bool sanity_checks_enabled = true;
+    double sanity_alpha = SanityChecker::kDefaultAlpha;
+    RefillPolicy refill_policy = RefillPolicy::kFixedFraction;
+    /// Adaptive policy: refill when the cache holds less than
+    /// demand_rate * rtt * safety_factor bytes.
+    double adaptive_safety_factor = 4.0;
+    /// Adaptive policy: bytes requested cover this many seconds of demand.
+    double adaptive_horizon_s = 30.0;
+    /// §VI-D3 mitigation: harvest CADET packet inter-arrival jitter at the
+    /// edge and inject it between client contributions in the bulk upload,
+    /// diluting an attacker who controls many uploaders.
+    bool inject_timing_entropy = false;
+    /// §VI-D3 mitigation: require contributions from at least this many
+    /// distinct clients before forwarding the aggregate payload.
+    std::size_t min_contributors = 1;
+    /// After this many consecutive failures to open sealed server data
+    /// (e.g. the server restarted and lost the esk), the edge abandons its
+    /// key and re-registers. 0 disables.
+    std::size_t reregister_after_failures = 3;
+  };
+
+  using RegCallback = std::function<void(util::SimTime now)>;
+
+  explicit EdgeNode(const Config& config);
+
+  net::NodeId id() const noexcept { return config_.id; }
+
+  /// Register this edge with the server tier (Fig. 7a packet 1).
+  std::vector<net::Outgoing> begin_edge_reg(util::SimTime now,
+                                            RegCallback on_complete = {});
+
+  /// Handle an incoming packet from a client or the server.
+  std::vector<net::Outgoing> on_packet(net::NodeId from, util::BytesView data,
+                                       util::SimTime now);
+
+  // ---- state inspection ----
+  bool registered() const noexcept { return esk_.has_value(); }
+  EdgeCache& cache() noexcept { return cache_; }
+  const EdgeCache& cache() const noexcept { return cache_; }
+  UsageTracker& usage() noexcept { return usage_; }
+  PenaltyTable& penalty() noexcept { return penalty_; }
+  CostMeter& cost() noexcept { return cost_; }
+
+  struct Stats {
+    std::uint64_t uploads_received = 0;
+    std::uint64_t uploads_dropped_penalty = 0;
+    std::uint64_t uploads_rejected_sanity = 0;
+    std::uint64_t uploads_accepted = 0;
+    std::uint64_t bulk_uploads_sent = 0;
+    std::uint64_t requests_received = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t heavy_rejections = 0;  // heavy user blocked from reserve
+    std::uint64_t e2e_forwarded = 0;     // untrusted-edge relays
+    std::uint64_t timing_bytes_injected = 0;
+    std::uint64_t reregistrations = 0;   // recoveries from a lost esk
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Adaptive-policy telemetry (meaningful once traffic has flowed).
+  double demand_rate_bps() const noexcept { return demand_rate_Bps_ * 8.0; }
+  double refill_rtt_estimate_s() const noexcept { return refill_rtt_s_; }
+
+ private:
+  std::vector<net::Outgoing> handle_client_upload(net::NodeId client,
+                                                  const Packet& packet);
+  std::vector<net::Outgoing> handle_client_request(net::NodeId client,
+                                                   const Packet& packet,
+                                                   util::SimTime now);
+  std::vector<net::Outgoing> handle_server_data(const Packet& packet,
+                                                util::SimTime now);
+  std::vector<net::Outgoing> handle_reg_packet(net::NodeId from,
+                                               const Packet& packet,
+                                               util::SimTime now);
+  net::Outgoing make_client_delivery(net::NodeId client, util::Bytes data);
+  std::vector<net::Outgoing> maybe_refill(std::size_t extra_bytes,
+                                          util::SimTime now);
+  std::vector<net::Outgoing> drain_pending(util::SimTime now);
+
+  Config config_;
+  crypto::Csprng csprng_;
+  util::Xoshiro256 rng_;
+  EdgeCache cache_;
+  UsageTracker usage_;
+  PenaltyTable penalty_;
+  SanityChecker sanity_;
+  CostMeter cost_;
+  Stats stats_;
+
+  util::Bytes upload_buffer_;
+  std::set<net::NodeId> buffer_contributors_;
+
+  // Timing-jitter harvest state (inject_timing_entropy).
+  std::array<std::uint8_t, 32> timing_state_{};
+  util::SimTime last_packet_at_ = 0;
+  std::uint64_t timing_counter_ = 0;
+
+  // edge registration state
+  std::optional<crypto::X25519KeyPair> reg_keypair_;
+  std::optional<Nonce> reg_nonce_;
+  std::optional<SharedKey> esk_;
+  RegCallback on_reg_complete_;
+
+  // client-edge keys established via reregistration
+  std::unordered_map<net::NodeId, SharedKey> client_keys_;
+
+  struct PendingRequest {
+    net::NodeId client;
+    std::size_t bytes;
+    bool heavy;
+    util::SimTime queued_at = 0;
+  };
+  std::deque<PendingRequest> pending_;
+  bool refill_outstanding_ = false;
+  util::SimTime refill_sent_at_ = 0;
+  std::size_t consecutive_open_failures_ = 0;
+
+  /// Extract up to n bytes from the timing-jitter state.
+  util::Bytes harvest_timing_bytes(std::size_t n);
+
+  /// Track a sealed-open failure; may trigger re-registration.
+  std::vector<net::Outgoing> note_open_failure(util::SimTime now);
+
+  // Adaptive-refill estimators.
+  void note_demand(std::size_t bytes, util::SimTime now);
+  bool adaptive_needs_refill() const;
+  std::size_t adaptive_refill_amount() const;
+  double demand_rate_Bps_ = 0.0;
+  util::SimTime last_demand_at_ = 0;
+  double refill_rtt_s_ = 0.25;  // seeded with the paper's uncached average
+};
+
+}  // namespace cadet

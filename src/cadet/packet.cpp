@@ -1,0 +1,157 @@
+#include "cadet/packet.h"
+
+#include "cadet/config.h"
+
+namespace cadet {
+
+namespace {
+constexpr std::uint8_t kBitReg = 0x80;
+constexpr std::uint8_t kBitDat = 0x40;
+constexpr std::uint8_t kBitReq = 0x20;
+constexpr std::uint8_t kBitAck = 0x10;
+constexpr std::uint8_t kBitCE = 0x08;
+constexpr std::uint8_t kBitES = 0x04;
+constexpr std::uint8_t kBitEnc = 0x02;
+constexpr std::uint8_t kBitUrg = 0x01;
+}  // namespace
+
+Packet Packet::data_upload(util::Bytes payload, bool edge_server) {
+  Packet p;
+  p.header.dat = true;
+  p.header.client_edge = !edge_server;
+  p.header.edge_server = edge_server;
+  p.header.argument = static_cast<std::uint16_t>(payload.size());
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet Packet::data_request(std::uint16_t bits, bool edge_server) {
+  Packet p;
+  p.header.dat = true;
+  p.header.req = true;
+  p.header.client_edge = !edge_server;
+  p.header.edge_server = edge_server;
+  p.header.argument = bits;
+  return p;
+}
+
+Packet Packet::data_request_e2e(std::uint16_t bits, bool edge_server,
+                                std::uint32_t client_id) {
+  Packet p = data_request(bits, edge_server);
+  p.header.encrypted = true;
+  p.header.end_to_end = true;
+  p.payload.resize(4);
+  util::put_u32_be(p.payload.data(), client_id);
+  return p;
+}
+
+Packet Packet::data_ack(util::Bytes payload, bool edge_server,
+                        bool encrypted) {
+  Packet p;
+  p.header.dat = true;
+  p.header.ack = true;
+  p.header.client_edge = !edge_server;
+  p.header.edge_server = edge_server;
+  p.header.encrypted = encrypted;
+  p.header.argument = static_cast<std::uint16_t>(payload.size());
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet Packet::data_ack_e2e(util::Bytes payload, bool edge_server) {
+  Packet p = data_ack(std::move(payload), edge_server, /*encrypted=*/true);
+  p.header.end_to_end = true;
+  return p;
+}
+
+Packet Packet::registration(RegSubtype subtype, util::Bytes payload, bool req,
+                            bool ack, bool client_edge, bool edge_server,
+                            bool encrypted) {
+  Packet p;
+  p.header.reg = true;
+  p.header.req = req;
+  p.header.ack = ack;
+  p.header.client_edge = client_edge;
+  p.header.edge_server = edge_server;
+  p.header.encrypted = encrypted;
+  p.header.subtype = subtype;
+  p.header.argument = static_cast<std::uint16_t>(payload.size());
+  p.payload = std::move(payload);
+  return p;
+}
+
+util::Bytes encode(const Packet& packet) {
+  util::Bytes wire;
+  wire.reserve(kHeaderBytes + packet.payload.size());
+  wire.push_back(static_cast<std::uint8_t>((packet.header.version & 0x1f)
+                                           << 3));
+  std::uint8_t flags = 0;
+  if (packet.header.reg) flags |= kBitReg;
+  if (packet.header.dat) flags |= kBitDat;
+  if (packet.header.req) flags |= kBitReq;
+  if (packet.header.ack) flags |= kBitAck;
+  if (packet.header.client_edge) flags |= kBitCE;
+  if (packet.header.edge_server) flags |= kBitES;
+  if (packet.header.encrypted) flags |= kBitEnc;
+  if (packet.header.urgent) flags |= kBitUrg;
+  wire.push_back(flags);
+  std::uint8_t arg[2];
+  util::put_u16_be(arg, packet.header.argument);
+  wire.push_back(arg[0]);
+  wire.push_back(arg[1]);
+  // Variable-arguments byte: registration subtype on REG packets, the
+  // end-to-end marker on DAT packets.
+  wire.push_back(packet.header.reg
+                     ? static_cast<std::uint8_t>(packet.header.subtype)
+                     : static_cast<std::uint8_t>(packet.header.end_to_end ? 1
+                                                                          : 0));
+  util::append(wire, packet.payload);
+  return wire;
+}
+
+std::optional<Packet> decode(util::BytesView wire) {
+  if (wire.size() < kHeaderBytes) return std::nullopt;
+  Packet p;
+  p.header.version = wire[0] >> 3;
+  if (p.header.version != kProtocolVersion) return std::nullopt;
+  if ((wire[0] & 0x07) != 0) return std::nullopt;  // reserved bits must be 0
+
+  const std::uint8_t flags = wire[1];
+  p.header.reg = flags & kBitReg;
+  p.header.dat = flags & kBitDat;
+  p.header.req = flags & kBitReq;
+  p.header.ack = flags & kBitAck;
+  p.header.client_edge = flags & kBitCE;
+  p.header.edge_server = flags & kBitES;
+  p.header.encrypted = flags & kBitEnc;
+  p.header.urgent = flags & kBitUrg;
+  if (p.header.reg == p.header.dat) return std::nullopt;  // exactly one
+
+  p.header.argument = util::get_u16_be(wire.data() + 2);
+  const std::uint8_t subtype = wire[4];
+  if (p.header.reg) {
+    if (subtype > static_cast<std::uint8_t>(RegSubtype::kReregAckToClient)) {
+      return std::nullopt;
+    }
+    p.header.subtype = static_cast<RegSubtype>(subtype);
+  } else {
+    if (subtype > 1) return std::nullopt;
+    p.header.end_to_end = subtype == 1;
+    if (p.header.end_to_end && !p.header.encrypted) return std::nullopt;
+  }
+
+  p.payload.assign(wire.begin() + kHeaderBytes, wire.end());
+  // For data packets carrying payload the argument must describe it.
+  if (p.header.dat && !p.header.req &&
+      p.payload.size() != p.header.argument) {
+    return std::nullopt;
+  }
+  // End-to-end requests must carry the 4-byte client id.
+  if (p.header.dat && p.header.req && p.header.end_to_end &&
+      p.payload.size() != 4) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+}  // namespace cadet

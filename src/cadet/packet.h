@@ -1,0 +1,98 @@
+// CADET wire format (paper Fig. 4).
+//
+// Every packet starts with a four-byte header:
+//   byte 0 : version (5 bits) | reserved (3 bits)
+//   byte 1 : REG DAT REQ ACK C-E E-S ENC URG   (one bit each)
+//   bytes 2-3 : argument — request size in BITS for entropy requests,
+//               payload size in BYTES for entropy data packets
+// followed by the variable-arguments area (this implementation uses its
+// first byte as a registration-subtype tag on REG packets, per the paper's
+// note that the area carries "additional arguments related to different
+// packet types") and the data payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cadet/config.h"
+#include "util/bytes.h"
+
+namespace cadet {
+
+/// Registration-message subtype carried in the variable-arguments byte of
+/// REG packets (paper Fig. 7 exchanges).
+enum class RegSubtype : std::uint8_t {
+  kNone = 0,
+  kEdgeRegReq = 1,        // edge -> server  [e.pub, n]
+  kEdgeRegReqAck = 2,     // server -> edge  [s.pub, E(n+1, esk)]
+  kEdgeRegAck = 3,        // edge -> server  [E(n+2, esk)]
+  kClientInitReq = 4,     // client -> server [c.pub, n]
+  kClientInitReqAck = 5,  // server -> client [s.pub, E(n+1,csk), E(t,csk)]
+  kClientInitAck = 6,     // client -> server [E(n+2, csk)]
+  kReregReq = 7,          // client -> edge  [client, h(T)]
+  kReregFwd = 8,          // edge -> server  [E(client || h(T), esk)]
+  kReregAckToEdge = 9,    // server -> edge  [client, E(cek,esk), E(cek,csk)]
+  kReregAckToClient = 10, // edge -> client  [E(cek, csk)]
+};
+
+struct PacketHeader {
+  std::uint8_t version = kProtocolVersion;  // 5 bits on the wire
+  bool reg = false;   // registration packet
+  bool dat = false;   // data packet
+  bool req = false;   // request
+  bool ack = false;   // acknowledgement
+  bool client_edge = false;  // C-E: client<->edge link
+  bool edge_server = false;  // E-S: edge<->server link
+  bool encrypted = false;    // ENC: payload sealed
+  bool urgent = false;       // URG
+  std::uint16_t argument = 0;
+  RegSubtype subtype = RegSubtype::kNone;
+  /// Data-packet variant carried in the variable-arguments byte:
+  /// end-to-end mode, where the payload is sealed under the client-server
+  /// key csk so the edge relays it without being able to read it (the
+  /// untrusted-edge scenario of paper §VIII).
+  bool end_to_end = false;
+};
+
+struct Packet {
+  PacketHeader header;
+  util::Bytes payload;
+
+  // ---- constructors for the protocol's packet shapes ----
+
+  /// Entropy upload (client->edge or edge->server when edge_server).
+  static Packet data_upload(util::Bytes payload, bool edge_server);
+
+  /// Entropy request for `bits` bits.
+  static Packet data_request(std::uint16_t bits, bool edge_server);
+
+  /// End-to-end entropy request: carries the requesting client's id so the
+  /// server can seal the reply under that client's csk.
+  static Packet data_request_e2e(std::uint16_t bits, bool edge_server,
+                                 std::uint32_t client_id);
+
+  /// Entropy delivery.
+  static Packet data_ack(util::Bytes payload, bool edge_server,
+                         bool encrypted);
+
+  /// End-to-end entropy delivery (payload sealed under csk; on the
+  /// edge-server leg it is prefixed with the destination client id).
+  static Packet data_ack_e2e(util::Bytes payload, bool edge_server);
+
+  /// Registration message with subtype.
+  static Packet registration(RegSubtype subtype, util::Bytes payload,
+                             bool req, bool ack, bool client_edge,
+                             bool edge_server, bool encrypted = false);
+};
+
+/// Size of the fixed header plus the subtype byte.
+inline constexpr std::size_t kHeaderBytes = 5;
+
+/// Serialize to wire bytes.
+util::Bytes encode(const Packet& packet);
+
+/// Parse wire bytes; std::nullopt on malformed input (short buffer, version
+/// mismatch, REG/DAT both or neither set, payload shorter than argument).
+std::optional<Packet> decode(util::BytesView wire);
+
+}  // namespace cadet

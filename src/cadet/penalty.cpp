@@ -1,0 +1,81 @@
+#include "cadet/penalty.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cadet {
+
+PenaltyScheme PenaltyScheme::base() {
+  return {"CADET Base", {+5, +4, +3, +2, +1, 0, -1}};
+}
+
+PenaltyScheme PenaltyScheme::loose() {
+  return {"Loose", {+4, +3, +2, +1, 0, -1, -2}};
+}
+
+PenaltyScheme PenaltyScheme::strict() {
+  return {"Strict", {+10, +6, +3, +1, 0, -1, -1}};
+}
+
+PenaltyTable::PenaltyTable(PenaltyConfig config) : config_(std::move(config)) {
+  if (config_.max_penalty <= config_.drop_thresh) {
+    throw std::invalid_argument("PenaltyTable: max_penalty <= drop_thresh");
+  }
+}
+
+double PenaltyTable::drop_percent(double penalty) const noexcept {
+  if (penalty < config_.drop_thresh) return 0.0;
+  switch (config_.curve) {
+    case DropCurve::kLinear: {
+      const double p = (penalty - config_.drop_thresh) /
+                       (config_.max_penalty - config_.drop_thresh);
+      return std::clamp(p, 0.0, 1.0);
+    }
+    case DropCurve::kSigmoid: {
+      // Centered halfway between thresh and max; ~0.995 cap at max keeps a
+      // sliver of acceptance so a reformed device can eventually recover.
+      const double mid =
+          (config_.drop_thresh + config_.max_penalty) / 2.0;
+      const double scale =
+          (config_.max_penalty - config_.drop_thresh) / 10.0;
+      return 1.0 / (1.0 + std::exp(-(penalty - mid) / scale));
+    }
+  }
+  return 0.0;
+}
+
+bool PenaltyTable::should_drop(DeviceId device, util::Xoshiro256& rng) const {
+  const auto it = scores_.find(device);
+  if (it == scores_.end()) return false;
+  if (it->second >= config_.max_penalty &&
+      config_.curve == DropCurve::kLinear) {
+    return true;  // blacklisted: always ignore
+  }
+  const double p = drop_percent(it->second);
+  return p > 0.0 && rng.bernoulli(p);
+}
+
+void PenaltyTable::record_result(DeviceId device, int checks_passed) {
+  if (checks_passed < 0 ||
+      checks_passed >= static_cast<int>(config_.scheme.points.size())) {
+    throw std::out_of_range("PenaltyTable: checks_passed out of range");
+  }
+  double& score = scores_[device];
+  score = std::max(0.0, score + config_.scheme.points[checks_passed]);
+}
+
+double PenaltyTable::score(DeviceId device) const {
+  const auto it = scores_.find(device);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+bool PenaltyTable::is_delinquent(DeviceId device) const {
+  return score(device) >= config_.drop_thresh;
+}
+
+bool PenaltyTable::is_blacklisted(DeviceId device) const {
+  return score(device) >= config_.max_penalty;
+}
+
+}  // namespace cadet

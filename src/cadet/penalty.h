@@ -1,0 +1,72 @@
+// Penalty table (paper §IV-A, Fig. 5, Eq. 2, Table I).
+//
+// Every upload's sanity-check outcome adjusts the uploader's penalty score
+// per the active scheme. Scores in [0, drop_thresh) are trusted; in
+// [drop_thresh, max_penalty) packets are randomly ignored with probability
+// drop_percent (ignored packets give the device no chance to redeem points
+// — it "must always play fair"); at max_penalty the device is blacklisted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cadet/config.h"
+#include "util/rng.h"
+
+namespace cadet {
+
+/// Points applied for each possible number of sanity checks passed (0..6).
+struct PenaltyScheme {
+  std::string name;
+  std::array<double, 7> points;
+
+  static PenaltyScheme base();    // Table I "CADET Base"
+  static PenaltyScheme loose();   // Table I "Loose"
+  static PenaltyScheme strict();  // Table I "Strict"
+};
+
+/// Shape of the drop-probability curve between drop_thresh and max_penalty.
+enum class DropCurve {
+  kLinear,   // Eq. 2: (p - thresh) / (max - thresh)
+  kSigmoid,  // §IV-A alternative that avoids a hard 100 % rate
+};
+
+struct PenaltyConfig {
+  PenaltyScheme scheme = PenaltyScheme::base();
+  double drop_thresh = kDropThresh;
+  double max_penalty = kMaxPenalty;
+  DropCurve curve = DropCurve::kLinear;
+};
+
+class PenaltyTable {
+ public:
+  using DeviceId = std::uint32_t;
+
+  explicit PenaltyTable(PenaltyConfig config = {});
+
+  /// Probability that an incoming packet from a device at score `penalty`
+  /// is ignored.
+  double drop_percent(double penalty) const noexcept;
+
+  /// Decide whether to ignore an incoming packet from `device` *before*
+  /// inspecting it (Fig. 2 upstream step 2).
+  bool should_drop(DeviceId device, util::Xoshiro256& rng) const;
+
+  /// Apply the scheme for an upload that passed `checks_passed` of the 6
+  /// sanity checks. Scores floor at zero.
+  void record_result(DeviceId device, int checks_passed);
+
+  double score(DeviceId device) const;
+  bool is_delinquent(DeviceId device) const;
+  bool is_blacklisted(DeviceId device) const;
+
+  const PenaltyConfig& config() const noexcept { return config_; }
+
+ private:
+  PenaltyConfig config_;
+  std::unordered_map<DeviceId, double> scores_;
+};
+
+}  // namespace cadet

@@ -1,0 +1,69 @@
+#include "cadet/registration.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace cadet {
+
+SharedKey derive_key(const crypto::X25519Key& shared_secret,
+                     util::BytesView label) {
+  static constexpr std::uint8_t kSalt[] = {'C', 'A', 'D', 'E', 'T'};
+  const util::Bytes okm =
+      crypto::hkdf(util::BytesView(kSalt, sizeof(kSalt)),
+                   util::BytesView(shared_secret.data(), shared_secret.size()),
+                   label, 32);
+  SharedKey key;
+  std::memcpy(key.data(), okm.data(), key.size());
+  return key;
+}
+
+Nonce nonce_add(const Nonce& nonce, std::uint64_t k) noexcept {
+  Nonce out;
+  const std::uint64_t value = util::get_u64_be(nonce.data()) + k;
+  util::put_u64_be(out.data(), value);
+  return out;
+}
+
+std::array<std::uint8_t, 32> token_hash(const Token& token,
+                                        std::int64_t window) noexcept {
+  crypto::Sha256 h;
+  h.update(token);
+  std::uint8_t w[8];
+  util::put_u64_be(w, static_cast<std::uint64_t>(window));
+  h.update(util::BytesView(w, 8));
+  return h.finish();
+}
+
+std::int64_t token_window(util::SimTime now) noexcept {
+  return now / kTokenWindow;
+}
+
+Token make_token(crypto::Csprng& rng) {
+  return rng.array<32>();
+}
+
+crypto::X25519KeyPair make_keypair(crypto::Csprng& rng) {
+  const auto seed = rng.array<32>();
+  return crypto::X25519KeyPair::from_seed(seed);
+}
+
+util::Bytes encode_reg_request(const crypto::X25519Key& pub,
+                               const Nonce& nonce) {
+  util::Bytes out;
+  out.reserve(pub.size() + nonce.size());
+  out.insert(out.end(), pub.begin(), pub.end());
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  return out;
+}
+
+std::optional<RegRequest> decode_reg_request(util::BytesView payload) {
+  if (payload.size() != 40) return std::nullopt;
+  RegRequest out;
+  std::memcpy(out.pub.data(), payload.data(), 32);
+  std::memcpy(out.nonce.data(), payload.data() + 32, 8);
+  return out;
+}
+
+}  // namespace cadet

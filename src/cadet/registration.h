@@ -1,0 +1,64 @@
+// Registration primitives shared by the client/edge/server engines
+// (paper §V, Fig. 7): X25519 key agreement with HKDF key derivation,
+// nonce-increment confirmation, and the client token scheme that lets a
+// constrained client rebind to any edge without a second key exchange.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/csprng.h"
+#include "crypto/x25519.h"
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace cadet {
+
+using SharedKey = std::array<std::uint8_t, 32>;
+using Token = std::array<std::uint8_t, 32>;
+using Nonce = std::array<std::uint8_t, 8>;
+
+/// Reregistration token hashes are bound to a coarse time window so a
+/// captured hash cannot be replayed indefinitely (h(T) with T = (token,
+/// current time), paper §V-C). Servers accept the current and previous
+/// window to absorb clock skew and transit time.
+inline constexpr util::SimTime kTokenWindow = 60 * util::kSecond;
+
+/// Derive a link key from an X25519 shared secret.
+/// `label` domain-separates edge-server ("cadet/esk"), client-server
+/// ("cadet/csk"), and client-edge ("cadet/cek") keys.
+SharedKey derive_key(const crypto::X25519Key& shared_secret,
+                     util::BytesView label);
+
+inline constexpr std::uint8_t kLabelEsk[] = {'c','a','d','e','t','/','e','s','k'};
+inline constexpr std::uint8_t kLabelCsk[] = {'c','a','d','e','t','/','c','s','k'};
+
+/// nonce + k as a big-endian 64-bit counter (the n+1 / n+2 confirmations).
+Nonce nonce_add(const Nonce& nonce, std::uint64_t k) noexcept;
+
+/// h(T): SHA-256 of token || window index.
+std::array<std::uint8_t, 32> token_hash(const Token& token,
+                                        std::int64_t window) noexcept;
+
+/// Window index for a timestamp.
+std::int64_t token_window(util::SimTime now) noexcept;
+
+/// Fresh random token.
+Token make_token(crypto::Csprng& rng);
+
+/// Fresh X25519 keypair from the CSPRNG.
+crypto::X25519KeyPair make_keypair(crypto::Csprng& rng);
+
+// -------- fixed-layout payload fragments (offset-based codecs) --------
+
+/// pub(32) || nonce(8) — EdgeRegReq / ClientInitReq.
+util::Bytes encode_reg_request(const crypto::X25519Key& pub,
+                               const Nonce& nonce);
+struct RegRequest {
+  crypto::X25519Key pub;
+  Nonce nonce;
+};
+std::optional<RegRequest> decode_reg_request(util::BytesView payload);
+
+}  // namespace cadet

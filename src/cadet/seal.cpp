@@ -1,0 +1,39 @@
+#include "cadet/seal.h"
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+
+namespace cadet {
+
+util::Bytes seal(util::BytesView key, util::BytesView plaintext,
+                 crypto::Csprng& rng) {
+  util::Bytes out(kSealNonceBytes);
+  rng.generate(out);
+
+  util::Bytes ct =
+      crypto::ChaCha20::crypt(key, util::BytesView(out.data(), kSealNonceBytes),
+                              plaintext);
+  util::append(out, ct);
+
+  const auto tag = crypto::hmac_sha256(key, out);
+  out.insert(out.end(), tag.begin(), tag.begin() + kSealTagBytes);
+  return out;
+}
+
+std::optional<util::Bytes> open(util::BytesView key, util::BytesView sealed) {
+  if (sealed.size() < kSealOverhead) return std::nullopt;
+  const std::size_t ct_end = sealed.size() - kSealTagBytes;
+  const auto expected = crypto::hmac_sha256(
+      key, util::BytesView(sealed.data(), ct_end));
+  if (!util::ct_equal(
+          util::BytesView(expected.data(), kSealTagBytes),
+          util::BytesView(sealed.data() + ct_end, kSealTagBytes))) {
+    return std::nullopt;
+  }
+  return crypto::ChaCha20::crypt(
+      key, util::BytesView(sealed.data(), kSealNonceBytes),
+      util::BytesView(sealed.data() + kSealNonceBytes,
+                      ct_end - kSealNonceBytes));
+}
+
+}  // namespace cadet

@@ -1,0 +1,30 @@
+// Authenticated sealing of packet payloads on secured links.
+//
+// The paper writes E(d, k) for payload encryption; this implementation uses
+// ChaCha20 with a random 12-byte nonce plus a truncated HMAC-SHA256 tag,
+// giving integrity on top of confidentiality (an eavesdropping-only model
+// per §VI-D1, but tamper detection costs 16 bytes and removes a footgun).
+//
+// Wire layout: nonce(12) || ciphertext || tag(16)
+//   tag = HMAC-SHA256(key, nonce || ciphertext)[0..16)
+#pragma once
+
+#include <optional>
+
+#include "crypto/csprng.h"
+#include "util/bytes.h"
+
+namespace cadet {
+
+inline constexpr std::size_t kSealNonceBytes = 12;
+inline constexpr std::size_t kSealTagBytes = 16;
+inline constexpr std::size_t kSealOverhead = kSealNonceBytes + kSealTagBytes;
+
+/// Seal `plaintext` under `key` (32 bytes), drawing the nonce from `rng`.
+util::Bytes seal(util::BytesView key, util::BytesView plaintext,
+                 crypto::Csprng& rng);
+
+/// Open a sealed buffer; std::nullopt if too short or the tag fails.
+std::optional<util::Bytes> open(util::BytesView key, util::BytesView sealed);
+
+}  // namespace cadet

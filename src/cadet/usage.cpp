@@ -1,0 +1,74 @@
+#include "cadet/usage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cadet {
+
+namespace {
+
+/// Median of a scratch vector (sorts in place).
+double median_of(std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::sort(values.begin(), values.end());
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// Consistency factor making MAD estimate sigma for normal data.
+constexpr double kMadToSigma = 1.4826;
+
+}  // namespace
+
+UsageTracker::UsageTracker(double decay, double sigma_threshold)
+    : decay_(decay), sigma_threshold_(sigma_threshold) {}
+
+void UsageTracker::decay_all() {
+  ++steps_;
+  for (auto& [id, score] : scores_) score *= decay_;
+}
+
+void UsageTracker::record(DeviceId device, double usage) {
+  decay_all();
+  scores_[device] += usage;
+}
+
+void UsageTracker::tick() { decay_all(); }
+
+double UsageTracker::score(DeviceId device) const {
+  const auto it = scores_.find(device);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+double UsageTracker::heavy_threshold() const {
+  if (scores_.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(scores_.size());
+  for (const auto& [id, score] : scores_) values.push_back(score);
+  const double median = median_of(values);
+  std::vector<double> deviations = values;
+  for (double& v : deviations) v = std::fabs(v - median);
+  const double mad = median_of(deviations);
+  double scale = kMadToSigma * mad;
+  if (scale == 0.0) {
+    // Degenerate MAD (majority of scores identical, e.g. an idle network):
+    // fall back to the classical standard deviation so a single spike is
+    // still judged against *some* spread rather than a zero threshold.
+    double mean = 0.0;
+    for (const double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double m2 = 0.0;
+    for (const double v : values) m2 += (v - mean) * (v - mean);
+    scale = std::sqrt(m2 / static_cast<double>(values.size()));
+  }
+  return median + sigma_threshold_ * scale;
+}
+
+bool UsageTracker::is_heavy(DeviceId device) const {
+  const double threshold = heavy_threshold();
+  return threshold > 0.0 && score(device) > threshold;
+}
+
+void UsageTracker::track(DeviceId device) { scores_.emplace(device, 0.0); }
+
+}  // namespace cadet

@@ -1,0 +1,40 @@
+// ChaCha20 stream cipher (RFC 8439). Encrypts registration payloads and
+// entropy deliveries on secured links, and is the output function of the
+// CSPRNG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  ChaCha20(util::BytesView key, util::BytesView nonce,
+           std::uint32_t initial_counter = 0);
+
+  /// XOR the keystream into the buffer in place (encrypt == decrypt).
+  void crypt(std::span<std::uint8_t> data) noexcept;
+
+  /// Produce `out.size()` bytes of raw keystream.
+  void keystream(std::span<std::uint8_t> out) noexcept;
+
+  /// One-shot encryption/decryption convenience.
+  static util::Bytes crypt(util::BytesView key, util::BytesView nonce,
+                           util::BytesView data,
+                           std::uint32_t initial_counter = 0);
+
+ private:
+  void next_block() noexcept;
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // forces generation on first use
+};
+
+}  // namespace cadet::crypto

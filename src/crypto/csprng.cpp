@@ -1,0 +1,57 @@
+#include "crypto/csprng.h"
+
+#include <cstring>
+
+namespace cadet::crypto {
+
+Csprng::Csprng(util::BytesView seed) {
+  const auto digest = Sha256::hash(seed);
+  std::memcpy(key_.data(), digest.data(), key_.size());
+}
+
+Csprng::Csprng(std::uint64_t seed) {
+  std::uint8_t buf[8];
+  util::put_u64_be(buf, seed);
+  const auto digest = Sha256::hash(util::BytesView(buf, 8));
+  std::memcpy(key_.data(), digest.data(), key_.size());
+}
+
+void Csprng::generate(std::span<std::uint8_t> out) {
+  // Each call uses a fresh nonce derived from the call counter, then
+  // ratchets the key forward so past output cannot be reconstructed from
+  // captured state (backtracking resistance, as in Yarrow's generator gate).
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce{};
+  util::put_u64_be(nonce.data() + 4, counter_++);
+  ChaCha20 cipher(key_, nonce);
+  std::memset(out.data(), 0, out.size());
+  cipher.keystream(out);
+  bytes_generated_ += out.size();
+  rekey();
+}
+
+util::Bytes Csprng::bytes(std::size_t n) {
+  util::Bytes out(n);
+  generate(out);
+  return out;
+}
+
+void Csprng::reseed(util::BytesView entropy) {
+  Sha256 h;
+  h.update(key_);
+  h.update(entropy);
+  const auto digest = h.finish();
+  std::memcpy(key_.data(), digest.data(), key_.size());
+  counter_ = 0;
+}
+
+void Csprng::rekey() {
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce{};
+  nonce[0] = 0xff;  // distinct nonce domain from generate()
+  util::put_u64_be(nonce.data() + 4, counter_);
+  ChaCha20 cipher(key_, nonce);
+  std::array<std::uint8_t, 32> next_key{};
+  cipher.keystream(next_key);
+  key_ = next_key;
+}
+
+}  // namespace cadet::crypto

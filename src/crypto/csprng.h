@@ -1,0 +1,54 @@
+// Deterministic CSPRNG (ChaCha20-based DRBG with SHA-256 reseed folding).
+//
+// Serves two roles:
+//  * drives cryptographic choices inside protocol engines (keys, nonces,
+//    tokens) deterministically in simulation, and
+//  * models a device's on-board RNG that can be reseeded from CADET output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+
+class Csprng {
+ public:
+  /// Seed from arbitrary material (hashed into the key).
+  explicit Csprng(util::BytesView seed);
+
+  /// Convenience: seed from a 64-bit value (simulation determinism).
+  explicit Csprng(std::uint64_t seed);
+
+  /// Fill `out` with generator output.
+  void generate(std::span<std::uint8_t> out);
+
+  /// Convenience: n bytes of output.
+  util::Bytes bytes(std::size_t n);
+
+  /// Fixed-size helper for keys/nonces.
+  template <std::size_t N>
+  std::array<std::uint8_t, N> array() {
+    std::array<std::uint8_t, N> out;
+    generate(out);
+    return out;
+  }
+
+  /// Mix new entropy into the key (hash of old key || input).
+  void reseed(util::BytesView entropy);
+
+  /// Total bytes generated since construction (for accounting experiments).
+  std::uint64_t bytes_generated() const noexcept { return bytes_generated_; }
+
+ private:
+  void rekey();
+
+  std::array<std::uint8_t, 32> key_{};
+  std::uint64_t counter_ = 0;  // nonce block counter; rekey() resets it
+  std::uint64_t bytes_generated_ = 0;
+};
+
+}  // namespace cadet::crypto

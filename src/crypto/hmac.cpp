@@ -1,0 +1,71 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cadet::crypto {
+
+Sha256::Digest hmac_sha256(util::BytesView key,
+                           util::BytesView data) noexcept {
+  std::array<std::uint8_t, Sha256::kBlockSize> key_block{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::memcpy(key_block.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad;
+  std::array<std::uint8_t, Sha256::kBlockSize> opad;
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256::Digest hkdf_extract(util::BytesView salt,
+                            util::BytesView ikm) noexcept {
+  return hmac_sha256(salt, ikm);
+}
+
+util::Bytes hkdf_expand(util::BytesView prk, util::BytesView info,
+                        std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  util::Bytes okm;
+  okm.reserve(length);
+  Sha256::Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    util::Bytes block;
+    block.reserve(t_len + info.size() + 1);
+    block.insert(block.end(), t.begin(), t.begin() + t_len);
+    util::append(block, info);
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    t_len = t.size();
+    const std::size_t take = std::min(t_len, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + take);
+  }
+  return okm;
+}
+
+util::Bytes hkdf(util::BytesView salt, util::BytesView ikm,
+                 util::BytesView info, std::size_t length) {
+  const auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace cadet::crypto

@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). HKDF derives the shared keys
+// (esk, csk, cek) from X25519 outputs during CADET registration.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+
+/// HMAC-SHA256 over `data` under `key`.
+Sha256::Digest hmac_sha256(util::BytesView key, util::BytesView data) noexcept;
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256::Digest hkdf_extract(util::BytesView salt,
+                            util::BytesView ikm) noexcept;
+
+/// HKDF-Expand: OKM of `length` bytes (length <= 255*32) from PRK and info.
+util::Bytes hkdf_expand(util::BytesView prk, util::BytesView info,
+                        std::size_t length);
+
+/// Extract-then-expand convenience.
+util::Bytes hkdf(util::BytesView salt, util::BytesView ikm,
+                 util::BytesView info, std::size_t length);
+
+}  // namespace cadet::crypto

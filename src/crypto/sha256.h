@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4). Used by the mixing function's hash fold, HMAC/HKDF,
+// token hashing in client reregistration, and the CSPRNG reseed path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() noexcept { reset(); }
+
+  /// Reset to the initial state; the object can be reused after finish().
+  void reset() noexcept;
+
+  /// Absorb more input.
+  void update(util::BytesView data) noexcept;
+
+  /// Finalize and return the digest. The object must be reset() before reuse.
+  Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Digest hash(util::BytesView data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace cadet::crypto

@@ -1,0 +1,269 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cadet::crypto {
+
+namespace {
+
+// Field element mod p = 2^255 - 19, five 51-bit limbs.
+struct Fe {
+  std::uint64_t v[5];
+};
+
+constexpr std::uint64_t kMask51 = (1ULL << 51) - 1;
+
+Fe fe_zero() { return {{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return {{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+// a - b, with bias added to keep limbs positive. Inputs must be reduced-ish
+// (limbs < 2^52); output limbs < 2^53 pre-carry.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // Add 2*p in limb form to avoid underflow.
+  static constexpr std::uint64_t k2p0 = 0xfffffffffffdaULL;
+  static constexpr std::uint64_t k2pi = 0xffffffffffffeULL;
+  Fe r;
+  r.v[0] = a.v[0] + k2p0 - b.v[0];
+  r.v[1] = a.v[1] + k2pi - b.v[1];
+  r.v[2] = a.v[2] + k2pi - b.v[2];
+  r.v[3] = a.v[3] + k2pi - b.v[3];
+  r.v[4] = a.v[4] + k2pi - b.v[4];
+  return r;
+}
+
+void fe_carry(Fe& r) {
+  for (int i = 0; i < 4; ++i) {
+    r.v[i + 1] += r.v[i] >> 51;
+    r.v[i] &= kMask51;
+  }
+  r.v[0] += 19 * (r.v[4] >> 51);
+  r.v[4] &= kMask51;
+  // One more pass for the limb-0 overflow.
+  r.v[1] += r.v[0] >> 51;
+  r.v[0] &= kMask51;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  using u128 = unsigned __int128;
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                      a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                      b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+                      b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe r;
+  std::uint64_t carry;
+  r.v[0] = (std::uint64_t)t0 & kMask51; carry = (std::uint64_t)(t0 >> 51);
+  t1 += carry;
+  r.v[1] = (std::uint64_t)t1 & kMask51; carry = (std::uint64_t)(t1 >> 51);
+  t2 += carry;
+  r.v[2] = (std::uint64_t)t2 & kMask51; carry = (std::uint64_t)(t2 >> 51);
+  t3 += carry;
+  r.v[3] = (std::uint64_t)t3 & kMask51; carry = (std::uint64_t)(t3 >> 51);
+  t4 += carry;
+  r.v[4] = (std::uint64_t)t4 & kMask51; carry = (std::uint64_t)(t4 >> 51);
+  r.v[0] += carry * 19;
+  r.v[1] += r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_mul_small(const Fe& a, std::uint64_t s) {
+  using u128 = unsigned __int128;
+  u128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = (u128)a.v[i] * s;
+  Fe r;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 5; ++i) {
+    t[i] += carry;
+    r.v[i] = (std::uint64_t)t[i] & kMask51;
+    carry = (std::uint64_t)(t[i] >> 51);
+  }
+  r.v[0] += carry * 19;
+  r.v[1] += r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  return r;
+}
+
+// Conditional swap in constant time: swap a and b iff bit == 1.
+void fe_cswap(Fe& a, Fe& b, std::uint64_t bit) {
+  const std::uint64_t mask = 0 - bit;
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t t = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= t;
+    b.v[i] ^= t;
+  }
+}
+
+// Inversion via Fermat: a^(p-2).
+Fe fe_invert(const Fe& z) {
+  Fe z2 = fe_sq(z);                    // 2
+  Fe z8 = fe_sq(fe_sq(z2));            // 8
+  Fe z9 = fe_mul(z8, z);               // 9
+  Fe z11 = fe_mul(z9, z2);             // 11
+  Fe z22 = fe_sq(z11);                 // 22
+  Fe z_5_0 = fe_mul(z22, z9);          // 2^5 - 2^0
+  Fe t = z_5_0;
+  for (int i = 0; i < 5; ++i) t = fe_sq(t);
+  Fe z_10_0 = fe_mul(t, z_5_0);        // 2^10 - 2^0
+  t = z_10_0;
+  for (int i = 0; i < 10; ++i) t = fe_sq(t);
+  Fe z_20_0 = fe_mul(t, z_10_0);       // 2^20 - 2^0
+  t = z_20_0;
+  for (int i = 0; i < 20; ++i) t = fe_sq(t);
+  Fe z_40_0 = fe_mul(t, z_20_0);       // 2^40 - 2^0
+  t = z_40_0;
+  for (int i = 0; i < 10; ++i) t = fe_sq(t);
+  Fe z_50_0 = fe_mul(t, z_10_0);       // 2^50 - 2^0
+  t = z_50_0;
+  for (int i = 0; i < 50; ++i) t = fe_sq(t);
+  Fe z_100_0 = fe_mul(t, z_50_0);      // 2^100 - 2^0
+  t = z_100_0;
+  for (int i = 0; i < 100; ++i) t = fe_sq(t);
+  Fe z_200_0 = fe_mul(t, z_100_0);     // 2^200 - 2^0
+  t = z_200_0;
+  for (int i = 0; i < 50; ++i) t = fe_sq(t);
+  Fe z_250_0 = fe_mul(t, z_50_0);      // 2^250 - 2^0
+  t = z_250_0;
+  for (int i = 0; i < 5; ++i) t = fe_sq(t);
+  return fe_mul(t, z11);               // 2^255 - 21 = p - 2
+}
+
+Fe fe_from_bytes(const std::uint8_t* in) {
+  auto load64 = [](const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  };
+  Fe r;
+  r.v[0] = load64(in) & kMask51;
+  r.v[1] = (load64(in + 6) >> 3) & kMask51;
+  r.v[2] = (load64(in + 12) >> 6) & kMask51;
+  r.v[3] = (load64(in + 19) >> 1) & kMask51;
+  r.v[4] = (load64(in + 24) >> 12) & kMask51;  // top bit of in[31] masked
+  return r;
+}
+
+void fe_to_bytes(std::uint8_t* out, Fe f) {
+  fe_carry(f);
+  fe_carry(f);
+  // Fully reduce: subtract p if f >= p, in constant time.
+  // Compute f + 19, and check whether that carries past 2^255.
+  Fe g = f;
+  g.v[0] += 19;
+  for (int i = 0; i < 4; ++i) {
+    g.v[i + 1] += g.v[i] >> 51;
+    g.v[i] &= kMask51;
+  }
+  const std::uint64_t carry = g.v[4] >> 51;  // 1 iff f >= p
+  g.v[4] &= kMask51;
+  const std::uint64_t mask = 0 - carry;
+  for (int i = 0; i < 5; ++i) {
+    f.v[i] = (f.v[i] & ~mask) | (g.v[i] & mask);
+  }
+
+  std::uint64_t packed[4];
+  packed[0] = f.v[0] | (f.v[1] << 51);
+  packed[1] = (f.v[1] >> 13) | (f.v[2] << 38);
+  packed[2] = (f.v[2] >> 26) | (f.v[3] << 25);
+  packed[3] = (f.v[3] >> 39) | (f.v[4] << 12);
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out[8 * i + b] = static_cast<std::uint8_t>(packed[i] >> (8 * b));
+    }
+  }
+}
+
+constexpr std::uint64_t kA24 = 121665;
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) noexcept {
+  // Clamp the scalar per RFC 7748.
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  const Fe x1 = fe_from_bytes(point.data());
+  Fe x2 = fe_one(), z2 = fe_zero();
+  Fe x3 = x1, z3 = fe_one();
+  std::uint64_t swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const std::uint64_t k_t = (e[t >> 3] >> (t & 7)) & 1;
+    swap ^= k_t;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = k_t;
+
+    Fe a = fe_add(x2, z2);
+    Fe aa = fe_sq(a);
+    Fe b = fe_sub(x2, z2);
+    Fe bb = fe_sq(b);
+    Fe e_ = fe_sub(aa, bb);
+    Fe c = fe_add(x3, z3);
+    Fe d = fe_sub(x3, z3);
+    Fe da = fe_mul(d, a);
+    Fe cb = fe_mul(c, b);
+    Fe t0 = fe_add(da, cb);
+    x3 = fe_sq(t0);
+    Fe t1 = fe_sub(da, cb);
+    z3 = fe_mul(x1, fe_sq(t1));
+    x2 = fe_mul(aa, bb);
+    Fe t2 = fe_mul_small(e_, kA24);
+    z2 = fe_mul(e_, fe_add(aa, t2));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const Fe out_fe = fe_mul(x2, fe_invert(z2));
+  X25519Key out;
+  fe_to_bytes(out.data(), out_fe);
+  return out;
+}
+
+X25519Key x25519_public(const X25519Key& private_key) noexcept {
+  X25519Key basepoint{};
+  basepoint[0] = 9;
+  return x25519(private_key, basepoint);
+}
+
+X25519KeyPair X25519KeyPair::from_seed(util::BytesView seed32) {
+  if (seed32.size() != 32) {
+    throw std::invalid_argument("X25519KeyPair: seed must be 32 bytes");
+  }
+  X25519KeyPair kp;
+  std::memcpy(kp.private_key.data(), seed32.data(), 32);
+  kp.public_key = x25519_public(kp.private_key);
+  return kp;
+}
+
+X25519Key X25519KeyPair::shared_secret(
+    const X25519Key& peer_public) const noexcept {
+  return x25519(private_key, peer_public);
+}
+
+}  // namespace cadet::crypto

@@ -1,0 +1,34 @@
+// X25519 Diffie-Hellman (RFC 7748) over Curve25519, implemented with 51-bit
+// limbs. This is the key-exchange primitive the paper uses for edge
+// registration and client initialization (curve25519, per §VI-D1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+
+using X25519Key = std::array<std::uint8_t, 32>;
+
+/// Scalar multiplication: out = scalar * point (u-coordinate form).
+/// The scalar is clamped per RFC 7748.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) noexcept;
+
+/// Public key from private scalar: scalar * basepoint (u = 9).
+X25519Key x25519_public(const X25519Key& private_key) noexcept;
+
+/// An ECDH keypair plus shared-secret computation.
+struct X25519KeyPair {
+  X25519Key private_key{};
+  X25519Key public_key{};
+
+  /// Generate from 32 bytes of random material.
+  static X25519KeyPair from_seed(util::BytesView seed32);
+
+  /// Shared secret with a peer's public key.
+  X25519Key shared_secret(const X25519Key& peer_public) const noexcept;
+};
+
+}  // namespace cadet::crypto

@@ -1,0 +1,83 @@
+#include "entropy/estimator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace cadet::entropy {
+
+namespace {
+// 99 % two-sided normal quantile used by SP800-90B's MCV bound.
+constexpr double kZ99 = 2.576;
+}  // namespace
+
+double mcv_min_entropy_per_byte(util::BytesView data) {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (const std::uint8_t byte : data) ++counts[byte];
+  const double n = static_cast<double>(data.size());
+  const double p_hat =
+      static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+      n;
+  const double p_upper =
+      std::min(1.0, p_hat + kZ99 * std::sqrt(p_hat * (1.0 - p_hat) / n));
+  return std::clamp(-std::log2(p_upper), 0.0, 8.0);
+}
+
+double markov_min_entropy_per_bit(const util::BitView& bits) {
+  const std::size_t n = bits.size();
+  if (n < 2) return 0.0;
+
+  // Initial-state probabilities with the MCV-style confidence bound.
+  const double ones = static_cast<double>(bits.popcount());
+  const double dn = static_cast<double>(n);
+  const double p1_hat = ones / dn;
+  auto bound = [&](double p, double samples) {
+    if (samples <= 0.0) return 1.0;
+    return std::min(1.0, p + kZ99 * std::sqrt(p * (1.0 - p) / samples));
+  };
+  const double p1 = bound(p1_hat, dn);
+  const double p0 = bound(1.0 - p1_hat, dn);
+
+  // Transition counts.
+  double c[2][2] = {{0, 0}, {0, 0}};
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ++c[bits[i]][bits[i + 1]];
+  }
+  double t[2][2];
+  for (int a = 0; a < 2; ++a) {
+    const double row = c[a][0] + c[a][1];
+    for (int b = 0; b < 2; ++b) {
+      t[a][b] = row > 0.0 ? bound(c[a][b] / row, row) : 1.0;
+    }
+  }
+
+  // Most probable 128-step path: dynamic program over 2 states with
+  // probabilities in log space.
+  constexpr int kSteps = 128;
+  double best[2] = {std::log2(std::max(p0, 1e-12)),
+                    std::log2(std::max(p1, 1e-12))};
+  for (int step = 1; step < kSteps; ++step) {
+    const double next0 =
+        std::max(best[0] + std::log2(std::max(t[0][0], 1e-12)),
+                 best[1] + std::log2(std::max(t[1][0], 1e-12)));
+    const double next1 =
+        std::max(best[0] + std::log2(std::max(t[0][1], 1e-12)),
+                 best[1] + std::log2(std::max(t[1][1], 1e-12)));
+    best[0] = next0;
+    best[1] = next1;
+  }
+  const double log_p_max = std::max(best[0], best[1]);
+  return std::clamp(-log_p_max / kSteps, 0.0, 1.0);
+}
+
+std::size_t estimate_min_entropy_bits(util::BytesView data) {
+  if (data.size() < 8) return 0;
+  const double per_byte =
+      std::min(mcv_min_entropy_per_byte(data),
+               8.0 * markov_min_entropy_per_bit(util::BitView(data)));
+  return static_cast<std::size_t>(per_byte *
+                                  static_cast<double>(data.size()));
+}
+
+}  // namespace cadet::entropy

@@ -1,0 +1,32 @@
+// Min-entropy estimation (NIST SP800-90B style) for harvested data.
+//
+// The paper's clients credit their pools with a per-source quality guess;
+// these estimators replace the guess with a measurement: the
+// most-common-value estimate over byte symbols and the Markov estimate
+// over the bit sequence, combined conservatively. Estimates are *upper
+// bounds honest about small samples* — a 99 % confidence interval widens
+// the most-common-value probability before taking the log.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitview.h"
+#include "util/bytes.h"
+
+namespace cadet::entropy {
+
+/// Most-common-value estimate: min-entropy per byte symbol in [0, 8].
+/// Uses the SP800-90B upper confidence bound p_u = p + 2.576*sqrt(p(1-p)/n).
+double mcv_min_entropy_per_byte(util::BytesView data);
+
+/// First-order Markov estimate over bits: min-entropy per bit in [0, 1].
+/// Bounds the probability of the most likely 128-bit path through the
+/// measured transition matrix (SP800-90B 6.3.3, binary specialization).
+double markov_min_entropy_per_bit(const util::BitView& bits);
+
+/// Conservative combined estimate of the total min-entropy (in bits)
+/// contained in `data`: n_bytes * min(MCV per-byte, 8 * Markov per-bit).
+/// Returns 0 for inputs too small to estimate (< 8 bytes).
+std::size_t estimate_min_entropy_bits(util::BytesView data);
+
+}  // namespace cadet::entropy

@@ -1,0 +1,86 @@
+#include "entropy/linux_prng.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace cadet::entropy {
+
+namespace {
+
+// The kernel's twist table and tap set for a 128-word pool
+// (drivers/char/random.c, poolinfo for 4096 bits).
+constexpr std::uint32_t kTwistTable[8] = {
+    0x00000000, 0x3b6e20c8, 0x76dc4190, 0x4db26158,
+    0xedb88320, 0xd6d6a3e8, 0x9b64c2b0, 0xa00ae278};
+constexpr std::size_t kTaps[5] = {104, 76, 51, 25, 1};
+
+inline std::uint32_t rotl32(std::uint32_t x, unsigned n) noexcept {
+  return n == 0 ? x : (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+LinuxPrngModel::LinuxPrngModel() = default;
+
+void LinuxPrngModel::mix_word(std::uint32_t word) noexcept {
+  word = rotl32(word, input_rotate_ & 31);
+  // Rotation increment differs at the pool wrap point, as in the kernel.
+  input_rotate_ += (add_ptr_ == 0) ? 14 : 7;
+
+  std::uint32_t w = word;
+  w ^= pool_[add_ptr_];
+  for (const std::size_t tap : kTaps) {
+    w ^= pool_[(add_ptr_ + tap) % kPoolWords];
+  }
+  pool_[add_ptr_] = (w >> 3) ^ kTwistTable[w & 7];
+  add_ptr_ = (add_ptr_ + kPoolWords - 1) % kPoolWords;
+}
+
+void LinuxPrngModel::mix(util::BytesView data) noexcept {
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::uint32_t word = 0;
+    for (int b = 0; b < 4 && i < data.size(); ++b, ++i) {
+      word |= static_cast<std::uint32_t>(data[i]) << (8 * b);
+    }
+    mix_word(word);
+  }
+}
+
+void LinuxPrngModel::add_timer_event(std::uint64_t timestamp_ns) noexcept {
+  const std::uint64_t delta = timestamp_ns - last_timestamp_;
+  last_timestamp_ = timestamp_ns;
+  mix_word(static_cast<std::uint32_t>(timestamp_ns));
+  mix_word(static_cast<std::uint32_t>(delta));
+}
+
+util::Bytes LinuxPrngModel::extract(std::size_t nbytes) {
+  util::Bytes out;
+  out.reserve(nbytes);
+  while (out.size() < nbytes) {
+    // Hash the whole pool with an extraction counter.
+    crypto::Sha256 h;
+    h.update(util::BytesView(reinterpret_cast<const std::uint8_t*>(pool_.data()),
+                             pool_.size() * sizeof(std::uint32_t)));
+    std::uint8_t ctr[8];
+    util::put_u64_be(ctr, extract_counter_++);
+    h.update(util::BytesView(ctr, 8));
+    const auto digest = h.finish();
+
+    // Feed the hash back into the pool (anti-backtracking, as the kernel
+    // does with extract_buf's fold-back).
+    mix(util::BytesView(digest.data(), digest.size() / 2));
+
+    // Fold to 160 bits (the kernel folds SHA-1's 160 to 80; we keep the
+    // 2:1 fold spirit on the front 20 bytes).
+    std::uint8_t folded[10];
+    for (int i = 0; i < 10; ++i) folded[i] = digest[i] ^ digest[i + 10];
+    const std::size_t take =
+        std::min<std::size_t>(sizeof(folded), nbytes - out.size());
+    out.insert(out.end(), folded, folded + take);
+  }
+  return out;
+}
+
+}  // namespace cadet::entropy

@@ -1,0 +1,83 @@
+#include "entropy/pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace cadet::entropy {
+
+EntropyPool::EntropyPool(std::size_t capacity_bits)
+    : capacity_bits_(capacity_bits), state_((capacity_bits + 7) / 8, 0) {
+  if (capacity_bits < 256) {
+    throw std::invalid_argument("EntropyPool: capacity must be >= 256 bits");
+  }
+}
+
+void EntropyPool::stir(util::BytesView data) {
+  // Fold input into the state block-by-block: each 32-byte state block is
+  // replaced by H(block || input_chunk || position). Cheap, position-
+  // dependent, and guarantees every input bit touches the whole pool after
+  // one extract cycle.
+  std::size_t offset = 0;
+  std::size_t block = (extract_counter_ + total_added_) %
+                      (state_.size() / crypto::Sha256::kDigestSize);
+  const std::size_t num_blocks = state_.size() / crypto::Sha256::kDigestSize;
+  while (offset < data.size() || offset == 0) {
+    const std::size_t take = std::min<std::size_t>(
+        data.size() - offset, crypto::Sha256::kDigestSize);
+    crypto::Sha256 h;
+    h.update(util::BytesView(state_.data() + block * crypto::Sha256::kDigestSize,
+                             crypto::Sha256::kDigestSize));
+    h.update(util::BytesView(data.data() + offset, take));
+    std::uint8_t pos[8];
+    util::put_u64_be(pos, block);
+    h.update(util::BytesView(pos, 8));
+    const auto digest = h.finish();
+    std::memcpy(state_.data() + block * crypto::Sha256::kDigestSize,
+                digest.data(), crypto::Sha256::kDigestSize);
+    offset += std::max<std::size_t>(take, 1);
+    block = (block + 1) % num_blocks;
+    if (take == 0) break;
+  }
+}
+
+void EntropyPool::add(util::BytesView data, std::size_t entropy_bits) {
+  stir(data);
+  total_added_ += data.size();
+  available_bits_ = std::min(capacity_bits_, available_bits_ + entropy_bits);
+}
+
+util::Bytes EntropyPool::squeeze(std::size_t nbytes) {
+  util::Bytes out;
+  out.reserve(nbytes);
+  while (out.size() < nbytes) {
+    crypto::Sha256 h;
+    h.update(state_);
+    std::uint8_t ctr[8];
+    util::put_u64_be(ctr, extract_counter_++);
+    h.update(util::BytesView(ctr, 8));
+    const auto digest = h.finish();
+    const std::size_t take =
+        std::min<std::size_t>(digest.size(), nbytes - out.size());
+    out.insert(out.end(), digest.begin(), digest.begin() + take);
+    // Feed the digest back so successive extracts differ and state ratchets.
+    stir(digest);
+  }
+  total_extracted_ += out.size();
+  return out;
+}
+
+util::Bytes EntropyPool::extract(std::size_t nbytes) {
+  const std::size_t backed = std::min(nbytes, available_bits_ / 8);
+  available_bits_ -= backed * 8;
+  return squeeze(backed);
+}
+
+util::Bytes EntropyPool::extract_unchecked(std::size_t nbytes) {
+  const std::size_t backed = std::min(nbytes, available_bits_ / 8);
+  available_bits_ -= backed * 8;
+  starved_bytes_ += nbytes - backed;
+  return squeeze(nbytes);
+}
+
+}  // namespace cadet::entropy

@@ -1,0 +1,65 @@
+// Client-side entropy pool: a fixed-capacity randomness buffer with an
+// entropy-credit counter, modeled on the kernel pools the paper's clients
+// rely on. The paper sizes the edge cache as "4096 bits (the typical size of
+// a client's own randomness buffer)" per client — this is that buffer.
+//
+// Contents are kept well-mixed by hashing on both insert and extract, so a
+// pool that has *ever* held entropy emits statistically random bytes; the
+// credit counter tracks how much true entropy those bytes are backed by.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace cadet::entropy {
+
+class EntropyPool {
+ public:
+  static constexpr std::size_t kDefaultCapacityBits = 4096;
+
+  explicit EntropyPool(std::size_t capacity_bits = kDefaultCapacityBits);
+
+  std::size_t capacity_bits() const noexcept { return capacity_bits_; }
+
+  /// Entropy credit currently available, in bits.
+  std::size_t available_bits() const noexcept { return available_bits_; }
+
+  bool empty() const noexcept { return available_bits_ == 0; }
+  bool full() const noexcept { return available_bits_ >= capacity_bits_; }
+
+  /// Mix `data` into the pool, crediting `entropy_bits` of it as true
+  /// entropy (callers estimate this from the source quality; credit
+  /// saturates at capacity).
+  void add(util::BytesView data, std::size_t entropy_bits);
+
+  /// Extract up to `nbytes` of output, debiting 8 bits of credit per byte.
+  /// Returns fewer bytes (possibly zero) when credit runs short.
+  util::Bytes extract(std::size_t nbytes);
+
+  /// Extract exactly `nbytes`, allowing the credit to go negative-ish:
+  /// output keeps flowing (like /dev/urandom) but available_bits() stays 0.
+  /// `starved_bytes` counts output bytes not backed by credit.
+  util::Bytes extract_unchecked(std::size_t nbytes);
+
+  std::uint64_t starved_bytes() const noexcept { return starved_bytes_; }
+  std::uint64_t total_added_bytes() const noexcept { return total_added_; }
+  std::uint64_t total_extracted_bytes() const noexcept {
+    return total_extracted_;
+  }
+
+ private:
+  void stir(util::BytesView data);
+  util::Bytes squeeze(std::size_t nbytes);
+
+  std::size_t capacity_bits_;
+  std::size_t available_bits_ = 0;
+  std::uint64_t starved_bytes_ = 0;
+  std::uint64_t total_added_ = 0;
+  std::uint64_t total_extracted_ = 0;
+  std::uint64_t extract_counter_ = 0;
+  util::Bytes state_;  // capacity_bits/8 bytes of mixed pool state
+};
+
+}  // namespace cadet::entropy

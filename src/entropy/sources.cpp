@@ -1,0 +1,110 @@
+#include "entropy/sources.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cadet::entropy {
+
+TimerJitterSource::TimerJitterSource(double events_per_second,
+                                     std::size_t bytes_per_event,
+                                     double entropy_per_byte)
+    : events_per_second_(events_per_second),
+      bytes_per_event_(bytes_per_event),
+      entropy_per_byte_(entropy_per_byte) {}
+
+util::SimTime TimerJitterSource::next_interval(util::Xoshiro256& rng) {
+  return util::from_seconds(rng.exponential(1.0 / events_per_second_));
+}
+
+util::Bytes TimerJitterSource::harvest(util::Xoshiro256& rng) {
+  return rng.bytes(bytes_per_event_);
+}
+
+SensorNoiseSource::SensorNoiseSource(double events_per_second,
+                                     std::size_t bytes_per_event,
+                                     double entropy_per_byte)
+    : events_per_second_(events_per_second),
+      bytes_per_event_(bytes_per_event),
+      entropy_per_byte_(entropy_per_byte) {}
+
+util::SimTime SensorNoiseSource::next_interval(util::Xoshiro256& rng) {
+  return util::from_seconds(rng.exponential(1.0 / events_per_second_));
+}
+
+util::Bytes SensorNoiseSource::harvest(util::Xoshiro256& rng) {
+  // Sensor LSB noise: low-order bits random, high-order bits correlated —
+  // callers credit only entropy_per_byte_ bits per byte.
+  util::Bytes out(bytes_per_event_);
+  std::uint8_t walk = static_cast<std::uint8_t>(rng());
+  for (auto& byte : out) {
+    walk = static_cast<std::uint8_t>(walk + static_cast<int>(rng.uniform(5)) - 2);
+    byte = static_cast<std::uint8_t>((walk & 0xf0) |
+                                     (rng() & 0x0f));
+  }
+  return out;
+}
+
+DevUrandomSource::DevUrandomSource(std::size_t bytes_per_event)
+    : bytes_per_event_(bytes_per_event) {}
+
+util::SimTime DevUrandomSource::next_interval(util::Xoshiro256& rng) {
+  (void)rng;
+  return util::from_millis(100);
+}
+
+util::Bytes DevUrandomSource::harvest(util::Xoshiro256& rng) {
+  (void)rng;
+  std::ifstream urandom("/dev/urandom", std::ios::binary);
+  if (!urandom) {
+    throw std::runtime_error("DevUrandomSource: cannot open /dev/urandom");
+  }
+  util::Bytes out(bytes_per_event_);
+  urandom.read(reinterpret_cast<char*>(out.data()),
+               static_cast<std::streamsize>(out.size()));
+  if (urandom.gcount() != static_cast<std::streamsize>(out.size())) {
+    throw std::runtime_error("DevUrandomSource: short read");
+  }
+  return out;
+}
+
+namespace synth {
+
+util::Bytes good(util::Xoshiro256& rng, std::size_t n) {
+  return rng.bytes(n);
+}
+
+util::Bytes biased(util::Xoshiro256& rng, std::size_t n, double p_one) {
+  util::Bytes out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t byte = 0;
+    for (int b = 0; b < 8; ++b) {
+      byte = static_cast<std::uint8_t>((byte << 1) |
+                                       (rng.bernoulli(p_one) ? 1 : 0));
+    }
+    out[i] = byte;
+  }
+  return out;
+}
+
+util::Bytes patterned(std::size_t n, std::uint8_t a, std::uint8_t b) {
+  util::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = (i % 2 == 0) ? a : b;
+  return out;
+}
+
+util::Bytes bad(util::Xoshiro256& rng, std::size_t n) {
+  switch (rng.uniform(3)) {
+    case 0:
+      return biased(rng, n, 0.80);
+    case 1:
+      return biased(rng, n, 0.20);
+    default:
+      // Fixed alternation: balanced bit counts (freq/cusum-blind) but
+      // degenerate run structure, so runs/ApEn catch it.
+      return patterned(n, 0xaa, 0x55);
+  }
+}
+
+}  // namespace synth
+
+}  // namespace cadet::entropy

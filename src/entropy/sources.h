@@ -1,0 +1,109 @@
+// Entropy-source models. The paper's clients harvest randomness from system
+// event timing (IRQs, disk I/O); IoT devices produce it slowly, which is the
+// starvation problem CADET addresses. These models expose production *rate*
+// and *quality* as parameters, plus synthetic-payload generators for the
+// honest/malicious upload behaviours in the Table II / Fig. 10c experiments.
+// A /dev/urandom-backed source supports live (non-simulated) runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace cadet::entropy {
+
+/// A producer of (timestamped) entropy harvest events.
+class EntropySource {
+ public:
+  virtual ~EntropySource() = default;
+
+  /// Time until the next harvest event.
+  virtual util::SimTime next_interval(util::Xoshiro256& rng) = 0;
+
+  /// Bytes captured by one harvest event.
+  virtual util::Bytes harvest(util::Xoshiro256& rng) = 0;
+
+  /// Estimated true-entropy content, bits per harvested byte (<= 8).
+  virtual double entropy_per_byte() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Interrupt/disk timing jitter: small frequent events, conservative
+/// entropy estimate. Defaults model an idle IoT device (~16 bytes/s).
+class TimerJitterSource final : public EntropySource {
+ public:
+  TimerJitterSource(double events_per_second = 8.0,
+                    std::size_t bytes_per_event = 2,
+                    double entropy_per_byte = 4.0);
+
+  util::SimTime next_interval(util::Xoshiro256& rng) override;
+  util::Bytes harvest(util::Xoshiro256& rng) override;
+  double entropy_per_byte() const override { return entropy_per_byte_; }
+  std::string name() const override { return "timer-jitter"; }
+
+ private:
+  double events_per_second_;
+  std::size_t bytes_per_event_;
+  double entropy_per_byte_;
+};
+
+/// On-board sensor noise (paper cites sensor-based RNG as prior work):
+/// bursty, higher volume per event, lower per-byte entropy.
+class SensorNoiseSource final : public EntropySource {
+ public:
+  SensorNoiseSource(double events_per_second = 1.0,
+                    std::size_t bytes_per_event = 32,
+                    double entropy_per_byte = 2.0);
+
+  util::SimTime next_interval(util::Xoshiro256& rng) override;
+  util::Bytes harvest(util::Xoshiro256& rng) override;
+  double entropy_per_byte() const override { return entropy_per_byte_; }
+  std::string name() const override { return "sensor-noise"; }
+
+ private:
+  double events_per_second_;
+  std::size_t bytes_per_event_;
+  double entropy_per_byte_;
+};
+
+/// Live source reading the kernel CSPRNG; used by the UDP examples where
+/// the host actually has entropy to contribute.
+class DevUrandomSource final : public EntropySource {
+ public:
+  explicit DevUrandomSource(std::size_t bytes_per_event = 32);
+
+  util::SimTime next_interval(util::Xoshiro256& rng) override;
+  util::Bytes harvest(util::Xoshiro256& rng) override;
+  double entropy_per_byte() const override { return 8.0; }
+  std::string name() const override { return "dev-urandom"; }
+
+ private:
+  std::size_t bytes_per_event_;
+};
+
+/// Synthetic payload generators for experiment workloads.
+namespace synth {
+
+/// Statistically random bytes (honest upload).
+util::Bytes good(util::Xoshiro256& rng, std::size_t n);
+
+/// Bits drawn Bernoulli(p_one) — biased data that fails frequency-family
+/// checks when p_one is far from 0.5.
+util::Bytes biased(util::Xoshiro256& rng, std::size_t n, double p_one);
+
+/// Repeating byte pattern — fails runs/ApEn checks.
+util::Bytes patterned(std::size_t n, std::uint8_t a = 0xaa,
+                      std::uint8_t b = 0x55);
+
+/// "Bad" data as used in the paper's misbehaving-client experiments:
+/// a random draw between heavy bias and short patterns.
+util::Bytes bad(util::Xoshiro256& rng, std::size_t n);
+
+}  // namespace synth
+
+}  // namespace cadet::entropy

@@ -1,0 +1,77 @@
+#include "entropy/yarrow.h"
+
+#include <algorithm>
+
+namespace cadet::entropy {
+
+ServerEntropyPool::ServerEntropyPool(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+void ServerEntropyPool::push(util::BytesView bytes) {
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  while (data_.size() > capacity_) data_.pop_front();
+}
+
+util::Bytes ServerEntropyPool::pop(std::size_t n) {
+  const std::size_t take = std::min(n, data_.size());
+  util::Bytes out(data_.begin(), data_.begin() + static_cast<long>(take));
+  data_.erase(data_.begin(), data_.begin() + static_cast<long>(take));
+  return out;
+}
+
+util::Bytes ServerEntropyPool::peek(std::size_t n) const {
+  const std::size_t take = std::min(n, data_.size());
+  return util::Bytes(data_.begin(), data_.begin() + static_cast<long>(take));
+}
+
+YarrowMixer::YarrowMixer(ServerEntropyPool& pool, const YarrowConfig& config)
+    : pool_(pool), config_(config) {}
+
+void YarrowMixer::add_input(util::BytesView data) {
+  ++input_counter_;
+  const bool to_slow = (input_counter_ % config_.slow_divert_every) == 0;
+  util::Bytes& target = to_slow ? slow_pool_ : fast_pool_;
+  util::append(target, data);
+
+  if (fast_pool_.size() >= config_.fast_pool_threshold) fold(fast_pool_);
+  if (slow_pool_.size() >= config_.slow_pool_threshold) fold(slow_pool_);
+}
+
+void YarrowMixer::flush() {
+  if (!fast_pool_.empty()) fold(fast_pool_);
+  if (!slow_pool_.empty()) fold(slow_pool_);
+}
+
+void YarrowMixer::fold(util::Bytes& accumulator) {
+  // (3) concatenate accumulated input with the oldest stored bytes,
+  // (4) hash, (5) reinsert at the tail — numbers per Fig. 6.
+  const util::Bytes oldest = pool_.pop(config_.fold_history_bytes);
+
+  // Hash in counter-extended blocks so a fold yields as many output bytes
+  // as the entropy it consumed (a plain 32-byte digest would throttle the
+  // pool's fill rate below client demand).
+  const std::size_t out_target =
+      std::max<std::size_t>(accumulator.size() + oldest.size(),
+                            crypto::Sha256::kDigestSize);
+  util::Bytes mixed;
+  mixed.reserve(out_target);
+  std::uint64_t block = 0;
+  while (mixed.size() < out_target) {
+    crypto::Sha256 h;
+    h.update(accumulator);
+    h.update(oldest);
+    std::uint8_t ctr[8];
+    util::put_u64_be(ctr, block++);
+    h.update(util::BytesView(ctr, 8));
+    const auto digest = h.finish();
+    ++hash_ops_;
+    const std::size_t take =
+        std::min<std::size_t>(digest.size(), out_target - mixed.size());
+    mixed.insert(mixed.end(), digest.begin(), digest.begin() + take);
+  }
+  pool_.push(mixed);
+  accumulator.clear();
+  ++folds_;
+}
+
+}  // namespace cadet::entropy

@@ -1,0 +1,80 @@
+// The CADET server-tier mixing function (paper §IV-B, Fig. 6), modeled on
+// Yarrow-160's two-pool accumulator:
+//
+//   input → [fast pool | slow pool] → (pool full) → concat with the oldest
+//   bytes of the server entropy pool → hash → reinsert at the pool tail.
+//
+// Most input lands in the fast pool; every k-th contribution is diverted to
+// the slow pool, which is larger and therefore folds over longer horizons.
+// Combining with the oldest stored bytes mixes data that is not temporally
+// local, keeping pool predictability low even under partially known input.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace cadet::entropy {
+
+/// FIFO byte store backing a server node. Mixed data enters at the tail;
+/// client requests and mixing-function folds consume from the head.
+class ServerEntropyPool {
+ public:
+  explicit ServerEntropyPool(std::size_t capacity_bytes = 1 << 20);
+
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Append at the tail; oldest bytes are evicted beyond capacity.
+  void push(util::BytesView bytes);
+
+  /// Pop up to n of the oldest bytes.
+  util::Bytes pop(std::size_t n);
+
+  /// Copy (without consuming) up to n of the oldest bytes — the quality
+  /// check inspects the pool without draining it.
+  util::Bytes peek(std::size_t n) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::uint8_t> data_;
+};
+
+struct YarrowConfig {
+  std::size_t fast_pool_threshold = 64;   // bytes before a fast fold
+  std::size_t slow_pool_threshold = 128;  // bytes before a slow fold
+  std::size_t slow_divert_every = 8;      // every k-th input goes slow
+  std::size_t fold_history_bytes = 32;    // oldest pool bytes mixed per fold
+};
+
+class YarrowMixer {
+ public:
+  explicit YarrowMixer(ServerEntropyPool& pool,
+                       const YarrowConfig& config = {});
+
+  /// Feed one client/edge contribution into the accumulator pools.
+  void add_input(util::BytesView data);
+
+  /// Force-fold any partially filled accumulators into the pool (used at
+  /// shutdown/snapshot points so no contribution is stranded).
+  void flush();
+
+  std::uint64_t folds_performed() const noexcept { return folds_; }
+  std::uint64_t hash_operations() const noexcept { return hash_ops_; }
+
+ private:
+  void fold(util::Bytes& accumulator);
+
+  ServerEntropyPool& pool_;
+  YarrowConfig config_;
+  util::Bytes fast_pool_;
+  util::Bytes slow_pool_;
+  std::uint64_t input_counter_ = 0;
+  std::uint64_t folds_ = 0;
+  std::uint64_t hash_ops_ = 0;
+};
+
+}  // namespace cadet::entropy

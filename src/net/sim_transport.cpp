@@ -1,0 +1,66 @@
+#include "net/sim_transport.h"
+
+#include "util/log.h"
+
+namespace cadet::net {
+
+SimTransport::SimTransport(sim::Simulator& simulator, std::uint64_t seed)
+    : simulator_(simulator), rng_(seed), default_profile_(sim::testbed_lan()) {}
+
+void SimTransport::set_default_profile(const sim::LatencyProfile& profile) {
+  default_profile_ = profile;
+}
+
+void SimTransport::set_link_profile(NodeId from, NodeId to,
+                                    const sim::LatencyProfile& profile) {
+  link_profiles_[{from, to}] = profile;
+}
+
+const sim::LatencyProfile& SimTransport::profile_for(NodeId from,
+                                                     NodeId to) const {
+  const auto it = link_profiles_.find({from, to});
+  return it != link_profiles_.end() ? it->second : default_profile_;
+}
+
+void SimTransport::send(NodeId from, NodeId to, util::Bytes data) {
+  auto& from_counters = counters_[from];
+  ++from_counters.packets_sent;
+  from_counters.bytes_sent += data.size();
+  ++total_packets_;
+
+  const auto& profile = profile_for(from, to);
+  if (profile.dropped(rng_)) {
+    ++dropped_packets_;
+    return;
+  }
+  const util::SimTime delay = profile.sample(rng_, data.size());
+  simulator_.schedule(
+      delay, [this, from, to, payload = std::move(data)]() {
+        auto& to_counters = counters_[to];
+        ++to_counters.packets_received;
+        to_counters.bytes_received += payload.size();
+        const auto it = handlers_.find(to);
+        if (it == handlers_.end()) {
+          CADET_LOG_DEBUG << "SimTransport: dropping packet to unbound node "
+                          << to;
+          return;
+        }
+        it->second(from, payload, simulator_.now());
+      });
+}
+
+void SimTransport::set_handler(NodeId id, PacketHandler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+const SimTransport::NodeCounters& SimTransport::counters(NodeId id) const {
+  return counters_[id];  // default-constructs zeros for unseen nodes
+}
+
+void SimTransport::reset_counters() {
+  counters_.clear();
+  total_packets_ = 0;
+  dropped_packets_ = 0;
+}
+
+}  // namespace cadet::net

@@ -1,0 +1,56 @@
+// Transport implementation over the discrete-event simulator. Latency per
+// directed link comes from a LatencyProfile (default: testbed LAN); packet
+// and byte counters feed the Fig. 10 load-accounting experiments.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "net/transport.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace cadet::net {
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Simulator& simulator, std::uint64_t seed);
+
+  void send(NodeId from, NodeId to, util::Bytes data) override;
+  void set_handler(NodeId id, PacketHandler handler) override;
+
+  /// Latency profile for every link without an explicit override.
+  void set_default_profile(const sim::LatencyProfile& profile);
+
+  /// Override the profile of the directed link from -> to.
+  void set_link_profile(NodeId from, NodeId to,
+                        const sim::LatencyProfile& profile);
+
+  /// Per-node traffic accounting.
+  struct NodeCounters {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+  };
+  const NodeCounters& counters(NodeId id) const;
+  std::uint64_t total_packets() const noexcept { return total_packets_; }
+  std::uint64_t dropped_packets() const noexcept { return dropped_packets_; }
+  void reset_counters();
+
+ private:
+  const sim::LatencyProfile& profile_for(NodeId from, NodeId to) const;
+
+  sim::Simulator& simulator_;
+  util::Xoshiro256 rng_;
+  sim::LatencyProfile default_profile_;
+  std::map<std::pair<NodeId, NodeId>, sim::LatencyProfile> link_profiles_;
+  std::unordered_map<NodeId, PacketHandler> handlers_;
+  mutable std::unordered_map<NodeId, NodeCounters> counters_;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+};
+
+}  // namespace cadet::net

@@ -1,0 +1,45 @@
+// Transport abstraction. CADET protocol engines are sans-IO: they consume
+// decoded packets plus the current time and return send-intents. A Transport
+// moves the bytes — either through the discrete-event simulator
+// (SimTransport) or over real UDP sockets (net/udp.h) — so the same engine
+// code backs both the testbed reproduction and live deployments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace cadet::net {
+
+/// Stable identifier for a protocol participant. In simulation these are
+/// assigned by the topology builder; over UDP they map to host:port entries
+/// in an address book.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = 0xffffffff;
+
+/// A send-intent produced by a protocol engine.
+struct Outgoing {
+  NodeId to = kInvalidNode;
+  util::Bytes data;
+};
+
+/// Delivery callback: (sender, payload, delivery time).
+using PacketHandler =
+    std::function<void(NodeId from, util::BytesView data, util::SimTime now)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queue a datagram from `from` to `to`. Fire-and-forget (UDP semantics:
+  /// the transport may drop it).
+  virtual void send(NodeId from, NodeId to, util::Bytes data) = 0;
+
+  /// Install the delivery handler for a node. Replaces any previous handler.
+  virtual void set_handler(NodeId id, PacketHandler handler) = 0;
+};
+
+}  // namespace cadet::net

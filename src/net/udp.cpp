@@ -1,0 +1,128 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace cadet::net {
+
+namespace {
+
+sockaddr_in make_sockaddr(const UdpAddress& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    throw std::invalid_argument("UdpEndpoint: bad IPv4 address " + addr.host);
+  }
+  return sa;
+}
+
+}  // namespace
+
+UdpEndpoint::UdpEndpoint(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "bind");
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "getsockname");
+  }
+  port_ = ntohs(sa.sin_port);
+}
+
+UdpEndpoint::~UdpEndpoint() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpEndpoint::UdpEndpoint(UdpEndpoint&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+UdpEndpoint& UdpEndpoint::operator=(UdpEndpoint&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+bool UdpEndpoint::send_to(const UdpAddress& dest, util::BytesView data) {
+  const sockaddr_in sa = make_sockaddr(dest);
+  const ssize_t sent =
+      ::sendto(fd_, data.data(), data.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (sent < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+      return false;
+    }
+    throw std::system_error(errno, std::generic_category(), "sendto");
+  }
+  return true;
+}
+
+int UdpEndpoint::drain(const std::function<void(util::BytesView,
+                                                const UdpAddress&)>& on_packet) {
+  int count = 0;
+  std::uint8_t buf[65536];
+  for (;;) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    const ssize_t got = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                                   reinterpret_cast<sockaddr*>(&sa), &len);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "recvfrom");
+    }
+    char host[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &sa.sin_addr, host, sizeof(host));
+    UdpAddress from{host, ntohs(sa.sin_port)};
+    on_packet(util::BytesView(buf, static_cast<std::size_t>(got)), from);
+    ++count;
+  }
+  return count;
+}
+
+bool wait_readable(const std::vector<const UdpEndpoint*>& endpoints,
+                   int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(endpoints.size());
+  for (const auto* ep : endpoints) {
+    fds.push_back(pollfd{ep->fd(), POLLIN, 0});
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0 && errno != EINTR) {
+    throw std::system_error(errno, std::generic_category(), "poll");
+  }
+  return ready > 0;
+}
+
+}  // namespace cadet::net

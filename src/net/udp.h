@@ -1,0 +1,57 @@
+// Real UDP sockets (POSIX, non-blocking) for running CADET live, matching
+// the paper's prototype which "utilizes UDP sockets to facilitate direct
+// exchanges of data" (§VI-A). The examples run a full client/edge/server
+// deployment over loopback with these.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace cadet::net {
+
+struct UdpAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  bool operator==(const UdpAddress&) const = default;
+};
+
+/// One bound UDP socket. Non-copyable; owns the file descriptor.
+class UdpEndpoint {
+ public:
+  /// Create and bind. port == 0 picks an ephemeral port.
+  explicit UdpEndpoint(std::uint16_t port = 0);
+  ~UdpEndpoint();
+
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+  UdpEndpoint(UdpEndpoint&& other) noexcept;
+  UdpEndpoint& operator=(UdpEndpoint&& other) noexcept;
+
+  std::uint16_t local_port() const noexcept { return port_; }
+  int fd() const noexcept { return fd_; }
+
+  /// Send one datagram. Throws std::system_error on hard socket errors;
+  /// transient full-buffer conditions are reported by returning false.
+  bool send_to(const UdpAddress& dest, util::BytesView data);
+
+  /// Drain every datagram currently readable, invoking `on_packet` for
+  /// each. Returns the number of datagrams delivered. Non-blocking.
+  int drain(const std::function<void(util::BytesView data,
+                                     const UdpAddress& from)>& on_packet);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Block until any of the endpoints is readable, up to timeout_ms
+/// (-1 = wait forever). Returns true if at least one became readable.
+bool wait_readable(const std::vector<const UdpEndpoint*>& endpoints,
+                   int timeout_ms);
+
+}  // namespace cadet::net

@@ -1,0 +1,85 @@
+#include "net/udp_runner.h"
+
+namespace cadet::net {
+
+util::SimTime wall_clock_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint16_t UdpRunner::add_node(NodeId id, Handler handler) {
+  auto endpoint = std::make_unique<UdpEndpoint>();
+  const std::uint16_t port = endpoint->local_port();
+  directory_[id] = UdpAddress{"127.0.0.1", port};
+  nodes_.push_back(Node{id, std::move(endpoint), std::move(handler)});
+  return port;
+}
+
+void UdpRunner::add_remote(NodeId id, const UdpAddress& address) {
+  directory_[id] = address;
+}
+
+UdpEndpoint* UdpRunner::endpoint_of(NodeId id) {
+  for (auto& node : nodes_) {
+    if (node.id == id) return node.endpoint.get();
+  }
+  return nullptr;
+}
+
+NodeId UdpRunner::node_for_address(const UdpAddress& address) const {
+  for (const auto& [id, addr] : directory_) {
+    if (addr == address) return id;
+  }
+  return kInvalidNode;
+}
+
+void UdpRunner::send_all(NodeId from, const std::vector<Outgoing>& out) {
+  UdpEndpoint* endpoint = endpoint_of(from);
+  if (endpoint == nullptr) {
+    dropped_sends_ += out.size();
+    return;
+  }
+  for (const auto& o : out) {
+    const auto it = directory_.find(o.to);
+    if (it == directory_.end()) {
+      ++dropped_sends_;
+      continue;
+    }
+    endpoint->send_to(it->second, o.data);
+  }
+}
+
+int UdpRunner::poll_once(int timeout_ms) {
+  std::vector<const UdpEndpoint*> endpoints;
+  endpoints.reserve(nodes_.size());
+  for (const auto& node : nodes_) endpoints.push_back(node.endpoint.get());
+  wait_readable(endpoints, timeout_ms);
+
+  int handled = 0;
+  for (auto& node : nodes_) {
+    handled += node.endpoint->drain(
+        [&](util::BytesView data, const UdpAddress& from) {
+          const NodeId sender = node_for_address(from);
+          const auto replies = node.handler(sender, data, wall_clock_ns());
+          send_all(node.id, replies);
+        });
+  }
+  handled_ += static_cast<std::uint64_t>(handled);
+  return handled;
+}
+
+bool UdpRunner::pump_until(const std::function<bool()>& done,
+                           int deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  while (!done()) {
+    poll_once(20);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    if (elapsed.count() > deadline_ms) return false;
+  }
+  return true;
+}
+
+}  // namespace cadet::net

@@ -1,0 +1,139 @@
+#include "nist/battery.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "nist/special.h"
+
+namespace cadet::nist {
+
+BatteryResult SanityBattery::run(util::BytesView payload,
+                                 util::BytesView previous) const {
+  const util::BitView bits(payload);
+  const util::BitView prev_bits(previous);
+  BatteryResult out;
+  out.results.reserve(kNumChecks);
+  out.results.push_back(frequency_test(bits));
+  out.results.push_back(runs_test(bits));
+  // ApEn block length adapts down for tiny payloads (4-byte uploads in
+  // Fig. 10 are only 32 bits): need 2^(m+1) <= n.
+  std::size_t m = 2;
+  while ((std::size_t{1} << (m + 1)) > bits.size() && m > 1) --m;
+  out.results.push_back(approximate_entropy_test(bits, m));
+  out.results.push_back(cusum_test(bits, CusumMode::Forward));
+  out.results.push_back(cusum_test(bits, CusumMode::Reverse));
+  out.results.push_back(history_compare_test(bits, prev_bits));
+  return out;
+}
+
+BatteryResult QualityBattery::run(util::BytesView pool_data,
+                                  std::size_t pool_bits) const {
+  const std::size_t nbits =
+      pool_bits == 0 ? pool_data.size() * 8
+                     : std::min(pool_bits, pool_data.size() * 8);
+  const util::BitView bits(pool_data, nbits);
+  BatteryResult out;
+  out.results.reserve(kNumChecks);
+  out.results.push_back(frequency_test(bits));
+  out.results.push_back(block_frequency_test(bits, block_size));
+  out.results.push_back(cusum_test(bits, CusumMode::Forward));
+  out.results.push_back(cusum_test(bits, CusumMode::Reverse));
+  out.results.push_back(runs_test(bits));
+  out.results.push_back(longest_run_test(bits));
+  // SP800-22 validity bound for ApEn: m < log2(n) - 5; shrink the block
+  // length for inputs smaller than the configured m expects.
+  std::size_t m = apen_m;
+  while (m > 2 && (std::size_t{1} << (m + 6)) > nbits) --m;
+  out.results.push_back(approximate_entropy_test(bits, m));
+  if (extended) {
+    std::size_t sm = serial_m;
+    while (sm > 2 && (std::size_t{1} << (sm + 2)) > nbits) --sm;
+    const auto serial = serial_test(bits, sm);
+    out.results.push_back(serial.p1);
+    out.results.push_back(serial.p2);
+    out.results.push_back(spectral_test(bits));
+    // Rank and linear complexity need large inputs for their asymptotic
+    // category probabilities to hold; include them when the pool snapshot
+    // is big enough (SP800-22 guidance: >= 38 matrices / >= 50 blocks).
+    if (nbits >= 38 * 32 * 32) {
+      out.results.push_back(rank_test(bits));
+    }
+    if (nbits >= 50 * 500) {
+      out.results.push_back(linear_complexity_test(bits, 500));
+    }
+    if (nbits >= 8 * 128) {
+      out.results.push_back(non_overlapping_template_test(bits));
+    }
+    if (nbits >= 10 * 1032) {
+      out.results.push_back(overlapping_template_test(bits));
+    }
+    if (nbits >= 20480) {
+      out.results.push_back(universal_test(bits));
+    }
+  }
+  return out;
+}
+
+void MultiRunAssessment::add_run(const BatteryResult& result) {
+  if (runs_ == 0) {
+    for (const auto& r : result.results) names_.push_back(r.name);
+    per_test_p_.resize(names_.size());
+    per_test_passes_.assign(names_.size(), 0);
+  }
+  if (result.results.size() != names_.size()) {
+    throw std::invalid_argument(
+        "MultiRunAssessment: inconsistent battery shape");
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    per_test_p_[i].push_back(result.results[i].p_value);
+    if (result.results[i].pass) ++per_test_passes_[i];
+  }
+  ++runs_;
+}
+
+double MultiRunAssessment::min_proportion(std::size_t runs, double alpha) {
+  if (runs == 0) return 0.0;
+  const double p = 1.0 - alpha;
+  return p - 3.0 * std::sqrt(p * alpha / static_cast<double>(runs));
+}
+
+double MultiRunAssessment::uniformity_p_value(
+    const std::vector<double>& p_values) {
+  if (p_values.empty()) return 0.0;
+  constexpr int kBins = 10;
+  std::array<int, kBins> counts{};
+  for (const double p : p_values) {
+    int bin = static_cast<int>(p * kBins);
+    bin = std::clamp(bin, 0, kBins - 1);
+    ++counts[bin];
+  }
+  const double expected =
+      static_cast<double>(p_values.size()) / static_cast<double>(kBins);
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  return igamc((kBins - 1) / 2.0, chi2 / 2.0);
+}
+
+std::vector<MultiRunAssessment::TestAssessment> MultiRunAssessment::assess()
+    const {
+  std::vector<TestAssessment> out;
+  const double bound = min_proportion(runs_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    TestAssessment a;
+    a.name = names_[i];
+    a.pass_proportion = runs_ ? static_cast<double>(per_test_passes_[i]) /
+                                    static_cast<double>(runs_)
+                              : 0.0;
+    a.uniformity_p = uniformity_p_value(per_test_p_[i]);
+    a.proportion_ok = a.pass_proportion >= bound;
+    a.uniformity_ok = a.uniformity_p >= 1e-4;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace cadet::nist

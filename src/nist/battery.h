@@ -1,0 +1,103 @@
+// Test batteries, mirroring the paper's two verification points:
+//
+//  * SanityBattery — run at the edge/server packet processors on every
+//    upload payload: Frequency, Runs, Approximate Entropy, CumSum(F),
+//    CumSum(R), and the history-comparison test (6 checks; paper §IV-A).
+//  * QualityBattery — run periodically on server pool contents: the five
+//    NIST sanity tests plus Block Frequency and Longest Run of Ones
+//    (paper §IV-C and Table III's columns).
+#pragma once
+
+#include <vector>
+
+#include "nist/tests.h"
+#include "util/bytes.h"
+
+namespace cadet::nist {
+
+struct BatteryResult {
+  std::vector<TestResult> results;
+
+  int passed() const noexcept {
+    int n = 0;
+    for (const auto& r : results) n += r.pass ? 1 : 0;
+    return n;
+  }
+  int total() const noexcept { return static_cast<int>(results.size()); }
+  bool all_passed() const noexcept { return passed() == total(); }
+};
+
+class SanityBattery {
+ public:
+  static constexpr int kNumChecks = 6;
+
+  /// Run the 6 sanity checks on `payload`, comparing against `previous`
+  /// (the device's last accepted payload; empty if none).
+  BatteryResult run(util::BytesView payload, util::BytesView previous) const;
+};
+
+class QualityBattery {
+ public:
+  static constexpr int kNumChecks = 7;
+  /// With `extended`: + Serial (2 statistics) + Spectral +
+  /// NonOverlappingTemplate, and for inputs of 50 000 bits (the paper's
+  /// pool snapshot) + Rank + LinearComplexity + OverlappingTemplate +
+  /// Universal.
+  static constexpr int kNumChecksExtended = 15;
+
+  /// Run the quality battery over `pool_bits` bits of `pool_data` (whole
+  /// buffer if pool_bits is 0). Order matches paper Table III: Freq,
+  /// B.Freq, CS(F), CS(R), Runs, LROO, AE. With `extended` set, the
+  /// Serial (two statistics) and Spectral tests are appended — the paper
+  /// notes that "depending on the power of the central server, more tests
+  /// can be included".
+  BatteryResult run(util::BytesView pool_data, std::size_t pool_bits = 0) const;
+
+  /// Block size for the block-frequency test (SP800-22 suggests M >= 20,
+  /// n/M < 100; 128 works for the 50 000-bit pool snapshots).
+  std::size_t block_size = 128;
+  /// Block length for approximate entropy on large inputs.
+  std::size_t apen_m = 10;
+  /// Block length for the serial test (extended battery).
+  std::size_t serial_m = 5;
+  bool extended = false;
+};
+
+/// Multi-run assessment per SP800-22 §4.2: collect each test's p-values
+/// across many runs, then judge the generator by (a) the proportion of
+/// runs passing at alpha and (b) the uniformity of the p-value
+/// distribution (chi-square over ten bins, passing at 0.0001).
+class MultiRunAssessment {
+ public:
+  /// Record one battery run (tests are keyed by position; run batteries
+  /// with a consistent shape).
+  void add_run(const BatteryResult& result);
+
+  struct TestAssessment {
+    std::string name;
+    double pass_proportion = 0.0;
+    double uniformity_p = 0.0;
+    bool proportion_ok = false;   // within the binomial confidence band
+    bool uniformity_ok = false;   // >= 1e-4
+  };
+
+  std::size_t runs() const noexcept { return runs_; }
+
+  /// Per-test verdicts; empty until at least one run was added.
+  std::vector<TestAssessment> assess() const;
+
+  /// Minimum acceptable pass proportion for `runs` at `alpha`:
+  /// (1-alpha) - 3*sqrt(alpha(1-alpha)/runs), per SP800-22 §4.2.1.
+  static double min_proportion(std::size_t runs, double alpha = kAlpha);
+
+  /// Uniformity meta p-value of a p-value sample (ten-bin chi-square).
+  static double uniformity_p_value(const std::vector<double>& p_values);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> per_test_p_;
+  std::vector<std::size_t> per_test_passes_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace cadet::nist

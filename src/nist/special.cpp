@@ -1,0 +1,75 @@
+#include "nist/special.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cadet::nist {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+
+// Series expansion of P(a, x): converges quickly for x < a + 1.
+double igam_series(double a, double x) {
+  if (x == 0.0) return 0.0;
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction of Q(a, x) (modified Lentz): converges for x >= a + 1.
+double igamc_cf(double a, double x) {
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEpsilon;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double igam(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::domain_error("igam: require a > 0 and x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return igam_series(a, x);
+  return 1.0 - igamc_cf(a, x);
+}
+
+double igamc(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::domain_error("igamc: require a > 0 and x >= 0");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - igam_series(a, x);
+  return igamc_cf(a, x);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace cadet::nist

@@ -1,0 +1,17 @@
+// Special functions needed by the SP800-22 p-value computations:
+// regularized incomplete gamma (upper), and the standard normal CDF.
+#pragma once
+
+namespace cadet::nist {
+
+/// Regularized upper incomplete gamma Q(a, x) = Γ(a,x)/Γ(a).
+/// Domain: a > 0, x >= 0. This is NIST's `igamc`.
+double igamc(double a, double x);
+
+/// Regularized lower incomplete gamma P(a, x) = 1 - Q(a, x).
+double igam(double a, double x);
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x);
+
+}  // namespace cadet::nist

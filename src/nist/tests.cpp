@@ -1,0 +1,731 @@
+#include "nist/tests.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "nist/special.h"
+#include "util/fft.h"
+
+namespace cadet::nist {
+
+namespace {
+
+TestResult make_result(std::string name, double statistic, double p) {
+  TestResult r;
+  r.name = std::move(name);
+  r.statistic = statistic;
+  r.p_value = p;
+  r.pass = p >= kAlpha;
+  return r;
+}
+
+}  // namespace
+
+TestResult frequency_test(const util::BitView& bits) {
+  const std::size_t n = bits.size();
+  if (n == 0) throw std::invalid_argument("frequency_test: empty input");
+  // S_n = sum of +-1; ones count k gives S_n = 2k - n.
+  const double s_n =
+      2.0 * static_cast<double>(bits.popcount()) - static_cast<double>(n);
+  const double s_obs = std::fabs(s_n) / std::sqrt(static_cast<double>(n));
+  const double p = std::erfc(s_obs / std::sqrt(2.0));
+  return make_result("Frequency", s_obs, p);
+}
+
+TestResult block_frequency_test(const util::BitView& bits, std::size_t m) {
+  const std::size_t n = bits.size();
+  if (m == 0 || n < m) {
+    throw std::invalid_argument("block_frequency_test: need n >= M >= 1");
+  }
+  const std::size_t num_blocks = n / m;
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < m; ++i) ones += bits[b * m + i];
+    const double pi = static_cast<double>(ones) / static_cast<double>(m);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(m);
+  const double p = igamc(static_cast<double>(num_blocks) / 2.0, chi2 / 2.0);
+  return make_result("BlockFrequency", chi2, p);
+}
+
+TestResult runs_test(const util::BitView& bits) {
+  const std::size_t n = bits.size();
+  if (n < 2) throw std::invalid_argument("runs_test: need n >= 2");
+  const double pi =
+      static_cast<double>(bits.popcount()) / static_cast<double>(n);
+  // Frequency precondition: if the sequence already fails monobit badly,
+  // SP800-22 sets p = 0 without running the test.
+  const double tau = 2.0 / std::sqrt(static_cast<double>(n));
+  if (std::fabs(pi - 0.5) >= tau) {
+    return make_result("Runs", 0.0, 0.0);
+  }
+  std::size_t v_obs = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (bits[i] != bits[i - 1]) ++v_obs;
+  }
+  const double dn = static_cast<double>(n);
+  const double num = std::fabs(static_cast<double>(v_obs) - 2.0 * dn * pi * (1.0 - pi));
+  const double den = 2.0 * std::sqrt(2.0 * dn) * pi * (1.0 - pi);
+  const double p = std::erfc(num / den);
+  return make_result("Runs", static_cast<double>(v_obs), p);
+}
+
+TestResult longest_run_test(const util::BitView& bits) {
+  const std::size_t n = bits.size();
+  if (n < 128) throw std::invalid_argument("longest_run_test: need n >= 128");
+
+  std::size_t m;           // block size
+  std::size_t k;           // number of categories - 1
+  std::vector<double> pi;  // category probabilities
+  std::vector<std::size_t> v_bounds;  // category upper bounds (lowest..)
+  if (n < 6272) {
+    m = 8;
+    k = 3;
+    pi = {0.2148, 0.3672, 0.2305, 0.1875};
+    v_bounds = {1, 2, 3};  // <=1, 2, 3, >=4
+  } else if (n < 750000) {
+    m = 128;
+    k = 5;
+    pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+    v_bounds = {4, 5, 6, 7, 8};  // <=4 .. >=9
+  } else {
+    m = 10000;
+    k = 6;
+    pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+    v_bounds = {10, 11, 12, 13, 14, 15};  // <=10 .. >=16
+  }
+
+  const std::size_t num_blocks = n / m;
+  std::vector<std::size_t> v(k + 1, 0);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::size_t longest = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (bits[b * m + i]) {
+        ++run;
+        longest = std::max(longest, run);
+      } else {
+        run = 0;
+      }
+    }
+    std::size_t cat = k;  // default: top (open) category
+    for (std::size_t c = 0; c < v_bounds.size(); ++c) {
+      if (longest <= v_bounds[c]) {
+        cat = c;
+        break;
+      }
+    }
+    ++v[cat];
+  }
+
+  const double dn_blocks = static_cast<double>(num_blocks);
+  double chi2 = 0.0;
+  for (std::size_t c = 0; c <= k; ++c) {
+    const double expected = dn_blocks * pi[c];
+    const double diff = static_cast<double>(v[c]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  const double p = igamc(static_cast<double>(k) / 2.0, chi2 / 2.0);
+  return make_result("LongestRunOfOnes", chi2, p);
+}
+
+TestResult approximate_entropy_test(const util::BitView& bits,
+                                    std::size_t m) {
+  const std::size_t n = bits.size();
+  if (n < (std::size_t{1} << (m + 1))) {
+    throw std::invalid_argument(
+        "approximate_entropy_test: need n >= 2^(m+1)");
+  }
+
+  // phi(block_len): sum over observed patterns of C_i * ln(C_i), with
+  // cyclic wraparound per SP800-22 2.12.
+  const auto phi = [&](std::size_t block_len) -> double {
+    if (block_len == 0) return 0.0;
+    const std::size_t num_patterns = std::size_t{1} << block_len;
+    std::vector<std::size_t> counts(num_patterns, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t pattern = 0;
+      for (std::size_t j = 0; j < block_len; ++j) {
+        pattern = (pattern << 1) | static_cast<std::size_t>(bits[(i + j) % n]);
+      }
+      ++counts[pattern];
+    }
+    double sum = 0.0;
+    for (std::size_t c : counts) {
+      if (c > 0) {
+        const double ci = static_cast<double>(c) / static_cast<double>(n);
+        sum += ci * std::log(ci);
+      }
+    }
+    return sum;
+  };
+
+  const double ap_en = phi(m) - phi(m + 1);
+  const double chi2 =
+      2.0 * static_cast<double>(n) * (std::log(2.0) - ap_en);
+  const double p =
+      igamc(static_cast<double>(std::size_t{1} << (m - 1)), chi2 / 2.0);
+  return make_result("ApproximateEntropy", chi2, p);
+}
+
+TestResult cusum_test(const util::BitView& bits, CusumMode mode) {
+  const std::size_t n = bits.size();
+  if (n == 0) throw std::invalid_argument("cusum_test: empty input");
+
+  long long sum = 0;
+  long long z = 0;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::size_t i = (mode == CusumMode::Forward) ? idx : n - 1 - idx;
+    sum += bits[i] ? 1 : -1;
+    z = std::max(z, std::llabs(sum));
+  }
+  if (z == 0) {
+    // Degenerate (impossible for nonempty +-1 walk except n=0, but guard).
+    return make_result(mode == CusumMode::Forward ? "CusumForward"
+                                                  : "CusumReverse",
+                       0.0, 0.0);
+  }
+
+  const double dn = static_cast<double>(n);
+  const double dz = static_cast<double>(z);
+  const double sqrt_n = std::sqrt(dn);
+
+  double p = 1.0;
+  {
+    const long long k_lo = (-(static_cast<long long>(n) / z) + 1) / 4;
+    const long long k_hi = (static_cast<long long>(n) / z - 1) / 4;
+    double term = 0.0;
+    for (long long k = k_lo; k <= k_hi; ++k) {
+      const double dk = static_cast<double>(k);
+      term += normal_cdf((4.0 * dk + 1.0) * dz / sqrt_n) -
+              normal_cdf((4.0 * dk - 1.0) * dz / sqrt_n);
+    }
+    p -= term;
+  }
+  {
+    const long long k_lo = (-(static_cast<long long>(n) / z) - 3) / 4;
+    const long long k_hi = (static_cast<long long>(n) / z - 1) / 4;
+    double term = 0.0;
+    for (long long k = k_lo; k <= k_hi; ++k) {
+      const double dk = static_cast<double>(k);
+      term += normal_cdf((4.0 * dk + 3.0) * dz / sqrt_n) -
+              normal_cdf((4.0 * dk + 1.0) * dz / sqrt_n);
+    }
+    p += term;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  return make_result(
+      mode == CusumMode::Forward ? "CusumForward" : "CusumReverse", dz, p);
+}
+
+namespace {
+
+/// psi-squared statistic over overlapping `block_len`-bit patterns with
+/// cyclic wraparound (SP800-22 2.11). psi2(0) = 0 by definition.
+double psi_squared(const util::BitView& bits, std::size_t block_len) {
+  if (block_len == 0) return 0.0;
+  const std::size_t n = bits.size();
+  const std::size_t num_patterns = std::size_t{1} << block_len;
+  std::vector<std::size_t> counts(num_patterns, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t pattern = 0;
+    for (std::size_t j = 0; j < block_len; ++j) {
+      pattern = (pattern << 1) | static_cast<std::size_t>(bits[(i + j) % n]);
+    }
+    ++counts[pattern];
+  }
+  double sum = 0.0;
+  for (const std::size_t c : counts) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  return sum * static_cast<double>(num_patterns) / static_cast<double>(n) -
+         static_cast<double>(n);
+}
+
+}  // namespace
+
+SerialResult serial_test(const util::BitView& bits, std::size_t m) {
+  const std::size_t n = bits.size();
+  if (m < 2 || n < (std::size_t{1} << m)) {
+    throw std::invalid_argument("serial_test: need m >= 2 and n >= 2^m");
+  }
+  const double psi_m = psi_squared(bits, m);
+  const double psi_m1 = psi_squared(bits, m - 1);
+  const double psi_m2 = psi_squared(bits, m - 2);
+  const double del1 = psi_m - psi_m1;
+  const double del2 = psi_m - 2.0 * psi_m1 + psi_m2;
+
+  SerialResult out;
+  out.p1 = make_result("Serial-1", del1,
+                       igamc(static_cast<double>(std::size_t{1} << (m - 1)) /
+                                 2.0,
+                             del1 / 2.0));
+  out.p2 = make_result("Serial-2", del2,
+                       igamc(static_cast<double>(std::size_t{1} << (m - 2)) /
+                                 2.0,
+                             del2 / 2.0));
+  return out;
+}
+
+TestResult spectral_test(const util::BitView& bits) {
+  const std::size_t n = bits.size();
+  if (n < 2) throw std::invalid_argument("spectral_test: need n >= 2");
+
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::complex<double>(bits[i] ? 1.0 : -1.0, 0.0);
+  }
+  const auto spectrum = util::dft(x);
+
+  // Count peaks below the 95 % threshold over the first n/2 frequencies.
+  const double dn = static_cast<double>(n);
+  const double threshold = std::sqrt(std::log(1.0 / 0.05) * dn);
+  const std::size_t half = n / 2;
+  std::size_t below = 0;
+  for (std::size_t k = 0; k < half; ++k) {
+    if (std::abs(spectrum[k]) < threshold) ++below;
+  }
+  const double n0 = 0.95 * static_cast<double>(half);
+  const double n1 = static_cast<double>(below);
+  const double d = (n1 - n0) / std::sqrt(dn * 0.95 * 0.05 / 4.0);
+  const double p = std::erfc(std::fabs(d) / std::sqrt(2.0));
+  return make_result("Spectral", d, p);
+}
+
+std::size_t gf2_rank(std::vector<std::uint64_t> rows, std::size_t cols) {
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows.size(); ++col) {
+    const std::uint64_t mask = std::uint64_t{1} << (cols - 1 - col);
+    // Find a pivot row at or below `rank`.
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && !(rows[pivot] & mask)) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != rank && (rows[r] & mask)) rows[r] ^= rows[rank];
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+double gf2_rank_probability(std::size_t r, std::size_t rows,
+                            std::size_t cols) {
+  // SP800-22 section 3.5: P_r = 2^{r(Q+M-r)-MQ} *
+  //   prod_{i=0}^{r-1} (1-2^{i-Q})(1-2^{i-M}) / (1-2^{i-r}).
+  if (r > std::min(rows, cols)) return 0.0;
+  const double m = static_cast<double>(rows);
+  const double q = static_cast<double>(cols);
+  const double dr = static_cast<double>(r);
+  double log2_p = dr * (q + m - dr) - m * q;
+  double product = 1.0;
+  for (std::size_t i = 0; i < r; ++i) {
+    const double di = static_cast<double>(i);
+    product *= (1.0 - std::pow(2.0, di - q)) *
+               (1.0 - std::pow(2.0, di - m)) /
+               (1.0 - std::pow(2.0, di - dr));
+  }
+  return std::pow(2.0, log2_p) * product;
+}
+
+TestResult rank_test(const util::BitView& bits, std::size_t rows,
+                     std::size_t cols) {
+  const std::size_t n = bits.size();
+  if (rows == 0 || cols == 0 || cols > 64 || n < rows * cols) {
+    throw std::invalid_argument("rank_test: need n >= rows*cols, cols <= 64");
+  }
+  const std::size_t bits_per_matrix = rows * cols;
+  const std::size_t num_matrices = n / bits_per_matrix;
+
+  const std::size_t full = std::min(rows, cols);
+  std::size_t count_full = 0, count_minus1 = 0, count_rest = 0;
+  for (std::size_t mtx = 0; mtx < num_matrices; ++mtx) {
+    std::vector<std::uint64_t> matrix(rows, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::uint64_t row = 0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        row = (row << 1) |
+              static_cast<std::uint64_t>(
+                  bits[mtx * bits_per_matrix + r * cols + c]);
+      }
+      matrix[r] = row;
+    }
+    const std::size_t rank = gf2_rank(std::move(matrix), cols);
+    if (rank == full) {
+      ++count_full;
+    } else if (rank + 1 == full) {
+      ++count_minus1;
+    } else {
+      ++count_rest;
+    }
+  }
+
+  const double p_full = gf2_rank_probability(full, rows, cols);
+  const double p_minus1 = gf2_rank_probability(full - 1, rows, cols);
+  const double p_rest = 1.0 - p_full - p_minus1;
+  const double dn = static_cast<double>(num_matrices);
+  double chi2 = 0.0;
+  const double expected[3] = {dn * p_full, dn * p_minus1, dn * p_rest};
+  const double observed[3] = {static_cast<double>(count_full),
+                              static_cast<double>(count_minus1),
+                              static_cast<double>(count_rest)};
+  for (int i = 0; i < 3; ++i) {
+    chi2 += (observed[i] - expected[i]) * (observed[i] - expected[i]) /
+            expected[i];
+  }
+  // 2 degrees of freedom: P = e^{-chi2/2}.
+  return make_result("Rank", chi2, std::exp(-chi2 / 2.0));
+}
+
+std::size_t berlekamp_massey(const std::vector<int>& s) {
+  const std::size_t n = s.size();
+  std::vector<int> c(n + 1, 0), b(n + 1, 0);
+  c[0] = b[0] = 1;
+  std::size_t l = 0;
+  std::size_t m = 0;  // steps since last length change, minus offset
+  std::ptrdiff_t last_change = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Discrepancy d = s[i] + sum_{j=1}^{l} c[j] s[i-j]  (mod 2).
+    int d = s[i];
+    for (std::size_t j = 1; j <= l; ++j) {
+      d ^= c[j] & s[i - j];
+    }
+    if (d == 0) continue;
+    const std::vector<int> t = c;
+    const std::size_t shift = i - static_cast<std::size_t>(last_change);
+    for (std::size_t j = 0; j + shift <= n; ++j) {
+      c[j + shift] ^= b[j];
+    }
+    if (2 * l <= i) {
+      l = i + 1 - l;
+      last_change = static_cast<std::ptrdiff_t>(i);
+      b = t;
+    }
+  }
+  (void)m;
+  return l;
+}
+
+TestResult linear_complexity_test(const util::BitView& bits,
+                                  std::size_t block_len) {
+  const std::size_t n = bits.size();
+  if (block_len < 4 || n < block_len) {
+    throw std::invalid_argument(
+        "linear_complexity_test: need n >= block_len >= 4");
+  }
+  const std::size_t num_blocks = n / block_len;
+  const double dm = static_cast<double>(block_len);
+  const double sign_m = (block_len % 2 == 0) ? 1.0 : -1.0;
+  // mu = M/2 + (9 + (-1)^{M+1})/36 - (M/3 + 2/9)/2^M, with
+  // (-1)^{M+1} = -sign_m.
+  const double mu = dm / 2.0 + (9.0 - sign_m) / 36.0 -
+                    (dm / 3.0 + 2.0 / 9.0) / std::pow(2.0, dm);
+
+  // SP800-22 2.10 category probabilities for T.
+  static constexpr double kPi[7] = {0.010417, 0.03125, 0.125, 0.5,
+                                    0.25,     0.0625,  0.020833};
+  std::size_t counts[7] = {0};
+  std::vector<int> block(block_len);
+  for (std::size_t blk = 0; blk < num_blocks; ++blk) {
+    for (std::size_t i = 0; i < block_len; ++i) {
+      block[i] = bits[blk * block_len + i];
+    }
+    const double l = static_cast<double>(berlekamp_massey(block));
+    // T = (-1)^M (L - mu) + 2/9 per SP800-22 2.10.
+    const double t = sign_m * (l - mu) + 2.0 / 9.0;
+    int category;
+    if (t <= -2.5) {
+      category = 0;
+    } else if (t <= -1.5) {
+      category = 1;
+    } else if (t <= -0.5) {
+      category = 2;
+    } else if (t <= 0.5) {
+      category = 3;
+    } else if (t <= 1.5) {
+      category = 4;
+    } else if (t <= 2.5) {
+      category = 5;
+    } else {
+      category = 6;
+    }
+    ++counts[category];
+  }
+
+  const double dn = static_cast<double>(num_blocks);
+  double chi2 = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    const double expected = dn * kPi[i];
+    chi2 += (static_cast<double>(counts[i]) - expected) *
+            (static_cast<double>(counts[i]) - expected) / expected;
+  }
+  return make_result("LinearComplexity", chi2, igamc(3.0, chi2 / 2.0));
+}
+
+TestResult non_overlapping_template_test(const util::BitView& bits,
+                                         const std::vector<int>& templ,
+                                         std::size_t num_blocks) {
+  const std::size_t n = bits.size();
+  const std::size_t m = templ.size();
+  if (m < 2 || m > 16 || num_blocks == 0 || n < num_blocks * (m + 1)) {
+    throw std::invalid_argument(
+        "non_overlapping_template_test: bad template/block sizes");
+  }
+  const std::size_t block_len = n / num_blocks;
+
+  const double dm = static_cast<double>(m);
+  const double dblock = static_cast<double>(block_len);
+  const double mu = (dblock - dm + 1.0) / std::pow(2.0, dm);
+  const double var =
+      dblock * (1.0 / std::pow(2.0, dm) -
+                (2.0 * dm - 1.0) / std::pow(2.0, 2.0 * dm));
+
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::size_t count = 0;
+    std::size_t i = 0;
+    while (i + m <= block_len) {
+      bool match = true;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (bits[b * block_len + i + j] != templ[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        ++count;
+        i += m;  // non-overlapping scan restarts after a hit
+      } else {
+        ++i;
+      }
+    }
+    const double diff = static_cast<double>(count) - mu;
+    chi2 += diff * diff / var;
+  }
+  const double p = igamc(static_cast<double>(num_blocks) / 2.0, chi2 / 2.0);
+  return make_result("NonOverlappingTemplate", chi2, p);
+}
+
+TestResult overlapping_template_test(const util::BitView& bits) {
+  // Standard parameterization: template = 9 ones, M = 1032, K = 5, with
+  // the SP800-22 category probabilities.
+  constexpr std::size_t kTemplateLen = 9;
+  constexpr std::size_t kBlockLen = 1032;
+  static constexpr double kPi[6] = {0.364091, 0.185659, 0.139381,
+                                    0.100571, 0.070432, 0.139865};
+  const std::size_t n = bits.size();
+  if (n < kBlockLen) {
+    throw std::invalid_argument("overlapping_template_test: need n >= 1032");
+  }
+  const std::size_t num_blocks = n / kBlockLen;
+
+  std::size_t counts[6] = {0};
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i + kTemplateLen <= kBlockLen; ++i) {
+      bool match = true;
+      for (std::size_t j = 0; j < kTemplateLen; ++j) {
+        if (!bits[b * kBlockLen + i + j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++hits;  // overlapping scan advances by one
+    }
+    ++counts[std::min<std::size_t>(hits, 5)];
+  }
+
+  const double dn = static_cast<double>(num_blocks);
+  double chi2 = 0.0;
+  for (int c = 0; c < 6; ++c) {
+    const double expected = dn * kPi[c];
+    chi2 += (static_cast<double>(counts[c]) - expected) *
+            (static_cast<double>(counts[c]) - expected) / expected;
+  }
+  return make_result("OverlappingTemplate", chi2, igamc(2.5, chi2 / 2.0));
+}
+
+TestResult universal_test(const util::BitView& bits) {
+  const std::size_t n = bits.size();
+  if (n < 2000) {
+    throw std::invalid_argument("universal_test: need n >= 2000");
+  }
+  // Expected value / variance per block length L (SP800-22 table 2.9.8).
+  static constexpr double kExpected[17] = {
+      0, 0.7326495, 1.5374383, 2.4016068, 3.3112247, 4.2534266, 5.2177052,
+      6.1962507, 7.1836656, 8.1764248, 9.1723243, 10.170032, 11.168765,
+      12.168070, 13.167693, 14.167488, 15.167379};
+  static constexpr double kVariance[17] = {
+      0, 0.690, 1.338, 1.901, 2.358, 2.705, 2.954, 3.125, 3.238,
+      3.311, 3.356, 3.384, 3.401, 3.410, 3.416, 3.419, 3.421};
+
+  // Largest valid L: the official breakpoints start at L=6 (n >= 387840);
+  // below that we extend downward with the same Q = 10*2^L, K ~ 1000*2^L
+  // sizing rule so mid-sized pool snapshots remain testable.
+  std::size_t l = 2;
+  static constexpr std::size_t kBreaks[12] = {
+      0,      0,      2000,    20480,   64640,    161600,
+      387840, 904960, 2068480, 4654080, 10342400, 22753280};
+  for (std::size_t candidate = 2; candidate <= 11; ++candidate) {
+    if (n >= kBreaks[candidate]) l = candidate;
+  }
+  const std::size_t num_blocks = n / l;
+  const std::size_t q = 10 * (std::size_t{1} << l);  // init blocks
+  if (num_blocks <= q) {
+    throw std::invalid_argument("universal_test: input too short for L");
+  }
+  const std::size_t k = num_blocks - q;
+
+  std::vector<std::size_t> last_seen(std::size_t{1} << l, 0);
+  auto block_value = [&](std::size_t index) {
+    std::size_t value = 0;
+    for (std::size_t j = 0; j < l; ++j) {
+      value = (value << 1) | static_cast<std::size_t>(bits[index * l + j]);
+    }
+    return value;
+  };
+  for (std::size_t i = 0; i < q; ++i) {
+    last_seen[block_value(i)] = i + 1;
+  }
+  double sum = 0.0;
+  for (std::size_t i = q; i < num_blocks; ++i) {
+    const std::size_t value = block_value(i);
+    sum += std::log2(static_cast<double>(i + 1 - last_seen[value]));
+    last_seen[value] = i + 1;
+  }
+  const double fn = sum / static_cast<double>(k);
+
+  const double dl = static_cast<double>(l);
+  const double c = 0.7 - 0.8 / dl +
+                   (4.0 + 32.0 / dl) *
+                       std::pow(static_cast<double>(k), -3.0 / dl) / 15.0;
+  const double sigma = c * std::sqrt(kVariance[l] / static_cast<double>(k));
+  const double p =
+      std::erfc(std::fabs(fn - kExpected[l]) / (std::sqrt(2.0) * sigma));
+  return make_result("Universal", fn, p);
+}
+
+namespace {
+
+/// Zero-crossing cycles of the +-1 random walk: returns per-cycle visit
+/// counts for states -9..+9 (indexed x+9), plus the cycle count J.
+struct ExcursionData {
+  std::vector<std::array<std::size_t, 19>> cycles;
+};
+
+ExcursionData walk_cycles(const util::BitView& bits) {
+  ExcursionData out;
+  std::array<std::size_t, 19> current{};
+  long long s = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    s += bits[i] ? 1 : -1;
+    if (s == 0) {
+      out.cycles.push_back(current);
+      current = {};
+      any = false;
+    } else if (s >= -9 && s <= 9) {
+      ++current[static_cast<std::size_t>(s + 9)];
+      any = true;
+    } else {
+      any = true;
+    }
+  }
+  if (any) out.cycles.push_back(current);  // final unfinished cycle
+  return out;
+}
+
+}  // namespace
+
+std::vector<TestResult> random_excursions_test(const util::BitView& bits) {
+  const ExcursionData data = walk_cycles(bits);
+  const std::size_t j = data.cycles.size();
+  if (j < 500) {
+    throw std::invalid_argument(
+        "random_excursions_test: fewer than 500 cycles (test inapplicable)");
+  }
+
+  std::vector<TestResult> out;
+  for (const int x : {-4, -3, -2, -1, 1, 2, 3, 4}) {
+    // Category probabilities pi_k(x) per SP800-22 3.14.
+    const double ax = std::fabs(static_cast<double>(x));
+    const double p_leave = 1.0 / (2.0 * ax);
+    double pi[6];
+    pi[0] = 1.0 - p_leave;
+    for (int k = 1; k <= 4; ++k) {
+      pi[k] = (1.0 / (4.0 * ax * ax)) * std::pow(1.0 - p_leave, k - 1);
+    }
+    pi[5] = p_leave * std::pow(1.0 - p_leave, 4);
+
+    std::size_t counts[6] = {0};
+    for (const auto& cycle : data.cycles) {
+      const std::size_t visits = cycle[static_cast<std::size_t>(x + 9)];
+      ++counts[std::min<std::size_t>(visits, 5)];
+    }
+    double chi2 = 0.0;
+    for (int k = 0; k < 6; ++k) {
+      const double expected = static_cast<double>(j) * pi[k];
+      chi2 += (static_cast<double>(counts[k]) - expected) *
+              (static_cast<double>(counts[k]) - expected) / expected;
+    }
+    out.push_back(make_result(
+        "RandomExcursions(x=" + std::to_string(x) + ")", chi2,
+        igamc(2.5, chi2 / 2.0)));
+  }
+  return out;
+}
+
+std::vector<TestResult> random_excursions_variant_test(
+    const util::BitView& bits) {
+  const ExcursionData data = walk_cycles(bits);
+  const std::size_t j = data.cycles.size();
+  if (j < 500) {
+    throw std::invalid_argument(
+        "random_excursions_variant_test: fewer than 500 cycles");
+  }
+
+  std::vector<TestResult> out;
+  for (int x = -9; x <= 9; ++x) {
+    if (x == 0) continue;
+    std::size_t total_visits = 0;
+    for (const auto& cycle : data.cycles) {
+      total_visits += cycle[static_cast<std::size_t>(x + 9)];
+    }
+    const double dj = static_cast<double>(j);
+    const double ax = std::fabs(static_cast<double>(x));
+    const double denom = std::sqrt(2.0 * dj * (4.0 * ax - 2.0));
+    const double p =
+        std::erfc(std::fabs(static_cast<double>(total_visits) - dj) / denom);
+    out.push_back(make_result(
+        "RandomExcursionsVariant(x=" + std::to_string(x) + ")",
+        static_cast<double>(total_visits), p));
+  }
+  return out;
+}
+
+TestResult history_compare_test(const util::BitView& current,
+                                const util::BitView& previous) {
+  if (previous.empty() || current.empty()) {
+    // No history yet: trivially passes.
+    return make_result("HistoryCompare", 0.5, 1.0);
+  }
+  const std::size_t n = std::min(current.size(), previous.size());
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    matches += (current[i] == previous[i]) ? 1 : 0;
+  }
+  const double frac = static_cast<double>(matches) / static_cast<double>(n);
+  // Under independence, matches ~ Binomial(n, 1/2): two-sided normal test.
+  const double zscore = (frac - 0.5) * 2.0 * std::sqrt(static_cast<double>(n));
+  const double p = std::erfc(std::fabs(zscore) / std::sqrt(2.0));
+  auto r = make_result("HistoryCompare", frac, p);
+  return r;
+}
+
+}  // namespace cadet::nist

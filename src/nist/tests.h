@@ -1,0 +1,126 @@
+// The subset of NIST SP800-22 statistical tests CADET uses (paper §IV).
+//
+// Sanity checks (edge/server ingress) use: Frequency, Runs, Approximate
+// Entropy, Cumulative Sums (forward and reverse), plus a history-comparison
+// test. Quality checks on the server pool add Block Frequency and Longest
+// Run of Ones. Each function returns a TestResult with the test statistic,
+// p-value, and the standard alpha = 0.01 pass verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitview.h"
+
+namespace cadet::nist {
+
+struct TestResult {
+  std::string name;
+  double statistic = 0.0;
+  double p_value = 0.0;
+  bool pass = false;  // p >= 0.01 per SP800-22
+};
+
+constexpr double kAlpha = 0.01;
+
+/// 2.1 Frequency (monobit). Requires n >= 1 (recommended n >= 100).
+TestResult frequency_test(const util::BitView& bits);
+
+/// 2.2 Block frequency with block size M. Requires n >= M.
+TestResult block_frequency_test(const util::BitView& bits, std::size_t m);
+
+/// 2.3 Runs. Requires n >= 2.
+TestResult runs_test(const util::BitView& bits);
+
+/// 2.4 Longest run of ones in a block. Requires n >= 128; chooses
+/// M in {8, 128, 10000} from n per the SP800-22 table.
+TestResult longest_run_test(const util::BitView& bits);
+
+/// 2.12 Approximate entropy with block length m (m+1 must satisfy
+/// 2^(m+1) <= n). The paper's sanity checks use small payloads, so the
+/// default m = 2 keeps it valid from 8 bits upward.
+TestResult approximate_entropy_test(const util::BitView& bits,
+                                    std::size_t m = 2);
+
+enum class CusumMode { Forward, Reverse };
+
+/// 2.13 Cumulative sums, forward or reverse.
+TestResult cusum_test(const util::BitView& bits, CusumMode mode);
+
+/// 2.11 Serial test with block length m (requires 2^m <= n and m >= 2).
+/// Produces two p-values (for the first and second generalized serial
+/// statistics); both must pass.
+struct SerialResult {
+  TestResult p1;
+  TestResult p2;
+};
+SerialResult serial_test(const util::BitView& bits, std::size_t m);
+
+/// 2.6 Discrete Fourier Transform (spectral) test. Requires n >= 2
+/// (recommended n >= 1000). Detects periodic features the run-based tests
+/// miss.
+TestResult spectral_test(const util::BitView& bits);
+
+/// 2.5 Binary matrix rank test over disjoint M x Q matrices (default the
+/// standard 32 x 32). Requires at least one full matrix, i.e.
+/// n >= rows * cols; SP800-22 recommends 38 matrices or more.
+TestResult rank_test(const util::BitView& bits, std::size_t rows = 32,
+                     std::size_t cols = 32);
+
+/// GF(2) rank of an M x Q bit matrix given as row bitmasks (Q <= 64).
+std::size_t gf2_rank(std::vector<std::uint64_t> rows, std::size_t cols);
+
+/// Asymptotic probability that a random M x Q GF(2) matrix has rank r.
+double gf2_rank_probability(std::size_t r, std::size_t rows,
+                            std::size_t cols);
+
+/// 2.10 Linear complexity test: Berlekamp-Massey LFSR length over
+/// `block_len`-bit blocks (SP800-22 recommends 500 <= M <= 5000 and at
+/// least 200 blocks; smaller inputs are accepted for unit testing).
+TestResult linear_complexity_test(const util::BitView& bits,
+                                  std::size_t block_len = 500);
+
+/// Berlekamp-Massey: length of the shortest LFSR generating `bits`.
+std::size_t berlekamp_massey(const std::vector<int>& bits);
+
+/// 2.7 Non-overlapping template matching: occurrences of `templ` (given as
+/// 0/1 ints, length 2..16) counted with a non-overlapping scan in each of
+/// `num_blocks` blocks. Default template is the SP800-22 example
+/// B = 000000001. Requires n >= num_blocks * (template length + 1).
+TestResult non_overlapping_template_test(
+    const util::BitView& bits, const std::vector<int>& templ = {0, 0, 0, 0,
+                                                                0, 0, 0, 0,
+                                                                1},
+    std::size_t num_blocks = 8);
+
+/// 2.8 Overlapping template matching for the all-ones template of length 9
+/// with 1032-bit blocks (the standardized parameterization whose category
+/// probabilities SP800-22 tabulates). Requires n >= 1032.
+TestResult overlapping_template_test(const util::BitView& bits);
+
+/// 2.9 Maurer's universal statistical test. Picks the block length L from
+/// n per the SP800-22 table (L in [2, 16]); requires n >= 2000 bits.
+TestResult universal_test(const util::BitView& bits);
+
+/// 2.14 Random excursions: one chi-square result per walk state
+/// x in {-4..-1, +1..+4}. Requires at least 500 zero-crossing cycles
+/// (throws std::invalid_argument otherwise; SP800-22 marks the test
+/// inapplicable), which in practice needs inputs around 10^6 bits.
+std::vector<TestResult> random_excursions_test(const util::BitView& bits);
+
+/// 2.15 Random excursions variant: one result per state x in
+/// {-9..-1, +1..+9} (18 results). Same applicability rule as 2.14.
+std::vector<TestResult> random_excursions_variant_test(
+    const util::BitView& bits);
+
+/// CADET's sixth sanity test (paper §IV-A: "one test that compares current
+/// data against past data"). Measures the bitwise match fraction between the
+/// current payload and the previous payload from the same device; both
+/// near-identical data (replay/stuck source) and near-complementary data
+/// fail. Views may differ in length; the shorter prefix is compared.
+/// An empty history passes trivially.
+TestResult history_compare_test(const util::BitView& current,
+                                const util::BitView& previous);
+
+}  // namespace cadet::nist

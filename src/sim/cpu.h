@@ -1,0 +1,35 @@
+// CPU-speed model reproducing the paper's underclocked tiers (Fig. 9):
+// clients at 20 MHz, edges at 200-300 MHz, servers at 600 MHz. Processing
+// time for an operation is its cycle cost divided by the clock rate, so the
+// same protocol logic is "slower" on a client exactly as on the testbed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace cadet::sim {
+
+class CpuModel {
+ public:
+  explicit constexpr CpuModel(double clock_hz) noexcept
+      : clock_hz_(clock_hz) {}
+
+  constexpr double clock_hz() const noexcept { return clock_hz_; }
+
+  /// Time to execute `cycles` cycles at this clock rate.
+  constexpr util::SimTime time_for_cycles(double cycles) const noexcept {
+    return static_cast<util::SimTime>(cycles / clock_hz_ * 1e9);
+  }
+
+ private:
+  double clock_hz_;
+};
+
+/// Paper testbed clock rates (Fig. 9; §VI-B2 reports sanity-check timing at
+/// 300 MHz, which we use for the edge tier).
+inline constexpr CpuModel kClientCpu{20e6};
+inline constexpr CpuModel kEdgeCpu{300e6};
+inline constexpr CpuModel kServerCpu{600e6};
+
+}  // namespace cadet::sim

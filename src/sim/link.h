@@ -1,0 +1,47 @@
+// Network-link latency model. Two calibrated profiles reproduce the paper's
+// environments: the switched-LAN testbed ("no internet" boxes of Fig. 8a)
+// and the real-world Internet path (right boxes of Fig. 8a), whose extra
+// travel time widens the cache/no-cache response gap by ~0.3 s.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace cadet::util {
+class Xoshiro256;
+}
+
+namespace cadet::sim {
+
+struct LatencyProfile {
+  /// Fixed propagation + forwarding delay.
+  util::SimTime base = 0;
+  /// Lognormal jitter: exp(mu + sigma*N(0,1)) nanoseconds added to base.
+  double jitter_mu = 0.0;     // log of median jitter in ns
+  double jitter_sigma = 0.0;  // lognormal shape
+  /// Per-byte serialization cost (ns/byte).
+  double ns_per_byte = 0.0;
+  /// Independent loss probability per packet.
+  double loss_prob = 0.0;
+
+  /// Sample a one-way delay for a packet of `bytes` bytes.
+  util::SimTime sample(util::Xoshiro256& rng, std::size_t bytes) const;
+
+  /// Sample whether the packet is dropped.
+  bool dropped(util::Xoshiro256& rng) const;
+};
+
+/// Switched LAN inside the testbed: ~0.2 ms one-way, tight jitter,
+/// 100 Mb/s serialization, no loss.
+LatencyProfile testbed_lan();
+
+/// Testbed edge<->server hop (same switch fabric).
+LatencyProfile testbed_backbone();
+
+/// Real-world Internet path: ~18 ms median one-way, heavy-tailed jitter,
+/// small loss probability.
+LatencyProfile internet_wan();
+
+}  // namespace cadet::sim

@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace cadet::sim {
+
+void Simulator::schedule(util::SimTime delay, Callback fn) {
+  schedule_at(now_ + std::max<util::SimTime>(delay, 0), std::move(fn));
+}
+
+void Simulator::schedule_at(util::SimTime when, Callback fn) {
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately — but copy the small members and move
+  // the callback through a temporary instead for clarity.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(util::SimTime t_end) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    step();
+    ++executed;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return executed;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+}  // namespace cadet::sim

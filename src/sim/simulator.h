@@ -1,0 +1,64 @@
+// Discrete-event simulator used to reproduce the paper's 49-Pi testbed.
+//
+// Events are (time, sequence) ordered: equal-time events fire in the order
+// they were scheduled, which keeps every experiment deterministic for a
+// given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace cadet::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  util::SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time (delay >= 0;
+  /// negative delays clamp to 0, i.e. "as soon as possible").
+  void schedule(util::SimTime delay, Callback fn);
+
+  /// Schedule `fn` at an absolute time (clamped to now()).
+  void schedule_at(util::SimTime when, Callback fn);
+
+  /// Run until the event queue drains or simulated time would exceed
+  /// `t_end`. Events exactly at t_end still run. Returns the number of
+  /// events executed.
+  std::size_t run_until(util::SimTime t_end);
+
+  /// Run until the queue drains (use with care: recurring timers never
+  /// drain; prefer run_until).
+  std::size_t run();
+
+  /// Execute at most one pending event; returns false if the queue is empty.
+  bool step();
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cadet::sim

@@ -1,0 +1,537 @@
+#include "testbed/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "entropy/linux_prng.h"
+#include "entropy/sources.h"
+#include "entropy/yarrow.h"
+#include "nist/special.h"
+#include "util/rng.h"
+
+namespace cadet::testbed::experiments {
+
+namespace {
+
+/// Single-network world (1 edge, 11 clients) used by the Fig. 8a trials.
+TestbedConfig small_world_config(bool internet, std::uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.num_networks = 1;
+  config.clients_per_network = 11;
+  config.profiles = {NetworkProfile::kBalanced};
+  if (internet) {
+    config.backbone_link = sim::internet_wan();
+  }
+  config.server_seed_bytes = 1 << 17;
+  return config;
+}
+
+/// Measure completion time of an operation on `world`: `fire` posts the
+/// work at t0 and arranges for `done` to be latched. Returns seconds.
+double run_and_measure(World& world, util::SimTime t0,
+                       const std::function<void(double*)>& fire) {
+  double done_s = -1.0;
+  (void)t0;
+  fire(&done_s);
+  world.simulator().run();
+  return done_s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Fig. 8a
+
+std::vector<TimingResult> protocol_timing(std::size_t trials,
+                                          std::uint64_t seed) {
+  std::vector<TimingResult> results;
+  for (const bool internet : {false, true}) {
+    TimingResult reg_e{"Reg (E)", internet, {}};
+    TimingResult reg_ci{"Reg (CI)", internet, {}};
+    TimingResult reg_cr{"Reg (CR)", internet, {}};
+    TimingResult dreq_nc{"D.Req (NC)", internet, {}};
+    TimingResult dreq_c{"D.Req (C)", internet, {}};
+
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const std::uint64_t trial_seed = seed + 7919 * trial + (internet ? 1 : 0);
+      World world(small_world_config(internet, trial_seed));
+      auto& sim = world.simulator();
+
+      // --- Reg (E): edge registration, fresh state ---
+      {
+        const util::SimTime t0 = sim.now();
+        const double s = run_and_measure(world, t0, [&](double* done) {
+          EdgeNode* edge = &world.edge(0);
+          SimNode* node = &world.edge_sim(0);
+          node->post([=, &world](util::SimTime now) {
+            return edge->begin_edge_reg(now, [=, &world](util::SimTime) {
+              // Latch after the edge finishes processing the final ack.
+              node->post([=, &world](util::SimTime t) {
+                *done = util::to_seconds(t - t0);
+                return std::vector<net::Outgoing>{};
+              });
+            });
+          });
+        });
+        if (s >= 0) reg_e.seconds.add(s);
+      }
+
+      // --- Reg (CI): client initialization ---
+      {
+        const util::SimTime t0 = sim.now();
+        const double s = run_and_measure(world, t0, [&](double* done) {
+          ClientNode* client = &world.client(0);
+          SimNode* node = &world.client_sim(0);
+          node->post([=](util::SimTime now) {
+            return client->begin_init(now, [=](util::SimTime) {
+              node->post([=](util::SimTime t) {
+                *done = util::to_seconds(t - t0);
+                return std::vector<net::Outgoing>{};
+              });
+            });
+          });
+        });
+        if (s >= 0) reg_ci.seconds.add(s);
+      }
+
+      // --- Reg (CR): token reregistration with the edge ---
+      {
+        const util::SimTime t0 = sim.now();
+        const double s = run_and_measure(world, t0, [&](double* done) {
+          ClientNode* client = &world.client(0);
+          SimNode* node = &world.client_sim(0);
+          node->post([=](util::SimTime now) {
+            return client->begin_rereg(now, [=](util::SimTime) {
+              node->post([=](util::SimTime t) {
+                *done = util::to_seconds(t - t0);
+                return std::vector<net::Outgoing>{};
+              });
+            });
+          });
+        });
+        if (s >= 0) reg_cr.seconds.add(s);
+      }
+
+      // --- D.Req: first request misses the cold cache (NC), the refill it
+      // triggers makes the second request a hit (C). Client 1 is used so
+      // the heavy-user statistics stay clean. ---
+      for (int phase = 0; phase < 2; ++phase) {
+        const util::SimTime t0 = sim.now();
+        const double s = run_and_measure(world, t0, [&](double* done) {
+          ClientNode* client = &world.client(1);
+          SimNode* node = &world.client_sim(1);
+          node->post([=](util::SimTime now) {
+            return client->request_entropy(
+                512, now, [=](util::BytesView, util::SimTime) {
+                  node->post([=](util::SimTime t) {
+                    *done = util::to_seconds(t - t0);
+                    return std::vector<net::Outgoing>{};
+                  });
+                });
+          });
+        });
+        if (s >= 0) (phase == 0 ? dreq_nc : dreq_c).seconds.add(s);
+      }
+    }
+
+    results.push_back(std::move(reg_e));
+    results.push_back(std::move(reg_ci));
+    results.push_back(std::move(reg_cr));
+    results.push_back(std::move(dreq_nc));
+    results.push_back(std::move(dreq_c));
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------- Fig. 8b
+
+HeavyUseResult edge_heavy_use(double duration_s, std::uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.num_networks = 1;
+  config.clients_per_network = 8;
+  config.profiles = {NetworkProfile::kBalanced};
+  config.server_seed_bytes = 1 << 20;
+  World world(config);
+  world.register_edges();
+
+  WorkloadDriver driver(world, seed);
+  const util::SimTime t_end = util::from_seconds(duration_s);
+  const util::SimTime burst_start = util::from_seconds(duration_s / 3.0);
+  const util::SimTime burst_end = util::from_seconds(2.0 * duration_s / 3.0);
+
+  // Clients 0..5 regular throughout; 6..7 regular, then a heavy burst.
+  ClientBehavior regular;
+  regular.request_rate_hz = 0.3;
+  regular.request_bits = 512;
+  for (std::size_t i = 0; i < 6; ++i) driver.drive(i, regular, 0, t_end);
+  for (std::size_t i = 6; i < 8; ++i) {
+    driver.drive(i, regular, 0, burst_start);
+    driver.drive(i, ClientBehavior::heavy(), burst_start, burst_end);
+    driver.drive(i, regular, burst_end, t_end);
+  }
+
+  world.simulator().run_until(t_end + util::from_seconds(5));
+  world.simulator().run();
+
+  HeavyUseResult out;
+  const double burst_lo = util::to_seconds(burst_start);
+  const double burst_hi = util::to_seconds(burst_end);
+  for (const auto& ev : driver.metrics().events) {
+    const bool heavy_client = ev.client >= client_id(6);
+    if (ev.sent_at_s >= burst_lo && ev.sent_at_s < burst_hi) {
+      (heavy_client ? out.heavy_s : out.regular_s).add(ev.response_time_s);
+    } else if (!heavy_client && ev.sent_at_s < burst_lo) {
+      out.regular_baseline_s.add(ev.response_time_s);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Fig. 8c
+
+UsageTraceResult usage_score_trace(double duration_s, std::uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.num_networks = 1;
+  config.clients_per_network = 8;
+  config.profiles = {NetworkProfile::kBalanced};
+  config.server_seed_bytes = 1 << 20;
+  World world(config);
+  world.register_edges();
+
+  WorkloadDriver driver(world, seed);
+  const util::SimTime t_end = util::from_seconds(duration_s);
+  const util::SimTime burst_start = util::from_seconds(duration_s * 0.25);
+  const util::SimTime burst_end = util::from_seconds(duration_s * 0.60);
+
+  // Heavy clients (0,1) run a long high-volume burst; light clients get
+  // short moderate bursts at staggered times (the paper's L-lines also
+  // show activity spikes).
+  // Idle-period chatter sets the post-burst decay rate (scores decay per
+  // processed packet): ~2 packets/s across the LAN puts heavy-user
+  // recovery in the paper's 30-60 s band.
+  ClientBehavior idle;
+  idle.request_rate_hz = 0.25;
+  idle.request_bits = 256;
+  ClientBehavior light_burst;
+  light_burst.request_rate_hz = 1.2;
+  light_burst.request_bits = 1024;
+  util::Xoshiro256 rng(seed ^ 0xfaceULL);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    driver.drive(i, idle, 0, burst_start);
+    driver.drive(i, ClientBehavior::heavy(), burst_start, burst_end);
+    driver.drive(i, idle, burst_end, t_end);
+  }
+  for (std::size_t i = 2; i < 8; ++i) {
+    driver.drive(i, idle, 0, t_end);
+    // One ~25 s light burst at a random point in the middle half.
+    const double start_s =
+        duration_s * (0.25 + 0.4 * rng.uniform01());
+    driver.drive(i, light_burst, util::from_seconds(start_s),
+                 util::from_seconds(start_s + 25.0));
+  }
+
+  // Sample scores once per simulated second.
+  UsageTraceResult out;
+  auto& sim = world.simulator();
+  EdgeNode& edge = world.edge(0);
+  for (double t = 1.0; t <= duration_s; t += 1.0) {
+    sim.schedule_at(util::from_seconds(t), [&, t]() {
+      UsageTraceResult::Point point;
+      point.t_s = t;
+      for (std::size_t i = 0; i < 8; ++i) {
+        point.scores.push_back(edge.usage().score(client_id(i)));
+      }
+      point.threshold = edge.usage().heavy_threshold();
+      out.trace.push_back(std::move(point));
+    });
+  }
+
+  sim.run_until(t_end + util::from_seconds(10));
+  sim.run();
+
+  // Fraction of the heavy-burst window spent above threshold, per client.
+  const double lo = util::to_seconds(burst_start);
+  const double hi = util::to_seconds(burst_end);
+  out.frac_above_threshold.assign(8, 0.0);
+  std::vector<int> window_points(8, 0);
+  for (const auto& point : out.trace) {
+    if (point.t_s < lo || point.t_s >= hi) continue;
+    for (std::size_t i = 0; i < 8; ++i) {
+      ++window_points[i];
+      if (point.scores[i] > point.threshold) {
+        out.frac_above_threshold[i] += 1.0;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (window_points[i] > 0) {
+      out.frac_above_threshold[i] /= window_points[i];
+    }
+  }
+
+  // Recovery: first time after each client's burst end at which its score
+  // is back below threshold.
+  out.recovery_s.assign(8, 0.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double own_burst_end = (i < 2) ? hi : 0.0;  // lights vary; skip
+    if (i >= 2) continue;
+    for (const auto& point : out.trace) {
+      if (point.t_s < own_burst_end) continue;
+      if (point.scores[i] <= point.threshold) {
+        out.recovery_s[i] = point.t_s - own_burst_end;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ Fig. 10a/b
+
+std::vector<EdgeOffloadResult> edge_offload(
+    const std::vector<std::size_t>& payload_sizes,
+    std::size_t packets_per_client, std::size_t num_clients,
+    std::uint64_t seed) {
+  std::vector<EdgeOffloadResult> results;
+  for (const std::size_t payload : payload_sizes) {
+    for (const bool with_edge : {false, true}) {
+      TestbedConfig config;
+      config.seed = seed + payload;
+      config.num_networks = 4;
+      config.clients_per_network = 11;
+      config.use_edge = with_edge;
+      config.server_seed_bytes = 1 << 21;
+      // Offload accounting wants pure packet counts; disable the sanity
+      // CPU cost's effect on shape by keeping checks on (they run at the
+      // edge either way) but the workload honest.
+      World world(config);
+      if (with_edge) world.register_edges();
+      world.transport().reset_counters();
+
+      auto& sim = world.simulator();
+      util::Xoshiro256 rng(seed ^ (payload * 2654435761ULL));
+      std::uint64_t client_responses = 0;
+
+      // Each client emits packets_per_client packets at a steady pace:
+      // 80 % uploads of `payload` bytes, 20 % entropy requests.
+      const std::size_t drive_clients =
+          std::min<std::size_t>(num_clients, world.num_clients());
+      for (std::size_t i = 0; i < drive_clients; ++i) {
+        for (std::size_t k = 0; k < packets_per_client; ++k) {
+          const util::SimTime when =
+              util::from_seconds(0.5 + 2.0 * static_cast<double>(k) +
+                                 2.0 * rng.uniform01());
+          const bool is_upload = rng.uniform01() < 0.8;
+          ClientNode* client = &world.client(i);
+          SimNode* node = &world.client_sim(i);
+          if (is_upload) {
+            util::Bytes data = entropy::synth::good(rng, payload);
+            sim.schedule_at(when, [node, client, data = std::move(data)]() {
+              node->post([client, data](util::SimTime t) {
+                return client->upload_entropy(data, t);
+              });
+            });
+          } else {
+            sim.schedule_at(when, [node, client, &client_responses]() {
+              node->post([client, &client_responses](util::SimTime t) {
+                return client->request_entropy(
+                    512, t, [&client_responses](util::BytesView,
+                                                util::SimTime) {
+                      ++client_responses;
+                    });
+              });
+            });
+          }
+        }
+      }
+
+      sim.run();
+
+      EdgeOffloadResult r;
+      r.payload_bytes = payload;
+      r.with_edge = with_edge;
+      const auto& server_stats = world.server().stats();
+      r.server_uploads = server_stats.uploads_received;
+      r.server_requests = server_stats.requests_served;
+      if (with_edge) {
+        for (std::size_t k = 0; k < world.num_edges(); ++k) {
+          const auto& edge_stats = world.edge(k).stats();
+          r.edge_uploads += edge_stats.uploads_received;
+          r.edge_requests += edge_stats.requests_received;
+          // Responses the edge received from the server tier:
+          r.edge_responses +=
+              world.transport().counters(edge_id(k)).packets_received -
+              edge_stats.uploads_received - edge_stats.requests_received;
+        }
+      }
+      r.client_responses = client_responses;
+      r.network_total = world.transport().total_packets();
+      results.push_back(r);
+    }
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------- Fig. 10c
+
+std::vector<PenaltyTraceResult> penalty_trace(
+    const std::vector<double>& bad_percents, std::size_t uploads,
+    std::uint64_t seed, PenaltyConfig penalty_config) {
+  std::vector<PenaltyTraceResult> results;
+  for (const double bad_percent : bad_percents) {
+    EdgeNode::Config config;
+    config.id = 100;
+    config.server = 1;
+    config.seed = seed + static_cast<std::uint64_t>(bad_percent * 100);
+    config.num_clients = 1;
+    config.penalty = penalty_config;
+    EdgeNode edge(config);
+    util::Xoshiro256 rng(seed ^ 0xbadULL ^
+                         static_cast<std::uint64_t>(bad_percent * 1000));
+
+    PenaltyTraceResult trace;
+    trace.bad_percent = bad_percent;
+    const net::NodeId client = 1000;
+    std::size_t above = 0;
+    for (std::size_t u = 0; u < uploads; ++u) {
+      util::Bytes payload =
+          rng.uniform01() < bad_percent / 100.0
+              ? entropy::synth::bad(rng, 32)
+              : entropy::synth::good(rng, 32);
+      const util::SimTime t = util::from_seconds(static_cast<double>(u));
+      (void)edge.on_packet(client, encode(Packet::data_upload(
+                                       std::move(payload), false)),
+                           t);
+      const double score = edge.penalty().score(client);
+      trace.trace.emplace_back(static_cast<double>(u), score);
+      trace.max_penalty = std::max(trace.max_penalty, score);
+      if (score >= edge.penalty().config().drop_thresh) ++above;
+      if (edge.penalty().is_blacklisted(client)) trace.blacklisted = true;
+    }
+    trace.time_above_thresh_frac =
+        static_cast<double>(above) / static_cast<double>(uploads);
+    results.push_back(std::move(trace));
+  }
+  return results;
+}
+
+// ----------------------------------------------------------------- Table II
+
+std::vector<SanityAccuracyResult> sanity_accuracy(
+    const std::vector<double>& bad_percents, std::size_t packets,
+    std::uint64_t seed) {
+  std::vector<SanityAccuracyResult> results;
+  for (const double bad_percent : bad_percents) {
+    EdgeNode::Config config;
+    config.id = 100;
+    config.server = 1;
+    config.seed = seed + static_cast<std::uint64_t>(bad_percent * 100);
+    config.num_clients = 1;
+    EdgeNode edge(config);
+    util::Xoshiro256 rng(seed ^
+                         (0xacc0ULL +
+                          static_cast<std::uint64_t>(bad_percent * 1000)));
+
+    const net::NodeId client = 1000;
+    std::uint64_t tp = 0, tn = 0, fp = 0, fn = 0;
+    for (std::size_t k = 0; k < packets; ++k) {
+      const bool is_bad = rng.uniform01() < bad_percent / 100.0;
+      // Table II's adversary uploads *mildly* biased data — detectable
+      // about half the time, per the paper's measured TN/FP split
+      // (bias 0.57 => ~50 % caught, calibrated against the checker).
+      util::Bytes payload = is_bad
+                                ? entropy::synth::biased(rng, 32, 0.57)
+                                : entropy::synth::good(rng, 32);
+      const auto before = edge.stats();
+      (void)edge.on_packet(
+          client, encode(Packet::data_upload(std::move(payload), false)),
+          util::from_seconds(static_cast<double>(k)));
+      const auto& after = edge.stats();
+      // Table II scores the *sanity classifier*: a packet counts as
+      // "classified bad" only when the checks flagged it. Packets the
+      // penalty gate ignores are never inspected, so they land in the
+      // classified-good column — that is what makes the paper's FP column
+      // jump (8.94 at 10 %) once a misbehaving client goes delinquent and
+      // its (mostly bad) traffic stops being examined.
+      const bool flagged_bad =
+          after.uploads_rejected_sanity > before.uploads_rejected_sanity;
+      if (is_bad) {
+        flagged_bad ? ++tn : ++fp;
+      } else {
+        flagged_bad ? ++fn : ++tp;
+      }
+    }
+    SanityAccuracyResult r;
+    r.bad_percent = bad_percent;
+    const double n = static_cast<double>(packets);
+    r.true_positive = 100.0 * static_cast<double>(tp) / n;
+    r.true_negative = 100.0 * static_cast<double>(tn) / n;
+    r.false_positive = 100.0 * static_cast<double>(fp) / n;
+    r.false_negative = 100.0 * static_cast<double>(fn) / n;
+    r.accuracy = r.true_positive + r.true_negative;
+    results.push_back(r);
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------- Table III
+
+std::vector<QualityResult> quality_pvalues(std::size_t bits, std::size_t reps,
+                                           std::uint64_t seed) {
+  const std::size_t bytes_needed = (bits + 7) / 8;
+  nist::QualityBattery battery;
+  std::vector<QualityResult> results;
+
+  const auto summarize = [](const char* name,
+                            const nist::MultiRunAssessment& assessment) {
+    QualityResult r;
+    r.generator = name;
+    r.min_proportion = 1.0;
+    for (const auto& a : assessment.assess()) {
+      r.p_values.emplace_back(a.name, a.uniformity_p);
+      r.min_proportion = std::min(r.min_proportion, a.pass_proportion);
+      if (a.uniformity_ok) ++r.passed;
+      ++r.total;
+    }
+    return r;
+  };
+
+  // ---- CADET: full upload pipeline into the server pool ----
+  {
+    entropy::ServerEntropyPool pool(4 * bytes_needed);
+    entropy::YarrowMixer mixer(pool);
+    util::Xoshiro256 rng(seed ^ 0xcade7ULL);
+    nist::MultiRunAssessment assessment;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      while (pool.size() < bytes_needed) {
+        mixer.add_input(entropy::synth::good(rng, 32));
+      }
+      assessment.add_run(battery.run(pool.pop(bytes_needed), bits));
+    }
+    results.push_back(summarize("CADET", assessment));
+  }
+
+  // ---- LPRNG baseline: Linux input-pool model fed timing events ----
+  {
+    entropy::LinuxPrngModel lprng;
+    util::Xoshiro256 rng(seed ^ 0x11e0cULL);
+    std::uint64_t t_ns = 0;
+    nist::MultiRunAssessment assessment;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      // Feed a burst of irregular event timings, then extract.
+      for (int e = 0; e < 512; ++e) {
+        t_ns += static_cast<std::uint64_t>(rng.exponential(1e6));
+        lprng.add_timer_event(t_ns);
+      }
+      assessment.add_run(battery.run(lprng.extract(bytes_needed), bits));
+    }
+    results.push_back(summarize("LPRNG", assessment));
+  }
+
+  return results;
+}
+
+}  // namespace cadet::testbed::experiments

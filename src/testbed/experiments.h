@@ -1,0 +1,120 @@
+// Experiment drivers: one function per figure/table of the paper's
+// evaluation (§VI). Bench binaries print their results; tests run
+// scaled-down instances and assert the qualitative claims.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testbed/topology.h"
+#include "testbed/workload.h"
+#include "util/stats.h"
+
+namespace cadet::testbed::experiments {
+
+// ----------------------------------------------------------- Fig. 8a
+/// Execution time of each protocol operation, including travel time:
+/// Reg(E), Reg(CI), Reg(CR), D.Req(NC), D.Req(C); testbed vs internet.
+struct TimingResult {
+  std::string op;
+  bool internet = false;
+  util::Samples seconds;
+};
+std::vector<TimingResult> protocol_timing(std::size_t trials,
+                                          std::uint64_t seed);
+
+// ----------------------------------------------------------- Fig. 8b
+/// Edge response time during heavy use: 6 regular + 2 heavy clients;
+/// heavy clients burst mid-run and the reserve cache shields the rest.
+struct HeavyUseResult {
+  util::Samples regular_s;          // regular clients, during the burst
+  util::Samples heavy_s;            // heavy clients, during the burst
+  util::Samples regular_baseline_s; // regular clients, before the burst
+};
+HeavyUseResult edge_heavy_use(double duration_s, std::uint64_t seed);
+
+// ----------------------------------------------------------- Fig. 8c
+/// Usage score over time for 2 heavy + 6 light users, with the mu+3sigma
+/// threshold trace.
+struct UsageTraceResult {
+  struct Point {
+    double t_s;
+    std::vector<double> scores;  // per client, heavy clients first
+    double threshold;
+  };
+  std::vector<Point> trace;
+  std::size_t num_heavy = 2;
+  /// Fraction of the burst window each client spent above the threshold.
+  std::vector<double> frac_above_threshold;
+  /// Seconds from burst end until the score falls back below threshold.
+  std::vector<double> recovery_s;
+};
+UsageTraceResult usage_score_trace(double duration_s, std::uint64_t seed);
+
+// ------------------------------------------------------- Fig. 10a/10b
+/// Packet accounting with and without the edge tier for several upload
+/// payload sizes (43 clients x N packets, as in the paper).
+struct EdgeOffloadResult {
+  std::size_t payload_bytes = 0;
+  bool with_edge = false;
+  std::uint64_t server_uploads = 0;    // Upload (S)
+  std::uint64_t server_requests = 0;   // Request (S)
+  std::uint64_t edge_uploads = 0;      // Upload (E)
+  std::uint64_t edge_requests = 0;     // Request (E)
+  std::uint64_t edge_responses = 0;    // Response (E): server->edge data
+  std::uint64_t client_responses = 0;  // Response (C)
+  std::uint64_t server_total() const {
+    return server_uploads + server_requests;
+  }
+  std::uint64_t network_total = 0;  // every packet on the wire
+};
+std::vector<EdgeOffloadResult> edge_offload(
+    const std::vector<std::size_t>& payload_sizes,
+    std::size_t packets_per_client, std::size_t num_clients,
+    std::uint64_t seed);
+
+// ----------------------------------------------------------- Fig. 10c
+/// User penalty over time for a client uploading a given percentage of
+/// intentionally bad data (1 upload/s, Base scheme).
+struct PenaltyTraceResult {
+  double bad_percent = 0.0;
+  std::vector<std::pair<double, double>> trace;  // (t seconds, penalty)
+  double max_penalty = 0.0;
+  double time_above_thresh_frac = 0.0;
+  bool blacklisted = false;
+};
+std::vector<PenaltyTraceResult> penalty_trace(
+    const std::vector<double>& bad_percents, std::size_t uploads,
+    std::uint64_t seed, PenaltyConfig penalty_config = {});
+
+// ------------------------------------------------------------ Table II
+/// Sanity-check confusion matrix vs. client behaviour (percentages of all
+/// packets, as the paper tabulates).
+struct SanityAccuracyResult {
+  double bad_percent = 0.0;
+  double true_positive = 0.0;   // good data accepted
+  double true_negative = 0.0;   // bad data dropped
+  double false_positive = 0.0;  // bad data accepted
+  double false_negative = 0.0;  // good data dropped
+  double accuracy = 0.0;        // TP + TN
+};
+std::vector<SanityAccuracyResult> sanity_accuracy(
+    const std::vector<double>& bad_percents, std::size_t packets,
+    std::uint64_t seed);
+
+// ----------------------------------------------------------- Table III
+/// Quality-assurance p-values for the CADET server pool vs. the Linux PRNG
+/// model. Per SP800-22's multi-run methodology the reported p-value per
+/// test is the uniformity meta p-value over `reps` runs of `bits` bits.
+struct QualityResult {
+  std::string generator;
+  std::vector<std::pair<std::string, double>> p_values;  // test -> p
+  int passed = 0;
+  int total = 0;
+  double min_proportion = 0.0;  // lowest per-test pass proportion
+};
+std::vector<QualityResult> quality_pvalues(std::size_t bits, std::size_t reps,
+                                           std::uint64_t seed);
+
+}  // namespace cadet::testbed::experiments

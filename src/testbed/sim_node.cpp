@@ -1,0 +1,72 @@
+#include "testbed/sim_node.h"
+
+#include <algorithm>
+
+namespace cadet::testbed {
+
+SimNode::SimNode(sim::Simulator& simulator, net::SimTransport& transport,
+                 sim::CpuModel cpu, net::NodeId id, CostMeter& meter)
+    : simulator_(simulator),
+      transport_(transport),
+      cpu_(cpu),
+      id_(id),
+      meter_(meter) {}
+
+void SimNode::bind(std::function<std::vector<net::Outgoing>(
+                       net::NodeId, util::BytesView, util::SimTime)>
+                       handler) {
+  transport_.set_handler(
+      id_, [this, handler = std::move(handler)](net::NodeId from,
+                                                util::BytesView data,
+                                                util::SimTime) {
+        // Copy the datagram: processing may start later than delivery.
+        util::Bytes copy(data.begin(), data.end());
+        enqueue([handler, from, payload = std::move(copy)](
+                    util::SimTime start) {
+          return handler(from, payload, start);
+        });
+      });
+}
+
+void SimNode::post(Work work) { enqueue(std::move(work)); }
+
+void SimNode::enqueue(Work work) {
+  queue_.push_back(std::move(work));
+  schedule_processing();
+}
+
+void SimNode::schedule_processing() {
+  if (scheduled_ || queue_.empty()) return;
+  scheduled_ = true;
+  const util::SimTime start =
+      std::max(simulator_.now(), busy_until_);
+  simulator_.schedule_at(start, [this]() { process_one(); });
+}
+
+void SimNode::process_one() {
+  if (queue_.empty()) {
+    scheduled_ = false;
+    return;
+  }
+  Work work = std::move(queue_.front());
+  queue_.pop_front();
+
+  const util::SimTime start = simulator_.now();
+  std::vector<net::Outgoing> out = work(start);
+  const double cycles = meter_.take();
+  busy_until_ = start + cpu_.time_for_cycles(cycles);
+
+  // Transmissions leave when processing completes.
+  simulator_.schedule_at(busy_until_, [this, out = std::move(out)]() {
+    for (const auto& o : out) {
+      transport_.send(id_, o.to, o.data);
+    }
+  });
+
+  // scheduled_ stays true while this node drains its queue, so work
+  // enqueued from inside `work` cannot jump ahead of the busy window.
+  scheduled_ = false;
+  schedule_processing();
+}
+
+}  // namespace cadet::testbed

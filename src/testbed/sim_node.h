@@ -1,0 +1,61 @@
+// Binds a sans-IO protocol engine to the discrete-event simulator with a
+// single-core CPU model: work items (incoming packets, locally initiated
+// actions) are processed serially; each item's metered cycle cost extends
+// the node's busy window at the tier clock rate, and the item's outgoing
+// packets leave when processing completes. This reproduces the paper's
+// underclocked Raspberry Pis, where a 20 MHz client takes real time to
+// craft and parse packets.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cadet/node_common.h"
+#include "net/sim_transport.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+
+namespace cadet::testbed {
+
+class SimNode {
+ public:
+  /// A unit of engine work executed at a simulated time; returns the
+  /// packets to transmit when the work completes.
+  using Work = std::function<std::vector<net::Outgoing>(util::SimTime)>;
+
+  SimNode(sim::Simulator& simulator, net::SimTransport& transport,
+          sim::CpuModel cpu, net::NodeId id, CostMeter& meter);
+
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  net::NodeId id() const noexcept { return id_; }
+
+  /// Install `handler` as this node's packet handler on the transport;
+  /// deliveries are queued through the CPU model.
+  void bind(std::function<std::vector<net::Outgoing>(
+                net::NodeId, util::BytesView, util::SimTime)>
+                handler);
+
+  /// Queue a locally initiated action (e.g. "send a request now").
+  void post(Work work);
+
+  util::SimTime busy_until() const noexcept { return busy_until_; }
+
+ private:
+  void enqueue(Work work);
+  void schedule_processing();
+  void process_one();
+
+  sim::Simulator& simulator_;
+  net::SimTransport& transport_;
+  sim::CpuModel cpu_;
+  net::NodeId id_;
+  CostMeter& meter_;
+  std::deque<Work> queue_;
+  bool scheduled_ = false;
+  util::SimTime busy_until_ = 0;
+};
+
+}  // namespace cadet::testbed

@@ -1,0 +1,133 @@
+#include "testbed/workload.h"
+
+#include "entropy/sources.h"
+
+namespace cadet::testbed {
+
+ClientBehavior ClientBehavior::consumer() {
+  ClientBehavior b;
+  b.request_rate_hz = 0.5;
+  b.request_bits = 512;
+  b.upload_rate_hz = 0.05;
+  b.upload_bytes = 32;
+  return b;
+}
+
+ClientBehavior ClientBehavior::producer() {
+  ClientBehavior b;
+  b.request_rate_hz = 0.05;
+  b.request_bits = 256;
+  b.upload_rate_hz = 1.0;
+  b.upload_bytes = 32;
+  return b;
+}
+
+ClientBehavior ClientBehavior::balanced() {
+  ClientBehavior b;
+  b.request_rate_hz = 0.25;
+  b.request_bits = 512;
+  b.upload_rate_hz = 0.5;
+  b.upload_bytes = 32;
+  return b;
+}
+
+ClientBehavior ClientBehavior::heavy() {
+  ClientBehavior b;
+  b.request_rate_hz = 4.0;
+  b.request_bits = 2048;
+  b.upload_rate_hz = 0.0;
+  return b;
+}
+
+ClientBehavior ClientBehavior::for_profile(NetworkProfile profile) {
+  switch (profile) {
+    case NetworkProfile::kConsumer: return consumer();
+    case NetworkProfile::kProducer: return producer();
+    case NetworkProfile::kBalanced: return balanced();
+  }
+  return balanced();
+}
+
+WorkloadDriver::WorkloadDriver(World& world, std::uint64_t seed)
+    : world_(world), rng_(seed ^ 0x3017ead5ULL) {}
+
+void WorkloadDriver::drive(std::size_t client_idx,
+                           const ClientBehavior& behavior,
+                           util::SimTime start, util::SimTime until) {
+  auto& sim = world_.simulator();
+  if (behavior.request_rate_hz > 0.0) {
+    sim.schedule_at(start, [this, client_idx, behavior, until]() {
+      schedule_next_request(client_idx, behavior, until);
+    });
+  }
+  if (behavior.upload_rate_hz > 0.0) {
+    sim.schedule_at(start, [this, client_idx, behavior, until]() {
+      schedule_next_upload(client_idx, behavior, until);
+    });
+  }
+}
+
+void WorkloadDriver::schedule_next_request(std::size_t client_idx,
+                                           ClientBehavior behavior,
+                                           util::SimTime until) {
+  auto& sim = world_.simulator();
+  const util::SimTime next =
+      sim.now() + util::from_seconds(rng_.exponential(1.0 / behavior.request_rate_hz));
+  if (next > until) return;
+  sim.schedule_at(next, [this, client_idx, behavior, until]() {
+    ClientNode& client = world_.client(client_idx);
+    SimNode& node = world_.client_sim(client_idx);
+    ++metrics_.requests_sent;
+    const net::NodeId cid = client.id();
+    node.post([this, &client, &node, cid, behavior](util::SimTime t0) {
+      return client.request_entropy(
+          behavior.request_bits, t0,
+          [this, &node, cid, t0](util::BytesView data, util::SimTime) {
+            if (data.empty()) {
+              ++metrics_.requests_failed;  // expired, not delivered
+              return;
+            }
+            // Completion is when the client finishes processing the
+            // delivery; a zero-cost follow-up item lands exactly there.
+            node.post([this, cid, t0](util::SimTime done) {
+              const double rt = util::to_seconds(done - t0);
+              metrics_.response_times_s.add(rt);
+              metrics_.per_client_response_s[cid].add(rt);
+              metrics_.events.push_back(
+                  ResponseEvent{util::to_seconds(t0), rt, cid});
+              ++metrics_.responses_received;
+              return std::vector<net::Outgoing>{};
+            });
+          });
+    });
+    schedule_next_request(client_idx, behavior, until);
+  });
+}
+
+void WorkloadDriver::schedule_next_upload(std::size_t client_idx,
+                                          ClientBehavior behavior,
+                                          util::SimTime until) {
+  auto& sim = world_.simulator();
+  const util::SimTime next =
+      sim.now() + util::from_seconds(rng_.exponential(1.0 / behavior.upload_rate_hz));
+  if (next > until) return;
+  sim.schedule_at(next, [this, client_idx, behavior, until]() {
+    ClientNode& client = world_.client(client_idx);
+    SimNode& node = world_.client_sim(client_idx);
+    ++metrics_.uploads_sent;
+    util::Bytes payload;
+    if (behavior.bad_fraction > 0.0 && rng_.bernoulli(behavior.bad_fraction)) {
+      ++metrics_.bad_uploads_sent;
+      payload = entropy::synth::biased(rng_, behavior.upload_bytes,
+                                       behavior.bad_bias);
+    } else {
+      payload = entropy::synth::good(rng_, behavior.upload_bytes);
+    }
+    node.post([&client, payload = std::move(payload)](util::SimTime t0) {
+      return client.upload_entropy(payload, t0);
+    });
+    schedule_next_upload(client_idx, behavior, until);
+  });
+}
+
+}  // namespace cadet::testbed

@@ -1,0 +1,80 @@
+// Client workload generation: Poisson request/upload processes per client,
+// role presets matching the paper's consumer / producer / balanced networks,
+// heavy-user bursts, and misbehaving uploaders for the penalty experiments.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "testbed/topology.h"
+#include "util/stats.h"
+
+namespace cadet::testbed {
+
+struct ClientBehavior {
+  /// Poisson rate of entropy requests.
+  double request_rate_hz = 0.0;
+  std::uint16_t request_bits = 512;
+
+  /// Poisson rate of entropy uploads.
+  double upload_rate_hz = 0.0;
+  std::size_t upload_bytes = 32;
+
+  /// Fraction of uploads that are intentionally bad, and how bad: the
+  /// Bernoulli bias of the bad bits (0.5 = indistinguishable from good).
+  double bad_fraction = 0.0;
+  double bad_bias = 0.80;
+
+  static ClientBehavior consumer();
+  static ClientBehavior producer();
+  static ClientBehavior balanced();
+  /// Heavy user for the Fig. 8b/8c experiments: sustained high request rate.
+  static ClientBehavior heavy();
+
+  static ClientBehavior for_profile(NetworkProfile profile);
+};
+
+/// One completed request, timestamped for windowed analyses (Fig. 8b).
+struct ResponseEvent {
+  double sent_at_s = 0.0;       // when the request left the client
+  double response_time_s = 0.0; // full window, per the paper's definition
+  net::NodeId client = net::kInvalidNode;
+};
+
+/// Collected per-run measurements.
+struct WorkloadMetrics {
+  util::Samples response_times_s;  // every completed request, in seconds
+  std::unordered_map<net::NodeId, util::Samples> per_client_response_s;
+  std::vector<ResponseEvent> events;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t requests_failed = 0;  // expired without a delivery
+  std::uint64_t uploads_sent = 0;
+  std::uint64_t bad_uploads_sent = 0;
+};
+
+/// Drives clients of a World according to behaviours, accumulating metrics.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(World& world, std::uint64_t seed);
+
+  /// Schedule `client_idx` to follow `behavior` from `start` until `until`
+  /// (simulated time). Can be called multiple times per client with
+  /// disjoint windows (e.g. a heavy burst in the middle of a light run).
+  void drive(std::size_t client_idx, const ClientBehavior& behavior,
+             util::SimTime start, util::SimTime until);
+
+  WorkloadMetrics& metrics() noexcept { return metrics_; }
+
+ private:
+  void schedule_next_request(std::size_t client_idx, ClientBehavior behavior,
+                             util::SimTime until);
+  void schedule_next_upload(std::size_t client_idx, ClientBehavior behavior,
+                            util::SimTime until);
+
+  World& world_;
+  util::Xoshiro256 rng_;
+  WorkloadMetrics metrics_;
+};
+
+}  // namespace cadet::testbed

@@ -1,0 +1,40 @@
+// Bit-level view over a byte buffer, MSB-first within each byte.
+// The NIST SP800-22 statistics operate on bit sequences; this adapter lets
+// them run over packet payloads and pool contents without copying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cadet::util {
+
+class BitView {
+ public:
+  BitView() = default;
+  explicit BitView(std::span<const std::uint8_t> bytes,
+                   std::size_t bit_count = SIZE_MAX) noexcept
+      : bytes_(bytes),
+        bit_count_(bit_count == SIZE_MAX ? bytes.size() * 8 : bit_count) {}
+
+  std::size_t size() const noexcept { return bit_count_; }
+  bool empty() const noexcept { return bit_count_ == 0; }
+
+  /// Bit i, counted MSB-first from the start of the buffer. Returns 0 or 1.
+  int operator[](std::size_t i) const noexcept {
+    return (bytes_[i >> 3] >> (7 - (i & 7))) & 1;
+  }
+
+  /// Number of set bits in the view.
+  std::size_t popcount() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < bit_count_; ++i) n += (*this)[i];
+    return n;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+}  // namespace cadet::util

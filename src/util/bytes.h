@@ -1,0 +1,42 @@
+// Byte-buffer helpers shared across the CADET codebase: hex codecs,
+// big-endian integer packing, and constant-time comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cadet::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode bytes as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decode a hex string (case-insensitive). Throws std::invalid_argument on
+/// malformed input (odd length or non-hex character).
+Bytes from_hex(std::string_view hex);
+
+/// Big-endian packing helpers used by the wire codec.
+void put_u16_be(std::uint8_t* out, std::uint16_t v) noexcept;
+void put_u32_be(std::uint8_t* out, std::uint32_t v) noexcept;
+void put_u64_be(std::uint8_t* out, std::uint64_t v) noexcept;
+std::uint16_t get_u16_be(const std::uint8_t* in) noexcept;
+std::uint32_t get_u32_be(const std::uint8_t* in) noexcept;
+std::uint64_t get_u64_be(const std::uint8_t* in) noexcept;
+
+/// Constant-time equality; returns false on length mismatch without
+/// inspecting contents. Used for nonce/tag verification in registration.
+bool ct_equal(BytesView a, BytesView b) noexcept;
+
+/// Append the contents of `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// XOR `src` into `dst` (dst.size() must be >= src.size()).
+void xor_into(std::span<std::uint8_t> dst, BytesView src) noexcept;
+
+}  // namespace cadet::util

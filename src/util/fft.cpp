@@ -1,0 +1,100 @@
+#include "util/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cadet::util {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void fft_radix2(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_radix2: size must be a power of two");
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) *
+        (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& value : a) value /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> dft(
+    const std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  if (is_power_of_two(n)) {
+    auto a = x;
+    fft_radix2(a, false);
+    return a;
+  }
+
+  // Bluestein: X[k] = b*[k] . (a (*) b)[k]  with chirp a[j] = x[j] w^{j^2},
+  // b[j] = w^{-j^2}, w = exp(-pi i / n). The convolution runs on a
+  // power-of-two grid of size >= 2n-1.
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  std::vector<std::complex<double>> a(m), b(m);
+  // j^2 mod 2n keeps the chirp argument bounded (exp is 2n-periodic in it).
+  const double base = std::numbers::pi / static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t j2 = static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(j) * j) % (2 * n));
+    const double angle = base * static_cast<double>(j2);
+    const std::complex<double> chirp(std::cos(angle), -std::sin(angle));
+    a[j] = x[j] * chirp;
+    b[j] = std::conj(chirp);
+    if (j != 0) b[m - j] = std::conj(chirp);
+  }
+
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  fft_radix2(a, true);
+
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(k) * k) % (2 * n));
+    const double angle = base * static_cast<double>(k2);
+    const std::complex<double> chirp(std::cos(angle), -std::sin(angle));
+    out[k] = a[k] * chirp;
+  }
+  return out;
+}
+
+}  // namespace cadet::util

@@ -1,0 +1,22 @@
+// Fast Fourier transforms: iterative radix-2 for power-of-two sizes and
+// Bluestein's chirp-z algorithm for arbitrary sizes. The NIST spectral
+// test needs an exact-n DFT (padding would change the statistic), and the
+// pool snapshots it runs on are not powers of two.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace cadet::util {
+
+/// In-place radix-2 FFT. a.size() must be a power of two (throws
+/// std::invalid_argument otherwise). `inverse` applies the conjugate
+/// transform and divides by n.
+void fft_radix2(std::vector<std::complex<double>>& a, bool inverse);
+
+/// DFT of arbitrary length via Bluestein's algorithm (O(n log n)).
+/// Returns X[k] = sum_j x[j] * exp(-2*pi*i*j*k/n).
+std::vector<std::complex<double>> dft(
+    const std::vector<std::complex<double>>& x);
+
+}  // namespace cadet::util

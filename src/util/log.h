@@ -1,0 +1,50 @@
+// Minimal leveled logger. Experiments run millions of simulated packet
+// events, so the default level is Warn; tests and examples raise it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cadet::util {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a message (already filtered by the macros below).
+void log_emit(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace cadet::util
+
+#define CADET_LOG(level)                                      \
+  if (static_cast<int>(level) <                               \
+      static_cast<int>(::cadet::util::log_level())) {         \
+  } else                                                      \
+    ::cadet::util::detail::LogLine(level)
+
+#define CADET_LOG_DEBUG CADET_LOG(::cadet::util::LogLevel::Debug)
+#define CADET_LOG_INFO CADET_LOG(::cadet::util::LogLevel::Info)
+#define CADET_LOG_WARN CADET_LOG(::cadet::util::LogLevel::Warn)
+#define CADET_LOG_ERROR CADET_LOG(::cadet::util::LogLevel::Error)

@@ -1,0 +1,72 @@
+// Deterministic PRNGs for simulation and workload generation.
+//
+// These are NOT cryptographic generators — they drive the discrete-event
+// simulator, workload arrival processes, and synthetic "good/bad entropy"
+// payloads so that every experiment is reproducible from a seed. The
+// protocol's own randomness goes through crypto::Csprng.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.h"
+
+namespace cadet::util {
+
+/// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, 2^256-1 period. Satisfies
+/// UniformRandomBitGenerator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() noexcept;
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) noexcept;
+
+  /// Fill a span with pseudorandom bytes.
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+  /// Convenience: n pseudorandom bytes.
+  Bytes bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cadet::util

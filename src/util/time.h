@@ -1,0 +1,34 @@
+// Simulated-time representation. All protocol engines take time as a plain
+// value so they run identically under the discrete-event simulator and under
+// wall-clock transports.
+#pragma once
+
+#include <cstdint>
+
+namespace cadet::util {
+
+/// Nanoseconds since simulation start (or since epoch for live transports).
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+constexpr double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+
+constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+constexpr SimTime from_millis(double ms) noexcept {
+  return static_cast<SimTime>(ms * 1e6);
+}
+
+}  // namespace cadet::util

@@ -1,0 +1,25 @@
+# Helper for the plot_figures_pipeline test: generate CSVs, render SVGs,
+# verify the outputs exist and look like SVG.
+file(MAKE_DIRECTORY ${WORK_DIR})
+execute_process(COMMAND ${BENCH_DIR}/bench_fig8b_heavy_use --csv ${WORK_DIR}
+                RESULT_VARIABLE rc1 OUTPUT_QUIET ERROR_QUIET)
+execute_process(COMMAND ${BENCH_DIR}/bench_fig10c_penalty --csv ${WORK_DIR}
+                RESULT_VARIABLE rc2 OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "figure bench failed: ${rc1} ${rc2}")
+endif()
+execute_process(COMMAND python3 ${SRC_DIR}/scripts/plot_figures.py ${WORK_DIR}
+                RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "plot_figures.py failed: ${rc3}")
+endif()
+foreach(name fig8b fig10c)
+  if(NOT EXISTS ${WORK_DIR}/${name}.svg)
+    message(FATAL_ERROR "missing ${name}.svg")
+  endif()
+  file(READ ${WORK_DIR}/${name}.svg head LIMIT 64)
+  string(FIND "${head}" "<svg" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${name}.svg does not look like SVG")
+  endif()
+endforeach()

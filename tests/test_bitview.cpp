@@ -1,0 +1,50 @@
+#include "util/bitview.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cadet::util {
+namespace {
+
+TEST(BitView, MsbFirstIndexing) {
+  const std::vector<std::uint8_t> data = {0b10110100};
+  const BitView bits(data);
+  ASSERT_EQ(bits.size(), 8u);
+  const int expected[] = {1, 0, 1, 1, 0, 1, 0, 0};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(bits[i], expected[i]) << "bit " << i;
+  }
+}
+
+TEST(BitView, SpansBytes) {
+  const std::vector<std::uint8_t> data = {0xff, 0x00, 0x0f};
+  const BitView bits(data);
+  EXPECT_EQ(bits.size(), 24u);
+  EXPECT_EQ(bits[7], 1);
+  EXPECT_EQ(bits[8], 0);
+  EXPECT_EQ(bits[19], 0);
+  EXPECT_EQ(bits[20], 1);
+}
+
+TEST(BitView, TruncatedBitCount) {
+  const std::vector<std::uint8_t> data = {0xff, 0xff};
+  const BitView bits(data, 10);
+  EXPECT_EQ(bits.size(), 10u);
+  EXPECT_EQ(bits.popcount(), 10u);
+}
+
+TEST(BitView, Popcount) {
+  const std::vector<std::uint8_t> data = {0xf0, 0x0f, 0xaa};
+  const BitView bits(data);
+  EXPECT_EQ(bits.popcount(), 12u);
+}
+
+TEST(BitView, EmptyView) {
+  const BitView bits;
+  EXPECT_TRUE(bits.empty());
+  EXPECT_EQ(bits.popcount(), 0u);
+}
+
+}  // namespace
+}  // namespace cadet::util

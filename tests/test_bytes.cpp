@@ -1,0 +1,90 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace cadet::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff, 0xde, 0xad};
+  EXPECT_EQ(to_hex(data), "00017f80ffdead");
+  EXPECT_EQ(from_hex("00017f80ffdead"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("DEADBEEF"), from_hex("deadbeef"));
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, U16BigEndian) {
+  std::uint8_t buf[2];
+  put_u16_be(buf, 0xbeef);
+  EXPECT_EQ(buf[0], 0xbe);
+  EXPECT_EQ(buf[1], 0xef);
+  EXPECT_EQ(get_u16_be(buf), 0xbeef);
+}
+
+TEST(Bytes, U32BigEndian) {
+  std::uint8_t buf[4];
+  put_u32_be(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(get_u32_be(buf), 0x01020304u);
+}
+
+TEST(Bytes, U64BigEndian) {
+  std::uint8_t buf[8];
+  put_u64_be(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(get_u64_be(buf), 0x0102030405060708ull);
+}
+
+TEST(Bytes, U64RoundTripExtremes) {
+  std::uint8_t buf[8];
+  for (const std::uint64_t v : {0ull, 1ull, ~0ull, 0x8000000000000000ull}) {
+    put_u64_be(buf, v);
+    EXPECT_EQ(get_u64_be(buf), v);
+  }
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1, 2};
+  append(dst, Bytes{3, 4});
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));
+  append(dst, Bytes{});
+  EXPECT_EQ(dst.size(), 4u);
+}
+
+TEST(Bytes, XorInto) {
+  Bytes dst = {0xff, 0x0f, 0x00};
+  xor_into(dst, Bytes{0x0f, 0x0f});
+  EXPECT_EQ(dst, (Bytes{0xf0, 0x00, 0x00}));
+}
+
+}  // namespace
+}  // namespace cadet::util

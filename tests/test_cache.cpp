@@ -1,0 +1,98 @@
+#include "cadet/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cadet {
+namespace {
+
+TEST(EdgeCache, CapacityScalesWithClients) {
+  // 4096 bits per client (paper III-C).
+  EXPECT_EQ(EdgeCache(1).capacity_bytes(), 512u);
+  EXPECT_EQ(EdgeCache(11).capacity_bytes(), 11u * 512u);
+}
+
+TEST(EdgeCache, StartsEmptyAndNeedsRefill) {
+  EdgeCache cache(4);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_TRUE(cache.needs_refill());
+  EXPECT_EQ(cache.refill_amount(), cache.capacity_bytes());
+}
+
+TEST(EdgeCache, InsertAndTakeFifo) {
+  EdgeCache cache(4);
+  cache.insert(util::Bytes{1, 2, 3, 4, 5});
+  const auto out = cache.take(3, /*heavy_user=*/false);
+  EXPECT_EQ(out, (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(cache.size_bytes(), 2u);
+}
+
+TEST(EdgeCache, RegularUserCanDrainToEmpty) {
+  EdgeCache cache(2);
+  cache.insert(util::Bytes(100, 0xab));
+  const auto out = cache.take(100, /*heavy_user=*/false);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(EdgeCache, HeavyUserBlockedFromReserve) {
+  EdgeCache cache(2);  // capacity 1024, reserve 256
+  ASSERT_EQ(cache.reserve_bytes(), 256u);
+  cache.insert(util::Bytes(300, 0xcd));
+  // Heavy request that would dip below the 256-byte reserve: denied.
+  EXPECT_TRUE(cache.take(100, /*heavy_user=*/true).empty());
+  // A smaller heavy request that leaves the reserve intact: allowed.
+  EXPECT_EQ(cache.take(44, /*heavy_user=*/true).size(), 44u);
+  // Regular users can still eat into the reserve.
+  EXPECT_EQ(cache.take(200, /*heavy_user=*/false).size(), 200u);
+}
+
+TEST(EdgeCache, FailedTakeLeavesCacheIntact) {
+  EdgeCache cache(2);
+  cache.insert(util::Bytes(100, 1));
+  EXPECT_TRUE(cache.take(500, false).empty());
+  EXPECT_EQ(cache.size_bytes(), 100u);
+}
+
+TEST(EdgeCache, RefillThresholdAtQuarter) {
+  EdgeCache cache(2);  // capacity 1024, threshold 256
+  cache.insert(util::Bytes(256, 0));
+  EXPECT_FALSE(cache.needs_refill());
+  (void)cache.take(1, false);
+  EXPECT_TRUE(cache.needs_refill());
+}
+
+TEST(EdgeCache, RefillAmountTopsUp) {
+  EdgeCache cache(2);
+  cache.insert(util::Bytes(200, 0));
+  EXPECT_EQ(cache.refill_amount(), 1024u - 200u);
+}
+
+TEST(EdgeCache, EvictsOldestBeyondCapacity) {
+  EdgeCache cache(1);  // 512 bytes
+  util::Bytes first(512, 0x01);
+  util::Bytes second(10, 0x02);
+  cache.insert(first);
+  cache.insert(second);
+  EXPECT_EQ(cache.size_bytes(), 512u);
+  // The oldest 10 bytes were evicted; front is still 0x01 bytes though.
+  const auto front = cache.take(502, false);
+  EXPECT_EQ(front.back(), 0x01);
+  const auto tail = cache.take(10, false);
+  EXPECT_EQ(tail, second);
+}
+
+TEST(EdgeCache, CustomFractions) {
+  EdgeCache cache(2, /*reserve_fraction=*/0.5, /*refill_fraction=*/0.75);
+  EXPECT_EQ(cache.reserve_bytes(), 512u);
+  cache.insert(util::Bytes(700, 0));
+  EXPECT_TRUE(cache.needs_refill());  // 700 < 768
+}
+
+TEST(EdgeCache, RejectsZeroClients) {
+  EXPECT_THROW(EdgeCache(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadet

@@ -1,0 +1,106 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+namespace {
+
+using util::Bytes;
+using util::from_hex;
+using util::to_hex;
+
+// RFC 8439 §2.4.2: full encryption test vector.
+TEST(ChaCha20, Rfc8439Encryption) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  const Bytes pt(plaintext.begin(), plaintext.end());
+  const Bytes ct = ChaCha20::crypt(key, nonce, pt, 1);
+  EXPECT_EQ(to_hex(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, Rfc8439KeystreamBlock) {
+  // §2.3.2: first keystream block with counter 1.
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000090000004a00000000");
+  ChaCha20 cipher(key, nonce, 1);
+  Bytes stream(64);
+  cipher.keystream(stream);
+  EXPECT_EQ(to_hex(stream),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  const Bytes key(32, 0x42);
+  const Bytes nonce(12, 0x24);
+  const Bytes plaintext = from_hex("00112233445566778899aabbccddeeff0102");
+  const Bytes ct = ChaCha20::crypt(key, nonce, plaintext);
+  EXPECT_NE(ct, plaintext);
+  EXPECT_EQ(ChaCha20::crypt(key, nonce, ct), plaintext);
+}
+
+TEST(ChaCha20, StreamingMatchesOneShot) {
+  const Bytes key(32, 0x11);
+  const Bytes nonce(12, 0x22);
+  Bytes data(200);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const Bytes expected = ChaCha20::crypt(key, nonce, data);
+
+  Bytes incremental = data;
+  ChaCha20 cipher(key, nonce);
+  // Odd-sized chunks exercise the intra-block position tracking.
+  std::size_t offset = 0;
+  for (const std::size_t chunk : {1u, 63u, 64u, 65u, 7u}) {
+    cipher.crypt(std::span<std::uint8_t>(incremental.data() + offset, chunk));
+    offset += chunk;
+  }
+  ASSERT_EQ(offset, incremental.size());
+  EXPECT_EQ(incremental, expected);
+}
+
+TEST(ChaCha20, CounterOffsetsKeystream) {
+  const Bytes key(32, 0x01);
+  const Bytes nonce(12, 0x02);
+  ChaCha20 a(key, nonce, 0);
+  Bytes two_blocks(128);
+  a.keystream(two_blocks);
+
+  ChaCha20 b(key, nonce, 1);
+  Bytes second_block(64);
+  b.keystream(second_block);
+  EXPECT_TRUE(std::equal(second_block.begin(), second_block.end(),
+                         two_blocks.begin() + 64));
+}
+
+TEST(ChaCha20, RejectsBadKeyOrNonce) {
+  const Bytes key(32, 0), short_key(16, 0);
+  const Bytes nonce(12, 0), short_nonce(8, 0);
+  EXPECT_THROW(ChaCha20(short_key, nonce), std::invalid_argument);
+  EXPECT_THROW(ChaCha20(key, short_nonce), std::invalid_argument);
+}
+
+TEST(ChaCha20, DifferentNoncesDiffer) {
+  const Bytes key(32, 0x07);
+  Bytes n1(12, 0), n2(12, 0);
+  n2[0] = 1;
+  const Bytes pt(64, 0);
+  EXPECT_NE(ChaCha20::crypt(key, n1, pt), ChaCha20::crypt(key, n2, pt));
+}
+
+}  // namespace
+}  // namespace cadet::crypto

@@ -1,0 +1,80 @@
+#include "crypto/csprng.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+namespace {
+
+TEST(Csprng, DeterministicFromSeed) {
+  Csprng a(std::uint64_t{42}), b(std::uint64_t{42});
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+}
+
+TEST(Csprng, DifferentSeedsDiffer) {
+  Csprng a(std::uint64_t{1}), b(std::uint64_t{2});
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Csprng, SuccessiveCallsDiffer) {
+  Csprng rng(std::uint64_t{7});
+  EXPECT_NE(rng.bytes(32), rng.bytes(32));
+}
+
+TEST(Csprng, ByteSeedMatchesItself) {
+  const util::Bytes seed = {1, 2, 3, 4};
+  Csprng a{util::BytesView(seed)};
+  Csprng b{util::BytesView(seed)};
+  EXPECT_EQ(a.bytes(16), b.bytes(16));
+}
+
+TEST(Csprng, ReseedChangesStream) {
+  Csprng a(std::uint64_t{9}), b(std::uint64_t{9});
+  const util::Bytes extra = {0xde, 0xad};
+  a.reseed(extra);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Csprng, ReseedIsDeterministic) {
+  Csprng a(std::uint64_t{9}), b(std::uint64_t{9});
+  const util::Bytes extra = {0xbe, 0xef};
+  a.reseed(extra);
+  b.reseed(extra);
+  EXPECT_EQ(a.bytes(32), b.bytes(32));
+}
+
+TEST(Csprng, OutputIsBalanced) {
+  Csprng rng(std::uint64_t{1234});
+  const util::Bytes data = rng.bytes(1 << 16);
+  std::size_t ones = 0;
+  for (const auto b : data) ones += std::popcount(b);
+  EXPECT_NEAR(static_cast<double>(ones) / (65536.0 * 8), 0.5, 0.01);
+}
+
+TEST(Csprng, ArrayHelper) {
+  Csprng rng(std::uint64_t{5});
+  const auto a = rng.array<32>();
+  const auto b = rng.array<32>();
+  EXPECT_NE(a, b);
+}
+
+TEST(Csprng, TracksBytesGenerated) {
+  Csprng rng(std::uint64_t{5});
+  EXPECT_EQ(rng.bytes_generated(), 0u);
+  (void)rng.bytes(100);
+  EXPECT_EQ(rng.bytes_generated(), 100u);
+  (void)rng.array<16>();
+  EXPECT_EQ(rng.bytes_generated(), 116u);
+}
+
+TEST(Csprng, EmptyGenerateIsHarmless) {
+  Csprng rng(std::uint64_t{5});
+  EXPECT_TRUE(rng.bytes(0).empty());
+  EXPECT_FALSE(rng.bytes(8).empty());
+}
+
+}  // namespace
+}  // namespace cadet::crypto

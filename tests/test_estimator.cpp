@@ -1,0 +1,122 @@
+#include "entropy/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "entropy/sources.h"
+#include "util/rng.h"
+
+namespace cadet::entropy {
+namespace {
+
+TEST(McvEstimate, UniformBytesNearEight) {
+  util::Xoshiro256 rng(1);
+  const auto data = rng.bytes(65536);
+  const double h = mcv_min_entropy_per_byte(data);
+  // MCV of a uniform source underestimates (it keys on the max count);
+  // with 64 Ki samples it should still clear 7 bits/byte.
+  EXPECT_GT(h, 7.0);
+  EXPECT_LE(h, 8.0);
+}
+
+TEST(McvEstimate, ConstantBytesNearZero) {
+  const util::Bytes data(1024, 0x41);
+  EXPECT_NEAR(mcv_min_entropy_per_byte(data), 0.0, 1e-9);
+}
+
+TEST(McvEstimate, SkewedDistributionBounded) {
+  // 75 % one symbol, 25 % another: H_min = -log2(0.75) ~ 0.415.
+  util::Bytes data;
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back(rng.bernoulli(0.75) ? 0x00 : 0xff);
+  }
+  const double h = mcv_min_entropy_per_byte(data);
+  EXPECT_NEAR(h, -std::log2(0.75), 0.05);
+}
+
+TEST(McvEstimate, SmallSamplesArePenalized) {
+  util::Xoshiro256 rng(3);
+  const double small = mcv_min_entropy_per_byte(rng.bytes(64));
+  const double large = mcv_min_entropy_per_byte(rng.bytes(65536));
+  EXPECT_LT(small, large);  // wider confidence bound -> lower estimate
+}
+
+TEST(McvEstimate, EmptyIsZero) {
+  EXPECT_EQ(mcv_min_entropy_per_byte({}), 0.0);
+}
+
+TEST(MarkovEstimate, UniformBitsNearOne) {
+  util::Xoshiro256 rng(4);
+  const auto data = rng.bytes(8192);
+  const double h = markov_min_entropy_per_bit(util::BitView(data));
+  EXPECT_GT(h, 0.9);
+  EXPECT_LE(h, 1.0);
+}
+
+TEST(MarkovEstimate, AlternatingBitsNearZero) {
+  // 0101... is perfectly predictable from the previous bit, which the
+  // byte-symbol MCV estimate completely misses (both bytes equally
+  // frequent) — this is why the Markov view exists.
+  const util::Bytes data(512, 0x55);
+  EXPECT_NEAR(markov_min_entropy_per_bit(util::BitView(data)), 0.0, 0.05);
+  EXPECT_GT(mcv_min_entropy_per_byte(data), 0.0 - 1e-9);
+}
+
+TEST(MarkovEstimate, BiasedBitsBetween) {
+  util::Xoshiro256 rng(5);
+  const auto data = synth::biased(rng, 8192, 0.75);
+  const double h = markov_min_entropy_per_bit(util::BitView(data));
+  // H_min per bit for Bernoulli(0.75) = -log2(0.75) ~ 0.415.
+  EXPECT_NEAR(h, 0.415, 0.05);
+}
+
+TEST(MarkovEstimate, DegenerateInputs) {
+  EXPECT_EQ(markov_min_entropy_per_bit(util::BitView()), 0.0);
+  const util::Bytes one_byte = {0xff};
+  EXPECT_NEAR(markov_min_entropy_per_bit(util::BitView(one_byte)), 0.0,
+              0.2);
+}
+
+TEST(CombinedEstimate, RandomDataCreditsMostBits) {
+  util::Xoshiro256 rng(6);
+  const auto data = rng.bytes(4096);
+  const std::size_t bits = estimate_min_entropy_bits(data);
+  EXPECT_GT(bits, 4096u * 6u);     // > 6 bits per byte
+  EXPECT_LE(bits, 4096u * 8u);
+}
+
+TEST(CombinedEstimate, StructuredDataCreditsLittle) {
+  const util::Bytes alternating(1024, 0xaa);
+  EXPECT_LT(estimate_min_entropy_bits(alternating), 1024u / 2);
+  util::Bytes constant(1024, 0x00);
+  EXPECT_EQ(estimate_min_entropy_bits(constant), 0u);
+}
+
+TEST(CombinedEstimate, SensorModelGetsPartialCredit) {
+  // The sensor source's correlated high nibbles should be caught: credit
+  // well below 8 bits/byte but above zero.
+  SensorNoiseSource source(1.0, 4096, 2.0);
+  util::Xoshiro256 rng(7);
+  const auto data = source.harvest(rng);
+  const std::size_t bits = estimate_min_entropy_bits(data);
+  EXPECT_GT(bits, data.size());          // > 1 bit per byte
+  EXPECT_LT(bits, data.size() * 7);      // well under full credit
+}
+
+TEST(CombinedEstimate, TinyInputsGetNothing) {
+  EXPECT_EQ(estimate_min_entropy_bits(util::Bytes{1, 2, 3}), 0u);
+}
+
+TEST(CombinedEstimate, MonotoneInSize) {
+  // Same generator, more data => at least proportionally more credit.
+  util::Xoshiro256 rng(8);
+  const auto small = rng.bytes(256);
+  const auto large = rng.bytes(4096);
+  EXPECT_LT(estimate_min_entropy_bits(small) * 8,
+            estimate_min_entropy_bits(large));
+}
+
+}  // namespace
+}  // namespace cadet::entropy

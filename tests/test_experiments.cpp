@@ -1,0 +1,159 @@
+// Scaled-down runs of every experiment driver, asserting the qualitative
+// claims the paper makes for each figure/table. The bench binaries run the
+// full-size versions.
+#include <gtest/gtest.h>
+
+#include "testbed/experiments.h"
+
+namespace cadet::testbed::experiments {
+namespace {
+
+TEST(Fig8a, CacheHitFasterThanMissAndAllUnderBound) {
+  const auto results = protocol_timing(/*trials=*/5, /*seed=*/1);
+  ASSERT_EQ(results.size(), 10u);  // 5 ops x {testbed, internet}
+
+  auto find = [&](const std::string& op, bool internet) -> const TimingResult& {
+    for (const auto& r : results) {
+      if (r.op == op && r.internet == internet) return r;
+    }
+    ADD_FAILURE() << "missing " << op;
+    return results.front();
+  };
+
+  const double nc = find("D.Req (NC)", false).seconds.mean();
+  const double c = find("D.Req (C)", false).seconds.mean();
+  EXPECT_GT(nc, c * 1.5) << "cache should visibly cut response time";
+  EXPECT_LT(nc, 0.5);
+  EXPECT_LT(c, 0.25);
+
+  // Client rereg cheaper than client init (the token scheme's purpose).
+  const double ci = find("Reg (CI)", false).seconds.mean();
+  const double cr = find("Reg (CR)", false).seconds.mean();
+  EXPECT_LT(cr, ci);
+
+  // Edge registration cheaper than client init (faster CPU).
+  const double e = find("Reg (E)", false).seconds.mean();
+  EXPECT_LT(e, ci);
+
+  // Internet wins by cache are larger than testbed wins.
+  const double nc_wan = find("D.Req (NC)", true).seconds.mean();
+  const double c_wan = find("D.Req (C)", true).seconds.mean();
+  EXPECT_GT(nc_wan - c_wan, nc - c);
+}
+
+TEST(Fig8b, RegularClientsShieldedDuringHeavyUse) {
+  const auto result = edge_heavy_use(/*duration_s=*/120, /*seed=*/2);
+  ASSERT_GT(result.regular_s.count(), 5u);
+  ASSERT_GT(result.heavy_s.count(), 10u);
+  // Regular clients' burst-window times stay near their baseline...
+  EXPECT_LT(result.regular_s.mean(),
+            result.regular_baseline_s.mean() * 2.5 + 0.05);
+  // ...while heavy clients are visibly degraded relative to regulars.
+  EXPECT_GT(result.heavy_s.mean(), result.regular_s.mean());
+}
+
+TEST(Fig8c, HeavyUsersSitAboveThreshold) {
+  const auto result = usage_score_trace(/*duration_s=*/300, /*seed=*/3);
+  ASSERT_FALSE(result.trace.empty());
+  // Heavy clients (0,1) above threshold most of their burst; light rarely.
+  EXPECT_GT(result.frac_above_threshold[0], 0.4);
+  EXPECT_GT(result.frac_above_threshold[1], 0.4);
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_LT(result.frac_above_threshold[i], 0.3) << "light client " << i;
+  }
+  // Heavy users take a while to decay back under the threshold.
+  EXPECT_GT(result.recovery_s[0], 1.0);
+  EXPECT_LT(result.recovery_s[0], 120.0);
+}
+
+TEST(Fig10ab, EdgeSlashesServerLoadWithModestNetworkCost) {
+  const auto results =
+      edge_offload({32}, /*packets_per_client=*/50, /*num_clients=*/22,
+                   /*seed=*/4);
+  ASSERT_EQ(results.size(), 2u);
+  const auto& without = results[0];
+  const auto& with = results[1];
+  ASSERT_FALSE(without.with_edge);
+  ASSERT_TRUE(with.with_edge);
+
+  // Server-processed packets drop by >90 % (paper: ~98 % at full scale).
+  EXPECT_LT(static_cast<double>(with.server_total()),
+            0.1 * static_cast<double>(without.server_total()));
+  // Total network traffic rises by well under 20 % (paper: 3-5 %).
+  EXPECT_LT(static_cast<double>(with.network_total),
+            1.2 * static_cast<double>(without.network_total));
+  // Every request still gets a response.
+  EXPECT_GT(with.client_responses, 0u);
+}
+
+TEST(Fig10c, PenaltyOrdersByBadPercent) {
+  const auto results =
+      penalty_trace({0.0, 5.0, 10.0}, /*uploads=*/400, /*seed=*/5);
+  ASSERT_EQ(results.size(), 3u);
+  // Honest stays below the drop threshold...
+  EXPECT_LT(results[0].max_penalty, kDropThresh);
+  EXPECT_LT(results[0].time_above_thresh_frac, 0.01);
+  // ...5 % crosses it at least transiently...
+  EXPECT_GE(results[1].max_penalty, kDropThresh);
+  // ...10 % spends much more time above it than 5 %.
+  EXPECT_GT(results[2].time_above_thresh_frac,
+            results[1].time_above_thresh_frac);
+  EXPECT_GT(results[2].max_penalty, results[1].max_penalty);
+}
+
+TEST(TableI, SchemesTradeOffEscalationAndForgiveness) {
+  // Against a flagrant attacker (30 % strongly bad uploads) the Strict
+  // scheme's +10/+6 rows escalate hardest; Loose's -1/-2 redemption rows
+  // keep the score lowest. (For *mild* misbehaviour the ordering can
+  // invert — Strict also redeems 5/6 uploads at -1 — which is exactly the
+  // per-edge tunability the paper's Table I is about.)
+  PenaltyConfig strict;
+  strict.scheme = PenaltyScheme::strict();
+  PenaltyConfig loose;
+  loose.scheme = PenaltyScheme::loose();
+  const auto strict_r = penalty_trace({30.0}, 300, 6, strict);
+  const auto base_r = penalty_trace({30.0}, 300, 6);
+  const auto loose_r = penalty_trace({30.0}, 300, 6, loose);
+  EXPECT_GE(strict_r[0].time_above_thresh_frac,
+            base_r[0].time_above_thresh_frac);
+  EXPECT_GE(base_r[0].time_above_thresh_frac,
+            loose_r[0].time_above_thresh_frac);
+  // All schemes should catch a 30 % attacker eventually.
+  EXPECT_GT(strict_r[0].max_penalty, kDropThresh);
+}
+
+TEST(TableII, AccuracyDegradesGracefully) {
+  const auto results = sanity_accuracy({0.0, 4.0, 10.0}, /*packets=*/600,
+                                       /*seed=*/7);
+  ASSERT_EQ(results.size(), 3u);
+  // Honest traffic mostly accepted.
+  EXPECT_GT(results[0].accuracy, 90.0);
+  EXPECT_EQ(results[0].true_negative + results[0].false_positive, 0.0);
+  // Accuracy decreases as bad-data share grows.
+  EXPECT_GE(results[0].accuracy, results[1].accuracy);
+  EXPECT_GE(results[1].accuracy, results[2].accuracy - 1.0);
+  // Rows sum to 100 %.
+  for (const auto& r : results) {
+    EXPECT_NEAR(r.true_positive + r.true_negative + r.false_positive +
+                    r.false_negative,
+                100.0, 1e-6);
+  }
+}
+
+TEST(TableIII, BothGeneratorsPassQualitySuite) {
+  const auto results = quality_pvalues(/*bits=*/20000, /*reps=*/40,
+                                       /*seed=*/8);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.total, 7) << r.generator;
+    // Min pass proportion near 0.99 expectation; slack for 40 reps.
+    EXPECT_GT(r.min_proportion, 0.9) << r.generator;
+    for (const auto& [test, p] : r.p_values) {
+      EXPECT_GE(p, 0.0001) << r.generator << "/" << test
+                           << " uniformity meta p-value too small";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cadet::testbed::experiments

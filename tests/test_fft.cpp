@@ -1,0 +1,115 @@
+#include "util/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace cadet::util {
+namespace {
+
+using Complex = std::complex<double>;
+
+/// Reference O(n^2) DFT for verification.
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(j * k) /
+                           static_cast<double>(n);
+      sum += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& value : x) {
+    value = Complex(rng.uniform01() * 2.0 - 1.0, rng.uniform01() * 2.0 - 1.0);
+  }
+  return x;
+}
+
+double max_error(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    err = std::max(err, std::abs(a[i] - b[i]));
+  }
+  return err;
+}
+
+TEST(Fft, Radix2MatchesNaive) {
+  for (const std::size_t n : {2u, 4u, 8u, 64u, 256u}) {
+    auto x = random_signal(n, n);
+    auto a = x;
+    fft_radix2(a, false);
+    EXPECT_LT(max_error(a, naive_dft(x)), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  auto x = random_signal(128, 5);
+  auto a = x;
+  fft_radix2(a, false);
+  fft_radix2(a, true);
+  EXPECT_LT(max_error(a, x), 1e-12);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(6);
+  EXPECT_THROW(fft_radix2(x, false), std::invalid_argument);
+  std::vector<Complex> empty;
+  EXPECT_THROW(fft_radix2(empty, false), std::invalid_argument);
+}
+
+class BluesteinSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BluesteinSizes, MatchesNaiveAtArbitrarySizes) {
+  const auto x = random_signal(GetParam(), GetParam() * 31 + 1);
+  const auto fast = dft(x);
+  const auto slow = naive_dft(x);
+  // Tolerance scales mildly with n (error accumulation).
+  EXPECT_LT(max_error(fast, slow), 1e-7 * static_cast<double>(GetParam()))
+      << "n=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BluesteinSizes,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 10u, 100u,
+                                           255u, 257u, 1000u));
+
+TEST(Fft, DftOfConstantIsImpulse) {
+  std::vector<Complex> x(10, Complex(1.0, 0.0));
+  const auto spectrum = dft(x);
+  EXPECT_NEAR(spectrum[0].real(), 10.0, 1e-9);
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_NEAR(std::abs(spectrum[k]), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const auto x = random_signal(777, 9);  // odd size -> Bluestein path
+  const auto spectrum = dft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& value : x) time_energy += std::norm(value);
+  for (const auto& value : spectrum) freq_energy += std::norm(value);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(Fft, LargeSizeRuns) {
+  // The spectral test's production size: 50 000-point DFT.
+  const auto x = random_signal(50000, 11);
+  const auto spectrum = dft(x);
+  EXPECT_EQ(spectrum.size(), 50000u);
+}
+
+}  // namespace
+}  // namespace cadet::util

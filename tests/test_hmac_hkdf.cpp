@@ -1,0 +1,111 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+namespace {
+
+using util::Bytes;
+using util::from_hex;
+using util::to_hex;
+
+util::BytesView view(const std::string& s) {
+  return util::BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                         s.size());
+}
+
+std::string hmac_hex(util::BytesView key, util::BytesView data) {
+  const auto mac = hmac_sha256(key, data);
+  return to_hex(util::BytesView(mac.data(), mac.size()));
+}
+
+// RFC 4231 test cases.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_hex(key, view("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hmac_hex(view("Jefe"), view("what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_hex(key, data),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      hmac_hex(key, view("Test Using Larger Than Block-Size Key - Hash Key "
+                         "First")),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeyAffectsOutput) {
+  const Bytes a(32, 0x01), b(32, 0x02);
+  EXPECT_NE(hmac_hex(a, view("msg")), hmac_hex(b, view("msg")));
+}
+
+// RFC 5869 test cases.
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExtractMatchesHmac) {
+  const Bytes salt = {1, 2, 3};
+  const Bytes ikm = {4, 5, 6};
+  EXPECT_EQ(hkdf_extract(salt, ikm), hmac_sha256(salt, ikm));
+}
+
+TEST(Hkdf, ExpandLengths) {
+  const auto prk = hkdf_extract(Bytes{1}, Bytes{2});
+  for (const std::size_t len : {1u, 31u, 32u, 33u, 64u, 255u}) {
+    EXPECT_EQ(hkdf_expand(prk, {}, len).size(), len);
+  }
+}
+
+TEST(Hkdf, ExpandPrefixConsistency) {
+  // Shorter outputs are prefixes of longer ones (per the RFC construction).
+  const auto prk = hkdf_extract(Bytes{9}, Bytes{8});
+  const Bytes long_okm = hkdf_expand(prk, Bytes{7}, 64);
+  const Bytes short_okm = hkdf_expand(prk, Bytes{7}, 16);
+  EXPECT_TRUE(std::equal(short_okm.begin(), short_okm.end(),
+                         long_okm.begin()));
+}
+
+TEST(Hkdf, ExpandRejectsOversize) {
+  const auto prk = hkdf_extract(Bytes{1}, Bytes{2});
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, InfoSeparatesOutputs) {
+  const Bytes ikm = {1, 2, 3, 4};
+  EXPECT_NE(to_hex(hkdf({}, ikm, Bytes{'a'}, 32)),
+            to_hex(hkdf({}, ikm, Bytes{'b'}, 32)));
+}
+
+}  // namespace
+}  // namespace cadet::crypto

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "util/log.h"
+#include "util/time.h"
+
+namespace cadet::util {
+namespace {
+
+TEST(Time, ConversionsRoundTrip) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(from_millis(250), 250'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.125)), 0.125);
+}
+
+TEST(Time, UnitRelations) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // Below-threshold macros must not evaluate their stream arguments.
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  CADET_LOG_DEBUG << count();
+  CADET_LOG_INFO << count();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::Off);
+  CADET_LOG_ERROR << count();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(original);
+}
+
+TEST(Log, EmitsAtOrAboveLevel) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Debug);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "y";
+  };
+  CADET_LOG_DEBUG << count();  // goes to stderr; we only check evaluation
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace cadet::util

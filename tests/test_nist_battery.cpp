@@ -1,0 +1,184 @@
+#include "nist/battery.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/sources.h"
+#include "util/rng.h"
+
+namespace cadet::nist {
+namespace {
+
+TEST(SanityBattery, RunsSixChecks) {
+  util::Xoshiro256 rng(1);
+  const auto payload = rng.bytes(32);
+  SanityBattery battery;
+  const auto result = battery.run(payload, {});
+  EXPECT_EQ(result.total(), SanityBattery::kNumChecks);
+}
+
+TEST(SanityBattery, GoodDataPassesMost) {
+  util::Xoshiro256 rng(2);
+  SanityBattery battery;
+  int total_passed = 0;
+  const int trials = 50;
+  util::Bytes previous;
+  for (int t = 0; t < trials; ++t) {
+    const auto payload = rng.bytes(32);
+    total_passed += battery.run(payload, previous).passed();
+    previous = payload;
+  }
+  // Random 256-bit payloads should average well above the accept line (4).
+  EXPECT_GT(static_cast<double>(total_passed) / trials, 5.0);
+}
+
+TEST(SanityBattery, HeavilyBiasedDataFailsMost) {
+  util::Xoshiro256 rng(3);
+  SanityBattery battery;
+  const auto payload = entropy::synth::biased(rng, 32, 0.85);
+  const auto result = battery.run(payload, {});
+  EXPECT_LE(result.passed(), 2);
+}
+
+TEST(SanityBattery, PatternedDataFailsRunsAndApEn) {
+  SanityBattery battery;
+  const auto payload = entropy::synth::patterned(32);
+  const auto fresh = battery.run(payload, {});
+  // Alternating bits are perfectly balanced, so the frequency-family tests
+  // (Freq, CusumF, CusumR) are blind to them; runs and ApEn catch the
+  // degenerate structure. With no history: exactly 4 of 6 pass.
+  EXPECT_EQ(fresh.passed(), 4);
+  // A repeat upload additionally trips the history comparison.
+  const auto replay = battery.run(payload, payload);
+  EXPECT_LE(replay.passed(), 3);
+}
+
+TEST(SanityBattery, ReplayCaughtByHistoryCheck) {
+  util::Xoshiro256 rng(4);
+  SanityBattery battery;
+  const auto payload = rng.bytes(32);
+  const auto fresh = battery.run(payload, {});
+  const auto replay = battery.run(payload, payload);
+  EXPECT_EQ(replay.passed(), fresh.passed() - 1);
+}
+
+TEST(SanityBattery, HandlesTinyPayloads) {
+  util::Xoshiro256 rng(5);
+  SanityBattery battery;
+  // 4-byte uploads are the smallest in the paper's Fig. 10 experiments.
+  const auto payload = rng.bytes(4);
+  EXPECT_NO_THROW(battery.run(payload, {}));
+}
+
+TEST(QualityBattery, RunsSevenChecksInTableOrder) {
+  util::Xoshiro256 rng(6);
+  const auto pool = rng.bytes(6250);  // 50 000 bits
+  QualityBattery battery;
+  const auto result = battery.run(pool, 50000);
+  ASSERT_EQ(result.total(), QualityBattery::kNumChecks);
+  EXPECT_EQ(result.results[0].name, "Frequency");
+  EXPECT_EQ(result.results[1].name, "BlockFrequency");
+  EXPECT_EQ(result.results[2].name, "CusumForward");
+  EXPECT_EQ(result.results[3].name, "CusumReverse");
+  EXPECT_EQ(result.results[4].name, "Runs");
+  EXPECT_EQ(result.results[5].name, "LongestRunOfOnes");
+  EXPECT_EQ(result.results[6].name, "ApproximateEntropy");
+}
+
+TEST(QualityBattery, GoodPoolPasses) {
+  util::Xoshiro256 rng(7);
+  const auto pool = rng.bytes(6250);
+  QualityBattery battery;
+  const auto result = battery.run(pool, 50000);
+  EXPECT_GE(result.passed(), 6);  // allow one borderline p-value
+}
+
+TEST(QualityBattery, BadPoolFails) {
+  util::Xoshiro256 rng(8);
+  const auto pool = entropy::synth::biased(rng, 6250, 0.55);
+  QualityBattery battery;
+  const auto result = battery.run(pool, 50000);
+  EXPECT_FALSE(result.all_passed());
+  EXPECT_LE(result.passed(), 3);
+}
+
+TEST(QualityBattery, BitLimitRespected) {
+  util::Xoshiro256 rng(9);
+  auto pool = rng.bytes(6250);
+  QualityBattery battery;
+  // Corrupt the tail beyond the inspected window; verdict must not change.
+  const auto clean = battery.run(pool, 10000);
+  for (std::size_t i = 2000; i < pool.size(); ++i) pool[i] = 0xff;
+  const auto corrupted = battery.run(pool, 10000);
+  ASSERT_EQ(clean.results.size(), corrupted.results.size());
+  for (std::size_t i = 0; i < clean.results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(clean.results[i].p_value, corrupted.results[i].p_value);
+  }
+}
+
+TEST(MultiRunAssessment, GoodGeneratorPassesBothCriteria) {
+  util::Xoshiro256 rng(20);
+  QualityBattery battery;
+  MultiRunAssessment assessment;
+  for (int run = 0; run < 60; ++run) {
+    assessment.add_run(battery.run(rng.bytes(2048)));
+  }
+  EXPECT_EQ(assessment.runs(), 60u);
+  for (const auto& a : assessment.assess()) {
+    EXPECT_TRUE(a.proportion_ok) << a.name << " " << a.pass_proportion;
+    EXPECT_TRUE(a.uniformity_ok) << a.name << " " << a.uniformity_p;
+  }
+}
+
+TEST(MultiRunAssessment, BiasedGeneratorFlagged) {
+  util::Xoshiro256 rng(21);
+  QualityBattery battery;
+  MultiRunAssessment assessment;
+  for (int run = 0; run < 40; ++run) {
+    assessment.add_run(battery.run(entropy::synth::biased(rng, 2048, 0.52)));
+  }
+  // A 2 % bias at 16 kbit per run: the frequency-family tests fail runs
+  // and their p-values cluster at zero.
+  bool any_flagged = false;
+  for (const auto& a : assessment.assess()) {
+    if (!a.proportion_ok || !a.uniformity_ok) any_flagged = true;
+  }
+  EXPECT_TRUE(any_flagged);
+}
+
+TEST(MultiRunAssessment, MinProportionMatchesSpec) {
+  // SP800-22 4.2.1 for 200 runs at alpha 0.01: ~0.9676.
+  EXPECT_NEAR(MultiRunAssessment::min_proportion(200), 0.9679, 5e-3);
+  EXPECT_EQ(MultiRunAssessment::min_proportion(0), 0.0);
+}
+
+TEST(MultiRunAssessment, UniformityOfUniformSamples) {
+  util::Xoshiro256 rng(22);
+  std::vector<double> ps;
+  for (int i = 0; i < 1000; ++i) ps.push_back(rng.uniform01());
+  EXPECT_GT(MultiRunAssessment::uniformity_p_value(ps), 1e-3);
+  // Clustered p-values flunk uniformity.
+  std::vector<double> clustered(1000, 0.05);
+  EXPECT_LT(MultiRunAssessment::uniformity_p_value(clustered), 1e-6);
+}
+
+TEST(MultiRunAssessment, RejectsInconsistentShapes) {
+  util::Xoshiro256 rng(23);
+  QualityBattery base, extended;
+  extended.extended = true;
+  MultiRunAssessment assessment;
+  assessment.add_run(base.run(rng.bytes(2048)));
+  EXPECT_THROW(assessment.add_run(extended.run(rng.bytes(2048))),
+               std::invalid_argument);
+}
+
+TEST(BatteryResult, Accounting) {
+  BatteryResult r;
+  r.results.push_back({"a", 0, 0.5, true});
+  r.results.push_back({"b", 0, 0.001, false});
+  EXPECT_EQ(r.passed(), 1);
+  EXPECT_EQ(r.total(), 2);
+  EXPECT_FALSE(r.all_passed());
+}
+
+}  // namespace
+}  // namespace cadet::nist

@@ -1,0 +1,410 @@
+// The extended-battery tests: binary matrix rank (GF(2) algebra) and
+// linear complexity (Berlekamp-Massey), plus the extended QualityBattery
+// wiring. The paper's quality check says "more tests can be included"
+// depending on server power — these are those tests.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "entropy/sources.h"
+#include "entropy/yarrow.h"
+#include "nist/battery.h"
+#include "nist/tests.h"
+#include "util/bitview.h"
+#include "util/rng.h"
+
+namespace cadet::nist {
+namespace {
+
+// ------------------------------------------------------------- GF(2) rank
+
+TEST(Gf2Rank, IdentityIsFullRank) {
+  std::vector<std::uint64_t> rows;
+  for (int i = 0; i < 8; ++i) rows.push_back(std::uint64_t{1} << (7 - i));
+  EXPECT_EQ(gf2_rank(rows, 8), 8u);
+}
+
+TEST(Gf2Rank, DuplicateRowsReduceRank) {
+  std::vector<std::uint64_t> rows = {0b1100, 0b1100, 0b0011, 0b1111};
+  // row2 = row0, row3 = row0 ^ row2(=0b0011): {1100, 0011} independent,
+  // 1111 = 1100^0011 dependent -> rank 2.
+  EXPECT_EQ(gf2_rank(rows, 4), 2u);
+}
+
+TEST(Gf2Rank, ZeroMatrixHasRankZero) {
+  EXPECT_EQ(gf2_rank(std::vector<std::uint64_t>(5, 0), 8), 0u);
+}
+
+TEST(Gf2Rank, SingleRow) {
+  EXPECT_EQ(gf2_rank({0b0100}, 4), 1u);
+  EXPECT_EQ(gf2_rank({0}, 4), 0u);
+}
+
+TEST(Gf2Rank, RandomMatricesMatchTheory) {
+  // Asymptotic rank distribution for random 32x32 GF(2) matrices:
+  // P(32) ~ 0.2888, P(31) ~ 0.5776, P(<=30) ~ 0.1336.
+  util::Xoshiro256 rng(1);
+  int full = 0, minus1 = 0, rest = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint64_t> rows(32);
+    for (auto& row : rows) row = rng() & 0xffffffffull;
+    const std::size_t rank = gf2_rank(std::move(rows), 32);
+    if (rank == 32) {
+      ++full;
+    } else if (rank == 31) {
+      ++minus1;
+    } else {
+      ++rest;
+    }
+  }
+  EXPECT_NEAR(full / static_cast<double>(trials), 0.2888, 0.03);
+  EXPECT_NEAR(minus1 / static_cast<double>(trials), 0.5776, 0.03);
+  EXPECT_NEAR(rest / static_cast<double>(trials), 0.1336, 0.03);
+}
+
+TEST(Gf2RankProbability, MatchesKnownConstants) {
+  EXPECT_NEAR(gf2_rank_probability(32, 32, 32), 0.2888, 1e-3);
+  EXPECT_NEAR(gf2_rank_probability(31, 32, 32), 0.5776, 1e-3);
+  const double rest = 1.0 - gf2_rank_probability(32, 32, 32) -
+                      gf2_rank_probability(31, 32, 32);
+  EXPECT_NEAR(rest, 0.1336, 1e-3);
+}
+
+TEST(Gf2RankProbability, SumsToOne) {
+  double sum = 0.0;
+  for (std::size_t r = 0; r <= 8; ++r) {
+    sum += gf2_rank_probability(r, 8, 8);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RankTest, RandomDataPasses) {
+  util::Xoshiro256 rng(2);
+  const auto data = rng.bytes(8192);  // 64 matrices of 32x32
+  EXPECT_TRUE(rank_test(util::BitView(data)).pass);
+}
+
+TEST(RankTest, LowRankStructureFails) {
+  // Repeating each 32-bit row pattern makes every matrix rank <= 1.
+  std::vector<std::uint8_t> data(8192);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    data[i] = 0xde;
+    data[i + 1] = 0xad;
+    data[i + 2] = 0xbe;
+    data[i + 3] = 0xef;
+  }
+  EXPECT_FALSE(rank_test(util::BitView(data)).pass);
+}
+
+TEST(RankTest, RejectsTooShort) {
+  const std::vector<std::uint8_t> data(64, 0);
+  EXPECT_THROW(rank_test(util::BitView(data)), std::invalid_argument);
+}
+
+// ---------------------------------------------------- Berlekamp-Massey
+
+TEST(BerlekampMassey, KnownSmallCases) {
+  EXPECT_EQ(berlekamp_massey({0, 0, 0, 0}), 0u);
+  EXPECT_EQ(berlekamp_massey({1, 1, 1, 1, 1, 1}), 1u);
+  EXPECT_EQ(berlekamp_massey({0, 1}), 2u);
+  EXPECT_EQ(berlekamp_massey({0, 1, 0, 1, 0, 1, 0, 1}), 2u);
+}
+
+TEST(BerlekampMassey, RecoversLfsrLength) {
+  // x^4 + x + 1 (maximal, period 15): s[n] = s[n-3] ^ s[n-4].
+  std::vector<int> s = {1, 0, 0, 0};
+  for (int i = 4; i < 45; ++i) {
+    s.push_back(s[i - 3] ^ s[i - 4]);
+  }
+  EXPECT_EQ(berlekamp_massey(s), 4u);
+}
+
+TEST(BerlekampMassey, RecoversLongerLfsr) {
+  // x^7 + x^6 + 1: s[n] = s[n-1] ^ s[n-7] (maximal, period 127).
+  std::vector<int> s = {1, 0, 0, 1, 1, 0, 1};
+  for (int i = 7; i < 260; ++i) {
+    s.push_back(s[i - 1] ^ s[i - 7]);
+  }
+  EXPECT_EQ(berlekamp_massey(s), 7u);
+}
+
+TEST(BerlekampMassey, RandomSequenceNearHalfLength) {
+  util::Xoshiro256 rng(3);
+  std::vector<int> s(200);
+  for (auto& bit : s) bit = static_cast<int>(rng() & 1);
+  const std::size_t l = berlekamp_massey(s);
+  EXPECT_GE(l, 95u);
+  EXPECT_LE(l, 105u);
+}
+
+TEST(LinearComplexityTest, RandomDataPasses) {
+  util::Xoshiro256 rng(4);
+  int passes = 0;
+  for (int t = 0; t < 5; ++t) {
+    const auto data = rng.bytes(6250);  // 100 blocks of 500 bits
+    if (linear_complexity_test(util::BitView(data), 500).pass) ++passes;
+  }
+  EXPECT_GE(passes, 4);
+}
+
+TEST(LinearComplexityTest, LfsrStreamFails) {
+  // A short-LFSR keystream has tiny linear complexity in every block.
+  std::vector<int> s = {1, 0, 0, 0};
+  for (int i = 4; i < 50000; ++i) s.push_back(s[i - 3] ^ s[i - 4]);
+  std::vector<std::uint8_t> data(s.size() / 8);
+  for (std::size_t i = 0; i < data.size() * 8; ++i) {
+    if (s[i]) data[i / 8] |= static_cast<std::uint8_t>(0x80 >> (i % 8));
+  }
+  EXPECT_FALSE(linear_complexity_test(util::BitView(data), 500).pass);
+}
+
+TEST(LinearComplexityTest, RejectsBadParameters) {
+  const std::vector<std::uint8_t> data(4, 0);
+  EXPECT_THROW(linear_complexity_test(util::BitView(data), 2),
+               std::invalid_argument);
+  EXPECT_THROW(linear_complexity_test(util::BitView(data), 64),
+               std::invalid_argument);
+}
+
+// ------------------------------------------- template matching tests
+
+TEST(NonOverlappingTemplate, RandomDataPasses) {
+  util::Xoshiro256 rng(30);
+  int passes = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto data = rng.bytes(4096);
+    if (non_overlapping_template_test(util::BitView(data)).pass) ++passes;
+  }
+  EXPECT_GE(passes, 9);
+}
+
+TEST(NonOverlappingTemplate, PlantedTemplateDetected) {
+  // Saturate the data with the default template B = 000000001.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 2048; ++i) {
+    data.push_back(0x00);
+    data.push_back(0x80);  // together: 000000001 0000000 pattern-rich
+  }
+  EXPECT_FALSE(non_overlapping_template_test(util::BitView(data)).pass);
+}
+
+TEST(NonOverlappingTemplate, CustomTemplate) {
+  util::Xoshiro256 rng(31);
+  const auto data = rng.bytes(4096);
+  const std::vector<int> templ = {1, 0, 1, 1, 0, 1, 0, 0, 1};
+  EXPECT_NO_THROW(
+      non_overlapping_template_test(util::BitView(data), templ));
+}
+
+TEST(NonOverlappingTemplate, RejectsBadParameters) {
+  const std::vector<std::uint8_t> data(8, 0xaa);
+  EXPECT_THROW(
+      non_overlapping_template_test(util::BitView(data), {1}, 8),
+      std::invalid_argument);
+  EXPECT_THROW(
+      non_overlapping_template_test(util::BitView(data), {1, 0, 1}, 1000),
+      std::invalid_argument);
+}
+
+TEST(OverlappingTemplate, RandomDataPasses) {
+  util::Xoshiro256 rng(32);
+  int passes = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto data = rng.bytes(32768);
+    if (overlapping_template_test(util::BitView(data)).pass) ++passes;
+  }
+  EXPECT_GE(passes, 7);
+}
+
+TEST(OverlappingTemplate, OnesRichDataFails) {
+  util::Xoshiro256 rng(33);
+  const auto data = entropy::synth::biased(rng, 32768, 0.8);
+  EXPECT_FALSE(overlapping_template_test(util::BitView(data)).pass);
+}
+
+TEST(OverlappingTemplate, RejectsTooShort) {
+  const std::vector<std::uint8_t> data(64, 0);
+  EXPECT_THROW(overlapping_template_test(util::BitView(data)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- Maurer's universal
+
+TEST(Universal, RandomDataPasses) {
+  util::Xoshiro256 rng(34);
+  int passes = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto data = rng.bytes(6250);  // 50 000 bits -> L = 3 regime
+    if (universal_test(util::BitView(data)).pass) ++passes;
+  }
+  EXPECT_GE(passes, 7);
+}
+
+TEST(Universal, CompressibleDataFails) {
+  // Highly repetitive data: block recurrence distances collapse.
+  const std::vector<std::uint8_t> data(6250, 0x42);
+  EXPECT_FALSE(universal_test(util::BitView(data)).pass);
+}
+
+TEST(Universal, StatisticNearExpectedValue) {
+  util::Xoshiro256 rng(35);
+  const auto data = rng.bytes(6250);
+  const auto result = universal_test(util::BitView(data));
+  // L = 3 regime: expected value 2.4016068.
+  EXPECT_NEAR(result.statistic, 2.4016068, 0.05);
+}
+
+TEST(Universal, RejectsTooShort) {
+  const std::vector<std::uint8_t> data(16, 0xaa);
+  EXPECT_THROW(universal_test(util::BitView(data)), std::invalid_argument);
+}
+
+// -------------------------------------------- parameterized sweeps
+
+class RankMatrixSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(RankMatrixSizes, RandomDataPassesAtEverySize) {
+  const auto [rows, cols] = GetParam();
+  util::Xoshiro256 rng(rows * 131 + cols);
+  // Enough bits for ~64 matrices.
+  const auto data = rng.bytes((rows * cols * 64 + 7) / 8);
+  const auto result = rank_test(util::BitView(data), rows, cols);
+  EXPECT_TRUE(result.pass) << rows << "x" << cols << " p=" << result.p_value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RankMatrixSizes,
+    ::testing::Values(std::make_pair(8u, 8u), std::make_pair(16u, 16u),
+                      std::make_pair(32u, 32u), std::make_pair(16u, 32u),
+                      std::make_pair(32u, 16u)));
+
+class UniversalRegimes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UniversalRegimes, RandomDataPassesInEveryLRegime) {
+  // One representative input size per block-length regime.
+  util::Xoshiro256 rng(GetParam());
+  const auto data = rng.bytes(GetParam());
+  const auto result = universal_test(util::BitView(data));
+  EXPECT_GE(result.p_value, 0.001) << "n=" << GetParam() * 8;
+}
+
+INSTANTIATE_TEST_SUITE_P(InputBytes, UniversalRegimes,
+                         ::testing::Values(300u,    // L=2
+                                           2600u,   // L=3
+                                           8100u,   // L=4
+                                           20200u,  // L=5
+                                           48480u   // L=6
+                                           ));
+
+// ------------------------------------------------ random excursions
+
+TEST(RandomExcursions, RandomDataPasses) {
+  util::Xoshiro256 rng(36);
+  const auto data = rng.bytes(125000);  // 10^6 bits
+  const auto results = random_excursions_test(util::BitView(data));
+  ASSERT_EQ(results.size(), 8u);
+  int passes = 0;
+  for (const auto& r : results) {
+    if (r.pass) ++passes;
+  }
+  EXPECT_GE(passes, 7);
+}
+
+TEST(RandomExcursions, ThrowsWhenInapplicable) {
+  util::Xoshiro256 rng(37);
+  const auto data = rng.bytes(256);  // far too few cycles
+  EXPECT_THROW(random_excursions_test(util::BitView(data)),
+               std::invalid_argument);
+}
+
+TEST(RandomExcursions, BiasedWalkFails) {
+  // A drifting walk rarely returns to zero; when it *barely* qualifies the
+  // state-visit distribution is warped. Build a walk with mild bias but
+  // forced returns: alternate biased stretches with corrections.
+  util::Xoshiro256 rng(38);
+  std::vector<std::uint8_t> data;
+  // 0101 pairs pin the walk near zero with degenerate state visits.
+  for (int i = 0; i < 125000; ++i) data.push_back(0x66);  // 01100110
+  const auto results = random_excursions_test(util::BitView(data));
+  int fails = 0;
+  for (const auto& r : results) {
+    if (!r.pass) ++fails;
+  }
+  EXPECT_GE(fails, 4);
+}
+
+TEST(RandomExcursionsVariant, RandomDataPasses) {
+  // About a third of million-bit sequences have < 500 zero crossings and
+  // are legitimately inapplicable (SP800-22's own caveat); sample seeds
+  // until enough applicable sequences are found.
+  int applicable = 0, well_passing = 0;
+  for (std::uint64_t seed = 39; applicable < 3 && seed < 60; ++seed) {
+    util::Xoshiro256 rng(seed);
+    const auto data = rng.bytes(125000);
+    std::vector<TestResult> results;
+    try {
+      results = random_excursions_variant_test(util::BitView(data));
+    } catch (const std::invalid_argument&) {
+      continue;  // inapplicable sequence
+    }
+    ++applicable;
+    ASSERT_EQ(results.size(), 18u);
+    int passes = 0;
+    for (const auto& r : results) {
+      if (r.pass) ++passes;
+    }
+    if (passes >= 17) ++well_passing;
+  }
+  ASSERT_EQ(applicable, 3);
+  EXPECT_GE(well_passing, 2);
+}
+
+TEST(RandomExcursionsVariant, DegenerateWalkFails) {
+  std::vector<std::uint8_t> data(125000, 0x66);
+  const auto results =
+      random_excursions_variant_test(util::BitView(data));
+  int fails = 0;
+  for (const auto& r : results) {
+    if (!r.pass) ++fails;
+  }
+  EXPECT_GE(fails, 10);
+}
+
+// ------------------------------------------------------ extended battery
+
+TEST(ExtendedBattery, RunsTwelveChecksOnPoolSnapshots) {
+  util::Xoshiro256 rng(5);
+  const auto pool = rng.bytes(6250);  // 50 000 bits
+  QualityBattery battery;
+  battery.extended = true;
+  const auto result = battery.run(pool, 50000);
+  EXPECT_EQ(result.total(), QualityBattery::kNumChecksExtended);
+  EXPECT_GE(result.passed(), result.total() - 1);
+}
+
+TEST(ExtendedBattery, SmallInputSkipsLargeSampleTests) {
+  util::Xoshiro256 rng(6);
+  const auto data = rng.bytes(1024);  // 8192 bits: no rank, no LC
+  QualityBattery battery;
+  battery.extended = true;
+  const auto result = battery.run(data);
+  // 7 base + serial x2 + spectral + non-overlapping template.
+  EXPECT_EQ(result.total(), 11);
+}
+
+TEST(ExtendedBattery, CadetPoolPassesExtendedSuite) {
+  entropy::ServerEntropyPool pool(1 << 20);
+  entropy::YarrowMixer mixer(pool);
+  util::Xoshiro256 rng(7);
+  while (pool.size() < 6250) mixer.add_input(entropy::synth::good(rng, 32));
+  QualityBattery battery;
+  battery.extended = true;
+  const auto result = battery.run(pool.peek(6250), 50000);
+  EXPECT_GE(result.passed(), result.total() - 1);
+}
+
+}  // namespace
+}  // namespace cadet::nist

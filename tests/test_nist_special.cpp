@@ -1,0 +1,70 @@
+#include "nist/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cadet::nist {
+namespace {
+
+TEST(Igamc, KnownValues) {
+  // Q(1, x) = e^{-x}.
+  EXPECT_NEAR(igamc(1.0, 2.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(igamc(1.0, 0.5), std::exp(-0.5), 1e-12);
+  // Q(1.5, 0.5) — the SP800-22 block-frequency example value.
+  EXPECT_NEAR(igamc(1.5, 0.5), 0.801252, 1e-6);
+  // Q(0.5, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(igamc(0.5, 1.0), std::erfc(1.0), 1e-12);
+  EXPECT_NEAR(igamc(0.5, 4.0), std::erfc(2.0), 1e-12);
+}
+
+TEST(Igamc, Boundaries) {
+  EXPECT_DOUBLE_EQ(igamc(3.0, 0.0), 1.0);
+  EXPECT_NEAR(igamc(3.0, 1e6), 0.0, 1e-12);
+}
+
+TEST(Igamc, ComplementsIgam) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0, 100.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Igamc, MonotoneDecreasingInX) {
+  double prev = 1.0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    const double q = igamc(4.0, x);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(Igamc, LargeDegreesOfFreedom) {
+  // Chi-square with many dof: Q(k/2, k/2) ~ 0.5 for large k.
+  EXPECT_NEAR(igamc(100.0, 100.0), 0.5, 0.03);
+}
+
+TEST(Igamc, RejectsBadDomain) {
+  EXPECT_THROW(igamc(0.0, 1.0), std::domain_error);
+  EXPECT_THROW(igamc(-1.0, 1.0), std::domain_error);
+  EXPECT_THROW(igamc(1.0, -1.0), std::domain_error);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(normal_cdf(3.0), 0.99865, 1e-5);
+  EXPECT_NEAR(normal_cdf(-6.0), 0.0, 1e-8);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (const double x : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cadet::nist

@@ -1,0 +1,298 @@
+#include "nist/tests.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/bitview.h"
+#include "util/rng.h"
+
+namespace cadet::nist {
+namespace {
+
+/// Pack an ASCII bit string ("1011...") into bytes + a BitView-compatible
+/// buffer; returns the backing storage.
+std::vector<std::uint8_t> pack_bits(const std::string& bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      bytes[i / 8] |= static_cast<std::uint8_t>(0x80 >> (i % 8));
+    }
+  }
+  return bytes;
+}
+
+// ------------------------- SP800-22 worked examples -------------------------
+
+TEST(Frequency, Sp80022Example) {
+  // §2.1.8: eps = 1011010101, P-value = 0.527089.
+  const auto bytes = pack_bits("1011010101");
+  const auto result = frequency_test(util::BitView(bytes, 10));
+  EXPECT_NEAR(result.p_value, 0.527089, 1e-6);
+  EXPECT_TRUE(result.pass);
+}
+
+TEST(BlockFrequency, Sp80022Example) {
+  // §2.2.8: eps = 0110011010, M = 3, P-value = 0.801252.
+  const auto bytes = pack_bits("0110011010");
+  const auto result = block_frequency_test(util::BitView(bytes, 10), 3);
+  EXPECT_NEAR(result.p_value, 0.801252, 1e-6);
+  EXPECT_TRUE(result.pass);
+}
+
+TEST(Runs, Sp80022Example) {
+  // §2.3.8: eps = 1001101011, P-value = 0.147232.
+  const auto bytes = pack_bits("1001101011");
+  const auto result = runs_test(util::BitView(bytes, 10));
+  EXPECT_NEAR(result.p_value, 0.147232, 1e-6);
+  EXPECT_TRUE(result.pass);
+}
+
+TEST(Cusum, Sp80022ForwardExample) {
+  // §2.13.8: eps = 1011010111 gives z = 4 (forward), P-value = 0.4116588954.
+  const auto bytes = pack_bits("1011010111");
+  const auto result = cusum_test(util::BitView(bytes, 10),
+                                 CusumMode::Forward);
+  EXPECT_DOUBLE_EQ(result.statistic, 4.0);
+  EXPECT_NEAR(result.p_value, 0.4116588954, 1e-6);
+}
+
+// ----------------------------- property tests ------------------------------
+
+class RandomDataTests : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDataTests, RandomDataPassesAllTests) {
+  util::Xoshiro256 rng(GetParam());
+  const auto data = rng.bytes(4096);  // 32768 bits
+  const util::BitView bits(data);
+  EXPECT_TRUE(frequency_test(bits).pass);
+  EXPECT_TRUE(block_frequency_test(bits, 128).pass);
+  EXPECT_TRUE(runs_test(bits).pass);
+  EXPECT_TRUE(longest_run_test(bits).pass);
+  EXPECT_TRUE(approximate_entropy_test(bits, 8).pass);
+  EXPECT_TRUE(cusum_test(bits, CusumMode::Forward).pass);
+  EXPECT_TRUE(cusum_test(bits, CusumMode::Reverse).pass);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDataTests,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+TEST(Frequency, AllOnesFails) {
+  const std::vector<std::uint8_t> data(64, 0xff);
+  EXPECT_FALSE(frequency_test(util::BitView(data)).pass);
+}
+
+TEST(Frequency, AllZerosFails) {
+  const std::vector<std::uint8_t> data(64, 0x00);
+  EXPECT_FALSE(frequency_test(util::BitView(data)).pass);
+}
+
+TEST(Frequency, BiasedDataFails) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng() | rng());  // ~75 % ones
+  }
+  EXPECT_FALSE(frequency_test(util::BitView(data)).pass);
+}
+
+TEST(Runs, AlternatingBitsFail) {
+  const std::vector<std::uint8_t> data(32, 0xaa);  // 101010...
+  // Frequency is perfect but the run structure is degenerate.
+  EXPECT_TRUE(frequency_test(util::BitView(data)).pass);
+  EXPECT_FALSE(runs_test(util::BitView(data)).pass);
+}
+
+TEST(Runs, FailedFrequencyPreconditionGivesZero) {
+  const std::vector<std::uint8_t> data(32, 0xff);
+  const auto result = runs_test(util::BitView(data));
+  EXPECT_EQ(result.p_value, 0.0);
+  EXPECT_FALSE(result.pass);
+}
+
+TEST(LongestRun, LongRunsDetected) {
+  // Blocks of 16 ones then 16 zeros: every 8-bit block is all-ones or
+  // all-zeros, wildly off the expected longest-run distribution.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 32; ++i) {
+    data.push_back(i % 4 < 2 ? 0xff : 0x00);
+  }
+  EXPECT_FALSE(longest_run_test(util::BitView(data)).pass);
+}
+
+TEST(LongestRun, SelectsBlockSizeByLength) {
+  util::Xoshiro256 rng(5);
+  // n = 256 -> M = 8 regime; n = 16384 -> M = 128 regime. Both should run
+  // without throwing and pass on random data.
+  const auto small = rng.bytes(32);
+  EXPECT_NO_THROW(longest_run_test(util::BitView(small)));
+  const auto large = rng.bytes(2048);
+  EXPECT_TRUE(longest_run_test(util::BitView(large)).pass);
+}
+
+TEST(LongestRun, RejectsTooShort) {
+  const std::vector<std::uint8_t> data(8, 0xaa);  // 64 bits < 128
+  EXPECT_THROW(longest_run_test(util::BitView(data)),
+               std::invalid_argument);
+}
+
+TEST(ApproximateEntropy, PeriodicDataFails) {
+  const std::vector<std::uint8_t> data(64, 0x55);
+  EXPECT_FALSE(approximate_entropy_test(util::BitView(data), 2).pass);
+}
+
+TEST(ApproximateEntropy, RejectsTooShort) {
+  const std::vector<std::uint8_t> data = {0xff};
+  EXPECT_THROW(approximate_entropy_test(util::BitView(data, 4), 2),
+               std::invalid_argument);
+}
+
+TEST(Cusum, BiasedWalkFails) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng() | rng());
+  EXPECT_FALSE(cusum_test(util::BitView(data), CusumMode::Forward).pass);
+  EXPECT_FALSE(cusum_test(util::BitView(data), CusumMode::Reverse).pass);
+}
+
+TEST(Cusum, ForwardAndReverseAgreeOnPalindrome) {
+  // A bit-palindrome has identical forward and reverse walks.
+  const auto bytes = pack_bits("110100101101001011");  // not a palindrome
+  const auto pal = pack_bits("1101001001011");         // palindrome-ish
+  (void)bytes;
+  const auto fwd = cusum_test(util::BitView(pal, 13), CusumMode::Forward);
+  const auto rev = cusum_test(util::BitView(pal, 13), CusumMode::Reverse);
+  EXPECT_DOUBLE_EQ(fwd.statistic, rev.statistic);
+}
+
+TEST(Cusum, EmptyThrows) {
+  EXPECT_THROW(cusum_test(util::BitView(), CusumMode::Forward),
+               std::invalid_argument);
+}
+
+TEST(Serial, Sp80022Example) {
+  // SS800-22 2.11.4: eps = 0011011101, m = 3:
+  // psi2_3 = 2.8, del-psi2 = 1.6, del2-psi2 = 0.8,
+  // P-value1 = 0.808792, P-value2 = 0.670320.
+  const auto bytes = pack_bits("0011011101");
+  const auto result = serial_test(util::BitView(bytes, 10), 3);
+  EXPECT_NEAR(result.p1.statistic, 1.6, 1e-9);
+  EXPECT_NEAR(result.p2.statistic, 0.8, 1e-9);
+  EXPECT_NEAR(result.p1.p_value, 0.808792, 1e-6);
+  EXPECT_NEAR(result.p2.p_value, 0.670320, 1e-6);
+}
+
+TEST(Serial, RandomDataPasses) {
+  util::Xoshiro256 rng(41);
+  const auto data = rng.bytes(2048);
+  const auto result = serial_test(util::BitView(data), 5);
+  EXPECT_TRUE(result.p1.pass);
+  EXPECT_TRUE(result.p2.pass);
+}
+
+TEST(Serial, PeriodicDataFails) {
+  const std::vector<std::uint8_t> data(256, 0x55);
+  const auto result = serial_test(util::BitView(data), 5);
+  EXPECT_FALSE(result.p1.pass);
+}
+
+TEST(Serial, RejectsBadParameters) {
+  const std::vector<std::uint8_t> data(4, 0xaa);
+  EXPECT_THROW(serial_test(util::BitView(data), 1), std::invalid_argument);
+  EXPECT_THROW(serial_test(util::BitView(data, 8), 4),
+               std::invalid_argument);
+}
+
+TEST(Spectral, KnownAnswer) {
+  // eps = 1001010011: X = (+1,-1,-1,+1,-1,+1,-1,-1,+1,+1) has DFT moduli
+  // {0, 2, 4.4721, 2, 4.4721, ...}, all below T = sqrt(ln(1/0.05)*10) =
+  // 5.4733, so N1 = 5, d = (5 - 4.75)/sqrt(10*0.95*0.05/4) = 0.725476 and
+  // P = erfc(|d|/sqrt 2) = 0.468160 (verified against an independent
+  // reference DFT).
+  const auto bytes = pack_bits("1001010011");
+  const auto result = spectral_test(util::BitView(bytes, 10));
+  EXPECT_NEAR(result.statistic, 0.725476, 1e-6);
+  EXPECT_NEAR(result.p_value, 0.468160, 1e-6);
+}
+
+TEST(Spectral, RandomDataPasses) {
+  util::Xoshiro256 rng(43);
+  int passes = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto data = rng.bytes(1024);
+    if (spectral_test(util::BitView(data)).pass) ++passes;
+  }
+  EXPECT_GE(passes, 9);
+}
+
+TEST(Spectral, StrongPeriodicityDetected) {
+  // Period-4 pattern concentrates spectral energy in one bin.
+  std::vector<std::uint8_t> data(512);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = 0xcc;  // 11001100
+  EXPECT_FALSE(spectral_test(util::BitView(data)).pass);
+}
+
+TEST(HistoryCompare, NoHistoryPasses) {
+  util::Xoshiro256 rng(1);
+  const auto cur = rng.bytes(32);
+  const auto result = history_compare_test(util::BitView(cur),
+                                           util::BitView());
+  EXPECT_TRUE(result.pass);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(HistoryCompare, IndependentDataPasses) {
+  util::Xoshiro256 rng(2);
+  const auto a = rng.bytes(64);
+  const auto b = rng.bytes(64);
+  EXPECT_TRUE(
+      history_compare_test(util::BitView(a), util::BitView(b)).pass);
+}
+
+TEST(HistoryCompare, ReplayFails) {
+  util::Xoshiro256 rng(3);
+  const auto a = rng.bytes(64);
+  EXPECT_FALSE(
+      history_compare_test(util::BitView(a), util::BitView(a)).pass);
+}
+
+TEST(HistoryCompare, ComplementFails) {
+  util::Xoshiro256 rng(4);
+  auto a = rng.bytes(64);
+  auto b = a;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(~byte);
+  EXPECT_FALSE(
+      history_compare_test(util::BitView(a), util::BitView(b)).pass);
+}
+
+TEST(HistoryCompare, DifferentLengthsUsePrefix) {
+  util::Xoshiro256 rng(5);
+  const auto a = rng.bytes(64);
+  const auto b = rng.bytes(16);
+  EXPECT_NO_THROW(history_compare_test(util::BitView(a), util::BitView(b)));
+}
+
+// P-values on random data should be roughly uniform: in particular not
+// clustered at 0 or 1. Sweep many seeds and check simple aggregates.
+TEST(PValueDistribution, FrequencyRoughlyUniform) {
+  util::Xoshiro256 seed_rng(99);
+  int low = 0, high = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    util::Xoshiro256 rng(seed_rng());
+    const auto data = rng.bytes(256);
+    const double p = frequency_test(util::BitView(data)).p_value;
+    if (p < 0.1) ++low;
+    if (p > 0.9) ++high;
+  }
+  // Each should be ~10 % of trials; allow generous slack.
+  EXPECT_GT(low, 10);
+  EXPECT_LT(low, 100);
+  EXPECT_GT(high, 2);
+  EXPECT_LT(high, 110);
+}
+
+}  // namespace
+}  // namespace cadet::nist

@@ -1,0 +1,149 @@
+#include "cadet/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cadet {
+namespace {
+
+TEST(Packet, HeaderIsFiveBytesOnWire) {
+  const Packet p = Packet::data_request(512, false);
+  EXPECT_EQ(encode(p).size(), kHeaderBytes);
+}
+
+TEST(Packet, DataUploadRoundTrip) {
+  util::Xoshiro256 rng(1);
+  const auto payload = rng.bytes(48);
+  const Packet p = Packet::data_upload(payload, /*edge_server=*/false);
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.dat);
+  EXPECT_FALSE(decoded->header.reg);
+  EXPECT_FALSE(decoded->header.req);
+  EXPECT_FALSE(decoded->header.ack);
+  EXPECT_TRUE(decoded->header.client_edge);
+  EXPECT_FALSE(decoded->header.edge_server);
+  EXPECT_EQ(decoded->header.argument, 48);
+  EXPECT_EQ(decoded->payload, payload);
+}
+
+TEST(Packet, DataRequestCarriesBitsInArgument) {
+  const Packet p = Packet::data_request(4096, /*edge_server=*/true);
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.req);
+  EXPECT_TRUE(decoded->header.edge_server);
+  EXPECT_EQ(decoded->header.argument, 4096);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Packet, DataAckEncryptedFlag) {
+  const Packet p = Packet::data_ack({1, 2, 3}, false, /*encrypted=*/true);
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.ack);
+  EXPECT_TRUE(decoded->header.encrypted);
+  EXPECT_EQ(decoded->header.argument, 3);
+}
+
+class RegistrationSubtypes : public ::testing::TestWithParam<RegSubtype> {};
+
+TEST_P(RegistrationSubtypes, RoundTrips) {
+  const Packet p = Packet::registration(GetParam(), {9, 8, 7}, true, false,
+                                        true, false);
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.reg);
+  EXPECT_EQ(decoded->header.subtype, GetParam());
+  EXPECT_EQ(decoded->payload, (util::Bytes{9, 8, 7}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSubtypes, RegistrationSubtypes,
+    ::testing::Values(RegSubtype::kEdgeRegReq, RegSubtype::kEdgeRegReqAck,
+                      RegSubtype::kEdgeRegAck, RegSubtype::kClientInitReq,
+                      RegSubtype::kClientInitReqAck,
+                      RegSubtype::kClientInitAck, RegSubtype::kReregReq,
+                      RegSubtype::kReregFwd, RegSubtype::kReregAckToEdge,
+                      RegSubtype::kReregAckToClient));
+
+TEST(Packet, VersionFieldEncoded) {
+  const auto wire = encode(Packet::data_request(1, false));
+  EXPECT_EQ(wire[0] >> 3, kProtocolVersion);
+  EXPECT_EQ(wire[0] & 0x07, 0);  // reserved bits zero
+}
+
+TEST(Packet, DecodeRejectsShortBuffer) {
+  EXPECT_FALSE(decode(util::Bytes{}).has_value());
+  EXPECT_FALSE(decode(util::Bytes{1, 2, 3, 4}).has_value());
+}
+
+TEST(Packet, DecodeRejectsWrongVersion) {
+  auto wire = encode(Packet::data_request(1, false));
+  wire[0] = static_cast<std::uint8_t>((kProtocolVersion + 1) << 3);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Packet, DecodeRejectsReservedBitsSet) {
+  auto wire = encode(Packet::data_request(1, false));
+  wire[0] |= 0x01;
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Packet, DecodeRejectsRegAndDatBothSet) {
+  auto wire = encode(Packet::data_request(1, false));
+  wire[1] |= 0x80;  // also set REG
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Packet, DecodeRejectsNeitherRegNorDat) {
+  auto wire = encode(Packet::data_request(1, false));
+  wire[1] &= 0x3f;  // clear both
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Packet, DecodeRejectsPayloadSizeMismatch) {
+  auto wire = encode(Packet::data_upload({1, 2, 3, 4}, false));
+  wire.pop_back();  // truncate payload
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Packet, DecodeRejectsUnknownSubtype) {
+  auto wire = encode(Packet::registration(RegSubtype::kEdgeRegReq, {}, true,
+                                          false, false, true));
+  wire[4] = 200;
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Packet, DecodeRejectsSubtypeOnDataPacket) {
+  auto wire = encode(Packet::data_request(1, false));
+  wire[4] = static_cast<std::uint8_t>(RegSubtype::kEdgeRegReq);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Packet, FuzzDecodeNeverCrashes) {
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const auto junk = rng.bytes(rng.uniform(64));
+    EXPECT_NO_FATAL_FAILURE((void)decode(junk));
+  }
+}
+
+TEST(Packet, UrgentFlagRoundTrips) {
+  Packet p = Packet::data_request(8, false);
+  p.header.urgent = true;
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.urgent);
+}
+
+TEST(Packet, MaxArgument) {
+  const Packet p = Packet::data_request(0xffff, false);
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.argument, 0xffff);
+}
+
+}  // namespace
+}  // namespace cadet

@@ -1,0 +1,167 @@
+#include "cadet/penalty.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cadet {
+namespace {
+
+TEST(PenaltyScheme, TableIValues) {
+  const auto base = PenaltyScheme::base();
+  EXPECT_EQ(base.points, (std::array<double, 7>{5, 4, 3, 2, 1, 0, -1}));
+  const auto loose = PenaltyScheme::loose();
+  EXPECT_EQ(loose.points, (std::array<double, 7>{4, 3, 2, 1, 0, -1, -2}));
+  const auto strict = PenaltyScheme::strict();
+  EXPECT_EQ(strict.points, (std::array<double, 7>{10, 6, 3, 1, 0, -1, -1}));
+}
+
+TEST(PenaltyTable, NewDeviceIsTrusted) {
+  PenaltyTable table;
+  EXPECT_EQ(table.score(1), 0.0);
+  EXPECT_FALSE(table.is_delinquent(1));
+  EXPECT_FALSE(table.is_blacklisted(1));
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(table.should_drop(1, rng));
+  }
+}
+
+TEST(PenaltyTable, BadUploadsAccumulate) {
+  PenaltyTable table;
+  table.record_result(1, 0);  // +5
+  table.record_result(1, 1);  // +4
+  EXPECT_DOUBLE_EQ(table.score(1), 9.0);
+  table.record_result(1, 2);  // +3 -> 12, past drop threshold 10
+  EXPECT_TRUE(table.is_delinquent(1));
+  EXPECT_FALSE(table.is_blacklisted(1));
+}
+
+TEST(PenaltyTable, GoodUploadsRedeem) {
+  PenaltyTable table;
+  table.record_result(1, 0);  // +5
+  table.record_result(1, 6);  // -1
+  EXPECT_DOUBLE_EQ(table.score(1), 4.0);
+}
+
+TEST(PenaltyTable, ScoreFloorsAtZero) {
+  PenaltyTable table;
+  table.record_result(1, 6);
+  table.record_result(1, 6);
+  EXPECT_DOUBLE_EQ(table.score(1), 0.0);
+}
+
+TEST(PenaltyTable, Equation2DropPercent) {
+  PenaltyTable table;  // thresh 10, max 35
+  EXPECT_DOUBLE_EQ(table.drop_percent(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(table.drop_percent(9.99), 0.0);
+  EXPECT_DOUBLE_EQ(table.drop_percent(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(table.drop_percent(22.5), 0.5);
+  EXPECT_DOUBLE_EQ(table.drop_percent(35.0), 1.0);
+  EXPECT_DOUBLE_EQ(table.drop_percent(50.0), 1.0);
+}
+
+TEST(PenaltyTable, BlacklistAlwaysIgnores) {
+  PenaltyTable table;
+  for (int i = 0; i < 7; ++i) table.record_result(1, 0);  // 7 x +5 = 35
+  EXPECT_TRUE(table.is_blacklisted(1));
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(table.should_drop(1, rng));
+  }
+}
+
+TEST(PenaltyTable, DelinquentDropsProportionally) {
+  PenaltyTable table;
+  // Score 22.5 -> 50 % drop.
+  for (int i = 0; i < 4; ++i) table.record_result(1, 0);  // 20
+  table.record_result(1, 3);                              // +2 -> 22
+  util::Xoshiro256 rng(3);
+  int drops = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (table.should_drop(1, rng)) ++drops;
+  }
+  EXPECT_NEAR(drops / static_cast<double>(trials),
+              table.drop_percent(22.0), 0.02);
+}
+
+TEST(PenaltyTable, SigmoidCurveShape) {
+  PenaltyConfig config;
+  config.curve = DropCurve::kSigmoid;
+  PenaltyTable table(config);
+  EXPECT_EQ(table.drop_percent(5.0), 0.0);  // below threshold: no drops
+  const double mid = table.drop_percent(22.5);
+  EXPECT_NEAR(mid, 0.5, 1e-9);
+  // At max penalty the sigmoid stays below 1 (no permanent blacklist).
+  EXPECT_LT(table.drop_percent(35.0), 1.0);
+  EXPECT_GT(table.drop_percent(35.0), 0.95);
+  // Monotone.
+  double prev = 0.0;
+  for (double p = 10.0; p <= 40.0; p += 1.0) {
+    const double d = table.drop_percent(p);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(PenaltyTable, SigmoidLeavesSliverAtMaxPenalty) {
+  PenaltyConfig config;
+  config.curve = DropCurve::kSigmoid;
+  PenaltyTable table(config);
+  for (int i = 0; i < 7; ++i) table.record_result(7, 0);  // exactly 35
+  ASSERT_DOUBLE_EQ(table.score(7), config.max_penalty);
+  util::Xoshiro256 rng(4);
+  int accepted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (!table.should_drop(7, rng)) ++accepted;
+  }
+  // drop_percent(35) ~ 0.993: roughly 130 of 20000 packets still inspected,
+  // so a reformed device can eventually redeem itself (unlike linear).
+  EXPECT_GT(accepted, 20);
+  EXPECT_LT(accepted, 400);
+}
+
+TEST(PenaltyTable, LooseSchemeGentler) {
+  PenaltyConfig loose_config;
+  loose_config.scheme = PenaltyScheme::loose();
+  PenaltyTable loose(loose_config);
+  PenaltyTable base;
+  for (int i = 0; i < 3; ++i) {
+    loose.record_result(1, 1);
+    base.record_result(1, 1);
+  }
+  EXPECT_LT(loose.score(1), base.score(1));
+}
+
+TEST(PenaltyTable, StrictSchemeHarsher) {
+  PenaltyConfig strict_config;
+  strict_config.scheme = PenaltyScheme::strict();
+  PenaltyTable strict(strict_config);
+  strict.record_result(1, 0);
+  EXPECT_DOUBLE_EQ(strict.score(1), 10.0);
+  EXPECT_TRUE(strict.is_delinquent(1));
+}
+
+TEST(PenaltyTable, DevicesAreIndependent) {
+  PenaltyTable table;
+  table.record_result(1, 0);
+  EXPECT_GT(table.score(1), 0.0);
+  EXPECT_EQ(table.score(2), 0.0);
+}
+
+TEST(PenaltyTable, RejectsInvalidChecksPassed) {
+  PenaltyTable table;
+  EXPECT_THROW(table.record_result(1, -1), std::out_of_range);
+  EXPECT_THROW(table.record_result(1, 7), std::out_of_range);
+}
+
+TEST(PenaltyTable, RejectsInvalidConfig) {
+  PenaltyConfig config;
+  config.drop_thresh = 35;
+  config.max_penalty = 10;
+  EXPECT_THROW(PenaltyTable{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadet

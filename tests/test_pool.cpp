@@ -1,0 +1,125 @@
+#include "entropy/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "nist/tests.h"
+#include "util/bitview.h"
+#include "util/rng.h"
+
+namespace cadet::entropy {
+namespace {
+
+TEST(EntropyPool, StartsEmpty) {
+  EntropyPool pool;
+  EXPECT_EQ(pool.available_bits(), 0u);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_FALSE(pool.full());
+  EXPECT_EQ(pool.capacity_bits(), 4096u);
+}
+
+TEST(EntropyPool, CreditAccounting) {
+  EntropyPool pool;
+  util::Xoshiro256 rng(1);
+  pool.add(rng.bytes(16), 128);
+  EXPECT_EQ(pool.available_bits(), 128u);
+  pool.add(rng.bytes(16), 64);  // partial-quality source
+  EXPECT_EQ(pool.available_bits(), 192u);
+}
+
+TEST(EntropyPool, CreditSaturatesAtCapacity) {
+  EntropyPool pool(512);
+  util::Xoshiro256 rng(2);
+  pool.add(rng.bytes(256), 100000);
+  EXPECT_EQ(pool.available_bits(), 512u);
+  EXPECT_TRUE(pool.full());
+}
+
+TEST(EntropyPool, ExtractDebitsCredit) {
+  EntropyPool pool;
+  util::Xoshiro256 rng(3);
+  pool.add(rng.bytes(64), 512);
+  const auto out = pool.extract(32);
+  EXPECT_EQ(out.size(), 32u);
+  EXPECT_EQ(pool.available_bits(), 512u - 256u);
+}
+
+TEST(EntropyPool, ExtractShortWhenCreditLow) {
+  EntropyPool pool;
+  util::Xoshiro256 rng(4);
+  pool.add(rng.bytes(8), 40);  // 5 bytes of credit
+  const auto out = pool.extract(32);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(pool.available_bits(), 0u);
+}
+
+TEST(EntropyPool, ExtractFromEmptyReturnsNothing) {
+  EntropyPool pool;
+  EXPECT_TRUE(pool.extract(16).empty());
+}
+
+TEST(EntropyPool, UncheckedExtractTracksStarvation) {
+  EntropyPool pool;
+  util::Xoshiro256 rng(5);
+  pool.add(rng.bytes(8), 64);  // 8 bytes backed
+  const auto out = pool.extract_unchecked(20);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_EQ(pool.starved_bytes(), 12u);
+  EXPECT_EQ(pool.available_bits(), 0u);
+}
+
+TEST(EntropyPool, SuccessiveExtractsDiffer) {
+  EntropyPool pool;
+  util::Xoshiro256 rng(6);
+  pool.add(rng.bytes(128), 1024);
+  const auto a = pool.extract(32);
+  const auto b = pool.extract(32);
+  EXPECT_NE(a, b);
+}
+
+TEST(EntropyPool, SameInputsSameOutputs) {
+  auto make = [] {
+    EntropyPool pool;
+    util::Xoshiro256 rng(7);
+    pool.add(rng.bytes(128), 1024);
+    return pool.extract(64);
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(EntropyPool, OutputIsStatisticallyRandom) {
+  EntropyPool pool;
+  util::Xoshiro256 rng(8);
+  pool.add(rng.bytes(512), 4096);
+  const auto out = pool.extract(512);
+  ASSERT_EQ(out.size(), 512u);
+  const util::BitView bits(out);
+  EXPECT_TRUE(nist::frequency_test(bits).pass);
+  EXPECT_TRUE(nist::runs_test(bits).pass);
+}
+
+TEST(EntropyPool, LowEntropyInputStillMixesWell) {
+  // Even an all-zero contribution keyed differently each time produces
+  // statistically random *output* (the credit counter is what guards
+  // against overstating the entropy, not the output statistics).
+  EntropyPool pool;
+  pool.add(util::Bytes(64, 0x00), 512);
+  const auto out = pool.extract(64);
+  const util::BitView bits(out);
+  EXPECT_TRUE(nist::frequency_test(bits).pass);
+}
+
+TEST(EntropyPool, TotalsTracked) {
+  EntropyPool pool;
+  util::Xoshiro256 rng(9);
+  pool.add(rng.bytes(100), 800);
+  (void)pool.extract(25);
+  EXPECT_EQ(pool.total_added_bytes(), 100u);
+  EXPECT_EQ(pool.total_extracted_bytes(), 25u);
+}
+
+TEST(EntropyPool, RejectsTinyCapacity) {
+  EXPECT_THROW(EntropyPool(128), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadet::entropy

@@ -1,0 +1,99 @@
+#include "cadet/registration.h"
+
+#include <gtest/gtest.h>
+
+namespace cadet {
+namespace {
+
+TEST(Registration, DeriveKeyIsDeterministic) {
+  crypto::X25519Key shared{};
+  shared.fill(0x42);
+  const auto a = derive_key(shared, util::BytesView(kLabelEsk, sizeof(kLabelEsk)));
+  const auto b = derive_key(shared, util::BytesView(kLabelEsk, sizeof(kLabelEsk)));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Registration, LabelsSeparateKeys) {
+  crypto::X25519Key shared{};
+  shared.fill(0x42);
+  const auto esk = derive_key(shared, util::BytesView(kLabelEsk, sizeof(kLabelEsk)));
+  const auto csk = derive_key(shared, util::BytesView(kLabelCsk, sizeof(kLabelCsk)));
+  EXPECT_NE(esk, csk);
+}
+
+TEST(Registration, SharedSecretsSeparateKeys) {
+  crypto::X25519Key a{}, b{};
+  a.fill(0x01);
+  b.fill(0x02);
+  EXPECT_NE(derive_key(a, util::BytesView(kLabelEsk, sizeof(kLabelEsk))),
+            derive_key(b, util::BytesView(kLabelEsk, sizeof(kLabelEsk))));
+}
+
+TEST(Registration, NonceAddBigEndianCounter) {
+  Nonce n{};
+  util::put_u64_be(n.data(), 41);
+  const Nonce n1 = nonce_add(n, 1);
+  EXPECT_EQ(util::get_u64_be(n1.data()), 42u);
+  const Nonce n2 = nonce_add(n, 2);
+  EXPECT_EQ(util::get_u64_be(n2.data()), 43u);
+}
+
+TEST(Registration, NonceAddWraps) {
+  Nonce n{};
+  util::put_u64_be(n.data(), ~0ull);
+  EXPECT_EQ(util::get_u64_be(nonce_add(n, 1).data()), 0u);
+}
+
+TEST(Registration, TokenWindowQuantizesTime) {
+  EXPECT_EQ(token_window(0), 0);
+  EXPECT_EQ(token_window(kTokenWindow - 1), 0);
+  EXPECT_EQ(token_window(kTokenWindow), 1);
+  EXPECT_EQ(token_window(10 * kTokenWindow + 5), 10);
+}
+
+TEST(Registration, TokenHashBindsWindow) {
+  Token token{};
+  token.fill(0x33);
+  EXPECT_EQ(token_hash(token, 5), token_hash(token, 5));
+  EXPECT_NE(token_hash(token, 5), token_hash(token, 6));
+}
+
+TEST(Registration, TokenHashBindsToken) {
+  Token a{}, b{};
+  a.fill(0x01);
+  b.fill(0x02);
+  EXPECT_NE(token_hash(a, 5), token_hash(b, 5));
+}
+
+TEST(Registration, MakeTokenIsFresh) {
+  crypto::Csprng rng(std::uint64_t{1});
+  EXPECT_NE(make_token(rng), make_token(rng));
+}
+
+TEST(Registration, MakeKeypairIsValid) {
+  crypto::Csprng rng(std::uint64_t{2});
+  const auto a = make_keypair(rng);
+  const auto b = make_keypair(rng);
+  EXPECT_EQ(a.shared_secret(b.public_key), b.shared_secret(a.public_key));
+}
+
+TEST(Registration, RegRequestRoundTrip) {
+  crypto::Csprng rng(std::uint64_t{3});
+  const auto kp = make_keypair(rng);
+  const Nonce n = rng.array<8>();
+  const auto payload = encode_reg_request(kp.public_key, n);
+  EXPECT_EQ(payload.size(), 40u);
+  const auto decoded = decode_reg_request(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->pub, kp.public_key);
+  EXPECT_EQ(decoded->nonce, n);
+}
+
+TEST(Registration, RegRequestRejectsBadLength) {
+  EXPECT_FALSE(decode_reg_request(util::Bytes(39, 0)).has_value());
+  EXPECT_FALSE(decode_reg_request(util::Bytes(41, 0)).has_value());
+  EXPECT_FALSE(decode_reg_request({}).has_value());
+}
+
+}  // namespace
+}  // namespace cadet

@@ -1,0 +1,116 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cadet::util {
+namespace {
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, UniformBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Xoshiro, UniformCoversRange) {
+  Xoshiro256 rng(9);
+  std::array<int, 8> counts{};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.uniform(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);  // expected 1000, allow wide slack
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256 rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Xoshiro, ExponentialMean) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Xoshiro, BernoulliRate) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Xoshiro, FillAllLengths) {
+  Xoshiro256 rng(23);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 16u, 33u}) {
+    const Bytes b = rng.bytes(n);
+    EXPECT_EQ(b.size(), n);
+  }
+}
+
+TEST(Xoshiro, FillIsBalanced) {
+  Xoshiro256 rng(29);
+  const Bytes b = rng.bytes(65536);
+  std::size_t ones = 0;
+  for (const auto byte : b) ones += std::popcount(byte);
+  const double frac = static_cast<double>(ones) / (65536.0 * 8);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace cadet::util

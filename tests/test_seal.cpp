@@ -1,0 +1,85 @@
+#include "cadet/seal.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cadet {
+namespace {
+
+util::Bytes test_key(std::uint8_t fill = 0x4b) { return util::Bytes(32, fill); }
+
+TEST(Seal, RoundTrip) {
+  crypto::Csprng rng(std::uint64_t{1});
+  const util::Bytes plaintext = {1, 2, 3, 4, 5};
+  const auto sealed = seal(test_key(), plaintext, rng);
+  EXPECT_EQ(sealed.size(), plaintext.size() + kSealOverhead);
+  const auto opened = open(test_key(), sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Seal, EmptyPlaintext) {
+  crypto::Csprng rng(std::uint64_t{2});
+  const auto sealed = seal(test_key(), {}, rng);
+  const auto opened = open(test_key(), sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Seal, WrongKeyFails) {
+  crypto::Csprng rng(std::uint64_t{3});
+  const auto sealed = seal(test_key(0x01), util::Bytes{9, 9, 9}, rng);
+  EXPECT_FALSE(open(test_key(0x02), sealed).has_value());
+}
+
+TEST(Seal, TamperedCiphertextFails) {
+  crypto::Csprng rng(std::uint64_t{4});
+  auto sealed = seal(test_key(), util::Bytes{1, 2, 3, 4}, rng);
+  sealed[kSealNonceBytes] ^= 0x01;
+  EXPECT_FALSE(open(test_key(), sealed).has_value());
+}
+
+TEST(Seal, TamperedNonceFails) {
+  crypto::Csprng rng(std::uint64_t{5});
+  auto sealed = seal(test_key(), util::Bytes{1, 2, 3, 4}, rng);
+  sealed[0] ^= 0x80;
+  EXPECT_FALSE(open(test_key(), sealed).has_value());
+}
+
+TEST(Seal, TamperedTagFails) {
+  crypto::Csprng rng(std::uint64_t{6});
+  auto sealed = seal(test_key(), util::Bytes{1, 2, 3, 4}, rng);
+  sealed.back() ^= 0xff;
+  EXPECT_FALSE(open(test_key(), sealed).has_value());
+}
+
+TEST(Seal, TruncatedBufferFails) {
+  crypto::Csprng rng(std::uint64_t{7});
+  const auto sealed = seal(test_key(), util::Bytes{1, 2, 3}, rng);
+  EXPECT_FALSE(open(test_key(),
+                    util::BytesView(sealed.data(), kSealOverhead - 1))
+                   .has_value());
+  EXPECT_FALSE(open(test_key(), {}).has_value());
+}
+
+TEST(Seal, NoncesAreFresh) {
+  crypto::Csprng rng(std::uint64_t{8});
+  const util::Bytes pt = {5, 5, 5};
+  const auto a = seal(test_key(), pt, rng);
+  const auto b = seal(test_key(), pt, rng);
+  EXPECT_NE(a, b);  // different nonce -> different ciphertext
+}
+
+TEST(Seal, LargePayload) {
+  crypto::Csprng rng(std::uint64_t{9});
+  util::Xoshiro256 data_rng(10);
+  const auto plaintext = data_rng.bytes(8192);
+  const auto sealed = seal(test_key(), plaintext, rng);
+  const auto opened = open(test_key(), sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+}  // namespace
+}  // namespace cadet

@@ -1,0 +1,126 @@
+#include "net/sim_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cadet::net {
+namespace {
+
+TEST(SimTransport, DeliversToHandler) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, 1);
+  NodeId got_from = kInvalidNode;
+  util::Bytes got_data;
+  transport.set_handler(2, [&](NodeId from, util::BytesView data,
+                               util::SimTime) {
+    got_from = from;
+    got_data.assign(data.begin(), data.end());
+  });
+  transport.send(1, 2, {0xca, 0xfe});
+  simulator.run();
+  EXPECT_EQ(got_from, 1u);
+  EXPECT_EQ(got_data, (util::Bytes{0xca, 0xfe}));
+}
+
+TEST(SimTransport, DeliveryIsDelayed) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, 2);
+  util::SimTime delivered_at = -1;
+  transport.set_handler(2, [&](NodeId, util::BytesView, util::SimTime now) {
+    delivered_at = now;
+  });
+  transport.send(1, 2, {1});
+  simulator.run();
+  EXPECT_GT(delivered_at, 0);
+}
+
+TEST(SimTransport, UnboundNodeDropsSilently) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, 3);
+  transport.send(1, 99, {1, 2, 3});
+  EXPECT_NO_FATAL_FAILURE(simulator.run());
+  EXPECT_EQ(transport.counters(99).packets_received, 1u);
+}
+
+TEST(SimTransport, CountersTrackTraffic) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, 4);
+  transport.set_handler(2, [](NodeId, util::BytesView, util::SimTime) {});
+  transport.send(1, 2, util::Bytes(10, 0));
+  transport.send(1, 2, util::Bytes(20, 0));
+  simulator.run();
+  EXPECT_EQ(transport.counters(1).packets_sent, 2u);
+  EXPECT_EQ(transport.counters(1).bytes_sent, 30u);
+  EXPECT_EQ(transport.counters(2).packets_received, 2u);
+  EXPECT_EQ(transport.counters(2).bytes_received, 30u);
+  EXPECT_EQ(transport.total_packets(), 2u);
+}
+
+TEST(SimTransport, ResetCountersClears) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, 5);
+  transport.set_handler(2, [](NodeId, util::BytesView, util::SimTime) {});
+  transport.send(1, 2, {1});
+  simulator.run();
+  transport.reset_counters();
+  EXPECT_EQ(transport.total_packets(), 0u);
+  EXPECT_EQ(transport.counters(1).packets_sent, 0u);
+}
+
+TEST(SimTransport, PerLinkProfileOverride) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, 6);
+  sim::LatencyProfile slow;
+  slow.base = util::from_millis(100);
+  transport.set_link_profile(1, 2, slow);
+
+  util::SimTime slow_delivery = -1, fast_delivery = -1;
+  transport.set_handler(2, [&](NodeId, util::BytesView, util::SimTime now) {
+    slow_delivery = now;
+  });
+  transport.set_handler(3, [&](NodeId, util::BytesView, util::SimTime now) {
+    fast_delivery = now;
+  });
+  transport.send(1, 2, {1});
+  transport.send(1, 3, {1});
+  simulator.run();
+  EXPECT_GT(slow_delivery, util::from_millis(99));
+  EXPECT_LT(fast_delivery, util::from_millis(10));
+}
+
+TEST(SimTransport, LossyLinkDropsSome) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, 7);
+  sim::LatencyProfile lossy;
+  lossy.loss_prob = 0.5;
+  transport.set_default_profile(lossy);
+  int received = 0;
+  transport.set_handler(2, [&](NodeId, util::BytesView, util::SimTime) {
+    ++received;
+  });
+  for (int i = 0; i < 1000; ++i) transport.send(1, 2, {1});
+  simulator.run();
+  EXPECT_GT(transport.dropped_packets(), 350u);
+  EXPECT_LT(transport.dropped_packets(), 650u);
+  EXPECT_EQ(received + transport.dropped_packets(), 1000u);
+}
+
+TEST(SimTransport, DeterministicForSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator simulator;
+    SimTransport transport(simulator, seed);
+    std::vector<util::SimTime> deliveries;
+    transport.set_handler(2, [&](NodeId, util::BytesView, util::SimTime now) {
+      deliveries.push_back(now);
+    });
+    for (int i = 0; i < 20; ++i) transport.send(1, 2, {1});
+    simulator.run();
+    return deliveries;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+}  // namespace
+}  // namespace cadet::net

@@ -1,0 +1,95 @@
+#include "entropy/sources.h"
+
+#include <gtest/gtest.h>
+
+#include "nist/tests.h"
+#include "util/bitview.h"
+
+namespace cadet::entropy {
+namespace {
+
+TEST(TimerJitterSource, IntervalMatchesRate) {
+  TimerJitterSource source(10.0);  // 10 events/s
+  util::Xoshiro256 rng(1);
+  double total_s = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total_s += util::to_seconds(source.next_interval(rng));
+  }
+  EXPECT_NEAR(total_s / n, 0.1, 0.005);
+}
+
+TEST(TimerJitterSource, HarvestSize) {
+  TimerJitterSource source(8.0, 4, 4.0);
+  util::Xoshiro256 rng(2);
+  EXPECT_EQ(source.harvest(rng).size(), 4u);
+  EXPECT_DOUBLE_EQ(source.entropy_per_byte(), 4.0);
+}
+
+TEST(SensorNoiseSource, HarvestHasCorrelatedHighBits) {
+  SensorNoiseSource source(1.0, 256, 2.0);
+  util::Xoshiro256 rng(3);
+  const auto data = source.harvest(rng);
+  ASSERT_EQ(data.size(), 256u);
+  // The full bytes should NOT look uniformly random (high nibble walks).
+  const util::BitView bits(data);
+  const bool all_pass = nist::frequency_test(bits).pass &&
+                        nist::runs_test(bits).pass &&
+                        nist::approximate_entropy_test(bits, 2).pass;
+  EXPECT_FALSE(all_pass);
+}
+
+TEST(DevUrandomSource, ProducesBytes) {
+  DevUrandomSource source(16);
+  util::Xoshiro256 rng(4);
+  const auto data = source.harvest(rng);
+  EXPECT_EQ(data.size(), 16u);
+  EXPECT_DOUBLE_EQ(source.entropy_per_byte(), 8.0);
+}
+
+TEST(Synth, GoodDataPassesChecks) {
+  util::Xoshiro256 rng(5);
+  const auto data = synth::good(rng, 64);
+  const util::BitView bits(data);
+  EXPECT_TRUE(nist::frequency_test(bits).pass);
+}
+
+TEST(Synth, BiasedBiasIsAccurate) {
+  util::Xoshiro256 rng(6);
+  const auto data = synth::biased(rng, 4096, 0.7);
+  const util::BitView bits(data);
+  const double frac =
+      static_cast<double>(bits.popcount()) / static_cast<double>(bits.size());
+  EXPECT_NEAR(frac, 0.7, 0.02);
+}
+
+TEST(Synth, HalfBiasLooksGood) {
+  util::Xoshiro256 rng(7);
+  const auto data = synth::biased(rng, 256, 0.5);
+  EXPECT_TRUE(nist::frequency_test(util::BitView(data)).pass);
+}
+
+TEST(Synth, PatternedAlternates) {
+  const auto data = synth::patterned(8, 0xaa, 0x55);
+  EXPECT_EQ(data[0], 0xaa);
+  EXPECT_EQ(data[1], 0x55);
+  EXPECT_EQ(data[6], 0xaa);
+  EXPECT_FALSE(nist::runs_test(util::BitView(data)).pass);
+}
+
+TEST(Synth, BadDataFailsSanityStyleChecks) {
+  util::Xoshiro256 rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const auto data = synth::bad(rng, 32);
+    const util::BitView bits(data);
+    int failures = 0;
+    if (!nist::frequency_test(bits).pass) ++failures;
+    if (!nist::runs_test(bits).pass) ++failures;
+    if (!nist::approximate_entropy_test(bits, 2).pass) ++failures;
+    if (!nist::cusum_test(bits, nist::CusumMode::Forward).pass) ++failures;
+    EXPECT_GE(failures, 2) << "bad sample " << i << " looked too good";
+  }
+}
+
+}  // namespace
+}  // namespace cadet::entropy

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cadet::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(Samples, QuantilesExact) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.95), 95.05, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Samples, QuantileClampsRange) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.5), 2.0);
+}
+
+TEST(Samples, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+}
+
+TEST(Samples, AddAfterQuantileKeepsCorrectness) {
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);  // added after a sorted read
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Samples, StdDev) {
+  Samples s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Samples, SummaryNonEmpty) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_NE(s.summary().find("n=1"), std::string::npos);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadet::util

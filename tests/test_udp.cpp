@@ -1,0 +1,93 @@
+#include "net/udp.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace cadet::net {
+namespace {
+
+TEST(Udp, BindEphemeralPort) {
+  UdpEndpoint ep;
+  EXPECT_GT(ep.local_port(), 0);
+  EXPECT_GE(ep.fd(), 0);
+}
+
+TEST(Udp, LoopbackRoundTrip) {
+  UdpEndpoint a, b;
+  const util::Bytes msg = {0xde, 0xad, 0xbe, 0xef};
+  ASSERT_TRUE(a.send_to({"127.0.0.1", b.local_port()}, msg));
+
+  util::Bytes received;
+  UdpAddress from;
+  for (int attempt = 0; attempt < 50 && received.empty(); ++attempt) {
+    wait_readable({&b}, 100);
+    b.drain([&](util::BytesView data, const UdpAddress& peer) {
+      received.assign(data.begin(), data.end());
+      from = peer;
+    });
+  }
+  EXPECT_EQ(received, msg);
+  EXPECT_EQ(from.port, a.local_port());
+  EXPECT_EQ(from.host, "127.0.0.1");
+}
+
+TEST(Udp, DrainHandlesMultipleDatagrams) {
+  UdpEndpoint a, b;
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(a.send_to({"127.0.0.1", b.local_port()}, util::Bytes{i}));
+  }
+  int got = 0;
+  for (int attempt = 0; attempt < 50 && got < 5; ++attempt) {
+    wait_readable({&b}, 100);
+    got += b.drain([](util::BytesView, const UdpAddress&) {});
+  }
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Udp, DrainOnEmptySocketReturnsZero) {
+  UdpEndpoint ep;
+  EXPECT_EQ(ep.drain([](util::BytesView, const UdpAddress&) {}), 0);
+}
+
+TEST(Udp, MoveTransfersOwnership) {
+  UdpEndpoint a;
+  const auto port = a.local_port();
+  UdpEndpoint b = std::move(a);
+  EXPECT_EQ(b.local_port(), port);
+  EXPECT_EQ(a.fd(), -1);
+}
+
+TEST(Udp, ReplyPath) {
+  UdpEndpoint client, server;
+  ASSERT_TRUE(client.send_to({"127.0.0.1", server.local_port()},
+                             util::Bytes{1}));
+  bool replied = false;
+  for (int attempt = 0; attempt < 50 && !replied; ++attempt) {
+    wait_readable({&server}, 100);
+    server.drain([&](util::BytesView, const UdpAddress& peer) {
+      ASSERT_TRUE(server.send_to(peer, util::Bytes{2}));
+      replied = true;
+    });
+  }
+  ASSERT_TRUE(replied);
+
+  util::Bytes reply;
+  for (int attempt = 0; attempt < 50 && reply.empty(); ++attempt) {
+    wait_readable({&client}, 100);
+    client.drain([&](util::BytesView data, const UdpAddress&) {
+      reply.assign(data.begin(), data.end());
+    });
+  }
+  EXPECT_EQ(reply, (util::Bytes{2}));
+}
+
+TEST(Udp, RejectsBadAddress) {
+  UdpEndpoint ep;
+  EXPECT_THROW(ep.send_to({"not-an-ip", 1234}, util::Bytes{1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadet::net

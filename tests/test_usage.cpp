@@ -1,0 +1,150 @@
+#include "cadet/usage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cadet {
+namespace {
+
+TEST(UsageTracker, Equation1SingleStep) {
+  UsageTracker tracker(0.96);
+  tracker.record(1, 100.0);
+  EXPECT_DOUBLE_EQ(tracker.score(1), 100.0);
+  tracker.record(1, 50.0);
+  // US_t = usage_t + decay * US_{t-1}
+  EXPECT_DOUBLE_EQ(tracker.score(1), 50.0 + 0.96 * 100.0);
+}
+
+TEST(UsageTracker, TickDecaysWithoutUsage) {
+  UsageTracker tracker(0.5);
+  tracker.record(1, 64.0);
+  tracker.tick();
+  tracker.tick();
+  EXPECT_DOUBLE_EQ(tracker.score(1), 16.0);
+}
+
+TEST(UsageTracker, EveryPacketAdvancesAllScores) {
+  UsageTracker tracker(0.96);
+  tracker.record(1, 100.0);
+  tracker.record(2, 10.0);  // this step also decays client 1
+  EXPECT_DOUBLE_EQ(tracker.score(1), 96.0);
+  EXPECT_DOUBLE_EQ(tracker.score(2), 10.0);
+}
+
+TEST(UsageTracker, SteadyStateConverges) {
+  UsageTracker tracker(0.96);
+  for (int i = 0; i < 2000; ++i) tracker.record(1, 10.0);
+  // Geometric series limit: u / (1 - decay) = 250.
+  EXPECT_NEAR(tracker.score(1), 250.0, 0.5);
+}
+
+TEST(UsageTracker, UnknownDeviceScoresZero) {
+  UsageTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.score(42), 0.0);
+  EXPECT_FALSE(tracker.is_heavy(42));
+}
+
+TEST(UsageTracker, HeavyDetection) {
+  UsageTracker tracker(0.96, 3.0);
+  for (std::uint32_t c = 1; c <= 7; ++c) tracker.track(c);
+  // Mixed traffic: device 7 requests 80x more than the rest. The robust
+  // threshold tracks the normal cohort, so the outlier is flagged even
+  // though it would be within 3 *classical* sigmas of a cohort whose
+  // sigma it inflates itself.
+  for (int round = 0; round < 400; ++round) {
+    for (std::uint32_t c = 1; c <= 6; ++c) tracker.record(c, 8.0);
+    tracker.record(7, 640.0);
+  }
+  EXPECT_TRUE(tracker.is_heavy(7));
+  for (std::uint32_t c = 1; c <= 6; ++c) {
+    EXPECT_FALSE(tracker.is_heavy(c)) << "client " << c;
+  }
+}
+
+TEST(UsageTracker, ThresholdIsRobustToOutliers) {
+  UsageTracker tracker(1.0, 3.0);  // no decay for a clean hand computation
+  // Normal cohort 10..15, one outlier at 500.
+  double v = 10.0;
+  for (std::uint32_t c = 1; c <= 6; ++c) {
+    tracker.record(c, v);
+    v += 1.0;
+  }
+  tracker.record(7, 500.0);
+  // Threshold derived from the median cohort, far below the outlier.
+  const double threshold = tracker.heavy_threshold();
+  EXPECT_GT(threshold, 15.0);
+  EXPECT_LT(threshold, 100.0);
+  EXPECT_TRUE(tracker.is_heavy(7));
+}
+
+TEST(UsageTracker, IdleNetworkSpikesJudgedByStddevFallback) {
+  UsageTracker tracker(0.96, 3.0);
+  for (std::uint32_t c = 1; c <= 8; ++c) tracker.track(c);
+  // All idle: MAD degenerates; with every score zero the threshold is zero
+  // and the threshold > 0 guard keeps everyone regular.
+  for (int i = 0; i < 50; ++i) tracker.tick();
+  EXPECT_DOUBLE_EQ(tracker.heavy_threshold(), 0.0);
+  for (std::uint32_t c = 1; c <= 8; ++c) EXPECT_FALSE(tracker.is_heavy(c));
+  // The sole active client among sleepers IS the heavy one relative to its
+  // cohort (stddev fallback, since MAD is still zero)...
+  tracker.record(1, 64.0);
+  EXPECT_GT(tracker.heavy_threshold(), 0.0);
+  EXPECT_TRUE(tracker.is_heavy(1));
+  // ...but once peers are comparably active the flag clears.
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint32_t c = 1; c <= 8; ++c) tracker.record(c, 64.0);
+  }
+  EXPECT_FALSE(tracker.is_heavy(1));
+}
+
+TEST(UsageTracker, UniformLoadHasNoHeavyUsers) {
+  UsageTracker tracker;
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint32_t c = 1; c <= 8; ++c) tracker.record(c, 64.0);
+  }
+  for (std::uint32_t c = 1; c <= 8; ++c) {
+    EXPECT_FALSE(tracker.is_heavy(c));
+  }
+}
+
+TEST(UsageTracker, HeavyUserRecoversAfterBurst) {
+  UsageTracker tracker(0.96, 3.0);
+  for (std::uint32_t c = 1; c <= 8; ++c) tracker.track(c);
+  for (int round = 0; round < 300; ++round) {
+    for (std::uint32_t c = 1; c <= 8; ++c) tracker.record(c, 8.0);
+  }
+  for (int round = 0; round < 100; ++round) {
+    for (std::uint32_t c = 1; c <= 7; ++c) tracker.record(c, 8.0);
+    tracker.record(8, 512.0);
+  }
+  ASSERT_TRUE(tracker.is_heavy(8));
+  // Burst ends; device 8 goes quiet while others continue.
+  int steps_to_recover = 0;
+  while (tracker.is_heavy(8) && steps_to_recover < 10000) {
+    for (std::uint32_t c = 1; c <= 7; ++c) tracker.record(c, 8.0);
+    tracker.tick();
+    steps_to_recover += 8;
+  }
+  EXPECT_FALSE(tracker.is_heavy(8));
+  EXPECT_GT(steps_to_recover, 0);
+}
+
+TEST(UsageTracker, StepsCounted) {
+  UsageTracker tracker;
+  tracker.record(1, 1.0);
+  tracker.tick();
+  tracker.record(2, 1.0);
+  EXPECT_EQ(tracker.steps(), 3u);
+}
+
+TEST(UsageTracker, TrackIsIdempotent) {
+  UsageTracker tracker;
+  tracker.record(1, 50.0);
+  tracker.track(1);  // must not reset the score
+  EXPECT_DOUBLE_EQ(tracker.score(1), 50.0);
+  EXPECT_EQ(tracker.tracked_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cadet

@@ -1,0 +1,100 @@
+#include "testbed/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/topology.h"
+
+namespace cadet::testbed {
+namespace {
+
+World make_world(std::uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.num_networks = 1;
+  config.clients_per_network = 4;
+  config.profiles = {NetworkProfile::kBalanced};
+  return World(config);
+}
+
+TEST(ClientBehavior, PresetsMatchTheirRoles) {
+  const auto consumer = ClientBehavior::consumer();
+  const auto producer = ClientBehavior::producer();
+  const auto balanced = ClientBehavior::balanced();
+  const auto heavy = ClientBehavior::heavy();
+
+  EXPECT_GT(consumer.request_rate_hz, consumer.upload_rate_hz);
+  EXPECT_GT(producer.upload_rate_hz, producer.request_rate_hz);
+  EXPECT_GT(balanced.request_rate_hz, 0.0);
+  EXPECT_GT(balanced.upload_rate_hz, 0.0);
+  EXPECT_GT(heavy.request_rate_hz, 3.0 * consumer.request_rate_hz);
+  EXPECT_DOUBLE_EQ(heavy.upload_rate_hz, 0.0);
+}
+
+TEST(ClientBehavior, ForProfileDispatch) {
+  EXPECT_GT(ClientBehavior::for_profile(NetworkProfile::kProducer)
+                .upload_rate_hz,
+            ClientBehavior::for_profile(NetworkProfile::kConsumer)
+                .upload_rate_hz);
+}
+
+TEST(WorkloadDriver, RespectsTimeWindow) {
+  World world = make_world(51);
+  world.register_edges();
+  WorkloadDriver driver(world, 52);
+  ClientBehavior behavior;
+  behavior.request_rate_hz = 2.0;
+  driver.drive(0, behavior, util::from_seconds(10), util::from_seconds(20));
+  world.simulator().run();
+  for (const auto& ev : driver.metrics().events) {
+    EXPECT_GE(ev.sent_at_s, 10.0);
+    EXPECT_LT(ev.sent_at_s, 20.0 + 0.001);
+  }
+  EXPECT_GT(driver.metrics().requests_sent, 5u);
+}
+
+TEST(WorkloadDriver, BadFractionApproximatelyHonored) {
+  World world = make_world(53);
+  world.register_edges();
+  WorkloadDriver driver(world, 54);
+  ClientBehavior behavior;
+  behavior.upload_rate_hz = 10.0;
+  behavior.bad_fraction = 0.3;
+  driver.drive(0, behavior, 0, util::from_seconds(100));
+  world.simulator().run();
+  const auto& metrics = driver.metrics();
+  ASSERT_GT(metrics.uploads_sent, 500u);
+  const double frac = static_cast<double>(metrics.bad_uploads_sent) /
+                      static_cast<double>(metrics.uploads_sent);
+  EXPECT_NEAR(frac, 0.3, 0.06);
+}
+
+TEST(WorkloadDriver, ZeroRatesGenerateNothing) {
+  World world = make_world(55);
+  WorkloadDriver driver(world, 56);
+  driver.drive(0, ClientBehavior{}, 0, util::from_seconds(60));
+  world.simulator().run();
+  EXPECT_EQ(driver.metrics().requests_sent, 0u);
+  EXPECT_EQ(driver.metrics().uploads_sent, 0u);
+}
+
+TEST(WorkloadDriver, MultipleWindowsPerClientCompose) {
+  World world = make_world(57);
+  world.register_edges();
+  WorkloadDriver driver(world, 58);
+  ClientBehavior slow;
+  slow.request_rate_hz = 0.5;
+  ClientBehavior fast;
+  fast.request_rate_hz = 5.0;
+  driver.drive(0, slow, 0, util::from_seconds(50));
+  driver.drive(0, fast, util::from_seconds(50), util::from_seconds(100));
+  world.simulator().run();
+
+  std::size_t early = 0, late = 0;
+  for (const auto& ev : driver.metrics().events) {
+    (ev.sent_at_s < 50.0 ? early : late) += 1;
+  }
+  EXPECT_GT(late, 3 * early);
+}
+
+}  // namespace
+}  // namespace cadet::testbed

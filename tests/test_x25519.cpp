@@ -1,0 +1,118 @@
+#include "crypto/x25519.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/bytes.h"
+
+namespace cadet::crypto {
+namespace {
+
+using util::from_hex;
+using util::to_hex;
+
+X25519Key key_from_hex(const std::string& hex) {
+  const auto bytes = from_hex(hex);
+  X25519Key key{};
+  std::memcpy(key.data(), bytes.data(), 32);
+  return key;
+}
+
+std::string key_to_hex(const X25519Key& key) {
+  return to_hex(util::BytesView(key.data(), key.size()));
+}
+
+// RFC 7748 §5.2 test vectors.
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar = key_from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = key_from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(key_to_hex(x25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar = key_from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = key_from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(key_to_hex(x25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+// RFC 7748 §6.1 Diffie-Hellman vectors.
+TEST(X25519, Rfc7748DiffieHellman) {
+  const auto alice_priv = key_from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_priv = key_from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_pub = x25519_public(alice_priv);
+  EXPECT_EQ(key_to_hex(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  const auto bob_pub = x25519_public(bob_priv);
+  EXPECT_EQ(key_to_hex(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto alice_shared = x25519(alice_priv, bob_pub);
+  const auto bob_shared = x25519(bob_priv, alice_pub);
+  EXPECT_EQ(key_to_hex(alice_shared),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+  EXPECT_EQ(alice_shared, bob_shared);
+}
+
+// RFC 7748 §5.2 iterated test (1000 iterations takes ~2 s; do 1).
+TEST(X25519, IteratedOnce) {
+  auto k = key_from_hex(
+      "0900000000000000000000000000000000000000000000000000000000000000");
+  const auto u = k;
+  k = x25519(k, u);
+  EXPECT_EQ(key_to_hex(k),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+// RFC 7748 SS5.2 iterated test, 1000 iterations (~1 s).
+TEST(X25519, IteratedThousand) {
+  auto k = key_from_hex(
+      "0900000000000000000000000000000000000000000000000000000000000000");
+  auto u = k;
+  for (int i = 0; i < 1000; ++i) {
+    const auto result = x25519(k, u);
+    u = k;
+    k = result;
+  }
+  EXPECT_EQ(key_to_hex(k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+TEST(X25519, KeyPairAgreementProperty) {
+  // Any two keypairs agree on the shared secret.
+  for (std::uint8_t i = 1; i < 10; ++i) {
+    util::Bytes seed_a(32, i), seed_b(32, static_cast<std::uint8_t>(i + 100));
+    const auto a = X25519KeyPair::from_seed(seed_a);
+    const auto b = X25519KeyPair::from_seed(seed_b);
+    EXPECT_EQ(a.shared_secret(b.public_key), b.shared_secret(a.public_key));
+    EXPECT_NE(key_to_hex(a.public_key), key_to_hex(b.public_key));
+  }
+}
+
+TEST(X25519, HighBitOfPointIgnored) {
+  // RFC 7748: the top bit of the u-coordinate must be masked.
+  const auto scalar = key_from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  auto point = key_from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  const auto expected = x25519(scalar, point);
+  point[31] |= 0x80;
+  EXPECT_EQ(x25519(scalar, point), expected);
+}
+
+TEST(X25519, FromSeedRejectsBadLength) {
+  EXPECT_THROW(X25519KeyPair::from_seed(util::Bytes(16, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadet::crypto

@@ -1,0 +1,269 @@
+// cadet_sim — configurable CADET deployment simulator.
+//
+// Runs a full client/edge/server deployment in the discrete-event
+// simulator with workloads per network profile and prints a service
+// report: response times, cache behaviour, upload policing, pool health.
+//
+// Examples:
+//   cadet_sim                                  # the paper's 49-node testbed
+//   cadet_sim --networks 2 --clients 8 --duration 300
+//   cadet_sim --profiles consumer,producer --refill adaptive
+//   cadet_sim --servers 2 --exchange 10 --bad-fraction 0.3
+//   cadet_sim --no-edge                        # Fig. 10's W/O baseline
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nist/battery.h"
+#include "testbed/topology.h"
+#include "testbed/workload.h"
+
+namespace {
+
+using namespace cadet;
+using namespace cadet::testbed;
+
+struct Options {
+  std::size_t networks = 4;
+  std::size_t clients = 11;
+  std::size_t servers = 1;
+  double duration_s = 300.0;
+  std::uint64_t seed = 42;
+  std::string profiles = "consumer,balanced,balanced,producer";
+  bool use_edge = true;
+  bool adaptive_refill = false;
+  bool inject_timing = false;
+  bool internet = false;
+  double exchange_period_s = 0.0;
+  double bad_fraction = 0.0;  // applied to one client per network
+  bool verbose = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --networks N        number of LANs (default 4)\n"
+      "  --clients N         clients per LAN (default 11)\n"
+      "  --servers N         central servers (default 1)\n"
+      "  --duration SECONDS  simulated time (default 300)\n"
+      "  --seed N            simulation seed (default 42)\n"
+      "  --profiles LIST     comma list: consumer|producer|balanced,\n"
+      "                      cycled across networks\n"
+      "  --no-edge           clients talk to the server directly\n"
+      "  --refill POLICY     fixed | adaptive (default fixed)\n"
+      "  --inject-timing     edge injects timing entropy into uploads\n"
+      "  --internet          WAN latency between edge and server\n"
+      "  --exchange SECONDS  server pool-exchange period (default off)\n"
+      "  --bad-fraction F    one client per network uploads F bad data\n"
+      "  --verbose           per-client response statistics\n",
+      argv0);
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--networks") {
+      opt.networks = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--clients") {
+      opt.clients = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--servers") {
+      opt.servers = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--duration") {
+      opt.duration_s = std::strtod(next(), nullptr);
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--profiles") {
+      opt.profiles = next();
+    } else if (arg == "--no-edge") {
+      opt.use_edge = false;
+    } else if (arg == "--refill") {
+      opt.adaptive_refill = std::string(next()) == "adaptive";
+    } else if (arg == "--inject-timing") {
+      opt.inject_timing = true;
+    } else if (arg == "--internet") {
+      opt.internet = true;
+    } else if (arg == "--exchange") {
+      opt.exchange_period_s = std::strtod(next(), nullptr);
+    } else if (arg == "--bad-fraction") {
+      opt.bad_fraction = std::strtod(next(), nullptr);
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opt.networks == 0 || opt.clients == 0 || opt.servers == 0 ||
+      opt.duration_s <= 0) {
+    std::fprintf(stderr, "networks, clients, servers, duration must be > 0\n");
+    return false;
+  }
+  return true;
+}
+
+std::vector<NetworkProfile> parse_profiles(const std::string& list,
+                                           std::size_t networks) {
+  std::vector<NetworkProfile> parsed;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string token =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (token == "consumer") {
+      parsed.push_back(NetworkProfile::kConsumer);
+    } else if (token == "producer") {
+      parsed.push_back(NetworkProfile::kProducer);
+    } else if (token == "balanced" || token.empty()) {
+      parsed.push_back(NetworkProfile::kBalanced);
+    } else {
+      std::fprintf(stderr, "unknown profile '%s'\n", token.c_str());
+      std::exit(2);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  std::vector<NetworkProfile> out;
+  for (std::size_t k = 0; k < networks; ++k) {
+    out.push_back(parsed[k % parsed.size()]);
+  }
+  return out;
+}
+
+const char* profile_name(NetworkProfile profile) {
+  switch (profile) {
+    case NetworkProfile::kConsumer: return "consumer";
+    case NetworkProfile::kProducer: return "producer";
+    case NetworkProfile::kBalanced: return "balanced";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  TestbedConfig config;
+  config.seed = opt.seed;
+  config.num_networks = opt.networks;
+  config.clients_per_network = opt.clients;
+  config.num_servers = opt.servers;
+  config.profiles = parse_profiles(opt.profiles, opt.networks);
+  config.use_edge = opt.use_edge;
+  config.refill_policy = opt.adaptive_refill ? RefillPolicy::kAdaptive
+                                             : RefillPolicy::kFixedFraction;
+  config.inject_timing_entropy = opt.inject_timing;
+  if (opt.internet) config.backbone_link = sim::internet_wan();
+  config.server_seed_bytes = 1 << 20;
+
+  World world(config);
+  if (opt.use_edge) world.register_edges();
+
+  std::printf("cadet_sim: %zu network(s) x %zu client(s), %zu server(s), "
+              "%.0f s, seed %llu\n",
+              opt.networks, opt.clients, opt.servers, opt.duration_s,
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("  edge: %s, refill: %s, timing injection: %s, backbone: %s\n\n",
+              opt.use_edge ? "yes" : "no",
+              opt.adaptive_refill ? "adaptive" : "fixed",
+              opt.inject_timing ? "on" : "off",
+              opt.internet ? "internet" : "testbed LAN");
+
+  WorkloadDriver driver(world, opt.seed + 1);
+  const util::SimTime t_end = util::from_seconds(opt.duration_s);
+  for (std::size_t i = 0; i < world.num_clients(); ++i) {
+    ClientBehavior behavior =
+        ClientBehavior::for_profile(world.profile_of(i));
+    // Optionally make the first client of each network a misbehaving
+    // uploader.
+    if (opt.bad_fraction > 0.0 &&
+        i % opt.clients == 0) {
+      behavior.upload_rate_hz = std::max(behavior.upload_rate_hz, 1.0);
+      behavior.bad_fraction = opt.bad_fraction;
+    }
+    driver.drive(i, behavior, 0, t_end);
+  }
+  if (opt.exchange_period_s > 0.0) {
+    world.start_pool_exchange(opt.exchange_period_s, 2048, opt.duration_s);
+  }
+
+  world.simulator().run_until(t_end + util::from_seconds(10));
+  world.simulator().run();
+
+  // ---- report ----
+  const auto& metrics = driver.metrics();
+  std::printf("--- service ---\n");
+  std::printf("requests: %llu sent, %llu answered, %llu expired\n",
+              static_cast<unsigned long long>(metrics.requests_sent),
+              static_cast<unsigned long long>(metrics.responses_received),
+              static_cast<unsigned long long>(metrics.requests_failed));
+  if (metrics.response_times_s.count() > 0) {
+    std::printf("response time: %s\n",
+                metrics.response_times_s.summary().c_str());
+  }
+  std::printf("uploads: %llu sent (%llu intentionally bad)\n",
+              static_cast<unsigned long long>(metrics.uploads_sent),
+              static_cast<unsigned long long>(metrics.bad_uploads_sent));
+
+  if (opt.use_edge) {
+    std::printf("\n--- edge tier ---\n");
+    for (std::size_t k = 0; k < world.num_edges(); ++k) {
+      const auto& stats = world.edge(k).stats();
+      std::printf(
+          "edge %zu (%s): cache %4zu/%4zu B, hits %llu misses %llu | "
+          "uploads ok %llu sanity-rej %llu penalty-drop %llu\n",
+          k, profile_name(world.profile_of(k * opt.clients)),
+          world.edge(k).cache().size_bytes(),
+          world.edge(k).cache().capacity_bytes(),
+          static_cast<unsigned long long>(stats.cache_hits),
+          static_cast<unsigned long long>(stats.cache_misses),
+          static_cast<unsigned long long>(stats.uploads_accepted),
+          static_cast<unsigned long long>(stats.uploads_rejected_sanity),
+          static_cast<unsigned long long>(stats.uploads_dropped_penalty));
+    }
+  }
+
+  std::printf("\n--- server tier ---\n");
+  for (std::size_t j = 0; j < world.num_servers(); ++j) {
+    const auto& stats = world.server(j).stats();
+    const auto quality = world.server(j).run_quality_check();
+    std::printf("server %zu: pool %7zu B, mixed %8llu B, served %7llu B | "
+                "quality %d/%d\n",
+                j, world.server(j).pool().size(),
+                static_cast<unsigned long long>(stats.bytes_mixed),
+                static_cast<unsigned long long>(stats.bytes_served),
+                quality.passed(), quality.total());
+  }
+
+  if (opt.verbose) {
+    std::printf("\n--- per-client response times ---\n");
+    for (std::size_t i = 0; i < world.num_clients(); ++i) {
+      const auto it =
+          metrics.per_client_response_s.find(client_id(i));
+      if (it == metrics.per_client_response_s.end() || it->second.empty()) {
+        continue;
+      }
+      std::printf("client %3zu (%s): %s\n", i,
+                  profile_name(world.profile_of(i)),
+                  it->second.summary().c_str());
+    }
+  }
+  return 0;
+}
