@@ -1,13 +1,16 @@
 // Tiny CSV emitter for the figure benches: pass `--csv <dir>` to any
 // figure bench and it writes the plotted series alongside the printed
 // table, so the paper's figures can be regenerated with any plotting tool.
+//
+// The writer itself lives in obs/csv.h (shared with the metrics
+// exporters); this header only keeps the bench-facing names and the
+// --csv flag helper.
 #pragma once
 
-#include <cstdio>
-#include <fstream>
 #include <optional>
 #include <string>
-#include <vector>
+
+#include "obs/csv.h"
 
 namespace cadet::benchcsv {
 
@@ -19,37 +22,6 @@ inline std::optional<std::string> csv_dir(int argc, char** argv) {
   return std::nullopt;
 }
 
-class CsvFile {
- public:
-  CsvFile(const std::string& dir, const std::string& name)
-      : out_(dir + "/" + name) {
-    if (!out_) {
-      std::fprintf(stderr, "warning: cannot open %s/%s for writing\n",
-                   dir.c_str(), name.c_str());
-    }
-  }
-
-  void row(const std::vector<std::string>& cells) {
-    if (!out_) return;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (i) out_ << ',';
-      out_ << cells[i];
-    }
-    out_ << '\n';
-  }
-
-  template <typename... Args>
-  void rowf(const char* format, Args... args) {
-    if (!out_) return;
-    char buffer[512];
-    std::snprintf(buffer, sizeof(buffer), format, args...);
-    out_ << buffer << '\n';
-  }
-
-  bool ok() const { return static_cast<bool>(out_); }
-
- private:
-  std::ofstream out_;
-};
+using CsvFile = obs::CsvFile;
 
 }  // namespace cadet::benchcsv

@@ -44,11 +44,11 @@ int main(int argc, char** argv) {
     }
     f.row(header);
     for (std::size_t t = 0; t < results.front().trace.size(); ++t) {
-      std::string line = std::to_string(t);
+      std::vector<std::string> cells = {std::to_string(t)};
       for (const auto& r : results) {
-        line += "," + std::to_string(r.trace[t].second);
+        cells.push_back(std::to_string(r.trace[t].second));
       }
-      f.row({line});
+      f.row(cells);
     }
   }
 

@@ -5,6 +5,8 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "testbed/topology.h"
 #include "util/bytes.h"
 
@@ -70,5 +72,20 @@ int main() {
               world.edge(0).cache().size_bytes(),
               world.edge(0).cache().capacity_bytes(),
               world.server().pool().size());
+
+  // Every counter above was also tracked in the World's metrics registry;
+  // dump the full snapshot (Prometheus text format) and the headline
+  // number: how much of the request load the edge absorbed.
+  std::printf("\n--- metrics snapshot ---\n%s",
+              obs::to_prometheus(world.metrics()).c_str());
+  const auto edge_stats = world.edge(0).stats();
+  if (edge_stats.requests_received > 0) {
+    std::printf("\nedge offload ratio: %llu cache hit(s) / %llu request(s) "
+                "= %.2f\n",
+                static_cast<unsigned long long>(edge_stats.cache_hits),
+                static_cast<unsigned long long>(edge_stats.requests_received),
+                static_cast<double>(edge_stats.cache_hits) /
+                    static_cast<double>(edge_stats.requests_received));
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "cadet/config.h"
 #include "cadet/seal.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace cadet {
@@ -11,7 +12,24 @@ namespace cadet {
 ClientNode::ClientNode(const Config& config)
     : config_(config),
       csprng_(config.seed ^ 0xc11e47c11e47ULL),
-      pool_(config.pool_bits) {}
+      pool_(config.pool_bits) {
+  if (config.metrics != nullptr) {
+    metrics_ = config.metrics;
+  } else {
+    owned_metrics_ = std::make_shared<obs::Registry>();
+    metrics_ = owned_metrics_.get();
+  }
+  const obs::Labels labels = obs::tier_labels("client", config_.id);
+  ctr_.requests_sent = &metrics_->counter("cadet_client_requests_sent", labels);
+  ctr_.requests_fulfilled =
+      &metrics_->counter("cadet_client_requests_fulfilled", labels);
+  ctr_.requests_expired =
+      &metrics_->counter("cadet_client_requests_expired", labels);
+  ctr_.uploads_sent = &metrics_->counter("cadet_client_uploads_sent", labels);
+  ctr_.bytes_received =
+      &metrics_->counter("cadet_client_bytes_received", labels);
+  pool_.bind_metrics(*metrics_, labels);
+}
 
 std::vector<net::Outgoing> ClientNode::begin_init(util::SimTime now,
                                                   RegCallback on_complete) {
@@ -61,6 +79,10 @@ std::vector<net::Outgoing> ClientNode::request_entropy(
     return {};
   }
   cost_.add(cost::kCraftPacket);
+  ctr_.requests_sent->inc();
+  obs::emit(now, "request", "client", config_.id,
+            {{"bits", static_cast<double>(bits)},
+             {"e2e", end_to_end ? 1.0 : 0.0}});
   pending_.push_back(
       PendingRequest{bits, std::move(on_complete), end_to_end, now});
   Packet p = end_to_end
@@ -72,8 +94,10 @@ std::vector<net::Outgoing> ClientNode::request_entropy(
 
 std::vector<net::Outgoing> ClientNode::upload_entropy(util::Bytes payload,
                                                       util::SimTime now) {
-  (void)now;
   cost_.add(cost::kCraftPacket);
+  ctr_.uploads_sent->inc();
+  obs::emit(now, "upload", "client", config_.id,
+            {{"bytes", static_cast<double>(payload.size())}});
   Packet p = Packet::data_upload(std::move(payload), /*edge_server=*/false);
   return {{config_.edge, encode(p)}};
 }
@@ -83,7 +107,9 @@ void ClientNode::expire_stale_requests(util::SimTime now) {
          now - pending_.front().issued_at > config_.request_timeout) {
     PendingRequest req = std::move(pending_.front());
     pending_.pop_front();
-    ++expired_;
+    ctr_.requests_expired->inc();
+    obs::emit(now, "request_expired", "client", config_.id,
+              {{"waited_s", util::to_seconds(now - req.issued_at)}});
     if (req.callback) req.callback({}, now);
   }
 }
@@ -222,7 +248,11 @@ void ClientNode::handle_data_ack(const Packet& packet, util::SimTime now) {
     if (it->end_to_end != packet.header.end_to_end) continue;
     PendingRequest req = std::move(*it);
     pending_.erase(it);
-    ++fulfilled_;
+    ctr_.requests_fulfilled->inc();
+    ctr_.bytes_received->inc(delivered.size());
+    obs::emit(now, "reply", "client", config_.id,
+              {{"bytes", static_cast<double>(delivered.size())},
+               {"latency_s", util::to_seconds(now - req.issued_at)}});
     if (req.callback) req.callback(delivered, now);
     break;
   }

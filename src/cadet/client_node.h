@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "cadet/registration.h"
 #include "entropy/pool.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace cadet {
 
@@ -34,6 +36,10 @@ class ClientNode {
     /// protocol has no retransmission, so without expiry a lost packet
     /// would leak a pending entry forever. Checked lazily.
     util::SimTime request_timeout = 10 * util::kSecond;
+    /// Shared metrics registry (testbed::World wires its own). When null
+    /// the node keeps a private registry, so standalone nodes (unit tests)
+    /// stay isolated.
+    obs::Registry* metrics = nullptr;
   };
 
   /// Called when a data request completes: delivered bytes and the time.
@@ -83,9 +89,16 @@ class ClientNode {
   entropy::EntropyPool& pool() noexcept { return pool_; }
   const entropy::EntropyPool& pool() const noexcept { return pool_; }
   CostMeter& cost() noexcept { return cost_; }
-  std::uint64_t requests_fulfilled() const noexcept { return fulfilled_; }
-  std::uint64_t requests_expired() const noexcept { return expired_; }
+  std::uint64_t requests_fulfilled() const noexcept {
+    return ctr_.requests_fulfilled->value();
+  }
+  std::uint64_t requests_expired() const noexcept {
+    return ctr_.requests_expired->value();
+  }
   std::size_t requests_pending() const noexcept { return pending_.size(); }
+
+  /// Registry this node publishes to (its own unless Config wired one).
+  obs::Registry& metrics() noexcept { return *metrics_; }
 
  private:
   std::vector<net::Outgoing> handle_init_ack(const Packet& packet,
@@ -98,6 +111,17 @@ class ClientNode {
   crypto::Csprng csprng_;
   entropy::EntropyPool pool_;
   CostMeter cost_;
+
+  // Metrics (owned registry only when none was wired via Config).
+  std::shared_ptr<obs::Registry> owned_metrics_;
+  obs::Registry* metrics_ = nullptr;
+  struct Counters {
+    obs::Counter* requests_sent = nullptr;
+    obs::Counter* requests_fulfilled = nullptr;
+    obs::Counter* requests_expired = nullptr;
+    obs::Counter* uploads_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+  } ctr_;
 
   // registration state
   std::optional<crypto::X25519KeyPair> init_keypair_;
@@ -115,8 +139,6 @@ class ClientNode {
     util::SimTime issued_at = 0;
   };
   std::deque<PendingRequest> pending_;
-  std::uint64_t fulfilled_ = 0;
-  std::uint64_t expired_ = 0;
 };
 
 }  // namespace cadet

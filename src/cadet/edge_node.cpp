@@ -7,6 +7,7 @@
 #include "cadet/config.h"
 #include "cadet/seal.h"
 #include "crypto/sha256.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace cadet {
@@ -17,7 +18,54 @@ EdgeNode::EdgeNode(const Config& config)
       rng_(config.seed ^ 0x1234abcdULL),
       cache_(config.num_clients),
       penalty_(config.penalty),
-      sanity_(config.sanity_alpha) {}
+      sanity_(config.sanity_alpha) {
+  if (config.metrics != nullptr) {
+    metrics_ = config.metrics;
+  } else {
+    owned_metrics_ = std::make_shared<obs::Registry>();
+    metrics_ = owned_metrics_.get();
+  }
+  const obs::Labels labels = obs::tier_labels("edge", config_.id);
+  ctr_.uploads_received =
+      &metrics_->counter("cadet_edge_uploads_received", labels);
+  ctr_.uploads_dropped_penalty =
+      &metrics_->counter("cadet_edge_uploads_dropped_penalty", labels);
+  ctr_.uploads_rejected_sanity =
+      &metrics_->counter("cadet_edge_uploads_rejected_sanity", labels);
+  ctr_.uploads_accepted =
+      &metrics_->counter("cadet_edge_uploads_accepted", labels);
+  ctr_.bulk_uploads_sent =
+      &metrics_->counter("cadet_edge_bulk_uploads_sent", labels);
+  ctr_.requests_received =
+      &metrics_->counter("cadet_edge_requests_received", labels);
+  ctr_.cache_hits = &metrics_->counter("cadet_edge_cache_hits", labels);
+  ctr_.cache_misses = &metrics_->counter("cadet_edge_cache_misses", labels);
+  ctr_.heavy_rejections =
+      &metrics_->counter("cadet_edge_heavy_rejections", labels);
+  ctr_.e2e_forwarded = &metrics_->counter("cadet_edge_e2e_forwarded", labels);
+  ctr_.timing_bytes_injected =
+      &metrics_->counter("cadet_edge_timing_bytes_injected", labels);
+  ctr_.reregistrations =
+      &metrics_->counter("cadet_edge_reregistrations", labels);
+  cache_gauge_ = &metrics_->gauge("cadet_edge_cache_bytes", labels);
+}
+
+EdgeNode::Stats EdgeNode::stats() const noexcept {
+  Stats s;
+  s.uploads_received = ctr_.uploads_received->value();
+  s.uploads_dropped_penalty = ctr_.uploads_dropped_penalty->value();
+  s.uploads_rejected_sanity = ctr_.uploads_rejected_sanity->value();
+  s.uploads_accepted = ctr_.uploads_accepted->value();
+  s.bulk_uploads_sent = ctr_.bulk_uploads_sent->value();
+  s.requests_received = ctr_.requests_received->value();
+  s.cache_hits = ctr_.cache_hits->value();
+  s.cache_misses = ctr_.cache_misses->value();
+  s.heavy_rejections = ctr_.heavy_rejections->value();
+  s.e2e_forwarded = ctr_.e2e_forwarded->value();
+  s.timing_bytes_injected = ctr_.timing_bytes_injected->value();
+  s.reregistrations = ctr_.reregistrations->value();
+  return s;
+}
 
 std::vector<net::Outgoing> EdgeNode::begin_edge_reg(util::SimTime now,
                                                     RegCallback on_complete) {
@@ -73,7 +121,7 @@ std::vector<net::Outgoing> EdgeNode::on_packet(net::NodeId from,
     return handle_client_request(from, *packet, now);
   }
   usage_.tick();
-  return handle_client_upload(from, *packet);
+  return handle_client_upload(from, *packet, now);
 }
 
 util::Bytes EdgeNode::harvest_timing_bytes(std::size_t n) {
@@ -88,13 +136,18 @@ util::Bytes EdgeNode::harvest_timing_bytes(std::size_t n) {
 }
 
 std::vector<net::Outgoing> EdgeNode::handle_client_upload(
-    net::NodeId client, const Packet& packet) {
-  ++stats_.uploads_received;
+    net::NodeId client, const Packet& packet, util::SimTime now) {
+  ctr_.uploads_received->inc();
+  obs::emit(now, "upload_rx", "edge", config_.id,
+            {{"client", static_cast<double>(client)},
+             {"bytes", static_cast<double>(packet.payload.size())}});
 
   // (2) penalty gate: delinquent devices are randomly ignored; the device
   // cannot tell whether a given packet was scored, so it must play fair.
   if (penalty_.should_drop(client, rng_)) {
-    ++stats_.uploads_dropped_penalty;
+    ctr_.uploads_dropped_penalty->inc();
+    obs::emit(now, "penalty_drop", "edge", config_.id,
+              {{"client", static_cast<double>(client)}});
     return {};
   }
 
@@ -110,18 +163,21 @@ std::vector<net::Outgoing> EdgeNode::handle_client_upload(
     penalty_.record_result(client, checks_passed);
   }
   if (!accepted) {
-    ++stats_.uploads_rejected_sanity;
+    ctr_.uploads_rejected_sanity->inc();
+    obs::emit(now, "sanity_reject", "edge", config_.id,
+              {{"client", static_cast<double>(client)},
+               {"checks_passed", static_cast<double>(checks_passed)}});
     return {};
   }
 
   // (4) accumulate in the upload buffer, optionally interleaved with
   // locally harvested timing jitter (SVI-D3).
-  ++stats_.uploads_accepted;
+  ctr_.uploads_accepted->inc();
   buffer_contributors_.insert(client);
   util::append(upload_buffer_, packet.payload);
   if (config_.inject_timing_entropy) {
     const util::Bytes jitter = harvest_timing_bytes(2);
-    stats_.timing_bytes_injected += jitter.size();
+    ctr_.timing_bytes_injected->inc(jitter.size());
     util::append(upload_buffer_, jitter);
   }
 
@@ -132,11 +188,14 @@ std::vector<net::Outgoing> EdgeNode::handle_client_upload(
   if (upload_buffer_.size() >= config_.upload_forward_bytes &&
       buffer_contributors_.size() >= config_.min_contributors) {
     cost_.add(cost::kCraftPacket);
+    const std::size_t bulk_bytes = upload_buffer_.size();
     Packet bulk =
         Packet::data_upload(std::move(upload_buffer_), /*edge_server=*/true);
     upload_buffer_.clear();
     buffer_contributors_.clear();
-    ++stats_.bulk_uploads_sent;
+    ctr_.bulk_uploads_sent->inc();
+    obs::emit(now, "bulk_upload", "edge", config_.id,
+              {{"bytes", static_cast<double>(bulk_bytes)}});
     out.push_back({config_.server, encode(bulk)});
   }
   return out;
@@ -144,7 +203,10 @@ std::vector<net::Outgoing> EdgeNode::handle_client_upload(
 
 std::vector<net::Outgoing> EdgeNode::handle_client_request(
     net::NodeId client, const Packet& packet, util::SimTime now) {
-  ++stats_.requests_received;
+  ctr_.requests_received->inc();
+  obs::emit(now, "request", "edge", config_.id,
+            {{"client", static_cast<double>(client)},
+             {"bits", static_cast<double>(packet.header.argument)}});
   // Clamp to what this cache tier can ever hold: the 16-bit request field
   // allows asks (8 kB) larger than a small edge's whole cache, which could
   // otherwise queue forever.
@@ -158,7 +220,9 @@ std::vector<net::Outgoing> EdgeNode::handle_client_request(
     // Untrusted-edge mode: the cache holds plaintext this edge could read,
     // so the request is relayed to the server, which seals the reply under
     // the client's own csk. Costs a full server round trip by design.
-    ++stats_.e2e_forwarded;
+    ctr_.e2e_forwarded->inc();
+    obs::emit(now, "e2e_forward", "edge", config_.id,
+              {{"client", static_cast<double>(client)}});
     cost_.add(cost::kCraftPacket);
     Packet fwd = Packet::data_request_e2e(packet.header.argument,
                                           /*edge_server=*/true, client);
@@ -169,13 +233,20 @@ std::vector<net::Outgoing> EdgeNode::handle_client_request(
 
   std::vector<net::Outgoing> out;
   util::Bytes served = cache_.take(bytes, heavy);
+  cache_gauge_->set(static_cast<std::int64_t>(cache_.size_bytes()));
   if (!served.empty()) {
-    ++stats_.cache_hits;
+    ctr_.cache_hits->inc();
+    obs::emit(now, "cache_hit", "edge", config_.id,
+              {{"client", static_cast<double>(client)},
+               {"bytes", static_cast<double>(served.size())}});
     cost_.add(cost::kCraftPacket);
     out.push_back(make_client_delivery(client, std::move(served)));
   } else {
-    if (heavy && cache_.size_bytes() >= bytes) ++stats_.heavy_rejections;
-    ++stats_.cache_misses;
+    if (heavy && cache_.size_bytes() >= bytes) ctr_.heavy_rejections->inc();
+    ctr_.cache_misses->inc();
+    obs::emit(now, "cache_miss", "edge", config_.id,
+              {{"client", static_cast<double>(client)},
+               {"bytes", static_cast<double>(bytes)}});
     pending_.push_back(PendingRequest{client, bytes, heavy, now});
   }
 
@@ -208,6 +279,9 @@ std::vector<net::Outgoing> EdgeNode::maybe_refill(std::size_t extra_bytes,
   cost_.add(cost::kCraftPacket);
   refill_outstanding_ = true;
   refill_sent_at_ = now;
+  obs::emit(now, "refill", "edge", config_.id,
+            {{"bits", static_cast<double>(bits)},
+             {"cache_bytes", static_cast<double>(cache_.size_bytes())}});
   Packet req = Packet::data_request(bits, /*edge_server=*/true);
   return {{config_.server, encode(req)}};
 }
@@ -263,6 +337,7 @@ std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
   // Edge mixing (Fig. 2 downstream step 5) dominates the cache-miss path.
   cost_.add(cost::kEdgeMixPerByte * static_cast<double>(delivered.size()));
   cache_.insert(delivered);
+  cache_gauge_->set(static_cast<std::int64_t>(cache_.size_bytes()));
 
   return drain_pending(now);
 }
@@ -282,6 +357,7 @@ std::vector<net::Outgoing> EdgeNode::drain_pending(util::SimTime now) {
     out.push_back(make_client_delivery(req.client, std::move(served)));
     pending_.pop_front();
   }
+  cache_gauge_->set(static_cast<std::int64_t>(cache_.size_bytes()));
   if (!pending_.empty()) {
     const auto refill = maybe_refill(pending_.front().bytes, now);
     out.insert(out.end(), refill.begin(), refill.end());
@@ -314,7 +390,8 @@ std::vector<net::Outgoing> EdgeNode::note_open_failure(util::SimTime now) {
                  << " consecutive sealed-open failures; re-registering";
   consecutive_open_failures_ = 0;
   esk_.reset();
-  ++stats_.reregistrations;
+  ctr_.reregistrations->inc();
+  obs::emit(now, "reregister", "edge", config_.id, {});
   return begin_edge_reg(now, std::move(on_reg_complete_));
 }
 

@@ -10,6 +10,7 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 #include "cadet/registration.h"
 #include "cadet/usage.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace cadet {
@@ -61,6 +63,10 @@ class EdgeNode {
     /// (e.g. the server restarted and lost the esk), the edge abandons its
     /// key and re-registers. 0 disables.
     std::size_t reregister_after_failures = 3;
+    /// Shared metrics registry (testbed::World wires its own). When null
+    /// the node keeps a private registry, so standalone nodes (unit tests)
+    /// stay isolated.
+    obs::Registry* metrics = nullptr;
   };
 
   using RegCallback = std::function<void(util::SimTime now)>;
@@ -99,7 +105,12 @@ class EdgeNode {
     std::uint64_t timing_bytes_injected = 0;
     std::uint64_t reregistrations = 0;   // recoveries from a lost esk
   };
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot assembled from the registry counters (the counters are the
+  /// single source of truth; this keeps existing call sites working).
+  Stats stats() const noexcept;
+
+  /// Registry this node publishes to (its own unless Config wired one).
+  obs::Registry& metrics() noexcept { return *metrics_; }
 
   /// Adaptive-policy telemetry (meaningful once traffic has flowed).
   double demand_rate_bps() const noexcept { return demand_rate_Bps_ * 8.0; }
@@ -107,7 +118,8 @@ class EdgeNode {
 
  private:
   std::vector<net::Outgoing> handle_client_upload(net::NodeId client,
-                                                  const Packet& packet);
+                                                  const Packet& packet,
+                                                  util::SimTime now);
   std::vector<net::Outgoing> handle_client_request(net::NodeId client,
                                                    const Packet& packet,
                                                    util::SimTime now);
@@ -129,7 +141,25 @@ class EdgeNode {
   PenaltyTable penalty_;
   SanityChecker sanity_;
   CostMeter cost_;
-  Stats stats_;
+
+  // Metrics (owned registry only when none was wired via Config).
+  std::shared_ptr<obs::Registry> owned_metrics_;
+  obs::Registry* metrics_ = nullptr;
+  struct Counters {
+    obs::Counter* uploads_received = nullptr;
+    obs::Counter* uploads_dropped_penalty = nullptr;
+    obs::Counter* uploads_rejected_sanity = nullptr;
+    obs::Counter* uploads_accepted = nullptr;
+    obs::Counter* bulk_uploads_sent = nullptr;
+    obs::Counter* requests_received = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* heavy_rejections = nullptr;
+    obs::Counter* e2e_forwarded = nullptr;
+    obs::Counter* timing_bytes_injected = nullptr;
+    obs::Counter* reregistrations = nullptr;
+  } ctr_;
+  obs::Gauge* cache_gauge_ = nullptr;
 
   util::Bytes upload_buffer_;
   std::set<net::NodeId> buffer_contributors_;

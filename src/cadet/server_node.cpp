@@ -5,6 +5,7 @@
 
 #include "cadet/config.h"
 #include "cadet/seal.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace cadet {
@@ -16,7 +17,50 @@ ServerNode::ServerNode(const Config& config)
       pool_(config.pool_capacity_bytes),
       mixer_(pool_),
       penalty_(config.penalty),
-      sanity_(config.sanity_alpha) {}
+      sanity_(config.sanity_alpha) {
+  if (config.metrics != nullptr) {
+    metrics_ = config.metrics;
+  } else {
+    owned_metrics_ = std::make_shared<obs::Registry>();
+    metrics_ = owned_metrics_.get();
+  }
+  const obs::Labels labels = obs::tier_labels("server", config_.id);
+  ctr_.uploads_received =
+      &metrics_->counter("cadet_server_uploads_received", labels);
+  ctr_.uploads_dropped_penalty =
+      &metrics_->counter("cadet_server_uploads_dropped_penalty", labels);
+  ctr_.uploads_rejected_sanity =
+      &metrics_->counter("cadet_server_uploads_rejected_sanity", labels);
+  ctr_.bytes_mixed = &metrics_->counter("cadet_server_bytes_mixed", labels);
+  ctr_.requests_served =
+      &metrics_->counter("cadet_server_requests_served", labels);
+  ctr_.bytes_served = &metrics_->counter("cadet_server_bytes_served", labels);
+  ctr_.requests_short =
+      &metrics_->counter("cadet_server_requests_short", labels);
+  ctr_.quality_checks_run =
+      &metrics_->counter("cadet_server_quality_checks_run", labels);
+  ctr_.quality_checks_failed =
+      &metrics_->counter("cadet_server_quality_checks_failed", labels);
+  ctr_.pool_exchanges =
+      &metrics_->counter("cadet_server_pool_exchanges", labels);
+  pool_.bind_metrics(*metrics_, labels);
+  mixer_.bind_metrics(*metrics_, labels);
+}
+
+ServerNode::Stats ServerNode::stats() const noexcept {
+  Stats s;
+  s.uploads_received = ctr_.uploads_received->value();
+  s.uploads_dropped_penalty = ctr_.uploads_dropped_penalty->value();
+  s.uploads_rejected_sanity = ctr_.uploads_rejected_sanity->value();
+  s.bytes_mixed = ctr_.bytes_mixed->value();
+  s.requests_served = ctr_.requests_served->value();
+  s.bytes_served = ctr_.bytes_served->value();
+  s.requests_short = ctr_.requests_short->value();
+  s.quality_checks_run = ctr_.quality_checks_run->value();
+  s.quality_checks_failed = ctr_.quality_checks_failed->value();
+  s.pool_exchanges = ctr_.pool_exchanges->value();
+  return s;
+}
 
 void ServerNode::seed_pool(util::BytesView bytes) { pool_.push(bytes); }
 
@@ -31,11 +75,12 @@ std::vector<net::Outgoing> ServerNode::on_packet(net::NodeId from,
     return {};
   }
   if (packet->header.reg) return handle_registration(from, *packet, now);
-  return handle_data(from, *packet);
+  return handle_data(from, *packet, now);
 }
 
 std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
-                                                   const Packet& packet) {
+                                                   const Packet& packet,
+                                                   util::SimTime now) {
   if (packet.header.req && packet.header.end_to_end) {
     // Untrusted-edge request: seal the entropy under the requesting
     // client's csk so the relaying edge cannot read it (paper §VIII).
@@ -48,9 +93,11 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
     }
     const std::size_t want = (packet.header.argument + 7) / 8;
     util::Bytes served = pool_.pop(want);
-    if (served.size() < want) ++stats_.requests_short;
-    ++stats_.requests_served;
-    stats_.bytes_served += served.size();
+    if (served.size() < want) ctr_.requests_short->inc();
+    ctr_.requests_served->inc();
+    ctr_.bytes_served->inc(served.size());
+    obs::emit(now, "request", "server", config_.id,
+              {{"bytes", static_cast<double>(served.size())}, {"e2e", 1.0}});
     cost_.add(cost::kCraftPacket +
               cost::kSealPerByte * static_cast<double>(served.size()));
 
@@ -65,9 +112,11 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
     // Entropy request: serve from the pool head.
     const std::size_t want = (packet.header.argument + 7) / 8;
     util::Bytes served = pool_.pop(want);
-    if (served.size() < want) ++stats_.requests_short;
-    ++stats_.requests_served;
-    stats_.bytes_served += served.size();
+    if (served.size() < want) ctr_.requests_short->inc();
+    ctr_.requests_served->inc();
+    ctr_.bytes_served->inc(served.size());
+    obs::emit(now, "request", "server", config_.id,
+              {{"bytes", static_cast<double>(served.size())}, {"e2e", 0.0}});
     cost_.add(cost::kCraftPacket);
 
     const auto esk_it = edge_keys_.find(from);
@@ -85,14 +134,17 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
 
   if (packet.header.ack) {
     // Delivery from a peer server's pool exchange: mix it in directly.
-    mix_contribution(packet.payload);
+    mix_contribution(packet.payload, now);
     return {};
   }
 
   // Upload (bulk from an edge, direct from a client, or a peer exchange).
-  ++stats_.uploads_received;
+  ctr_.uploads_received->inc();
+  obs::emit(now, "upload_rx", "server", config_.id,
+            {{"from", static_cast<double>(from)},
+             {"bytes", static_cast<double>(packet.payload.size())}});
   if (penalty_.should_drop(from, rng_)) {
-    ++stats_.uploads_dropped_penalty;
+    ctr_.uploads_dropped_penalty->inc();
     return {};
   }
   if (config_.sanity_checks_enabled) {
@@ -100,19 +152,21 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
     const auto outcome = sanity_.check(from, packet.payload);
     penalty_.record_result(from, outcome.checks_passed);
     if (!outcome.accepted) {
-      ++stats_.uploads_rejected_sanity;
+      ctr_.uploads_rejected_sanity->inc();
       return {};
     }
   }
-  mix_contribution(packet.payload);
+  mix_contribution(packet.payload, now);
   return {};
 }
 
-void ServerNode::mix_contribution(util::BytesView payload) {
+void ServerNode::mix_contribution(util::BytesView payload, util::SimTime now) {
   if (payload.empty()) return;
   cost_.add(cost::kServerMixPerByte * static_cast<double>(payload.size()));
   mixer_.add_input(payload);
-  stats_.bytes_mixed += payload.size();
+  ctr_.bytes_mixed->inc(payload.size());
+  obs::emit(now, "mix", "server", config_.id,
+            {{"bytes", static_cast<double>(payload.size())}});
   bytes_since_quality_check_ += payload.size();
   maybe_quality_check();
 }
@@ -129,7 +183,7 @@ void ServerNode::maybe_quality_check() {
 nist::BatteryResult ServerNode::run_quality_check() {
   const std::size_t bytes_needed = (config_.quality_check_bits + 7) / 8;
   util::Bytes snapshot = pool_.peek(bytes_needed);
-  ++stats_.quality_checks_run;
+  ctr_.quality_checks_run->inc();
   if (snapshot.size() * 8 < 1024) {
     // Not enough data for a meaningful verdict; count as run, not failed.
     return {};
@@ -150,7 +204,7 @@ nist::BatteryResult ServerNode::run_quality_check() {
     }
   }
   if (failures >= 2 || decisive) {
-    ++stats_.quality_checks_failed;
+    ctr_.quality_checks_failed->inc();
     pool_.pop(snapshot.size());
     CADET_LOG_WARN << "server " << config_.id
                    << ": quality check failed (" << failures
@@ -164,7 +218,7 @@ std::vector<net::Outgoing> ServerNode::begin_pool_exchange(net::NodeId peer,
                                                            std::size_t bytes) {
   util::Bytes chunk = pool_.pop(bytes);
   if (chunk.empty()) return {};
-  ++stats_.pool_exchanges;
+  ctr_.pool_exchanges->inc();
   cost_.add(cost::kCraftPacket);
   // Shipped as a data delivery so the peer mixes it without a sanity gate
   // (peer servers are trusted infrastructure).

@@ -7,6 +7,7 @@
 // exchange with peer servers (Fig. 2 steps 10-11).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "entropy/yarrow.h"
 #include "net/transport.h"
 #include "nist/battery.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace cadet {
@@ -38,6 +40,10 @@ class ServerNode {
     std::size_t quality_check_bits = 50000;
     /// Peer servers for pool exchange.
     std::vector<net::NodeId> peers;
+    /// Shared metrics registry (testbed::World wires its own). When null
+    /// the node keeps a private registry, so standalone nodes (unit tests)
+    /// stay isolated.
+    obs::Registry* metrics = nullptr;
   };
 
   explicit ServerNode(const Config& config);
@@ -86,15 +92,21 @@ class ServerNode {
     std::uint64_t quality_checks_failed = 0;
     std::uint64_t pool_exchanges = 0;
   };
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot assembled from the registry counters (the counters are the
+  /// single source of truth; this keeps existing call sites working).
+  Stats stats() const noexcept;
+
+  /// Registry this node publishes to (its own unless Config wired one).
+  obs::Registry& metrics() noexcept { return *metrics_; }
 
  private:
   std::vector<net::Outgoing> handle_data(net::NodeId from,
-                                         const Packet& packet);
+                                         const Packet& packet,
+                                         util::SimTime now);
   std::vector<net::Outgoing> handle_registration(net::NodeId from,
                                                  const Packet& packet,
                                                  util::SimTime now);
-  void mix_contribution(util::BytesView payload);
+  void mix_contribution(util::BytesView payload, util::SimTime now);
   void maybe_quality_check();
 
   Config config_;
@@ -106,7 +118,22 @@ class ServerNode {
   SanityChecker sanity_;
   nist::QualityBattery quality_;
   CostMeter cost_;
-  Stats stats_;
+
+  // Metrics (owned registry only when none was wired via Config).
+  std::shared_ptr<obs::Registry> owned_metrics_;
+  obs::Registry* metrics_ = nullptr;
+  struct Counters {
+    obs::Counter* uploads_received = nullptr;
+    obs::Counter* uploads_dropped_penalty = nullptr;
+    obs::Counter* uploads_rejected_sanity = nullptr;
+    obs::Counter* bytes_mixed = nullptr;
+    obs::Counter* requests_served = nullptr;
+    obs::Counter* bytes_served = nullptr;
+    obs::Counter* requests_short = nullptr;
+    obs::Counter* quality_checks_run = nullptr;
+    obs::Counter* quality_checks_failed = nullptr;
+    obs::Counter* pool_exchanges = nullptr;
+  } ctr_;
 
   // Handshakes in flight: peer id -> (derived key, expected confirm nonce).
   struct PendingHandshake {

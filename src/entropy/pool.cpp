@@ -45,6 +45,14 @@ void EntropyPool::add(util::BytesView data, std::size_t entropy_bits) {
   stir(data);
   total_added_ += data.size();
   available_bits_ = std::min(capacity_bits_, available_bits_ + entropy_bits);
+  publish_fill();
+}
+
+void EntropyPool::bind_metrics(obs::Registry& registry,
+                               const obs::Labels& labels) {
+  fill_gauge_ = &registry.gauge("cadet_pool_available_bits", labels);
+  starved_counter_ = &registry.counter("cadet_pool_starved_bytes", labels);
+  publish_fill();
 }
 
 util::Bytes EntropyPool::squeeze(std::size_t nbytes) {
@@ -70,6 +78,7 @@ util::Bytes EntropyPool::squeeze(std::size_t nbytes) {
 util::Bytes EntropyPool::extract(std::size_t nbytes) {
   const std::size_t backed = std::min(nbytes, available_bits_ / 8);
   available_bits_ -= backed * 8;
+  publish_fill();
   return squeeze(backed);
 }
 
@@ -77,6 +86,8 @@ util::Bytes EntropyPool::extract_unchecked(std::size_t nbytes) {
   const std::size_t backed = std::min(nbytes, available_bits_ / 8);
   available_bits_ -= backed * 8;
   starved_bytes_ += nbytes - backed;
+  if (starved_counter_ != nullptr) starved_counter_->inc(nbytes - backed);
+  publish_fill();
   return squeeze(nbytes);
 }
 

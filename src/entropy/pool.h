@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 
 namespace cadet::entropy {
@@ -49,7 +50,18 @@ class EntropyPool {
     return total_extracted_;
   }
 
+  /// Publish this pool's fill level and starvation to `registry`
+  /// (cadet_pool_available_bits gauge, cadet_pool_starved_bytes counter),
+  /// labeled for the owning node. The registry must outlive the pool.
+  void bind_metrics(obs::Registry& registry, const obs::Labels& labels);
+
  private:
+  void publish_fill() noexcept {
+    if (fill_gauge_ != nullptr) {
+      fill_gauge_->set(static_cast<std::int64_t>(available_bits_));
+    }
+  }
+
   void stir(util::BytesView data);
   util::Bytes squeeze(std::size_t nbytes);
 
@@ -60,6 +72,9 @@ class EntropyPool {
   std::uint64_t total_extracted_ = 0;
   std::uint64_t extract_counter_ = 0;
   util::Bytes state_;  // capacity_bits/8 bytes of mixed pool state
+
+  obs::Gauge* fill_gauge_ = nullptr;
+  obs::Counter* starved_counter_ = nullptr;
 };
 
 }  // namespace cadet::entropy

@@ -10,13 +10,21 @@ ServerEntropyPool::ServerEntropyPool(std::size_t capacity_bytes)
 void ServerEntropyPool::push(util::BytesView bytes) {
   data_.insert(data_.end(), bytes.begin(), bytes.end());
   while (data_.size() > capacity_) data_.pop_front();
+  publish_fill();
 }
 
 util::Bytes ServerEntropyPool::pop(std::size_t n) {
   const std::size_t take = std::min(n, data_.size());
   util::Bytes out(data_.begin(), data_.begin() + static_cast<long>(take));
   data_.erase(data_.begin(), data_.begin() + static_cast<long>(take));
+  publish_fill();
   return out;
+}
+
+void ServerEntropyPool::bind_metrics(obs::Registry& registry,
+                                     const obs::Labels& labels) {
+  fill_gauge_ = &registry.gauge("cadet_pool_bytes", labels);
+  publish_fill();
 }
 
 util::Bytes ServerEntropyPool::peek(std::size_t n) const {
@@ -50,6 +58,7 @@ void YarrowMixer::fold(util::Bytes& accumulator) {
   // Hash in counter-extended blocks so a fold yields as many output bytes
   // as the entropy it consumed (a plain 32-byte digest would throttle the
   // pool's fill rate below client demand).
+  const std::uint64_t hash_ops_before = hash_ops_;
   const std::size_t out_target =
       std::max<std::size_t>(accumulator.size() + oldest.size(),
                             crypto::Sha256::kDigestSize);
@@ -72,6 +81,16 @@ void YarrowMixer::fold(util::Bytes& accumulator) {
   pool_.push(mixed);
   accumulator.clear();
   ++folds_;
+  if (folds_counter_ != nullptr) folds_counter_->inc();
+  if (hash_ops_counter_ != nullptr) {
+    hash_ops_counter_->inc(hash_ops_ - hash_ops_before);
+  }
+}
+
+void YarrowMixer::bind_metrics(obs::Registry& registry,
+                               const obs::Labels& labels) {
+  folds_counter_ = &registry.counter("cadet_mixer_folds", labels);
+  hash_ops_counter_ = &registry.counter("cadet_mixer_hash_ops", labels);
 }
 
 }  // namespace cadet::entropy

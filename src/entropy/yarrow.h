@@ -14,6 +14,7 @@
 #include <deque>
 
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 
 namespace cadet::entropy {
@@ -38,9 +39,20 @@ class ServerEntropyPool {
   /// check inspects the pool without draining it.
   util::Bytes peek(std::size_t n) const;
 
+  /// Publish the pool fill level as the cadet_pool_bytes gauge. The
+  /// registry must outlive the pool.
+  void bind_metrics(obs::Registry& registry, const obs::Labels& labels);
+
  private:
+  void publish_fill() noexcept {
+    if (fill_gauge_ != nullptr) {
+      fill_gauge_->set(static_cast<std::int64_t>(data_.size()));
+    }
+  }
+
   std::size_t capacity_;
   std::deque<std::uint8_t> data_;
+  obs::Gauge* fill_gauge_ = nullptr;
 };
 
 struct YarrowConfig {
@@ -65,6 +77,10 @@ class YarrowMixer {
   std::uint64_t folds_performed() const noexcept { return folds_; }
   std::uint64_t hash_operations() const noexcept { return hash_ops_; }
 
+  /// Publish fold (reseed) and hash-operation counts to `registry`
+  /// (cadet_mixer_folds / cadet_mixer_hash_ops counters).
+  void bind_metrics(obs::Registry& registry, const obs::Labels& labels);
+
  private:
   void fold(util::Bytes& accumulator);
 
@@ -75,6 +91,8 @@ class YarrowMixer {
   std::uint64_t input_counter_ = 0;
   std::uint64_t folds_ = 0;
   std::uint64_t hash_ops_ = 0;
+  obs::Counter* folds_counter_ = nullptr;
+  obs::Counter* hash_ops_counter_ = nullptr;
 };
 
 }  // namespace cadet::entropy

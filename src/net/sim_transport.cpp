@@ -1,5 +1,6 @@
 #include "net/sim_transport.h"
 
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace cadet::net {
@@ -27,13 +28,23 @@ void SimTransport::send(NodeId from, NodeId to, util::Bytes data) {
   ++from_counters.packets_sent;
   from_counters.bytes_sent += data.size();
   ++total_packets_;
+  if (packets_counter_ != nullptr) {
+    packets_counter_->inc();
+    bytes_counter_->inc(data.size());
+  }
 
   const auto& profile = profile_for(from, to);
   if (profile.dropped(rng_)) {
     ++dropped_packets_;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
+    obs::emit(simulator_.now(), "packet_drop", "net", from,
+              {{"to", static_cast<double>(to)}});
     return;
   }
   const util::SimTime delay = profile.sample(rng_, data.size());
+  if (latency_hist_ != nullptr) {
+    latency_hist_->observe(util::to_seconds(delay));
+  }
   simulator_.schedule(
       delay, [this, from, to, payload = std::move(data)]() {
         auto& to_counters = counters_[to];
@@ -61,6 +72,14 @@ void SimTransport::reset_counters() {
   counters_.clear();
   total_packets_ = 0;
   dropped_packets_ = 0;
+}
+
+void SimTransport::bind_metrics(obs::Registry& registry) {
+  const obs::Labels labels{{"tier", "net"}, {"transport", "sim"}};
+  packets_counter_ = &registry.counter("cadet_net_packets", labels);
+  bytes_counter_ = &registry.counter("cadet_net_bytes", labels);
+  dropped_counter_ = &registry.counter("cadet_net_dropped", labels);
+  latency_hist_ = &registry.histogram("cadet_net_latency_seconds", labels);
 }
 
 }  // namespace cadet::net

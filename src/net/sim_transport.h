@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -40,6 +41,11 @@ class SimTransport final : public Transport {
   std::uint64_t dropped_packets() const noexcept { return dropped_packets_; }
   void reset_counters();
 
+  /// Publish link-layer totals (cadet_net_packets / _bytes / _dropped
+  /// counters, cadet_net_latency_seconds histogram) to `registry`, which
+  /// must outlive the transport.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   const sim::LatencyProfile& profile_for(NodeId from, NodeId to) const;
 
@@ -51,6 +57,11 @@ class SimTransport final : public Transport {
   mutable std::unordered_map<NodeId, NodeCounters> counters_;
   std::uint64_t total_packets_ = 0;
   std::uint64_t dropped_packets_ = 0;
+
+  obs::Counter* packets_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace cadet::net

@@ -44,10 +44,23 @@ void UdpRunner::send_all(NodeId from, const std::vector<Outgoing>& out) {
     const auto it = directory_.find(o.to);
     if (it == directory_.end()) {
       ++dropped_sends_;
+      if (dropped_counter_ != nullptr) dropped_counter_->inc();
       continue;
+    }
+    if (packets_counter_ != nullptr) {
+      packets_counter_->inc();
+      bytes_counter_->inc(o.data.size());
     }
     endpoint->send_to(it->second, o.data);
   }
+}
+
+void UdpRunner::bind_metrics(obs::Registry& registry) {
+  const obs::Labels labels{{"tier", "net"}, {"transport", "udp"}};
+  packets_counter_ = &registry.counter("cadet_net_packets", labels);
+  bytes_counter_ = &registry.counter("cadet_net_bytes", labels);
+  dropped_counter_ = &registry.counter("cadet_net_dropped", labels);
+  handler_hist_ = &registry.histogram("cadet_net_handler_seconds", labels);
 }
 
 int UdpRunner::poll_once(int timeout_ms) {
@@ -61,7 +74,12 @@ int UdpRunner::poll_once(int timeout_ms) {
     handled += node.endpoint->drain(
         [&](util::BytesView data, const UdpAddress& from) {
           const NodeId sender = node_for_address(from);
-          const auto replies = node.handler(sender, data, wall_clock_ns());
+          const util::SimTime start = wall_clock_ns();
+          const auto replies = node.handler(sender, data, start);
+          if (handler_hist_ != nullptr) {
+            handler_hist_->observe(
+                util::to_seconds(wall_clock_ns() - start));
+          }
           send_all(node.id, replies);
         });
   }

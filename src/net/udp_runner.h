@@ -12,6 +12,7 @@
 
 #include "net/transport.h"
 #include "net/udp.h"
+#include "obs/metrics.h"
 
 namespace cadet::net {
 
@@ -46,6 +47,13 @@ class UdpRunner {
   std::uint64_t dropped_sends() const noexcept { return dropped_sends_; }
   std::uint64_t datagrams_handled() const noexcept { return handled_; }
 
+  /// Publish datagram totals and handler latency (cadet_net_packets /
+  /// _bytes / _dropped counters, cadet_net_handler_seconds histogram,
+  /// labeled transport=udp) to `registry`, which must outlive the runner.
+  /// The instruments are lock-free, so a future multi-threaded poll loop
+  /// can share them.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   struct Node {
     NodeId id;
@@ -60,6 +68,11 @@ class UdpRunner {
   std::map<NodeId, UdpAddress> directory_;
   std::uint64_t dropped_sends_ = 0;
   std::uint64_t handled_ = 0;
+
+  obs::Counter* packets_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Histogram* handler_hist_ = nullptr;
 };
 
 }  // namespace cadet::net

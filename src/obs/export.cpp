@@ -1,0 +1,181 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/csv.h"
+
+namespace cadet::obs {
+
+namespace {
+
+std::string label_block(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+const char* kind_name(Registry::Kind kind) {
+  switch (kind) {
+    case Registry::Kind::kCounter: return "counter";
+    case Registry::Kind::kGauge: return "gauge";
+    case Registry::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+  std::string last_name;
+  for (const auto& entry : registry.entries()) {
+    if (entry.name != last_name) {
+      out += "# TYPE " + entry.name + ' ' + kind_name(entry.kind) + '\n';
+      last_name = entry.name;
+    }
+    switch (entry.kind) {
+      case Registry::Kind::kCounter:
+        out += entry.name + "_total" + label_block(entry.labels) + ' ' +
+               std::to_string(entry.counter->value()) + '\n';
+        break;
+      case Registry::Kind::kGauge:
+        out += entry.name + label_block(entry.labels) + ' ' +
+               std::to_string(entry.gauge->value()) + '\n';
+        break;
+      case Registry::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+          cumulative += h.bucket(i);
+          out += entry.name + "_bucket" +
+                 label_block(entry.labels, "le",
+                             format_double(h.upper_bound(i))) +
+                 ' ' + std::to_string(cumulative) + '\n';
+        }
+        out += entry.name + "_sum" + label_block(entry.labels) + ' ' +
+               format_double(h.sum()) + '\n';
+        out += entry.name + "_count" + label_block(entry.labels) + ' ' +
+               std::to_string(h.count()) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Registry& registry) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& entry : registry.entries()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + entry.name + "\",\"kind\":\"" +
+           kind_name(entry.kind) + "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : entry.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"' + key + "\":\"" + value + '"';
+    }
+    out += '}';
+    switch (entry.kind) {
+      case Registry::Kind::kCounter:
+        out += ",\"value\":" + std::to_string(entry.counter->value());
+        break;
+      case Registry::Kind::kGauge:
+        out += ",\"value\":" + std::to_string(entry.gauge->value());
+        break;
+      case Registry::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += ",\"count\":" + std::to_string(h.count()) +
+               ",\"sum\":" + format_double(h.sum()) + ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+          if (i) out += ',';
+          out += "{\"le\":";
+          out += std::isinf(h.upper_bound(i))
+                     ? "null"
+                     : format_double(h.upper_bound(i));
+          out += ",\"count\":" + std::to_string(h.bucket(i)) + '}';
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void write_csv(const Registry& registry, std::ostream& out) {
+  out << csv_join({"name", "labels", "kind", "value"}) << '\n';
+  for (const auto& entry : registry.entries()) {
+    std::string labels;
+    for (const auto& [key, value] : entry.labels) {
+      if (!labels.empty()) labels += ';';
+      labels += key + '=' + value;
+    }
+    std::string value;
+    switch (entry.kind) {
+      case Registry::Kind::kCounter:
+        value = std::to_string(entry.counter->value());
+        break;
+      case Registry::Kind::kGauge:
+        value = std::to_string(entry.gauge->value());
+        break;
+      case Registry::Kind::kHistogram:
+        value = std::to_string(entry.histogram->count()) + " obs, sum " +
+                format_double(entry.histogram->sum());
+        break;
+    }
+    out << csv_join({entry.name, labels, kind_name(entry.kind), value})
+        << '\n';
+  }
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace cadet::obs

@@ -1,0 +1,25 @@
+// Registry exporters: Prometheus text exposition, JSON snapshot, CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cadet::obs {
+
+/// Prometheus text exposition format (counters get a _total suffix,
+/// histograms expand to _bucket/_sum/_count series).
+std::string to_prometheus(const Registry& registry);
+
+/// One JSON object: {"metrics":[{"name":...,"labels":{...},...}]}.
+std::string to_json(const Registry& registry);
+
+/// CSV with one row per series: name,labels,kind,value.
+void write_csv(const Registry& registry, std::ostream& out);
+
+/// Write `text` to `path` (helper for --metrics-out). Returns false and
+/// warns on failure.
+bool write_file(const std::string& path, const std::string& text);
+
+}  // namespace cadet::obs

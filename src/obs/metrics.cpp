@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cadet::obs {
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.resize(bounds_.size() + 1);  // trailing +Inf bucket
+}
+
+void Histogram::observe(double v) noexcept {
+  // Inclusive upper bounds (Prometheus `le`): bucket i is the first whose
+  // bound is >= v; values beyond every bound land in the +Inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].inc();
+  count_.inc();
+  sum_nano_.inc(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(v * 1e9)));
+}
+
+double Histogram::upper_bound(std::size_t i) const noexcept {
+  if (i < bounds_.size()) return bounds_[i];
+  return std::numeric_limits<double>::infinity();
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i].value();
+    if (static_cast<double>(cumulative + in_bucket) < target ||
+        in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    if (i >= bounds_.size()) return lo;  // +Inf bucket: report its floor
+    const double hi = bounds_[i];
+    const double frac =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> Histogram::latency_seconds_bounds() {
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0};
+}
+
+// ----------------------------------------------------------------- Registry
+
+Registry::Slot& Registry::find_or_create(const std::string& name,
+                                         const Labels& labels, Kind kind,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(name, labels);
+  const auto it = index_.find(key);
+  if (it != index_.end()) return *it->second;
+  Slot& slot = slots_.emplace_back();
+  slot.name = name;
+  slot.labels = labels;
+  slot.kind = kind;
+  if (kind == Kind::kHistogram) {
+    if (bounds.empty()) bounds = Histogram::latency_seconds_bounds();
+    slot.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  index_[key] = &slot;
+  return slot;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  return find_or_create(name, labels, Kind::kCounter, {}).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  return find_or_create(name, labels, Kind::kGauge, {}).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels,
+                               std::vector<double> upper_bounds) {
+  return *find_or_create(name, labels, Kind::kHistogram,
+                         std::move(upper_bounds))
+              .histogram;
+}
+
+std::vector<Registry::Entry> Registry::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    Entry e;
+    e.name = slot.name;
+    e.labels = slot.labels;
+    e.kind = slot.kind;
+    switch (slot.kind) {
+      case Kind::kCounter: e.counter = &slot.counter; break;
+      case Kind::kGauge: e.gauge = &slot.gauge; break;
+      case Kind::kHistogram: e.histogram = slot.histogram.get(); break;
+    }
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Labels tier_labels(const char* tier, std::uint64_t node) {
+  return Labels{{"node", std::to_string(node)}, {"tier", tier}};
+}
+
+}  // namespace cadet::obs

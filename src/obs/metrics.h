@@ -1,0 +1,192 @@
+// Unified metrics registry shared by all three CADET tiers, the simulator,
+// and the transports.
+//
+// Three instrument kinds, named and labeled Prometheus-style:
+//   Counter   monotonically increasing u64 (uploads, cache hits, drops)
+//   Gauge     signed instantaneous value (pool fill, queue depth)
+//   Histogram fixed upper-bound buckets + sum + count (latencies)
+//
+// Registration (Registry::counter/gauge/histogram) takes a mutex and may
+// allocate; it happens once per node at construction. The returned
+// references have stable addresses for the registry's lifetime, and the
+// increment/set/observe hot paths are lock-free: with CADET_OBS enabled
+// they are relaxed atomics (safe for the threaded UDP path), with
+// CADET_OBS=OFF they compile down to plain integer arithmetic — the exact
+// cost of the ad-hoc `++stats_.field` counters they replaced.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef CADET_OBS_ENABLED
+#define CADET_OBS_ENABLED 1
+#endif
+
+#if CADET_OBS_ENABLED
+#include <atomic>
+#endif
+
+namespace cadet::obs {
+
+/// Metric labels: sorted key=value pairs (tier, node, ...).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+#if CADET_OBS_ENABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    value_ += n;
+#endif
+  }
+  std::uint64_t value() const noexcept {
+#if CADET_OBS_ENABLED
+    return value_.load(std::memory_order_relaxed);
+#else
+    return value_;
+#endif
+  }
+
+ private:
+#if CADET_OBS_ENABLED
+  std::atomic<std::uint64_t> value_{0};
+#else
+  std::uint64_t value_ = 0;
+#endif
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+#if CADET_OBS_ENABLED
+    value_.store(v, std::memory_order_relaxed);
+#else
+    value_ = v;
+#endif
+  }
+  void add(std::int64_t n) noexcept {
+#if CADET_OBS_ENABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    value_ += n;
+#endif
+  }
+  void sub(std::int64_t n) noexcept { add(-n); }
+  std::int64_t value() const noexcept {
+#if CADET_OBS_ENABLED
+    return value_.load(std::memory_order_relaxed);
+#else
+    return value_;
+#endif
+  }
+
+ private:
+#if CADET_OBS_ENABLED
+  std::atomic<std::int64_t> value_{0};
+#else
+  std::int64_t value_ = 0;
+#endif
+};
+
+/// Cumulative histogram with fixed upper bounds (an implicit +Inf bucket is
+/// always appended). observe() is lock-free; the sum is kept in fixed-point
+/// nanounits so it needs no floating-point atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  /// Upper bound of bucket i; the last bucket's bound is +infinity.
+  double upper_bound(std::size_t i) const noexcept;
+  /// Non-cumulative count of bucket i.
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].value();
+  }
+  std::uint64_t count() const noexcept { return count_.value(); }
+  double sum() const noexcept {
+    return static_cast<double>(
+               static_cast<std::int64_t>(sum_nano_.value())) /
+           1e9;
+  }
+  /// Linear-interpolated quantile estimate from the bucket counts.
+  double quantile(double q) const noexcept;
+
+  /// 10 exponential latency buckets from 100 us to ~3 s, suiting both LAN
+  /// and WAN round trips.
+  static std::vector<double> latency_seconds_bounds();
+
+ private:
+  std::vector<double> bounds_;  // finite upper bounds, ascending
+  std::deque<Counter> buckets_;  // bounds_.size() + 1 (the +Inf bucket)
+  Counter count_;
+  Counter sum_nano_;  // sum in 1e-9 units, as a u64 two's-complement
+};
+
+/// Named + labeled instruments. One Registry is typically shared by a whole
+/// deployment (testbed::World owns one); nodes constructed standalone fall
+/// back to a private registry so unit tests stay isolated.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Same (name, labels) returns the same instrument.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name,
+                       const Labels& labels = {},
+                       std::vector<double> upper_bounds = {});
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  /// Stable snapshot of every registered instrument, sorted by (name,
+  /// labels) so exports are deterministic.
+  std::vector<Entry> entries() const;
+
+  std::size_t size() const;
+
+  /// Process-wide default registry (used when no explicit registry is
+  /// wired; lives forever).
+  static Registry& global();
+
+ private:
+  struct Slot {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    // Exactly one is engaged, matching `kind`. deque gives the instruments
+    // stable addresses as the registry grows.
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot& find_or_create(const std::string& name, const Labels& labels,
+                       Kind kind, std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::deque<Slot> slots_;
+  std::map<std::pair<std::string, Labels>, Slot*> index_;
+};
+
+/// Convenience label builders for the fixed tier taxonomy.
+Labels tier_labels(const char* tier, std::uint64_t node);
+
+}  // namespace cadet::obs

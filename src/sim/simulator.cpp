@@ -10,6 +10,15 @@ void Simulator::schedule(util::SimTime delay, Callback fn) {
 
 void Simulator::schedule_at(util::SimTime when, Callback fn) {
   queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+  publish_depth();
+}
+
+void Simulator::bind_metrics(obs::Registry& registry) {
+  const obs::Labels labels{{"tier", "sim"}};
+  events_counter_ = &registry.counter("cadet_sim_events", labels);
+  depth_gauge_ = &registry.gauge("cadet_sim_queue_depth", labels);
+  events_counter_->inc(events_executed_);
+  publish_depth();
 }
 
 bool Simulator::step() {
@@ -19,7 +28,10 @@ bool Simulator::step() {
   // the callback through a temporary instead for clarity.
   Event ev = queue_.top();
   queue_.pop();
+  publish_depth();
   now_ = ev.time;
+  ++events_executed_;
+  if (events_counter_ != nullptr) events_counter_->inc();
   ev.fn();
   return true;
 }

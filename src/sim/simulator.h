@@ -10,6 +10,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/time.h"
 
 namespace cadet::sim {
@@ -43,6 +44,14 @@ class Simulator {
   bool empty() const noexcept { return queue_.empty(); }
   std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// Total events executed over this simulator's lifetime.
+  std::uint64_t events_executed() const noexcept { return events_executed_; }
+
+  /// Publish event-loop health (cadet_sim_events counter,
+  /// cadet_sim_queue_depth gauge) to `registry`, which must outlive the
+  /// simulator.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   struct Event {
     util::SimTime time;
@@ -56,9 +65,18 @@ class Simulator {
     }
   };
 
+  void publish_depth() noexcept {
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<std::int64_t>(queue_.size()));
+    }
+  }
+
   util::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
 };
 
 }  // namespace cadet::sim

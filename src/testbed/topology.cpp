@@ -13,8 +13,11 @@ World::World(const TestbedConfig& config) : config_(config) {
   if (config_.num_servers == 0) {
     throw std::invalid_argument("World: need at least one server");
   }
+  metrics_ = std::make_shared<obs::Registry>();
+  sim_.bind_metrics(*metrics_);
   transport_ = std::make_unique<net::SimTransport>(sim_, config_.seed ^ 0x7a);
   transport_->set_default_profile(config_.client_link);
+  transport_->bind_metrics(*metrics_);
 
   // ---- server tier ----
   for (std::size_t j = 0; j < config_.num_servers; ++j) {
@@ -24,6 +27,7 @@ World::World(const TestbedConfig& config) : config_(config) {
     server_config.penalty = config_.penalty;
     server_config.sanity_checks_enabled = config_.sanity_checks_enabled;
     server_config.sanity_alpha = config_.sanity_alpha;
+    server_config.metrics = metrics_.get();
     for (std::size_t peer = 0; peer < config_.num_servers; ++peer) {
       if (peer != j) server_config.peers.push_back(server_id(peer));
     }
@@ -69,6 +73,7 @@ World::World(const TestbedConfig& config) : config_(config) {
       edge_config.refill_policy = config_.refill_policy;
       edge_config.inject_timing_entropy = config_.inject_timing_entropy;
       edge_config.min_contributors = config_.min_contributors;
+      edge_config.metrics = metrics_.get();
       auto edge = std::make_unique<EdgeNode>(edge_config);
       auto sim_node = std::make_unique<SimNode>(
           sim_, *transport_, sim::kEdgeCpu, edge_config.id, edge->cost());
@@ -98,6 +103,7 @@ World::World(const TestbedConfig& config) : config_(config) {
     client_config.edge =
         config_.use_edge ? edge_id(network) : home_server;
     client_config.seed = config_.seed * 69069u + 13 * i + 5;
+    client_config.metrics = metrics_.get();
     auto client = std::make_unique<ClientNode>(client_config);
     auto sim_node = std::make_unique<SimNode>(
         sim_, *transport_, sim::kClientCpu, client_config.id, client->cost());

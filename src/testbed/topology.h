@@ -13,6 +13,7 @@
 #include "cadet/edge_node.h"
 #include "cadet/server_node.h"
 #include "net/sim_transport.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "testbed/sim_node.h"
 
@@ -71,6 +72,11 @@ class World {
   net::SimTransport& transport() noexcept { return *transport_; }
   const TestbedConfig& config() const noexcept { return config_; }
 
+  /// World-wide metrics registry. Every node, the transport, and the
+  /// simulator publish here; each World owns its own so repeated runs
+  /// (benches build many Worlds) never bleed counts into each other.
+  obs::Registry& metrics() noexcept { return *metrics_; }
+
   /// Primary server (index 0); multi-server deployments use server(j).
   ServerNode& server() noexcept { return *servers_[0]; }
   SimNode& server_sim() noexcept { return *server_sims_[0]; }
@@ -113,6 +119,9 @@ class World {
                               double until_s);
 
   TestbedConfig config_;
+  // Declared before the nodes so it outlives them (nodes hold raw
+  // instrument pointers into the registry).
+  std::shared_ptr<obs::Registry> metrics_;
   sim::Simulator sim_;
   std::unique_ptr<net::SimTransport> transport_;
 

@@ -1,12 +1,15 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace cadet::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+LogClock g_clock = nullptr;
+void* g_clock_ctx = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,8 +27,29 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void set_log_clock(LogClock clock, void* ctx) noexcept {
+  g_clock = clock;
+  g_clock_ctx = ctx;
+}
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  char prefix[64];
+  if (g_clock != nullptr) {
+    std::snprintf(prefix, sizeof(prefix), "[%s] sim_time=%.6f ",
+                  level_name(level), to_seconds(g_clock(g_clock_ctx)));
+  } else {
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::snprintf(prefix, sizeof(prefix), "[%s] wall=%.6f ",
+                  level_name(level), wall_s);
+  }
+  return prefix + msg;
+}
+
 void log_emit(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "%s\n", format_log_line(level, msg).c_str());
 }
 
 }  // namespace cadet::util

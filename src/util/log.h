@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/time.h"
+
 namespace cadet::util {
 
 enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
@@ -12,6 +14,19 @@ enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
 /// Global minimum level; messages below it are discarded.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Register a clock supplying the current simulated time; once set, log
+/// lines carry a `sim_time=` prefix instead of the wall clock. Pass
+/// nullptr to revert. `ctx` is handed back to `clock` on every call (it
+/// typically points at the simulator).
+using LogClock = SimTime (*)(void* ctx);
+void set_log_clock(LogClock clock, void* ctx = nullptr) noexcept;
+
+/// The full line log_emit writes: "[LEVEL] sim_time=1.250000 msg" with a
+/// registered clock, "[LEVEL] wall=<unix seconds> msg" otherwise.
+/// Exposed separately so tests can check formatting without capturing
+/// stderr.
+std::string format_log_line(LogLevel level, const std::string& msg);
 
 /// Emit a message (already filtered by the macros below).
 void log_emit(LogLevel level, const std::string& msg);

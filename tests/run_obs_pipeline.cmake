@@ -1,0 +1,65 @@
+# Helper for the obs_pipeline test: run cadet_sim with --metrics-out and
+# --trace-out, check the Prometheus snapshot covers all three tiers, then
+# summarize the trace with cadet_trace and cross-check the offload ratio
+# against the metrics counters.
+file(MAKE_DIRECTORY ${WORK_DIR})
+execute_process(
+  COMMAND ${TOOL_DIR}/cadet_sim --networks 2 --clients 4 --duration 120
+          --seed 7 --metrics-out ${WORK_DIR}/m.txt
+          --trace-out ${WORK_DIR}/t.jsonl
+  RESULT_VARIABLE rc1 OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "cadet_sim failed: ${rc1}")
+endif()
+
+file(READ ${WORK_DIR}/m.txt metrics)
+foreach(needle
+    "cadet_client_requests_sent_total"
+    "cadet_edge_requests_received_total"
+    "cadet_server_requests_served_total"
+    "cadet_net_packets_total"
+    "cadet_sim_events_total"
+    "cadet_net_latency_seconds_bucket")
+  string(FIND "${metrics}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "metrics snapshot missing ${needle}")
+  endif()
+endforeach()
+
+# Offload ratio from the metrics counters (summed over both edges).
+set(hits 0)
+set(requests 0)
+string(REGEX MATCHALL "cadet_edge_cache_hits_total[^\n]*" hit_lines "${metrics}")
+foreach(line ${hit_lines})
+  string(REGEX MATCH " ([0-9]+)$" _ "${line}")
+  math(EXPR hits "${hits} + ${CMAKE_MATCH_1}")
+endforeach()
+string(REGEX MATCHALL "cadet_edge_requests_received_total[^\n]*" req_lines
+       "${metrics}")
+foreach(line ${req_lines})
+  string(REGEX MATCH " ([0-9]+)$" _ "${line}")
+  math(EXPR requests "${requests} + ${CMAKE_MATCH_1}")
+endforeach()
+if(requests EQUAL 0)
+  message(FATAL_ERROR "no edge requests recorded")
+endif()
+
+execute_process(
+  COMMAND ${TOOL_DIR}/cadet_trace ${WORK_DIR}/t.jsonl
+  RESULT_VARIABLE rc2 OUTPUT_VARIABLE summary ERROR_QUIET)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "cadet_trace failed: ${rc2}")
+endif()
+
+# The trace-derived counts must agree with the metrics counters exactly
+# (same code paths), which pins the offload ratio to within any tolerance.
+string(REGEX MATCH "requests ([0-9]+), served from cache ([0-9]+)" _
+       "${summary}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "cadet_trace printed no offload summary:\n${summary}")
+endif()
+if(NOT CMAKE_MATCH_1 EQUAL requests OR NOT CMAKE_MATCH_2 EQUAL hits)
+  message(FATAL_ERROR
+    "trace/metrics mismatch: trace ${CMAKE_MATCH_1}/${CMAKE_MATCH_2} vs "
+    "metrics ${requests}/${hits}")
+endif()

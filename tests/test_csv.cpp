@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/csv.h"
+
+namespace cadet::obs {
+namespace {
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsThatNeedIt) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvRoundTrip, SplitUndoesJoin) {
+  const std::vector<std::vector<std::string>> cases = {
+      {"a", "b", "c"},
+      {"plain", "with,comma", "with \"quotes\"", ""},
+      {"", "", ""},
+      {"tier=edge;node=100", "42"},
+  };
+  for (const auto& cells : cases) {
+    EXPECT_EQ(csv_split(csv_join(cells)), cells);
+  }
+}
+
+TEST(CsvFile, WritesEscapedRows) {
+  const std::string path = testing::TempDir() + "/cadet_csv_test.csv";
+  {
+    CsvFile f(path);
+    ASSERT_TRUE(f.ok());
+    f.row({"name", "value"});
+    f.row({"with,comma", "7"});
+    f.rowf("%d,%.2f", 3, 1.5);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",7");
+  EXPECT_EQ(csv_split(line), (std::vector<std::string>{"with,comma", "7"}));
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,1.50");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, DirAndNameConstructorMatchesBenchUsage) {
+  const std::string dir = testing::TempDir();
+  {
+    CsvFile f(dir, "cadet_csv_dir_test.csv");
+    ASSERT_TRUE(f.ok());
+    f.row({"x", "y"});
+  }
+  std::ifstream in(dir + "/cadet_csv_dir_test.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove((dir + "/cadet_csv_dir_test.csv").c_str());
+}
+
+}  // namespace
+}  // namespace cadet::obs

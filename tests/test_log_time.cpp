@@ -52,5 +52,25 @@ TEST(Log, EmitsAtOrAboveLevel) {
   set_log_level(original);
 }
 
+TEST(Log, WallClockPrefixByDefault) {
+  set_log_clock(nullptr);
+  const std::string line = format_log_line(LogLevel::Warn, "hello");
+  EXPECT_EQ(line.rfind("[WARN] wall=", 0), 0u);
+  EXPECT_NE(line.find(" hello"), std::string::npos);
+}
+
+TEST(Log, SimTimePrefixWithRegisteredClock) {
+  SimTime now = from_seconds(1.25);
+  set_log_clock([](void* ctx) { return *static_cast<SimTime*>(ctx); }, &now);
+  const std::string line = format_log_line(LogLevel::Error, "boom");
+  EXPECT_EQ(line, "[ERROR] sim_time=1.250000 boom");
+
+  now = from_seconds(2.5);
+  EXPECT_EQ(format_log_line(LogLevel::Info, "x"),
+            "[INFO] sim_time=2.500000 x");
+  set_log_clock(nullptr);
+  EXPECT_EQ(format_log_line(LogLevel::Info, "x").rfind("[INFO] wall=", 0), 0u);
+}
+
 }  // namespace
 }  // namespace cadet::util

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace cadet::obs {
+namespace {
+
+TEST(Counter, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Registry, FindOrCreateReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("cadet_test_hits", {{"tier", "edge"}});
+  Counter& b = reg.counter("cadet_test_hits", {{"tier", "edge"}});
+  EXPECT_EQ(&a, &b);
+  // Different labels are a different series.
+  Counter& c = reg.counter("cadet_test_hits", {{"tier", "server"}});
+  EXPECT_NE(&a, &c);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, InstrumentAddressesStableAcrossGrowth) {
+  Registry reg;
+  Counter& first = reg.counter("cadet_test_first");
+  for (int i = 0; i < 200; ++i) {
+    reg.counter("cadet_test_filler_" + std::to_string(i));
+  }
+  first.inc(7);
+  EXPECT_EQ(reg.counter("cadet_test_first").value(), 7u);
+  EXPECT_EQ(&reg.counter("cadet_test_first"), &first);
+}
+
+// The cross-thread exactness guarantees only hold in instrumented builds;
+// with CADET_OBS=OFF the instruments are plain integers and concurrent
+// use is out of contract.
+#if CADET_OBS_ENABLED
+TEST(Registry, TwoThreadsIncrementingYieldExactTotals) {
+  Registry reg;
+  Counter& counter = reg.counter("cadet_test_concurrent");
+  Gauge& gauge = reg.gauge("cadet_test_concurrent_gauge");
+  constexpr int kIters = 200000;
+  auto worker = [&]() {
+    for (int i = 0; i < kIters; ++i) {
+      counter.inc();
+      gauge.add(1);
+    }
+  };
+  std::thread t1(worker);
+  std::thread t2(worker);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(counter.value(), 2u * kIters);
+  EXPECT_EQ(gauge.value(), 2 * kIters);
+}
+#endif  // CADET_OBS_ENABLED
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0});
+  ASSERT_EQ(h.bucket_count(), 3u);  // two finite bounds + the +Inf bucket
+  h.observe(0.5);   // <= 1.0
+  h.observe(1.0);   // le is inclusive: still bucket 0
+  h.observe(1.5);   // <= 2.0
+  h.observe(2.0);   // inclusive again
+  h.observe(2.5);   // +Inf
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 7.5, 1e-9);
+  EXPECT_EQ(h.upper_bound(0), 1.0);
+  EXPECT_EQ(h.upper_bound(1), 2.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(2)));
+}
+
+#if CADET_OBS_ENABLED
+TEST(Histogram, ConcurrentObservesKeepExactCount) {
+  Registry reg;
+  Histogram& h = reg.histogram("cadet_test_latency", {}, {0.25, 0.5, 1.0});
+  constexpr int kIters = 100000;
+  auto worker = [&](double v) {
+    for (int i = 0; i < kIters; ++i) h.observe(v);
+  };
+  std::thread t1(worker, 0.1);
+  std::thread t2(worker, 0.7);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(h.count(), 2u * kIters);
+  EXPECT_EQ(h.bucket(0), static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(h.bucket(2), static_cast<std::uint64_t>(kIters));
+}
+#endif  // CADET_OBS_ENABLED
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  // All mass in the first bucket: the median lands inside (0, 1.0].
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAscend) {
+  const auto bounds = Histogram::latency_seconds_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(Labels, TierLabelsSortedForDeterministicExport) {
+  const Labels labels = tier_labels("edge", 100);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].first, "node");
+  EXPECT_EQ(labels[0].second, "100");
+  EXPECT_EQ(labels[1].first, "tier");
+  EXPECT_EQ(labels[1].second, "edge");
+}
+
+TEST(Export, PrometheusTextContainsAllSeries) {
+  Registry reg;
+  reg.counter("cadet_test_uploads", tier_labels("edge", 100)).inc(3);
+  reg.gauge("cadet_test_pool_bits", tier_labels("server", 1)).set(512);
+  reg.histogram("cadet_test_latency_seconds", {}, {0.5, 1.0}).observe(0.75);
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE cadet_test_uploads counter"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("cadet_test_uploads_total{node=\"100\",tier=\"edge\"} 3"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("cadet_test_pool_bits{node=\"1\",tier=\"server\"} 512"),
+      std::string::npos);
+  // Histogram series are cumulative and end with the +Inf bucket.
+  EXPECT_NE(text.find("cadet_test_latency_seconds_bucket{le=\"0.5\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("cadet_test_latency_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cadet_test_latency_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cadet_test_latency_seconds_count 1"),
+            std::string::npos);
+}
+
+TEST(Export, JsonAndCsvSnapshots) {
+  Registry reg;
+  reg.counter("cadet_test_hits", tier_labels("edge", 100)).inc(9);
+
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"name\":\"cadet_test_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":9"), std::string::npos);
+
+  std::ostringstream csv;
+  write_csv(reg, csv);
+  EXPECT_NE(csv.str().find("name,labels,kind,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("cadet_test_hits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cadet::obs

@@ -13,12 +13,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nist/battery.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "testbed/topology.h"
 #include "testbed/workload.h"
+#include "util/log.h"
 
 namespace {
 
@@ -39,6 +43,8 @@ struct Options {
   double exchange_period_s = 0.0;
   double bad_fraction = 0.0;  // applied to one client per network
   bool verbose = false;
+  std::string metrics_out;  // Prometheus snapshot path ("" = off)
+  std::string trace_out;    // JSONL trace path ("" = off)
 };
 
 void usage(const char* argv0) {
@@ -57,7 +63,9 @@ void usage(const char* argv0) {
       "  --internet          WAN latency between edge and server\n"
       "  --exchange SECONDS  server pool-exchange period (default off)\n"
       "  --bad-fraction F    one client per network uploads F bad data\n"
-      "  --verbose           per-client response statistics\n",
+      "  --verbose           per-client response statistics\n"
+      "  --metrics-out FILE  write a Prometheus-style metrics snapshot\n"
+      "  --trace-out FILE    write the protocol event trace as JSONL\n",
       argv0);
 }
 
@@ -97,6 +105,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.bad_fraction = std::strtod(next(), nullptr);
     } else if (arg == "--verbose") {
       opt.verbose = true;
+    } else if (arg == "--metrics-out") {
+      opt.metrics_out = next();
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -174,6 +186,30 @@ int main(int argc, char** argv) {
   config.server_seed_bytes = 1 << 20;
 
   World world(config);
+
+  // Log lines carry simulated time for the rest of the run.
+  util::set_log_clock(
+      [](void* ctx) { return static_cast<sim::Simulator*>(ctx)->now(); },
+      &world.simulator());
+
+  // Fail on an unwritable metrics path now, not after the whole run
+  // (write_file itself reports the failure).
+  if (!opt.metrics_out.empty() && !obs::write_file(opt.metrics_out, "")) {
+    return 2;
+  }
+
+  std::unique_ptr<obs::FileSink> trace_sink;
+  if (!opt.trace_out.empty()) {
+    trace_sink = std::make_unique<obs::FileSink>(opt.trace_out);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   opt.trace_out.c_str());
+      return 2;
+    }
+    obs::Tracer::global().set_sink(trace_sink.get());
+    obs::Tracer::global().enable();
+  }
+
   if (opt.use_edge) world.register_edges();
 
   std::printf("cadet_sim: %zu network(s) x %zu client(s), %zu server(s), "
@@ -265,5 +301,24 @@ int main(int argc, char** argv) {
                   it->second.summary().c_str());
     }
   }
+
+  if (trace_sink) {
+    obs::Tracer::global().flush();
+    obs::Tracer::global().enable(false);
+    obs::Tracer::global().set_sink(nullptr);
+    std::printf("\ntrace: %llu event(s) -> %s\n",
+                static_cast<unsigned long long>(
+                    obs::Tracer::global().recorded()),
+                opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    if (!obs::write_file(opt.metrics_out,
+                         obs::to_prometheus(world.metrics()))) {
+      return 2;
+    }
+    std::printf("metrics: %zu series -> %s\n", world.metrics().size(),
+                opt.metrics_out.c_str());
+  }
+  util::set_log_clock(nullptr);
   return 0;
 }

@@ -1,0 +1,198 @@
+// cadet_trace — pretty-print and summarize a CADET JSONL event trace
+// (the file cadet_sim --trace-out writes).
+//
+// Summary mode (default) reports event counts per tier, latency
+// percentiles per tier (from events that carry a duration attribute,
+// e.g. the client's reply latency), and the edge offload ratio: the
+// fraction of edge requests answered from the cache without a server
+// round trip.
+//
+// Examples:
+//   cadet_trace t.jsonl
+//   cadet_trace t.jsonl --print 20
+//   cadet_trace t.jsonl --tier edge --name cache_hit --print 10
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cadet;
+
+struct Options {
+  std::string path;
+  std::size_t print = 0;  // pretty-print the first N matching events
+  std::string tier;       // filter ("" = all)
+  std::string name;       // filter ("" = all)
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s FILE [options]\n"
+      "  --print N   pretty-print the first N (filtered) events\n"
+      "  --tier T    only events from tier T (client|edge|server|net|sim)\n"
+      "  --name E    only events named E (request, reply, cache_hit, ...)\n",
+      argv0);
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--print") {
+      opt.print = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--tier") {
+      opt.tier = next();
+    } else if (arg == "--name") {
+      opt.name = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      std::fprintf(stderr, "extra argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opt.path.empty();
+}
+
+bool matches(const obs::ParsedEvent& event, const Options& opt) {
+  if (!opt.tier.empty() && event.tier != opt.tier) return false;
+  if (!opt.name.empty() && event.name != opt.name) return false;
+  return true;
+}
+
+void pretty_print(const obs::ParsedEvent& event) {
+  std::printf("%12.6f  %-7s %5llu  %-16s", event.ts_s, event.tier.c_str(),
+              static_cast<unsigned long long>(event.node),
+              event.name.c_str());
+  for (const auto& [key, value] : event.attrs) {
+    std::printf("  %s=%g", key.c_str(), value);
+  }
+  std::printf("\n");
+}
+
+/// Attribute keys that hold a duration in seconds (feed the percentiles).
+bool is_duration_attr(const std::string& key) {
+  return key == "latency_s" || key == "waited_s";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(opt.path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", opt.path.c_str());
+    return 2;
+  }
+
+  // tier -> (event name -> count), tier -> latency samples
+  std::map<std::string, std::map<std::string, std::uint64_t>> counts;
+  std::map<std::string, util::Samples> latency;
+  std::uint64_t total = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t printed = 0;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto event = obs::parse_json_line(line);
+    if (!event) {
+      ++malformed;
+      continue;
+    }
+    if (total == 0) first_ts = event->ts_s;
+    last_ts = event->ts_s;
+    ++total;
+    if (!matches(*event, opt)) continue;
+    ++counts[event->tier][event->name];
+    for (const auto& [key, value] : event->attrs) {
+      if (is_duration_attr(key)) latency[event->tier].add(value);
+    }
+    if (printed < opt.print) {
+      pretty_print(*event);
+      ++printed;
+    }
+  }
+  if (printed > 0) std::printf("\n");
+
+  std::printf("%s: %llu event(s)", opt.path.c_str(),
+              static_cast<unsigned long long>(total));
+  if (malformed > 0) {
+    std::printf(" (%llu malformed line(s))",
+                static_cast<unsigned long long>(malformed));
+  }
+  if (total > 0) {
+    std::printf(", sim time %.3f s .. %.3f s", first_ts, last_ts);
+  }
+  std::printf("\n");
+
+  std::printf("\n--- events by tier ---\n");
+  for (const auto& [tier, by_name] : counts) {
+    std::uint64_t tier_total = 0;
+    for (const auto& [name, n] : by_name) tier_total += n;
+    std::printf("%-7s %8llu\n", tier.c_str(),
+                static_cast<unsigned long long>(tier_total));
+    for (const auto& [name, n] : by_name) {
+      std::printf("  %-18s %8llu\n", name.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+  }
+
+  bool any_latency = false;
+  for (const auto& [tier, samples] : latency) {
+    if (samples.empty()) continue;
+    if (!any_latency) {
+      std::printf("\n--- latency percentiles (s) ---\n");
+      any_latency = true;
+    }
+    std::printf("%-7s p50=%.6f p90=%.6f p99=%.6f max=%.6f (n=%zu)\n",
+                tier.c_str(), samples.quantile(0.5), samples.quantile(0.9),
+                samples.quantile(0.99), samples.max(), samples.count());
+  }
+
+  const auto edge_it = counts.find("edge");
+  if (edge_it != counts.end()) {
+    auto count_of = [&](const char* name) -> std::uint64_t {
+      const auto it = edge_it->second.find(name);
+      return it != edge_it->second.end() ? it->second : 0;
+    };
+    const std::uint64_t requests = count_of("request");
+    const std::uint64_t hits = count_of("cache_hit");
+    if (requests > 0) {
+      std::printf("\n--- edge offload ---\n");
+      std::printf("requests %llu, served from cache %llu, "
+                  "offload ratio %.4f\n",
+                  static_cast<unsigned long long>(requests),
+                  static_cast<unsigned long long>(hits),
+                  static_cast<double>(hits) / static_cast<double>(requests));
+    }
+  }
+  return 0;
+}
