@@ -7,6 +7,7 @@
 // when occupancy falls below 25 % of capacity.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 

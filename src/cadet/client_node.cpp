@@ -152,9 +152,10 @@ std::vector<net::Outgoing> ClientNode::handle_init_ack(const Packet& packet,
   }
   crypto::X25519Key server_pub;
   std::memcpy(server_pub.data(), packet.payload.data(), 32);
-  const auto shared = init_keypair_->shared_secret(server_pub);
+  auto shared = init_keypair_->shared_secret(server_pub);
   const SharedKey csk =
       derive_key(shared, util::BytesView(kLabelCsk, sizeof(kLabelCsk)));
+  util::secure_wipe(shared);
   cost_.add(cost::kX25519 + cost::kSealPerByte * 100);
 
   const auto sealed_nonce =

@@ -8,6 +8,8 @@
 // §V-B/§V-C.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>

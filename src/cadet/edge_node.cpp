@@ -433,9 +433,10 @@ std::vector<net::Outgoing> EdgeNode::handle_reg_packet(net::NodeId from,
       if (packet.payload.size() != 32 + 8 + kSealOverhead) return {};
       crypto::X25519Key server_pub;
       std::memcpy(server_pub.data(), packet.payload.data(), 32);
-      const auto shared = reg_keypair_->shared_secret(server_pub);
+      auto shared = reg_keypair_->shared_secret(server_pub);
       const SharedKey esk =
           derive_key(shared, util::BytesView(kLabelEsk, sizeof(kLabelEsk)));
+      util::secure_wipe(shared);
       cost_.add(cost::kX25519);
 
       const auto nonce_plain =

@@ -11,6 +11,7 @@
 // packet types") and the data payload.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 

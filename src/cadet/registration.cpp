@@ -4,18 +4,20 @@
 
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "util/secure.h"
 
 namespace cadet {
 
 SharedKey derive_key(const crypto::X25519Key& shared_secret,
                      util::BytesView label) {
   static constexpr std::uint8_t kSalt[] = {'C', 'A', 'D', 'E', 'T'};
-  const util::Bytes okm =
+  util::Bytes okm =
       crypto::hkdf(util::BytesView(kSalt, sizeof(kSalt)),
                    util::BytesView(shared_secret.data(), shared_secret.size()),
                    label, 32);
   SharedKey key;
   std::memcpy(key.data(), okm.data(), key.size());
+  util::secure_wipe(okm);
   return key;
 }
 

@@ -9,6 +9,7 @@
 //   tag = HMAC-SHA256(key, nonce || ciphertext)[0..16)
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "crypto/csprng.h"

@@ -239,11 +239,12 @@ std::vector<net::Outgoing> ServerNode::handle_registration(
 
       // Fresh server keypair per handshake (Fig. 7a/7b packet 2).
       const auto kp = make_keypair(csprng_);
-      const auto shared = kp.shared_secret(req->pub);
+      auto shared = kp.shared_secret(req->pub);
       const SharedKey key =
           is_client
               ? derive_key(shared, util::BytesView(kLabelCsk, sizeof(kLabelCsk)))
               : derive_key(shared, util::BytesView(kLabelEsk, sizeof(kLabelEsk)));
+      util::secure_wipe(shared);
       cost_.add(2 * cost::kX25519 + cost::kCraftPacket);
 
       PendingHandshake pending;

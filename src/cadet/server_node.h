@@ -7,6 +7,8 @@
 // exchange with peer servers (Fig. 2 steps 10-11).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>

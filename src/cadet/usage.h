@@ -16,6 +16,7 @@
 // Heavy users are cut off from the edge cache's reserve portion.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

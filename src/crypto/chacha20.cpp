@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/secure.h"
+
 namespace cadet::crypto {
 
 namespace {
@@ -46,6 +48,11 @@ ChaCha20::ChaCha20(util::BytesView key, util::BytesView nonce,
   for (int i = 0; i < 3; ++i) {
     state_[13 + i] = load_le32(nonce.data() + 4 * i);
   }
+}
+
+ChaCha20::~ChaCha20() {
+  util::secure_wipe(state_);
+  util::secure_wipe(block_);
 }
 
 void ChaCha20::next_block() noexcept {

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.h"
 
@@ -17,6 +19,12 @@ class ChaCha20 {
 
   ChaCha20(util::BytesView key, util::BytesView nonce,
            std::uint32_t initial_counter = 0);
+
+  /// Wipes the expanded key state and buffered keystream on teardown.
+  ~ChaCha20();
+
+  ChaCha20(const ChaCha20&) = default;
+  ChaCha20& operator=(const ChaCha20&) = default;
 
   /// XOR the keystream into the buffer in place (encrypt == decrypt).
   void crypt(std::span<std::uint8_t> data) noexcept;

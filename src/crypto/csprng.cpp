@@ -2,18 +2,26 @@
 
 #include <cstring>
 
+#include "util/secure.h"
+
 namespace cadet::crypto {
 
 Csprng::Csprng(util::BytesView seed) {
-  const auto digest = Sha256::hash(seed);
+  auto digest = Sha256::hash(seed);
   std::memcpy(key_.data(), digest.data(), key_.size());
+  util::secure_wipe(digest);
 }
 
 Csprng::Csprng(std::uint64_t seed) {
   std::uint8_t buf[8];
   util::put_u64_be(buf, seed);
-  const auto digest = Sha256::hash(util::BytesView(buf, 8));
+  auto digest = Sha256::hash(util::BytesView(buf, 8));
   std::memcpy(key_.data(), digest.data(), key_.size());
+  util::secure_wipe(digest);
+}
+
+Csprng::~Csprng() {
+  util::secure_wipe(key_);
 }
 
 void Csprng::generate(std::span<std::uint8_t> out) {
@@ -23,7 +31,6 @@ void Csprng::generate(std::span<std::uint8_t> out) {
   std::array<std::uint8_t, ChaCha20::kNonceSize> nonce{};
   util::put_u64_be(nonce.data() + 4, counter_++);
   ChaCha20 cipher(key_, nonce);
-  std::memset(out.data(), 0, out.size());
   cipher.keystream(out);
   bytes_generated_ += out.size();
   rekey();
@@ -39,8 +46,9 @@ void Csprng::reseed(util::BytesView entropy) {
   Sha256 h;
   h.update(key_);
   h.update(entropy);
-  const auto digest = h.finish();
+  auto digest = h.finish();
   std::memcpy(key_.data(), digest.data(), key_.size());
+  util::secure_wipe(digest);
   counter_ = 0;
 }
 
@@ -52,6 +60,7 @@ void Csprng::rekey() {
   std::array<std::uint8_t, 32> next_key{};
   cipher.keystream(next_key);
   key_ = next_key;
+  util::secure_wipe(next_key);
 }
 
 }  // namespace cadet::crypto

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "crypto/chacha20.h"
 #include "crypto/sha256.h"
@@ -22,6 +24,12 @@ class Csprng {
 
   /// Convenience: seed from a 64-bit value (simulation determinism).
   explicit Csprng(std::uint64_t seed);
+
+  /// Wipes the generator key on teardown so freed memory never holds it.
+  ~Csprng();
+
+  Csprng(const Csprng&) = default;
+  Csprng& operator=(const Csprng&) = default;
 
   /// Fill `out` with generator output.
   void generate(std::span<std::uint8_t> out);

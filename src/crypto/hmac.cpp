@@ -3,14 +3,19 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/secure.h"
+
 namespace cadet::crypto {
 
 Sha256::Digest hmac_sha256(util::BytesView key,
                            util::BytesView data) noexcept {
+  // The padded key blocks are key-equivalent material; wipe them before
+  // they go out of scope.
   std::array<std::uint8_t, Sha256::kBlockSize> key_block{};
   if (key.size() > Sha256::kBlockSize) {
-    const auto digest = Sha256::hash(key);
+    auto digest = Sha256::hash(key);
     std::memcpy(key_block.data(), digest.data(), digest.size());
+    util::secure_wipe(digest);
   } else {
     std::memcpy(key_block.data(), key.data(), key.size());
   }
@@ -21,15 +26,19 @@ Sha256::Digest hmac_sha256(util::BytesView key,
     ipad[i] = key_block[i] ^ 0x36;
     opad[i] = key_block[i] ^ 0x5c;
   }
+  util::secure_wipe(key_block);
 
   Sha256 inner;
   inner.update(ipad);
   inner.update(data);
-  const auto inner_digest = inner.finish();
+  auto inner_digest = inner.finish();
 
   Sha256 outer;
   outer.update(opad);
   outer.update(inner_digest);
+  util::secure_wipe(ipad);
+  util::secure_wipe(opad);
+  util::secure_wipe(inner_digest);
   return outer.finish();
 }
 
@@ -55,17 +64,21 @@ util::Bytes hkdf_expand(util::BytesView prk, util::BytesView info,
     util::append(block, info);
     block.push_back(counter++);
     t = hmac_sha256(prk, block);
+    util::secure_wipe(block);
     t_len = t.size();
     const std::size_t take = std::min(t_len, length - okm.size());
     okm.insert(okm.end(), t.begin(), t.begin() + take);
   }
+  util::secure_wipe(t);
   return okm;
 }
 
 util::Bytes hkdf(util::BytesView salt, util::BytesView ikm,
                  util::BytesView info, std::size_t length) {
-  const auto prk = hkdf_extract(salt, ikm);
-  return hkdf_expand(prk, info, length);
+  auto prk = hkdf_extract(salt, ikm);
+  auto okm = hkdf_expand(prk, info, length);
+  util::secure_wipe(prk);
+  return okm;
 }
 
 }  // namespace cadet::crypto

@@ -2,6 +2,8 @@
 // (esk, csk, cek) from X25519 outputs during CADET registration.
 #pragma once
 
+#include <cstddef>
+
 #include "crypto/sha256.h"
 #include "util/bytes.h"
 

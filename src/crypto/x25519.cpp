@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/secure.h"
+
 namespace cadet::crypto {
 
 namespace {
@@ -238,6 +240,9 @@ X25519Key x25519(const X25519Key& scalar, const X25519Key& point) noexcept {
   }
   fe_cswap(x2, x3, swap);
   fe_cswap(z2, z3, swap);
+
+  // The clamped scalar is the private key; clear the stack copy.
+  util::secure_wipe(e, sizeof(e));
 
   const Fe out_fe = fe_mul(x2, fe_invert(z2));
   X25519Key out;

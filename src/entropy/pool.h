@@ -8,6 +8,7 @@
 // credit counter tracks how much true entropy those bytes are backed by.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "crypto/sha256.h"

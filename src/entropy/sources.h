@@ -6,6 +6,7 @@
 // A /dev/urandom-backed source supports live (non-simulated) runs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/secure.h"
+
 namespace cadet::entropy {
 
 ServerEntropyPool::ServerEntropyPool(std::size_t capacity_bytes)
@@ -79,6 +81,9 @@ void YarrowMixer::fold(util::Bytes& accumulator) {
     mixed.insert(mixed.end(), digest.begin(), digest.begin() + take);
   }
   pool_.push(mixed);
+  // The raw accumulated input is unmixed entropy; wipe it rather than
+  // leaving it readable in the vector's spare capacity after clear().
+  util::secure_wipe(accumulator);
   accumulator.clear();
   ++folds_;
   if (folds_counter_ != nullptr) folds_counter_->inc();

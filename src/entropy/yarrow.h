@@ -10,6 +10,7 @@
 // local, keeping pool predictability low even under partially known input.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 

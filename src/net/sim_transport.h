@@ -3,6 +3,7 @@
 // and byte counters feed the Fig. 10 load-accounting experiments.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 #include <utility>

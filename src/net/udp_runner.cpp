@@ -47,11 +47,17 @@ void UdpRunner::send_all(NodeId from, const std::vector<Outgoing>& out) {
       if (dropped_counter_ != nullptr) dropped_counter_->inc();
       continue;
     }
+    if (!endpoint->send_to(it->second, o.data)) {
+      // Kernel buffer full (EAGAIN/ENOBUFS): the datagram never left the
+      // host, so account it as dropped rather than sent.
+      ++dropped_sends_;
+      if (dropped_counter_ != nullptr) dropped_counter_->inc();
+      continue;
+    }
     if (packets_counter_ != nullptr) {
       packets_counter_->inc();
       bytes_counter_->inc(o.data.size());
     }
-    endpoint->send_to(it->second, o.data);
   }
 }
 

@@ -8,6 +8,8 @@
 //    (paper §IV-C and Table III's columns).
 #pragma once
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "nist/tests.h"

@@ -7,6 +7,7 @@
 // p-value, and the standard alpha = 0.01 pass verdict.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

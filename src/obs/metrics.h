@@ -15,6 +15,7 @@
 // cost of the ad-hoc `++stats_.field` counters they replaced.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>

@@ -4,6 +4,7 @@
 // travel time widens the cache/no-cache response gap by ~0.3 s.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/rng.h"

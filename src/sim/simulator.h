@@ -5,6 +5,7 @@
 // given seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>

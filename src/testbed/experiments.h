@@ -3,8 +3,10 @@
 // scaled-down instances and assert the qualitative claims.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "testbed/topology.h"

@@ -6,6 +6,8 @@
 // experiments (Fig. 8) reuse the same builder.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 

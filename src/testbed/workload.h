@@ -3,8 +3,10 @@
 // heavy-user bursts, and misbehaving uploaders for the penalty experiments.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "testbed/topology.h"
 #include "util/stats.h"

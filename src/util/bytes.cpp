@@ -79,15 +79,6 @@ std::uint64_t get_u64_be(const std::uint8_t* in) noexcept {
   return v;
 }
 
-bool ct_equal(BytesView a, BytesView b) noexcept {
-  if (a.size() != b.size()) return false;
-  std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
-  }
-  return diff == 0;
-}
-
 void append(Bytes& dst, BytesView src) {
   dst.insert(dst.end(), src.begin(), src.end());
 }

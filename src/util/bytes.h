@@ -1,5 +1,7 @@
 // Byte-buffer helpers shared across the CADET codebase: hex codecs,
-// big-endian integer packing, and constant-time comparison.
+// big-endian integer packing, and constant-time comparison (the latter
+// lives in util/secure.h alongside secure_wipe; re-exported here because
+// every wire-codec caller already includes bytes.h).
 #pragma once
 
 #include <cstddef>
@@ -8,6 +10,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/secure.h"
 
 namespace cadet::util {
 
@@ -28,10 +32,6 @@ void put_u64_be(std::uint8_t* out, std::uint64_t v) noexcept;
 std::uint16_t get_u16_be(const std::uint8_t* in) noexcept;
 std::uint32_t get_u32_be(const std::uint8_t* in) noexcept;
 std::uint64_t get_u64_be(const std::uint8_t* in) noexcept;
-
-/// Constant-time equality; returns false on length mismatch without
-/// inspecting contents. Used for nonce/tag verification in registration.
-bool ct_equal(BytesView a, BytesView b) noexcept;
 
 /// Append the contents of `src` to `dst`.
 void append(Bytes& dst, BytesView src);

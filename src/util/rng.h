@@ -6,6 +6,7 @@
 // protocol's own randomness goes through crypto::Csprng.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 

@@ -1,0 +1,25 @@
+#include "util/secure.h"
+
+namespace cadet::util {
+
+void secure_wipe(void* ptr, std::size_t len) noexcept {
+  // Volatile stores are observable behaviour, so the optimizer must emit
+  // them even if the buffer is never read again.
+  auto* p = static_cast<volatile std::uint8_t*>(ptr);
+  for (std::size_t i = 0; i < len; ++i) p[i] = 0;
+  // Barrier: tells the compiler the memory at `ptr` escapes, blocking
+  // store-elimination across the call boundary after inlining.
+  asm volatile("" : : "r"(ptr) : "memory");
+}
+
+bool ct_equal(std::span<const std::uint8_t> a,
+              std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace cadet::util

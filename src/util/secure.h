@@ -1,0 +1,57 @@
+// Secret-hygiene primitives: guaranteed zeroization and constant-time
+// comparison. These exist because the "obvious" alternatives are wrong in
+// ways the compiler will not tell you about:
+//
+//  * `std::memset(key, 0, n)` on a buffer the compiler can prove is dead
+//    is a no-op under as-if — the key stays in freed memory. secure_wipe
+//    uses volatile stores plus a compiler barrier so the writes survive.
+//  * `memcmp(tag_a, tag_b, n)` exits on the first differing byte, leaking
+//    the match length through timing. ct_equal's runtime depends only on
+//    the input length.
+//
+// cadet_lint's `secret-hygiene` rule flags code that uses the raw libc
+// calls on key/seed/token material and points here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cadet::util {
+
+/// Zero `len` bytes at `ptr` in a way the optimizer cannot elide, even
+/// when the buffer is about to go out of scope.
+void secure_wipe(void* ptr, std::size_t len) noexcept;
+
+/// Wipe a mutable byte span.
+inline void secure_wipe(std::span<std::uint8_t> buf) noexcept {
+  secure_wipe(buf.data(), buf.size());
+}
+
+/// Wipe any contiguous container of trivially-copyable elements
+/// (std::array, std::vector, C arrays via std::span). The container keeps
+/// its size; only the contents are zeroed.
+template <typename Container>
+  requires requires(Container& c) {
+    c.data();
+    c.size();
+  }
+void secure_wipe(Container& c) noexcept {
+  secure_wipe(static_cast<void*>(c.data()), c.size() * sizeof(*c.data()));
+}
+
+/// Constant-time equality; returns false on length mismatch without
+/// inspecting contents. Use for MAC tags, tokens, and any comparison where
+/// early exit would leak how much of a secret matched.
+bool ct_equal(std::span<const std::uint8_t> a,
+              std::span<const std::uint8_t> b) noexcept;
+
+/// Constant-time selection: returns `a` if pick == 1, `b` if pick == 0,
+/// without a data-dependent branch. `pick` must be 0 or 1.
+inline std::uint8_t ct_select(std::uint8_t pick, std::uint8_t a,
+                              std::uint8_t b) noexcept {
+  const std::uint8_t mask = static_cast<std::uint8_t>(0 - pick);
+  return static_cast<std::uint8_t>((a & mask) | (b & ~mask));
+}
+
+}  // namespace cadet::util

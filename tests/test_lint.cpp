@@ -1,0 +1,340 @@
+// Unit tests for cadet_lint: every rule has at least one fixture that
+// triggers it, one that is suppressed with `cadet-lint: allow(...)`, and
+// one clean variant. Fixtures are inline snippets fed straight to
+// lint_content with synthetic repo paths, so the rule's path allowlists
+// are exercised too.
+#include "cadet_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lint = cadet::lint;
+
+namespace {
+
+std::vector<std::string> rules_hit(const std::vector<lint::Finding>& fs) {
+  std::vector<std::string> out;
+  for (const auto& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+bool has_rule(const std::vector<lint::Finding>& fs, std::string_view rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const lint::Finding& f) { return f.rule == rule; });
+}
+
+}  // namespace
+
+TEST(LintCatalog, ExposesAllFiveRules) {
+  const auto catalog = lint::rule_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog[0].id, "forbidden-rng");
+  EXPECT_EQ(catalog[1].id, "sim-purity");
+  EXPECT_EQ(catalog[2].id, "secret-hygiene");
+  EXPECT_EQ(catalog[3].id, "header-self-containment");
+  EXPECT_EQ(catalog[4].id, "unchecked-return");
+}
+
+// ---------------------------------------------------------------- scrubber
+
+TEST(LintScrub, BlanksCommentsAndStringsButKeepsCode) {
+  const std::string src =
+      "int x = 1; // std::rand() here is prose\n"
+      "const char* s = \"mt19937\";\n"
+      "/* random_device */ int y = 2;\n";
+  const std::string scrubbed = lint::scrub(src);
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("mt19937"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("random_device"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int x = 1;"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int y = 2;"), std::string::npos);
+  // Line structure preserved for 1-based line numbers.
+  EXPECT_EQ(std::count(scrubbed.begin(), scrubbed.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(LintScrub, HandlesRawStringsEscapesAndDigitSeparators) {
+  const std::string src =
+      "auto r = R\"(std::rand())\";\n"
+      "auto e = \"a\\\"srand(1)\\\"b\";\n"
+      "int big = 1'000'000; char c = 'x';\n";
+  const std::string scrubbed = lint::scrub(src);
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("srand"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int big = 1'000'000;"), std::string::npos);
+}
+
+// ------------------------------------------------------------ forbidden-rng
+
+TEST(LintForbiddenRng, FlagsAdHocPrngInProtocolCode) {
+  const auto findings = lint::lint_content(
+      "src/cadet/bad.cpp",
+      "#include <random>\n"
+      "int f() { std::mt19937 gen(42); return (int)gen(); }\n"
+      "int g() { return rand(); }\n");
+  EXPECT_EQ(rules_hit(findings),
+            (std::vector<std::string>{"forbidden-rng", "forbidden-rng"}));
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 3u);
+}
+
+TEST(LintForbiddenRng, AllowsSanctionedModulesAndSuppression) {
+  // The RNG modules themselves may name these symbols.
+  EXPECT_TRUE(lint::lint_content("src/util/rng.cpp",
+                                 "std::uint64_t seed_from(std::random_device& "
+                                 "rd);\n")
+                  .empty());
+  // Elsewhere, an inline allow() waives a deliberate use.
+  const auto findings = lint::lint_content(
+      "bench/bad.cpp",
+      "std::mt19937 gen;  // cadet-lint: allow(forbidden-rng)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintForbiddenRng, CleanFileHasNoFindings) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/cadet/good.cpp",
+                  "#include \"util/rng.h\"\n"
+                  "double draw(cadet::util::Xoshiro256& rng) {\n"
+                  "  return rng.uniform01();\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(LintForbiddenRng, DoesNotFireOnSubstringIdentifiers) {
+  // operand / grand_total contain "rand" but are not PRNG calls.
+  EXPECT_TRUE(lint::lint_content("src/cadet/ok.cpp",
+                                 "int operand(int grand_total);\n"
+                                 "int x = operand(grand_total(3));\n")
+                  .empty());
+}
+
+// --------------------------------------------------------------- sim-purity
+
+TEST(LintSimPurity, FlagsWallClockInDeterministicTiers) {
+  const auto findings = lint::lint_content(
+      "src/sim/bad.cpp",
+      "#include <chrono>\n"
+      "auto now() { return std::chrono::steady_clock::now(); }\n"
+      "long t() { return time(nullptr); }\n");
+  EXPECT_EQ(rules_hit(findings),
+            (std::vector<std::string>{"sim-purity", "sim-purity"}));
+}
+
+TEST(LintSimPurity, IgnoresWallClockOutsidePureDirs) {
+  // The UDP runner and util/log are allowed to read real clocks.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/udp_runner.cpp",
+                  "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(LintSimPurity, SuppressionWaivesFinding) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/entropy/jitter.cpp",
+                  "auto t = std::chrono::steady_clock::now();  "
+                  "// cadet-lint: allow(sim-purity)\n")
+                  .empty());
+}
+
+TEST(LintSimPurity, SimTimeArithmeticIsClean) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/cadet/good.cpp",
+                  "#include \"util/time.h\"\n"
+                  "cadet::util::SimTime next(cadet::util::SimTime now) {\n"
+                  "  return now + cadet::util::kMillisecond;\n"
+                  "}\n")
+                  .empty());
+}
+
+// ----------------------------------------------------------- secret-hygiene
+
+TEST(LintSecretHygiene, FlagsMemsetOnKeyMaterial) {
+  const auto findings = lint::lint_content(
+      "src/crypto/bad.cpp",
+      "void wipe(unsigned char* session_key, unsigned n) {\n"
+      "  std::memset(session_key, 0, n);\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(findings, "secret-hygiene"));
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("secure_wipe"), std::string::npos);
+}
+
+TEST(LintSecretHygiene, FlagsMemcmpOnTags) {
+  const auto findings = lint::lint_content(
+      "src/cadet/bad.cpp",
+      "bool check(const uint8_t* tag, const uint8_t* expected_tag) {\n"
+      "  return memcmp(tag, expected_tag, 16) == 0;\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(findings, "secret-hygiene"));
+  EXPECT_NE(findings[0].message.find("ct_equal"), std::string::npos);
+}
+
+TEST(LintSecretHygiene, IgnoresNonSecretBuffersAndSuppression) {
+  // memset on a plain frame buffer is fine.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/ok.cpp",
+                  "void clear(char* framebuf) { memset(framebuf, 0, 64); }\n")
+                  .empty());
+  EXPECT_TRUE(lint::lint_content(
+                  "src/crypto/ok.cpp",
+                  "memset(key_block, 0, 64);  "
+                  "// cadet-lint: allow(secret-hygiene)\n")
+                  .empty());
+}
+
+// ----------------------------------------- header-self-containment
+
+TEST(LintSelfContainment, FlagsMissingPragmaOnceAndInclude) {
+  const auto findings = lint::lint_content(
+      "src/cadet/bad.h",
+      "#include <cstdint>\n"
+      "inline std::string name();\n"
+      "inline std::vector<int> values();\n");
+  EXPECT_EQ(rules_hit(findings),
+            (std::vector<std::string>{
+                "header-self-containment",  // missing pragma once (line 1)
+                "header-self-containment",  // std::string without <string>
+                "header-self-containment",  // std::vector without <vector>
+            }));
+}
+
+TEST(LintSelfContainment, ReportsEachMissingHeaderOnce) {
+  const auto findings = lint::lint_content(
+      "src/cadet/bad.h",
+      "#pragma once\n"
+      "inline std::string a();\n"
+      "inline std::string b();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintSelfContainment, SelfContainedHeaderIsClean) {
+  EXPECT_TRUE(lint::lint_content("src/cadet/good.h",
+                                 "#pragma once\n"
+                                 "#include <cstdint>\n"
+                                 "#include <string>\n"
+                                 "inline std::string name();\n"
+                                 "inline std::uint64_t id();\n")
+                  .empty());
+}
+
+TEST(LintSelfContainment, AcceptsAnySatisfyingHeaderAndSkipsCpp) {
+  // std::size_t is guaranteed by <cstring> too, not just <cstddef>.
+  EXPECT_TRUE(lint::lint_content("src/util/ok.h",
+                                 "#pragma once\n"
+                                 "#include <cstring>\n"
+                                 "inline std::size_t n();\n")
+                  .empty());
+  // Rule applies to headers only.
+  EXPECT_TRUE(
+      lint::lint_content("src/util/ok.cpp", "std::string s;\n").empty());
+}
+
+TEST(LintSelfContainment, StringViewDoesNotCountAsString) {
+  EXPECT_TRUE(lint::lint_content("src/util/ok.h",
+                                 "#pragma once\n"
+                                 "#include <string_view>\n"
+                                 "inline std::string_view v();\n")
+                  .empty());
+}
+
+TEST(LintSelfContainment, SuppressionOnUseLine) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/util/ok.h",
+                  "#pragma once\n"
+                  "inline std::string s();  "
+                  "// cadet-lint: allow(header-self-containment)\n")
+                  .empty());
+}
+
+// --------------------------------------------------------- unchecked-return
+
+TEST(LintUncheckedReturn, FlagsDiscardedSend) {
+  const auto findings = lint::lint_content(
+      "src/net/bad.cpp",
+      "void f(Endpoint* ep, Addr a, Bytes d) {\n"
+      "  ep->send_to(a, d);\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(findings, "unchecked-return"));
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintUncheckedReturn, CheckedOrContinuationIsClean) {
+  // Result consumed in a condition.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/ok.cpp",
+                  "void f() {\n"
+                  "  if (!ep->send_to(a, d)) ++drops;\n"
+                  "}\n")
+                  .empty());
+  // Continuation line of a wrapped assignment is not a discard.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/ok2.cpp",
+                  "void f() {\n"
+                  "  const ssize_t sent =\n"
+                  "      ::sendto(fd, buf, n, 0, addr, len);\n"
+                  "  (void)sent;\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(LintUncheckedReturn, SuppressionWaivesFinding) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/ok.cpp",
+                  "void f() {\n"
+                  "  ep->send_to(a, d);  // cadet-lint: allow(unchecked-return)\n"
+                  "}\n")
+                  .empty());
+}
+
+// ----------------------------------------------------------- infrastructure
+
+TEST(LintSuppression, AllowAllAndMultiRuleLists) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/sim/ok.cpp",
+                  "auto t = time(nullptr);  // cadet-lint: allow(all)\n")
+                  .empty());
+  EXPECT_TRUE(lint::lint_content(
+                  "src/sim/ok.cpp",
+                  "auto t = time(nullptr);  "
+                  "// cadet-lint: allow(forbidden-rng, sim-purity)\n")
+                  .empty());
+  // A marker for a different rule does not waive the finding.
+  EXPECT_FALSE(lint::lint_content(
+                   "src/sim/bad.cpp",
+                   "auto t = time(nullptr);  "
+                   "// cadet-lint: allow(forbidden-rng)\n")
+                   .empty());
+}
+
+TEST(LintFormat, TextAndJsonReports) {
+  const std::vector<lint::Finding> findings = {
+      {"src/a.cpp", 3, "sim-purity", "wall-clock \"call\""},
+  };
+  const std::string text = lint::format_text(findings);
+  EXPECT_NE(text.find("src/a.cpp:3: [sim-purity]"), std::string::npos);
+  EXPECT_NE(text.find("1 finding\n"), std::string::npos);
+
+  const std::string json = lint::format_json(findings);
+  EXPECT_NE(json.find("\"file\":\"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":3"), std::string::npos);
+  EXPECT_NE(json.find("\\\"call\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+
+  EXPECT_NE(lint::format_text({}).find("0 findings"), std::string::npos);
+  EXPECT_NE(lint::format_json({}).find("\"count\":0"), std::string::npos);
+}
+
+TEST(LintFindings, SortedByLineWithinFile) {
+  const auto findings = lint::lint_content(
+      "src/cadet/bad.cpp",
+      "int a = rand();\n"
+      "int b;\n"
+      "std::mt19937 g;\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_LT(findings[0].line, findings[1].line);
+}

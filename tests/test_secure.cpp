@@ -1,0 +1,81 @@
+// util/secure.h: secure_wipe must actually zero (and survive optimization
+// — asserted here at the observable level), ct_equal must be
+// length-honest and order-insensitive, ct_select branch-free-correct.
+#include "util/secure.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace util = cadet::util;
+
+TEST(SecureWipe, ZeroesRawPointerRange) {
+  std::uint8_t buf[32];
+  for (std::size_t i = 0; i < sizeof(buf); ++i) buf[i] = 0xa5;
+  util::secure_wipe(buf, sizeof(buf));
+  for (std::size_t i = 0; i < sizeof(buf); ++i) {
+    ASSERT_EQ(buf[i], 0) << "byte " << i;
+  }
+}
+
+TEST(SecureWipe, ZeroesStdArrayAndVector) {
+  std::array<std::uint8_t, 16> key;
+  key.fill(0xee);
+  util::secure_wipe(key);
+  EXPECT_EQ(key, (std::array<std::uint8_t, 16>{}));
+
+  util::Bytes seed(64, 0x7f);
+  util::secure_wipe(seed);
+  EXPECT_EQ(seed, util::Bytes(64, 0));
+  EXPECT_EQ(seed.size(), 64u);  // size preserved, contents zeroed
+}
+
+TEST(SecureWipe, WidensToElementSize) {
+  std::array<std::uint64_t, 4> words{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  util::secure_wipe(words);
+  for (const auto w : words) EXPECT_EQ(w, 0u);
+}
+
+TEST(SecureWipe, EmptyAndNullAreNoOps) {
+  util::secure_wipe(nullptr, 0);
+  util::Bytes empty;
+  util::secure_wipe(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(CtEqual, MatchesMemcmpSemanticsOnEqualLengths) {
+  const util::Bytes a = {1, 2, 3, 4};
+  const util::Bytes b = {1, 2, 3, 4};
+  const util::Bytes c = {1, 2, 3, 5};
+  EXPECT_TRUE(util::ct_equal(a, b));
+  EXPECT_FALSE(util::ct_equal(a, c));
+}
+
+TEST(CtEqual, LengthMismatchIsFalseNotUB) {
+  const util::Bytes a = {1, 2, 3};
+  const util::Bytes b = {1, 2, 3, 4};
+  EXPECT_FALSE(util::ct_equal(a, b));
+  EXPECT_FALSE(util::ct_equal(b, a));
+}
+
+TEST(CtEqual, EmptyEqualsEmpty) {
+  EXPECT_TRUE(util::ct_equal(util::Bytes{}, util::Bytes{}));
+}
+
+TEST(CtEqual, DifferenceInAnyPositionDetected) {
+  util::Bytes a(257, 0x42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    util::Bytes b = a;
+    b[i] ^= 0x80;
+    EXPECT_FALSE(util::ct_equal(a, b)) << "position " << i;
+  }
+}
+
+TEST(CtSelect, PicksWithoutBranching) {
+  EXPECT_EQ(util::ct_select(1, 0xaa, 0x55), 0xaa);
+  EXPECT_EQ(util::ct_select(0, 0xaa, 0x55), 0x55);
+}

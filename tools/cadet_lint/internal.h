@@ -1,0 +1,54 @@
+// Shared internals between the cadet-lint engine (lint.cpp) and the rule
+// implementations (rules.cpp). Not installed; include via "cadet_lint/...".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cadet_lint/lint.h"
+
+namespace cadet::lint {
+
+/// A preprocessed source file: raw lines for suppression markers, scrubbed
+/// lines for token scans, and the directly-included headers.
+struct SourceFile {
+  std::string path;                   // repo-relative, '/'-separated
+  bool is_header = false;             // .h / .hpp
+  std::vector<std::string> raw;       // verbatim lines
+  std::vector<std::string> code;      // comments/strings blanked
+  std::vector<std::string> includes;  // e.g. "vector", "util/bytes.h"
+};
+
+SourceFile make_source(std::string_view path, std::string_view content);
+
+/// Find identifier `token` in `line` starting at/after `from`, honouring
+/// identifier boundaries on both sides. Returns npos if absent.
+std::size_t find_token(std::string_view line, std::string_view token,
+                       std::size_t from = 0);
+
+/// True if `line` contains `token` as a whole identifier; when
+/// `call_only`, the next non-space character must be '('.
+bool has_token(std::string_view line, std::string_view token,
+               bool call_only);
+
+/// Split the argument list of the call whose '(' is at `open` into
+/// top-level (depth-0) comma-separated pieces. Unbalanced input yields
+/// whatever was parsed before the line ended.
+std::vector<std::string> call_args(std::string_view line, std::size_t open);
+
+/// Rule implementations append findings for one file. `line` numbers in
+/// findings are 1-based.
+using RuleFn = void (*)(const SourceFile& file, std::vector<Finding>& out);
+
+struct Rule {
+  std::string_view id;
+  std::string_view summary;
+  RuleFn fn;
+};
+
+/// The rule table, in evaluation order (defined in rules.cpp).
+const std::vector<Rule>& rules();
+
+}  // namespace cadet::lint

@@ -1,0 +1,408 @@
+#include "cadet_lint/internal.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace cadet::lint {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::string scrub(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_end;  // )delim" terminator for the active raw string
+  const std::size_t n = src.size();
+
+  auto blank = [&](std::size_t j) {
+    if (out[j] != '\n') out[j] = ' ';
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = src[i];
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+          state = State::kLine;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          break;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+          state = State::kBlock;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          break;
+        }
+        if (c == '"') {
+          // R"delim( ... )delim" — the only string form where '\' and '"'
+          // lose their usual meaning.
+          if (i > 0 && src[i - 1] == 'R') {
+            std::size_t p = i + 1;
+            std::string delim;
+            while (p < n && src[p] != '(' && src[p] != '"' &&
+                   src[p] != '\n' && delim.size() <= 16) {
+              delim += src[p];
+              ++p;
+            }
+            if (p < n && src[p] == '(') {
+              raw_end = ")" + delim + "\"";
+              for (std::size_t j = i; j <= p; ++j) blank(j);
+              state = State::kRaw;
+              i = p + 1;
+              break;
+            }
+          }
+          state = State::kString;
+          blank(i);
+          ++i;
+          break;
+        }
+        if (c == '\'') {
+          // A quote glued to an identifier/number is a digit separator
+          // (1'000'000) or literal suffix, not a char literal.
+          if (i > 0 && is_ident(src[i - 1])) {
+            ++i;
+            break;
+          }
+          state = State::kChar;
+          blank(i);
+          ++i;
+          break;
+        }
+        ++i;
+        break;
+      }
+      case State::kLine: {
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      }
+      case State::kBlock: {
+        if (c == '*' && i + 1 < n && src[i + 1] == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kCode;
+          i += 2;
+          break;
+        }
+        blank(i);
+        ++i;
+        break;
+      }
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          break;
+        }
+        blank(i);
+        if (c == quote || c == '\n') state = State::kCode;  // \n: unterminated
+        ++i;
+        break;
+      }
+      case State::kRaw: {
+        if (src.compare(i, raw_end.size(), raw_end) == 0) {
+          for (std::size_t j = 0; j < raw_end.size(); ++j) blank(i + j);
+          state = State::kCode;
+          i += raw_end.size();
+          break;
+        }
+        blank(i);
+        ++i;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string include_target(std::string_view line) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string_view::npos || line[i] != '#') return {};
+  i = line.find_first_not_of(" \t", i + 1);
+  if (i == std::string_view::npos || line.compare(i, 7, "include") != 0) {
+    return {};
+  }
+  i = line.find_first_not_of(" \t", i + 7);
+  if (i == std::string_view::npos) return {};
+  const char open = line[i];
+  const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') return {};
+  const std::size_t end = line.find(close, i + 1);
+  if (end == std::string_view::npos) return {};
+  return std::string(line.substr(i + 1, end - i - 1));
+}
+
+}  // namespace
+
+SourceFile make_source(std::string_view path, std::string_view content) {
+  SourceFile file;
+  file.path.assign(path);
+  std::replace(file.path.begin(), file.path.end(), '\\', '/');
+  file.is_header =
+      file.path.ends_with(".h") || file.path.ends_with(".hpp");
+  file.raw = split_lines(content);
+  file.code = split_lines(scrub(content));
+  for (const auto& line : file.raw) {
+    auto target = include_target(line);
+    if (!target.empty()) file.includes.push_back(std::move(target));
+  }
+  return file;
+}
+
+std::size_t find_token(std::string_view line, std::string_view token,
+                       std::size_t from) {
+  while (from < line.size()) {
+    const std::size_t pos = line.find(token, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    const bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_ident(line[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+bool has_token(std::string_view line, std::string_view token,
+               bool call_only) {
+  std::size_t pos = find_token(line, token);
+  while (pos != std::string_view::npos) {
+    if (!call_only) return true;
+    std::size_t next = pos + token.size();
+    while (next < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[next])) != 0) {
+      ++next;
+    }
+    if (next < line.size() && line[next] == '(') return true;
+    pos = find_token(line, token, pos + 1);
+  }
+  return false;
+}
+
+std::vector<std::string> call_args(std::string_view line, std::size_t open) {
+  std::vector<std::string> args;
+  if (open >= line.size() || line[open] != '(') return args;
+  int depth = 1;
+  std::string current;
+  for (std::size_t i = open + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) break;
+    } else if (c == ',' && depth == 1) {
+      args.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  if (!current.empty()) args.push_back(current);
+  return args;
+}
+
+namespace {
+
+// `// cadet-lint: allow(rule-a, rule-b)` — true if the marker on this raw
+// line covers `rule` (or says `all`).
+bool suppressed(const std::string& raw_line, std::string_view rule) {
+  const std::size_t marker = raw_line.find("cadet-lint:");
+  if (marker == std::string::npos) return false;
+  const std::size_t open = raw_line.find("allow(", marker);
+  if (open == std::string::npos) return false;
+  const std::size_t close = raw_line.find(')', open);
+  if (close == std::string::npos) return false;
+  std::string_view list(raw_line);
+  list = list.substr(open + 6, close - open - 6);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string_view::npos) comma = list.size();
+    std::string_view item = list.substr(start, comma - start);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (item == rule || item == "all") return true;
+    start = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<RuleInfo> rule_catalog() {
+  std::vector<RuleInfo> catalog;
+  for (const auto& rule : rules()) {
+    catalog.push_back(RuleInfo{rule.id, rule.summary});
+  }
+  return catalog;
+}
+
+std::vector<Finding> lint_content(std::string_view path,
+                                  std::string_view content) {
+  const SourceFile file = make_source(path, content);
+  std::vector<Finding> findings;
+  for (const auto& rule : rules()) {
+    rule.fn(file, findings);
+  }
+  std::erase_if(findings, [&](const Finding& f) {
+    return f.line >= 1 && f.line <= file.raw.size() &&
+           suppressed(file.raw[f.line - 1], f.rule);
+  });
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  const fs::path base(root);
+  if (!fs::exists(base)) {
+    throw std::runtime_error("cadet_lint: no such directory: " + root);
+  }
+  static constexpr std::string_view kScanDirs[] = {"src", "tools", "bench",
+                                                   "examples"};
+  static constexpr std::string_view kExtensions[] = {".h", ".hpp", ".cc",
+                                                     ".cpp"};
+  std::vector<fs::path> files;
+  for (const auto dir : kScanDirs) {
+    const fs::path sub = base / dir;
+    if (!fs::exists(sub)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(sub)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (std::find(std::begin(kExtensions), std::end(kExtensions), ext) ==
+          std::end(kExtensions)) {
+        continue;
+      }
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel =
+        fs::relative(path, base).generic_string();
+    auto file_findings = lint_content(rel, buffer.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string format_text(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const auto& f : findings) {
+    out += f.file;
+    out += ':';
+    out += std::to_string(f.line);
+    out += ": [";
+    out += f.rule;
+    out += "] ";
+    out += f.message;
+    out += '\n';
+  }
+  out += std::to_string(findings.size());
+  out += findings.size() == 1 ? " finding\n" : " findings\n";
+  return out;
+}
+
+namespace {
+
+// Same escaping contract as obs' JSON exporter: quote, backslash, and
+// control characters; everything else verbatim.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_json(const std::vector<Finding>& findings) {
+  std::string out = "{\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    if (i) out += ',';
+    out += "{\"file\":\"" + json_escape(f.file) + "\"";
+    out += ",\"line\":" + std::to_string(f.line);
+    out += ",\"rule\":\"" + json_escape(f.rule) + "\"";
+    out += ",\"message\":\"" + json_escape(f.message) + "\"}";
+  }
+  out += "],\"count\":" + std::to_string(findings.size()) + "}\n";
+  return out;
+}
+
+}  // namespace cadet::lint

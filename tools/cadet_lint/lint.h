@@ -1,0 +1,68 @@
+// cadet-lint: domain-aware static analysis for the CADET tree.
+//
+// Generic compilers cannot see CADET's own correctness contract: protocol
+// randomness must flow through the seeded RNGs, the deterministic tiers
+// must never read a wall clock, and key material must be wiped and
+// compared in constant time. cadet-lint encodes those contracts as
+// table-driven rules over a scrubbed token stream (comments and string
+// literals removed, so prose about std::rand never trips the scanner).
+//
+// Rules (see docs/STATIC_ANALYSIS.md for the full catalog):
+//   forbidden-rng    ad-hoc PRNG use outside the sanctioned modules
+//   sim-purity       wall-clock calls inside deterministic tiers
+//   secret-hygiene   elidable memset / timing-leaky memcmp on secrets
+//   header-self-containment  missing #pragma once or std includes
+//   unchecked-return discarded transport send/recv results
+//
+// Suppress a finding by appending `// cadet-lint: allow(<rule>)` to the
+// offending line (comma-separate several rules, or use `allow(all)`).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cadet::lint {
+
+/// One diagnostic: where, which rule, and what to do instead.
+struct Finding {
+  std::string file;     // repo-relative, '/'-separated
+  std::size_t line;     // 1-based
+  std::string rule;     // rule id, e.g. "forbidden-rng"
+  std::string message;  // human-oriented remedy
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Rule id + one-line summary, for --list-rules and the docs generator.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The registered rule table, in evaluation order.
+std::vector<RuleInfo> rule_catalog();
+
+/// Lint a single file's contents. `path` must be repo-relative with
+/// forward slashes — it decides which rules and allowlists apply.
+/// Per-line `cadet-lint: allow(...)` suppressions are already honoured.
+std::vector<Finding> lint_content(std::string_view path,
+                                  std::string_view content);
+
+/// Walk `root`'s scanned directories (src, tools, bench, examples) and
+/// lint every C++ source/header. Findings come back sorted by file then
+/// line. Throws std::runtime_error if root does not exist.
+std::vector<Finding> lint_tree(const std::string& root);
+
+/// "file:line: [rule] message" per finding, plus a trailing summary line.
+std::string format_text(const std::vector<Finding>& findings);
+
+/// {"findings":[...],"count":N} — machine-readable report.
+std::string format_json(const std::vector<Finding>& findings);
+
+/// Exposed for tests: blank out comments and string/char literals while
+/// preserving line structure, so token scans never match prose.
+std::string scrub(std::string_view content);
+
+}  // namespace cadet::lint

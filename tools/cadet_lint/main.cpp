@@ -1,0 +1,90 @@
+// cadet_lint CLI — scans src/, tools/, bench/, examples/ for violations of
+// CADET's domain rules. Exit 0 on a clean tree, 1 if findings, 2 on usage
+// errors, so `ctest -R lint` and CI gate on it directly.
+//
+// Usage:
+//   cadet_lint [--root DIR] [--json] [--list-rules] [file...]
+//
+// With explicit files, only those are linted (paths are taken verbatim and
+// should be repo-relative so allowlists apply). Otherwise the whole tree
+// under --root (default: cwd) is scanned.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cadet_lint/lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--json] [--list-rules] [file...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : cadet::lint::rule_catalog()) {
+      std::printf("%-24s %s\n", std::string(rule.id).c_str(),
+                  std::string(rule.summary).c_str());
+    }
+    return 0;
+  }
+
+  try {
+    std::vector<cadet::lint::Finding> findings;
+    if (files.empty()) {
+      findings = cadet::lint::lint_tree(root);
+    } else {
+      for (const auto& path : files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          std::fprintf(stderr, "cadet_lint: cannot open %s\n", path.c_str());
+          return 2;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        auto file_findings = cadet::lint::lint_content(path, buffer.str());
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
+      }
+    }
+    const std::string report = json ? cadet::lint::format_json(findings)
+                                    : cadet::lint::format_text(findings);
+    std::fputs(report.c_str(), stdout);
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cadet_lint: %s\n", e.what());
+    return 2;
+  }
+}

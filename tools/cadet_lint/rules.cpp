@@ -1,0 +1,408 @@
+// The CADET rule catalog. Every rule is data-first: a token/path table plus
+// a small driver, so adding a pattern is a one-line table edit (see
+// docs/STATIC_ANALYSIS.md, "Adding a rule").
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cadet_lint/internal.h"
+
+namespace cadet::lint {
+
+namespace {
+
+bool starts_with(std::string_view path, std::string_view prefix) {
+  return path.substr(0, prefix.size()) == prefix;
+}
+
+void add(std::vector<Finding>& out, const SourceFile& file, std::size_t line,
+         std::string_view rule, std::string message) {
+  out.push_back(Finding{file.path, line, std::string(rule),
+                        std::move(message)});
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// forbidden-rng: all protocol/crypto randomness flows through the seeded
+// sim RNG (util::Xoshiro256) or the CSPRNG (crypto::Csprng). Ad-hoc PRNGs
+// give unseeded, unreproducible, or cryptographically weak bits.
+// ---------------------------------------------------------------------------
+
+struct RngToken {
+  std::string_view token;
+  bool call_only;  // only flag when followed by '('
+};
+
+constexpr RngToken kRngTokens[] = {
+    {"rand", true},          {"srand", true},
+    {"rand_r", true},        {"random", true},
+    {"srandom", true},       {"drand48", true},
+    {"lrand48", true},       {"mrand48", true},
+    {"random_shuffle", true},
+    {"mt19937", false},      {"mt19937_64", false},
+    {"minstd_rand", false},  {"minstd_rand0", false},
+    {"default_random_engine", false},
+    {"knuth_b", false},      {"ranlux24", false},
+    {"ranlux48", false},     {"ranlux24_base", false},
+    {"ranlux48_base", false},
+    {"random_device", false},
+    {"getrandom", true},     {"getentropy", true},
+};
+
+// Modules that own randomness and may name these symbols.
+constexpr std::string_view kRngAllowedPrefixes[] = {
+    "src/util/rng.",
+    "src/crypto/csprng.",
+    "src/entropy/sources.",
+};
+
+void check_forbidden_rng(const SourceFile& file, std::vector<Finding>& out) {
+  for (const auto prefix : kRngAllowedPrefixes) {
+    if (starts_with(file.path, prefix)) return;
+  }
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    for (const auto& spec : kRngTokens) {
+      if (has_token(file.code[i], spec.token, spec.call_only)) {
+        add(out, file, i + 1, "forbidden-rng",
+            "ad-hoc PRNG '" + std::string(spec.token) +
+                "'; route randomness through util::Xoshiro256 (simulation) "
+                "or crypto::Csprng (protocol/crypto)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sim-purity: the deterministic tiers take time as a util::SimTime value.
+// A wall-clock read anywhere in them breaks bit-identical replay.
+// ---------------------------------------------------------------------------
+
+struct ClockToken {
+  std::string_view token;
+  bool call_only;
+};
+
+constexpr ClockToken kClockTokens[] = {
+    {"system_clock", false},  {"steady_clock", false},
+    {"high_resolution_clock", false},
+    {"gettimeofday", true},   {"clock_gettime", true},
+    {"timespec_get", true},   {"localtime", true},
+    {"gmtime", true},         {"mktime", true},
+    {"strftime", true},       {"time", true},
+    {"clock", true},
+};
+
+// Deterministic tiers: engines, simulator, entropy pipeline. Wall clocks
+// belong only in util/time.h adapters and the UDP runner.
+constexpr std::string_view kPureDirs[] = {
+    "src/sim/",
+    "src/cadet/",
+    "src/entropy/",
+};
+
+void check_sim_purity(const SourceFile& file, std::vector<Finding>& out) {
+  const bool applies =
+      std::any_of(std::begin(kPureDirs), std::end(kPureDirs),
+                  [&](std::string_view d) { return starts_with(file.path, d); });
+  if (!applies) return;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    for (const auto& spec : kClockTokens) {
+      if (has_token(file.code[i], spec.token, spec.call_only)) {
+        add(out, file, i + 1, "sim-purity",
+            "wall-clock call '" + std::string(spec.token) +
+                "' in a deterministic tier; thread util::SimTime through "
+                "from the simulator or UDP runner instead");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// secret-hygiene: memset on key material is elidable under as-if; memcmp
+// on tags leaks match length through timing. util/secure.h has the
+// non-negotiable versions.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kWipeStems[] = {"key",   "secret", "seed",
+                                           "token", "nonce",  "priv",
+                                           "ikm",   "okm"};
+constexpr std::string_view kCompareStems[] = {"tag",    "token", "mac",
+                                              "digest", "key",   "secret",
+                                              "hmac",   "hash"};
+
+bool names_secret(std::string_view expr,
+                  std::span<const std::string_view> stems) {
+  const std::string text = lower(expr);
+  return std::any_of(stems.begin(), stems.end(), [&](std::string_view stem) {
+    return text.find(stem) != std::string::npos;
+  });
+}
+
+void check_secret_hygiene(const SourceFile& file, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string_view line = file.code[i];
+    for (const auto token : {std::string_view("memset"),
+                             std::string_view("bzero")}) {
+      std::size_t pos = find_token(line, token);
+      while (pos != std::string_view::npos) {
+        const std::size_t open = line.find('(', pos + token.size());
+        if (open != std::string_view::npos) {
+          const auto args = call_args(line, open);
+          if (!args.empty() && names_secret(args[0], kWipeStems)) {
+            add(out, file, i + 1, "secret-hygiene",
+                std::string(token) +
+                    " on secret-looking buffer may be elided by the "
+                    "optimizer; use util::secure_wipe");
+          }
+        }
+        pos = find_token(line, token, pos + 1);
+      }
+    }
+    std::size_t pos = find_token(line, "memcmp");
+    while (pos != std::string_view::npos) {
+      const std::size_t open = line.find('(', pos + 6);
+      if (open != std::string_view::npos) {
+        const auto args = call_args(line, open);
+        const bool secret =
+            std::any_of(args.begin(), args.end(), [](const std::string& a) {
+              return names_secret(a, kCompareStems);
+            });
+        if (secret) {
+          add(out, file, i + 1, "secret-hygiene",
+              "memcmp on tag/token material leaks match length through "
+              "timing; use util::ct_equal");
+        }
+      }
+      pos = find_token(line, "memcmp", pos + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// header-self-containment: every header carries #pragma once and directly
+// includes the std headers whose symbols it names, so it compiles from any
+// include order.
+// ---------------------------------------------------------------------------
+
+struct StdSymbol {
+  std::string_view symbol;  // identifier right after "std::"
+  // Any one of these includes satisfies the use.
+  std::array<std::string_view, 4> headers;
+};
+
+constexpr StdSymbol kStdSymbols[] = {
+    {"string", {"string"}},
+    {"string_view", {"string_view"}},
+    {"vector", {"vector"}},
+    {"array", {"array"}},
+    {"span", {"span"}},
+    {"deque", {"deque"}},
+    {"optional", {"optional"}},
+    {"nullopt", {"optional"}},
+    {"function", {"functional"}},
+    {"unordered_map", {"unordered_map"}},
+    {"unordered_set", {"unordered_set"}},
+    {"map", {"map"}},
+    {"set", {"set"}},
+    {"pair", {"utility"}},
+    {"make_pair", {"utility"}},
+    {"move", {"utility"}},
+    {"min", {"algorithm"}},
+    {"max", {"algorithm"}},
+    {"clamp", {"algorithm"}},
+    {"sort", {"algorithm"}},
+    {"fill", {"algorithm"}},
+    {"unique_ptr", {"memory"}},
+    {"shared_ptr", {"memory"}},
+    {"make_unique", {"memory"}},
+    {"make_shared", {"memory"}},
+    {"uint8_t", {"cstdint"}},
+    {"uint16_t", {"cstdint"}},
+    {"uint32_t", {"cstdint"}},
+    {"uint64_t", {"cstdint"}},
+    {"int8_t", {"cstdint"}},
+    {"int16_t", {"cstdint"}},
+    {"int32_t", {"cstdint"}},
+    {"int64_t", {"cstdint"}},
+    {"size_t", {"cstddef", "cstring", "cstdio", "cstdlib"}},
+    {"ptrdiff_t", {"cstddef"}},
+    {"memcpy", {"cstring"}},
+    {"memset", {"cstring"}},
+    {"memcmp", {"cstring"}},
+    {"strlen", {"cstring"}},
+    {"snprintf", {"cstdio"}},
+    {"printf", {"cstdio"}},
+    {"fprintf", {"cstdio"}},
+    {"FILE", {"cstdio"}},
+    {"chrono", {"chrono"}},
+    {"atomic", {"atomic"}},
+    {"mutex", {"mutex"}},
+    {"lock_guard", {"mutex"}},
+    {"thread", {"thread"}},
+    {"ostream", {"iosfwd", "ostream", "iostream", "sstream"}},
+    {"istream", {"iosfwd", "istream", "iostream", "sstream"}},
+    {"ofstream", {"fstream"}},
+    {"ifstream", {"fstream"}},
+    {"ostringstream", {"sstream"}},
+    {"istringstream", {"sstream"}},
+    {"runtime_error", {"stdexcept"}},
+    {"invalid_argument", {"stdexcept"}},
+    {"logic_error", {"stdexcept"}},
+    {"out_of_range", {"stdexcept"}},
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+void check_header_self_containment(const SourceFile& file,
+                                   std::vector<Finding>& out) {
+  if (!file.is_header) return;
+
+  const bool has_pragma =
+      std::any_of(file.raw.begin(), file.raw.end(), [](const std::string& l) {
+        return l.find("#pragma once") != std::string::npos;
+      });
+  if (!has_pragma) {
+    add(out, file, 1, "header-self-containment",
+        "header lacks #pragma once");
+  }
+
+  auto includes_any = [&](const std::array<std::string_view, 4>& headers) {
+    return std::any_of(
+        file.includes.begin(), file.includes.end(), [&](const std::string& inc) {
+          return std::any_of(headers.begin(), headers.end(),
+                             [&](std::string_view h) {
+                               return !h.empty() && inc == h;
+                             });
+        });
+  };
+
+  // Report each missing std header once, at its first use.
+  std::vector<std::string_view> reported;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string_view line = file.code[i];
+    std::size_t pos = line.find("std::");
+    while (pos != std::string_view::npos) {
+      std::size_t start = pos + 5;
+      std::size_t end = start;
+      while (end < line.size() && is_ident_char(line[end])) ++end;
+      const std::string_view symbol = line.substr(start, end - start);
+      for (const auto& entry : kStdSymbols) {
+        if (symbol != entry.symbol) continue;
+        if (includes_any(entry.headers)) break;
+        if (std::find(reported.begin(), reported.end(), entry.symbol) !=
+            reported.end()) {
+          break;
+        }
+        reported.push_back(entry.symbol);
+        add(out, file, i + 1, "header-self-containment",
+            "uses std::" + std::string(entry.symbol) +
+                " but does not include <" + std::string(entry.headers[0]) +
+                ">");
+        break;
+      }
+      pos = line.find("std::", end);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-return: datagram send/recv report delivery failure through
+// their return value; discarding it silently loses packets (and skews the
+// drop accounting the benchmarks rely on).
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kMustCheck[] = {"send_to", "sendto", "recvfrom",
+                                           "recv_from"};
+
+// Statement-position call: optional object/namespace chain from the start
+// of the line, then the call itself — i.e. the result has nowhere to go.
+bool discards_result(std::string_view line, std::string_view fn) {
+  const std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string_view::npos) return false;
+  const std::size_t pos = find_token(line, fn, i);
+  if (pos == std::string_view::npos) return false;
+  // Everything before the call must be an identifier chain glued with
+  // '.', '->', or '::' (e.g. `endpoint->`, `net::UdpEndpoint::`). Any
+  // other prefix (assignment, if-condition, return, a type name) means
+  // the result is consumed or the token is a declaration.
+  for (std::size_t j = i; j < pos; ++j) {
+    const char c = line[j];
+    const bool chain_char =
+        is_ident_char(c) || c == '.' || c == ':' ||
+        (c == '-' && j + 1 < pos && line[j + 1] == '>') ||
+        (c == '>' && j > i && line[j - 1] == '-');
+    if (!chain_char) return false;
+  }
+  std::size_t after = pos + fn.size();
+  while (after < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+    ++after;
+  }
+  return after < line.size() && line[after] == '(';
+}
+
+// True if line i begins a new statement: the previous non-blank code line
+// closed one. Guards against flagging the continuation lines of a wrapped
+// assignment (`const ssize_t sent =` / `    ::sendto(...)`).
+bool statement_start(const SourceFile& file, std::size_t i) {
+  for (std::size_t j = i; j-- > 0;) {
+    const std::string& prev = file.code[j];
+    const std::size_t last = prev.find_last_not_of(" \t");
+    if (last == std::string::npos) continue;  // blank (or scrubbed comment)
+    const char c = prev[last];
+    return c == ';' || c == '{' || c == '}';
+  }
+  return true;  // first code line of the file
+}
+
+void check_unchecked_return(const SourceFile& file,
+                            std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    for (const auto fn : kMustCheck) {
+      if (discards_result(file.code[i], fn) && statement_start(file, i)) {
+        add(out, file, i + 1, "unchecked-return",
+            "result of " + std::string(fn) +
+                " discarded; check it (and count drops) or cast to void "
+                "with a rationale");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"forbidden-rng",
+       "ad-hoc PRNG use outside util/rng and crypto/csprng", //
+       check_forbidden_rng},
+      {"sim-purity",
+       "wall-clock reads inside the deterministic tiers", //
+       check_sim_purity},
+      {"secret-hygiene",
+       "elidable memset / timing-leaky memcmp on secret material", //
+       check_secret_hygiene},
+      {"header-self-containment",
+       "headers must carry #pragma once and their own std includes", //
+       check_header_self_containment},
+      {"unchecked-return",
+       "transport send/recv results must not be discarded", //
+       check_unchecked_return},
+  };
+  return kRules;
+}
+
+}  // namespace cadet::lint
