@@ -1,5 +1,6 @@
 #include "cadet/client_node.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "cadet/config.h"
@@ -12,6 +13,7 @@ namespace cadet {
 ClientNode::ClientNode(const Config& config)
     : config_(config),
       csprng_(config.seed ^ 0xc11e47c11e47ULL),
+      rng_(config.seed ^ 0xbacc0ffULL),
       pool_(config.pool_bits) {
   if (config.metrics != nullptr) {
     metrics_ = config.metrics;
@@ -25,18 +27,46 @@ ClientNode::ClientNode(const Config& config)
       &metrics_->counter("cadet_client_requests_fulfilled", labels);
   ctr_.requests_expired =
       &metrics_->counter("cadet_client_requests_expired", labels);
+  ctr_.requests_retried =
+      &metrics_->counter("cadet_client_requests_retried", labels);
+  ctr_.requests_fallback =
+      &metrics_->counter("cadet_client_requests_fallback", labels);
+  ctr_.dupes_dropped =
+      &metrics_->counter("cadet_client_dupes_dropped", labels);
   ctr_.uploads_sent = &metrics_->counter("cadet_client_uploads_sent", labels);
   ctr_.bytes_received =
       &metrics_->counter("cadet_client_bytes_received", labels);
   pool_.bind_metrics(*metrics_, labels);
 }
 
+util::Bytes ClientNode::wire(Packet packet) {
+  if (++tx_seq_ == 0) ++tx_seq_;  // 0 is the "unsequenced" sentinel
+  packet.header.seq = tx_seq_;
+  return encode(packet);
+}
+
+util::SimTime ClientNode::backoff_delay(util::SimTime base,
+                                        std::size_t attempt) {
+  const double scale = static_cast<double>(
+      std::uint64_t{1} << std::min<std::size_t>(attempt, 10));
+  const double jitter = 1.0 + 0.1 * (2.0 * rng_.uniform01() - 1.0);
+  return static_cast<util::SimTime>(static_cast<double>(base) * scale *
+                                    jitter);
+}
+
 std::vector<net::Outgoing> ClientNode::begin_init(util::SimTime now,
                                                   RegCallback on_complete) {
-  (void)now;
   on_init_complete_ = std::move(on_complete);
+  init_attempts_ = 0;
+  return send_init(now);
+}
+
+std::vector<net::Outgoing> ClientNode::send_init(util::SimTime now) {
+  (void)now;
   // Fresh keypair + nonce. Key generation is the expensive one-time entropy
-  // and compute spend the token scheme exists to avoid repeating.
+  // and compute spend the token scheme exists to avoid repeating. Retries
+  // re-run the whole handshake (new keypair, new nonce) so a stale server
+  // pending entry or a deduplicated packet can never wedge registration.
   init_keypair_ = make_keypair(csprng_);
   init_nonce_ = csprng_.array<8>();
   cost_.add(cost::kX25519 + cost::kCraftPacket);
@@ -46,7 +76,20 @@ std::vector<net::Outgoing> ClientNode::begin_init(util::SimTime now,
       encode_reg_request(init_keypair_->public_key, *init_nonce_),
       /*req=*/true, /*ack=*/false, /*client_edge=*/false,
       /*edge_server=*/false);
-  return {{config_.server, encode(p)}};
+  schedule_init_retry();
+  return {{config_.server, wire(std::move(p))}};
+}
+
+void ClientNode::schedule_init_retry() {
+  if (!config_.timer) return;
+  const std::size_t attempt = init_attempts_++;
+  if (attempt >= config_.max_reg_retries) return;
+  config_.timer(backoff_delay(config_.reg_retry_base, attempt),
+                [this](util::SimTime now) -> std::vector<net::Outgoing> {
+                  if (initialized()) return {};
+                  obs::emit(now, "init_retry", "client", config_.id, {});
+                  return send_init(now);
+                });
 }
 
 std::vector<net::Outgoing> ClientNode::begin_rereg(util::SimTime now,
@@ -57,6 +100,11 @@ std::vector<net::Outgoing> ClientNode::begin_rereg(util::SimTime now,
     return {};
   }
   on_rereg_complete_ = std::move(on_complete);
+  rereg_attempts_ = 0;
+  return send_rereg(now);
+}
+
+std::vector<net::Outgoing> ClientNode::send_rereg(util::SimTime now) {
   const auto hash = token_hash(*token_, token_window(now));
   cost_.add(cost::kTokenHash + cost::kCraftPacket);
 
@@ -66,7 +114,20 @@ std::vector<net::Outgoing> ClientNode::begin_rereg(util::SimTime now,
   Packet p = Packet::registration(RegSubtype::kReregReq, std::move(payload),
                                   /*req=*/true, /*ack=*/false,
                                   /*client_edge=*/true, /*edge_server=*/false);
-  return {{config_.edge, encode(p)}};
+  schedule_rereg_retry();
+  return {{config_.edge, wire(std::move(p))}};
+}
+
+void ClientNode::schedule_rereg_retry() {
+  if (!config_.timer) return;
+  const std::size_t attempt = rereg_attempts_++;
+  if (attempt >= config_.max_reg_retries) return;
+  config_.timer(backoff_delay(config_.reg_retry_base, attempt),
+                [this](util::SimTime now) -> std::vector<net::Outgoing> {
+                  if (reregistered() || !csk_ || !token_) return {};
+                  obs::emit(now, "rereg_retry", "client", config_.id, {});
+                  return send_rereg(now);
+                });
 }
 
 std::vector<net::Outgoing> ClientNode::request_entropy(
@@ -83,13 +144,58 @@ std::vector<net::Outgoing> ClientNode::request_entropy(
   obs::emit(now, "request", "client", config_.id,
             {{"bits", static_cast<double>(bits)},
              {"e2e", end_to_end ? 1.0 : 0.0}});
-  pending_.push_back(
-      PendingRequest{bits, std::move(on_complete), end_to_end, now});
   Packet p = end_to_end
                  ? Packet::data_request_e2e(bits, /*edge_server=*/false,
                                             config_.id)
                  : Packet::data_request(bits, /*edge_server=*/false);
-  return {{config_.edge, encode(p)}};
+  // Retransmissions resend these exact bytes (same sequence number), so a
+  // retry whose first copy arrived is absorbed by the receiver's dedup
+  // window instead of being served twice.
+  util::Bytes datagram = wire(std::move(p));
+  const std::uint64_t request_id = next_request_id_++;
+  pending_.push_back(PendingRequest{bits, std::move(on_complete), end_to_end,
+                                    now, request_id, 0, datagram});
+  schedule_request_retry(request_id, 0);
+  return {{config_.edge, std::move(datagram)}};
+}
+
+void ClientNode::schedule_request_retry(std::uint64_t request_id,
+                                        std::size_t attempt) {
+  if (!config_.timer) return;
+  config_.timer(backoff_delay(config_.request_retry_base, attempt),
+                [this, request_id](util::SimTime now) {
+                  return retry_request(request_id, now);
+                });
+}
+
+std::vector<net::Outgoing> ClientNode::retry_request(std::uint64_t request_id,
+                                                     util::SimTime now) {
+  const auto it =
+      std::find_if(pending_.begin(), pending_.end(),
+                   [&](const PendingRequest& r) { return r.id == request_id; });
+  if (it == pending_.end()) return {};  // fulfilled or expired meanwhile
+
+  if (it->attempts >= config_.max_request_retries) {
+    // Graceful degradation (Kietzmann et al.): the service is unreachable,
+    // so answer from the local CSPRNG instead of blocking the consumer.
+    PendingRequest req = std::move(*it);
+    pending_.erase(it);
+    ctr_.requests_fallback->inc();
+    obs::emit(now, "fallback", "client", config_.id,
+              {{"bits", static_cast<double>(req.bits)},
+               {"attempts", static_cast<double>(req.attempts)}});
+    const util::Bytes local = csprng_.bytes((req.bits + 7) / 8);
+    if (req.callback) req.callback(local, now);
+    return {};
+  }
+
+  ++it->attempts;
+  ctr_.requests_retried->inc();
+  cost_.add(cost::kCraftPacket);
+  obs::emit(now, "request_retry", "client", config_.id,
+            {{"attempt", static_cast<double>(it->attempts)}});
+  schedule_request_retry(request_id, it->attempts);
+  return {{config_.edge, it->wire}};
 }
 
 std::vector<net::Outgoing> ClientNode::upload_entropy(util::Bytes payload,
@@ -99,7 +205,7 @@ std::vector<net::Outgoing> ClientNode::upload_entropy(util::Bytes payload,
   obs::emit(now, "upload", "client", config_.id,
             {{"bytes", static_cast<double>(payload.size())}});
   Packet p = Packet::data_upload(std::move(payload), /*edge_server=*/false);
-  return {{config_.edge, encode(p)}};
+  return {{config_.edge, wire(std::move(p))}};
 }
 
 void ClientNode::expire_stale_requests(util::SimTime now) {
@@ -136,6 +242,16 @@ std::vector<net::Outgoing> ClientNode::on_packet(net::NodeId from,
       default:
         return {};
     }
+  }
+  // Duplicate suppression for data packets (network dupes and absorbed
+  // retransmissions). Registration packets are excluded: handshakes are
+  // replay-protected by their nonces and retried handshakes are fresh.
+  if (packet->header.dat && !replay_.accept(from, packet->header.seq)) {
+    ctr_.dupes_dropped->inc();
+    obs::emit(now, "dupe_drop", "client", config_.id,
+              {{"from", static_cast<double>(from)},
+               {"seq", static_cast<double>(packet->header.seq)}});
+    return {};
   }
   if (packet->header.dat && packet->header.ack) {
     handle_data_ack(*packet, now);
@@ -193,7 +309,7 @@ std::vector<net::Outgoing> ClientNode::handle_init_ack(const Packet& packet,
                                       /*edge_server=*/false,
                                       /*encrypted=*/true);
   if (on_init_complete_) on_init_complete_(now);
-  return {{config_.server, encode(reply)}};
+  return {{config_.server, wire(std::move(reply))}};
 }
 
 void ClientNode::handle_rereg_ack(const Packet& packet, util::SimTime now) {

@@ -16,12 +16,14 @@
 #include <optional>
 #include <vector>
 
+#include "cadet/dedup.h"
 #include "cadet/node_common.h"
 #include "cadet/packet.h"
 #include "cadet/registration.h"
 #include "entropy/pool.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace cadet {
 
@@ -34,10 +36,21 @@ class ClientNode {
     std::uint64_t seed = 0;
     std::size_t pool_bits = kClientBufferBits;
     /// Requests unanswered after this long are expired (their callback
-    /// fires with empty data). UDP gives no delivery guarantee and the
-    /// protocol has no retransmission, so without expiry a lost packet
-    /// would leak a pending entry forever. Checked lazily.
+    /// fires with empty data). UDP gives no delivery guarantee, so without
+    /// expiry a lost packet would leak a pending entry forever. Checked
+    /// lazily; with a wired `timer` the retry/fallback chain normally
+    /// resolves a request well before this backstop.
     util::SimTime request_timeout = 10 * util::kSecond;
+    /// Timer hook for retransmission/backoff (testbed::World wires it to
+    /// the simulator). Null = lazy expiry only, no retries.
+    EngineTimer timer;
+    /// Request retransmissions before degrading to the local CSPRNG.
+    std::size_t max_request_retries = kMaxRequestRetries;
+    /// First retransmission delay; doubles per attempt with ±10 % jitter.
+    util::SimTime request_retry_base = kRequestRetryBaseNs;
+    /// Registration handshake re-issues before giving up.
+    std::size_t max_reg_retries = kMaxRegRetries;
+    util::SimTime reg_retry_base = kRegRetryBaseNs;
     /// Shared metrics registry (testbed::World wires its own). When null
     /// the node keeps a private registry, so standalone nodes (unit tests)
     /// stay isolated.
@@ -97,6 +110,18 @@ class ClientNode {
   std::uint64_t requests_expired() const noexcept {
     return ctr_.requests_expired->value();
   }
+  std::uint64_t requests_retried() const noexcept {
+    return ctr_.requests_retried->value();
+  }
+  /// Requests answered from the local CSPRNG after retries were exhausted
+  /// (graceful degradation; Kietzmann et al.'s "fall back to local
+  /// generation" guideline).
+  std::uint64_t requests_fallback() const noexcept {
+    return ctr_.requests_fallback->value();
+  }
+  std::uint64_t dupes_dropped() const noexcept {
+    return ctr_.dupes_dropped->value();
+  }
   std::size_t requests_pending() const noexcept { return pending_.size(); }
 
   /// Registry this node publishes to (its own unless Config wired one).
@@ -109,10 +134,26 @@ class ClientNode {
   void handle_data_ack(const Packet& packet, util::SimTime now);
   void expire_stale_requests(util::SimTime now);
 
+  /// Stamp the next tx sequence number and serialize.
+  util::Bytes wire(Packet packet);
+  /// base * 2^attempt, jittered ±10 % (deterministic per seed).
+  util::SimTime backoff_delay(util::SimTime base, std::size_t attempt);
+
+  std::vector<net::Outgoing> send_init(util::SimTime now);
+  std::vector<net::Outgoing> send_rereg(util::SimTime now);
+  void schedule_init_retry();
+  void schedule_rereg_retry();
+  void schedule_request_retry(std::uint64_t request_id, std::size_t attempt);
+  std::vector<net::Outgoing> retry_request(std::uint64_t request_id,
+                                           util::SimTime now);
+
   Config config_;
   crypto::Csprng csprng_;
+  util::Xoshiro256 rng_;  // backoff jitter (simulation-grade, seeded)
   entropy::EntropyPool pool_;
   CostMeter cost_;
+  ReplayFilter replay_;
+  std::uint16_t tx_seq_ = 0;
 
   // Metrics (owned registry only when none was wired via Config).
   std::shared_ptr<obs::Registry> owned_metrics_;
@@ -121,6 +162,9 @@ class ClientNode {
     obs::Counter* requests_sent = nullptr;
     obs::Counter* requests_fulfilled = nullptr;
     obs::Counter* requests_expired = nullptr;
+    obs::Counter* requests_retried = nullptr;
+    obs::Counter* requests_fallback = nullptr;
+    obs::Counter* dupes_dropped = nullptr;
     obs::Counter* uploads_sent = nullptr;
     obs::Counter* bytes_received = nullptr;
   } ctr_;
@@ -133,14 +177,20 @@ class ClientNode {
   std::optional<SharedKey> cek_;
   RegCallback on_init_complete_;
   RegCallback on_rereg_complete_;
+  std::size_t init_attempts_ = 0;
+  std::size_t rereg_attempts_ = 0;
 
   struct PendingRequest {
     std::uint16_t bits;
     RequestCallback callback;
     bool end_to_end = false;
     util::SimTime issued_at = 0;
+    std::uint64_t id = 0;          // retry bookkeeping
+    std::size_t attempts = 0;      // retransmissions so far
+    util::Bytes wire;              // original datagram (same seq on retry)
   };
   std::deque<PendingRequest> pending_;
+  std::uint64_t next_request_id_ = 1;
 };
 
 }  // namespace cadet

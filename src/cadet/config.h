@@ -49,6 +49,29 @@ inline constexpr std::int64_t kRefillTimeoutNs = 2'000'000'000;  // 2 s
 /// Bounds the pending queue against clients that vanish.
 inline constexpr std::int64_t kEdgePendingTimeoutNs = 8'000'000'000;  // 8 s
 
+// ------------------------------------------------------ retry / backoff
+// Timer-driven robustness (engines with a wired EngineTimer). Delays double
+// per attempt with ±10 % deterministic jitter so synchronized clients do
+// not retransmit in lockstep.
+
+/// First client request retransmission fires this long after the request.
+inline constexpr std::int64_t kRequestRetryBaseNs = 1'000'000'000;  // 1 s
+
+/// Retransmissions per request before degrading to the local CSPRNG
+/// fallback. With a 1 s base the whole chain (1+2+4 s, plus jitter)
+/// resolves before the 10 s lazy request_timeout.
+inline constexpr std::size_t kMaxRequestRetries = 3;
+
+/// Registration handshakes re-issued (fresh keypair + nonce) when no
+/// acknowledgement arrived. Bounded so a dead server cannot spin timers
+/// forever.
+inline constexpr std::size_t kMaxRegRetries = 5;
+inline constexpr std::int64_t kRegRetryBaseNs = 1'000'000'000;  // 1 s
+
+/// Consecutive timer-driven refill re-issues at the edge before the timer
+/// chain stops (lazy traffic-driven refill still re-arms it later).
+inline constexpr std::size_t kMaxRefillRetries = 6;
+
 // ----------------------------------------------------------------- upload
 /// Edge forwards its upload buffer to the server once it holds this many
 /// payload bytes ("after enough entropy data has accumulated", §III-A).

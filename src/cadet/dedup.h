@@ -1,0 +1,77 @@
+// Receive-side duplicate suppression for data packets.
+//
+// UDP (and the fault-injecting transports that model it) can deliver a
+// datagram zero, one, or many times. Every engine stamps outgoing packets
+// with a per-sender 16-bit sequence number (packet.h bytes 5-6); receivers
+// run DAT packets through a ReplayFilter so a duplicated upload never
+// double-credits a device and a duplicated delivery never double-serves
+// entropy. Deliberate retransmissions reuse their original sequence number,
+// so a retry whose first copy actually arrived is absorbed here instead of
+// being processed twice.
+//
+// The filter is the DTLS/QUIC-style sliding window: per sender it tracks
+// the highest sequence seen plus a 64-deep bitmap of recently seen values,
+// with RFC 1982 serial arithmetic so the 16-bit counter wraps cleanly. A
+// sequence far *behind* the window (> 64 back) is taken as a peer restart
+// and re-initializes the window — a rebooted node must not be deadlocked by
+// its own pre-crash numbering.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/transport.h"
+
+namespace cadet {
+
+class ReplayFilter {
+ public:
+  static constexpr std::uint16_t kWindowBits = 64;
+
+  /// Returns true if (from, seq) is fresh and records it; false if it is a
+  /// duplicate that must be dropped. seq 0 means "unsequenced" (packets
+  /// built without an engine, e.g. hand-crafted in tests) and is always
+  /// accepted.
+  bool accept(net::NodeId from, std::uint16_t seq) {
+    if (seq == 0) return true;
+    Window& w = windows_[from];
+    if (!w.any) {
+      w.any = true;
+      w.max_seq = seq;
+      w.bits = 1;
+      return true;
+    }
+    const std::int16_t diff =
+        static_cast<std::int16_t>(static_cast<std::uint16_t>(seq - w.max_seq));
+    if (diff > 0) {
+      // Ahead of the window: slide forward.
+      w.bits = diff >= kWindowBits ? 1 : (w.bits << diff) | 1;
+      w.max_seq = seq;
+      return true;
+    }
+    const std::uint16_t back = static_cast<std::uint16_t>(-diff);
+    if (back >= kWindowBits) {
+      // Far behind: the peer restarted its counter. Accept and re-anchor.
+      w.max_seq = seq;
+      w.bits = 1;
+      return true;
+    }
+    const std::uint64_t mask = 1ULL << back;
+    if ((w.bits & mask) != 0) return false;  // duplicate
+    w.bits |= mask;
+    return true;
+  }
+
+  /// Forget a sender's window (e.g. when its registration state is reset).
+  void forget(net::NodeId from) { windows_.erase(from); }
+
+ private:
+  struct Window {
+    std::uint16_t max_seq = 0;
+    std::uint64_t bits = 0;
+    bool any = false;
+  };
+  std::unordered_map<net::NodeId, Window> windows_;
+};
+
+}  // namespace cadet

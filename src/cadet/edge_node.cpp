@@ -47,7 +47,27 @@ EdgeNode::EdgeNode(const Config& config)
       &metrics_->counter("cadet_edge_timing_bytes_injected", labels);
   ctr_.reregistrations =
       &metrics_->counter("cadet_edge_reregistrations", labels);
+  ctr_.dupes_dropped = &metrics_->counter("cadet_edge_dupes_dropped", labels);
+  ctr_.refill_retries =
+      &metrics_->counter("cadet_edge_refill_retries", labels);
+  ctr_.bytes_delivered =
+      &metrics_->counter("cadet_edge_bytes_delivered", labels);
   cache_gauge_ = &metrics_->gauge("cadet_edge_cache_bytes", labels);
+}
+
+util::Bytes EdgeNode::wire(Packet packet) {
+  if (++tx_seq_ == 0) ++tx_seq_;  // 0 is the "unsequenced" sentinel
+  packet.header.seq = tx_seq_;
+  return encode(packet);
+}
+
+util::SimTime EdgeNode::backoff_delay(util::SimTime base,
+                                      std::size_t attempt) {
+  const double scale = static_cast<double>(
+      std::uint64_t{1} << std::min<std::size_t>(attempt, 10));
+  const double jitter = 1.0 + 0.1 * (2.0 * rng_.uniform01() - 1.0);
+  return static_cast<util::SimTime>(static_cast<double>(base) * scale *
+                                    jitter);
 }
 
 EdgeNode::Stats EdgeNode::stats() const noexcept {
@@ -64,13 +84,23 @@ EdgeNode::Stats EdgeNode::stats() const noexcept {
   s.e2e_forwarded = ctr_.e2e_forwarded->value();
   s.timing_bytes_injected = ctr_.timing_bytes_injected->value();
   s.reregistrations = ctr_.reregistrations->value();
+  s.dupes_dropped = ctr_.dupes_dropped->value();
+  s.refill_retries = ctr_.refill_retries->value();
+  s.bytes_delivered = ctr_.bytes_delivered->value();
   return s;
 }
 
 std::vector<net::Outgoing> EdgeNode::begin_edge_reg(util::SimTime now,
                                                     RegCallback on_complete) {
-  (void)now;
   on_reg_complete_ = std::move(on_complete);
+  reg_attempts_ = 0;
+  return send_edge_reg(now);
+}
+
+std::vector<net::Outgoing> EdgeNode::send_edge_reg(util::SimTime now) {
+  (void)now;
+  // Retries re-run the whole handshake (fresh keypair + nonce) so a stale
+  // server pending entry can never wedge registration.
   reg_keypair_ = make_keypair(csprng_);
   reg_nonce_ = csprng_.array<8>();
   cost_.add(cost::kX25519 + cost::kCraftPacket);
@@ -80,7 +110,20 @@ std::vector<net::Outgoing> EdgeNode::begin_edge_reg(util::SimTime now,
       encode_reg_request(reg_keypair_->public_key, *reg_nonce_),
       /*req=*/true, /*ack=*/false, /*client_edge=*/false,
       /*edge_server=*/true);
-  return {{config_.server, encode(p)}};
+  schedule_reg_retry();
+  return {{config_.server, wire(std::move(p))}};
+}
+
+void EdgeNode::schedule_reg_retry() {
+  if (!config_.timer) return;
+  const std::size_t attempt = reg_attempts_++;
+  if (attempt >= config_.max_reg_retries) return;
+  config_.timer(backoff_delay(config_.reg_retry_base, attempt),
+                [this](util::SimTime now) -> std::vector<net::Outgoing> {
+                  if (registered()) return {};
+                  obs::emit(now, "reg_retry", "edge", config_.id, {});
+                  return send_edge_reg(now);
+                });
 }
 
 std::vector<net::Outgoing> EdgeNode::on_packet(net::NodeId from,
@@ -112,7 +155,17 @@ std::vector<net::Outgoing> EdgeNode::on_packet(net::NodeId from,
     return handle_reg_packet(from, *packet, now);
   }
 
-  // Data packets.
+  // Data packets. Duplicate suppression first: a network-duplicated upload
+  // must not double-credit its device and a retransmitted request whose
+  // first copy arrived must not be served twice.
+  if (!replay_.accept(from, packet->header.seq)) {
+    usage_.tick();
+    ctr_.dupes_dropped->inc();
+    obs::emit(now, "dupe_drop", "edge", config_.id,
+              {{"from", static_cast<double>(from)},
+               {"seq", static_cast<double>(packet->header.seq)}});
+    return {};
+  }
   if (from == config_.server) {
     usage_.tick();
     return handle_server_data(*packet, now);
@@ -196,7 +249,7 @@ std::vector<net::Outgoing> EdgeNode::handle_client_upload(
     ctr_.bulk_uploads_sent->inc();
     obs::emit(now, "bulk_upload", "edge", config_.id,
               {{"bytes", static_cast<double>(bulk_bytes)}});
-    out.push_back({config_.server, encode(bulk)});
+    out.push_back({config_.server, wire(std::move(bulk))});
   }
   return out;
 }
@@ -226,7 +279,7 @@ std::vector<net::Outgoing> EdgeNode::handle_client_request(
     cost_.add(cost::kCraftPacket);
     Packet fwd = Packet::data_request_e2e(packet.header.argument,
                                           /*edge_server=*/true, client);
-    return {{config_.server, encode(fwd)}};
+    return {{config_.server, wire(std::move(fwd))}};
   }
 
   const bool heavy = usage_.is_heavy(client);
@@ -279,11 +332,32 @@ std::vector<net::Outgoing> EdgeNode::maybe_refill(std::size_t extra_bytes,
   cost_.add(cost::kCraftPacket);
   refill_outstanding_ = true;
   refill_sent_at_ = now;
+  ++refill_epoch_;
+  schedule_refill_retry();
   obs::emit(now, "refill", "edge", config_.id,
             {{"bits", static_cast<double>(bits)},
              {"cache_bytes", static_cast<double>(cache_.size_bytes())}});
   Packet req = Packet::data_request(bits, /*edge_server=*/true);
-  return {{config_.server, encode(req)}};
+  return {{config_.server, wire(std::move(req))}};
+}
+
+void EdgeNode::schedule_refill_retry() {
+  if (!config_.timer) return;  // lazy traffic-driven timeout still applies
+  const std::uint64_t epoch = refill_epoch_;
+  config_.timer(
+      backoff_delay(kRefillTimeoutNs, refill_retries_),
+      [this, epoch](util::SimTime now) -> std::vector<net::Outgoing> {
+        // Only act when *this* refill is still the outstanding one: a
+        // response (or a newer refill) bumps state and orphans this timer.
+        if (!refill_outstanding_ || refill_epoch_ != epoch) return {};
+        if (refill_retries_ >= config_.max_refill_retries) return {};
+        refill_outstanding_ = false;
+        ++refill_retries_;
+        ctr_.refill_retries->inc();
+        obs::emit(now, "refill_retry", "edge", config_.id,
+                  {{"attempt", static_cast<double>(refill_retries_)}});
+        return maybe_refill(0, now);
+      });
 }
 
 std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
@@ -297,9 +371,12 @@ std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
     const net::NodeId client = util::get_u32_be(packet.payload.data());
     util::Bytes sealed(packet.payload.begin() + 4, packet.payload.end());
     cost_.add(cost::kCraftPacket);
+    // Sealed size upper-bounds the plaintext, so the delivered-bytes
+    // invariant (Σ client bytes_received ≤ Σ edge bytes_delivered) holds.
+    ctr_.bytes_delivered->inc(sealed.size());
     Packet fwd = Packet::data_ack_e2e(std::move(sealed),
                                       /*edge_server=*/false);
-    return {{client, encode(fwd)}};
+    return {{client, wire(std::move(fwd))}};
   }
 
   // TCP-style smoothed RTT of the refill round trip feeds the adaptive
@@ -309,6 +386,7 @@ std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
     refill_rtt_s_ = 0.875 * refill_rtt_s_ + 0.125 * sample_s;
   }
   refill_outstanding_ = false;
+  refill_retries_ = 0;  // a genuine response resets the retry budget
 
   util::Bytes delivered;
   if (packet.header.encrypted) {
@@ -367,17 +445,18 @@ std::vector<net::Outgoing> EdgeNode::drain_pending(util::SimTime now) {
 
 net::Outgoing EdgeNode::make_client_delivery(net::NodeId client,
                                              util::Bytes data) {
+  ctr_.bytes_delivered->inc(data.size());
   const auto key_it = client_keys_.find(client);
   if (key_it != client_keys_.end()) {
     cost_.add(cost::kSealPerByte * static_cast<double>(data.size()));
     util::Bytes sealed = seal(key_it->second, data, csprng_);
     return {client,
-            encode(Packet::data_ack(std::move(sealed), /*edge_server=*/false,
-                                    /*encrypted=*/true))};
+            wire(Packet::data_ack(std::move(sealed), /*edge_server=*/false,
+                                  /*encrypted=*/true))};
   }
-  return {client, encode(Packet::data_ack(std::move(data),
-                                          /*edge_server=*/false,
-                                          /*encrypted=*/false))};
+  return {client, wire(Packet::data_ack(std::move(data),
+                                        /*edge_server=*/false,
+                                        /*encrypted=*/false))};
 }
 
 std::vector<net::Outgoing> EdgeNode::note_open_failure(util::SimTime now) {
@@ -460,7 +539,7 @@ std::vector<net::Outgoing> EdgeNode::handle_reg_packet(net::NodeId from,
           RegSubtype::kEdgeRegAck, std::move(sealed), /*req=*/false,
           /*ack=*/true, /*client_edge=*/false, /*edge_server=*/true,
           /*encrypted=*/true);
-      return {{config_.server, encode(reply)}};
+      return {{config_.server, wire(std::move(reply))}};
     }
 
     case RegSubtype::kReregReq: {
@@ -478,7 +557,7 @@ std::vector<net::Outgoing> EdgeNode::handle_reg_packet(net::NodeId from,
           RegSubtype::kReregFwd, std::move(sealed), /*req=*/true,
           /*ack=*/false, /*client_edge=*/false, /*edge_server=*/true,
           /*encrypted=*/true);
-      return {{config_.server, encode(fwd)}};
+      return {{config_.server, wire(std::move(fwd))}};
     }
 
     case RegSubtype::kReregAckToEdge: {
@@ -503,7 +582,7 @@ std::vector<net::Outgoing> EdgeNode::handle_reg_packet(net::NodeId from,
           RegSubtype::kReregAckToClient, std::move(client_part),
           /*req=*/false, /*ack=*/true, /*client_edge=*/true,
           /*edge_server=*/false, /*encrypted=*/true);
-      return {{client, encode(fwd)}};
+      return {{client, wire(std::move(fwd))}};
     }
 
     default:

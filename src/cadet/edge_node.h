@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cadet/cache.h"
+#include "cadet/dedup.h"
 #include "cadet/node_common.h"
 #include "cadet/packet.h"
 #include "cadet/penalty.h"
@@ -65,6 +66,15 @@ class EdgeNode {
     /// (e.g. the server restarted and lost the esk), the edge abandons its
     /// key and re-registers. 0 disables.
     std::size_t reregister_after_failures = 3;
+    /// Timer hook for retransmission/backoff (testbed::World wires it to
+    /// the simulator). Null = lazy, traffic-driven timeouts only.
+    EngineTimer timer;
+    /// Registration handshake re-issues before giving up.
+    std::size_t max_reg_retries = kMaxRegRetries;
+    util::SimTime reg_retry_base = kRegRetryBaseNs;
+    /// Consecutive timer-driven refill re-issues before the chain stops
+    /// (lazy refill re-arms it on later traffic).
+    std::size_t max_refill_retries = kMaxRefillRetries;
     /// Shared metrics registry (testbed::World wires its own). When null
     /// the node keeps a private registry, so standalone nodes (unit tests)
     /// stay isolated.
@@ -106,6 +116,9 @@ class EdgeNode {
     std::uint64_t e2e_forwarded = 0;     // untrusted-edge relays
     std::uint64_t timing_bytes_injected = 0;
     std::uint64_t reregistrations = 0;   // recoveries from a lost esk
+    std::uint64_t dupes_dropped = 0;     // duplicate data packets suppressed
+    std::uint64_t refill_retries = 0;    // timer-driven refill re-issues
+    std::uint64_t bytes_delivered = 0;   // entropy bytes shipped to clients
   };
   /// Snapshot assembled from the registry counters (the counters are the
   /// single source of truth; this keeps existing call sites working).
@@ -135,6 +148,14 @@ class EdgeNode {
                                           util::SimTime now);
   std::vector<net::Outgoing> drain_pending(util::SimTime now);
 
+  /// Stamp the next tx sequence number and serialize.
+  util::Bytes wire(Packet packet);
+  /// base * 2^attempt, jittered ±10 % (deterministic per seed).
+  util::SimTime backoff_delay(util::SimTime base, std::size_t attempt);
+  std::vector<net::Outgoing> send_edge_reg(util::SimTime now);
+  void schedule_reg_retry();
+  void schedule_refill_retry();
+
   Config config_;
   crypto::Csprng csprng_;
   util::Xoshiro256 rng_;
@@ -143,6 +164,8 @@ class EdgeNode {
   PenaltyTable penalty_;
   SanityChecker sanity_;
   CostMeter cost_;
+  ReplayFilter replay_;
+  std::uint16_t tx_seq_ = 0;
 
   // Metrics (owned registry only when none was wired via Config).
   std::shared_ptr<obs::Registry> owned_metrics_;
@@ -160,6 +183,9 @@ class EdgeNode {
     obs::Counter* e2e_forwarded = nullptr;
     obs::Counter* timing_bytes_injected = nullptr;
     obs::Counter* reregistrations = nullptr;
+    obs::Counter* dupes_dropped = nullptr;
+    obs::Counter* refill_retries = nullptr;
+    obs::Counter* bytes_delivered = nullptr;
   } ctr_;
   obs::Gauge* cache_gauge_ = nullptr;
 
@@ -176,6 +202,7 @@ class EdgeNode {
   std::optional<Nonce> reg_nonce_;
   std::optional<SharedKey> esk_;
   RegCallback on_reg_complete_;
+  std::size_t reg_attempts_ = 0;
 
   // client-edge keys established via reregistration
   std::unordered_map<net::NodeId, SharedKey> client_keys_;
@@ -189,6 +216,10 @@ class EdgeNode {
   std::deque<PendingRequest> pending_;
   bool refill_outstanding_ = false;
   util::SimTime refill_sent_at_ = 0;
+  /// Bumped whenever a refill request leaves; a retry timer only acts if
+  /// its captured epoch still matches (i.e. no response arrived meanwhile).
+  std::uint64_t refill_epoch_ = 0;
+  std::size_t refill_retries_ = 0;
   std::size_t consecutive_open_failures_ = 0;
 
   /// Extract up to n bytes from the timing-jitter state.

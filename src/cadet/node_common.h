@@ -7,12 +7,28 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <vector>
 
+#include "net/transport.h"
 #include "nist/battery.h"
 #include "util/bytes.h"
+#include "util/time.h"
 
 namespace cadet {
+
+/// A deferred unit of engine work: runs at a simulated time and returns the
+/// packets to transmit (same shape as an engine handler).
+using EngineWork =
+    std::function<std::vector<net::Outgoing>(util::SimTime now)>;
+
+/// Timer hook the embedding runtime (testbed::World, a live UDP runner)
+/// wires into an engine Config: schedule `work` to run `delay` from now on
+/// this node's CPU. Engines use it for retransmission/backoff timers; when
+/// left null the engine falls back to lazy, traffic-driven expiry only.
+using EngineTimer =
+    std::function<void(util::SimTime delay, EngineWork work)>;
 
 /// Accumulates simulated CPU cycles spent inside an engine call.
 class CostMeter {

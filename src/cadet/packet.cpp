@@ -105,6 +105,10 @@ util::Bytes encode(const Packet& packet) {
                      ? static_cast<std::uint8_t>(packet.header.subtype)
                      : static_cast<std::uint8_t>(packet.header.end_to_end ? 1
                                                                           : 0));
+  std::uint8_t seq[2];
+  util::put_u16_be(seq, packet.header.seq);
+  wire.push_back(seq[0]);
+  wire.push_back(seq[1]);
   util::append(wire, packet.payload);
   return wire;
 }
@@ -140,10 +144,16 @@ std::optional<Packet> decode(util::BytesView wire) {
     if (p.header.end_to_end && !p.header.encrypted) return std::nullopt;
   }
 
+  p.header.seq = util::get_u16_be(wire.data() + 5);
   p.payload.assign(wire.begin() + kHeaderBytes, wire.end());
   // For data packets carrying payload the argument must describe it.
   if (p.header.dat && !p.header.req &&
       p.payload.size() != p.header.argument) {
+    return std::nullopt;
+  }
+  // Registration payloads are length-framed by the argument field too, so
+  // a truncated handshake is rejected here instead of confusing an engine.
+  if (p.header.reg && p.payload.size() != p.header.argument) {
     return std::nullopt;
   }
   // End-to-end requests must carry the 4-byte client id.

@@ -1,14 +1,20 @@
 // CADET wire format (paper Fig. 4).
 //
-// Every packet starts with a four-byte header:
+// Every packet starts with a fixed header:
 //   byte 0 : version (5 bits) | reserved (3 bits)
 //   byte 1 : REG DAT REQ ACK C-E E-S ENC URG   (one bit each)
 //   bytes 2-3 : argument — request size in BITS for entropy requests,
 //               payload size in BYTES for entropy data packets
-// followed by the variable-arguments area (this implementation uses its
-// first byte as a registration-subtype tag on REG packets, per the paper's
-// note that the area carries "additional arguments related to different
-// packet types") and the data payload.
+//   byte 4 : variable-arguments byte (this implementation uses it as a
+//            registration-subtype tag on REG packets, per the paper's note
+//            that the area carries "additional arguments related to
+//            different packet types", and as the end-to-end marker on DAT
+//            packets)
+//   bytes 5-6 : per-sender sequence number (big-endian). Engines stamp a
+//               monotonically increasing value so receivers can discard
+//               network duplicates and retransmissions (UDP dedup); 0 means
+//               "unsequenced" and is exempt from duplicate suppression.
+// followed by the data payload.
 #pragma once
 
 #include <cstddef>
@@ -53,6 +59,9 @@ struct PacketHeader {
   /// key csk so the edge relays it without being able to read it (the
   /// untrusted-edge scenario of paper §VIII).
   bool end_to_end = false;
+  /// Per-sender sequence number (bytes 5-6). Stamped just before encoding
+  /// by the engines; 0 = unsequenced (dedup-exempt).
+  std::uint16_t seq = 0;
 };
 
 struct Packet {
@@ -86,8 +95,9 @@ struct Packet {
                              bool edge_server, bool encrypted = false);
 };
 
-/// Size of the fixed header plus the subtype byte.
-inline constexpr std::size_t kHeaderBytes = 5;
+/// Size of the fixed header: version/flags/argument, the subtype byte, and
+/// the two-byte sequence number.
+inline constexpr std::size_t kHeaderBytes = 7;
 
 /// Serialize to wire bytes.
 util::Bytes encode(const Packet& packet);

@@ -43,6 +43,8 @@ ServerNode::ServerNode(const Config& config)
       &metrics_->counter("cadet_server_quality_checks_failed", labels);
   ctr_.pool_exchanges =
       &metrics_->counter("cadet_server_pool_exchanges", labels);
+  ctr_.dupes_dropped =
+      &metrics_->counter("cadet_server_dupes_dropped", labels);
   pool_.bind_metrics(*metrics_, labels);
   mixer_.bind_metrics(*metrics_, labels);
 }
@@ -59,7 +61,14 @@ ServerNode::Stats ServerNode::stats() const noexcept {
   s.quality_checks_run = ctr_.quality_checks_run->value();
   s.quality_checks_failed = ctr_.quality_checks_failed->value();
   s.pool_exchanges = ctr_.pool_exchanges->value();
+  s.dupes_dropped = ctr_.dupes_dropped->value();
   return s;
+}
+
+util::Bytes ServerNode::wire(Packet packet) {
+  if (++tx_seq_ == 0) ++tx_seq_;  // 0 is the "unsequenced" sentinel
+  packet.header.seq = tx_seq_;
+  return encode(packet);
 }
 
 void ServerNode::seed_pool(util::BytesView bytes) { pool_.push(bytes); }
@@ -81,6 +90,17 @@ std::vector<net::Outgoing> ServerNode::on_packet(net::NodeId from,
 std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
                                                    const Packet& packet,
                                                    util::SimTime now) {
+  // Duplicate suppression: a retransmitted bulk upload must not be mixed
+  // (and credited) twice, and a duplicated request must not drain the pool
+  // for a reply nobody is waiting on.
+  if (!replay_.accept(from, packet.header.seq)) {
+    ctr_.dupes_dropped->inc();
+    obs::emit(now, "dupe_drop", "server", config_.id,
+              {{"from", static_cast<double>(from)},
+               {"seq", static_cast<double>(packet.header.seq)}});
+    return {};
+  }
+
   if (packet.header.req && packet.header.end_to_end) {
     // Untrusted-edge request: seal the entropy under the requesting
     // client's csk so the relaying edge cannot read it (paper §VIII).
@@ -104,8 +124,8 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
     util::Bytes payload(4);
     util::put_u32_be(payload.data(), client);
     util::append(payload, seal(record_it->second.csk, served, csprng_));
-    return {{from, encode(Packet::data_ack_e2e(std::move(payload),
-                                               packet.header.edge_server))}};
+    return {{from, wire(Packet::data_ack_e2e(std::move(payload),
+                                             packet.header.edge_server))}};
   }
 
   if (packet.header.req) {
@@ -123,13 +143,13 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
     if (esk_it != edge_keys_.end()) {
       cost_.add(cost::kSealPerByte * static_cast<double>(served.size()));
       util::Bytes sealed = seal(esk_it->second, served, csprng_);
-      return {{from, encode(Packet::data_ack(std::move(sealed),
-                                             packet.header.edge_server,
-                                             /*encrypted=*/true))}};
-    }
-    return {{from, encode(Packet::data_ack(std::move(served),
+      return {{from, wire(Packet::data_ack(std::move(sealed),
                                            packet.header.edge_server,
-                                           /*encrypted=*/false))}};
+                                           /*encrypted=*/true))}};
+    }
+    return {{from, wire(Packet::data_ack(std::move(served),
+                                         packet.header.edge_server,
+                                         /*encrypted=*/false))}};
   }
 
   if (packet.header.ack) {
@@ -224,7 +244,7 @@ std::vector<net::Outgoing> ServerNode::begin_pool_exchange(net::NodeId peer,
   // (peer servers are trusted infrastructure).
   Packet p = Packet::data_ack(std::move(chunk), /*edge_server=*/true,
                               /*encrypted=*/false);
-  return {{peer, encode(p)}};
+  return {{peer, wire(std::move(p))}};
 }
 
 std::vector<net::Outgoing> ServerNode::handle_registration(
@@ -280,7 +300,7 @@ std::vector<net::Outgoing> ServerNode::handle_registration(
           std::move(payload), /*req=*/true, /*ack=*/true,
           /*client_edge=*/false, /*edge_server=*/!is_client,
           /*encrypted=*/true);
-      return {{from, encode(reply)}};
+      return {{from, wire(std::move(reply))}};
     }
 
     case RegSubtype::kEdgeRegAck:
@@ -360,7 +380,7 @@ std::vector<net::Outgoing> ServerNode::handle_registration(
           RegSubtype::kReregAckToEdge, std::move(payload), /*req=*/false,
           /*ack=*/true, /*client_edge=*/false, /*edge_server=*/true,
           /*encrypted=*/true);
-      return {{from, encode(reply)}};
+      return {{from, wire(std::move(reply))}};
     }
 
     default:

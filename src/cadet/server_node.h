@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cadet/dedup.h"
 #include "cadet/node_common.h"
 #include "cadet/packet.h"
 #include "cadet/penalty.h"
@@ -93,6 +94,7 @@ class ServerNode {
     std::uint64_t quality_checks_run = 0;
     std::uint64_t quality_checks_failed = 0;
     std::uint64_t pool_exchanges = 0;
+    std::uint64_t dupes_dropped = 0;  // duplicate data packets suppressed
   };
   /// Snapshot assembled from the registry counters (the counters are the
   /// single source of truth; this keeps existing call sites working).
@@ -111,6 +113,9 @@ class ServerNode {
   void mix_contribution(util::BytesView payload, util::SimTime now);
   void maybe_quality_check();
 
+  /// Stamp the next tx sequence number and serialize.
+  util::Bytes wire(Packet packet);
+
   Config config_;
   crypto::Csprng csprng_;
   util::Xoshiro256 rng_;
@@ -120,6 +125,8 @@ class ServerNode {
   SanityChecker sanity_;
   nist::QualityBattery quality_;
   CostMeter cost_;
+  ReplayFilter replay_;
+  std::uint16_t tx_seq_ = 0;
 
   // Metrics (owned registry only when none was wired via Config).
   std::shared_ptr<obs::Registry> owned_metrics_;
@@ -135,6 +142,7 @@ class ServerNode {
     obs::Counter* quality_checks_run = nullptr;
     obs::Counter* quality_checks_failed = nullptr;
     obs::Counter* pool_exchanges = nullptr;
+    obs::Counter* dupes_dropped = nullptr;
   } ctr_;
 
   // Handshakes in flight: peer id -> (derived key, expected confirm nonce).

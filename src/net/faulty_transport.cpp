@@ -1,0 +1,132 @@
+#include "net/faulty_transport.h"
+
+#include "obs/trace.h"
+#include "util/log.h"
+
+namespace cadet::net {
+
+FaultyTransport::FaultyTransport(Transport& inner, sim::Simulator& simulator,
+                                 FaultPlan plan)
+    : inner_(inner),
+      simulator_(simulator),
+      plan_(std::move(plan)),
+      rng_(plan_.seed ^ 0xfa017f1aULL) {}
+
+void FaultyTransport::bind_metrics(obs::Registry& registry) {
+  const obs::Labels labels{{"tier", "net"}, {"transport", "faulty"}};
+  dropped_counter_ = &registry.counter("cadet_fault_dropped", labels);
+  duplicated_counter_ = &registry.counter("cadet_fault_duplicated", labels);
+  reordered_counter_ = &registry.counter("cadet_fault_reordered", labels);
+  corrupted_counter_ = &registry.counter("cadet_fault_corrupted", labels);
+  partitioned_counter_ = &registry.counter("cadet_fault_partitioned", labels);
+  crashed_counter_ = &registry.counter("cadet_fault_crashed", labels);
+}
+
+const FaultRule& FaultyTransport::rule_for(NodeId from, NodeId to) const {
+  const auto it = plan_.link_rules.find({from, to});
+  return it != plan_.link_rules.end() ? it->second : plan_.default_rule;
+}
+
+bool FaultyTransport::partitioned(NodeId a, NodeId b,
+                                  util::SimTime now) const {
+  for (const Partition& p : plan_.partitions) {
+    const bool pair_match =
+        (p.a == a && p.b == b) || (p.a == b && p.b == a);
+    if (pair_match && now >= p.from && now < p.until) return true;
+  }
+  return false;
+}
+
+bool FaultyTransport::crashed(NodeId node, util::SimTime now) const {
+  for (const Crash& c : plan_.crashes) {
+    if (c.node == node && now >= c.from && now < c.until) return true;
+  }
+  return false;
+}
+
+void FaultyTransport::send(NodeId from, NodeId to, util::Bytes data) {
+  if (!enabled_) {
+    inner_.send(from, to, std::move(data));
+    return;
+  }
+  const util::SimTime now = simulator_.now();
+
+  // A crashed sender emits nothing. (The receiver side is enforced at
+  // delivery time by the wrapped handler, so a datagram already in flight
+  // when the crash begins is lost too.)
+  if (crashed(from, now)) {
+    ++counts_.crashed;
+    if (crashed_counter_ != nullptr) crashed_counter_->inc();
+    return;
+  }
+  if (partitioned(from, to, now)) {
+    ++counts_.partitioned;
+    if (partitioned_counter_ != nullptr) partitioned_counter_->inc();
+    obs::emit(now, "fault_partition", "net", from,
+              {{"to", static_cast<double>(to)}});
+    return;
+  }
+
+  const FaultRule& rule = rule_for(from, to);
+  if (rule.drop > 0.0 && rng_.bernoulli(rule.drop)) {
+    ++counts_.dropped;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
+    obs::emit(now, "fault_drop", "net", from,
+              {{"to", static_cast<double>(to)}});
+    return;
+  }
+  if (rule.corrupt > 0.0 && !data.empty() && rng_.bernoulli(rule.corrupt)) {
+    const std::size_t flips = 1 + rng_.uniform(3);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t bit = rng_.uniform(data.size() * 8);
+      data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    ++counts_.corrupted;
+    if (corrupted_counter_ != nullptr) corrupted_counter_->inc();
+    obs::emit(now, "fault_corrupt", "net", from,
+              {{"to", static_cast<double>(to)},
+               {"flips", static_cast<double>(flips)}});
+  }
+  if (rule.duplicate > 0.0 && rng_.bernoulli(rule.duplicate)) {
+    ++counts_.duplicated;
+    if (duplicated_counter_ != nullptr) duplicated_counter_->inc();
+    obs::emit(now, "fault_duplicate", "net", from,
+              {{"to", static_cast<double>(to)}});
+    inner_.send(from, to, data);
+  }
+  if (rule.reorder > 0.0 && rng_.bernoulli(rule.reorder)) {
+    const util::SimTime span =
+        rule.reorder_delay_max > rule.reorder_delay_min
+            ? rule.reorder_delay_max - rule.reorder_delay_min
+            : 1;
+    const util::SimTime extra =
+        rule.reorder_delay_min +
+        static_cast<util::SimTime>(rng_.uniform(
+            static_cast<std::uint64_t>(span)));
+    ++counts_.reordered;
+    if (reordered_counter_ != nullptr) reordered_counter_->inc();
+    obs::emit(now, "fault_reorder", "net", from,
+              {{"to", static_cast<double>(to)},
+               {"delay_ms", util::to_millis(extra)}});
+    simulator_.schedule(extra, [this, from, to, payload = std::move(data)]() {
+      inner_.send(from, to, payload);
+    });
+    return;
+  }
+  inner_.send(from, to, std::move(data));
+}
+
+void FaultyTransport::set_handler(NodeId id, PacketHandler handler) {
+  inner_.set_handler(
+      id, [this, id, handler = std::move(handler)](
+              NodeId from, util::BytesView data, util::SimTime now) {
+        if (enabled_ && crashed(id, now)) {
+          ++counts_.crashed;
+          if (crashed_counter_ != nullptr) crashed_counter_->inc();
+          return;
+        }
+        handler(from, data, now);
+      });
+}
+
+}  // namespace cadet::net

@@ -1,0 +1,108 @@
+// Fault-injection decorator over any Transport. A seeded FaultPlan drives
+// per-link drop / duplicate / reorder / corrupt decisions, timed network
+// partitions, and node crash windows, so chaos experiments are exactly
+// reproducible: the same plan seed yields the same fault sequence. Wraps the
+// inner transport transparently — protocol engines cannot tell it is there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace cadet::net {
+
+/// Per-link fault probabilities (each decided independently per datagram).
+struct FaultRule {
+  double drop = 0.0;       ///< datagram silently discarded
+  double duplicate = 0.0;  ///< datagram delivered twice
+  double reorder = 0.0;    ///< datagram held back by an extra random delay
+  double corrupt = 0.0;    ///< 1-3 random bit flips in the payload
+  util::SimTime reorder_delay_min = 2 * util::kMillisecond;
+  util::SimTime reorder_delay_max = 80 * util::kMillisecond;
+};
+
+/// A timed bidirectional partition between two nodes: datagrams either way
+/// are discarded while `from <= now < until`.
+struct Partition {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  util::SimTime from = 0;
+  util::SimTime until = 0;
+};
+
+/// A node crash window: the node neither sends nor receives while
+/// `from <= now < until` (restart = window end).
+struct Crash {
+  NodeId node = kInvalidNode;
+  util::SimTime from = 0;
+  util::SimTime until = 0;
+};
+
+/// Complete, seed-deterministic description of the faults to inject.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  FaultRule default_rule;
+  /// Overrides for specific directed links (from, to).
+  std::map<std::pair<NodeId, NodeId>, FaultRule> link_rules;
+  std::vector<Partition> partitions;
+  std::vector<Crash> crashes;
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  /// `inner` and `simulator` must outlive this transport. The simulator
+  /// supplies the clock for partition/crash windows and schedules the
+  /// extra delay of reordered datagrams.
+  FaultyTransport(Transport& inner, sim::Simulator& simulator, FaultPlan plan);
+
+  void send(NodeId from, NodeId to, util::Bytes data) override;
+  void set_handler(NodeId id, PacketHandler handler) override;
+
+  /// Master switch: while disabled every datagram passes through untouched
+  /// (chaos scenarios register the topology cleanly, then flip faults on).
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  struct FaultCounts {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t partitioned = 0;
+    std::uint64_t crashed = 0;  ///< datagrams lost to crash windows
+  };
+  const FaultCounts& counts() const noexcept { return counts_; }
+
+  /// Publish cadet_fault_* counters to `registry` (must outlive this).
+  void bind_metrics(obs::Registry& registry);
+
+ private:
+  const FaultRule& rule_for(NodeId from, NodeId to) const;
+  bool partitioned(NodeId a, NodeId b, util::SimTime now) const;
+  bool crashed(NodeId node, util::SimTime now) const;
+
+  Transport& inner_;
+  sim::Simulator& simulator_;
+  FaultPlan plan_;
+  util::Xoshiro256 rng_;
+  bool enabled_ = true;
+  FaultCounts counts_;
+
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* duplicated_counter_ = nullptr;
+  obs::Counter* reordered_counter_ = nullptr;
+  obs::Counter* corrupted_counter_ = nullptr;
+  obs::Counter* partitioned_counter_ = nullptr;
+  obs::Counter* crashed_counter_ = nullptr;
+};
+
+}  // namespace cadet::net

@@ -47,15 +47,21 @@ void SimTransport::send(NodeId from, NodeId to, util::Bytes data) {
   }
   simulator_.schedule(
       delay, [this, from, to, payload = std::move(data)]() {
-        auto& to_counters = counters_[to];
-        ++to_counters.packets_received;
-        to_counters.bytes_received += payload.size();
         const auto it = handlers_.find(to);
         if (it == handlers_.end()) {
+          // An unbound destination is a drop, not a delivery: count it as
+          // such so load accounting stays truthful.
+          ++dropped_packets_;
+          if (dropped_counter_ != nullptr) dropped_counter_->inc();
+          obs::emit(simulator_.now(), "packet_drop", "net", from,
+                    {{"to", static_cast<double>(to)}, {"unbound", 1.0}});
           CADET_LOG_DEBUG << "SimTransport: dropping packet to unbound node "
                           << to;
           return;
         }
+        auto& to_counters = counters_[to];
+        ++to_counters.packets_received;
+        to_counters.bytes_received += payload.size();
         it->second(from, payload, simulator_.now());
       });
 }

@@ -4,7 +4,7 @@
 
 namespace cadet::testbed {
 
-SimNode::SimNode(sim::Simulator& simulator, net::SimTransport& transport,
+SimNode::SimNode(sim::Simulator& simulator, net::Transport& transport,
                  sim::CpuModel cpu, net::NodeId id, CostMeter& meter)
     : simulator_(simulator),
       transport_(transport),

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "cadet/node_common.h"
-#include "net/sim_transport.h"
+#include "net/transport.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 
@@ -24,7 +24,7 @@ class SimNode {
   /// packets to transmit when the work completes.
   using Work = std::function<std::vector<net::Outgoing>(util::SimTime)>;
 
-  SimNode(sim::Simulator& simulator, net::SimTransport& transport,
+  SimNode(sim::Simulator& simulator, net::Transport& transport,
           sim::CpuModel cpu, net::NodeId id, CostMeter& meter);
 
   SimNode(const SimNode&) = delete;
@@ -49,7 +49,7 @@ class SimNode {
   void process_one();
 
   sim::Simulator& simulator_;
-  net::SimTransport& transport_;
+  net::Transport& transport_;
   sim::CpuModel cpu_;
   net::NodeId id_;
   CostMeter& meter_;

@@ -18,6 +18,14 @@ World::World(const TestbedConfig& config) : config_(config) {
   transport_ = std::make_unique<net::SimTransport>(sim_, config_.seed ^ 0x7a);
   transport_->set_default_profile(config_.client_link);
   transport_->bind_metrics(*metrics_);
+  if (config_.fault_plan) {
+    faulty_ = std::make_unique<net::FaultyTransport>(*transport_, sim_,
+                                                     *config_.fault_plan);
+    faulty_->bind_metrics(*metrics_);
+  }
+  // Every node sends/binds through the fault layer when one exists.
+  net::Transport& wire =
+      faulty_ ? static_cast<net::Transport&>(*faulty_) : *transport_;
 
   // ---- server tier ----
   for (std::size_t j = 0; j < config_.num_servers; ++j) {
@@ -33,7 +41,7 @@ World::World(const TestbedConfig& config) : config_(config) {
     }
     auto server = std::make_unique<ServerNode>(server_config);
     auto sim_node = std::make_unique<SimNode>(
-        sim_, *transport_, sim::kServerCpu, server_config.id, server->cost());
+        sim_, wire, sim::kServerCpu, server_config.id, server->cost());
     ServerNode* raw = server.get();
     sim_node->bind([raw](net::NodeId from, util::BytesView data,
                          util::SimTime now) {
@@ -74,9 +82,16 @@ World::World(const TestbedConfig& config) : config_(config) {
       edge_config.inject_timing_entropy = config_.inject_timing_entropy;
       edge_config.min_contributors = config_.min_contributors;
       edge_config.metrics = metrics_.get();
+      // Timer work is routed through the node's own CPU queue so retries
+      // pay processing cost like any other engine action.
+      edge_config.timer = [this, k](util::SimTime delay, EngineWork work) {
+        sim_.schedule(delay, [this, k, work = std::move(work)]() {
+          edge_sims_[k]->post(work);
+        });
+      };
       auto edge = std::make_unique<EdgeNode>(edge_config);
       auto sim_node = std::make_unique<SimNode>(
-          sim_, *transport_, sim::kEdgeCpu, edge_config.id, edge->cost());
+          sim_, wire, sim::kEdgeCpu, edge_config.id, edge->cost());
       EdgeNode* raw = edge.get();
       sim_node->bind([raw](net::NodeId from, util::BytesView data,
                            util::SimTime now) {
@@ -104,9 +119,14 @@ World::World(const TestbedConfig& config) : config_(config) {
         config_.use_edge ? edge_id(network) : home_server;
     client_config.seed = config_.seed * 69069u + 13 * i + 5;
     client_config.metrics = metrics_.get();
+    client_config.timer = [this, i](util::SimTime delay, EngineWork work) {
+      sim_.schedule(delay, [this, i, work = std::move(work)]() {
+        client_sims_[i]->post(work);
+      });
+    };
     auto client = std::make_unique<ClientNode>(client_config);
     auto sim_node = std::make_unique<SimNode>(
-        sim_, *transport_, sim::kClientCpu, client_config.id, client->cost());
+        sim_, wire, sim::kClientCpu, client_config.id, client->cost());
     ClientNode* raw = client.get();
     sim_node->bind([raw](net::NodeId from, util::BytesView data,
                          util::SimTime now) {

@@ -9,11 +9,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cadet/client_node.h"
 #include "cadet/edge_node.h"
 #include "cadet/server_node.h"
+#include "net/faulty_transport.h"
 #include "net/sim_transport.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
@@ -52,6 +54,9 @@ struct TestbedConfig {
   RefillPolicy refill_policy = RefillPolicy::kFixedFraction;
   bool inject_timing_entropy = false;
   std::size_t min_contributors = 1;
+  /// When set, every datagram crosses a FaultyTransport driven by this
+  /// plan (chaos experiments); engines get retry timers either way.
+  std::optional<net::FaultPlan> fault_plan;
 };
 
 /// Node-id plan: servers = 1 + j, edges = 100 + k, clients = 1000 + i.
@@ -72,6 +77,8 @@ class World {
 
   sim::Simulator& simulator() noexcept { return sim_; }
   net::SimTransport& transport() noexcept { return *transport_; }
+  /// Fault-injection layer; null unless the config carried a fault_plan.
+  net::FaultyTransport* faults() noexcept { return faulty_.get(); }
   const TestbedConfig& config() const noexcept { return config_; }
 
   /// World-wide metrics registry. Every node, the transport, and the
@@ -126,6 +133,7 @@ class World {
   std::shared_ptr<obs::Registry> metrics_;
   sim::Simulator sim_;
   std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<net::FaultyTransport> faulty_;
 
   std::vector<std::unique_ptr<ServerNode>> servers_;
   std::vector<std::unique_ptr<SimNode>> server_sims_;

@@ -7,9 +7,24 @@
 namespace cadet {
 namespace {
 
-TEST(Packet, HeaderIsFiveBytesOnWire) {
+TEST(Packet, HeaderIsSevenBytesOnWire) {
   const Packet p = Packet::data_request(512, false);
   EXPECT_EQ(encode(p).size(), kHeaderBytes);
+}
+
+TEST(Packet, SequenceNumberRoundTrips) {
+  Packet p = Packet::data_upload({1, 2, 3}, false);
+  p.header.seq = 0xbeef;
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.seq, 0xbeef);
+}
+
+TEST(Packet, DefaultSequenceIsUnsequencedSentinel) {
+  const Packet p = Packet::data_request(64, false);
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.seq, 0u);
 }
 
 TEST(Packet, DataUploadRoundTrip) {
@@ -128,6 +143,106 @@ TEST(Packet, FuzzDecodeNeverCrashes) {
     const auto junk = rng.bytes(rng.uniform(64));
     EXPECT_NO_FATAL_FAILURE((void)decode(junk));
   }
+}
+
+// ---- fuzz-style property tests (chaos PR satellite) -----------------------
+// Every structurally valid packet the codec can emit must survive the trip
+// wire -> decode -> encode byte-identically, and no mutation of a valid wire
+// image may crash the decoder (it either decodes to *something* valid or is
+// rejected). These run under the asan preset in CI.
+
+namespace {
+
+/// A random valid packet drawn from the full constructor surface.
+Packet random_packet(util::Xoshiro256& rng) {
+  Packet p;
+  switch (rng.uniform(5)) {
+    case 0:
+      p = Packet::data_upload(rng.bytes(rng.uniform(128)),
+                              rng.bernoulli(0.5));
+      break;
+    case 1:
+      p = Packet::data_request(
+          static_cast<std::uint16_t>(rng.uniform(0x10000)),
+          rng.bernoulli(0.5));
+      break;
+    case 2:
+      p = Packet::data_ack(rng.bytes(rng.uniform(128)), rng.bernoulli(0.5),
+                           rng.bernoulli(0.5));
+      break;
+    case 3:
+      p = Packet::data_request_e2e(
+          static_cast<std::uint16_t>(rng.uniform(0x10000)),
+          rng.bernoulli(0.5), static_cast<std::uint32_t>(rng.uniform(5000)));
+      break;
+    default:
+      p = Packet::registration(
+          static_cast<RegSubtype>(
+              rng.uniform(static_cast<std::uint64_t>(
+                              RegSubtype::kReregAckToClient) +
+                          1)),
+          rng.bytes(rng.uniform(128)), rng.bernoulli(0.5),
+          rng.bernoulli(0.5), rng.bernoulli(0.5), rng.bernoulli(0.5));
+      break;
+  }
+  p.header.urgent = rng.bernoulli(0.2);
+  p.header.seq = static_cast<std::uint16_t>(rng.uniform(0x10000));
+  return p;
+}
+
+}  // namespace
+
+TEST(PacketProperty, EncodeDecodeEncodeIsIdentity) {
+  util::Xoshiro256 rng(20180601);
+  for (int i = 0; i < 2000; ++i) {
+    const Packet p = random_packet(rng);
+    const util::Bytes first = encode(p);
+    const auto decoded = decode(first);
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << i;
+    const util::Bytes second = encode(*decoded);
+    EXPECT_EQ(first, second) << "iteration " << i;
+  }
+}
+
+TEST(PacketProperty, TruncatedWireNeverCrashes) {
+  util::Xoshiro256 rng(20180602);
+  for (int i = 0; i < 1000; ++i) {
+    const util::Bytes full = encode(random_packet(rng));
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      const util::Bytes cut(full.begin(),
+                            full.begin() + static_cast<std::ptrdiff_t>(len));
+      // Truncation either strips payload bytes (rejected by the length
+      // check) or cuts into the header (also rejected).
+      EXPECT_FALSE(decode(cut).has_value());
+    }
+  }
+}
+
+TEST(PacketProperty, BitFlippedWireNeverCrashes) {
+  util::Xoshiro256 rng(20180603);
+  for (int i = 0; i < 2000; ++i) {
+    util::Bytes mutated = encode(random_packet(rng));
+    const std::size_t flips = 1 + rng.uniform(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t bit = rng.uniform(mutated.size() * 8);
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    const auto decoded = decode(mutated);
+    if (decoded.has_value()) {
+      // If the mutation survived validation, re-encoding must reproduce
+      // the mutated image exactly (the codec has no hidden state).
+      EXPECT_EQ(encode(*decoded), mutated);
+    }
+  }
+}
+
+TEST(PacketProperty, OversizedPayloadRejected) {
+  // The argument field is 16 bits; payloads larger than what it can
+  // describe must never decode into a mismatched packet.
+  util::Xoshiro256 rng(20180604);
+  util::Bytes wire = encode(Packet::data_upload(rng.bytes(32), false));
+  util::append(wire, rng.bytes(8));  // extra trailing bytes
+  EXPECT_FALSE(decode(wire).has_value());
 }
 
 TEST(Packet, UrgentFlagRoundTrips) {

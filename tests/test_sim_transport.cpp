@@ -35,12 +35,19 @@ TEST(SimTransport, DeliveryIsDelayed) {
   EXPECT_GT(delivered_at, 0);
 }
 
-TEST(SimTransport, UnboundNodeDropsSilently) {
+TEST(SimTransport, UnboundNodeCountsAsDrop) {
   sim::Simulator simulator;
   SimTransport transport(simulator, 3);
+  obs::Registry registry;
+  transport.bind_metrics(registry);
   transport.send(1, 99, {1, 2, 3});
   EXPECT_NO_FATAL_FAILURE(simulator.run());
-  EXPECT_EQ(transport.counters(99).packets_received, 1u);
+  // A datagram to a node with no handler is a drop, never a delivery.
+  EXPECT_EQ(transport.counters(99).packets_received, 0u);
+  EXPECT_EQ(transport.counters(99).bytes_received, 0u);
+  EXPECT_EQ(transport.dropped_packets(), 1u);
+  const obs::Labels labels{{"tier", "net"}, {"transport", "sim"}};
+  EXPECT_EQ(registry.counter("cadet_net_dropped", labels).value(), 1u);
 }
 
 TEST(SimTransport, CountersTrackTraffic) {

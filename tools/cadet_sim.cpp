@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "net/faulty_transport.h"
 #include "nist/battery.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -45,6 +46,22 @@ struct Options {
   bool verbose = false;
   std::string metrics_out;  // Prometheus snapshot path ("" = off)
   std::string trace_out;    // JSONL trace path ("" = off)
+
+  // Fault injection (docs/FAULT_INJECTION.md). Any non-default value puts
+  // a FaultyTransport on every link.
+  double fault_drop = 0.0;
+  double fault_dup = 0.0;
+  double fault_reorder = 0.0;
+  double fault_corrupt = 0.0;
+  std::uint64_t fault_seed = 0;  // 0 = derived from --seed
+  std::vector<net::Partition> partitions;
+  std::vector<net::Crash> crashes;
+
+  bool faults_requested() const {
+    return fault_drop > 0.0 || fault_dup > 0.0 || fault_reorder > 0.0 ||
+           fault_corrupt > 0.0 || !partitions.empty() || !crashes.empty() ||
+           fault_seed != 0;
+  }
 };
 
 void usage(const char* argv0) {
@@ -65,8 +82,42 @@ void usage(const char* argv0) {
       "  --bad-fraction F    one client per network uploads F bad data\n"
       "  --verbose           per-client response statistics\n"
       "  --metrics-out FILE  write a Prometheus-style metrics snapshot\n"
-      "  --trace-out FILE    write the protocol event trace as JSONL\n",
+      "  --trace-out FILE    write the protocol event trace as JSONL\n"
+      "  --fault-drop P      drop each datagram with probability P\n"
+      "  --fault-dup P       duplicate each datagram with probability P\n"
+      "  --fault-reorder P   delay (reorder) datagrams with probability P\n"
+      "  --fault-corrupt P   flip 1-3 bits with probability P\n"
+      "  --fault-seed N      fault-decision seed (default: derived from\n"
+      "                      --seed; same seed = same fault sequence)\n"
+      "  --partition A:B:T0:T1  cut the A<->B link from T0 to T1 seconds\n"
+      "                      (repeatable)\n"
+      "  --crash N:T0:T1     node N neither sends nor receives from T0 to\n"
+      "                      T1 seconds (repeatable)\n",
       argv0);
+}
+
+/// Split a colon-separated numeric spec ("100:1:15:25") into doubles.
+/// Exits with a diagnostic when the field count does not match `expect`.
+std::vector<double> parse_colon_spec(const std::string& flag,
+                                     const std::string& spec,
+                                     std::size_t expect) {
+  std::vector<double> fields;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t colon = spec.find(':', start);
+    const std::string token =
+        spec.substr(start, colon == std::string::npos ? std::string::npos
+                                                      : colon - start);
+    fields.push_back(std::strtod(token.c_str(), nullptr));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (fields.size() != expect) {
+    std::fprintf(stderr, "%s expects %zu colon-separated fields, got '%s'\n",
+                 flag.c_str(), expect, spec.c_str());
+    std::exit(2);
+  }
+  return fields;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -109,6 +160,27 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.metrics_out = next();
     } else if (arg == "--trace-out") {
       opt.trace_out = next();
+    } else if (arg == "--fault-drop") {
+      opt.fault_drop = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-dup") {
+      opt.fault_dup = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-reorder") {
+      opt.fault_reorder = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-corrupt") {
+      opt.fault_corrupt = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-seed") {
+      opt.fault_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--partition") {
+      const auto f = parse_colon_spec(arg, next(), 4);
+      opt.partitions.push_back({static_cast<net::NodeId>(f[0]),
+                                static_cast<net::NodeId>(f[1]),
+                                util::from_seconds(f[2]),
+                                util::from_seconds(f[3])});
+    } else if (arg == "--crash") {
+      const auto f = parse_colon_spec(arg, next(), 3);
+      opt.crashes.push_back({static_cast<net::NodeId>(f[0]),
+                             util::from_seconds(f[1]),
+                             util::from_seconds(f[2])});
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -184,6 +256,17 @@ int main(int argc, char** argv) {
   config.inject_timing_entropy = opt.inject_timing;
   if (opt.internet) config.backbone_link = sim::internet_wan();
   config.server_seed_bytes = 1 << 20;
+  if (opt.faults_requested()) {
+    net::FaultPlan plan;
+    plan.seed = opt.fault_seed != 0 ? opt.fault_seed : opt.seed * 7919 + 17;
+    plan.default_rule.drop = opt.fault_drop;
+    plan.default_rule.duplicate = opt.fault_dup;
+    plan.default_rule.reorder = opt.fault_reorder;
+    plan.default_rule.corrupt = opt.fault_corrupt;
+    plan.partitions = opt.partitions;
+    plan.crashes = opt.crashes;
+    config.fault_plan = plan;
+  }
 
   World world(config);
 
@@ -210,17 +293,31 @@ int main(int argc, char** argv) {
     obs::Tracer::global().enable();
   }
 
+  // Register over a clean network, then arm the faults for the workload
+  // (same discipline as the chaos harness; registration robustness has its
+  // own retry machinery and tests).
+  if (world.faults() != nullptr) world.faults()->set_enabled(false);
   if (opt.use_edge) world.register_edges();
+  if (world.faults() != nullptr) world.faults()->set_enabled(true);
 
   std::printf("cadet_sim: %zu network(s) x %zu client(s), %zu server(s), "
               "%.0f s, seed %llu\n",
               opt.networks, opt.clients, opt.servers, opt.duration_s,
               static_cast<unsigned long long>(opt.seed));
-  std::printf("  edge: %s, refill: %s, timing injection: %s, backbone: %s\n\n",
+  std::printf("  edge: %s, refill: %s, timing injection: %s, backbone: %s\n",
               opt.use_edge ? "yes" : "no",
               opt.adaptive_refill ? "adaptive" : "fixed",
               opt.inject_timing ? "on" : "off",
               opt.internet ? "internet" : "testbed LAN");
+  if (world.faults() != nullptr) {
+    std::printf("  faults: drop %.2f dup %.2f reorder %.2f corrupt %.2f, "
+                "%zu partition(s), %zu crash(es), fault seed %llu\n",
+                opt.fault_drop, opt.fault_dup, opt.fault_reorder,
+                opt.fault_corrupt, opt.partitions.size(), opt.crashes.size(),
+                static_cast<unsigned long long>(
+                    world.faults()->plan().seed));
+  }
+  std::printf("\n");
 
   WorkloadDriver driver(world, opt.seed + 1);
   const util::SimTime t_end = util::from_seconds(opt.duration_s);
@@ -257,6 +354,34 @@ int main(int argc, char** argv) {
   std::printf("uploads: %llu sent (%llu intentionally bad)\n",
               static_cast<unsigned long long>(metrics.uploads_sent),
               static_cast<unsigned long long>(metrics.bad_uploads_sent));
+  {
+    std::uint64_t retried = 0, fallback = 0, dupes = 0;
+    for (std::size_t i = 0; i < world.num_clients(); ++i) {
+      retried += world.client(i).requests_retried();
+      fallback += world.client(i).requests_fallback();
+      dupes += world.client(i).dupes_dropped();
+    }
+    if (retried + fallback + dupes > 0) {
+      std::printf("robustness: %llu retransmission(s), %llu local-CSPRNG "
+                  "fallback(s), %llu duplicate(s) dropped\n",
+                  static_cast<unsigned long long>(retried),
+                  static_cast<unsigned long long>(fallback),
+                  static_cast<unsigned long long>(dupes));
+    }
+  }
+
+  if (world.faults() != nullptr) {
+    const auto& f = world.faults()->counts();
+    std::printf("\n--- fault injection ---\n");
+    std::printf("dropped %llu, duplicated %llu, reordered %llu, "
+                "corrupted %llu, partitioned %llu, crashed %llu\n",
+                static_cast<unsigned long long>(f.dropped),
+                static_cast<unsigned long long>(f.duplicated),
+                static_cast<unsigned long long>(f.reordered),
+                static_cast<unsigned long long>(f.corrupted),
+                static_cast<unsigned long long>(f.partitioned),
+                static_cast<unsigned long long>(f.crashed));
+  }
 
   if (opt.use_edge) {
     std::printf("\n--- edge tier ---\n");
