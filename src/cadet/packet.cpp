@@ -1,6 +1,9 @@
 #include "cadet/packet.h"
 
+#include <cstring>
+
 #include "cadet/config.h"
+#include "util/buffer_pool.h"
 
 namespace cadet {
 
@@ -81,10 +84,11 @@ Packet Packet::registration(RegSubtype subtype, util::Bytes payload, bool req,
 }
 
 util::Bytes encode(const Packet& packet) {
-  util::Bytes wire;
-  wire.reserve(kHeaderBytes + packet.payload.size());
-  wire.push_back(static_cast<std::uint8_t>((packet.header.version & 0x1f)
-                                           << 3));
+  // Wire buffers cycle through the per-thread pool: acquired here, released
+  // by the sim transport once the packet is delivered (or dropped).
+  util::Bytes wire =
+      util::BufferPool::local().acquire(kHeaderBytes + packet.payload.size());
+  wire[0] = static_cast<std::uint8_t>((packet.header.version & 0x1f) << 3);
   std::uint8_t flags = 0;
   if (packet.header.reg) flags |= kBitReg;
   if (packet.header.dat) flags |= kBitDat;
@@ -94,22 +98,18 @@ util::Bytes encode(const Packet& packet) {
   if (packet.header.edge_server) flags |= kBitES;
   if (packet.header.encrypted) flags |= kBitEnc;
   if (packet.header.urgent) flags |= kBitUrg;
-  wire.push_back(flags);
-  std::uint8_t arg[2];
-  util::put_u16_be(arg, packet.header.argument);
-  wire.push_back(arg[0]);
-  wire.push_back(arg[1]);
+  wire[1] = flags;
+  util::put_u16_be(wire.data() + 2, packet.header.argument);
   // Variable-arguments byte: registration subtype on REG packets, the
   // end-to-end marker on DAT packets.
-  wire.push_back(packet.header.reg
-                     ? static_cast<std::uint8_t>(packet.header.subtype)
-                     : static_cast<std::uint8_t>(packet.header.end_to_end ? 1
-                                                                          : 0));
-  std::uint8_t seq[2];
-  util::put_u16_be(seq, packet.header.seq);
-  wire.push_back(seq[0]);
-  wire.push_back(seq[1]);
-  util::append(wire, packet.payload);
+  wire[4] = packet.header.reg
+                ? static_cast<std::uint8_t>(packet.header.subtype)
+                : static_cast<std::uint8_t>(packet.header.end_to_end ? 1 : 0);
+  util::put_u16_be(wire.data() + 5, packet.header.seq);
+  if (!packet.payload.empty()) {
+    std::memcpy(wire.data() + kHeaderBytes, packet.payload.data(),
+                packet.payload.size());
+  }
   return wire;
 }
 

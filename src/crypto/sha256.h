@@ -32,7 +32,10 @@ class Sha256 {
   static Digest hash(util::BytesView data) noexcept;
 
  private:
-  void process_block(const std::uint8_t* block) noexcept;
+  /// Compress `count` consecutive 64-byte blocks. The working variables
+  /// stay in registers across the whole run, so bulk update() calls pay
+  /// one function-call and state load/store per input span, not per block.
+  void process_blocks(const std::uint8_t* blocks, std::size_t count) noexcept;
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, kBlockSize> buffer_;

@@ -1,6 +1,7 @@
 #include "net/faulty_transport.h"
 
 #include "obs/trace.h"
+#include "util/buffer_pool.h"
 #include "util/log.h"
 
 namespace cadet::net {
@@ -57,6 +58,7 @@ void FaultyTransport::send(NodeId from, NodeId to, util::Bytes data) {
   if (crashed(from, now)) {
     ++counts_.crashed;
     if (crashed_counter_ != nullptr) crashed_counter_->inc();
+    util::BufferPool::local().release(std::move(data));
     return;
   }
   if (partitioned(from, to, now)) {
@@ -64,6 +66,7 @@ void FaultyTransport::send(NodeId from, NodeId to, util::Bytes data) {
     if (partitioned_counter_ != nullptr) partitioned_counter_->inc();
     obs::emit(now, "fault_partition", "net", from,
               {{"to", static_cast<double>(to)}});
+    util::BufferPool::local().release(std::move(data));
     return;
   }
 
@@ -73,6 +76,7 @@ void FaultyTransport::send(NodeId from, NodeId to, util::Bytes data) {
     if (dropped_counter_ != nullptr) dropped_counter_->inc();
     obs::emit(now, "fault_drop", "net", from,
               {{"to", static_cast<double>(to)}});
+    util::BufferPool::local().release(std::move(data));
     return;
   }
   if (rule.corrupt > 0.0 && !data.empty() && rng_.bernoulli(rule.corrupt)) {
@@ -92,7 +96,9 @@ void FaultyTransport::send(NodeId from, NodeId to, util::Bytes data) {
     if (duplicated_counter_ != nullptr) duplicated_counter_->inc();
     obs::emit(now, "fault_duplicate", "net", from,
               {{"to", static_cast<double>(to)}});
-    inner_.send(from, to, data);
+    // The duplicate is the only copy on the whole fault path; its buffer
+    // comes from (and returns to) the pool.
+    inner_.send(from, to, util::BufferPool::local().copy(data));
   }
   if (rule.reorder > 0.0 && rng_.bernoulli(rule.reorder)) {
     const util::SimTime span =
@@ -108,9 +114,10 @@ void FaultyTransport::send(NodeId from, NodeId to, util::Bytes data) {
     obs::emit(now, "fault_reorder", "net", from,
               {{"to", static_cast<double>(to)},
                {"delay_ms", util::to_millis(extra)}});
-    simulator_.schedule(extra, [this, from, to, payload = std::move(data)]() {
-      inner_.send(from, to, payload);
-    });
+    simulator_.schedule(
+        extra, [this, from, to, payload = std::move(data)]() mutable {
+          inner_.send(from, to, std::move(payload));
+        });
     return;
   }
   inner_.send(from, to, std::move(data));

@@ -1,0 +1,162 @@
+// Small-buffer-optimized, move-only callable for the simulator hot path.
+//
+// Simulator::schedule used to type-erase its callback through
+// std::function<void()>, which heap-allocates for any capture list larger
+// than the implementation's tiny SSO buffer (~16 bytes on libstdc++) — one
+// malloc/free pair per scheduled event. InlineFn stores callables of up to
+// kInlineSize bytes directly inside the object, so the transports' delivery
+// closures (this + endpoints + a util::Bytes payload = 48 bytes) schedule
+// without touching the allocator; larger callables transparently fall back
+// to the heap. Move-only: the simulator never copies callbacks (the old
+// copy-out-of-priority_queue::top duplicated the callback and its captured
+// state on every event).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cadet::sim {
+
+class InlineFn {
+ public:
+  /// Captures up to this many bytes live inside the InlineFn itself.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// True when a callable is held.
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// Invoke the held callable. Precondition: bool(*this).
+  void operator()() { vtable_->invoke(storage_); }
+
+  /// Invoke the held callable and destroy it, leaving this empty — one
+  /// indirect call where invoke-then-reset would pay two. The callable is
+  /// destroyed even if it throws. Precondition: bool(*this).
+  void consume() {
+    const VTable* vt = vtable_;
+    vtable_ = nullptr;
+    vt->invoke_destroy(storage_);
+  }
+
+  /// Destroy any held callable and construct `fn` in place (same storage
+  /// rules as the converting constructor). The simulator's slab recycles
+  /// cells through this, so scheduling constructs each closure exactly once
+  /// — directly in its cell — instead of relocating a temporary InlineFn.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& fn) {
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &InlineOps<D>::kVTable;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) =
+          new D(std::forward<F>(fn));
+      vtable_ = &HeapOps<D>::kVTable;
+    }
+  }
+
+  /// Whether a callable of type D would be stored inline (no allocation).
+  template <typename D>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(D) <= kInlineSize &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    // Move-construct into dst's storage, then destroy src's occupant.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    // Invoke then destroy (destroys on throw too).
+    void (*invoke_destroy)(void* storage);
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static D* self(void* s) noexcept { return static_cast<D*>(s); }
+    static void invoke(void* s) { (*self(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D(std::move(*self(src)));
+      self(src)->~D();
+    }
+    static void destroy(void* s) noexcept { self(s)->~D(); }
+    static void invoke_destroy(void* s) {
+      struct Guard {
+        D* d;
+        ~Guard() { d->~D(); }
+      } guard{self(s)};
+      (*guard.d)();
+    }
+    static constexpr VTable kVTable{&invoke, &relocate, &destroy,
+                                    &invoke_destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D*& slot(void* s) noexcept { return *static_cast<D**>(s); }
+    static void invoke(void* s) { (*slot(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      *static_cast<D**>(dst) = slot(src);
+    }
+    static void destroy(void* s) noexcept { delete slot(s); }
+    static void invoke_destroy(void* s) {
+      struct Guard {
+        D* d;
+        ~Guard() { delete d; }
+      } guard{slot(s)};
+      (*guard.d)();
+    }
+    static constexpr VTable kVTable{&invoke, &relocate, &destroy,
+                                    &invoke_destroy};
+  };
+
+  void move_from(InlineFn& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(storage_, other.storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace cadet::sim

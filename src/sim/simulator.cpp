@@ -1,16 +1,84 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace cadet::sim {
+
+// 4-ary layout: children of i are 4i+1 .. 4i+4, parent is (i-1)/4. The
+// wider fan-out roughly halves the tree depth versus a binary heap, and the
+// four children share one or two cache lines, so pops do fewer dependent
+// cache misses — the dominant cost at testbed event rates.
+
+void Simulator::sift_up(std::size_t i) noexcept {
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::sift_down(std::size_t i) noexcept {
+  const HeapEntry entry = heap_[i];
+  HeapEntry* const h = heap_.data();
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best;
+    if (first + 4 <= n) [[likely]] {
+      // Which child wins is inherently unpredictable, so pick it with a
+      // bool-to-offset tournament instead of compare-and-branch — the
+      // mispredictions here dominated pop cost in profiling.
+      const std::size_t b01 =
+          first + static_cast<std::size_t>(before(h[first + 1], h[first]));
+      const std::size_t b23 =
+          first + 2 +
+          static_cast<std::size_t>(before(h[first + 3], h[first + 2]));
+      // Start pulling in both possible next child groups before the final
+      // compare resolves: the sift is a chain of dependent loads, and the
+      // heap outgrows L1 at testbed event rates, so overlapping the next
+      // level's latency is worth the one wasted prefetch.
+      __builtin_prefetch(&h[(b01 << 2) + 1]);
+      __builtin_prefetch(&h[(b23 << 2) + 1]);
+      best = before(h[b23], h[b01]) ? b23 : b01;
+    } else {
+      best = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (before(h[c], h[best])) best = c;
+      }
+    }
+    if (!before(h[best], entry)) break;
+    h[i] = h[best];
+    i = best;
+  }
+  h[i] = entry;
+}
 
 void Simulator::schedule(util::SimTime delay, Callback fn) {
   schedule_at(now_ + std::max<util::SimTime>(delay, 0), std::move(fn));
 }
 
 void Simulator::schedule_at(util::SimTime when, Callback fn) {
-  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
-  publish_depth();
+  const std::uint32_t slot = acquire_slot();
+  cell(slot) = std::move(fn);
+  push_entry(when, slot);
+}
+
+void Simulator::push_entry(util::SimTime when, std::uint32_t slot) {
+  heap_.push_back(HeapEntry{std::max(when, now_), next_seq_++, slot});
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::reserve(std::size_t events) {
+  heap_.reserve(events);
+  free_slots_.reserve(events);
+  while ((slab_.size() << kSlabChunkShift) < events) {
+    slab_.push_back(std::make_unique<Callback[]>(kSlabChunkSize));
+  }
 }
 
 void Simulator::bind_metrics(obs::Registry& registry) {
@@ -18,37 +86,25 @@ void Simulator::bind_metrics(obs::Registry& registry) {
   events_counter_ = &registry.counter("cadet_sim_events", labels);
   depth_gauge_ = &registry.gauge("cadet_sim_queue_depth", labels);
   events_counter_->inc(events_executed_);
+  events_published_ = events_executed_;
   publish_depth();
-}
-
-bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-free
-  // here because we pop immediately — but copy the small members and move
-  // the callback through a temporary instead for clarity.
-  Event ev = queue_.top();
-  queue_.pop();
-  publish_depth();
-  now_ = ev.time;
-  ++events_executed_;
-  if (events_counter_ != nullptr) events_counter_->inc();
-  ev.fn();
-  return true;
 }
 
 std::size_t Simulator::run_until(util::SimTime t_end) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= t_end) {
+  while (!heap_.empty() && heap_.front().time <= t_end) {
     step();
     ++executed;
   }
   if (now_ < t_end) now_ = t_end;
+  flush_metrics();
   return executed;
 }
 
 std::size_t Simulator::run() {
   std::size_t executed = 0;
   while (step()) ++executed;
+  flush_metrics();
   return executed;
 }
 

@@ -16,6 +16,16 @@ World::World(const TestbedConfig& config) : config_(config) {
   metrics_ = std::make_shared<obs::Registry>();
   sim_.bind_metrics(*metrics_);
   transport_ = std::make_unique<net::SimTransport>(sim_, config_.seed ^ 0x7a);
+  {
+    const std::size_t nodes =
+        config_.num_servers + config_.num_networks +
+        config_.num_networks * config_.clients_per_network;
+    // Link overrides: backbone edges<->servers plus the server mesh.
+    const std::size_t links =
+        2 * (config_.num_networks + config_.num_servers * config_.num_servers);
+    transport_->reserve(nodes, links);
+    sim_.reserve(16 * nodes);  // steady-state pending-event high-water mark
+  }
   transport_->set_default_profile(config_.client_link);
   transport_->bind_metrics(*metrics_);
   if (config_.fault_plan) {

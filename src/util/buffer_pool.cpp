@@ -1,0 +1,10 @@
+#include "util/buffer_pool.h"
+
+namespace cadet::util {
+
+BufferPool& BufferPool::local() noexcept {
+  static thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace cadet::util

@@ -1,0 +1,86 @@
+// Free-list recycling of util::Bytes buffers on the packet hot path.
+//
+// Every datagram used to cost two heap round trips: the wire buffer
+// allocated by cadet::encode() and freed when the transport's delivery
+// closure died. BufferPool closes that loop: encode() acquires its wire
+// buffer from the thread-local pool, SimTransport releases the payload
+// back after the handler returns, and in steady state a simulation reuses
+// the same handful of buffers for millions of packets.
+//
+// The pool is bounded (kMaxPooled buffers, each at most kMaxBufferCapacity
+// bytes) so a burst cannot pin memory, and it is per-thread: the simulator
+// is single-threaded, and the UDP runner's threads each keep their own
+// free list, so no locking is ever needed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace cadet::util {
+
+class BufferPool {
+ public:
+  /// Most buffers kept waiting for reuse.
+  static constexpr std::size_t kMaxPooled = 64;
+  /// Buffers that grew beyond this are freed rather than pooled, so one
+  /// jumbo payload cannot turn the pool into a memory hog.
+  static constexpr std::size_t kMaxBufferCapacity = 64 * 1024;
+
+  BufferPool() { free_.reserve(kMaxPooled); }
+
+  /// A buffer of exactly `size` bytes (recycled when possible; contents of
+  /// recycled bytes are value-initialized by resize, so acquire is
+  /// deterministic either way).
+  Bytes acquire(std::size_t size) {
+    ++acquired_;
+    if (!free_.empty()) {
+      ++reused_;
+      Bytes buf = std::move(free_.back());
+      free_.pop_back();
+      buf.resize(size);
+      return buf;
+    }
+    return Bytes(size);
+  }
+
+  /// A pooled copy of `src`.
+  Bytes copy(BytesView src) {
+    Bytes buf = acquire(src.size());
+    if (!src.empty()) {
+      std::copy(src.begin(), src.end(), buf.begin());
+    }
+    return buf;
+  }
+
+  /// Hand a dead buffer's storage back for reuse. Oversized or surplus
+  /// buffers are simply freed. Never allocates (the free list's capacity
+  /// is reserved up front).
+  void release(Bytes&& buf) noexcept {
+    if (buf.capacity() == 0 || buf.capacity() > kMaxBufferCapacity ||
+        free_.size() >= kMaxPooled) {
+      return;  // dropped: ~Bytes frees it
+    }
+    buf.clear();
+    free_.push_back(std::move(buf));
+  }
+
+  std::size_t pooled() const noexcept { return free_.size(); }
+  /// Lifetime acquire() calls, and how many were served from the pool.
+  std::uint64_t acquired() const noexcept { return acquired_; }
+  std::uint64_t reused() const noexcept { return reused_; }
+
+  /// The calling thread's pool (simulator + engines share one per thread).
+  static BufferPool& local() noexcept;
+
+ private:
+  std::vector<Bytes> free_;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+}  // namespace cadet::util

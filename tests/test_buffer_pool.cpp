@@ -1,0 +1,94 @@
+#include "util/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace cadet::util {
+namespace {
+
+TEST(BufferPool, FreshAcquireAllocates) {
+  BufferPool pool;
+  const Bytes buf = pool.acquire(128);
+  EXPECT_EQ(buf.size(), 128u);
+  EXPECT_EQ(pool.acquired(), 1u);
+  EXPECT_EQ(pool.reused(), 0u);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, ReleaseThenAcquireReuses) {
+  BufferPool pool;
+  Bytes buf = pool.acquire(256);
+  const std::uint8_t* storage = buf.data();
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  const Bytes again = pool.acquire(100);
+  EXPECT_EQ(again.size(), 100u);
+  EXPECT_EQ(again.data(), storage);  // same storage came back
+  EXPECT_EQ(pool.acquired(), 2u);
+  EXPECT_EQ(pool.reused(), 1u);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, RecycledBufferIsZeroed) {
+  BufferPool pool;
+  Bytes buf = pool.acquire(64);
+  for (auto& b : buf) b = 0xff;
+  pool.release(std::move(buf));
+  // acquire() must be deterministic: recycled contents are value-initialized
+  // exactly like a fresh allocation.
+  const Bytes again = pool.acquire(64);
+  for (const auto b : again) EXPECT_EQ(b, 0u);
+}
+
+TEST(BufferPool, OversizedBuffersAreNotPooled) {
+  BufferPool pool;
+  Bytes jumbo = pool.acquire(BufferPool::kMaxBufferCapacity + 1);
+  pool.release(std::move(jumbo));
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, PoolIsBounded) {
+  BufferPool pool;
+  std::vector<Bytes> bufs;
+  for (std::size_t i = 0; i < BufferPool::kMaxPooled + 10; ++i) {
+    bufs.push_back(pool.acquire(32));
+  }
+  for (auto& buf : bufs) pool.release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), BufferPool::kMaxPooled);
+}
+
+TEST(BufferPool, EmptyBuffersAreDropped) {
+  BufferPool pool;
+  pool.release(Bytes{});
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, CopyMatchesSource) {
+  BufferPool pool;
+  Bytes src(16);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  const Bytes dup = pool.copy(BytesView(src.data(), src.size()));
+  EXPECT_EQ(dup, src);
+}
+
+TEST(BufferPool, LocalIsPerThread) {
+  BufferPool* const mine = &BufferPool::local();
+  EXPECT_EQ(mine, &BufferPool::local());  // stable within a thread
+
+  BufferPool* other = nullptr;
+  std::thread t([&other] { other = &BufferPool::local(); });
+  t.join();
+  EXPECT_NE(other, nullptr);
+  EXPECT_NE(other, mine);  // each thread gets its own free list
+}
+
+}  // namespace
+}  // namespace cadet::util

@@ -1,0 +1,193 @@
+#include "sim/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace cadet::sim {
+namespace {
+
+// Counts construction/destruction/invocation of a capture so the tests can
+// observe exactly what InlineFn does with its payload.
+struct Probe {
+  int* invoked;
+  int* destroyed;
+  int* moved;
+
+  Probe(int* i, int* d, int* m) : invoked(i), destroyed(d), moved(m) {}
+  Probe(Probe&& other) noexcept
+      : invoked(other.invoked),
+        destroyed(other.destroyed),
+        moved(other.moved) {
+    ++*moved;
+    other.invoked = nullptr;
+    other.destroyed = nullptr;
+  }
+  Probe(const Probe&) = delete;
+  ~Probe() {
+    if (destroyed != nullptr) ++*destroyed;
+  }
+  void operator()() { ++*invoked; }
+};
+
+// Padding pushes the callable past kInlineSize so it takes the heap path.
+template <std::size_t Pad>
+struct PaddedProbe : Probe {
+  std::array<unsigned char, Pad> pad{};
+  using Probe::Probe;
+  PaddedProbe(PaddedProbe&&) noexcept = default;
+};
+
+using SmallProbe = PaddedProbe<1>;
+using LargeProbe = PaddedProbe<InlineFn::kInlineSize + 1>;
+
+static_assert(InlineFn::fits_inline<SmallProbe>(),
+              "small capture must take the inline path");
+static_assert(!InlineFn::fits_inline<LargeProbe>(),
+              "oversized capture must take the heap path");
+
+template <typename P>
+void exercise_invoke_and_destroy() {
+  int invoked = 0, destroyed = 0, moved = 0;
+  {
+    InlineFn fn(P(&invoked, &destroyed, &moved));
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(invoked, 2);
+    EXPECT_EQ(destroyed, 0);
+  }
+  // Moved-from temporaries register destructions too; exactly one live
+  // payload must have died with the InlineFn.
+  EXPECT_EQ(destroyed, 1);
+  EXPECT_EQ(invoked, 2);
+}
+
+TEST(InlineFn, InlineInvokeAndDestroy) {
+  exercise_invoke_and_destroy<SmallProbe>();
+}
+
+TEST(InlineFn, HeapFallbackInvokeAndDestroy) {
+  exercise_invoke_and_destroy<LargeProbe>();
+}
+
+TEST(InlineFn, DefaultAndNullptrAreEmpty) {
+  InlineFn a;
+  InlineFn b(nullptr);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int invoked = 0, destroyed = 0, moved = 0;
+  InlineFn a(SmallProbe(&invoked, &destroyed, &moved));
+  InlineFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(invoked, 1);
+
+  // Move-assign over an occupied target destroys the target's payload.
+  int invoked2 = 0, destroyed2 = 0, moved2 = 0;
+  InlineFn c(SmallProbe(&invoked2, &destroyed2, &moved2));
+  const int destroyed_before = destroyed;
+  c = std::move(b);
+  EXPECT_EQ(destroyed2, 1);
+  EXPECT_FALSE(static_cast<bool>(b));
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(invoked, 2);
+  EXPECT_EQ(destroyed, destroyed_before);
+}
+
+template <typename P>
+void exercise_consume() {
+  int invoked = 0, destroyed = 0, moved = 0;
+  InlineFn fn(P(&invoked, &destroyed, &moved));
+  const int live_deaths_before = destroyed;
+  fn.consume();
+  EXPECT_EQ(invoked, 1);
+  EXPECT_EQ(destroyed, live_deaths_before + 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, ConsumeInvokesOnceAndEmpties) {
+  exercise_consume<SmallProbe>();
+}
+
+TEST(InlineFn, ConsumeHeapFallback) { exercise_consume<LargeProbe>(); }
+
+template <typename P>
+void exercise_consume_throwing() {
+  int destroyed = 0;
+  struct Thrower {
+    P probe;
+    void operator()() { throw std::runtime_error("boom"); }
+  };
+  int invoked = 0, moved = 0;
+  InlineFn fn(Thrower{P(&invoked, &destroyed, &moved)});
+  const int live_deaths_before = destroyed;
+  EXPECT_THROW(fn.consume(), std::runtime_error);
+  // The payload must be destroyed even though the callable threw, and the
+  // InlineFn must be left empty (no double destruction at scope exit).
+  EXPECT_EQ(destroyed, live_deaths_before + 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, ConsumeDestroysOnThrow) {
+  exercise_consume_throwing<SmallProbe>();
+}
+
+TEST(InlineFn, ConsumeDestroysOnThrowHeapFallback) {
+  exercise_consume_throwing<LargeProbe>();
+}
+
+TEST(InlineFn, EmplaceReplacesPayload) {
+  int invoked1 = 0, destroyed1 = 0, moved1 = 0;
+  int invoked2 = 0, destroyed2 = 0, moved2 = 0;
+  InlineFn fn(SmallProbe(&invoked1, &destroyed1, &moved1));
+  fn.emplace(SmallProbe(&invoked2, &destroyed2, &moved2));
+  EXPECT_EQ(destroyed1, 1);  // the replaced live payload
+  fn();
+  EXPECT_EQ(invoked1, 0);
+  EXPECT_EQ(invoked2, 1);
+}
+
+// A callback that grows the slab mid-execution: the simulator invokes
+// callbacks in place, so slab growth (new chunks) while one runs must not
+// invalidate the executing cell.
+TEST(InlineFn, SimulatorSurvivesSlabGrowthDuringCallback) {
+  Simulator sim;
+  int fanout_ran = 0;
+  sim.schedule(1, [&sim, &fanout_ran] {
+    // Far more events than one slab chunk holds, scheduled while this
+    // closure's own cell is live.
+    for (int i = 0; i < 4096; ++i) {
+      sim.schedule(1 + i, [&fanout_ran] { ++fanout_ran; });
+    }
+  });
+  EXPECT_EQ(sim.run(), 4097u);
+  EXPECT_EQ(fanout_ran, 4096);
+}
+
+// Equal-time events must fire in scheduling order (the determinism
+// contract the testbed relies on).
+TEST(InlineFn, SimulatorKeepsFifoOrderAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 300; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace cadet::sim

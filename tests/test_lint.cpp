@@ -242,6 +242,50 @@ TEST(LintSelfContainment, StringViewDoesNotCountAsString) {
                   .empty());
 }
 
+TEST(LintSelfContainment, KnowsTypeTraitAndCstddefSymbols) {
+  // The SBO-callable header leans on these; the rule must see through a
+  // missing <type_traits> or <cstddef> rather than ignoring the symbols.
+  const auto findings = lint::lint_content(
+      "src/sim/bad.h",
+      "#pragma once\n"
+      "template <typename F>\n"
+      "using D = std::decay_t<F>;\n"
+      "inline constexpr std::size_t kAlign = alignof(std::max_align_t);\n");
+  EXPECT_EQ(rules_hit(findings),
+            (std::vector<std::string>{
+                "header-self-containment",  // std::decay_t without <type_traits>
+                "header-self-containment",  // std::size_t without <cstddef>
+                "header-self-containment",  // std::max_align_t without <cstddef>
+            }));
+
+  EXPECT_TRUE(lint::lint_content(
+                  "src/sim/ok.h",
+                  "#pragma once\n"
+                  "#include <type_traits>\n"
+                  "#include <utility>\n"
+                  "template <typename F, typename = std::enable_if_t<\n"
+                  "    std::is_invocable_r_v<void, std::decay_t<F>&>>>\n"
+                  "void call(F&& f) { std::forward<F>(f)(); }\n")
+                  .empty());
+}
+
+TEST(LintSelfContainment, EndianNeedsBit) {
+  const auto findings = lint::lint_content(
+      "src/util/bad.h",
+      "#pragma once\n"
+      "inline bool le() { return std::endian::native == std::endian::little; }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "header-self-containment");
+  EXPECT_TRUE(lint::lint_content(
+                  "src/util/ok.h",
+                  "#pragma once\n"
+                  "#include <bit>\n"
+                  "inline bool le() {\n"
+                  "  return std::endian::native == std::endian::little;\n"
+                  "}\n")
+                  .empty());
+}
+
 TEST(LintSelfContainment, SuppressionOnUseLine) {
   EXPECT_TRUE(lint::lint_content(
                   "src/util/ok.h",

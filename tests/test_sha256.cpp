@@ -48,7 +48,27 @@ INSTANTIATE_TEST_SUITE_P(
                   "19db06c1"},
         ShaVector{"The quick brown fox jumps over the lazy dog",
                   "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf"
-                  "37c9e592"}));
+                  "37c9e592"},
+        // FIPS 180-4 four-block message: the 896-bit vector, which keeps
+        // the multi-block compress path honest past two blocks.
+        ShaVector{"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                  "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                  "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac4503"
+                  "7afee9d1"}));
+
+// Feed a long message through update() in 997-byte chunks: each call
+// carries buffered tail bytes plus a multi-block middle, so the streamed
+// compress loop runs with every misalignment. Known answer is the
+// million-'a' vector.
+TEST(Sha256, MultiBlockOddChunks) {
+  Sha256 h;
+  const std::string chunk(997, 'a');
+  for (int i = 0; i < 1003; ++i) h.update(view(chunk));
+  h.update(view(std::string(1000000 - 1003 * 997, 'a')));
+  const auto digest = h.finish();
+  EXPECT_EQ(to_hex(util::BytesView(digest.data(), digest.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
 
 TEST(Sha256, MillionAs) {
   Sha256 h;

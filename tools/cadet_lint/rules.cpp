@@ -218,6 +218,16 @@ constexpr StdSymbol kStdSymbols[] = {
     {"pair", {"utility"}},
     {"make_pair", {"utility"}},
     {"move", {"utility"}},
+    {"forward", {"utility"}},
+    {"exchange", {"utility"}},
+    {"max_align_t", {"cstddef"}},
+    {"nullptr_t", {"cstddef"}},
+    {"is_same_v", {"type_traits"}},
+    {"enable_if_t", {"type_traits"}},
+    {"decay_t", {"type_traits"}},
+    {"is_nothrow_move_constructible_v", {"type_traits"}},
+    {"is_invocable_r_v", {"type_traits"}},
+    {"endian", {"bit"}},
     {"min", {"algorithm"}},
     {"max", {"algorithm"}},
     {"clamp", {"algorithm"}},

@@ -1,0 +1,25 @@
+# Runs the same seed range at -j 1 and -j 2 and requires byte-identical
+# JSON reports: thread scheduling must not leak into simulation results.
+# Invoked by the cli_cadet_sweep_determinism test with -DSWEEP=<binary>
+# and -DOUT=<scratch dir>.
+execute_process(
+  COMMAND ${SWEEP} --seeds 2 --horizon 20 -j 1 --quiet
+          --json ${OUT}/sweep_j1.json
+  RESULT_VARIABLE r1)
+if(NOT r1 EQUAL 0)
+  message(FATAL_ERROR "cadet_sweep -j 1 failed (${r1})")
+endif()
+execute_process(
+  COMMAND ${SWEEP} --seeds 2 --horizon 20 -j 2 --quiet
+          --json ${OUT}/sweep_j2.json
+  RESULT_VARIABLE r2)
+if(NOT r2 EQUAL 0)
+  message(FATAL_ERROR "cadet_sweep -j 2 failed (${r2})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT}/sweep_j1.json ${OUT}/sweep_j2.json
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "sweep reports differ between -j 1 and -j 2")
+endif()
