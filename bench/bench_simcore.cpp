@@ -37,6 +37,8 @@
 #include "crypto/sha256.h"
 #include "net/sim_transport.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "testbed/topology.h"
 #include "testbed/workload.h"
@@ -572,6 +574,61 @@ int main(int argc, char** argv) {
                 elapsed, duration_s, events, events / elapsed);
   }
 
+  // ---- span tracing overhead ----
+  // The PR-5 acceptance gate: running the testbed with the tracer + span
+  // tracker on (events discarded by a null sink, so only the record/tag
+  // cost is measured) must cost < 5% of the untraced events/s. Interleaved
+  // best-of-reps, same as the event-loop comparison.
+  {
+    struct NullSink final : obs::TraceSink {
+      void write(const obs::TraceEvent&) override {}
+    };
+    const double duration_s = quick ? 20.0 : 60.0;
+    auto run_world = [&](bool traced) {
+      NullSink sink;
+      if (traced) {
+        obs::Tracer::global().set_sink(&sink);
+        obs::Tracer::global().enable();
+        obs::SpanTracker::global().reset();
+        obs::SpanTracker::global().enable();
+      }
+      testbed::TestbedConfig config;
+      testbed::World world(config);
+      world.register_edges();
+      testbed::WorkloadDriver driver(world, config.seed + 1);
+      const util::SimTime t_end = util::from_seconds(duration_s);
+      for (std::size_t i = 0; i < world.num_clients(); ++i) {
+        driver.drive(i,
+                     testbed::ClientBehavior::for_profile(world.profile_of(i)),
+                     0, t_end);
+      }
+      const double t0 = now_s();
+      world.simulator().run_until(t_end);
+      const double elapsed = now_s() - t0;
+      if (traced) {
+        obs::Tracer::global().flush();
+        obs::Tracer::global().enable(false);
+        obs::Tracer::global().set_sink(nullptr);
+        obs::SpanTracker::global().enable(false);
+      }
+      return static_cast<double>(world.simulator().events_executed()) /
+             elapsed;
+    };
+    double off = 0.0;
+    double on = 0.0;
+    for (int rep = 0; rep < 2 * reps; ++rep) {
+      off = std::max(off, run_world(false));
+      on = std::max(on, run_world(true));
+    }
+    const double overhead = 1.0 - on / off;
+    put(metrics, "span_off_events_per_sec", off);
+    put(metrics, "span_on_events_per_sec", on);
+    put(metrics, "span_overhead_fraction", overhead);
+    std::printf("span trace : %11.0f events/s untraced, %11.0f traced "
+                "(overhead %+.1f%%)\n",
+                off, on, 100.0 * overhead);
+  }
+
   if (!out_path.empty()) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
@@ -612,8 +669,21 @@ int main(int argc, char** argv) {
         failed = true;
       }
     }
+    // The span-overhead gate is absolute, not baseline-relative: tracing
+    // must stay under 5% of the untraced event rate on this machine.
+    if (get(metrics, "span_on_events_per_sec") > 0.0) {
+      const double overhead = get(metrics, "span_overhead_fraction");
+      if (overhead >= 0.05) {
+        std::fprintf(stderr,
+                     "REGRESSION: span tracing overhead %.1f%% exceeds the "
+                     "5%% budget\n",
+                     100.0 * overhead);
+        failed = true;
+      }
+    }
     if (failed) return 1;
-    std::printf("check      : all gated metrics within 30%% of %s\n",
+    std::printf("check      : all gated metrics within 30%% of %s "
+                "and span overhead < 5%%\n",
                 check_path.c_str());
   }
   return 0;

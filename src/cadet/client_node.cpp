@@ -5,6 +5,7 @@
 
 #include "cadet/config.h"
 #include "cadet/seal.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/log.h"
 
@@ -141,20 +142,25 @@ std::vector<net::Outgoing> ClientNode::request_entropy(
   }
   cost_.add(cost::kCraftPacket);
   ctr_.requests_sent->inc();
-  obs::emit(now, "request", "client", config_.id,
-            {{"bits", static_cast<double>(bits)},
-             {"e2e", end_to_end ? 1.0 : 0.0}});
+  // Root span of this request's trace: opens here, closes at the terminal
+  // "reply" / "fallback" / "request_expired" record.
+  const obs::SpanContext ctx = obs::SpanTracker::global().start_trace();
+  obs::span_begin(now, "request", "client", config_.id, ctx, 0,
+                  {{"bits", static_cast<double>(bits)},
+                   {"e2e", end_to_end ? 1.0 : 0.0}});
   Packet p = end_to_end
                  ? Packet::data_request_e2e(bits, /*edge_server=*/false,
                                             config_.id)
                  : Packet::data_request(bits, /*edge_server=*/false);
   // Retransmissions resend these exact bytes (same sequence number), so a
   // retry whose first copy arrived is absorbed by the receiver's dedup
-  // window instead of being served twice.
+  // window instead of being served twice. The same seq carries the span
+  // context to the edge — retries keep the original binding.
   util::Bytes datagram = wire(std::move(p));
+  obs::SpanTracker::global().bind_seq(config_.id, tx_seq_, ctx);
   const std::uint64_t request_id = next_request_id_++;
   pending_.push_back(PendingRequest{bits, std::move(on_complete), end_to_end,
-                                    now, request_id, 0, datagram});
+                                    now, request_id, 0, datagram, ctx});
   schedule_request_retry(request_id, 0);
   return {{config_.edge, std::move(datagram)}};
 }
@@ -181,9 +187,9 @@ std::vector<net::Outgoing> ClientNode::retry_request(std::uint64_t request_id,
     PendingRequest req = std::move(*it);
     pending_.erase(it);
     ctr_.requests_fallback->inc();
-    obs::emit(now, "fallback", "client", config_.id,
-              {{"bits", static_cast<double>(req.bits)},
-               {"attempts", static_cast<double>(req.attempts)}});
+    obs::span_end(now, "fallback", "client", config_.id, req.ctx,
+                  {{"bits", static_cast<double>(req.bits)},
+                   {"attempts", static_cast<double>(req.attempts)}});
     const util::Bytes local = csprng_.bytes((req.bits + 7) / 8);
     if (req.callback) req.callback(local, now);
     return {};
@@ -192,8 +198,8 @@ std::vector<net::Outgoing> ClientNode::retry_request(std::uint64_t request_id,
   ++it->attempts;
   ctr_.requests_retried->inc();
   cost_.add(cost::kCraftPacket);
-  obs::emit(now, "request_retry", "client", config_.id,
-            {{"attempt", static_cast<double>(it->attempts)}});
+  obs::span_event(now, "request_retry", "client", config_.id, it->ctx,
+                  {{"attempt", static_cast<double>(it->attempts)}});
   schedule_request_retry(request_id, it->attempts);
   return {{config_.edge, it->wire}};
 }
@@ -202,10 +208,16 @@ std::vector<net::Outgoing> ClientNode::upload_entropy(util::Bytes payload,
                                                       util::SimTime now) {
   cost_.add(cost::kCraftPacket);
   ctr_.uploads_sent->inc();
-  obs::emit(now, "upload", "client", config_.id,
-            {{"bytes", static_cast<double>(payload.size())}});
+  // Uploads get their own trace so downstream accounting (penalty drops,
+  // sanity rejects, bulk forwarding) joins back to the originating client.
+  // There is no acknowledgement to wait for, so the root is zero-length.
+  const obs::SpanContext ctx = obs::SpanTracker::global().start_trace();
+  obs::span_complete(now, "upload", "client", config_.id, ctx, 0,
+                     {{"bytes", static_cast<double>(payload.size())}});
   Packet p = Packet::data_upload(std::move(payload), /*edge_server=*/false);
-  return {{config_.edge, wire(std::move(p))}};
+  util::Bytes datagram = wire(std::move(p));
+  obs::SpanTracker::global().bind_seq(config_.id, tx_seq_, ctx);
+  return {{config_.edge, std::move(datagram)}};
 }
 
 void ClientNode::expire_stale_requests(util::SimTime now) {
@@ -214,8 +226,8 @@ void ClientNode::expire_stale_requests(util::SimTime now) {
     PendingRequest req = std::move(pending_.front());
     pending_.pop_front();
     ctr_.requests_expired->inc();
-    obs::emit(now, "request_expired", "client", config_.id,
-              {{"waited_s", util::to_seconds(now - req.issued_at)}});
+    obs::span_end(now, "request_expired", "client", config_.id, req.ctx,
+                  {{"waited_s", util::to_seconds(now - req.issued_at)}});
     if (req.callback) req.callback({}, now);
   }
 }
@@ -248,9 +260,11 @@ std::vector<net::Outgoing> ClientNode::on_packet(net::NodeId from,
   // replay-protected by their nonces and retried handshakes are fresh.
   if (packet->header.dat && !replay_.accept(from, packet->header.seq)) {
     ctr_.dupes_dropped->inc();
-    obs::emit(now, "dupe_drop", "client", config_.id,
-              {{"from", static_cast<double>(from)},
-               {"seq", static_cast<double>(packet->header.seq)}});
+    obs::span_event(now, "dupe_drop", "client", config_.id,
+                    obs::SpanTracker::global().lookup_seq(from,
+                                                          packet->header.seq),
+                    {{"from", static_cast<double>(from)},
+                     {"seq", static_cast<double>(packet->header.seq)}});
     return {};
   }
   if (packet->header.dat && packet->header.ack) {
@@ -367,9 +381,9 @@ void ClientNode::handle_data_ack(const Packet& packet, util::SimTime now) {
     pending_.erase(it);
     ctr_.requests_fulfilled->inc();
     ctr_.bytes_received->inc(delivered.size());
-    obs::emit(now, "reply", "client", config_.id,
-              {{"bytes", static_cast<double>(delivered.size())},
-               {"latency_s", util::to_seconds(now - req.issued_at)}});
+    obs::span_end(now, "reply", "client", config_.id, req.ctx,
+                  {{"bytes", static_cast<double>(delivered.size())},
+                   {"latency_s", util::to_seconds(now - req.issued_at)}});
     if (req.callback) req.callback(delivered, now);
     break;
   }

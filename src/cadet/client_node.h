@@ -23,6 +23,7 @@
 #include "entropy/pool.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace cadet {
@@ -188,6 +189,7 @@ class ClientNode {
     std::uint64_t id = 0;          // retry bookkeeping
     std::size_t attempts = 0;      // retransmissions so far
     util::Bytes wire;              // original datagram (same seq on retry)
+    obs::SpanContext ctx;          // root span (request lifecycle)
   };
   std::deque<PendingRequest> pending_;
   std::uint64_t next_request_id_ = 1;

@@ -7,6 +7,7 @@
 #include "cadet/config.h"
 #include "cadet/seal.h"
 #include "crypto/sha256.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/log.h"
 
@@ -53,6 +54,10 @@ EdgeNode::EdgeNode(const Config& config)
   ctr_.bytes_delivered =
       &metrics_->counter("cadet_edge_bytes_delivered", labels);
   cache_gauge_ = &metrics_->gauge("cadet_edge_cache_bytes", labels);
+  prov_newest_gauge_ =
+      &metrics_->gauge("cadet_edge_cache_gen_newest", labels);
+  prov_oldest_gauge_ =
+      &metrics_->gauge("cadet_edge_cache_gen_oldest", labels);
 }
 
 util::Bytes EdgeNode::wire(Packet packet) {
@@ -161,9 +166,11 @@ std::vector<net::Outgoing> EdgeNode::on_packet(net::NodeId from,
   if (!replay_.accept(from, packet->header.seq)) {
     usage_.tick();
     ctr_.dupes_dropped->inc();
-    obs::emit(now, "dupe_drop", "edge", config_.id,
-              {{"from", static_cast<double>(from)},
-               {"seq", static_cast<double>(packet->header.seq)}});
+    obs::span_event(now, "dupe_drop", "edge", config_.id,
+                    obs::SpanTracker::global().lookup_seq(
+                        from, packet->header.seq),
+                    {{"from", static_cast<double>(from)},
+                     {"seq", static_cast<double>(packet->header.seq)}});
     return {};
   }
   if (from == config_.server) {
@@ -190,17 +197,20 @@ util::Bytes EdgeNode::harvest_timing_bytes(std::size_t n) {
 
 std::vector<net::Outgoing> EdgeNode::handle_client_upload(
     net::NodeId client, const Packet& packet, util::SimTime now) {
+  // Join this packet back to the uploader's trace (bound to its wire seq).
+  obs::SpanTracker& tracker = obs::SpanTracker::global();
+  const obs::SpanContext up = tracker.lookup_seq(client, packet.header.seq);
   ctr_.uploads_received->inc();
-  obs::emit(now, "upload_rx", "edge", config_.id,
-            {{"client", static_cast<double>(client)},
-             {"bytes", static_cast<double>(packet.payload.size())}});
+  obs::span_event(now, "upload_rx", "edge", config_.id, up,
+                  {{"client", static_cast<double>(client)},
+                   {"bytes", static_cast<double>(packet.payload.size())}});
 
   // (2) penalty gate: delinquent devices are randomly ignored; the device
   // cannot tell whether a given packet was scored, so it must play fair.
   if (penalty_.should_drop(client, rng_)) {
     ctr_.uploads_dropped_penalty->inc();
-    obs::emit(now, "penalty_drop", "edge", config_.id,
-              {{"client", static_cast<double>(client)}});
+    obs::span_event(now, "penalty_drop", "edge", config_.id, up,
+                    {{"client", static_cast<double>(client)}});
     return {};
   }
 
@@ -217,9 +227,9 @@ std::vector<net::Outgoing> EdgeNode::handle_client_upload(
   }
   if (!accepted) {
     ctr_.uploads_rejected_sanity->inc();
-    obs::emit(now, "sanity_reject", "edge", config_.id,
-              {{"client", static_cast<double>(client)},
-               {"checks_passed", static_cast<double>(checks_passed)}});
+    obs::span_event(now, "sanity_reject", "edge", config_.id, up,
+                    {{"client", static_cast<double>(client)},
+                     {"checks_passed", static_cast<double>(checks_passed)}});
     return {};
   }
 
@@ -247,19 +257,29 @@ std::vector<net::Outgoing> EdgeNode::handle_client_upload(
     upload_buffer_.clear();
     buffer_contributors_.clear();
     ctr_.bulk_uploads_sent->inc();
-    obs::emit(now, "bulk_upload", "edge", config_.id,
-              {{"bytes", static_cast<double>(bulk_bytes)}});
-    out.push_back({config_.server, wire(std::move(bulk))});
+    // A bulk upload aggregates many client traces; it gets its own trace,
+    // which the server's mix record joins via the wire seq.
+    const obs::SpanContext bulk_ctx = tracker.start_trace();
+    obs::span_complete(now, "bulk_upload", "edge", config_.id, bulk_ctx, 0,
+                       {{"bytes", static_cast<double>(bulk_bytes)}});
+    util::Bytes datagram = wire(std::move(bulk));
+    tracker.bind_seq(config_.id, tx_seq_, bulk_ctx);
+    out.push_back({config_.server, std::move(datagram)});
   }
   return out;
 }
 
 std::vector<net::Outgoing> EdgeNode::handle_client_request(
     net::NodeId client, const Packet& packet, util::SimTime now) {
+  // Adopt the client's request root via the wire seq: the serve decision
+  // below becomes a zero-length child span of that root. Retransmissions
+  // reuse the seq, so a retried request lands in the same trace.
+  obs::SpanTracker& tracker = obs::SpanTracker::global();
+  const obs::SpanContext root = tracker.lookup_seq(client, packet.header.seq);
   ctr_.requests_received->inc();
-  obs::emit(now, "request", "edge", config_.id,
-            {{"client", static_cast<double>(client)},
-             {"bits", static_cast<double>(packet.header.argument)}});
+  obs::span_event(now, "request", "edge", config_.id, root,
+                  {{"client", static_cast<double>(client)},
+                   {"bits", static_cast<double>(packet.header.argument)}});
   // Clamp to what this cache tier can ever hold: the 16-bit request field
   // allows asks (8 kB) larger than a small edge's whole cache, which could
   // otherwise queue forever.
@@ -274,12 +294,18 @@ std::vector<net::Outgoing> EdgeNode::handle_client_request(
     // so the request is relayed to the server, which seals the reply under
     // the client's own csk. Costs a full server round trip by design.
     ctr_.e2e_forwarded->inc();
-    obs::emit(now, "e2e_forward", "edge", config_.id,
-              {{"client", static_cast<double>(client)}});
+    obs::span_complete(now, "e2e_forward", "edge", config_.id,
+                       {root.trace, tracker.new_span()}, root.span,
+                       {{"client", static_cast<double>(client)}});
     cost_.add(cost::kCraftPacket);
     Packet fwd = Packet::data_request_e2e(packet.header.argument,
                                           /*edge_server=*/true, client);
-    return {{config_.server, wire(std::move(fwd))}};
+    util::Bytes datagram = wire(std::move(fwd));
+    // Bind the forward to the *root*: the server's serve span and this
+    // edge's later relay span both parent directly on it, which keeps
+    // their timestamps nested in the root interval.
+    tracker.bind_seq(config_.id, tx_seq_, root);
+    return {{config_.server, std::move(datagram)}};
   }
 
   const bool heavy = usage_.is_heavy(client);
@@ -289,18 +315,25 @@ std::vector<net::Outgoing> EdgeNode::handle_client_request(
   cache_gauge_->set(static_cast<std::int64_t>(cache_.size_bytes()));
   if (!served.empty()) {
     ctr_.cache_hits->inc();
-    obs::emit(now, "cache_hit", "edge", config_.id,
-              {{"client", static_cast<double>(client)},
-               {"bytes", static_cast<double>(served.size())}});
+    // Which refill batches fed this delivery (entropy provenance).
+    const auto src = prov_.debit(served.size());
+    prov_oldest_gauge_->set(static_cast<std::int64_t>(prov_.oldest()));
+    obs::span_complete(now, "cache_hit", "edge", config_.id,
+                       {root.trace, tracker.new_span()}, root.span,
+                       {{"client", static_cast<double>(client)},
+                        {"bytes", static_cast<double>(served.size())},
+                        {"src_lo", static_cast<double>(src.lo)},
+                        {"src_hi", static_cast<double>(src.hi)}});
     cost_.add(cost::kCraftPacket);
-    out.push_back(make_client_delivery(client, std::move(served)));
+    out.push_back(make_client_delivery(client, std::move(served), root));
   } else {
     if (heavy && cache_.size_bytes() >= bytes) ctr_.heavy_rejections->inc();
     ctr_.cache_misses->inc();
-    obs::emit(now, "cache_miss", "edge", config_.id,
-              {{"client", static_cast<double>(client)},
-               {"bytes", static_cast<double>(bytes)}});
-    pending_.push_back(PendingRequest{client, bytes, heavy, now});
+    obs::span_complete(now, "cache_miss", "edge", config_.id,
+                       {root.trace, tracker.new_span()}, root.span,
+                       {{"client", static_cast<double>(client)},
+                        {"bytes", static_cast<double>(bytes)}});
+    pending_.push_back(PendingRequest{client, bytes, heavy, now, root});
   }
 
   const auto refill = maybe_refill(bytes, now);
@@ -316,6 +349,8 @@ std::vector<net::Outgoing> EdgeNode::maybe_refill(std::size_t extra_bytes,
     // client). Declare it lost after a timeout and re-issue.
     if (now - refill_sent_at_ < kRefillTimeoutNs) return {};
     refill_outstanding_ = false;
+    obs::span_end(now, "refill_lost", "edge", config_.id, refill_ctx_, {});
+    refill_ctx_ = {};
   }
   const bool low = config_.refill_policy == RefillPolicy::kAdaptive
                        ? adaptive_needs_refill()
@@ -334,11 +369,18 @@ std::vector<net::Outgoing> EdgeNode::maybe_refill(std::size_t extra_bytes,
   refill_sent_at_ = now;
   ++refill_epoch_;
   schedule_refill_retry();
-  obs::emit(now, "refill", "edge", config_.id,
-            {{"bits", static_cast<double>(bits)},
-             {"cache_bytes", static_cast<double>(cache_.size_bytes())}});
+  // A refill serves whichever requests are queued when data lands and can
+  // outlive any one of them, so it is its own trace root (duration = the
+  // refill round trip), not a child of the triggering request.
+  obs::SpanTracker& tracker = obs::SpanTracker::global();
+  refill_ctx_ = tracker.start_trace();
+  obs::span_begin(now, "refill", "edge", config_.id, refill_ctx_, 0,
+                  {{"bits", static_cast<double>(bits)},
+                   {"cache_bytes", static_cast<double>(cache_.size_bytes())}});
   Packet req = Packet::data_request(bits, /*edge_server=*/true);
-  return {{config_.server, wire(std::move(req))}};
+  util::Bytes datagram = wire(std::move(req));
+  tracker.bind_seq(config_.id, tx_seq_, refill_ctx_);
+  return {{config_.server, std::move(datagram)}};
 }
 
 void EdgeNode::schedule_refill_retry() {
@@ -354,8 +396,10 @@ void EdgeNode::schedule_refill_retry() {
         refill_outstanding_ = false;
         ++refill_retries_;
         ctr_.refill_retries->inc();
-        obs::emit(now, "refill_retry", "edge", config_.id,
-                  {{"attempt", static_cast<double>(refill_retries_)}});
+        // Closes the lost refill's span; maybe_refill opens a fresh trace.
+        obs::span_end(now, "refill_retry", "edge", config_.id, refill_ctx_,
+                      {{"attempt", static_cast<double>(refill_retries_)}});
+        refill_ctx_ = {};
         return maybe_refill(0, now);
       });
 }
@@ -374,9 +418,19 @@ std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
     // Sealed size upper-bounds the plaintext, so the delivered-bytes
     // invariant (Σ client bytes_received ≤ Σ edge bytes_delivered) holds.
     ctr_.bytes_delivered->inc(sealed.size());
+    // The server bound its reply to the request's root context.
+    obs::SpanTracker& tracker = obs::SpanTracker::global();
+    const obs::SpanContext root =
+        tracker.lookup_seq(config_.server, packet.header.seq);
+    obs::span_complete(now, "relay", "edge", config_.id,
+                       {root.trace, tracker.new_span()}, root.span,
+                       {{"client", static_cast<double>(client)},
+                        {"bytes", static_cast<double>(sealed.size())}});
     Packet fwd = Packet::data_ack_e2e(std::move(sealed),
                                       /*edge_server=*/false);
-    return {{client, wire(std::move(fwd))}};
+    util::Bytes datagram = wire(std::move(fwd));
+    tracker.bind_seq(config_.id, tx_seq_, root);
+    return {{client, std::move(datagram)}};
   }
 
   // TCP-style smoothed RTT of the refill round trip feeds the adaptive
@@ -388,6 +442,27 @@ std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
   refill_outstanding_ = false;
   refill_retries_ = 0;  // a genuine response resets the retry budget
 
+  // The server bound its reply to the refill that asked for it. A reply
+  // for the *current* refill closes its span — on every terminal path,
+  // usable data or not, or the span would leak open. A stale reply (its
+  // refill was already declared lost and re-issued) must not close the
+  // newer refill's span. With spans off both contexts are invalid and the
+  // guard passes, preserving the plain-event output.
+  obs::SpanTracker& tracker = obs::SpanTracker::global();
+  const obs::SpanContext reply_ctx =
+      tracker.lookup_seq(config_.server, packet.header.seq);
+  const bool current = reply_ctx.trace == refill_ctx_.trace;
+  const auto close_refill = [&](const char* name, double bytes) {
+    if (current) {
+      obs::span_end(now, name, "edge", config_.id, refill_ctx_,
+                    {{"bytes", bytes}});
+      refill_ctx_ = {};
+    } else {
+      obs::span_event(now, name, "edge", config_.id, reply_ctx,
+                      {{"bytes", bytes}, {"stale", 1.0}});
+    }
+  };
+
   util::Bytes delivered;
   if (packet.header.encrypted) {
     if (!esk_) return {};
@@ -397,6 +472,7 @@ std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
       // A restarted server no longer holds our esk; its replies (sealed
       // under a key we do not have, or rejected by ours) show up here as
       // repeated open failures. Recover by re-registering.
+      close_refill("refill_bad_data", 0.0);
       return note_open_failure(now);
     }
     consecutive_open_failures_ = 0;
@@ -406,16 +482,28 @@ std::vector<net::Outgoing> EdgeNode::handle_server_data(const Packet& packet,
       // Downgrade: a registered edge must not accept plaintext deliveries.
       // This is also what a restarted server (which lost our esk) sends,
       // so it feeds the same recovery counter.
+      close_refill("refill_bad_data", 0.0);
       return note_open_failure(now);
     }
     delivered = packet.payload;
   }
-  if (delivered.empty()) return {};
+  if (delivered.empty()) {
+    // The server's pool was dry: the round trip completed with no bytes.
+    close_refill("refill_empty", 0.0);
+    return {};
+  }
+
+  // Close the refill trace: the round trip ends where usable data lands.
+  close_refill("refill_data", static_cast<double>(delivered.size()));
 
   // Edge mixing (Fig. 2 downstream step 5) dominates the cache-miss path.
   cost_.add(cost::kEdgeMixPerByte * static_cast<double>(delivered.size()));
   cache_.insert(delivered);
   cache_gauge_->set(static_cast<std::int64_t>(cache_.size_bytes()));
+  // New provenance batch: these bytes entered the cache together.
+  prov_.credit(++refill_batch_, delivered.size());
+  prov_newest_gauge_->set(static_cast<std::int64_t>(prov_.newest()));
+  prov_oldest_gauge_->set(static_cast<std::int64_t>(prov_.oldest()));
 
   return drain_pending(now);
 }
@@ -432,7 +520,16 @@ std::vector<net::Outgoing> EdgeNode::drain_pending(util::SimTime now) {
     util::Bytes served = cache_.take(req.bytes, req.heavy);
     if (served.empty()) break;
     cost_.add(cost::kCraftPacket);
-    out.push_back(make_client_delivery(req.client, std::move(served)));
+    const auto src = prov_.debit(served.size());
+    prov_oldest_gauge_->set(static_cast<std::int64_t>(prov_.oldest()));
+    // Per-delivery provenance record, tagged with the request's trace.
+    obs::span_event(now, "delivery", "edge", config_.id, req.ctx,
+                    {{"client", static_cast<double>(req.client)},
+                     {"bytes", static_cast<double>(served.size())},
+                     {"src_lo", static_cast<double>(src.lo)},
+                     {"src_hi", static_cast<double>(src.hi)}});
+    out.push_back(make_client_delivery(req.client, std::move(served),
+                                       req.ctx));
     pending_.pop_front();
   }
   cache_gauge_->set(static_cast<std::int64_t>(cache_.size_bytes()));
@@ -444,19 +541,24 @@ std::vector<net::Outgoing> EdgeNode::drain_pending(util::SimTime now) {
 }
 
 net::Outgoing EdgeNode::make_client_delivery(net::NodeId client,
-                                             util::Bytes data) {
+                                             util::Bytes data,
+                                             obs::SpanContext ctx) {
   ctr_.bytes_delivered->inc(data.size());
   const auto key_it = client_keys_.find(client);
-  if (key_it != client_keys_.end()) {
-    cost_.add(cost::kSealPerByte * static_cast<double>(data.size()));
-    util::Bytes sealed = seal(key_it->second, data, csprng_);
-    return {client,
-            wire(Packet::data_ack(std::move(sealed), /*edge_server=*/false,
-                                  /*encrypted=*/true))};
-  }
-  return {client, wire(Packet::data_ack(std::move(data),
-                                        /*edge_server=*/false,
-                                        /*encrypted=*/false))};
+  Packet packet = [&] {
+    if (key_it != client_keys_.end()) {
+      cost_.add(cost::kSealPerByte * static_cast<double>(data.size()));
+      util::Bytes sealed = seal(key_it->second, data, csprng_);
+      return Packet::data_ack(std::move(sealed), /*edge_server=*/false,
+                              /*encrypted=*/true);
+    }
+    return Packet::data_ack(std::move(data), /*edge_server=*/false,
+                            /*encrypted=*/false);
+  }();
+  util::Bytes datagram = wire(std::move(packet));
+  // Lets the client (and its dedup path) join the delivery to the trace.
+  obs::SpanTracker::global().bind_seq(config_.id, tx_seq_, ctx);
+  return {client, std::move(datagram)};
 }
 
 std::vector<net::Outgoing> EdgeNode::note_open_failure(util::SimTime now) {

@@ -23,10 +23,12 @@
 #include "cadet/node_common.h"
 #include "cadet/packet.h"
 #include "cadet/penalty.h"
+#include "cadet/provenance.h"
 #include "cadet/registration.h"
 #include "cadet/usage.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace cadet {
@@ -143,7 +145,8 @@ class EdgeNode {
   std::vector<net::Outgoing> handle_reg_packet(net::NodeId from,
                                                const Packet& packet,
                                                util::SimTime now);
-  net::Outgoing make_client_delivery(net::NodeId client, util::Bytes data);
+  net::Outgoing make_client_delivery(net::NodeId client, util::Bytes data,
+                                     obs::SpanContext ctx);
   std::vector<net::Outgoing> maybe_refill(std::size_t extra_bytes,
                                           util::SimTime now);
   std::vector<net::Outgoing> drain_pending(util::SimTime now);
@@ -188,6 +191,10 @@ class EdgeNode {
     obs::Counter* bytes_delivered = nullptr;
   } ctr_;
   obs::Gauge* cache_gauge_ = nullptr;
+  // Provenance watermarks: newest / oldest refill batch still feeding the
+  // cache (see provenance.h for the approximate-FIFO caveat).
+  obs::Gauge* prov_newest_gauge_ = nullptr;
+  obs::Gauge* prov_oldest_gauge_ = nullptr;
 
   util::Bytes upload_buffer_;
   std::set<net::NodeId> buffer_contributors_;
@@ -212,8 +219,14 @@ class EdgeNode {
     std::size_t bytes;
     bool heavy;
     util::SimTime queued_at = 0;
+    obs::SpanContext ctx;  // client request root (for delivery records)
   };
   std::deque<PendingRequest> pending_;
+  /// Cache lineage: one batch id per refill insert, debited on every take.
+  ProvenanceLedger prov_;
+  std::uint64_t refill_batch_ = 0;
+  /// Root span of the outstanding refill trace (invalid when none).
+  obs::SpanContext refill_ctx_;
   bool refill_outstanding_ = false;
   util::SimTime refill_sent_at_ = 0;
   /// Bumped whenever a refill request leaves; a retry timer only acts if

@@ -1,0 +1,96 @@
+// Entropy provenance: source-batch lineage for pool contributions and
+// deliveries (paper §III — EaaS-style auditing of *which* uploads fed the
+// bytes a client received).
+//
+// Each tier keeps a FIFO ledger of (generation, bytes) credit segments:
+// the server credits one generation per mixing-pool contribution, the edge
+// credits one batch per cache refill insert. Every draw debits the ledger
+// front-first and reports the [oldest, newest] generation range the served
+// bytes came from; those ranges ride the delivery trace events, and the
+// newest/oldest live generations surface as per-tier watermark gauges.
+//
+// The accounting is deliberately approximate FIFO: the server pool is
+// hash-mixed (every output depends on every input) and the edge cache has
+// a reserve partition, so byte-exact lineage does not exist — the range
+// answers "entropy from which contribution window could have influenced
+// these bytes", which is the auditable fact.
+//
+// Header-only; cheap enough to run unconditionally, but engines only
+// consult it when observability is compiled in.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace cadet {
+
+class ProvenanceLedger {
+ public:
+  struct Range {
+    std::uint64_t lo = 0;  // oldest generation the draw touched
+    std::uint64_t hi = 0;  // newest generation the draw touched
+  };
+
+  /// Record `bytes` of entropy contributed under `generation`
+  /// (generations are per-tier monotonic; 0 is reserved for "unknown").
+  void credit(std::uint64_t generation, std::size_t bytes) {
+    if (bytes == 0) return;
+    if (!segments_.empty() && segments_.back().generation == generation) {
+      segments_.back().bytes += bytes;
+    } else {
+      segments_.push_back({generation, bytes});
+    }
+    if (generation > newest_) newest_ = generation;
+  }
+
+  /// Consume `bytes` oldest-first; returns the generation range consumed.
+  /// Draws beyond the credited total (seed entropy predating the ledger)
+  /// extend the range down to generation 0.
+  Range debit(std::size_t bytes) {
+    Range range;
+    bool first = true;
+    while (bytes > 0 && !segments_.empty()) {
+      Segment& front = segments_.front();
+      if (first) {
+        range.lo = range.hi = front.generation;
+        first = false;
+      } else {
+        range.lo = std::min(range.lo, front.generation);
+        range.hi = std::max(range.hi, front.generation);
+      }
+      const std::size_t take = std::min(bytes, front.bytes);
+      front.bytes -= take;
+      bytes -= take;
+      if (front.bytes == 0) segments_.pop_front();
+    }
+    if (bytes > 0) range.lo = 0;  // drained past all credited segments
+    return range;
+  }
+
+  /// Newest generation ever credited (watermark gauge).
+  std::uint64_t newest() const noexcept { return newest_; }
+
+  /// Oldest generation still live in the ledger (0 when drained).
+  std::uint64_t oldest() const noexcept {
+    return segments_.empty() ? 0 : segments_.front().generation;
+  }
+
+  std::size_t credited_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Segment& segment : segments_) total += segment.bytes;
+    return total;
+  }
+
+ private:
+  struct Segment {
+    std::uint64_t generation = 0;
+    std::size_t bytes = 0;
+  };
+
+  std::deque<Segment> segments_;
+  std::uint64_t newest_ = 0;
+};
+
+}  // namespace cadet

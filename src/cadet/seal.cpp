@@ -2,11 +2,13 @@
 
 #include "crypto/chacha20.h"
 #include "crypto/hmac.h"
+#include "obs/profile.h"
 
 namespace cadet {
 
 util::Bytes seal(util::BytesView key, util::BytesView plaintext,
                  crypto::Csprng& rng) {
+  CADET_PROFILE_SCOPE("crypto.seal");
   util::Bytes out(kSealNonceBytes);
   rng.generate(out);
 
@@ -21,6 +23,7 @@ util::Bytes seal(util::BytesView key, util::BytesView plaintext,
 }
 
 std::optional<util::Bytes> open(util::BytesView key, util::BytesView sealed) {
+  CADET_PROFILE_SCOPE("crypto.open");
   if (sealed.size() < kSealOverhead) return std::nullopt;
   const std::size_t ct_end = sealed.size() - kSealTagBytes;
   const auto expected = crypto::hmac_sha256(

@@ -5,6 +5,7 @@
 
 #include "cadet/config.h"
 #include "cadet/seal.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/log.h"
 
@@ -47,6 +48,10 @@ ServerNode::ServerNode(const Config& config)
       &metrics_->counter("cadet_server_dupes_dropped", labels);
   pool_.bind_metrics(*metrics_, labels);
   mixer_.bind_metrics(*metrics_, labels);
+  prov_newest_gauge_ =
+      &metrics_->gauge("cadet_server_pool_gen_newest", labels);
+  prov_oldest_gauge_ =
+      &metrics_->gauge("cadet_server_pool_gen_oldest", labels);
 }
 
 ServerNode::Stats ServerNode::stats() const noexcept {
@@ -71,7 +76,11 @@ util::Bytes ServerNode::wire(Packet packet) {
   return encode(packet);
 }
 
-void ServerNode::seed_pool(util::BytesView bytes) { pool_.push(bytes); }
+void ServerNode::seed_pool(util::BytesView bytes) {
+  pool_.push(bytes);
+  // Generation 0 = pre-protocol seed entropy (deployment bootstrap).
+  prov_.credit(0, bytes.size());
+}
 
 std::vector<net::Outgoing> ServerNode::on_packet(net::NodeId from,
                                                  util::BytesView data,
@@ -93,13 +102,17 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
   // Duplicate suppression: a retransmitted bulk upload must not be mixed
   // (and credited) twice, and a duplicated request must not drain the pool
   // for a reply nobody is waiting on.
+  obs::SpanTracker& tracker = obs::SpanTracker::global();
   if (!replay_.accept(from, packet.header.seq)) {
     ctr_.dupes_dropped->inc();
-    obs::emit(now, "dupe_drop", "server", config_.id,
-              {{"from", static_cast<double>(from)},
-               {"seq", static_cast<double>(packet.header.seq)}});
+    obs::span_event(now, "dupe_drop", "server", config_.id,
+                    tracker.lookup_seq(from, packet.header.seq),
+                    {{"from", static_cast<double>(from)},
+                     {"seq", static_cast<double>(packet.header.seq)}});
     return {};
   }
+  // Context the sender bound to this packet's seq (invalid if spans off).
+  const obs::SpanContext root = tracker.lookup_seq(from, packet.header.seq);
 
   if (packet.header.req && packet.header.end_to_end) {
     // Untrusted-edge request: seal the entropy under the requesting
@@ -116,16 +129,26 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
     if (served.size() < want) ctr_.requests_short->inc();
     ctr_.requests_served->inc();
     ctr_.bytes_served->inc(served.size());
-    obs::emit(now, "request", "server", config_.id,
-              {{"bytes", static_cast<double>(served.size())}, {"e2e", 1.0}});
+    const auto src = prov_.debit(served.size());
+    prov_oldest_gauge_->set(static_cast<std::int64_t>(prov_.oldest()));
+    obs::span_complete(now, "request", "server", config_.id,
+                       {root.trace, tracker.new_span()}, root.span,
+                       {{"bytes", static_cast<double>(served.size())},
+                        {"e2e", 1.0},
+                        {"gen_lo", static_cast<double>(src.lo)},
+                        {"gen_hi", static_cast<double>(src.hi)}});
     cost_.add(cost::kCraftPacket +
               cost::kSealPerByte * static_cast<double>(served.size()));
 
     util::Bytes payload(4);
     util::put_u32_be(payload.data(), client);
     util::append(payload, seal(record_it->second.csk, served, csprng_));
-    return {{from, wire(Packet::data_ack_e2e(std::move(payload),
-                                             packet.header.edge_server))}};
+    util::Bytes datagram = wire(Packet::data_ack_e2e(
+        std::move(payload), packet.header.edge_server));
+    // Bind the reply seq to the ROOT, not the serve span: the edge relay
+    // and the client's dedup tagging should parent on the request root.
+    tracker.bind_seq(config_.id, tx_seq_, root);
+    return {{from, std::move(datagram)}};
   }
 
   if (packet.header.req) {
@@ -135,34 +158,46 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
     if (served.size() < want) ctr_.requests_short->inc();
     ctr_.requests_served->inc();
     ctr_.bytes_served->inc(served.size());
-    obs::emit(now, "request", "server", config_.id,
-              {{"bytes", static_cast<double>(served.size())}, {"e2e", 0.0}});
+    const auto src = prov_.debit(served.size());
+    prov_oldest_gauge_->set(static_cast<std::int64_t>(prov_.oldest()));
+    obs::span_complete(now, "request", "server", config_.id,
+                       {root.trace, tracker.new_span()}, root.span,
+                       {{"bytes", static_cast<double>(served.size())},
+                        {"e2e", 0.0},
+                        {"gen_lo", static_cast<double>(src.lo)},
+                        {"gen_hi", static_cast<double>(src.hi)}});
     cost_.add(cost::kCraftPacket);
 
     const auto esk_it = edge_keys_.find(from);
+    util::Bytes datagram;
     if (esk_it != edge_keys_.end()) {
       cost_.add(cost::kSealPerByte * static_cast<double>(served.size()));
       util::Bytes sealed = seal(esk_it->second, served, csprng_);
-      return {{from, wire(Packet::data_ack(std::move(sealed),
-                                           packet.header.edge_server,
-                                           /*encrypted=*/true))}};
+      datagram = wire(Packet::data_ack(std::move(sealed),
+                                       packet.header.edge_server,
+                                       /*encrypted=*/true));
+    } else {
+      datagram = wire(Packet::data_ack(std::move(served),
+                                       packet.header.edge_server,
+                                       /*encrypted=*/false));
     }
-    return {{from, wire(Packet::data_ack(std::move(served),
-                                         packet.header.edge_server,
-                                         /*encrypted=*/false))}};
+    // An edge refill closes its own refill span on receipt; binding the
+    // request root here covers direct client requests and dedup tagging.
+    tracker.bind_seq(config_.id, tx_seq_, root);
+    return {{from, std::move(datagram)}};
   }
 
   if (packet.header.ack) {
     // Delivery from a peer server's pool exchange: mix it in directly.
-    mix_contribution(packet.payload, now);
+    mix_contribution(packet.payload, now, root);
     return {};
   }
 
   // Upload (bulk from an edge, direct from a client, or a peer exchange).
   ctr_.uploads_received->inc();
-  obs::emit(now, "upload_rx", "server", config_.id,
-            {{"from", static_cast<double>(from)},
-             {"bytes", static_cast<double>(packet.payload.size())}});
+  obs::span_event(now, "upload_rx", "server", config_.id, root,
+                  {{"from", static_cast<double>(from)},
+                   {"bytes", static_cast<double>(packet.payload.size())}});
   if (penalty_.should_drop(from, rng_)) {
     ctr_.uploads_dropped_penalty->inc();
     return {};
@@ -176,17 +211,24 @@ std::vector<net::Outgoing> ServerNode::handle_data(net::NodeId from,
       return {};
     }
   }
-  mix_contribution(packet.payload, now);
+  mix_contribution(packet.payload, now, root);
   return {};
 }
 
-void ServerNode::mix_contribution(util::BytesView payload, util::SimTime now) {
+void ServerNode::mix_contribution(util::BytesView payload, util::SimTime now,
+                                  obs::SpanContext ctx) {
   if (payload.empty()) return;
   cost_.add(cost::kServerMixPerByte * static_cast<double>(payload.size()));
   mixer_.add_input(payload);
   ctr_.bytes_mixed->inc(payload.size());
-  obs::emit(now, "mix", "server", config_.id,
-            {{"bytes", static_cast<double>(payload.size())}});
+  // One provenance generation per mixed contribution; drawn down FIFO by
+  // every pool pop (serves, quality drops, peer exchanges).
+  prov_.credit(++mix_generation_, payload.size());
+  prov_newest_gauge_->set(static_cast<std::int64_t>(prov_.newest()));
+  prov_oldest_gauge_->set(static_cast<std::int64_t>(prov_.oldest()));
+  obs::span_event(now, "mix", "server", config_.id, ctx,
+                  {{"bytes", static_cast<double>(payload.size())},
+                   {"gen", static_cast<double>(mix_generation_)}});
   bytes_since_quality_check_ += payload.size();
   maybe_quality_check();
 }
@@ -226,6 +268,8 @@ nist::BatteryResult ServerNode::run_quality_check() {
   if (failures >= 2 || decisive) {
     ctr_.quality_checks_failed->inc();
     pool_.pop(snapshot.size());
+    prov_.debit(snapshot.size());
+    prov_oldest_gauge_->set(static_cast<std::int64_t>(prov_.oldest()));
     CADET_LOG_WARN << "server " << config_.id
                    << ": quality check failed (" << failures
                    << " tests); dropped " << snapshot.size()
@@ -239,6 +283,8 @@ std::vector<net::Outgoing> ServerNode::begin_pool_exchange(net::NodeId peer,
   util::Bytes chunk = pool_.pop(bytes);
   if (chunk.empty()) return {};
   ctr_.pool_exchanges->inc();
+  prov_.debit(chunk.size());
+  prov_oldest_gauge_->set(static_cast<std::int64_t>(prov_.oldest()));
   cost_.add(cost::kCraftPacket);
   // Shipped as a data delivery so the peer mixes it without a sanity gate
   // (peer servers are trusted infrastructure).

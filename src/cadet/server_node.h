@@ -18,11 +18,13 @@
 #include "cadet/node_common.h"
 #include "cadet/packet.h"
 #include "cadet/penalty.h"
+#include "cadet/provenance.h"
 #include "cadet/registration.h"
 #include "entropy/yarrow.h"
 #include "net/transport.h"
 #include "nist/battery.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace cadet {
@@ -110,7 +112,8 @@ class ServerNode {
   std::vector<net::Outgoing> handle_registration(net::NodeId from,
                                                  const Packet& packet,
                                                  util::SimTime now);
-  void mix_contribution(util::BytesView payload, util::SimTime now);
+  void mix_contribution(util::BytesView payload, util::SimTime now,
+                        obs::SpanContext ctx = {});
   void maybe_quality_check();
 
   /// Stamp the next tx sequence number and serialize.
@@ -144,6 +147,10 @@ class ServerNode {
     obs::Counter* pool_exchanges = nullptr;
     obs::Counter* dupes_dropped = nullptr;
   } ctr_;
+  // Provenance watermarks: newest / oldest mixing generation still live in
+  // the pool (see provenance.h for the approximate-FIFO caveat).
+  obs::Gauge* prov_newest_gauge_ = nullptr;
+  obs::Gauge* prov_oldest_gauge_ = nullptr;
 
   // Handshakes in flight: peer id -> (derived key, expected confirm nonce).
   struct PendingHandshake {
@@ -161,6 +168,11 @@ class ServerNode {
   std::unordered_map<net::NodeId, ClientRecord> client_records_;
 
   std::uint64_t bytes_since_quality_check_ = 0;
+
+  /// Pool lineage: one generation per mixed contribution, debited on every
+  /// pool draw (serves, quality-check drops, peer exchanges).
+  ProvenanceLedger prov_;
+  std::uint64_t mix_generation_ = 0;
 };
 
 }  // namespace cadet

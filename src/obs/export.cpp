@@ -3,7 +3,9 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <ostream>
 
 #include "obs/csv.h"
@@ -11,6 +13,19 @@
 namespace cadet::obs {
 
 namespace {
+
+// Label-value escaping per the exposition spec: backslash, double-quote,
+// and newline must be escaped inside the quoted value.
+void append_escaped_label(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
 
 std::string label_block(const Labels& labels, const char* extra_key = nullptr,
                         const std::string& extra_value = {}) {
@@ -22,14 +37,14 @@ std::string label_block(const Labels& labels, const char* extra_key = nullptr,
     first = false;
     out += key;
     out += "=\"";
-    out += value;
+    append_escaped_label(out, value);
     out += '"';
   }
   if (extra_key != nullptr) {
     if (!first) out += ',';
     out += extra_key;
     out += "=\"";
-    out += extra_value;
+    append_escaped_label(out, extra_value);
     out += '"';
   }
   out += '}';
@@ -46,6 +61,17 @@ std::string format_double(double v) {
     std::snprintf(buf, sizeof(buf), "%.9g", v);
   }
   return buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
 }
 
 const char* kind_name(Registry::Kind kind) {
@@ -109,7 +135,9 @@ std::string to_json(const Registry& registry) {
     for (const auto& [key, value] : entry.labels) {
       if (!first_label) out += ',';
       first_label = false;
-      out += '"' + key + "\":\"" + value + '"';
+      out += '"' + key + "\":\"";
+      append_json_escaped(out, value);
+      out += '"';
     }
     out += '}';
     switch (entry.kind) {
@@ -165,6 +193,100 @@ void write_csv(const Registry& registry, std::ostream& out) {
     out << csv_join({entry.name, labels, kind_name(entry.kind), value})
         << '\n';
   }
+}
+
+PromParse parse_prometheus(std::string_view text) {
+  PromParse result;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // Only "# TYPE <family> <type>" comments carry structure.
+      constexpr std::string_view kType = "# TYPE ";
+      if (line.substr(0, kType.size()) == kType) {
+        const std::string_view rest = line.substr(kType.size());
+        const std::size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          result.errors.emplace_back(line);
+        } else {
+          result.types.emplace_back(std::string(rest.substr(0, space)),
+                                    std::string(rest.substr(space + 1)));
+        }
+      }
+      continue;
+    }
+
+    PromSample sample;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    if (i == 0 || i == line.size()) {
+      result.errors.emplace_back(line);
+      continue;
+    }
+    sample.name = std::string(line.substr(0, i));
+
+    bool bad = false;
+    if (line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        const std::size_t eq = line.find('=', i);
+        if (eq == std::string_view::npos || eq + 1 >= line.size() ||
+            line[eq + 1] != '"') {
+          bad = true;
+          break;
+        }
+        std::string key(line.substr(i, eq - i));
+        std::string value;
+        std::size_t j = eq + 2;  // past the opening quote
+        while (j < line.size() && line[j] != '"') {
+          if (line[j] == '\\' && j + 1 < line.size()) {
+            const char esc = line[j + 1];
+            value += esc == 'n' ? '\n' : esc;
+            j += 2;
+          } else {
+            value += line[j++];
+          }
+        }
+        if (j >= line.size()) {  // unterminated value
+          bad = true;
+          break;
+        }
+        sample.labels.emplace_back(std::move(key), std::move(value));
+        i = j + 1;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (bad || i >= line.size()) {
+        result.errors.emplace_back(line);
+        continue;
+      }
+      ++i;  // past '}'
+    }
+
+    if (i >= line.size() || line[i] != ' ') {
+      result.errors.emplace_back(line);
+      continue;
+    }
+    const std::string value_text(line.substr(i + 1));
+    if (value_text == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else if (value_text == "-Inf") {
+      sample.value = -std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        result.errors.emplace_back(line);
+        continue;
+      }
+    }
+    result.samples.push_back(std::move(sample));
+  }
+  return result;
 }
 
 bool write_file(const std::string& path, const std::string& text) {

@@ -1,0 +1,142 @@
+#include "obs/profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace cadet::obs {
+
+namespace {
+
+/// Inclusive sim time = self + subtree (wall is stored inclusive already;
+/// sim is charged to the innermost scope only).
+std::uint64_t inclusive_sim(const std::vector<Profiler::Node>& nodes,
+                            std::uint32_t index) {
+  std::uint64_t total = nodes[index].sim_ns;
+  for (const std::uint32_t child : nodes[index].children) {
+    total += inclusive_sim(nodes, child);
+  }
+  return total;
+}
+
+std::uint64_t children_wall(const std::vector<Profiler::Node>& nodes,
+                            std::uint32_t index) {
+  std::uint64_t total = 0;
+  for (const std::uint32_t child : nodes[index].children) {
+    total += nodes[child].wall_ns;
+  }
+  return total;
+}
+
+void append_stack(const std::vector<Profiler::Node>& nodes,
+                  std::uint32_t index, std::string& out) {
+  if (index == 0) return;
+  append_stack(nodes, nodes[index].parent, out);
+  if (nodes[index].parent != 0) out += ';';
+  out += nodes[index].name;
+}
+
+void folded_walk(const std::vector<Profiler::Node>& nodes,
+                 std::uint32_t index, bool sim_time, std::string& out) {
+  if (index != 0) {
+    const std::uint64_t child_wall = children_wall(nodes, index);
+    const std::uint64_t self_ns =
+        sim_time ? nodes[index].sim_ns
+                 : (nodes[index].wall_ns > child_wall
+                        ? nodes[index].wall_ns - child_wall
+                        : 0);
+    const std::uint64_t self_us = self_ns / 1000;
+    if (self_us > 0) {
+      append_stack(nodes, index, out);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", self_us);
+      out += buf;
+    }
+  }
+  for (const std::uint32_t child : nodes[index].children) {
+    folded_walk(nodes, child, sim_time, out);
+  }
+}
+
+void report_walk(const std::vector<Profiler::Node>& nodes,
+                 std::uint32_t index, int depth, std::string& out) {
+  if (index != 0) {
+    const std::uint64_t child_wall = children_wall(nodes, index);
+    const std::uint64_t excl_wall =
+        nodes[index].wall_ns > child_wall ? nodes[index].wall_ns - child_wall
+                                          : 0;
+    const std::uint64_t incl_sim = inclusive_sim(nodes, index);
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%*s%-*s %10" PRIu64 "  wall %9.3f/%9.3f ms"
+                  "  sim %9.3f/%9.3f ms\n",
+                  depth * 2, "", 28 - depth * 2, nodes[index].name,
+                  nodes[index].calls, nodes[index].wall_ns / 1e6,
+                  excl_wall / 1e6, incl_sim / 1e6,
+                  nodes[index].sim_ns / 1e6);
+    out += line;
+  }
+  for (const std::uint32_t child : nodes[index].children) {
+    report_walk(nodes, child, depth + (index != 0 ? 1 : 0), out);
+  }
+}
+
+}  // namespace
+
+std::uint32_t Profiler::push(const char* name) {
+  const std::uint32_t prev = current_;
+  for (const std::uint32_t child : nodes_[prev].children) {
+    // Compare by content: the same literal may have distinct addresses
+    // across translation units.
+    if (nodes_[child].name == name ||
+        std::strcmp(nodes_[child].name, name) == 0) {
+      current_ = child;
+      return prev;
+    }
+  }
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  Node node;
+  node.name = name;
+  node.parent = prev;
+  nodes_.push_back(std::move(node));
+  nodes_[prev].children.push_back(index);
+  current_ = index;
+  return prev;
+}
+
+void Profiler::pop(std::uint32_t prev, std::uint64_t wall_ns) {
+  Node& node = nodes_[current_];
+  node.calls += 1;
+  node.wall_ns += wall_ns;
+  current_ = prev;
+}
+
+std::string Profiler::folded(bool sim_time) const {
+  std::string out;
+  folded_walk(nodes_, 0, sim_time, out);
+  return out;
+}
+
+std::string Profiler::report() const {
+  std::string out;
+  out +=
+      "scope                             calls  wall incl/excl        "
+      "sim incl/excl\n";
+  report_walk(nodes_, 0, 0, out);
+  return out;
+}
+
+void Profiler::reset() {
+  nodes_.clear();
+  Node root;
+  root.name = "(root)";
+  nodes_.push_back(std::move(root));
+  current_ = 0;
+}
+
+Profiler& Profiler::global() {
+  static Profiler* instance = new Profiler();  // never destroyed
+  return *instance;
+}
+
+}  // namespace cadet::obs

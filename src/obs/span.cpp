@@ -1,0 +1,10 @@
+#include "obs/span.h"
+
+namespace cadet::obs {
+
+SpanTracker& SpanTracker::global() {
+  static SpanTracker* instance = new SpanTracker();  // never destroyed
+  return *instance;
+}
+
+}  // namespace cadet::obs

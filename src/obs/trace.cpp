@@ -49,6 +49,21 @@ std::string to_json(const TraceEvent& event) {
   char node[24];
   std::snprintf(node, sizeof(node), "%" PRIu64, event.node);
   out += node;
+  if (event.trace != 0) {
+    char ids[96];
+    std::snprintf(ids, sizeof(ids), ",\"trace\":%" PRIu64 ",\"span\":%" PRIu64,
+                  event.trace, event.span);
+    out += ids;
+    if (event.parent != 0) {
+      std::snprintf(ids, sizeof(ids), ",\"parent\":%" PRIu64, event.parent);
+      out += ids;
+    }
+  }
+  if (event.phase != 0) {
+    out += ",\"ph\":\"";
+    out += event.phase;
+    out += '"';
+  }
   for (std::uint8_t i = 0; i < event.num_attrs; ++i) {
     out += ",\"";
     append_escaped(out, event.attrs[i].key);
@@ -232,6 +247,8 @@ std::optional<ParsedEvent> parse_json_line(std::string_view line) {
         saw_name = true;
       } else if (key == "tier") {
         event.tier = std::move(value);
+      } else if (key == "ph") {
+        event.phase = value.empty() ? 0 : value[0];
       }
       // Unknown string keys are tolerated (schema may grow).
     } else {
@@ -242,6 +259,12 @@ std::optional<ParsedEvent> parse_json_line(std::string_view line) {
         saw_ts = true;
       } else if (key == "node") {
         event.node = static_cast<std::uint64_t>(value);
+      } else if (key == "trace") {
+        event.trace = static_cast<std::uint64_t>(value);
+      } else if (key == "span") {
+        event.span = static_cast<std::uint64_t>(value);
+      } else if (key == "parent") {
+        event.parent = static_cast<std::uint64_t>(value);
       } else {
         event.attrs.emplace_back(std::move(key), value);
       }

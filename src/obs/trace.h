@@ -37,6 +37,15 @@ struct TraceEvent {
   const char* name = "";  // string literal (event kind)
   const char* tier = "";  // "client" | "edge" | "server" | "net" | "sim"
   std::uint64_t node = 0;
+  // Causal span context (0 = not part of any trace). `phase` marks span
+  // boundary records: 'B' opens span `span` (with `parent` naming the
+  // enclosing span, 0 for a trace root), 'E' closes it, 'X' is a
+  // zero-length span (opened and closed at ts). phase == 0 is a plain
+  // event, optionally tagged with the trace/span it occurred under.
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  char phase = 0;
   std::array<Attr, 4> attrs{};
   std::uint8_t num_attrs = 0;
 };
@@ -157,7 +166,19 @@ struct ParsedEvent {
   std::string name;
   std::string tier;
   std::uint64_t node = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  char phase = 0;  // 'B' | 'E' | 'X' | 0
   std::vector<std::pair<std::string, double>> attrs;
+
+  /// Attribute lookup; returns `fallback` when the key is absent.
+  double attr(std::string_view key, double fallback = 0.0) const {
+    for (const auto& [k, v] : attrs) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
 };
 
 /// Parse one line of the tracer's JSONL output. Returns nullopt on

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/profile.h"
+
 namespace cadet::sim {
 
 // 4-ary layout: children of i are 4i+1 .. 4i+4, parent is (i-1)/4. The
@@ -91,6 +93,9 @@ void Simulator::bind_metrics(obs::Registry& registry) {
 }
 
 std::size_t Simulator::run_until(util::SimTime t_end) {
+  // One scope per run, never per step: profiling must not perturb the <5%
+  // observability-overhead budget on the event hot path.
+  CADET_PROFILE_SCOPE("sim.run");
   std::size_t executed = 0;
   while (!heap_.empty() && heap_.front().time <= t_end) {
     step();
@@ -102,6 +107,7 @@ std::size_t Simulator::run_until(util::SimTime t_end) {
 }
 
 std::size_t Simulator::run() {
+  CADET_PROFILE_SCOPE("sim.run");
   std::size_t executed = 0;
   while (step()) ++executed;
   flush_metrics();

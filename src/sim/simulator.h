@@ -35,6 +35,16 @@ class Simulator {
  public:
   using Callback = InlineFn;
 
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Metrics are batched (kDepthSampleInterval); push the residual delta so
+  /// a registry snapshot taken after the simulator dies is exact even when
+  /// the driver stepped manually and never reached a run/run_until
+  /// boundary. The bound registry must outlive the simulator.
+  ~Simulator() { flush_metrics(); }
+
   /// Current simulated time.
   util::SimTime now() const noexcept { return now_; }
 
@@ -121,6 +131,18 @@ class Simulator {
   /// are exact whenever run/run_until returns.
   void bind_metrics(obs::Registry& registry);
 
+  /// Push the events executed since the last flush to the bound counter and
+  /// refresh the depth gauge. Called automatically at run/run_until
+  /// boundaries and on destruction; drivers that sit directly on step()
+  /// (benchmarks, manual loops) call it before reading the registry.
+  void flush_metrics() noexcept {
+    if (events_counter_ != nullptr) {
+      events_counter_->inc(events_executed_ - events_published_);
+      events_published_ = events_executed_;
+      publish_depth();
+    }
+  }
+
   /// How often (in executed events) the metrics are refreshed. Power of two
   /// so the sample check compiles to a mask.
   static constexpr std::uint64_t kDepthSampleInterval = 256;
@@ -183,16 +205,6 @@ class Simulator {
   void publish_depth() noexcept {
     if (depth_gauge_ != nullptr) {
       depth_gauge_->set(static_cast<std::int64_t>(heap_.size()));
-    }
-  }
-
-  /// Push the events executed since the last flush to the bound counter and
-  /// refresh the depth gauge.
-  void flush_metrics() noexcept {
-    if (events_counter_ != nullptr) {
-      events_counter_->inc(events_executed_ - events_published_);
-      events_published_ = events_executed_;
-      publish_depth();
     }
   }
 

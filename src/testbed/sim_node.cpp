@@ -2,15 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/profile.h"
+
 namespace cadet::testbed {
 
 SimNode::SimNode(sim::Simulator& simulator, net::Transport& transport,
-                 sim::CpuModel cpu, net::NodeId id, CostMeter& meter)
+                 sim::CpuModel cpu, net::NodeId id, CostMeter& meter,
+                 const char* profile_label)
     : simulator_(simulator),
       transport_(transport),
       cpu_(cpu),
       id_(id),
-      meter_(meter) {}
+      meter_(meter),
+      profile_label_(profile_label) {}
 
 void SimNode::bind(std::function<std::vector<net::Outgoing>(
                        net::NodeId, util::BytesView, util::SimTime)>
@@ -52,9 +56,13 @@ void SimNode::process_one() {
   queue_.pop_front();
 
   const util::SimTime start = simulator_.now();
+  CADET_PROFILE_SCOPE(profile_label_);
   std::vector<net::Outgoing> out = work(start);
   const double cycles = meter_.take();
   busy_until_ = start + cpu_.time_for_cycles(cycles);
+  // Charge the simulated busy window (the metered engine work) to this
+  // tier's profile node, alongside the wall time the RAII scope measures.
+  CADET_PROFILE_ADD_SIM(busy_until_ - start);
 
   // Transmissions leave when processing completes.
   simulator_.schedule_at(busy_until_, [this, out = std::move(out)]() {

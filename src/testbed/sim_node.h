@@ -24,8 +24,11 @@ class SimNode {
   /// packets to transmit when the work completes.
   using Work = std::function<std::vector<net::Outgoing>(util::SimTime)>;
 
+  /// `profile_label` names this node's tier in the sim-time profiler call
+  /// tree (e.g. "client"); it must outlive the node (string literal).
   SimNode(sim::Simulator& simulator, net::Transport& transport,
-          sim::CpuModel cpu, net::NodeId id, CostMeter& meter);
+          sim::CpuModel cpu, net::NodeId id, CostMeter& meter,
+          const char* profile_label = "node");
 
   SimNode(const SimNode&) = delete;
   SimNode& operator=(const SimNode&) = delete;
@@ -53,6 +56,7 @@ class SimNode {
   sim::CpuModel cpu_;
   net::NodeId id_;
   CostMeter& meter_;
+  const char* profile_label_;
   std::deque<Work> queue_;
   bool scheduled_ = false;
   util::SimTime busy_until_ = 0;

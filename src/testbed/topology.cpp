@@ -51,7 +51,8 @@ World::World(const TestbedConfig& config) : config_(config) {
     }
     auto server = std::make_unique<ServerNode>(server_config);
     auto sim_node = std::make_unique<SimNode>(
-        sim_, wire, sim::kServerCpu, server_config.id, server->cost());
+        sim_, wire, sim::kServerCpu, server_config.id, server->cost(),
+        "server");
     ServerNode* raw = server.get();
     sim_node->bind([raw](net::NodeId from, util::BytesView data,
                          util::SimTime now) {
@@ -101,7 +102,7 @@ World::World(const TestbedConfig& config) : config_(config) {
       };
       auto edge = std::make_unique<EdgeNode>(edge_config);
       auto sim_node = std::make_unique<SimNode>(
-          sim_, wire, sim::kEdgeCpu, edge_config.id, edge->cost());
+          sim_, wire, sim::kEdgeCpu, edge_config.id, edge->cost(), "edge");
       EdgeNode* raw = edge.get();
       sim_node->bind([raw](net::NodeId from, util::BytesView data,
                            util::SimTime now) {
@@ -136,7 +137,8 @@ World::World(const TestbedConfig& config) : config_(config) {
     };
     auto client = std::make_unique<ClientNode>(client_config);
     auto sim_node = std::make_unique<SimNode>(
-        sim_, wire, sim::kClientCpu, client_config.id, client->cost());
+        sim_, wire, sim::kClientCpu, client_config.id, client->cost(),
+        "client");
     ClientNode* raw = client.get();
     sim_node->bind([raw](net::NodeId from, util::BytesView data,
                          util::SimTime now) {

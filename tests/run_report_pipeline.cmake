@@ -1,0 +1,78 @@
+# Helper for the report_pipeline test: a traced cadet_sim run feeds every
+# new consumer in this PR — cadet_trace --spans must validate the span
+# trees, cadet_report --check must join the trace against the metrics
+# snapshot without disagreement, and the folded profile and HTML report
+# must materialize with the expected shape.
+file(MAKE_DIRECTORY ${WORK_DIR})
+execute_process(
+  COMMAND ${TOOL_DIR}/cadet_sim --networks 2 --clients 4 --duration 120
+          --seed 7 --metrics-out ${WORK_DIR}/m.txt
+          --trace-out ${WORK_DIR}/t.jsonl
+          --profile-out ${WORK_DIR}/p.folded
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cadet_sim failed: ${rc}")
+endif()
+
+# Span trees must be structurally valid (exit 0 + the well-formed line).
+execute_process(
+  COMMAND ${TOOL_DIR}/cadet_trace ${WORK_DIR}/t.jsonl --spans
+  RESULT_VARIABLE rc OUTPUT_VARIABLE spans ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cadet_trace --spans reported problems:\n${spans}")
+endif()
+string(FIND "${spans}" "all span trees well-formed" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "span validation line missing:\n${spans}")
+endif()
+
+# --spans exits non-zero on a structurally broken trace: fabricate one with
+# an unclosed root span and make sure the tool objects.
+file(WRITE ${WORK_DIR}/broken.jsonl
+  "{\"ts\":1.000000,\"ev\":\"request\",\"tier\":\"client\",\"node\":1000,"
+  "\"trace\":1,\"span\":1,\"ph\":\"B\"}\n")
+execute_process(
+  COMMAND ${TOOL_DIR}/cadet_trace ${WORK_DIR}/broken.jsonl --spans
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "cadet_trace --spans accepted an unclosed span")
+endif()
+
+# cadet_report must reproduce the metrics-side counters from the trace
+# alone; --check turns any disagreement into a non-zero exit.
+execute_process(
+  COMMAND ${TOOL_DIR}/cadet_report ${WORK_DIR}/t.jsonl
+          --metrics ${WORK_DIR}/m.txt --check
+          --html ${WORK_DIR}/report.html --out ${WORK_DIR}/report.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE report ERROR_VARIABLE report_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "cadet_report --check failed (${rc}):\n${report}${report_err}")
+endif()
+
+file(READ ${WORK_DIR}/report.txt text)
+foreach(needle
+    "request funnel"
+    "fulfillment latency"
+    "hit ratio"
+    "entropy provenance"
+    "trace vs metrics"
+    "trace and metrics agree")
+  string(FIND "${text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "text report missing \"${needle}\":\n${text}")
+  endif()
+endforeach()
+
+file(READ ${WORK_DIR}/report.html html)
+string(FIND "${html}" "</html>" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "HTML report is truncated")
+endif()
+
+# The folded profile must carry nested testbed stacks with sim time.
+file(READ ${WORK_DIR}/p.folded folded)
+string(FIND "${folded}" "sim.run;" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "folded profile has no sim.run stacks:\n${folded}")
+endif()

@@ -1,0 +1,122 @@
+// Exporter round trips: the Prometheus text exposition must survive
+// parse_prometheus (names, label escaping, +Inf buckets), and the CSV/JSON
+// snapshots of a fixed registry are pinned against goldens so format drift
+// is a deliberate act, not an accident.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace cadet::obs {
+namespace {
+
+// A small registry exercising every instrument kind; entries() exports
+// sorted by (name, labels), which the goldens below depend on.
+void fill(Registry& reg) {
+  reg.counter("cadet_test_requests", tier_labels("edge", 100)).inc(7);
+  reg.counter("cadet_test_requests", tier_labels("edge", 101)).inc(2);
+  reg.gauge("cadet_test_depth").set(-3);
+  reg.histogram("cadet_test_latency_seconds", {}, {0.5, 1.0}).observe(0.75);
+}
+
+TEST(PromRoundTrip, SamplesAndTypesSurvive) {
+  Registry reg;
+  fill(reg);
+  const PromParse parsed = parse_prometheus(to_prometheus(reg));
+  EXPECT_TRUE(parsed.errors.empty());
+
+  ASSERT_EQ(parsed.types.size(), 3u);
+  EXPECT_EQ(parsed.types[0],
+            (std::pair<std::string, std::string>{"cadet_test_depth",
+                                                 "gauge"}));
+  EXPECT_EQ(parsed.types[1].second, "histogram");
+  EXPECT_EQ(parsed.types[2].second, "counter");
+
+  // 1 gauge + (3 buckets + sum + count) + 2 counters = 8 samples.
+  ASSERT_EQ(parsed.samples.size(), 8u);
+  EXPECT_EQ(parsed.samples[0].name, "cadet_test_depth");
+  EXPECT_EQ(parsed.samples[0].value, -3.0);
+  EXPECT_EQ(parsed.samples[6].name, "cadet_test_requests_total");
+  EXPECT_EQ(parsed.samples[6].labels, tier_labels("edge", 100));
+  EXPECT_EQ(parsed.samples[6].value, 7.0);
+  EXPECT_EQ(parsed.samples[7].value, 2.0);
+
+  // The +Inf bucket parses back to an actual infinity.
+  const PromSample& inf_bucket = parsed.samples[3];
+  EXPECT_EQ(inf_bucket.name, "cadet_test_latency_seconds_bucket");
+  ASSERT_EQ(inf_bucket.labels.size(), 1u);
+  EXPECT_EQ(inf_bucket.labels[0].first, "le");
+  EXPECT_EQ(inf_bucket.labels[0].second, "+Inf");
+  EXPECT_EQ(inf_bucket.value, 1.0);
+}
+
+TEST(PromRoundTrip, LabelEscapingIsInvertible) {
+  Registry reg;
+  reg.counter("cadet_test_nasty",
+              {{"path", "a\\b"}, {"quote", "say \"hi\""}, {"nl", "x\ny"}})
+      .inc(1);
+  const std::string text = to_prometheus(reg);
+  // The exposition itself stays one line per sample.
+  EXPECT_EQ(text.find("\ny\""), std::string::npos);
+  EXPECT_NE(text.find("a\\\\b"), std::string::npos);
+  EXPECT_NE(text.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(text.find("x\\ny"), std::string::npos);
+
+  const PromParse parsed = parse_prometheus(text);
+  EXPECT_TRUE(parsed.errors.empty());
+  ASSERT_EQ(parsed.samples.size(), 1u);
+  // Labels come back exactly as they went in, in the same order.
+  EXPECT_EQ(parsed.samples[0].labels,
+            (Labels{{"path", "a\\b"}, {"quote", "say \"hi\""},
+                    {"nl", "x\ny"}}));
+}
+
+TEST(PromParse, MalformedLinesAreCollectedNotDropped) {
+  const PromParse parsed = parse_prometheus(
+      "cadet_good 1\n"
+      "no_value_here\n"
+      "cadet_bad{unterminated=\"oops 3\n"
+      "cadet_notnum 12abc\n"
+      "# TYPE incomplete\n"
+      "\n"
+      "cadet_also_good{a=\"b\"} 2.5\n");
+  ASSERT_EQ(parsed.samples.size(), 2u);
+  EXPECT_EQ(parsed.samples[0].name, "cadet_good");
+  EXPECT_EQ(parsed.samples[1].value, 2.5);
+  EXPECT_EQ(parsed.errors.size(), 4u);
+}
+
+TEST(ExportGolden, CsvSnapshotIsPinned) {
+  Registry reg;
+  fill(reg);
+  std::ostringstream csv;
+  write_csv(reg, csv);
+  EXPECT_EQ(csv.str(),
+            "name,labels,kind,value\n"
+            "cadet_test_depth,,gauge,-3\n"
+            "cadet_test_latency_seconds,,histogram,\"1 obs, sum 0.75\"\n"
+            "cadet_test_requests,node=100;tier=edge,counter,7\n"
+            "cadet_test_requests,node=101;tier=edge,counter,2\n");
+}
+
+TEST(ExportGolden, JsonSnapshotIsPinned) {
+  Registry reg;
+  reg.counter("cadet_test_hits", {{"tier", "edge"}}).inc(9);
+  reg.histogram("cadet_test_lat", {}, {0.5}).observe(0.25);
+  EXPECT_EQ(
+      to_json(reg),
+      "{\"metrics\":["
+      "{\"name\":\"cadet_test_hits\",\"kind\":\"counter\","
+      "\"labels\":{\"tier\":\"edge\"},\"value\":9},"
+      "{\"name\":\"cadet_test_lat\",\"kind\":\"histogram\",\"labels\":{},"
+      "\"count\":1,\"sum\":0.25,\"buckets\":["
+      "{\"le\":0.5,\"count\":1},{\"le\":null,\"count\":0}]}"
+      "]}");
+}
+
+}  // namespace
+}  // namespace cadet::obs

@@ -286,6 +286,36 @@ TEST(LintSelfContainment, EndianNeedsBit) {
                   .empty());
 }
 
+TEST(LintSelfContainment, KnowsSpanAndExporterSymbols) {
+  // The span/exporter headers lean on these; the table must cover them.
+  const auto findings = lint::lint_content(
+      "src/obs/bad.h",
+      "#pragma once\n"
+      "inline void f(std::initializer_list<int> xs);\n"
+      "inline double inf() { return std::numeric_limits<double>::max(); }\n"
+      "inline bool bad(double v) { return std::isinf(v); }\n");
+  EXPECT_EQ(rules_hit(findings),
+            (std::vector<std::string>{
+                "header-self-containment",  // missing <initializer_list>
+                "header-self-containment",  // missing <limits>
+                "header-self-containment",  // missing <cmath>
+            }));
+
+  EXPECT_TRUE(lint::lint_content(
+                  "src/obs/ok.h",
+                  "#pragma once\n"
+                  "#include <cmath>\n"
+                  "#include <initializer_list>\n"
+                  "#include <limits>\n"
+                  "#include <string>\n"
+                  "inline void f(std::initializer_list<int> xs);\n"
+                  "inline double top() {\n"
+                  "  return std::numeric_limits<double>::max();\n"
+                  "}\n"
+                  "inline std::string n(int v) { return std::to_string(v); }\n")
+                  .empty());
+}
+
 TEST(LintSelfContainment, SuppressionOnUseLine) {
   EXPECT_TRUE(lint::lint_content(
                   "src/util/ok.h",

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace cadet::sim {
 namespace {
 
@@ -92,6 +94,41 @@ TEST(Simulator, LargeEventCount) {
   }
   sim.run();
   EXPECT_EQ(count, 100000u);
+}
+
+// Regression: the events counter is batched (kDepthSampleInterval), so a
+// driver that sits directly on step() and never reaches a run/run_until
+// boundary used to leave the residual delta unpublished forever. The
+// destructor must flush it.
+TEST(SimulatorMetrics, DestructorFlushesResidualBatchedDelta) {
+  obs::Registry registry;
+  {
+    Simulator sim;
+    sim.bind_metrics(registry);
+    // Fewer events than one sample interval: no automatic flush fires.
+    const int n = static_cast<int>(Simulator::kDepthSampleInterval) / 2;
+    for (int i = 0; i < n; ++i) sim.schedule(i, [] {});
+    while (sim.step()) {
+    }
+    EXPECT_EQ(registry.counter("cadet_sim_events", {{"tier", "sim"}}).value(),
+              0u);  // still batched
+  }
+  EXPECT_EQ(registry.counter("cadet_sim_events", {{"tier", "sim"}}).value(),
+            Simulator::kDepthSampleInterval / 2);
+  EXPECT_EQ(registry.gauge("cadet_sim_queue_depth", {{"tier", "sim"}}).value(), 0);
+}
+
+// An explicit flush_metrics() mid-run publishes exact totals without
+// waiting for the batch boundary.
+TEST(SimulatorMetrics, ManualFlushPublishesExactTotals) {
+  obs::Registry registry;
+  Simulator sim;
+  sim.bind_metrics(registry);
+  for (int i = 0; i < 10; ++i) sim.schedule(i, [] {});
+  for (int i = 0; i < 7; ++i) sim.step();
+  sim.flush_metrics();
+  EXPECT_EQ(registry.counter("cadet_sim_events", {{"tier", "sim"}}).value(), 7u);
+  EXPECT_EQ(registry.gauge("cadet_sim_queue_depth", {{"tier", "sim"}}).value(), 3);
 }
 
 }  // namespace

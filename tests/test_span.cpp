@@ -1,0 +1,213 @@
+// Span tracker unit tests plus the PR's acceptance check at World level:
+// with spans enabled, every client request maps to exactly one span tree
+// whose root closes as reply / fallback / request_expired, every child
+// record's timestamp nests inside its root's interval, and the same seed
+// reproduces a byte-identical span trace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "testbed/topology.h"
+#include "testbed/workload.h"
+#include "util/time.h"
+
+namespace cadet::obs {
+namespace {
+
+TEST(SpanTracker, DisabledAllocatorHandsOutInvalidContexts) {
+  SpanTracker tracker;
+  EXPECT_FALSE(tracker.enabled());
+  const SpanContext ctx = tracker.start_trace();
+  EXPECT_FALSE(ctx.valid());
+  EXPECT_EQ(ctx.trace, 0u);
+  EXPECT_EQ(tracker.new_span(), 0u);
+  tracker.bind_seq(7, 1, {42, 43});
+  EXPECT_FALSE(tracker.lookup_seq(7, 1).valid());
+}
+
+#if CADET_OBS_ENABLED
+TEST(SpanTracker, SequentialIdsAndSeqBinding) {
+  SpanTracker tracker;
+  tracker.enable();
+  const SpanContext a = tracker.start_trace();
+  const SpanContext b = tracker.start_trace();
+  EXPECT_EQ(a.trace, 1u);
+  EXPECT_EQ(a.span, 1u);
+  EXPECT_EQ(b.trace, 2u);
+  EXPECT_EQ(b.span, 2u);
+  EXPECT_EQ(tracker.new_span(), 3u);
+
+  tracker.bind_seq(100, 5, a);
+  const SpanContext found = tracker.lookup_seq(100, 5);
+  EXPECT_EQ(found.trace, a.trace);
+  EXPECT_EQ(found.span, a.span);
+  // A different sender with the same seq is a different key.
+  EXPECT_FALSE(tracker.lookup_seq(101, 5).valid());
+  // Rebinding the same (sender, seq) overwrites: the u16 seq wraps and the
+  // newest in-flight binding is the only one a receiver can observe.
+  tracker.bind_seq(100, 5, b);
+  EXPECT_EQ(tracker.lookup_seq(100, 5).trace, b.trace);
+}
+
+TEST(SpanTracker, ResetReproducesTheSameIdSequence) {
+  SpanTracker tracker;
+  tracker.enable();
+  tracker.bind_seq(1, 1, tracker.start_trace());
+  tracker.start_trace();
+  tracker.reset();
+  EXPECT_FALSE(tracker.lookup_seq(1, 1).valid());
+  const SpanContext again = tracker.start_trace();
+  EXPECT_EQ(again.trace, 1u);
+  EXPECT_EQ(again.span, 1u);
+}
+
+TEST(SpanEmit, InvalidContextDegradesToPlainEvent) {
+  Tracer& tracer = Tracer::global();
+  MemorySink sink;
+  tracer.clear();
+  tracer.set_sink(&sink);
+  tracer.enable();
+
+  span_begin(util::from_seconds(1.0), "request", "client", 1000, {}, 0,
+             {{"bytes", 32.0}});
+  span_complete(util::from_seconds(1.0), "cache_hit", "edge", 100,
+                {5, 6}, 5);
+
+  tracer.flush();
+  tracer.enable(false);
+  tracer.set_sink(nullptr);
+
+  ASSERT_EQ(sink.events().size(), 2u);
+  // No context: the record is exactly the untagged PR-1 event.
+  EXPECT_EQ(sink.events()[0].trace, 0u);
+  EXPECT_EQ(sink.events()[0].phase, '\0');
+  EXPECT_EQ(sink.events()[0].num_attrs, 1u);
+  // Valid context: ids and phase ride along.
+  EXPECT_EQ(sink.events()[1].trace, 5u);
+  EXPECT_EQ(sink.events()[1].span, 6u);
+  EXPECT_EQ(sink.events()[1].parent, 5u);
+  EXPECT_EQ(sink.events()[1].phase, 'X');
+}
+
+// ---------------------------------------------------------------------------
+// World-level acceptance.
+
+std::vector<TraceEvent> run_traced_world(std::uint64_t seed) {
+  testbed::TestbedConfig config;
+  config.seed = seed;
+  config.num_networks = 2;
+  config.clients_per_network = 3;
+  testbed::World world(config);
+
+  MemorySink sink;
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_sink(&sink);
+  tracer.enable();
+  SpanTracker::global().reset();
+  SpanTracker::global().enable();
+
+  world.register_edges();
+  testbed::WorkloadDriver driver(world, seed + 1);
+  const util::SimTime t_end = util::from_seconds(20.0);
+  for (std::size_t i = 0; i < world.num_clients(); ++i) {
+    driver.drive(i,
+                 testbed::ClientBehavior::for_profile(world.profile_of(i)),
+                 0, t_end);
+  }
+  world.simulator().run_until(t_end);
+
+  tracer.flush();
+  tracer.enable(false);
+  tracer.set_sink(nullptr);
+  SpanTracker::global().enable(false);
+
+  return sink.events();
+}
+
+TEST(SpanAcceptance, EveryRequestIsOneWellFormedSpanTree) {
+  const std::vector<TraceEvent> events = run_traced_world(20180301);
+
+  // Group span records by trace id, preserving file (= timestamp) order.
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> traces;
+  for (const TraceEvent& e : events) {
+    if (e.trace != 0) traces[e.trace].push_back(&e);
+  }
+  ASSERT_FALSE(traces.empty());
+
+  std::uint64_t request_roots = 0;
+  for (const auto& [trace_id, records] : traces) {
+    std::set<std::uint64_t> defined;
+    for (const TraceEvent* e : records) {
+      if (e->phase == 'B' || e->phase == 'X') defined.insert(e->span);
+    }
+
+    const TraceEvent* root_open = nullptr;
+    const TraceEvent* root_close = nullptr;
+    for (const TraceEvent* e : records) {
+      // Parent links only point at spans that exist in the same trace.
+      if ((e->phase == 'B' || e->phase == 'X') && e->parent != 0) {
+        EXPECT_TRUE(defined.contains(e->parent))
+            << "trace " << trace_id << ": orphan parent " << e->parent;
+      }
+      if (e->phase == 'B' && e->parent == 0) {
+        EXPECT_EQ(root_open, nullptr)
+            << "trace " << trace_id << " has two duration roots";
+        root_open = e;
+      }
+      if (e->phase == 'E' && root_open != nullptr &&
+          e->span == root_open->span) {
+        root_close = e;
+      }
+    }
+    if (root_open == nullptr) continue;  // zero-length root (e.g. upload)
+
+    ASSERT_NE(root_close, nullptr)
+        << "trace " << trace_id << ": root span never closed";
+    if (std::string(root_open->name) != "request" ||
+        std::string(root_open->tier) != "client") {
+      continue;  // edge refill root — validated structurally above
+    }
+    ++request_roots;
+
+    // Exactly one terminal outcome, from the fixed vocabulary.
+    const std::string outcome = root_close->name;
+    EXPECT_TRUE(outcome == "reply" || outcome == "fallback" ||
+                outcome == "request_expired")
+        << "trace " << trace_id << " ended as " << outcome;
+
+    // Child sim-timestamps nest inside the root interval.
+    for (const TraceEvent* e : records) {
+      EXPECT_GE(e->ts, root_open->ts) << "trace " << trace_id;
+      EXPECT_LE(e->ts, root_close->ts) << "trace " << trace_id;
+    }
+  }
+  // The run must actually have produced request trees, or this test is
+  // vacuous.
+  EXPECT_GT(request_roots, 0u);
+}
+
+TEST(SpanAcceptance, SameSeedSpanTraceIsByteIdentical) {
+  auto to_jsonl = [](const std::vector<TraceEvent>& events) {
+    std::string out;
+    for (const TraceEvent& e : events) {
+      out += to_json(e);
+      out += '\n';
+    }
+    return out;
+  };
+  const std::string first = to_jsonl(run_traced_world(20180301));
+  const std::string second = to_jsonl(run_traced_world(20180301));
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+#endif  // CADET_OBS_ENABLED
+
+}  // namespace
+}  // namespace cadet::obs

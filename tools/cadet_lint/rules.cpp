@@ -270,6 +270,14 @@ constexpr StdSymbol kStdSymbols[] = {
     {"invalid_argument", {"stdexcept"}},
     {"logic_error", {"stdexcept"}},
     {"out_of_range", {"stdexcept"}},
+    {"initializer_list", {"initializer_list"}},
+    {"numeric_limits", {"limits"}},
+    {"strtod", {"cstdlib"}},
+    {"strtoull", {"cstdlib"}},
+    {"strtoul", {"cstdlib"}},
+    {"isinf", {"cmath"}},
+    {"isnan", {"cmath"}},
+    {"to_string", {"string"}},
 };
 
 bool is_ident_char(char c) {

@@ -1,0 +1,636 @@
+// cadet_report — join a CADET span trace with a metrics snapshot into a
+// run report: per-path fulfillment latency percentiles, cache-hit
+// breakdown, the retry/fallback funnel, refill outcomes, and an upload
+// policing timeline — as text (stdout / --out) and as a self-contained
+// HTML page (--html).
+//
+// The report is reconstructed from the trace alone; when a Prometheus
+// snapshot (cadet_sim --metrics-out) is also given, the trace-derived
+// cache numbers are cross-checked against the counters and --check makes
+// any disagreement fatal. That closes the loop on the span plumbing: if a
+// serve path ever stops emitting its span, the report and the counters
+// drift apart and CI notices.
+//
+// Examples:
+//   cadet_sim --duration 120 --trace-out t.jsonl --metrics-out m.prom
+//   cadet_report t.jsonl --metrics m.prom --check
+//   cadet_report t.jsonl --html report.html
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cadet;
+
+struct Options {
+  std::string trace_path;
+  std::string metrics_path;  // optional Prometheus snapshot
+  std::string html_path;     // optional HTML report
+  std::string out_path;      // optional text report file ("" = stdout)
+  bool check = false;        // trace/metrics disagreement is fatal
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s TRACE.jsonl [options]\n"
+      "  --metrics FILE  Prometheus snapshot to join (cadet_sim"
+      " --metrics-out)\n"
+      "  --check         exit non-zero if trace and metrics disagree\n"
+      "  --html FILE     also write a self-contained HTML report\n"
+      "  --out FILE      write the text report to FILE instead of stdout\n",
+      argv0);
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--metrics") {
+      opt.metrics_path = next();
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--html") {
+      opt.html_path = next();
+    } else if (arg == "--out") {
+      opt.out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    } else if (opt.trace_path.empty()) {
+      opt.trace_path = arg;
+    } else {
+      std::fprintf(stderr, "extra argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opt.trace_path.empty();
+}
+
+/// One reconstructed request trace (root span "request" on the client).
+struct RequestTrace {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  std::string outcome;     // reply | fallback | request_expired | (open)
+  std::string serve_path;  // cache_hit | cache_miss | e2e | (none)
+  std::uint64_t retries = 0;
+  bool closed = false;
+  double latency_s() const { return end_s - begin_s; }
+};
+
+/// Everything the report derives from the trace.
+struct TraceDigest {
+  std::uint64_t total_events = 0;
+  std::uint64_t malformed = 0;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+
+  std::vector<RequestTrace> requests;
+  std::map<std::string, std::uint64_t> refill_outcomes;
+  std::uint64_t uploads = 0;       // client upload roots
+  std::uint64_t bulk_uploads = 0;  // edge-to-server aggregates
+
+  // Edge serve decisions (trace-derived cache truth).
+  std::uint64_t edge_requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t e2e_forwards = 0;
+
+  // Upload policing events over time (edge + any tier that emits them).
+  struct Policing {
+    double ts_s;
+    std::string name;  // penalty_drop | sanity_reject
+  };
+  std::vector<Policing> policing;
+
+  // Entropy provenance: per-delivery source batch ranges.
+  util::Samples delivery_gen_lo;
+  util::Samples delivery_gen_hi;
+};
+
+bool digest_trace(const std::string& path, TraceDigest& digest) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+
+  // trace id -> request under reconstruction (requests only; refills and
+  // uploads fold straight into counters).
+  std::map<std::uint64_t, RequestTrace> open_requests;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto event = obs::parse_json_line(line);
+    if (!event) {
+      ++digest.malformed;
+      continue;
+    }
+    if (digest.total_events == 0) digest.first_ts = event->ts_s;
+    digest.last_ts = event->ts_s;
+    ++digest.total_events;
+    const auto& e = *event;
+
+    if (e.name == "request" && e.tier == "client" && e.phase == 'B') {
+      RequestTrace req;
+      req.begin_s = e.ts_s;
+      open_requests[e.trace] = req;
+    } else if (e.tier == "client" && e.phase == 'E') {
+      const auto it = open_requests.find(e.trace);
+      if (it != open_requests.end()) {
+        it->second.end_s = e.ts_s;
+        it->second.outcome = e.name;
+        it->second.closed = true;
+        digest.requests.push_back(it->second);
+        open_requests.erase(it);
+      }
+    } else if (e.name == "request_retry") {
+      const auto it = open_requests.find(e.trace);
+      if (it != open_requests.end()) ++it->second.retries;
+    } else if (e.name == "cache_hit" || e.name == "cache_miss" ||
+               e.name == "e2e_forward") {
+      if (e.name == "cache_hit") ++digest.cache_hits;
+      if (e.name == "cache_miss") ++digest.cache_misses;
+      if (e.name == "e2e_forward") ++digest.e2e_forwards;
+      const auto it = open_requests.find(e.trace);
+      if (it != open_requests.end() && it->second.serve_path.empty()) {
+        it->second.serve_path =
+            e.name == "e2e_forward" ? "e2e" : e.name;
+      }
+    } else if (e.name == "request" && e.tier == "edge") {
+      ++digest.edge_requests;
+    } else if (e.tier == "edge" &&
+               (e.name == "refill_data" || e.name == "refill_retry" ||
+                e.name == "refill_lost")) {
+      ++digest.refill_outcomes[e.name];
+    } else if (e.name == "upload" && e.tier == "client") {
+      ++digest.uploads;
+    } else if (e.name == "bulk_upload") {
+      ++digest.bulk_uploads;
+    } else if (e.name == "penalty_drop" || e.name == "sanity_reject") {
+      digest.policing.push_back({e.ts_s, e.name});
+    }
+    // Provenance attrs ride both serve kinds (hit at request time,
+    // delivery at drain time).
+    if (e.name == "delivery" || e.name == "cache_hit") {
+      digest.delivery_gen_lo.add(e.attr("src_lo", 0.0));
+      digest.delivery_gen_hi.add(e.attr("src_hi", 0.0));
+    }
+  }
+
+  // Requests still open at end-of-trace (sim stopped mid-flight).
+  for (auto& [trace_id, req] : open_requests) {
+    req.outcome = "(open)";
+    digest.requests.push_back(req);
+  }
+  return true;
+}
+
+/// Metrics-side truth pulled from a Prometheus snapshot.
+struct MetricsDigest {
+  bool loaded = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t requests_received = 0;
+  std::uint64_t e2e_forwarded = 0;
+  std::size_t samples = 0;
+};
+
+bool digest_metrics(const std::string& path, MetricsDigest& digest) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::PromParse parsed = obs::parse_prometheus(buffer.str());
+  for (const auto& error : parsed.errors) {
+    std::fprintf(stderr, "warning: unparsable metrics line: %s\n",
+                 error.c_str());
+  }
+  digest.samples = parsed.samples.size();
+  for (const auto& sample : parsed.samples) {
+    const auto add = [&](const char* name, std::uint64_t& into) {
+      if (sample.name == name) {
+        into += static_cast<std::uint64_t>(sample.value);
+      }
+    };
+    add("cadet_edge_cache_hits_total", digest.cache_hits);
+    add("cadet_edge_cache_misses_total", digest.cache_misses);
+    add("cadet_edge_requests_received_total", digest.requests_received);
+    add("cadet_edge_e2e_forwarded_total", digest.e2e_forwarded);
+  }
+  digest.loaded = true;
+  return true;
+}
+
+struct LatencyRow {
+  std::string label;
+  std::size_t n = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, max = 0.0;
+};
+
+/// Latency percentiles for closed, fulfilled request spans, overall and
+/// split by serve path.
+std::vector<LatencyRow> latency_rows(const TraceDigest& digest) {
+  std::map<std::string, util::Samples> by_path;
+  util::Samples all;
+  for (const auto& req : digest.requests) {
+    if (!req.closed || req.outcome != "reply") continue;
+    all.add(req.latency_s());
+    const std::string path =
+        req.serve_path.empty() ? "(direct)" : req.serve_path;
+    by_path[path].add(req.latency_s());
+  }
+  std::vector<LatencyRow> rows;
+  const auto row = [](const std::string& label, const util::Samples& s) {
+    LatencyRow r;
+    r.label = label;
+    r.n = s.count();
+    r.p50 = s.quantile(0.5);
+    r.p95 = s.quantile(0.95);
+    r.p99 = s.quantile(0.99);
+    r.max = s.max();
+    return r;
+  };
+  if (all.count() > 0) rows.push_back(row("all", all));
+  for (const auto& [path, samples] : by_path) {
+    rows.push_back(row(path, samples));
+  }
+  return rows;
+}
+
+struct Funnel {
+  std::uint64_t sent = 0;
+  std::uint64_t first_try = 0;   // replies with zero retries
+  std::uint64_t retried = 0;     // requests that retransmitted at least once
+  std::uint64_t retry_reply = 0; // replies after >=1 retry
+  std::uint64_t fallback = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t open = 0;
+};
+
+Funnel funnel_of(const TraceDigest& digest) {
+  Funnel f;
+  for (const auto& req : digest.requests) {
+    ++f.sent;
+    if (req.retries > 0) ++f.retried;
+    if (req.outcome == "reply") {
+      (req.retries > 0 ? f.retry_reply : f.first_try) += 1;
+    } else if (req.outcome == "fallback") {
+      ++f.fallback;
+    } else if (req.outcome == "request_expired") {
+      ++f.expired;
+    } else {
+      ++f.open;
+    }
+  }
+  return f;
+}
+
+/// Policing events bucketed over the run (for the timeline).
+struct TimelineBucket {
+  double t0 = 0.0, t1 = 0.0;
+  std::uint64_t penalty = 0;
+  std::uint64_t sanity = 0;
+};
+
+std::vector<TimelineBucket> policing_timeline(const TraceDigest& digest,
+                                              std::size_t buckets = 20) {
+  std::vector<TimelineBucket> timeline;
+  if (digest.policing.empty() || digest.last_ts <= digest.first_ts) {
+    return timeline;
+  }
+  const double span = digest.last_ts - digest.first_ts;
+  timeline.resize(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    timeline[i].t0 = digest.first_ts + span * static_cast<double>(i) /
+                                          static_cast<double>(buckets);
+    timeline[i].t1 = digest.first_ts + span * static_cast<double>(i + 1) /
+                                          static_cast<double>(buckets);
+  }
+  for (const auto& event : digest.policing) {
+    std::size_t i = static_cast<std::size_t>(
+        (event.ts_s - digest.first_ts) / span * static_cast<double>(buckets));
+    if (i >= buckets) i = buckets - 1;
+    (event.name == "penalty_drop" ? timeline[i].penalty
+                                  : timeline[i].sanity) += 1;
+  }
+  return timeline;
+}
+
+double ratio(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+// ---- text report ----
+
+std::string text_report(const TraceDigest& digest,
+                        const MetricsDigest& metrics,
+                        std::uint64_t mismatches) {
+  std::string out;
+  char buf[256];
+  const auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+
+  add("cadet_report: %llu event(s), sim time %.3f s .. %.3f s\n",
+      static_cast<unsigned long long>(digest.total_events), digest.first_ts,
+      digest.last_ts);
+  if (digest.malformed > 0) {
+    add("  (%llu malformed line(s) skipped)\n",
+        static_cast<unsigned long long>(digest.malformed));
+  }
+
+  const Funnel f = funnel_of(digest);
+  add("\n--- request funnel ---\n");
+  add("sent %llu\n", static_cast<unsigned long long>(f.sent));
+  add("  fulfilled first try   %8llu\n",
+      static_cast<unsigned long long>(f.first_try));
+  add("  retried >=1x          %8llu\n",
+      static_cast<unsigned long long>(f.retried));
+  add("    fulfilled on retry  %8llu\n",
+      static_cast<unsigned long long>(f.retry_reply));
+  add("  local-CSPRNG fallback %8llu\n",
+      static_cast<unsigned long long>(f.fallback));
+  add("  expired               %8llu\n",
+      static_cast<unsigned long long>(f.expired));
+  if (f.open > 0) {
+    add("  still open at end     %8llu\n",
+        static_cast<unsigned long long>(f.open));
+  }
+
+  add("\n--- fulfillment latency (s) ---\n");
+  for (const auto& row : latency_rows(digest)) {
+    add("%-10s p50=%.6f p95=%.6f p99=%.6f max=%.6f (n=%zu)\n",
+        row.label.c_str(), row.p50, row.p95, row.p99, row.max, row.n);
+  }
+
+  add("\n--- edge cache ---\n");
+  add("requests %llu, served from cache %llu, hit ratio %.4f\n",
+      static_cast<unsigned long long>(digest.edge_requests),
+      static_cast<unsigned long long>(digest.cache_hits),
+      ratio(digest.cache_hits, digest.edge_requests));
+  add("misses %llu, e2e forwards %llu\n",
+      static_cast<unsigned long long>(digest.cache_misses),
+      static_cast<unsigned long long>(digest.e2e_forwards));
+  for (const auto& [name, n] : digest.refill_outcomes) {
+    add("  %-14s %8llu\n", name.c_str(),
+        static_cast<unsigned long long>(n));
+  }
+
+  if (digest.uploads + digest.bulk_uploads > 0) {
+    add("\n--- uploads ---\n");
+    add("client uploads %llu, bulk aggregates %llu\n",
+        static_cast<unsigned long long>(digest.uploads),
+        static_cast<unsigned long long>(digest.bulk_uploads));
+  }
+
+  const auto timeline = policing_timeline(digest);
+  if (!timeline.empty()) {
+    add("\n--- upload policing timeline ---\n");
+    for (const auto& bucket : timeline) {
+      if (bucket.penalty + bucket.sanity == 0) continue;
+      add("%8.1f .. %8.1f s  penalty %4llu  sanity %4llu\n", bucket.t0,
+          bucket.t1, static_cast<unsigned long long>(bucket.penalty),
+          static_cast<unsigned long long>(bucket.sanity));
+    }
+  }
+
+  if (digest.delivery_gen_lo.count() > 0) {
+    add("\n--- entropy provenance ---\n");
+    add("deliveries %zu, source batch lo p50=%.0f newest seen=%.0f\n",
+        digest.delivery_gen_lo.count(), digest.delivery_gen_lo.quantile(0.5),
+        digest.delivery_gen_hi.max());
+  }
+
+  if (metrics.loaded) {
+    add("\n--- trace vs metrics ---\n");
+    add("%-22s %12s %12s\n", "", "trace", "metrics");
+    add("%-22s %12llu %12llu\n", "edge requests",
+        static_cast<unsigned long long>(digest.edge_requests),
+        static_cast<unsigned long long>(metrics.requests_received));
+    add("%-22s %12llu %12llu\n", "cache hits",
+        static_cast<unsigned long long>(digest.cache_hits),
+        static_cast<unsigned long long>(metrics.cache_hits));
+    add("%-22s %12llu %12llu\n", "cache misses",
+        static_cast<unsigned long long>(digest.cache_misses),
+        static_cast<unsigned long long>(metrics.cache_misses));
+    add("%-22s %12llu %12llu\n", "e2e forwards",
+        static_cast<unsigned long long>(digest.e2e_forwards),
+        static_cast<unsigned long long>(metrics.e2e_forwarded));
+    add(mismatches == 0 ? "trace and metrics agree\n"
+                        : "MISMATCH in %llu row(s)\n",
+        static_cast<unsigned long long>(mismatches));
+  }
+  return out;
+}
+
+// ---- HTML report ----
+
+void html_escape(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+std::string html_report(const TraceDigest& digest,
+                        const MetricsDigest& metrics,
+                        std::uint64_t mismatches,
+                        const std::string& trace_path) {
+  std::string out;
+  char buf[512];
+  const auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+
+  out +=
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+      "<title>CADET run report</title>\n<style>\n"
+      "body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;"
+      "max-width:60em;padding:0 1em;color:#222}\n"
+      "h1{font-size:1.4em} h2{font-size:1.1em;margin-top:2em;"
+      "border-bottom:1px solid #ddd}\n"
+      "table{border-collapse:collapse;margin:0.5em 0}\n"
+      "td,th{border:1px solid #ccc;padding:0.25em 0.7em;text-align:right}\n"
+      "th{background:#f4f4f4} td.l,th.l{text-align:left}\n"
+      ".bar{display:inline-block;height:0.8em;background:#4a90d9}\n"
+      ".bad{color:#b00;font-weight:bold} .ok{color:#080}\n"
+      "</style></head><body>\n";
+
+  out += "<h1>CADET run report</h1>\n<p>trace: <code>";
+  html_escape(out, trace_path);
+  add("</code> &mdash; %llu event(s), sim time %.3f&ndash;%.3f&nbsp;s</p>\n",
+      static_cast<unsigned long long>(digest.total_events), digest.first_ts,
+      digest.last_ts);
+
+  const Funnel f = funnel_of(digest);
+  out += "<h2>Request funnel</h2>\n<table>\n"
+         "<tr><th class=l>stage</th><th>count</th><th>share</th></tr>\n";
+  const auto funnel_row = [&](const char* label, std::uint64_t n) {
+    add("<tr><td class=l>%s</td><td>%llu</td>"
+        "<td><span class=bar style=\"width:%.0fpx\"></span> %.1f%%</td>"
+        "</tr>\n",
+        label, static_cast<unsigned long long>(n),
+        200.0 * ratio(n, f.sent), 100.0 * ratio(n, f.sent));
+  };
+  funnel_row("sent", f.sent);
+  funnel_row("fulfilled first try", f.first_try);
+  funnel_row("retried &ge;1x", f.retried);
+  funnel_row("fulfilled on retry", f.retry_reply);
+  funnel_row("local-CSPRNG fallback", f.fallback);
+  funnel_row("expired", f.expired);
+  if (f.open > 0) funnel_row("still open at end", f.open);
+  out += "</table>\n";
+
+  out += "<h2>Fulfillment latency</h2>\n<table>\n"
+         "<tr><th class=l>path</th><th>n</th><th>p50 (s)</th>"
+         "<th>p95 (s)</th><th>p99 (s)</th><th>max (s)</th></tr>\n";
+  for (const auto& row : latency_rows(digest)) {
+    add("<tr><td class=l>%s</td><td>%zu</td><td>%.6f</td><td>%.6f</td>"
+        "<td>%.6f</td><td>%.6f</td></tr>\n",
+        row.label.c_str(), row.n, row.p50, row.p95, row.p99, row.max);
+  }
+  out += "</table>\n";
+
+  out += "<h2>Edge cache</h2>\n<table>\n"
+         "<tr><th class=l>measure</th><th>value</th></tr>\n";
+  add("<tr><td class=l>requests</td><td>%llu</td></tr>\n",
+      static_cast<unsigned long long>(digest.edge_requests));
+  add("<tr><td class=l>cache hits</td><td>%llu</td></tr>\n",
+      static_cast<unsigned long long>(digest.cache_hits));
+  add("<tr><td class=l>cache misses</td><td>%llu</td></tr>\n",
+      static_cast<unsigned long long>(digest.cache_misses));
+  add("<tr><td class=l>e2e forwards</td><td>%llu</td></tr>\n",
+      static_cast<unsigned long long>(digest.e2e_forwards));
+  add("<tr><td class=l>hit ratio</td><td>%.4f</td></tr>\n",
+      ratio(digest.cache_hits, digest.edge_requests));
+  for (const auto& [name, n] : digest.refill_outcomes) {
+    add("<tr><td class=l>%s</td><td>%llu</td></tr>\n", name.c_str(),
+        static_cast<unsigned long long>(n));
+  }
+  out += "</table>\n";
+
+  const auto timeline = policing_timeline(digest);
+  if (!timeline.empty()) {
+    std::uint64_t peak = 1;
+    for (const auto& bucket : timeline) {
+      peak = std::max(peak, bucket.penalty + bucket.sanity);
+    }
+    out += "<h2>Upload policing timeline</h2>\n<table>\n"
+           "<tr><th class=l>window (s)</th><th>penalty drops</th>"
+           "<th>sanity rejects</th><th class=l></th></tr>\n";
+    for (const auto& bucket : timeline) {
+      add("<tr><td class=l>%.1f&ndash;%.1f</td><td>%llu</td><td>%llu</td>"
+          "<td class=l><span class=bar style=\"width:%.0fpx\"></span>"
+          "</td></tr>\n",
+          bucket.t0, bucket.t1,
+          static_cast<unsigned long long>(bucket.penalty),
+          static_cast<unsigned long long>(bucket.sanity),
+          150.0 * ratio(bucket.penalty + bucket.sanity, peak));
+    }
+    out += "</table>\n";
+  }
+
+  if (metrics.loaded) {
+    out += "<h2>Trace vs metrics</h2>\n<table>\n"
+           "<tr><th class=l>measure</th><th>trace</th><th>metrics</th>"
+           "</tr>\n";
+    const auto join_row = [&](const char* label, std::uint64_t t,
+                              std::uint64_t m) {
+      add("<tr><td class=l>%s</td><td>%llu</td><td>%llu</td></tr>\n", label,
+          static_cast<unsigned long long>(t),
+          static_cast<unsigned long long>(m));
+    };
+    join_row("edge requests", digest.edge_requests,
+             metrics.requests_received);
+    join_row("cache hits", digest.cache_hits, metrics.cache_hits);
+    join_row("cache misses", digest.cache_misses, metrics.cache_misses);
+    join_row("e2e forwards", digest.e2e_forwards, metrics.e2e_forwarded);
+    out += "</table>\n";
+    out += mismatches == 0
+               ? "<p class=ok>trace and metrics agree</p>\n"
+               : "<p class=bad>trace and metrics DISAGREE</p>\n";
+  }
+
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  TraceDigest digest;
+  if (!digest_trace(opt.trace_path, digest)) return 2;
+
+  MetricsDigest metrics;
+  if (!opt.metrics_path.empty() &&
+      !digest_metrics(opt.metrics_path, metrics)) {
+    return 2;
+  }
+
+  std::uint64_t mismatches = 0;
+  if (metrics.loaded) {
+    if (digest.edge_requests != metrics.requests_received) ++mismatches;
+    if (digest.cache_hits != metrics.cache_hits) ++mismatches;
+    if (digest.cache_misses != metrics.cache_misses) ++mismatches;
+    if (digest.e2e_forwards != metrics.e2e_forwarded) ++mismatches;
+  }
+
+  const std::string text = text_report(digest, metrics, mismatches);
+  if (opt.out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else if (!obs::write_file(opt.out_path, text)) {
+    return 2;
+  }
+
+  if (!opt.html_path.empty()) {
+    const std::string html =
+        html_report(digest, metrics, mismatches, opt.trace_path);
+    if (!obs::write_file(opt.html_path, html)) return 2;
+    std::fprintf(stderr, "html report -> %s\n", opt.html_path.c_str());
+  }
+
+  if (opt.check && metrics.loaded && mismatches > 0) {
+    std::fprintf(stderr, "cadet_report --check: %llu mismatch(es)\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  return 0;
+}

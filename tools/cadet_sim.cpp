@@ -20,6 +20,8 @@
 #include "net/faulty_transport.h"
 #include "nist/battery.h"
 #include "obs/export.h"
+#include "obs/profile.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "testbed/topology.h"
 #include "testbed/workload.h"
@@ -46,6 +48,8 @@ struct Options {
   bool verbose = false;
   std::string metrics_out;  // Prometheus snapshot path ("" = off)
   std::string trace_out;    // JSONL trace path ("" = off)
+  std::string profile_out;  // folded-stack profile path ("" = off)
+  bool no_spans = false;    // --trace-out without span/provenance ids
 
   // Fault injection (docs/FAULT_INJECTION.md). Any non-default value puts
   // a FaultyTransport on every link.
@@ -83,6 +87,10 @@ void usage(const char* argv0) {
       "  --verbose           per-client response statistics\n"
       "  --metrics-out FILE  write a Prometheus-style metrics snapshot\n"
       "  --trace-out FILE    write the protocol event trace as JSONL\n"
+      "                      (span/provenance ids included by default)\n"
+      "  --no-spans          emit the trace without span ids (PR-1 layout)\n"
+      "  --profile-out FILE  write the sim profiler as folded stacks\n"
+      "                      (flamegraph.pl-compatible)\n"
       "  --fault-drop P      drop each datagram with probability P\n"
       "  --fault-dup P       duplicate each datagram with probability P\n"
       "  --fault-reorder P   delay (reorder) datagrams with probability P\n"
@@ -160,6 +168,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.metrics_out = next();
     } else if (arg == "--trace-out") {
       opt.trace_out = next();
+    } else if (arg == "--no-spans") {
+      opt.no_spans = true;
+    } else if (arg == "--profile-out") {
+      opt.profile_out = next();
     } else if (arg == "--fault-drop") {
       opt.fault_drop = std::strtod(next(), nullptr);
     } else if (arg == "--fault-dup") {
@@ -291,6 +303,15 @@ int main(int argc, char** argv) {
     }
     obs::Tracer::global().set_sink(trace_sink.get());
     obs::Tracer::global().enable();
+    if (!opt.no_spans) {
+      // Fresh ids per run: same seed => byte-identical span trace.
+      obs::SpanTracker::global().reset();
+      obs::SpanTracker::global().enable();
+    }
+  }
+  if (!opt.profile_out.empty()) {
+    obs::Profiler::global().reset();
+    obs::Profiler::global().enable();
   }
 
   // Register over a clean network, then arm the faults for the workload
@@ -431,10 +452,19 @@ int main(int argc, char** argv) {
     obs::Tracer::global().flush();
     obs::Tracer::global().enable(false);
     obs::Tracer::global().set_sink(nullptr);
+    obs::SpanTracker::global().enable(false);
     std::printf("\ntrace: %llu event(s) -> %s\n",
                 static_cast<unsigned long long>(
                     obs::Tracer::global().recorded()),
                 opt.trace_out.c_str());
+  }
+  if (!opt.profile_out.empty()) {
+    obs::Profiler::global().enable(false);
+    if (!obs::write_file(opt.profile_out,
+                         obs::Profiler::global().folded())) {
+      return 2;
+    }
+    std::printf("profile: folded stacks -> %s\n", opt.profile_out.c_str());
   }
   if (!opt.metrics_out.empty()) {
     if (!obs::write_file(opt.metrics_out,

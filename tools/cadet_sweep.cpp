@@ -22,11 +22,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "chaos_harness.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "util/time.h"
 
 namespace {
@@ -40,6 +43,7 @@ struct Options {
   std::size_t jobs = 0;         // 0 = hardware concurrency
   double horizon_s = 0.0;       // 0 = scenario default (60 s)
   std::string json_out;
+  std::string trace_out;  // single-seed span trace (forces one seed, -j 1)
   bool quiet = false;
 };
 
@@ -64,6 +68,8 @@ void usage(const char* argv0) {
       "  -j N                worker threads (default: all cores)\n"
       "  --horizon SECONDS   workload horizon per seed (default 60)\n"
       "  --json FILE         write a deterministic JSON report\n"
+      "  --trace-out FILE    write the span trace as JSONL (single seed\n"
+      "                      only: the tracer is one-world-per-process)\n"
       "  --quiet             summary only\n",
       argv0);
 }
@@ -96,6 +102,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.horizon_s = std::strtod(next(), nullptr);
     } else if (arg == "--json") {
       opt.json_out = next();
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next();
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -163,6 +171,30 @@ int main(int argc, char** argv) {
                          : std::max(1u, std::thread::hardware_concurrency());
   jobs = std::min(jobs, count);
 
+  // Traced mode: the tracer and span tracker are process-global and
+  // single-threaded by design, so tracing is a one-seed, one-thread affair.
+  std::unique_ptr<obs::FileSink> trace_sink;
+  if (!opt.trace_out.empty()) {
+    if (count != 1) {
+      std::fprintf(stderr,
+                   "--trace-out needs exactly one seed (got %zu); use "
+                   "--seeds A:A+1\n",
+                   count);
+      return 2;
+    }
+    jobs = 1;
+    trace_sink = std::make_unique<obs::FileSink>(opt.trace_out);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   opt.trace_out.c_str());
+      return 2;
+    }
+    obs::Tracer::global().set_sink(trace_sink.get());
+    obs::Tracer::global().enable();
+    obs::SpanTracker::global().reset();
+    obs::SpanTracker::global().enable();
+  }
+
   std::vector<SeedResult> results(count);
   std::atomic<std::size_t> cursor{0};
   auto worker = [&]() {
@@ -183,6 +215,14 @@ int main(int argc, char** argv) {
   const double wall_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
+
+  if (trace_sink) {
+    obs::Tracer::global().flush();
+    obs::Tracer::global().enable(false);
+    obs::Tracer::global().set_sink(nullptr);
+    obs::SpanTracker::global().enable(false);
+    std::printf("trace -> %s\n", opt.trace_out.c_str());
+  }
 
   std::size_t failures = 0;
   for (const SeedResult& r : results) {

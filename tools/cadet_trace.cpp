@@ -7,15 +7,24 @@
 // fraction of edge requests answered from the cache without a server
 // round trip.
 //
+// Span mode (--spans) reconstructs the causal span trees a traced run
+// emits (cadet_sim --trace-out): per-trace timelines, a terminal-outcome
+// census, and structural validation — a span opened ('B') but never
+// closed ('E'), a close without an open, or a child whose parent id never
+// appears in its trace makes the tool exit non-zero.
+//
 // Examples:
 //   cadet_trace t.jsonl
 //   cadet_trace t.jsonl --print 20
 //   cadet_trace t.jsonl --tier edge --name cache_hit --print 10
+//   cadet_trace t.jsonl --spans --print 5
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,14 +40,18 @@ struct Options {
   std::size_t print = 0;  // pretty-print the first N matching events
   std::string tier;       // filter ("" = all)
   std::string name;       // filter ("" = all)
+  bool spans = false;     // span-tree reconstruction + validation
 };
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s FILE [options]\n"
       "  --print N   pretty-print the first N (filtered) events\n"
+      "              (with --spans: print the first N trace timelines)\n"
       "  --tier T    only events from tier T (client|edge|server|net|sim)\n"
-      "  --name E    only events named E (request, reply, cache_hit, ...)\n",
+      "  --name E    only events named E (request, reply, cache_hit, ...)\n"
+      "  --spans     reconstruct span trees; orphan or unclosed spans make\n"
+      "              the exit status non-zero\n",
       argv0);
 }
 
@@ -58,6 +71,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.tier = next();
     } else if (arg == "--name") {
       opt.name = next();
+    } else if (arg == "--spans") {
+      opt.spans = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -95,6 +110,107 @@ bool is_duration_attr(const std::string& key) {
   return key == "latency_s" || key == "waited_s";
 }
 
+/// Reconstruct span trees from the tagged events and validate structure.
+/// Returns the number of structural problems (orphans + unclosed spans).
+std::uint64_t analyze_spans(const std::vector<obs::ParsedEvent>& events,
+                            std::size_t print_traces) {
+  // trace id -> indices into `events`, in file (= timestamp) order.
+  std::map<std::uint64_t, std::vector<std::size_t>> traces;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].trace != 0) traces[events[i].trace].push_back(i);
+  }
+
+  std::uint64_t span_records = 0;
+  std::uint64_t tagged_events = 0;
+  std::uint64_t orphans = 0;
+  std::uint64_t unclosed = 0;
+  std::map<std::string, std::uint64_t> outcomes;  // terminal 'E'/'X' roots
+  std::size_t printed = 0;
+
+  for (const auto& [trace_id, indices] : traces) {
+    // Pass 1: which span ids exist in this trace (any 'B' or 'X' record).
+    std::set<std::uint64_t> defined;
+    for (const std::size_t i : indices) {
+      const auto& e = events[i];
+      if (e.phase == 'B' || e.phase == 'X') defined.insert(e.span);
+    }
+
+    // Pass 2: validate open/close pairing and parent links.
+    std::map<std::uint64_t, std::size_t> open;  // span -> 'B' index
+    std::uint64_t trace_problems = 0;
+    std::string outcome;
+    for (const std::size_t i : indices) {
+      const auto& e = events[i];
+      if (e.phase == 'B' || e.phase == 'X') {
+        ++span_records;
+        if (e.parent != 0 && !defined.contains(e.parent)) {
+          ++orphans;
+          ++trace_problems;
+        }
+        if (e.phase == 'B') {
+          open[e.span] = i;
+        } else if (e.parent == 0) {
+          outcome = e.name;  // zero-length trace root (e.g. upload)
+        }
+      } else if (e.phase == 'E') {
+        ++span_records;
+        const auto it = open.find(e.span);
+        if (it == open.end()) {
+          ++orphans;
+          ++trace_problems;
+        } else {
+          open.erase(it);
+        }
+        outcome = e.name;  // the last close names the trace outcome
+      } else {
+        ++tagged_events;
+      }
+    }
+    unclosed += open.size();
+    trace_problems += open.size();
+    if (!outcome.empty()) ++outcomes[outcome];
+    else if (open.empty() && !indices.empty()) ++outcomes["(eventless)"];
+
+    if (printed < print_traces || trace_problems > 0) {
+      std::printf("trace %llu%s\n",
+                  static_cast<unsigned long long>(trace_id),
+                  trace_problems > 0 ? "  [INVALID]" : "");
+      for (const std::size_t i : indices) {
+        const auto& e = events[i];
+        const char phase = e.phase == 0 ? '.' : e.phase;
+        std::printf("  %12.6f %c %-16s %-7s %5llu  span %llu",
+                    e.ts_s, phase, e.name.c_str(), e.tier.c_str(),
+                    static_cast<unsigned long long>(e.node),
+                    static_cast<unsigned long long>(e.span));
+        if (e.parent != 0) {
+          std::printf(" parent %llu",
+                      static_cast<unsigned long long>(e.parent));
+        }
+        std::printf("\n");
+      }
+      if (printed < print_traces) ++printed;
+    }
+  }
+
+  std::printf("\n--- spans ---\n");
+  std::printf("traces %zu, span records %llu, tagged events %llu\n",
+              traces.size(),
+              static_cast<unsigned long long>(span_records),
+              static_cast<unsigned long long>(tagged_events));
+  for (const auto& [name, n] : outcomes) {
+    std::printf("  %-18s %8llu\n", name.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  if (orphans + unclosed > 0) {
+    std::printf("INVALID: %llu orphan record(s), %llu unclosed span(s)\n",
+                static_cast<unsigned long long>(orphans),
+                static_cast<unsigned long long>(unclosed));
+  } else {
+    std::printf("all span trees well-formed\n");
+  }
+  return orphans + unclosed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,6 +235,8 @@ int main(int argc, char** argv) {
   double first_ts = 0.0;
   double last_ts = 0.0;
 
+  std::vector<obs::ParsedEvent> tagged;  // span-mode working set
+
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -130,6 +248,10 @@ int main(int argc, char** argv) {
     if (total == 0) first_ts = event->ts_s;
     last_ts = event->ts_s;
     ++total;
+    if (opt.spans) {
+      if (event->trace != 0) tagged.push_back(*event);
+      continue;
+    }
     if (!matches(*event, opt)) continue;
     ++counts[event->tier][event->name];
     for (const auto& [key, value] : event->attrs) {
@@ -141,6 +263,14 @@ int main(int argc, char** argv) {
     }
   }
   if (printed > 0) std::printf("\n");
+
+  if (opt.spans) {
+    std::printf("%s: %llu event(s), %llu with span ids\n\n",
+                opt.path.c_str(), static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(tagged.size()));
+    const std::uint64_t problems = analyze_spans(tagged, opt.print);
+    return problems > 0 ? 1 : 0;
+  }
 
   std::printf("%s: %llu event(s)", opt.path.c_str(),
               static_cast<unsigned long long>(total));
