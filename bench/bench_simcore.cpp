@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -30,13 +31,17 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "crypto/chacha20.h"
 #include "crypto/sha256.h"
 #include "net/sim_transport.h"
+#include "obs/flight.h"
+#include "obs/hdr.h"
 #include "obs/metrics.h"
+#include "obs/sharded.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -629,6 +634,135 @@ int main(int argc, char** argv) {
                 off, on, 100.0 * overhead);
   }
 
+  // ---- metrics contention (health plane) ----
+  // 8 writer threads hammering one counter: a single shared atomic makes
+  // every inc a cache-line ping-pong; the sharded counter gives each
+  // thread its own line. The >=10x gate only means something when the
+  // threads actually run in parallel, so the report records the core
+  // count and --check applies the floor only with >= 4 cores.
+  {
+    const int kThreads = 8;
+    const std::uint64_t per_thread = quick ? 300000 : 1500000;
+    const auto hammer = [&](auto& instrument) {
+      std::vector<std::thread> writers;
+      writers.reserve(kThreads);
+      const double t0 = now_s();
+      for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&instrument, per_thread]() {
+          for (std::uint64_t i = 0; i < per_thread; ++i) instrument.inc();
+        });
+      }
+      for (auto& w : writers) w.join();
+      const double elapsed = now_s() - t0;
+      return static_cast<double>(kThreads) *
+             static_cast<double>(per_thread) / elapsed;
+    };
+    double shared_best = 0.0;
+    double sharded_best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      obs::Counter shared;
+      shared_best = std::max(shared_best, hammer(shared));
+      obs::ShardedCounter sharded;
+      sharded_best = std::max(sharded_best, hammer(sharded));
+      const std::uint64_t expect =
+          static_cast<std::uint64_t>(kThreads) * per_thread;
+      if (sharded.value() != expect || shared.value() != expect) {
+        std::fprintf(stderr,
+                     "FATAL: lost updates (shared %llu, sharded %llu, "
+                     "expect %llu)\n",
+                     static_cast<unsigned long long>(shared.value()),
+                     static_cast<unsigned long long>(sharded.value()),
+                     static_cast<unsigned long long>(expect));
+        return 3;
+      }
+    }
+    const unsigned cores = std::thread::hardware_concurrency();
+    put(metrics, "metrics_contention_cores", static_cast<double>(cores));
+    put(metrics, "shared_counter_ops_per_sec", shared_best);
+    put(metrics, "sharded_counter_ops_per_sec", sharded_best);
+    put(metrics, "sharded_counter_speedup", sharded_best / shared_best);
+    std::printf("counters   : %11.0f ops/s sharded, %11.0f shared "
+                "-> %.2fx (8 threads, %u core(s))\n",
+                sharded_best, shared_best, sharded_best / shared_best,
+                cores);
+  }
+
+  // ---- HDR histogram: record throughput + quantile accuracy ----
+  {
+    const std::size_t n = quick ? 200000 : 1000000;
+    util::Xoshiro256 rng(0x11d5ULL);
+    std::vector<double> samples;
+    samples.reserve(n);
+    // Heavy-tailed mixture spanning the sub-ms body and a multi-ms tail —
+    // the regime where the old 10-bucket table collapsed every tail
+    // quantile into one bucket.
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool tail = (rng() & 0x1f) == 0;  // 1/32 slow path
+      samples.push_back(rng.exponential(tail ? 0.25 : 0.002));
+    }
+    obs::HdrHistogram hdr;
+    const double t0 = now_s();
+    for (const double s : samples) hdr.record(s);
+    const double record_ops =
+        static_cast<double>(n) / (now_s() - t0);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const auto exact = [&](double q) {
+      return sorted[static_cast<std::size_t>(
+          q * static_cast<double>(n - 1))];
+    };
+    const double exact_p99 = exact(0.99);
+    const double hdr_p99 = hdr.quantile(0.99);
+    const double p99_err = std::fabs(hdr_p99 - exact_p99) / exact_p99;
+    put(metrics, "hdr_record_ops_per_sec", record_ops);
+    put(metrics, "hdr_p99_seconds", hdr_p99);
+    put(metrics, "hdr_exact_p99_seconds", exact_p99);
+    put(metrics, "hdr_p99_rel_error", p99_err);
+    std::printf("hdr        : %11.0f records/s, p99 %.6f vs exact %.6f "
+                "(err %.2f%%)\n",
+                record_ops, hdr_p99, exact_p99, 100.0 * p99_err);
+  }
+
+  // ---- flight recorder overhead ----
+  // Same discipline as the span gate: the 49-node testbed with the armed
+  // flight ring absorbing every emit vs. disarmed, interleaved best-of.
+  {
+    const double duration_s = quick ? 20.0 : 60.0;
+    auto run_world = [&](bool armed) {
+      obs::FlightRecorder::global().clear();
+      obs::arm_flight_recorder(armed);
+      testbed::TestbedConfig config;
+      testbed::World world(config);
+      world.register_edges();
+      testbed::WorkloadDriver driver(world, config.seed + 1);
+      const util::SimTime t_end = util::from_seconds(duration_s);
+      for (std::size_t i = 0; i < world.num_clients(); ++i) {
+        driver.drive(i,
+                     testbed::ClientBehavior::for_profile(world.profile_of(i)),
+                     0, t_end);
+      }
+      const double t0 = now_s();
+      world.simulator().run_until(t_end);
+      const double elapsed = now_s() - t0;
+      obs::arm_flight_recorder(false);
+      return static_cast<double>(world.simulator().events_executed()) /
+             elapsed;
+    };
+    double off = 0.0;
+    double on = 0.0;
+    for (int rep = 0; rep < 2 * reps; ++rep) {
+      off = std::max(off, run_world(false));
+      on = std::max(on, run_world(true));
+    }
+    const double overhead = 1.0 - on / off;
+    put(metrics, "flight_off_events_per_sec", off);
+    put(metrics, "flight_on_events_per_sec", on);
+    put(metrics, "flight_overhead_fraction", overhead);
+    std::printf("flight rec : %11.0f events/s disarmed, %11.0f armed "
+                "(overhead %+.1f%%)\n",
+                off, on, 100.0 * overhead);
+  }
+
   if (!out_path.empty()) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
@@ -681,9 +815,38 @@ int main(int argc, char** argv) {
         failed = true;
       }
     }
+    // Health-plane absolute gates. The sharded-counter floor needs real
+    // parallelism: with fewer than 4 cores the 8 writers time-slice on the
+    // same cache and both counters degenerate to the uncontended case.
+    if (get(metrics, "sharded_counter_speedup") > 0.0 &&
+        get(metrics, "metrics_contention_cores") >= 4.0 &&
+        get(metrics, "sharded_counter_speedup") < 10.0) {
+      std::fprintf(stderr,
+                   "REGRESSION: sharded counter speedup %.2fx under the "
+                   "10x contention floor\n",
+                   get(metrics, "sharded_counter_speedup"));
+      failed = true;
+    }
+    if (get(metrics, "hdr_exact_p99_seconds") > 0.0 &&
+        get(metrics, "hdr_p99_rel_error") > 0.05) {
+      std::fprintf(stderr,
+                   "REGRESSION: HDR p99 off by %.1f%% from the exact "
+                   "percentile (budget 5%%)\n",
+                   100.0 * get(metrics, "hdr_p99_rel_error"));
+      failed = true;
+    }
+    if (get(metrics, "flight_on_events_per_sec") > 0.0 &&
+        get(metrics, "flight_overhead_fraction") >= 0.03) {
+      std::fprintf(stderr,
+                   "REGRESSION: flight recorder overhead %.1f%% exceeds "
+                   "the 3%% budget\n",
+                   100.0 * get(metrics, "flight_overhead_fraction"));
+      failed = true;
+    }
     if (failed) return 1;
-    std::printf("check      : all gated metrics within 30%% of %s "
-                "and span overhead < 5%%\n",
+    std::printf("check      : all gated metrics within 30%% of %s, span "
+                "overhead < 5%%, flight overhead < 3%%, HDR p99 within "
+                "5%%\n",
                 check_path.c_str());
   }
   return 0;

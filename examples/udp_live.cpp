@@ -6,21 +6,48 @@
 // socket, glued together by net::UdpRunner. The producer client
 // contributes entropy read from /dev/urandom; the consumer registers
 // (init + token rereg) and pulls encrypted entropy.
+// With `--admin-port N` the process also exposes the runtime health plane
+// on 127.0.0.1:N (/metrics, /healthz, /flight) backed by a live Registry,
+// the default SLO rules, and the flight recorder; `--serve-ms T` keeps the
+// process polling (and the endpoint up) for T ms after the demo so a
+// scraper can observe it — this is what the CI admin-endpoint job drives.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "cadet/cadet.h"
 #include "entropy/sources.h"
 #include "net/udp_runner.h"
+#include "obs/admin.h"
+#include "obs/flight.h"
+#include "obs/slo.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cadet;
   constexpr net::NodeId kServer = 1, kEdge = 100, kProducer = 1000,
                         kConsumer = 1001;
 
+  int admin_port = -1;
+  int serve_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
+      admin_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve-ms") == 0 && i + 1 < argc) {
+      serve_ms = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--admin-port N] [--serve-ms T]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  obs::Registry registry;
+
   ServerNode::Config server_config;
   server_config.id = kServer;
   server_config.seed = net::wall_clock_ns() | 1;
+  server_config.metrics = &registry;
   ServerNode server(server_config);
 
   EdgeNode::Config edge_config;
@@ -28,6 +55,7 @@ int main() {
   edge_config.server = kServer;
   edge_config.seed = server_config.seed + 1;
   edge_config.num_clients = 2;
+  edge_config.metrics = &registry;
   EdgeNode edge(edge_config);
 
   auto client_config = [&](net::NodeId id) {
@@ -36,12 +64,32 @@ int main() {
     c.edge = kEdge;
     c.server = kServer;
     c.seed = server_config.seed + id;
+    c.metrics = &registry;
     return c;
   };
   ClientNode producer(client_config(kProducer));
   ClientNode consumer(client_config(kConsumer));
 
   net::UdpRunner runner;
+  runner.bind_metrics(registry);
+
+  // Health plane: default watchdog rules ticked from the poll loop, the
+  // flight recorder armed, and the admin endpoint if requested.
+  obs::SloEngine slo(&registry);
+  for (const obs::SloRule& rule : obs::default_slo_rules()) {
+    slo.add_rule(rule);
+  }
+  runner.bind_health(&slo);
+  obs::arm_flight_recorder(true);
+  obs::AdminServer admin(&registry, &slo, &obs::FlightRecorder::global());
+  if (admin_port >= 0) {
+    obs::AdminServer::Options admin_opt;
+    admin_opt.port = admin_port;
+    if (!admin.start(admin_opt)) return 1;
+    std::printf("admin endpoint: http://127.0.0.1:%d "
+                "(/metrics /healthz /flight)\n",
+                admin.port());
+  }
   runner.add_node(kServer, [&](net::NodeId f, util::BytesView d,
                                util::SimTime t) {
     return server.on_packet(f, d, t);
@@ -120,5 +168,18 @@ int main() {
   std::printf("\nAll five stages completed over real sockets "
               "(%llu datagrams).\n",
               static_cast<unsigned long long>(runner.datagrams_handled()));
+
+  if (serve_ms > 0) {
+    std::printf("serving admin endpoint for %d ms...\n", serve_ms);
+    const util::SimTime t_stop =
+        net::wall_clock_ns() + static_cast<util::SimTime>(serve_ms) * 1000000;
+    while (net::wall_clock_ns() < t_stop) {
+      runner.poll_once(50);  // keeps the SLO engine ticking
+    }
+    std::printf("admin: served %llu request(s)\n",
+                static_cast<unsigned long long>(admin.requests_served()));
+  }
+  admin.stop();
+  obs::arm_flight_recorder(false);
   return 0;
 }

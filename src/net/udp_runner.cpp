@@ -1,5 +1,7 @@
 #include "net/udp_runner.h"
 
+#include "obs/slo.h"
+
 namespace cadet::net {
 
 util::SimTime wall_clock_ns() {
@@ -63,10 +65,20 @@ void UdpRunner::send_all(NodeId from, const std::vector<Outgoing>& out) {
 
 void UdpRunner::bind_metrics(obs::Registry& registry) {
   const obs::Labels labels{{"tier", "net"}, {"transport", "udp"}};
-  packets_counter_ = &registry.counter("cadet_net_packets", labels);
-  bytes_counter_ = &registry.counter("cadet_net_bytes", labels);
-  dropped_counter_ = &registry.counter("cadet_net_dropped", labels);
-  handler_hist_ = &registry.histogram("cadet_net_handler_seconds", labels);
+  packets_counter_ = &registry.sharded_counter("cadet_net_packets", labels);
+  bytes_counter_ = &registry.sharded_counter("cadet_net_bytes", labels);
+  dropped_counter_ = &registry.sharded_counter("cadet_net_dropped", labels);
+  obs::HdrConfig hdr;
+  hdr.striped = true;  // handler latency records from every poll thread
+  handler_hist_ = &registry.hdr("cadet_net_handler_seconds", labels, hdr);
+}
+
+void UdpRunner::bind_health(obs::SloEngine* engine, int interval_ms) {
+  slo_ = engine;
+  slo_interval_ns_ =
+      static_cast<std::int64_t>(interval_ms < 1 ? 1 : interval_ms) *
+      1'000'000;
+  last_slo_tick_ns_ = 0;
 }
 
 int UdpRunner::poll_once(int timeout_ms) {
@@ -90,6 +102,14 @@ int UdpRunner::poll_once(int timeout_ms) {
         });
   }
   handled_ += static_cast<std::uint64_t>(handled);
+
+  if (slo_ != nullptr) {
+    const util::SimTime now = wall_clock_ns();
+    if (now - last_slo_tick_ns_ >= slo_interval_ns_) {
+      last_slo_tick_ns_ = now;
+      slo_->tick(util::to_seconds(now));
+    }
+  }
   return handled;
 }
 

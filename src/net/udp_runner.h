@@ -13,7 +13,13 @@
 
 #include "net/transport.h"
 #include "net/udp.h"
+#include "obs/hdr.h"
 #include "obs/metrics.h"
+#include "obs/sharded.h"
+
+namespace cadet::obs {
+class SloEngine;
+}
 
 namespace cadet::net {
 
@@ -51,9 +57,14 @@ class UdpRunner {
   /// Publish datagram totals and handler latency (cadet_net_packets /
   /// _bytes / _dropped counters, cadet_net_handler_seconds histogram,
   /// labeled transport=udp) to `registry`, which must outlive the runner.
-  /// The instruments are lock-free, so a future multi-threaded poll loop
-  /// can share them.
+  /// Counters are cache-line-sharded and the latency histogram is a
+  /// striped HDR, so a multi-threaded poll loop shares them without
+  /// contention.
   void bind_metrics(obs::Registry& registry);
+
+  /// Tick `engine` from the poll loop, at most once per `interval_ms` of
+  /// wall clock (default 100 ms). The engine must outlive the runner.
+  void bind_health(obs::SloEngine* engine, int interval_ms = 100);
 
  private:
   struct Node {
@@ -70,10 +81,14 @@ class UdpRunner {
   std::uint64_t dropped_sends_ = 0;
   std::uint64_t handled_ = 0;
 
-  obs::Counter* packets_counter_ = nullptr;
-  obs::Counter* bytes_counter_ = nullptr;
-  obs::Counter* dropped_counter_ = nullptr;
-  obs::Histogram* handler_hist_ = nullptr;
+  obs::ShardedCounter* packets_counter_ = nullptr;
+  obs::ShardedCounter* bytes_counter_ = nullptr;
+  obs::ShardedCounter* dropped_counter_ = nullptr;
+  obs::HdrHistogram* handler_hist_ = nullptr;
+
+  obs::SloEngine* slo_ = nullptr;
+  std::int64_t slo_interval_ns_ = 0;
+  std::int64_t last_slo_tick_ns_ = 0;
 };
 
 }  // namespace cadet::net

@@ -1,0 +1,68 @@
+// Minimal blocking HTTP/1.0 admin listener: the live scrape/health surface.
+//
+//   GET /metrics   Prometheus exposition of the wired Registry
+//   GET /healthz   SLO engine state as JSON (503 while any rule fires)
+//   GET /flight    flight-recorder dump as JSONL
+//
+// One acceptor thread, one request per connection, Connection: close —
+// deliberately the dumbest server that a curl/Prometheus scraper is happy
+// with. It binds 127.0.0.1 by default and speaks plaintext with no
+// authentication: NEVER expose the port beyond the host (see
+// docs/OBSERVABILITY.md for the security caveats). Off unless explicitly
+// started, so deterministic sim tests never see it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace cadet::obs {
+
+class FlightRecorder;
+class SloEngine;
+
+class AdminServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    int port = 0;  // 0 = ephemeral (port() reports the bound one)
+  };
+
+  /// `slo` and `flight` may be null; their endpoints then report 404.
+  AdminServer(Registry* registry, SloEngine* slo, FlightRecorder* flight)
+      : registry_(registry), slo_(slo), flight_(flight) {}
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Bind + listen + spawn the acceptor thread. False on socket errors
+  /// (message on stderr).
+  bool start(const Options& options);
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  int port() const noexcept { return port_; }
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  Registry* registry_;
+  SloEngine* slo_;
+  FlightRecorder* flight_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace cadet::obs

@@ -9,6 +9,8 @@
 #include <ostream>
 
 #include "obs/csv.h"
+#include "obs/hdr.h"
+#include "obs/sharded.h"
 
 namespace cadet::obs {
 
@@ -76,9 +78,14 @@ void append_json_escaped(std::string& out, const std::string& value) {
 
 const char* kind_name(Registry::Kind kind) {
   switch (kind) {
-    case Registry::Kind::kCounter: return "counter";
+    // The sharded/HDR health-plane instruments export as the plain
+    // Prometheus types they are semantically — scrapers need no new
+    // machinery.
+    case Registry::Kind::kCounter:
+    case Registry::Kind::kShardedCounter: return "counter";
     case Registry::Kind::kGauge: return "gauge";
-    case Registry::Kind::kHistogram: return "histogram";
+    case Registry::Kind::kHistogram:
+    case Registry::Kind::kHdr: return "histogram";
   }
   return "?";
 }
@@ -116,6 +123,37 @@ std::string to_prometheus(const Registry& registry) {
                format_double(h.sum()) + '\n';
         out += entry.name + "_count" + label_block(entry.labels) + ' ' +
                std::to_string(h.count()) + '\n';
+        break;
+      }
+      case Registry::Kind::kShardedCounter:
+        out += entry.name + "_total" + label_block(entry.labels) + ' ' +
+               std::to_string(entry.sharded->value()) + '\n';
+        break;
+      case Registry::Kind::kHdr: {
+        // Only populated cells become buckets: an HDR histogram has ~1k
+        // cells and a typical run touches a few dozen, so the exposition
+        // stays compact while keeping full cell precision (le is the
+        // cell's exclusive upper edge in seconds).
+        const HdrSnapshot snap = entry.hdr->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+          if (snap.counts[i] == 0) continue;
+          cumulative += snap.counts[i];
+          out += entry.name + "_bucket" +
+                 label_block(
+                     entry.labels, "le",
+                     format_double(static_cast<double>(
+                                       snap.layout.value_hi(i)) *
+                                   1e-9)) +
+                 ' ' + std::to_string(cumulative) + '\n';
+        }
+        out += entry.name + "_bucket" +
+               label_block(entry.labels, "le", "+Inf") + ' ' +
+               std::to_string(snap.count) + '\n';
+        out += entry.name + "_sum" + label_block(entry.labels) + ' ' +
+               format_double(snap.sum_s) + '\n';
+        out += entry.name + "_count" + label_block(entry.labels) + ' ' +
+               std::to_string(snap.count) + '\n';
         break;
       }
     }
@@ -162,6 +200,26 @@ std::string to_json(const Registry& registry) {
         out += ']';
         break;
       }
+      case Registry::Kind::kShardedCounter:
+        out += ",\"value\":" + std::to_string(entry.sharded->value());
+        break;
+      case Registry::Kind::kHdr: {
+        const HdrSnapshot snap = entry.hdr->snapshot();
+        out += ",\"count\":" + std::to_string(snap.count) +
+               ",\"sum\":" + format_double(snap.sum_s) + ",\"buckets\":[";
+        bool first_cell = true;
+        for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+          if (snap.counts[i] == 0) continue;
+          if (!first_cell) out += ',';
+          first_cell = false;
+          out += "{\"le\":" +
+                 format_double(
+                     static_cast<double>(snap.layout.value_hi(i)) * 1e-9) +
+                 ",\"count\":" + std::to_string(snap.counts[i]) + '}';
+        }
+        out += ']';
+        break;
+      }
     }
     out += '}';
   }
@@ -188,6 +246,13 @@ void write_csv(const Registry& registry, std::ostream& out) {
       case Registry::Kind::kHistogram:
         value = std::to_string(entry.histogram->count()) + " obs, sum " +
                 format_double(entry.histogram->sum());
+        break;
+      case Registry::Kind::kShardedCounter:
+        value = std::to_string(entry.sharded->value());
+        break;
+      case Registry::Kind::kHdr:
+        value = std::to_string(entry.hdr->count()) + " obs, sum " +
+                format_double(entry.hdr->sum());
         break;
     }
     out << csv_join({entry.name, labels, kind_name(entry.kind), value})

@@ -1,0 +1,303 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if CADET_OBS_ENABLED
+#include <atomic>
+#endif
+
+#ifdef _WIN32
+#include <io.h>
+#define CADET_WRITE _write
+#else
+#include <unistd.h>
+#define CADET_WRITE ::write
+#endif
+
+namespace cadet::obs {
+
+#if CADET_OBS_ENABLED
+
+namespace detail {
+std::atomic<bool> g_flight_armed{false};
+
+void flight_append(const TraceEvent& event) noexcept {
+  FlightRecorder::global().append(event);
+}
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kPayloadWords =
+    (sizeof(TraceEvent) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Sequence-word protocol: 0 = never written, odd = write in progress,
+// 2*(ticket+1) = record for `ticket` is complete.
+constexpr std::uint64_t seq_done(std::uint64_t ticket) {
+  return 2 * (ticket + 1);
+}
+constexpr std::uint64_t seq_busy(std::uint64_t ticket) {
+  return 2 * ticket + 1;
+}
+
+// ---- async-signal-safe formatting helpers (no allocation, no stdio) ----
+
+std::size_t put_str(char* buf, std::size_t cap, std::size_t at,
+                    const char* s) noexcept {
+  if (s == nullptr) return at;
+  while (*s != '\0' && at < cap) buf[at++] = *s++;
+  return at;
+}
+
+std::size_t put_u64(char* buf, std::size_t cap, std::size_t at,
+                    std::uint64_t v) noexcept {
+  char digits[20];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && at < cap) buf[at++] = digits[--n];
+  return at;
+}
+
+// Nanosecond SimTime as fixed-point seconds ("1.234567890"), matching the
+// tracer's %.9f rendering.
+std::size_t put_ts(char* buf, std::size_t cap, std::size_t at,
+                   std::int64_t ts_ns) noexcept {
+  if (ts_ns < 0) {
+    at = put_str(buf, cap, at, "-");
+    ts_ns = -ts_ns;
+  }
+  const std::uint64_t ns = static_cast<std::uint64_t>(ts_ns);
+  at = put_u64(buf, cap, at, ns / 1000000000u);
+  if (at < cap) buf[at++] = '.';
+  std::uint64_t frac = ns % 1000000000u;
+  for (std::uint64_t div = 100000000u; div > 0 && at < cap; div /= 10) {
+    buf[at++] = static_cast<char>('0' + frac / div);
+    frac %= div;
+  }
+  return at;
+}
+
+// Attribute doubles as fixed-point with 6 fractional digits — covers the
+// counts/bytes/durations the engines attach; precision loss past ~9e12 is
+// an acceptable trade for signal safety.
+std::size_t put_double(char* buf, std::size_t cap, std::size_t at,
+                       double v) noexcept {
+  if (v < 0) {
+    at = put_str(buf, cap, at, "-");
+    v = -v;
+  }
+  if (!(v < 9.2e12)) return put_str(buf, cap, at, "9.2e12");
+  const std::uint64_t micro =
+      static_cast<std::uint64_t>(v * 1e6 + 0.5);
+  at = put_u64(buf, cap, at, micro / 1000000u);
+  if (at < cap) buf[at++] = '.';
+  std::uint64_t frac = micro % 1000000u;
+  for (std::uint64_t div = 100000u; div > 0 && at < cap; div /= 10) {
+    buf[at++] = static_cast<char>('0' + frac / div);
+    frac %= div;
+  }
+  return at;
+}
+
+std::size_t format_record(const TraceEvent& ev, char* buf,
+                          std::size_t cap) noexcept {
+  std::size_t at = 0;
+  at = put_str(buf, cap, at, "{\"ts\":");
+  at = put_ts(buf, cap, at, ev.ts);
+  at = put_str(buf, cap, at, ",\"ev\":\"");
+  at = put_str(buf, cap, at, ev.name);
+  at = put_str(buf, cap, at, "\",\"tier\":\"");
+  at = put_str(buf, cap, at, ev.tier);
+  at = put_str(buf, cap, at, "\",\"node\":");
+  at = put_u64(buf, cap, at, ev.node);
+  if (ev.trace != 0) {
+    at = put_str(buf, cap, at, ",\"trace\":");
+    at = put_u64(buf, cap, at, ev.trace);
+  }
+  if (ev.span != 0) {
+    at = put_str(buf, cap, at, ",\"span\":");
+    at = put_u64(buf, cap, at, ev.span);
+  }
+  if (ev.parent != 0) {
+    at = put_str(buf, cap, at, ",\"parent\":");
+    at = put_u64(buf, cap, at, ev.parent);
+  }
+  if (ev.phase != 0 && at + 10 < cap) {
+    at = put_str(buf, cap, at, ",\"ph\":\"");
+    buf[at++] = ev.phase;
+    at = put_str(buf, cap, at, "\"");
+  }
+  const std::uint8_t n =
+      std::min<std::uint8_t>(ev.num_attrs,
+                             static_cast<std::uint8_t>(ev.attrs.size()));
+  for (std::uint8_t i = 0; i < n; ++i) {
+    if (ev.attrs[i].key == nullptr) continue;
+    at = put_str(buf, cap, at, ",\"");
+    at = put_str(buf, cap, at, ev.attrs[i].key);
+    at = put_str(buf, cap, at, "\":");
+    at = put_double(buf, cap, at, ev.attrs[i].value);
+  }
+  at = put_str(buf, cap, at, "}");
+  if (at < cap) buf[at++] = '\n';
+  return at;
+}
+
+}  // namespace
+
+struct FlightRecorder::Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> words[kPayloadWords];
+};
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(round_up_pow2(std::max<std::size_t>(capacity, 2))) {
+  slots_ = new Slot[capacity_]();
+}
+
+FlightRecorder::~FlightRecorder() { delete[] slots_; }
+
+std::uint64_t FlightRecorder::appended() const noexcept {
+  return head_.load(std::memory_order_relaxed) -
+         dropped_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::dropped() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::append(const TraceEvent& event) noexcept {
+  const std::uint64_t ticket =
+      head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (capacity_ - 1)];
+  // The slot must still hold the record from exactly one lap ago (or be
+  // virgin). If not, a writer stalled long enough to be lapped — drop this
+  // record rather than tear a newer one.
+  std::uint64_t expected =
+      ticket >= capacity_ ? seq_done(ticket - capacity_) : 0;
+  if (!slot.seq.compare_exchange_strong(expected, seq_busy(ticket),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t tmp[kPayloadWords] = {};
+  std::memcpy(tmp, &event, sizeof(event));
+  for (std::size_t w = 0; w < kPayloadWords; ++w) {
+    slot.words[w].store(tmp[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(seq_done(ticket), std::memory_order_release);
+}
+
+std::vector<TraceEvent> FlightRecorder::dump() const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t oldest = head >= capacity_ ? head - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(head - oldest));
+  for (std::uint64_t t = oldest; t < head; ++t) {
+    const Slot& slot = slots_[t & (capacity_ - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != seq_done(t)) continue;
+    std::uint64_t tmp[kPayloadWords];
+    for (std::size_t w = 0; w < kPayloadWords; ++w) {
+      tmp[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_done(t)) continue;
+    TraceEvent ev;
+    std::memcpy(&ev, tmp, sizeof(ev));
+    out.push_back(ev);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_jsonl() const {
+  std::string out;
+  for (const TraceEvent& ev : dump()) {
+    out += to_json(ev);
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::dump_to_fd(int fd) const noexcept {
+  std::size_t written = 0;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t oldest = head >= capacity_ ? head - capacity_ : 0;
+  for (std::uint64_t t = oldest; t < head; ++t) {
+    const Slot& slot = slots_[t & (capacity_ - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != seq_done(t)) continue;
+    std::uint64_t tmp[kPayloadWords];
+    for (std::size_t w = 0; w < kPayloadWords; ++w) {
+      tmp[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_done(t)) continue;
+    TraceEvent ev;
+    std::memcpy(&ev, tmp, sizeof(ev));
+    char line[768];
+    const std::size_t n = format_record(ev, line, sizeof(line));
+    if (CADET_WRITE(fd, line, static_cast<unsigned>(n)) < 0) break;
+    ++written;
+  }
+  return written;
+}
+
+void FlightRecorder::clear() noexcept {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    for (std::size_t w = 0; w < kPayloadWords; ++w) {
+      slots_[i].words[w].store(0, std::memory_order_relaxed);
+    }
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* instance = new FlightRecorder();  // never destroyed
+  return *instance;
+}
+
+void arm_flight_recorder(bool on) noexcept {
+  detail::g_flight_armed.store(on, std::memory_order_relaxed);
+}
+
+bool flight_recorder_armed() noexcept {
+  return detail::g_flight_armed.load(std::memory_order_relaxed);
+}
+
+#else  // !CADET_OBS_ENABLED
+
+struct FlightRecorder::Slot {};
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity) {}
+FlightRecorder::~FlightRecorder() = default;
+std::uint64_t FlightRecorder::appended() const noexcept { return 0; }
+std::uint64_t FlightRecorder::dropped() const noexcept { return 0; }
+void FlightRecorder::append(const TraceEvent&) noexcept {}
+std::vector<TraceEvent> FlightRecorder::dump() const { return {}; }
+std::string FlightRecorder::dump_jsonl() const { return {}; }
+std::size_t FlightRecorder::dump_to_fd(int) const noexcept { return 0; }
+void FlightRecorder::clear() noexcept {}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void arm_flight_recorder(bool) noexcept {}
+bool flight_recorder_armed() noexcept { return false; }
+
+#endif  // CADET_OBS_ENABLED
+
+}  // namespace cadet::obs

@@ -1,0 +1,87 @@
+// Always-on flight recorder: last-N-events forensics at near-zero cost.
+//
+// A fixed-size lock-free MPSC ring of binary TraceEvent records. Unlike the
+// Tracer (single-threaded, off unless a run asks for a trace), the flight
+// recorder is meant to stay armed in production: every obs::emit() lands
+// here too, the ring silently overwrites the oldest records, and when
+// something goes wrong — a watchdog trip, a chaos fault, SIGTERM, a crash
+// handler — the last few thousand events are dumped as JSONL for post-hoc
+// reconstruction.
+//
+// Concurrency: writers claim a slot by ticket (one fetch_add), CAS the
+// slot's sequence word from its previous-generation value to "ticket in
+// progress" (a writer that lost a full lap drops its record instead of
+// tearing a slot two generations newer), copy the payload as relaxed
+// word-sized atomic stores, then release-publish the sequence. Readers are
+// per-slot seqlocks: a slot whose sequence changed mid-copy is skipped, so
+// dumps never block writers and never contain torn records.
+//
+// dump_to_fd() is the signal path: no allocation, no stdio, just
+// hand-formatted JSONL pushed through write(2).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cadet::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  // ~512 KiB
+
+  /// Capacity is rounded up to a power of two.
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Total records accepted (appended minus conflict drops).
+  std::uint64_t appended() const noexcept;
+  /// Records dropped on a wrap-around writer collision (a writer lapped a
+  /// stalled one). Overwritten-but-complete old records are NOT drops —
+  /// overwriting is the ring's job.
+  std::uint64_t dropped() const noexcept;
+
+  void append(const TraceEvent& event) noexcept;
+
+  /// Consistent copies of every live record, oldest first. Never blocks
+  /// writers; records mid-write during the copy are skipped.
+  std::vector<TraceEvent> dump() const;
+  /// dump() rendered through to_json, one line per record.
+  std::string dump_jsonl() const;
+  /// Async-signal-safe best-effort JSONL dump: no allocation, no locks, no
+  /// stdio — safe from a fatal-signal handler. Returns records written.
+  std::size_t dump_to_fd(int fd) const noexcept;
+
+  /// Reset to empty (test helper; not safe concurrent with writers).
+  void clear() noexcept;
+
+  /// The recorder obs::emit() feeds when armed.
+  static FlightRecorder& global();
+
+ private:
+  struct Slot;
+  std::size_t capacity_ = 0;
+  Slot* slots_ = nullptr;
+#if CADET_OBS_ENABLED
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+#else
+  std::uint64_t head_ = 0;
+#endif
+};
+
+/// Arm/disarm the global recorder's emit() hook. Off by default so the
+/// deterministic sim suite is byte-identical with and without the plane;
+/// cadet_sim and UdpRunner arm it at startup.
+void arm_flight_recorder(bool on = true) noexcept;
+bool flight_recorder_armed() noexcept;
+
+}  // namespace cadet::obs

@@ -4,7 +4,28 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/hdr.h"
+#include "obs/sharded.h"
+
 namespace cadet::obs {
+
+#if CADET_OBS_ENABLED
+namespace detail {
+
+std::uint64_t next_scrape_epoch() noexcept {
+  static std::atomic<std::uint64_t> epoch{0};
+  return epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::size_t shard_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kShardStripes;
+  return stripe;
+}
+
+}  // namespace detail
+#endif  // CADET_OBS_ENABLED
 
 // ---------------------------------------------------------------- Histogram
 
@@ -61,9 +82,14 @@ std::vector<double> Histogram::latency_seconds_bounds() {
 
 // ----------------------------------------------------------------- Registry
 
+Registry::Slot::Slot() = default;
+Registry::Slot::~Slot() = default;
+Registry::~Registry() = default;
+
 Registry::Slot& Registry::find_or_create(const std::string& name,
                                          const Labels& labels, Kind kind,
-                                         std::vector<double> bounds) {
+                                         std::vector<double> bounds,
+                                         const HdrConfig* hdr_config) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto key = std::make_pair(name, labels);
   const auto it = index_.find(key);
@@ -75,6 +101,11 @@ Registry::Slot& Registry::find_or_create(const std::string& name,
   if (kind == Kind::kHistogram) {
     if (bounds.empty()) bounds = Histogram::latency_seconds_bounds();
     slot.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else if (kind == Kind::kShardedCounter) {
+    slot.sharded = std::make_unique<ShardedCounter>();
+  } else if (kind == Kind::kHdr) {
+    slot.hdr = std::make_unique<HdrHistogram>(hdr_config ? *hdr_config
+                                                         : HdrConfig{});
   }
   index_[key] = &slot;
   return slot;
@@ -95,6 +126,20 @@ Histogram& Registry::histogram(const std::string& name, const Labels& labels,
               .histogram;
 }
 
+ShardedCounter& Registry::sharded_counter(const std::string& name,
+                                          const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kShardedCounter, {}).sharded;
+}
+
+HdrHistogram& Registry::hdr(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kHdr, {}).hdr;
+}
+
+HdrHistogram& Registry::hdr(const std::string& name, const Labels& labels,
+                            const HdrConfig& config) {
+  return *find_or_create(name, labels, Kind::kHdr, {}, &config).hdr;
+}
+
 std::vector<Registry::Entry> Registry::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Entry> out;
@@ -108,6 +153,8 @@ std::vector<Registry::Entry> Registry::entries() const {
       case Kind::kCounter: e.counter = &slot.counter; break;
       case Kind::kGauge: e.gauge = &slot.gauge; break;
       case Kind::kHistogram: e.histogram = slot.histogram.get(); break;
+      case Kind::kShardedCounter: e.sharded = slot.sharded.get(); break;
+      case Kind::kHdr: e.hdr = slot.hdr.get(); break;
     }
     out.push_back(std::move(e));
   }

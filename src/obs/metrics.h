@@ -35,6 +35,10 @@
 
 namespace cadet::obs {
 
+class HdrHistogram;   // obs/hdr.h
+struct HdrConfig;     // obs/hdr.h
+class ShardedCounter; // obs/sharded.h
+
 /// Metric labels: sorted key=value pairs (tier, node, ...).
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
@@ -138,6 +142,8 @@ class Histogram {
 class Registry {
  public:
   Registry() = default;
+  ~Registry();  // out of line: Slot holds unique_ptrs to forward-declared
+                // health-plane instruments
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -147,8 +153,17 @@ class Registry {
   Histogram& histogram(const std::string& name,
                        const Labels& labels = {},
                        std::vector<double> upper_bounds = {});
+  /// Health-plane instruments (obs/sharded.h, obs/hdr.h): cache-line-
+  /// sharded counter for threaded hot paths, and a log-linear HDR
+  /// histogram for precise tail latencies. Both export under the plain
+  /// counter/histogram Prometheus types.
+  ShardedCounter& sharded_counter(const std::string& name,
+                                  const Labels& labels = {});
+  HdrHistogram& hdr(const std::string& name, const Labels& labels = {});
+  HdrHistogram& hdr(const std::string& name, const Labels& labels,
+                    const HdrConfig& config);
 
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kShardedCounter, kHdr };
   struct Entry {
     std::string name;
     Labels labels;
@@ -156,6 +171,8 @@ class Registry {
     const Counter* counter = nullptr;
     const Gauge* gauge = nullptr;
     const Histogram* histogram = nullptr;
+    const ShardedCounter* sharded = nullptr;
+    const HdrHistogram* hdr = nullptr;
   };
   /// Stable snapshot of every registered instrument, sorted by (name,
   /// labels) so exports are deterministic.
@@ -169,6 +186,11 @@ class Registry {
 
  private:
   struct Slot {
+    Slot();   // out of line: the unique_ptrs point at forward-declared
+    ~Slot();  // health-plane instruments
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+
     std::string name;
     Labels labels;
     Kind kind;
@@ -177,10 +199,13 @@ class Registry {
     Counter counter;
     Gauge gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<ShardedCounter> sharded;
+    std::unique_ptr<HdrHistogram> hdr;
   };
 
   Slot& find_or_create(const std::string& name, const Labels& labels,
-                       Kind kind, std::vector<double> bounds);
+                       Kind kind, std::vector<double> bounds,
+                       const HdrConfig* hdr_config = nullptr);
 
   mutable std::mutex mu_;
   std::deque<Slot> slots_;

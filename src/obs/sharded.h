@@ -1,0 +1,110 @@
+// Sharded hot-path cells for the wall-clock (threaded) tiers.
+//
+// The PR-1 registry's instruments are single shared atomics: correct under
+// threads, but every increment from every thread lands on the same cache
+// line, so an 8-thread UDP loop serialises on the coherence protocol. The
+// sharded instruments here split the value across kShardStripes
+// cache-line-aligned cells; each thread is pinned to one stripe (TLS,
+// round-robin at first touch), so steady-state increments are relaxed RMWs
+// on a line no other core writes — within noise of a plain store.
+//
+// Aggregation is epoch-based: readers never stop writers. aggregate() (and
+// every snapshot taken through it) bumps a global scrape epoch, then sums
+// the stripes with relaxed loads. Each stripe is monotone, so the sum of
+// per-stripe reads is monotone across scrapes — a later snapshot can never
+// report less than an earlier one, and no concurrent increment is ever
+// lost (it lands in this scrape or the next).
+//
+// With CADET_OBS=OFF the stripes collapse to one plain integer, the exact
+// cost of the field they shadow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"  // for CADET_OBS_ENABLED
+
+#if CADET_OBS_ENABLED
+#include <atomic>
+#endif
+
+namespace cadet::obs {
+
+/// Stripe count: enough that 8-16 worker threads land on distinct lines,
+/// small enough that a sharded counter stays ~1 KiB. Power of two.
+inline constexpr std::size_t kShardStripes = 16;
+
+#if CADET_OBS_ENABLED
+
+namespace detail {
+/// Monotone scrape-epoch counter (one per process, shared by every sharded
+/// instrument). Defined in metrics.cpp.
+std::uint64_t next_scrape_epoch() noexcept;
+
+/// Stripe index of the calling thread: assigned round-robin on first
+/// touch, stable for the thread's lifetime. More than kShardStripes
+/// threads share stripes (the cells are atomic, so sharing is only a
+/// throughput matter, never a correctness one).
+std::size_t shard_stripe() noexcept;
+}  // namespace detail
+
+/// One cache line per stripe so no two stripes ever share one.
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Monotone counter sharded across per-thread stripes. API-compatible with
+/// Counter (inc/value), plus an epoch-tagged aggregate for scrapers.
+class ShardedCounter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    cells_[detail::shard_stripe()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Relaxed sum of every stripe. Monotone across calls.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const ShardCell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  struct Snapshot {
+    std::uint64_t value = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Epoch-stamped scrape: later epochs never report smaller values.
+  Snapshot aggregate() const noexcept {
+    Snapshot snap;
+    snap.epoch = detail::next_scrape_epoch();
+    snap.value = value();
+    return snap;
+  }
+
+ private:
+  ShardCell cells_[kShardStripes];
+};
+
+#else  // !CADET_OBS_ENABLED
+
+class ShardedCounter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+
+  struct Snapshot {
+    std::uint64_t value = 0;
+    std::uint64_t epoch = 0;
+  };
+  Snapshot aggregate() const noexcept { return Snapshot{value_, 0}; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+#endif  // CADET_OBS_ENABLED
+
+}  // namespace cadet::obs

@@ -115,9 +115,11 @@ namespace detail {
 inline void emit_span(util::SimTime ts, const char* name, const char* tier,
                       std::uint64_t node, SpanContext ctx,
                       std::uint64_t parent, char phase,
-                      std::initializer_list<TraceEvent::Attr> attrs) {
+                      std::initializer_list<TraceEvent::Attr> attrs) noexcept {
   Tracer& tracer = Tracer::global();
-  if (!tracer.enabled()) return;
+  const bool traced = tracer.enabled();
+  const bool flight = g_flight_armed.load(std::memory_order_relaxed);
+  if (!traced && !flight) return;
   TraceEvent event;
   event.ts = ts;
   event.name = name;
@@ -136,7 +138,8 @@ inline void emit_span(util::SimTime ts, const char* name, const char* tier,
     if (event.num_attrs >= event.attrs.size()) break;
     event.attrs[event.num_attrs++] = attr;
   }
-  tracer.record(event);
+  if (flight) flight_append(event);
+  if (traced) tracer.record(event);
 }
 #endif
 }  // namespace detail
@@ -145,7 +148,7 @@ inline void emit_span(util::SimTime ts, const char* name, const char* tier,
 inline void span_begin(util::SimTime ts, const char* name, const char* tier,
                        std::uint64_t node, SpanContext ctx,
                        std::uint64_t parent = 0,
-                       std::initializer_list<TraceEvent::Attr> attrs = {}) {
+                       std::initializer_list<TraceEvent::Attr> attrs = {}) noexcept {
 #if CADET_OBS_ENABLED
   detail::emit_span(ts, name, tier, node, ctx, parent, 'B', attrs);
 #else
@@ -157,7 +160,7 @@ inline void span_begin(util::SimTime ts, const char* name, const char* tier,
 /// Close span ctx.span.
 inline void span_end(util::SimTime ts, const char* name, const char* tier,
                      std::uint64_t node, SpanContext ctx,
-                     std::initializer_list<TraceEvent::Attr> attrs = {}) {
+                     std::initializer_list<TraceEvent::Attr> attrs = {}) noexcept {
 #if CADET_OBS_ENABLED
   detail::emit_span(ts, name, tier, node, ctx, 0, 'E', attrs);
 #else
@@ -172,7 +175,7 @@ inline void span_end(util::SimTime ts, const char* name, const char* tier,
 inline void span_complete(util::SimTime ts, const char* name,
                           const char* tier, std::uint64_t node,
                           SpanContext ctx, std::uint64_t parent,
-                          std::initializer_list<TraceEvent::Attr> attrs = {}) {
+                          std::initializer_list<TraceEvent::Attr> attrs = {}) noexcept {
 #if CADET_OBS_ENABLED
   detail::emit_span(ts, name, tier, node, ctx, parent, 'X', attrs);
 #else
@@ -184,7 +187,7 @@ inline void span_complete(util::SimTime ts, const char* name,
 /// Instant event tagged with the trace/span it occurred under (no phase).
 inline void span_event(util::SimTime ts, const char* name, const char* tier,
                        std::uint64_t node, SpanContext ctx,
-                       std::initializer_list<TraceEvent::Attr> attrs = {}) {
+                       std::initializer_list<TraceEvent::Attr> attrs = {}) noexcept {
 #if CADET_OBS_ENABLED
   detail::emit_span(ts, name, tier, node, ctx, 0, 0, attrs);
 #else

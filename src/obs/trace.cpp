@@ -105,7 +105,7 @@ void Tracer::set_capacity(std::size_t capacity) {
   count_ = 0;
 }
 
-void Tracer::record(const TraceEvent& event) {
+void Tracer::record(const TraceEvent& event) noexcept {
   if (!enabled_) return;
   ++recorded_;
   if (count_ == ring_.size()) {

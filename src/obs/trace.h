@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <initializer_list>
@@ -106,7 +107,7 @@ class Tracer {
   /// Attach a sink (not owned). Pass nullptr to detach.
   void set_sink(TraceSink* sink) noexcept { sink_ = sink; }
 
-  void record(const TraceEvent& event);
+  void record(const TraceEvent& event) noexcept;
 
   /// Drain every buffered event, oldest first, to the sink (if any) and
   /// clear the ring. Returns the number of events drained.
@@ -135,14 +136,28 @@ class Tracer {
   std::uint64_t recorded_ = 0;
 };
 
+#if CADET_OBS_ENABLED
+namespace detail {
+/// Flight-recorder hooks (defined in flight.cpp; declared here so emit()
+/// can feed the recorder without trace.h depending on flight.h). The armed
+/// flag is a single relaxed load on the hot path.
+extern std::atomic<bool> g_flight_armed;
+void flight_append(const TraceEvent& event) noexcept;
+}  // namespace detail
+#endif
+
 /// Emit helper used by the engines: compiled out with CADET_OBS=OFF, and a
-/// single predictable branch when tracing is off at runtime.
+/// single predictable branch when both tracing and the flight recorder are
+/// off at runtime.
 inline void emit(util::SimTime ts, const char* name, const char* tier,
                  std::uint64_t node,
-                 std::initializer_list<TraceEvent::Attr> attrs = {}) {
+                 std::initializer_list<TraceEvent::Attr> attrs = {}) noexcept {
 #if CADET_OBS_ENABLED
   Tracer& tracer = Tracer::global();
-  if (!tracer.enabled()) return;
+  const bool traced = tracer.enabled();
+  const bool flight =
+      detail::g_flight_armed.load(std::memory_order_relaxed);
+  if (!traced && !flight) return;
   TraceEvent event;
   event.ts = ts;
   event.name = name;
@@ -152,7 +167,8 @@ inline void emit(util::SimTime ts, const char* name, const char* tier,
     if (event.num_attrs >= event.attrs.size()) break;
     event.attrs[event.num_attrs++] = attr;
   }
-  tracer.record(event);
+  if (flight) detail::flight_append(event);
+  if (traced) tracer.record(event);
 #else
   (void)ts; (void)name; (void)tier; (void)node; (void)attrs;
 #endif

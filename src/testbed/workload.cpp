@@ -1,6 +1,7 @@
 #include "testbed/workload.h"
 
 #include "entropy/sources.h"
+#include "obs/hdr.h"
 
 namespace cadet::testbed {
 
@@ -49,7 +50,10 @@ ClientBehavior ClientBehavior::for_profile(NetworkProfile profile) {
 }
 
 WorkloadDriver::WorkloadDriver(World& world, std::uint64_t seed)
-    : world_(world), rng_(seed ^ 0x3017ead5ULL) {}
+    : world_(world), rng_(seed ^ 0x3017ead5ULL) {
+  fulfillment_hdr_ = &world.metrics().hdr("cadet_fulfillment_seconds");
+  inflight_gauge_ = &world.metrics().gauge("cadet_fulfillment_inflight");
+}
 
 void WorkloadDriver::drive(std::size_t client_idx,
                            const ClientBehavior& behavior,
@@ -78,6 +82,7 @@ void WorkloadDriver::schedule_next_request(std::size_t client_idx,
     ClientNode& client = world_.client(client_idx);
     SimNode& node = world_.client_sim(client_idx);
     ++metrics_.requests_sent;
+    inflight_gauge_->add(1);
     const net::NodeId cid = client.id();
     node.post([this, &client, &node, cid, behavior](util::SimTime t0) {
       return client.request_entropy(
@@ -85,6 +90,7 @@ void WorkloadDriver::schedule_next_request(std::size_t client_idx,
           [this, &node, cid, t0](util::BytesView data, util::SimTime) {
             if (data.empty()) {
               ++metrics_.requests_failed;  // expired, not delivered
+              inflight_gauge_->sub(1);
               return;
             }
             // Completion is when the client finishes processing the
@@ -96,6 +102,8 @@ void WorkloadDriver::schedule_next_request(std::size_t client_idx,
               metrics_.events.push_back(
                   ResponseEvent{util::to_seconds(t0), rt, cid});
               ++metrics_.responses_received;
+              fulfillment_hdr_->record(rt);
+              inflight_gauge_->sub(1);
               return std::vector<net::Outgoing>{};
             });
           });

@@ -56,6 +56,10 @@ struct WorkloadMetrics {
 };
 
 /// Drives clients of a World according to behaviours, accumulating metrics.
+/// Fulfillment latencies additionally land in the world registry's
+/// cadet_fulfillment_seconds HDR histogram, and cadet_fulfillment_inflight
+/// gauges the requests awaiting a delivery — the instruments the SLO
+/// engine's burn-rate and stall rules watch.
 class WorkloadDriver {
  public:
   WorkloadDriver(World& world, std::uint64_t seed);
@@ -77,6 +81,8 @@ class WorkloadDriver {
   World& world_;
   util::Xoshiro256 rng_;
   WorkloadMetrics metrics_;
+  obs::HdrHistogram* fulfillment_hdr_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
 };
 
 }  // namespace cadet::testbed

@@ -76,3 +76,44 @@ string(FIND "${folded}" "sim.run;" pos)
 if(pos EQUAL -1)
   message(FATAL_ERROR "folded profile has no sim.run stacks:\n${folded}")
 endif()
+
+# Interrupted run: --self-sigint raises SIGINT at a deterministic sim time
+# mid-run. The tool must still flush every artifact (metrics snapshot,
+# trace, flight-recorder dump) and exit with the conventional 130.
+execute_process(
+  COMMAND ${TOOL_DIR}/cadet_sim --networks 2 --clients 4 --duration 120
+          --seed 7 --self-sigint 30
+          --metrics-out ${WORK_DIR}/int_m.txt
+          --trace-out ${WORK_DIR}/int_t.jsonl
+          --flight-out ${WORK_DIR}/int_f.jsonl
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 130)
+  message(FATAL_ERROR
+    "interrupted cadet_sim should exit 130, got: ${rc}")
+endif()
+foreach(artifact int_m.txt int_t.jsonl int_f.jsonl)
+  if(NOT EXISTS ${WORK_DIR}/${artifact})
+    message(FATAL_ERROR "interrupted run did not flush ${artifact}")
+  endif()
+endforeach()
+# The partial metrics snapshot must still be a parseable exposition with
+# tier counters, and the flight dump must be JSONL trace records.
+file(READ ${WORK_DIR}/int_m.txt int_metrics)
+string(FIND "${int_metrics}" "# TYPE" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+    "interrupted metrics snapshot is not an exposition:\n${int_metrics}")
+endif()
+file(READ ${WORK_DIR}/int_f.jsonl int_flight)
+string(FIND "${int_flight}" "\"ev\":" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+    "interrupted flight dump carries no trace records:\n${int_flight}")
+endif()
+# The truncated trace must still parse end-to-end (no torn final line).
+execute_process(
+  COMMAND ${TOOL_DIR}/cadet_trace ${WORK_DIR}/int_t.jsonl
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "interrupted trace does not parse: ${rc}")
+endif()

@@ -1,0 +1,173 @@
+// AdminServer: ephemeral bind, the three endpoints (status codes + body
+// shape), 404/405 handling, null-wiring behavior, and clean stop().
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/admin.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/sharded.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace cadet::obs {
+namespace {
+
+// Blocking one-shot HTTP exchange against 127.0.0.1:port. Returns the full
+// response (headers + body); empty string on connect failure.
+std::string http_request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+struct AdminFixture {
+  Registry registry;
+  SloEngine slo{&registry};
+  FlightRecorder flight{256};
+  AdminServer server{&registry, &slo, &flight};
+
+  bool start() { return server.start(AdminServer::Options{}); }
+};
+
+TEST(AdminServer, BindsEphemeralPort) {
+  AdminFixture f;
+  ASSERT_TRUE(f.start());
+  EXPECT_TRUE(f.server.running());
+  EXPECT_GT(f.server.port(), 0);
+  f.server.stop();
+  EXPECT_FALSE(f.server.running());
+}
+
+TEST(AdminServer, ServesPrometheusMetrics) {
+  AdminFixture f;
+  f.registry.counter("cadet_demo_hits").inc(3);
+  f.registry.sharded_counter("cadet_demo_packets").inc(7);
+  ASSERT_TRUE(f.start());
+  const std::string response = http_get(f.server.port(), "/metrics");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.find("cadet_demo_hits_total 3"), std::string::npos);
+  EXPECT_NE(response.find("cadet_demo_packets_total 7"), std::string::npos);
+  EXPECT_GE(f.server.requests_served(), 1u);
+  f.server.stop();
+}
+
+TEST(AdminServer, HealthzFlips503WhileFiring) {
+  AdminFixture f;
+  Gauge& g = f.registry.gauge("queue");
+  f.slo.add_rule(*parse_slo_rule("gauge:stall:queue:0:10:1"));
+  ASSERT_TRUE(f.start());
+
+  g.set(0);
+  f.slo.tick(1.0);
+  std::string response = http_get(f.server.port(), "/healthz");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+
+  g.set(100);
+  f.slo.tick(2.0);
+  response = http_get(f.server.port(), "/healthz");
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"alerting\""), std::string::npos);
+  f.server.stop();
+}
+
+#if CADET_OBS_ENABLED  // the no-obs flight stub records nothing to serve
+TEST(AdminServer, FlightEndpointReturnsJsonl) {
+  AdminFixture f;
+  TraceEvent e;
+  e.ts = 1000;
+  e.name = "boot";
+  e.tier = "test";
+  e.node = 9;
+  f.flight.append(e);
+  ASSERT_TRUE(f.start());
+  const std::string response = http_get(f.server.port(), "/flight");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  const std::size_t eol = body.find('\n');
+  const auto parsed =
+      parse_json_line(eol == std::string::npos ? body : body.substr(0, eol));
+  ASSERT_TRUE(parsed.has_value()) << body;
+  EXPECT_EQ(parsed->name, "boot");
+  EXPECT_EQ(parsed->node, 9u);
+  f.server.stop();
+}
+#endif  // CADET_OBS_ENABLED
+
+TEST(AdminServer, UnknownPathIs404AndNonGetIs405) {
+  AdminFixture f;
+  ASSERT_TRUE(f.start());
+  EXPECT_NE(http_get(f.server.port(), "/nope").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_request(f.server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  f.server.stop();
+}
+
+TEST(AdminServer, NullWiringReports404) {
+  Registry registry;
+  AdminServer server(&registry, nullptr, nullptr);
+  ASSERT_TRUE(server.start(AdminServer::Options{}));
+  EXPECT_NE(http_get(server.port(), "/healthz").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/flight").find("404"),
+            std::string::npos);
+  // /metrics still works: the Registry is wired.
+  EXPECT_NE(http_get(server.port(), "/metrics").find("200"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(AdminServer, StopIsIdempotentAndRestartable) {
+  AdminFixture f;
+  ASSERT_TRUE(f.start());
+  const int first_port = f.server.port();
+  f.server.stop();
+  f.server.stop();  // no-op
+  ASSERT_TRUE(f.start());
+  EXPECT_GT(f.server.port(), 0);
+  (void)first_port;
+  f.server.stop();
+}
+
+}  // namespace
+}  // namespace cadet::obs

@@ -28,14 +28,15 @@ bool has_rule(const std::vector<lint::Finding>& fs, std::string_view rule) {
 
 }  // namespace
 
-TEST(LintCatalog, ExposesAllFiveRules) {
+TEST(LintCatalog, ExposesAllSixRules) {
   const auto catalog = lint::rule_catalog();
-  ASSERT_EQ(catalog.size(), 5u);
+  ASSERT_EQ(catalog.size(), 6u);
   EXPECT_EQ(catalog[0].id, "forbidden-rng");
   EXPECT_EQ(catalog[1].id, "sim-purity");
   EXPECT_EQ(catalog[2].id, "secret-hygiene");
   EXPECT_EQ(catalog[3].id, "header-self-containment");
   EXPECT_EQ(catalog[4].id, "unchecked-return");
+  EXPECT_EQ(catalog[5].id, "obs-hot-path");
 }
 
 // ---------------------------------------------------------------- scrubber
@@ -383,6 +384,67 @@ TEST(LintSuppression, AllowAllAndMultiRuleLists) {
                    "auto t = time(nullptr);  "
                    "// cadet-lint: allow(forbidden-rng)\n")
                    .empty());
+}
+
+// ------------------------------------------------------------- obs-hot-path
+
+TEST(LintObsHotPath, FlagsEmitHelperWithoutNoexcept) {
+  const auto findings = lint::lint_content(
+      "src/obs/bad.h",
+      "#pragma once\n"
+      "#include <cstdint>\n"
+      "class C {\n"
+      " public:\n"
+      "  void observe(double v);\n"
+      "};\n");
+  EXPECT_TRUE(has_rule(findings, "obs-hot-path"));
+}
+
+TEST(LintObsHotPath, FlagsAllocProneSignatureType) {
+  const auto findings = lint::lint_content(
+      "src/obs/bad.h",
+      "#pragma once\n"
+      "#include <string>\n"
+      "void emit(const std::string& name) noexcept;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "obs-hot-path");
+  EXPECT_NE(findings[0].message.find("std::string"), std::string::npos);
+}
+
+TEST(LintObsHotPath, AcceptsNoexceptPodSignatures) {
+  // Multi-line signature, out-of-line definition, initializer_list of
+  // PODs, and a deleted overload are all fine.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/obs/good.cpp",
+                  "void Tracer::record(double v,\n"
+                  "                    std::uint64_t node) noexcept {\n"
+                  "}\n"
+                  "void emit(std::initializer_list<Attr> attrs) noexcept;\n"
+                  "void observe(double) = delete;\n")
+                  .empty());
+}
+
+TEST(LintObsHotPath, IgnoresCallSitesAndOtherDirs) {
+  // Member calls and statement-position calls are not declarations.
+  EXPECT_TRUE(lint::lint_content("src/obs/good.cpp",
+                                 "void f() {\n"
+                                 "  counter.inc(1);\n"
+                                 "  obs::emit(ts, name, tier, node);\n"
+                                 "  return observe(x);\n"
+                                 "}\n")
+                  .empty());
+  // The rule is scoped to src/obs/.
+  EXPECT_TRUE(
+      lint::lint_content("src/core/other.cpp", "void observe(std::string s);\n")
+          .empty());
+}
+
+TEST(LintObsHotPath, SuppressionWaivesFinding) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/obs/ok.h",
+                  "#pragma once\n"
+                  "void emit(int v);  // cadet-lint: allow(obs-hot-path)\n")
+                  .empty());
 }
 
 TEST(LintFormat, TextAndJsonReports) {

@@ -122,6 +122,43 @@ TEST(Histogram, QuantileInterpolatesWithinBucket) {
   EXPECT_LE(p50, 1.0);
 }
 
+// Regression: quantiles that land in the +Inf bucket must clamp to the
+// highest finite bound instead of extrapolating to infinity/NaN. Pins the
+// exact readouts so a refactor of the interpolation can't silently
+// reintroduce unbounded estimates.
+TEST(Histogram, QuantileInInfBucketClampsToHighestFiniteBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.5);  // bucket (0, 1]
+  for (int i = 0; i < 10; ++i) h.observe(50.0);  // +Inf bucket
+  // p99 falls among the overflow observations: clamp, don't extrapolate.
+  const double p99 = h.quantile(0.99);
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_DOUBLE_EQ(p99, 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+  // p50 is untouched by the overflow mass.
+  EXPECT_LE(h.quantile(0.5), 1.0);
+}
+
+TEST(Histogram, QuantileAllMassInInfBucketStaysFinite) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.observe(1000.0);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(v, 4.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileEmptyAndDegenerateInputs) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // no observations
+  h.observe(0.5);
+  // Out-of-range q clamps into [0, 1] instead of misbehaving.
+  EXPECT_TRUE(std::isfinite(h.quantile(-1.0)));
+  EXPECT_TRUE(std::isfinite(h.quantile(2.0)));
+  EXPECT_LE(h.quantile(2.0), 1.0);
+}
+
 TEST(Histogram, DefaultLatencyBoundsAscend) {
   const auto bounds = Histogram::latency_seconds_bounds();
   ASSERT_GE(bounds.size(), 2u);

@@ -1,0 +1,102 @@
+// ShardedCounter: per-thread striping, epoch aggregation, and the
+// no-lost-updates / monotone-snapshot contract under concurrent writers.
+// The *Contention tests double as the TSan stress suite (see
+// CMakePresets.json `tsan-metrics`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sharded.h"
+
+namespace cadet::obs {
+namespace {
+
+TEST(ShardedCounter, StartsAtZeroAndCounts) {
+  ShardedCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+#if CADET_OBS_ENABLED  // the no-obs stub keeps value() but not epochs
+TEST(ShardedCounter, AggregateCarriesMonotoneEpoch) {
+  ShardedCounter c;
+  c.inc(7);
+  const auto a = c.aggregate();
+  c.inc(3);
+  const auto b = c.aggregate();
+  EXPECT_EQ(a.value, 7u);
+  EXPECT_EQ(b.value, 10u);
+  EXPECT_GT(b.epoch, a.epoch);
+}
+#endif  // CADET_OBS_ENABLED
+
+TEST(ShardedCounter, RegistryFindOrCreateReturnsSameInstrument) {
+  Registry registry;
+  ShardedCounter& a = registry.sharded_counter("pkts", {{"t", "net"}});
+  ShardedCounter& b = registry.sharded_counter("pkts", {{"t", "net"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(5);
+  EXPECT_EQ(b.value(), 5u);
+  // Distinct label set -> distinct instrument.
+  ShardedCounter& c = registry.sharded_counter("pkts", {{"t", "udp"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ShardedCounter, ExportsAsPrometheusCounter) {
+  Registry registry;
+  registry.sharded_counter("cadet_demo_packets").inc(9);
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE cadet_demo_packets counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("cadet_demo_packets_total 9"), std::string::npos);
+}
+
+// N writer threads hammer one sharded counter while a scraper aggregates
+// concurrently: every update must eventually be visible (none lost), and
+// scraped values must be monotone scrape-over-scrape.
+#if CADET_OBS_ENABLED
+TEST(ShardedCounter, ShardedContentionNoLostUpdates) {
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kPerWriter = 20000;
+  ShardedCounter counter;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> scrapes{0};
+
+  std::thread scraper([&]() {
+    std::uint64_t last_value = 0;
+    std::uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = counter.aggregate();
+      ASSERT_GE(snap.value, last_value) << "snapshot went backwards";
+      ASSERT_GT(snap.epoch, last_epoch) << "epoch not monotone";
+      last_value = snap.value;
+      last_epoch = snap.epoch;
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&counter]() {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) counter.inc();
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(), kWriters * kPerWriter);
+  EXPECT_GT(scrapes.load(), 0u);
+}
+#endif  // CADET_OBS_ENABLED
+
+}  // namespace
+}  // namespace cadet::obs

@@ -400,6 +400,122 @@ void check_unchecked_return(const SourceFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// obs-hot-path: the metric/trace emit helpers run on packet hot paths and
+// (for the flight recorder) inside signal handlers. They must be declared
+// noexcept, and their signatures must not take allocation-prone std types
+// — an emit that can throw or allocate is an emit that can deadlock a
+// signal handler or stall the poll loop.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kHotHelpers[] = {
+    "inc",        "add",       "sub",           "set",
+    "observe",    "record",    "append",        "emit",
+    "emit_span",  "flight_append",
+    "span_begin", "span_end",  "span_complete", "span_event",
+};
+
+constexpr std::string_view kAllocProneTypes[] = {
+    "std::string",        "std::vector", "std::map",
+    "std::unordered_map", "std::deque",  "std::list",
+    "std::set",           "std::function",
+};
+
+// Heuristic declaration test: the helper name is preceded by a return type
+// (possibly through a Class:: qualifier), not by an object chain
+// (`x.add(`), a bare statement call, or `return`.
+bool looks_like_declaration(std::string_view line, std::size_t name_pos) {
+  std::size_t j = name_pos;
+  while (j >= 2 && line[j - 1] == ':' && line[j - 2] == ':') {
+    j -= 2;
+    while (j > 0 && is_ident_char(line[j - 1])) --j;
+  }
+  while (j > 0 &&
+         std::isspace(static_cast<unsigned char>(line[j - 1])) != 0) {
+    --j;
+  }
+  if (j == 0) return false;  // statement-position call (or wrapped line)
+  const char prev = line[j - 1];
+  if (prev == '.') return false;                             // x.add(
+  if (prev == '>' && j >= 2 && line[j - 2] == '-') return false;  // x->add(
+  if (prev == '&' || prev == '*') return true;  // ref/ptr return type
+  if (!is_ident_char(prev)) return false;       // '(', ',', '=', '{', ';'
+  std::size_t end = j;
+  while (j > 0 && is_ident_char(line[j - 1])) --j;
+  const std::string_view word = line.substr(j, end - j);
+  return word != "return";
+}
+
+void check_obs_hot_path(const SourceFile& file, std::vector<Finding>& out) {
+  if (!starts_with(file.path, "src/obs/")) return;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string_view line = file.code[i];
+    for (const auto name : kHotHelpers) {
+      std::size_t pos = find_token(line, name);
+      for (; pos != std::string_view::npos;
+           pos = find_token(line, name, pos + 1)) {
+        std::size_t open = pos + name.size();
+        while (open < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[open])) != 0) {
+          ++open;
+        }
+        if (open >= line.size() || line[open] != '(') continue;
+        if (!looks_like_declaration(line, pos)) continue;
+
+        // Collect the parameter list (possibly wrapped) and the text that
+        // follows the closing ')' (where noexcept must appear).
+        std::string signature;
+        std::string tail;
+        int depth = 0;
+        bool closed = false;
+        for (std::size_t j = i; j < file.code.size() && j < i + 8; ++j) {
+          const std::string& l = file.code[j];
+          std::size_t k = (j == i) ? open : 0;
+          for (; k < l.size(); ++k) {
+            if (l[k] == '(') {
+              ++depth;
+            } else if (l[k] == ')') {
+              --depth;
+              if (depth == 0) {
+                closed = true;
+                ++k;
+                break;
+              }
+            }
+            signature += l[k];
+          }
+          if (closed) {
+            tail.assign(l, k, std::string::npos);
+            if (j + 1 < file.code.size()) {
+              tail += ' ';
+              tail += file.code[j + 1];
+            }
+            break;
+          }
+        }
+        if (!closed) continue;
+        if (tail.find("= delete") != std::string::npos) continue;
+        if (tail.find("noexcept") == std::string::npos) {
+          add(out, file, i + 1, "obs-hot-path",
+              "hot-path emit helper '" + std::string(name) +
+                  "' is not noexcept; emit paths must not throw (they run "
+                  "on packet hot paths and in signal handlers)");
+        }
+        for (const auto type : kAllocProneTypes) {
+          if (signature.find(type) != std::string::npos) {
+            add(out, file, i + 1, "obs-hot-path",
+                "hot-path emit helper '" + std::string(name) +
+                    "' takes allocation-prone " + std::string(type) +
+                    " in its signature; pass string literals / PODs / "
+                    "views instead");
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& rules() {
@@ -419,6 +535,9 @@ const std::vector<Rule>& rules() {
       {"unchecked-return",
        "transport send/recv results must not be discarded", //
        check_unchecked_return},
+      {"obs-hot-path",
+       "obs emit helpers must be noexcept and allocation-free", //
+       check_obs_hot_path},
   };
   return kRules;
 }

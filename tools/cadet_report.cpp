@@ -21,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -40,17 +41,22 @@ struct Options {
   std::string html_path;     // optional HTML report
   std::string out_path;      // optional text report file ("" = stdout)
   bool check = false;        // trace/metrics disagreement is fatal
+  std::string validate_path;  // standalone exposition lint (no trace)
 };
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s TRACE.jsonl [options]\n"
+      "       %s --validate-metrics FILE\n"
       "  --metrics FILE  Prometheus snapshot to join (cadet_sim"
       " --metrics-out)\n"
       "  --check         exit non-zero if trace and metrics disagree\n"
       "  --html FILE     also write a self-contained HTML report\n"
-      "  --out FILE      write the text report to FILE instead of stdout\n",
-      argv0);
+      "  --out FILE      write the text report to FILE instead of stdout\n"
+      "  --validate-metrics FILE  parse a Prometheus exposition (e.g. a\n"
+      "                  scraped /metrics body) and exit non-zero on any\n"
+      "                  malformed line; no trace needed\n",
+      argv0, argv0);
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -65,6 +71,8 @@ bool parse(int argc, char** argv, Options& opt) {
     };
     if (arg == "--metrics") {
       opt.metrics_path = next();
+    } else if (arg == "--validate-metrics") {
+      opt.validate_path = next();
     } else if (arg == "--check") {
       opt.check = true;
     } else if (arg == "--html") {
@@ -84,7 +92,32 @@ bool parse(int argc, char** argv, Options& opt) {
       return false;
     }
   }
-  return !opt.trace_path.empty();
+  return !opt.trace_path.empty() || !opt.validate_path.empty();
+}
+
+/// --validate-metrics: lint one exposition file with parse_prometheus.
+/// Non-zero on read failure, malformed lines, or an empty exposition (a
+/// scrape that returned nothing is a broken scrape).
+int validate_metrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::PromParse parsed = obs::parse_prometheus(buffer.str());
+  for (const auto& error : parsed.errors) {
+    std::fprintf(stderr, "malformed line: %s\n", error.c_str());
+  }
+  if (!parsed.errors.empty()) return 1;
+  if (parsed.samples.empty()) {
+    std::fprintf(stderr, "%s: no samples\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu sample(s), %zu metric type(s), 0 errors\n",
+              path.c_str(), parsed.samples.size(), parsed.types.size());
+  return 0;
 }
 
 /// One reconstructed request trace (root span "request" on the client).
@@ -126,6 +159,16 @@ struct TraceDigest {
   // Entropy provenance: per-delivery source batch ranges.
   util::Samples delivery_gen_lo;
   util::Samples delivery_gen_hi;
+
+  // Watchdog transitions (slo_alert / slo_clear health-plane events).
+  struct SloTransition {
+    double ts_s = 0.0;
+    bool firing = false;
+    double rule = -1.0;  // rule index within the engine
+    double value = 0.0;
+    double limit = 0.0;
+  };
+  std::vector<SloTransition> slo_transitions;
 };
 
 bool digest_trace(const std::string& path, TraceDigest& digest) {
@@ -190,6 +233,11 @@ bool digest_trace(const std::string& path, TraceDigest& digest) {
       ++digest.bulk_uploads;
     } else if (e.name == "penalty_drop" || e.name == "sanity_reject") {
       digest.policing.push_back({e.ts_s, e.name});
+    } else if (e.name == "slo_alert" || e.name == "slo_clear") {
+      digest.slo_transitions.push_back({e.ts_s, e.name == "slo_alert",
+                                        e.attr("rule", -1.0),
+                                        e.attr("value", 0.0),
+                                        e.attr("limit", 0.0)});
     }
     // Provenance attrs ride both serve kinds (hit at request time,
     // delivery at drain time).
@@ -215,7 +263,79 @@ struct MetricsDigest {
   std::uint64_t requests_received = 0;
   std::uint64_t e2e_forwarded = 0;
   std::size_t samples = 0;
+
+  // Quantiles recovered from the cadet_fulfillment_seconds HDR histogram's
+  // _bucket series (upper-edge estimates — exact to the HDR cell width).
+  struct HdrQuantiles {
+    bool loaded = false;
+    double count = 0.0;
+    double sum = 0.0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
+  HdrQuantiles fulfillment;
 };
+
+/// Reconstruct quantiles from cumulative `_bucket` samples of one metric
+/// family. Multiple label sets are merged by first delta-izing each series
+/// (populated-cells-only HDR exports give every series its own edge grid,
+/// so cumulative counts cannot be summed edge-wise directly).
+MetricsDigest::HdrQuantiles hdr_quantiles_of(
+    const std::vector<obs::PromSample>& samples, const std::string& family) {
+  MetricsDigest::HdrQuantiles out;
+  const std::string bucket_name = family + "_bucket";
+  // (labels minus le) -> le -> cumulative count, per exposition order.
+  std::map<obs::Labels, std::map<double, double>> series;
+  for (const auto& sample : samples) {
+    if (sample.name == family + "_count") {
+      out.count += sample.value;
+    } else if (sample.name == family + "_sum") {
+      out.sum += sample.value;
+    } else if (sample.name == bucket_name) {
+      double le = 0.0;
+      obs::Labels rest;
+      bool has_le = false;
+      for (const auto& [key, value] : sample.labels) {
+        if (key == "le") {
+          has_le = true;
+          le = value == "+Inf"
+                   ? std::numeric_limits<double>::infinity()
+                   : std::strtod(value.c_str(), nullptr);
+        } else {
+          rest.emplace_back(key, value);
+        }
+      }
+      if (has_le) series[rest][le] = sample.value;
+    }
+  }
+  if (series.empty() || out.count <= 0.0) return out;
+  // Merge per-bucket deltas onto the union grid, then re-accumulate.
+  std::map<double, double> deltas;
+  for (const auto& [labels, cumulative] : series) {
+    double prev = 0.0;
+    for (const auto& [le, cum] : cumulative) {
+      deltas[le] += cum - prev;
+      prev = cum;
+    }
+  }
+  const auto quantile = [&](double q) {
+    const double target = q * out.count;
+    double cumulative = 0.0;
+    double last_finite = 0.0;
+    for (const auto& [le, n] : deltas) {
+      cumulative += n;
+      if (std::isfinite(le)) last_finite = le;
+      if (cumulative >= target) {
+        return std::isfinite(le) ? le : last_finite;
+      }
+    }
+    return last_finite;
+  };
+  out.p50 = quantile(0.50);
+  out.p90 = quantile(0.90);
+  out.p99 = quantile(0.99);
+  out.loaded = true;
+  return out;
+}
 
 bool digest_metrics(const std::string& path, MetricsDigest& digest) {
   std::ifstream in(path);
@@ -242,6 +362,8 @@ bool digest_metrics(const std::string& path, MetricsDigest& digest) {
     add("cadet_edge_requests_received_total", digest.requests_received);
     add("cadet_edge_e2e_forwarded_total", digest.e2e_forwarded);
   }
+  digest.fulfillment =
+      hdr_quantiles_of(parsed.samples, "cadet_fulfillment_seconds");
   digest.loaded = true;
   return true;
 }
@@ -389,6 +511,13 @@ std::string text_report(const TraceDigest& digest,
     add("%-10s p50=%.6f p95=%.6f p99=%.6f max=%.6f (n=%zu)\n",
         row.label.c_str(), row.p50, row.p95, row.p99, row.max, row.n);
   }
+  if (metrics.fulfillment.loaded) {
+    add("HDR (metrics): p50<=%.6f p90<=%.6f p99<=%.6f mean=%.6f (n=%.0f)\n",
+        metrics.fulfillment.p50, metrics.fulfillment.p90,
+        metrics.fulfillment.p99,
+        metrics.fulfillment.sum / metrics.fulfillment.count,
+        metrics.fulfillment.count);
+  }
 
   add("\n--- edge cache ---\n");
   add("requests %llu, served from cache %llu, hit ratio %.4f\n",
@@ -418,6 +547,14 @@ std::string text_report(const TraceDigest& digest,
       add("%8.1f .. %8.1f s  penalty %4llu  sanity %4llu\n", bucket.t0,
           bucket.t1, static_cast<unsigned long long>(bucket.penalty),
           static_cast<unsigned long long>(bucket.sanity));
+    }
+  }
+
+  if (!digest.slo_transitions.empty()) {
+    add("\n--- watchdog alert timeline ---\n");
+    for (const auto& t : digest.slo_transitions) {
+      add("%10.3f s  %-5s rule %2.0f  value %.6g  limit %.6g\n", t.ts_s,
+          t.firing ? "FIRE" : "clear", t.rule, t.value, t.limit);
     }
   }
 
@@ -522,6 +659,26 @@ std::string html_report(const TraceDigest& digest,
         row.label.c_str(), row.n, row.p50, row.p95, row.p99, row.max);
   }
   out += "</table>\n";
+  if (metrics.fulfillment.loaded) {
+    add("<p>HDR (metrics snapshot): p50&le;%.6f p90&le;%.6f p99&le;%.6f "
+        "(n=%.0f)</p>\n",
+        metrics.fulfillment.p50, metrics.fulfillment.p90,
+        metrics.fulfillment.p99, metrics.fulfillment.count);
+  }
+
+  if (!digest.slo_transitions.empty()) {
+    out += "<h2>Watchdog alert timeline</h2>\n<table>\n"
+           "<tr><th class=l>time (s)</th><th class=l>transition</th>"
+           "<th>rule</th><th>value</th><th>limit</th></tr>\n";
+    for (const auto& t : digest.slo_transitions) {
+      add("<tr><td class=l>%.3f</td><td class=l>%s</td><td>%.0f</td>"
+          "<td>%.6g</td><td>%.6g</td></tr>\n",
+          t.ts_s, t.firing ? "<span class=bad>FIRE</span>"
+                           : "<span class=ok>clear</span>",
+          t.rule, t.value, t.limit);
+    }
+    out += "</table>\n";
+  }
 
   out += "<h2>Edge cache</h2>\n<table>\n"
          "<tr><th class=l>measure</th><th>value</th></tr>\n";
@@ -595,6 +752,8 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+
+  if (!opt.validate_path.empty()) return validate_metrics(opt.validate_path);
 
   TraceDigest digest;
   if (!digest_trace(opt.trace_path, digest)) return 2;

@@ -10,17 +10,23 @@
 //   cadet_sim --profiles consumer,producer --refill adaptive
 //   cadet_sim --servers 2 --exchange 10 --bad-fraction 0.3
 //   cadet_sim --no-edge                        # Fig. 10's W/O baseline
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "net/faulty_transport.h"
 #include "nist/battery.h"
+#include "obs/admin.h"
 #include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/profile.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "testbed/topology.h"
@@ -31,6 +37,17 @@ namespace {
 
 using namespace cadet;
 using namespace cadet::testbed;
+
+// SIGINT/SIGTERM request a graceful stop: the chunked run loop polls the
+// flag between simulated-time slices, so an interrupted long run still
+// flushes --metrics-out/--trace-out and dumps the flight recorder instead
+// of losing everything. A second signal falls back to the default action.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void on_stop_signal(int sig) {
+  g_stop_signal = sig;
+  std::signal(sig, SIG_DFL);
+}
 
 struct Options {
   std::size_t networks = 4;
@@ -49,7 +66,12 @@ struct Options {
   std::string metrics_out;  // Prometheus snapshot path ("" = off)
   std::string trace_out;    // JSONL trace path ("" = off)
   std::string profile_out;  // folded-stack profile path ("" = off)
+  std::string flight_out;   // flight-recorder JSONL dump path ("" = off)
   bool no_spans = false;    // --trace-out without span/provenance ids
+  int admin_port = -1;      // -1 = no admin endpoint; 0 = ephemeral port
+  std::vector<std::string> slo_rules;  // parse_slo_rule specs / "default"
+  double slo_interval_s = 1.0;         // sim-time tick period
+  double self_sigint_s = 0.0;  // test hook: raise SIGINT at sim time T
 
   // Fault injection (docs/FAULT_INJECTION.md). Any non-default value puts
   // a FaultyTransport on every link.
@@ -91,6 +113,18 @@ void usage(const char* argv0) {
       "  --no-spans          emit the trace without span ids (PR-1 layout)\n"
       "  --profile-out FILE  write the sim profiler as folded stacks\n"
       "                      (flamegraph.pl-compatible)\n"
+      "  --flight-out FILE   dump the flight recorder as JSONL at exit\n"
+      "                      (also on SIGINT/SIGTERM and SLO alerts)\n"
+      "  --admin-port N      serve /metrics /healthz /flight on\n"
+      "                      127.0.0.1:N while the sim runs (0 = ephemeral)\n"
+      "  --slo RULE          add a watchdog rule\n"
+      "                      (kind:name:metric[/denom]:threshold:limit\n"
+      "                      [:for_ticks], kind = burn|ratio|gauge|rate;\n"
+      "                      'default' loads the built-in rule set)\n"
+      "  --slo-interval S    SLO evaluation period in sim seconds\n"
+      "                      (default 1.0)\n"
+      "  --self-sigint T     raise SIGINT at sim time T (signal-path test\n"
+      "                      hook)\n"
       "  --fault-drop P      drop each datagram with probability P\n"
       "  --fault-dup P       duplicate each datagram with probability P\n"
       "  --fault-reorder P   delay (reorder) datagrams with probability P\n"
@@ -172,6 +206,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.no_spans = true;
     } else if (arg == "--profile-out") {
       opt.profile_out = next();
+    } else if (arg == "--flight-out") {
+      opt.flight_out = next();
+    } else if (arg == "--admin-port") {
+      opt.admin_port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--slo") {
+      opt.slo_rules.emplace_back(next());
+    } else if (arg == "--slo-interval") {
+      opt.slo_interval_s = std::strtod(next(), nullptr);
+    } else if (arg == "--self-sigint") {
+      opt.self_sigint_s = std::strtod(next(), nullptr);
     } else if (arg == "--fault-drop") {
       opt.fault_drop = std::strtod(next(), nullptr);
     } else if (arg == "--fault-dup") {
@@ -313,6 +357,17 @@ int main(int argc, char** argv) {
     obs::Profiler::global().reset();
     obs::Profiler::global().enable();
   }
+  // Arm the flight recorder before any protocol traffic so the ring holds
+  // the run's most recent events when a dump is requested. Only armed when
+  // something can consume it: a --flight-out path or the admin endpoint.
+  const bool want_flight = !opt.flight_out.empty() || opt.admin_port >= 0;
+  if (want_flight) {
+    obs::FlightRecorder::global().clear();
+    obs::arm_flight_recorder(true);
+    if (!opt.flight_out.empty() && !obs::write_file(opt.flight_out, "")) {
+      return 2;
+    }
+  }
 
   // Register over a clean network, then arm the faults for the workload
   // (same discipline as the chaos harness; registration robustness has its
@@ -358,8 +413,92 @@ int main(int argc, char** argv) {
     world.start_pool_exchange(opt.exchange_period_s, 2048, opt.duration_s);
   }
 
-  world.simulator().run_until(t_end + util::from_seconds(10));
-  world.simulator().run();
+  // ---- health plane: SLO watchdog + admin endpoint ----
+  std::unique_ptr<obs::SloEngine> slo;
+  if (!opt.slo_rules.empty() || opt.admin_port >= 0) {
+    slo = std::make_unique<obs::SloEngine>(&world.metrics());
+    for (const std::string& spec : opt.slo_rules) {
+      if (spec == "default") {
+        for (const obs::SloRule& rule : obs::default_slo_rules()) {
+          slo->add_rule(rule);
+        }
+        continue;
+      }
+      const auto rule = obs::parse_slo_rule(spec);
+      if (!rule) {
+        std::fprintf(stderr, "bad --slo rule: %s\n", spec.c_str());
+        return 2;
+      }
+      slo->add_rule(*rule);
+    }
+    if (slo->rule_count() == 0) {
+      for (const obs::SloRule& rule : obs::default_slo_rules()) {
+        slo->add_rule(rule);
+      }
+    }
+    slo->set_alert_hook([&opt](const obs::SloEngine::Alert& alert) {
+      std::fprintf(stderr,
+                   "slo %s: %s value %.6g limit %.6g at t=%.3f s\n",
+                   alert.firing ? "ALERT" : "clear", alert.rule.c_str(),
+                   alert.value, alert.limit, alert.at_s);
+      // Preserve the window leading up to the breach, not just the state
+      // at exit.
+      if (alert.firing && !opt.flight_out.empty()) {
+        obs::write_file(opt.flight_out,
+                        obs::FlightRecorder::global().dump_jsonl());
+      }
+    });
+    // Evaluate on simulated time: a self-rescheduling tick at the
+    // configured cadence, so same seed + same rules = same alert trace.
+    const util::SimTime period =
+        util::from_seconds(std::max(opt.slo_interval_s, 1e-3));
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&world, engine = slo.get(), period, t_end, tick]() {
+      engine->tick(util::to_seconds(world.simulator().now()));
+      const util::SimTime next = world.simulator().now() + period;
+      if (next <= t_end) world.simulator().schedule_at(next, *tick);
+    };
+    world.simulator().schedule_at(period, *tick);
+  }
+
+  obs::AdminServer admin(&world.metrics(), slo.get(),
+                         want_flight ? &obs::FlightRecorder::global()
+                                     : nullptr);
+  if (opt.admin_port >= 0) {
+    obs::AdminServer::Options admin_opt;
+    admin_opt.port = opt.admin_port;
+    if (!admin.start(admin_opt)) return 2;
+    std::printf("admin: http://127.0.0.1:%d (/metrics /healthz /flight)\n\n",
+                admin.port());
+  }
+
+  if (opt.self_sigint_s > 0.0) {
+    world.simulator().schedule_at(util::from_seconds(opt.self_sigint_s),
+                                  []() { std::raise(SIGINT); });
+  }
+
+  // Chunked run loop: between simulated-time slices the stop flag is
+  // polled, so SIGINT/SIGTERM interrupt a long run at a deterministic
+  // boundary and still reach the artifact flush below.
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  const util::SimTime t_drain = t_end + util::from_seconds(10);
+  const util::SimTime chunk = util::from_seconds(1.0);
+  util::SimTime cursor = world.simulator().now();
+  while (g_stop_signal == 0 && cursor < t_drain) {
+    cursor = std::min<util::SimTime>(cursor + chunk, t_drain);
+    world.simulator().run_until(cursor);
+  }
+  if (g_stop_signal == 0) {
+    world.simulator().run();
+  } else {
+    std::printf("\ninterrupted by signal %d at t=%.3f s; flushing "
+                "artifacts\n",
+                static_cast<int>(g_stop_signal),
+                util::to_seconds(world.simulator().now()));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
 
   // ---- report ----
   const auto& metrics = driver.metrics();
@@ -474,6 +613,26 @@ int main(int argc, char** argv) {
     std::printf("metrics: %zu series -> %s\n", world.metrics().size(),
                 opt.metrics_out.c_str());
   }
+  if (slo) {
+    std::printf("slo: %zu rule(s), %llu tick(s), %llu fire(s)%s\n",
+                slo->rule_count(),
+                static_cast<unsigned long long>(slo->ticks()),
+                static_cast<unsigned long long>(slo->total_fires()),
+                slo->any_firing() ? " [still firing]" : "");
+  }
+  if (!opt.flight_out.empty()) {
+    const auto& flight = obs::FlightRecorder::global();
+    if (!obs::write_file(opt.flight_out, flight.dump_jsonl())) return 2;
+    std::printf("flight: %llu record(s) (%llu total, %llu dropped) -> %s\n",
+                static_cast<unsigned long long>(
+                    std::min<std::uint64_t>(flight.appended(),
+                                            flight.capacity())),
+                static_cast<unsigned long long>(flight.appended()),
+                static_cast<unsigned long long>(flight.dropped()),
+                opt.flight_out.c_str());
+  }
+  admin.stop();
+  obs::arm_flight_recorder(false);
   util::set_log_clock(nullptr);
-  return 0;
+  return g_stop_signal != 0 ? 130 : 0;
 }
