@@ -9,8 +9,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "cadet/config.h"
 #include "util/rng.h"
@@ -66,7 +66,9 @@ class PenaltyTable {
 
  private:
   PenaltyConfig config_;
-  std::unordered_map<DeviceId, double> scores_;
+  // Ordered map so any future traversal (snapshots, federation sync)
+  // is deterministic by construction (cadet-lint: unordered-iteration).
+  std::map<DeviceId, double> scores_;
 };
 
 }  // namespace cadet

@@ -18,7 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "cadet/config.h"
@@ -63,7 +63,10 @@ class UsageTracker {
 
   double decay_;
   double sigma_threshold_;
-  std::unordered_map<DeviceId, double> scores_;
+  // Ordered map: decay_all() and heavy_threshold() traverse every
+  // score, and the traversal order must not depend on hash seeding or
+  // insertion history (cadet-lint: unordered-iteration).
+  std::map<DeviceId, double> scores_;
   std::uint64_t steps_ = 0;
 };
 

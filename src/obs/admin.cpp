@@ -91,10 +91,13 @@ void AdminServer::stop() {
     return;
   }
   // Shutting the listen socket down unblocks the accept() in serve_loop.
+  // The fd must stay valid (and listen_fd_ unwritten) until the acceptor
+  // thread has joined: closing it here would race the accept() read and
+  // could hand a recycled fd number to the loop.
   ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  if (thread_.joinable()) thread_.join();
 }
 
 void AdminServer::serve_loop() {

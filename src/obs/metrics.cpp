@@ -90,7 +90,7 @@ Registry::Slot& Registry::find_or_create(const std::string& name,
                                          const Labels& labels, Kind kind,
                                          std::vector<double> bounds,
                                          const HdrConfig* hdr_config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto key = std::make_pair(name, labels);
   const auto it = index_.find(key);
   if (it != index_.end()) return *it->second;
@@ -141,7 +141,7 @@ HdrHistogram& Registry::hdr(const std::string& name, const Labels& labels,
 }
 
 std::vector<Registry::Entry> Registry::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<Entry> out;
   out.reserve(slots_.size());
   for (const Slot& slot : slots_) {
@@ -166,7 +166,7 @@ std::vector<Registry::Entry> Registry::entries() const {
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return slots_.size();
 }
 

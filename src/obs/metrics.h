@@ -20,10 +20,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 #ifndef CADET_OBS_ENABLED
 #define CADET_OBS_ENABLED 1
@@ -207,9 +208,10 @@ class Registry {
                        Kind kind, std::vector<double> bounds,
                        const HdrConfig* hdr_config = nullptr);
 
-  mutable std::mutex mu_;
-  std::deque<Slot> slots_;
-  std::map<std::pair<std::string, Labels>, Slot*> index_;
+  mutable util::Mutex mu_;
+  std::deque<Slot> slots_ CADET_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, Labels>, Slot*> index_
+      CADET_GUARDED_BY(mu_);
 };
 
 /// Convenience label builders for the fixed tier taxonomy.

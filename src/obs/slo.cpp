@@ -154,9 +154,20 @@ std::vector<SloRule> default_slo_rules() {
 }
 
 void SloEngine::add_rule(const SloRule& rule) {
+  util::MutexLock lock(mu_);
   RuleState state;
   state.rule = rule;
   states_.push_back(std::move(state));
+}
+
+std::size_t SloEngine::rule_count() const {
+  util::MutexLock lock(mu_);
+  return states_.size();
+}
+
+void SloEngine::set_alert_hook(std::function<void(const Alert&)> hook) {
+  util::MutexLock lock(mu_);
+  hook_ = std::move(hook);
 }
 
 double SloEngine::read_value(RuleState& state, double dt_s) {
@@ -201,60 +212,85 @@ double SloEngine::read_value(RuleState& state, double dt_s) {
 
 std::vector<SloEngine::Alert> SloEngine::tick(double now_s) {
   std::vector<Alert> transitions;
-  const double dt_s = has_last_tick_ ? now_s - last_tick_s_ : 0.0;
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    RuleState& state = states_[i];
-    const double value = read_value(state, dt_s);
-    state.last_value = value;
-    const bool breach = value > state.rule.limit;
-    state.has_prev = true;
-    state.breach_ticks = breach ? state.breach_ticks + 1 : 0;
+  std::vector<std::size_t> transition_rules;  // rule index per transition
+  std::function<void(const Alert&)> hook;
+  {
+    util::MutexLock lock(mu_);
+    const double dt_s = has_last_tick_ ? now_s - last_tick_s_ : 0.0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      RuleState& state = states_[i];
+      const double value = read_value(state, dt_s);
+      state.last_value = value;
+      const bool breach = value > state.rule.limit;
+      state.has_prev = true;
+      state.breach_ticks = breach ? state.breach_ticks + 1 : 0;
 
-    const bool should_fire = state.breach_ticks >= state.rule.for_ticks;
-    if (should_fire != state.firing) {
-      state.firing = should_fire;
-      if (should_fire) ++state.fires;
-      Alert alert;
-      alert.rule = state.rule.name;
-      alert.value = value;
-      alert.limit = state.rule.limit;
-      alert.at_s = now_s;
-      alert.firing = should_fire;
-      // Structured alert record: rides the trace stream (and the flight
-      // recorder) so cadet_report can build an alert timeline. The rule is
-      // identified by its index (attrs are numeric); /healthz carries the
-      // index -> name mapping.
-      emit(static_cast<util::SimTime>(now_s * 1e9),
-           should_fire ? "slo_alert" : "slo_clear", "health", i,
-           {{"rule", static_cast<double>(i)},
-            {"value", value},
-            {"limit", state.rule.limit}});
-      if (hook_) hook_(alert);
-      transitions.push_back(std::move(alert));
+      const bool should_fire = state.breach_ticks >= state.rule.for_ticks;
+      if (should_fire != state.firing) {
+        state.firing = should_fire;
+        if (should_fire) ++state.fires;
+        Alert alert;
+        alert.rule = state.rule.name;
+        alert.value = value;
+        alert.limit = state.rule.limit;
+        alert.at_s = now_s;
+        alert.firing = should_fire;
+        transition_rules.push_back(i);
+        transitions.push_back(std::move(alert));
+      }
     }
+    last_tick_s_ = now_s;
+    has_last_tick_ = true;
+    ++ticks_;
+    hook = hook_;
   }
-  last_tick_s_ = now_s;
-  has_last_tick_ = true;
-  ++ticks_;
+  // Emit + hook outside the lock: the hook (flight-recorder dump) and the
+  // trace sink are free to call back into any_firing()/healthz_json().
+  for (std::size_t t = 0; t < transitions.size(); ++t) {
+    const Alert& alert = transitions[t];
+    const std::size_t i = transition_rules[t];
+    // Structured alert record: rides the trace stream (and the flight
+    // recorder) so cadet_report can build an alert timeline. The rule is
+    // identified by its index (attrs are numeric); /healthz carries the
+    // index -> name mapping.
+    emit(static_cast<util::SimTime>(now_s * 1e9),
+         alert.firing ? "slo_alert" : "slo_clear", "health", i,
+         {{"rule", static_cast<double>(i)},
+          {"value", alert.value},
+          {"limit", alert.limit}});
+    if (hook) hook(alert);
+  }
   return transitions;
 }
 
-bool SloEngine::any_firing() const noexcept {
+bool SloEngine::any_firing_locked() const {
   for (const RuleState& state : states_) {
     if (state.firing) return true;
   }
   return false;
 }
 
-std::uint64_t SloEngine::total_fires() const noexcept {
+bool SloEngine::any_firing() const {
+  util::MutexLock lock(mu_);
+  return any_firing_locked();
+}
+
+std::uint64_t SloEngine::total_fires() const {
+  util::MutexLock lock(mu_);
   std::uint64_t fires = 0;
   for (const RuleState& state : states_) fires += state.fires;
   return fires;
 }
 
+std::uint64_t SloEngine::ticks() const {
+  util::MutexLock lock(mu_);
+  return ticks_;
+}
+
 std::string SloEngine::healthz_json() const {
+  util::MutexLock lock(mu_);
   std::string out = "{\"status\":\"";
-  out += any_firing() ? "alerting" : "ok";
+  out += any_firing_locked() ? "alerting" : "ok";
   out += "\",\"ticks\":" + std::to_string(ticks_) + ",\"rules\":[";
   bool first = true;
   for (std::size_t i = 0; i < states_.size(); ++i) {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace cadet::obs {
 
@@ -84,36 +85,50 @@ class SloEngine {
   explicit SloEngine(Registry* registry) : registry_(registry) {}
 
   void add_rule(const SloRule& rule);
-  std::size_t rule_count() const noexcept { return states_.size(); }
-  const std::deque<RuleState>& states() const noexcept { return states_; }
+  std::size_t rule_count() const;
+
+  /// Snapshot view for tests and end-of-run reports. The reference is NOT
+  /// synchronized against tick(): callers must own the ticking thread (the
+  /// single-threaded sim path) or call only after the poll loop stopped.
+  const std::deque<RuleState>& states() const
+      CADET_NO_THREAD_SAFETY_ANALYSIS {
+    return states_;
+  }
 
   /// Called on every firing/recovery transition (after the trace event is
-  /// emitted). cadet_sim hooks the flight-recorder dump here.
-  void set_alert_hook(std::function<void(const Alert&)> hook) {
-    hook_ = std::move(hook);
-  }
+  /// emitted). cadet_sim hooks the flight-recorder dump here. Set before
+  /// ticking starts; the hook runs outside the engine lock, so it may call
+  /// back into any_firing()/healthz_json() without deadlocking.
+  void set_alert_hook(std::function<void(const Alert&)> hook);
 
   /// Evaluate every rule at `now_s` (sim seconds or wall seconds — the
   /// engine only needs the clock to be monotone). Returns the transitions
-  /// that happened this tick.
+  /// that happened this tick. Thread-safe against the const readers below:
+  /// the UDP poll thread ticks while the admin acceptor serves /healthz.
   std::vector<Alert> tick(double now_s);
 
-  bool any_firing() const noexcept;
-  std::uint64_t total_fires() const noexcept;
-  std::uint64_t ticks() const noexcept { return ticks_; }
+  bool any_firing() const;
+  std::uint64_t total_fires() const;
+  std::uint64_t ticks() const;
 
   /// /healthz body: {"status":"ok"|"alerting","rules":[...]}.
   std::string healthz_json() const;
 
  private:
-  double read_value(RuleState& state, double dt_s);
+  double read_value(RuleState& state, double dt_s) CADET_REQUIRES(mu_);
+  bool any_firing_locked() const CADET_REQUIRES(mu_);
 
   Registry* registry_;
-  std::deque<RuleState> states_;  // deque: rule-name c_str stays stable
-  std::function<void(const Alert&)> hook_;
-  double last_tick_s_ = 0.0;
-  bool has_last_tick_ = false;
-  std::uint64_t ticks_ = 0;
+  // The engine is ticked from the owning loop (sim main thread or UDP poll
+  // thread) while the AdminServer acceptor thread reads /healthz — every
+  // piece of rule state is guarded, and clang's -Wthread-safety proves the
+  // discipline (this lock is what fixed a real tick-vs-healthz race).
+  mutable util::Mutex mu_;
+  std::deque<RuleState> states_ CADET_GUARDED_BY(mu_);  // stable addresses
+  std::function<void(const Alert&)> hook_ CADET_GUARDED_BY(mu_);
+  double last_tick_s_ CADET_GUARDED_BY(mu_) = 0.0;
+  bool has_last_tick_ CADET_GUARDED_BY(mu_) = false;
+  std::uint64_t ticks_ CADET_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cadet::obs

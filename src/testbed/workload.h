@@ -5,7 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "testbed/topology.h"
@@ -46,7 +46,9 @@ struct ResponseEvent {
 /// Collected per-run measurements.
 struct WorkloadMetrics {
   util::Samples response_times_s;  // every completed request, in seconds
-  std::unordered_map<net::NodeId, util::Samples> per_client_response_s;
+  // Ordered by client id: per-client tables land in reports and
+  // traces, so traversal order must be reproducible.
+  std::map<net::NodeId, util::Samples> per_client_response_s;
   std::vector<ResponseEvent> events;
   std::uint64_t requests_sent = 0;
   std::uint64_t responses_received = 0;

@@ -1,0 +1,101 @@
+// Clang thread-safety annotations for CADET's wall-clock (threaded) tiers.
+//
+// The deterministic tiers are single-threaded by contract (cadet_lint's
+// thread-in-sim rule enforces that), so every mutex in the tree lives in
+// the boundary layers: the obs health plane and the real-socket net path.
+// Those mutexes are annotated so clang's -Wthread-safety analysis proves
+// lock discipline at compile time — the clang CI legs build with
+// -Wthread-safety -Werror, and cadet_lint's unannotated-mutex rule
+// requires every mutex member to guard something via CADET_GUARDED_BY.
+//
+// The macros compile to clang attributes and to nothing elsewhere, so gcc
+// builds see plain std::mutex semantics. Because libstdc++'s std::mutex
+// and std::lock_guard carry no capability attributes, the analysis only
+// tracks lock state through the annotated wrappers below: hold mutexes as
+// util::Mutex members and take them with util::MutexLock.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CADET_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CADET_THREAD_ANNOTATION
+#define CADET_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Type is a lockable capability (put on mutex-like classes).
+#define CADET_CAPABILITY(name) CADET_THREAD_ANNOTATION(capability(name))
+
+/// RAII type that acquires on construction and releases on destruction.
+#define CADET_SCOPED_CAPABILITY CADET_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written while holding `mu`.
+#define CADET_GUARDED_BY(mu) CADET_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Pointee (not the pointer) is protected by `mu`.
+#define CADET_PT_GUARDED_BY(mu) CADET_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Caller must hold the listed capabilities when invoking the function.
+#define CADET_REQUIRES(...) \
+  CADET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and does not release them.
+#define CADET_ACQUIRE(...) \
+  CADET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define CADET_RELEASE(...) \
+  CADET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `result`.
+#define CADET_TRY_ACQUIRE(result, ...) \
+  CADET_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define CADET_EXCLUDES(...) \
+  CADET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to a mutex-guarded object.
+#define CADET_RETURN_CAPABILITY(x) CADET_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions with deliberately unanalyzable locking.
+/// Every use must carry a comment explaining why the analysis is wrong.
+#define CADET_NO_THREAD_SAFETY_ANALYSIS \
+  CADET_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cadet::util {
+
+/// std::mutex with the capability attribute, so CADET_GUARDED_BY members
+/// are actually checked. Same cost as the raw mutex — the wrapper is
+/// attributes only.
+class CADET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CADET_ACQUIRE() { mu_.lock(); }
+  void unlock() CADET_RELEASE() { mu_.unlock(); }
+  bool try_lock() CADET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated std::lock_guard equivalent: the analysis sees the acquire in
+/// the constructor and the release in the destructor.
+class CADET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CADET_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CADET_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace cadet::util

@@ -1,0 +1,19 @@
+// Fixture: hash-order traversal in a deterministic tier, plus a mutex that
+// guards nothing.
+#include <mutex>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, double> scores_;
+std::mutex mu_;
+
+double fixture_sum() {
+  double sum = 0.0;
+  for (const auto& [id, score] : scores_) {
+    sum += score + id;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture: closes the include cycle back into sim.
+#pragma once
+#include "sim/fixture_cycle_a.h"
+
+inline int fixture_b() { return 41; }

@@ -1,0 +1,5 @@
+// Fixture: sim reaching up into net (layering) and completing a cycle.
+#pragma once
+#include "net/fixture_cycle_b.h"
+
+inline int fixture_a() { return fixture_b() + 1; }

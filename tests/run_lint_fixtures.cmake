@@ -1,0 +1,30 @@
+# Negative test for the lint gate: cadet_lint over tests/lint_fixtures MUST
+# exit non-zero and report the planted rules. Run via:
+#   cmake -DLINT_BIN=... -DFIXTURES=... -P run_lint_fixtures.cmake
+if(NOT LINT_BIN OR NOT FIXTURES)
+  message(FATAL_ERROR "usage: cmake -DLINT_BIN=<cadet_lint> "
+                      "-DFIXTURES=<tests/lint_fixtures> -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+execute_process(
+  COMMAND ${LINT_BIN} --root ${FIXTURES}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+
+if(code EQUAL 0)
+  message(FATAL_ERROR
+          "cadet_lint reported a clean tree for the bad fixtures — the "
+          "gate cannot fail. Output:\n${out}${err}")
+endif()
+
+foreach(rule include-cycle layering unordered-iteration unannotated-mutex
+        thread-in-sim)
+  if(NOT out MATCHES "\\[${rule}\\]")
+    message(FATAL_ERROR
+            "expected a [${rule}] finding in the fixture report; got:\n"
+            "${out}${err}")
+  endif()
+endforeach()
+
+message(STATUS "lint fixtures correctly rejected (exit ${code})")

@@ -28,15 +28,22 @@ bool has_rule(const std::vector<lint::Finding>& fs, std::string_view rule) {
 
 }  // namespace
 
-TEST(LintCatalog, ExposesAllSixRules) {
+TEST(LintCatalog, ExposesAllTwelveRules) {
   const auto catalog = lint::rule_catalog();
-  ASSERT_EQ(catalog.size(), 6u);
+  ASSERT_EQ(catalog.size(), 12u);
   EXPECT_EQ(catalog[0].id, "forbidden-rng");
   EXPECT_EQ(catalog[1].id, "sim-purity");
   EXPECT_EQ(catalog[2].id, "secret-hygiene");
   EXPECT_EQ(catalog[3].id, "header-self-containment");
   EXPECT_EQ(catalog[4].id, "unchecked-return");
   EXPECT_EQ(catalog[5].id, "obs-hot-path");
+  EXPECT_EQ(catalog[6].id, "unordered-iteration");
+  EXPECT_EQ(catalog[7].id, "pointer-keyed-order");
+  EXPECT_EQ(catalog[8].id, "thread-in-sim");
+  EXPECT_EQ(catalog[9].id, "unannotated-mutex");
+  // Tree-level graph rules close the catalog.
+  EXPECT_EQ(catalog[10].id, "include-cycle");
+  EXPECT_EQ(catalog[11].id, "layering");
 }
 
 // ---------------------------------------------------------------- scrubber
@@ -445,6 +452,407 @@ TEST(LintObsHotPath, SuppressionWaivesFinding) {
                   "#pragma once\n"
                   "void emit(int v);  // cadet-lint: allow(obs-hot-path)\n")
                   .empty());
+}
+
+// ------------------------------------------------------ unordered-iteration
+
+TEST(LintUnorderedIteration, FlagsRangeForAndBeginInDeterministicTier) {
+  const auto findings = lint::lint_content(
+      "src/cadet/bad.cpp",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> scores_;\n"
+      "double sum() {\n"
+      "  double s = 0;\n"
+      "  for (const auto& [id, v] : scores_) s += v;\n"
+      "  auto it = scores_.begin();\n"
+      "  return s;\n"
+      "}\n");
+  const auto hits = rules_hit(findings);
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), "unordered-iteration"), 2);
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_EQ(findings[1].line, 6u);
+}
+
+TEST(LintUnorderedIteration, SeesMembersDeclaredInIncludedHeader) {
+  // The .cpp iterates a member its header declares — exactly the
+  // usage.cpp/usage.h shape. Needs the include-graph propagation, so it
+  // only works through lint_files.
+  const std::vector<lint::NamedSource> files = {
+      {"src/cadet/usage.h",
+       "#pragma once\n"
+       "#include <unordered_map>\n"
+       "class T {\n"
+       "  std::unordered_map<int, double> scores_;\n"
+       "};\n"},
+      {"src/cadet/usage.cpp",
+       "#include \"cadet/usage.h\"\n"
+       "double T::sum() {\n"
+       "  double s = 0;\n"
+       "  for (const auto& [id, v] : scores_) s += v;\n"
+       "  return s;\n"
+       "}\n"},
+  };
+  const auto findings = lint::lint_files(files);
+  ASSERT_TRUE(has_rule(findings, "unordered-iteration"));
+  bool cpp_hit = false;
+  for (const auto& f : findings) {
+    if (f.rule == "unordered-iteration") {
+      EXPECT_EQ(f.file, "src/cadet/usage.cpp");
+      EXPECT_EQ(f.line, 4u);
+      cpp_hit = true;
+    }
+  }
+  EXPECT_TRUE(cpp_hit);
+}
+
+TEST(LintUnorderedIteration, LookupsAndOtherTiersAreClean) {
+  // Point lookups don't depend on bucket order.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/cadet/ok.cpp",
+                  "#include <unordered_map>\n"
+                  "std::unordered_map<int, double> scores_;\n"
+                  "bool has(int id) {\n"
+                  "  return scores_.find(id) != scores_.end();\n"
+                  "}\n")
+                  .empty());
+  // net/ is outside the deterministic tiers.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/ok.cpp",
+                  "#include <unordered_map>\n"
+                  "std::unordered_map<int, double> m_;\n"
+                  "void f() {\n"
+                  "  for (const auto& [k, v] : m_) { (void)k; (void)v; }\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(LintUnorderedIteration, SuppressionWaivesFinding) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/sim/ok.cpp",
+                  "#include <unordered_map>\n"
+                  "std::unordered_map<int, int> m_;\n"
+                  "void f() {\n"
+                  "  for (auto& [k, v] : m_) ++v;  "
+                  "// cadet-lint: allow(unordered-iteration)\n"
+                  "}\n")
+                  .empty());
+}
+
+// ------------------------------------------------------ pointer-keyed-order
+
+TEST(LintPointerKeyedOrder, FlagsPointerKeysAndAddressCompares) {
+  const auto findings = lint::lint_content(
+      "src/net/bad.h",
+      "#pragma once\n"
+      "#include <map>\n"
+      "#include <set>\n"
+      "struct Node;\n"
+      "std::map<Node*, int> by_node_;\n"
+      "std::set<const Node*, std::less<const Node*>> members_;\n"
+      "bool before(const Node& a, const Node& b) { return &a < &b; }\n");
+  const auto hits = rules_hit(findings);
+  EXPECT_GE(std::count(hits.begin(), hits.end(), "pointer-keyed-order"), 3);
+}
+
+TEST(LintPointerKeyedOrder, PointerValuesAndLogicalAndAreClean) {
+  // Pointers in value position (and && expressions) are fine.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/obs/ok.h",
+                  "#pragma once\n"
+                  "#include <map>\n"
+                  "#include <string>\n"
+                  "struct Slot;\n"
+                  "std::map<std::string, Slot*> index_;\n"
+                  "bool both(bool& a, bool& b) { return a && b; }\n")
+                  .empty());
+}
+
+TEST(LintPointerKeyedOrder, SuppressionWaivesFinding) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/ok2.h",
+                  "#pragma once\n"
+                  "#include <map>\n"
+                  "struct N;\n"
+                  "std::map<N*, int> m_;  "
+                  "// cadet-lint: allow(pointer-keyed-order)\n")
+                  .empty());
+}
+
+// ----------------------------------------------------------- thread-in-sim
+
+TEST(LintThreadInSim, FlagsThreadingHeaderAndSymbols) {
+  const auto findings = lint::lint_content(
+      "src/sim/bad.cpp",
+      "#include <thread>\n"
+      "#include <atomic>\n"
+      "std::atomic<int> counter_{0};\n"
+      "void spawn() { std::thread t([] {}); t.join(); }\n");
+  const auto hits = rules_hit(findings);
+  EXPECT_GE(std::count(hits.begin(), hits.end(), "thread-in-sim"), 4);
+  EXPECT_EQ(findings[0].line, 1u);  // the #include itself is flagged
+}
+
+TEST(LintThreadInSim, NetAndObsMayThread) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/runner.cpp",
+                  "#include <thread>\n"
+                  "void run() { std::thread t([] {}); t.join(); }\n")
+                  .empty());
+  const auto obs = lint::lint_content(
+      "src/obs/ok.cpp",
+      "#include <atomic>\n"
+      "std::atomic<std::uint64_t> hits_{0};\n");
+  EXPECT_FALSE(has_rule(obs, "thread-in-sim"));
+}
+
+TEST(LintThreadInSim, PlainIdentifiersDoNotTrip) {
+  // `thread` / `future` as ordinary identifiers are not std primitives.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/cadet/ok.cpp",
+                  "int thread = 3;\n"
+                  "double future_credit(int thread);\n")
+                  .empty());
+}
+
+TEST(LintThreadInSim, SuppressionWaivesFinding) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/entropy/ok.cpp",
+                  "#include <atomic>  // cadet-lint: allow(thread-in-sim)\n"
+                  "std::atomic<int> x_{0};  "
+                  "// cadet-lint: allow(thread-in-sim)\n")
+                  .empty());
+}
+
+// -------------------------------------------------------- unannotated-mutex
+
+TEST(LintUnannotatedMutex, FlagsMutexGuardingNothing) {
+  const auto findings = lint::lint_content(
+      "src/obs/bad.h",
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "class C {\n"
+      "  mutable std::mutex mu_;\n"
+      "  int value_ = 0;\n"
+      "};\n");
+  ASSERT_TRUE(has_rule(findings, "unannotated-mutex"));
+  for (const auto& f : findings) {
+    if (f.rule == "unannotated-mutex") {
+      EXPECT_EQ(f.line, 4u);
+    }
+  }
+}
+
+TEST(LintUnannotatedMutex, GuardedByAnnotationSatisfiesRule) {
+  const auto findings = lint::lint_content(
+      "src/obs/ok.h",
+      "#pragma once\n"
+      "#include \"util/thread_annotations.h\"\n"
+      "class C {\n"
+      "  mutable util::Mutex mu_;\n"
+      "  int value_ CADET_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  EXPECT_FALSE(has_rule(findings, "unannotated-mutex"));
+}
+
+TEST(LintUnannotatedMutex, LockObjectsAndOtherTreesAreClean) {
+  // MutexLock instances are uses, not declarations of a new mutex; the
+  // rule is scoped to src/.
+  EXPECT_TRUE(lint::lint_content(
+                  "src/obs/ok.cpp",
+                  "#include \"util/thread_annotations.h\"\n"
+                  "extern util::Mutex g_mu;\n"
+                  "int g_v CADET_GUARDED_BY(g_mu) = 0;\n"
+                  "void f() { util::MutexLock lock(g_mu); ++g_v; }\n")
+                  .empty());
+  EXPECT_FALSE(has_rule(
+      lint::lint_content("tools/x/ok.cpp", "std::mutex mu_;\n"),
+      "unannotated-mutex"));
+}
+
+TEST(LintUnannotatedMutex, SuppressionWaivesFinding) {
+  EXPECT_TRUE(lint::lint_content(
+                  "src/net/ok3.h",
+                  "#pragma once\n"
+                  "#include <mutex>\n"
+                  "std::mutex mu_;  // cadet-lint: allow(unannotated-mutex)\n")
+                  .empty());
+}
+
+// ------------------------------------------------- include graph: cycles
+
+namespace {
+
+// A minimal three-file tree with a header cycle between net and sim.
+std::vector<lint::NamedSource> cyclic_tree() {
+  return {
+      {"src/sim/a.h", "#pragma once\n#include \"net/b.h\"\n"},
+      {"src/net/b.h", "#pragma once\n#include \"sim/a.h\"\n"},
+      {"src/util/c.h", "#pragma once\n"},
+  };
+}
+
+}  // namespace
+
+TEST(LintIncludeGraph, DetectsCycleOnceWithPath) {
+  const auto findings = lint::lint_files(cyclic_tree());
+  const auto hits = rules_hit(findings);
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), "include-cycle"), 1);
+  for (const auto& f : findings) {
+    if (f.rule != "include-cycle") continue;
+    // Reported at the lexicographically-first member's #include line.
+    EXPECT_EQ(f.file, "src/net/b.h");
+    EXPECT_EQ(f.line, 2u);
+    EXPECT_NE(f.message.find("src/net/b.h -> src/sim/a.h"),
+              std::string::npos);
+  }
+}
+
+TEST(LintIncludeGraph, SelfContainedTreeHasNoGraphFindings) {
+  const std::vector<lint::NamedSource> files = {
+      {"src/util/base.h", "#pragma once\n"},
+      {"src/net/t.h", "#pragma once\n#include \"util/base.h\"\n"},
+      {"src/cadet/n.h", "#pragma once\n#include \"net/t.h\"\n"},
+  };
+  EXPECT_TRUE(lint::lint_files(files).empty());
+}
+
+// ------------------------------------------------- include graph: layering
+
+TEST(LintLayering, FlagsUpwardAndSiblingIncludes) {
+  const std::vector<lint::NamedSource> files = {
+      // util reaching up into cadet: rank 0 -> rank 4.
+      {"src/util/bad.h", "#pragma once\n#include \"cadet/node.h\"\n"},
+      {"src/cadet/node.h", "#pragma once\n"},
+      // obs reaching sideways into crypto: both rank 1 siblings.
+      {"src/obs/bad.h", "#pragma once\n#include \"crypto/hkdf.h\"\n"},
+      {"src/crypto/hkdf.h", "#pragma once\n"},
+  };
+  const auto findings = lint::lint_files(files);
+  const auto hits = rules_hit(findings);
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), "layering"), 2);
+}
+
+TEST(LintLayering, CapTierCrossIncludesAreAllowed) {
+  // tools <-> tests is the sanctioned unordered cap tier.
+  const std::vector<lint::NamedSource> files = {
+      {"tools/sweep/main.cpp", "#include \"chaos_harness.h\"\n"},
+      {"tests/chaos_harness.h", "#pragma once\n"},
+      {"tests/test_x.cpp", "#include \"cadet_lint/lint.h\"\n"},
+      {"tools/cadet_lint/lint.h", "#pragma once\n"},
+  };
+  EXPECT_FALSE(has_rule(lint::lint_files(files), "layering"));
+}
+
+TEST(LintLayering, SuppressionOnIncludeLineWaivesFinding) {
+  const std::vector<lint::NamedSource> files = {
+      {"src/util/grandfathered.h",
+       "#pragma once\n"
+       "#include \"cadet/node.h\"  // cadet-lint: allow(layering)\n"},
+      {"src/cadet/node.h", "#pragma once\n"},
+  };
+  EXPECT_FALSE(has_rule(lint::lint_files(files), "layering"));
+}
+
+TEST(LintLayering, TestsJoinTheGraphButSkipPerFileRules) {
+  const std::vector<lint::NamedSource> files = {
+      // A test may read wall clocks (no sim-purity finding)...
+      {"tests/test_y.cpp",
+       "#include \"util/base.h\"\n"
+       "auto t = time(nullptr);\n"},
+      {"src/util/base.h", "#pragma once\n"},
+  };
+  EXPECT_TRUE(lint::lint_files(files).empty());
+}
+
+// ----------------------------------------------------------- graph export
+
+TEST(LintGraphExport, JsonListsModulesNodesAndEdges) {
+  const std::vector<lint::NamedSource> files = {
+      {"src/util/base.h", "#pragma once\n"},
+      {"src/net/t.h", "#pragma once\n#include \"util/base.h\"\n"},
+  };
+  const std::string json = lint::export_graph(files, /*dot=*/false);
+  EXPECT_NE(json.find("{\"name\":\"util\",\"rank\":0}"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"net\",\"rank\":3}"), std::string::npos);
+  EXPECT_NE(json.find("{\"file\":\"src/net/t.h\",\"module\":\"net\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      json.find(
+          "{\"from\":\"src/net/t.h\",\"to\":\"src/util/base.h\"}"),
+      std::string::npos);
+}
+
+TEST(LintGraphExport, DotClustersByModule) {
+  const std::vector<lint::NamedSource> files = {
+      {"src/util/base.h", "#pragma once\n"},
+      {"src/net/t.h", "#pragma once\n#include \"util/base.h\"\n"},
+  };
+  const std::string dot = lint::export_graph(files, /*dot=*/true);
+  EXPECT_NE(dot.find("digraph cadet_includes"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph \"cluster_util\""), std::string::npos);
+  EXPECT_NE(dot.find("\"src/net/t.h\" -> \"src/util/base.h\";"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- --diff mode
+
+TEST(LintDiff, ParsesUnifiedDiffNewSideRanges) {
+  const std::string diff =
+      "diff --git a/src/cadet/usage.cpp b/src/cadet/usage.cpp\n"
+      "--- a/src/cadet/usage.cpp\n"
+      "+++ b/src/cadet/usage.cpp\n"
+      "@@ -10,0 +11,3 @@ void f() {\n"
+      "+a\n+b\n+c\n"
+      "@@ -20 +24 @@ void g() {\n"
+      "+x\n"
+      "diff --git a/src/gone.cpp b/src/gone.cpp\n"
+      "--- a/src/gone.cpp\n"
+      "+++ /dev/null\n"
+      "@@ -1,5 +0,0 @@\n";
+  const auto changed = lint::parse_unified_diff(diff);
+  ASSERT_EQ(changed.size(), 1u);
+  const auto& ranges = changed.at("src/cadet/usage.cpp");
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{11, 13}));
+  EXPECT_EQ(ranges[1], (std::pair<std::size_t, std::size_t>{24, 24}));
+}
+
+TEST(LintDiff, FilterKeepsOnlyFindingsOnChangedLines) {
+  std::vector<lint::Finding> findings = {
+      {"src/cadet/usage.cpp", 11, "sim-purity", "on changed line"},
+      {"src/cadet/usage.cpp", 14, "sim-purity", "just past the range"},
+      {"src/other.cpp", 11, "sim-purity", "untouched file"},
+  };
+  lint::ChangedLines changed;
+  changed["src/cadet/usage.cpp"] = {{11, 13}};
+  const auto kept =
+      lint::filter_to_changed(std::move(findings), changed);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].line, 11u);
+  EXPECT_EQ(kept[0].message, "on changed line");
+}
+
+// ------------------------------------------------------------------- SARIF
+
+TEST(LintFormat, SarifCarriesRulesAndResults) {
+  const std::vector<lint::Finding> findings = {
+      {"src/a.cpp", 3, "layering", "module \"x\" reaches up"},
+  };
+  const std::string sarif = lint::format_sarif(findings);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"cadet-lint\""), std::string::npos);
+  // Every catalog rule is present as driver metadata.
+  for (const auto& rule : lint::rule_catalog()) {
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(rule.id) + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(sarif.find("\"ruleId\":\"layering\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":3"), std::string::npos);
+  EXPECT_NE(sarif.find("\\\"x\\\""), std::string::npos);  // escaped quote
+  // Empty report is still a well-formed run.
+  EXPECT_NE(lint::format_sarif({}).find("\"results\":[]"),
+            std::string::npos);
 }
 
 TEST(LintFormat, TextAndJsonReports) {

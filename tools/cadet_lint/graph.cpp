@@ -1,0 +1,252 @@
+// The tree-level pass: layering DAG enforcement and #include cycle
+// detection over the resolved include graph, plus the JSON/DOT exports
+// behind `cadet_lint --graph-out`.
+#include "cadet_lint/internal.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cadet::lint {
+
+namespace {
+
+struct ModuleRank {
+  std::string_view module;
+  int rank;
+};
+
+// The layering DAG, bottom-up. A file may include same-module files and
+// strictly lower ranks only. Rationale (docs/STATIC_ANALYSIS.md has the
+// diagram):
+//   0 util                  leaf helpers: rng, bytes, time, annotations
+//   1 obs | crypto | nist   independent siblings over util
+//   2 entropy | sim         pool/estimator + discrete-event engine
+//   3 net                   transport + runners (drive sim, emit obs)
+//   4 cadet                 protocol nodes over net/entropy/sim
+//   5 testbed               scenario harness over everything below
+//   6 tools/tests/...       cap tier, internally unordered (tools link
+//                           test harness headers and vice versa)
+constexpr ModuleRank kRanks[] = {
+    {"util", 0},  {"obs", 1},     {"crypto", 1},  {"nist", 1},
+    {"entropy", 2}, {"sim", 2},   {"net", 3},     {"cadet", 4},
+    {"testbed", 5}, {"tools", kTopRank}, {"tests", kTopRank},
+    {"bench", kTopRank}, {"examples", kTopRank},
+};
+
+}  // namespace
+
+std::string_view module_of(std::string_view path) {
+  if (path.starts_with("src/")) {
+    const std::string_view rest = path.substr(4);
+    const std::size_t slash = rest.find('/');
+    return slash == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(0, slash);
+  }
+  const std::size_t slash = path.find('/');
+  if (slash == std::string_view::npos) return {};
+  const std::string_view top = path.substr(0, slash);
+  if (top == "tools" || top == "tests" || top == "bench" ||
+      top == "examples") {
+    return top;
+  }
+  return {};
+}
+
+int module_rank(std::string_view module) {
+  for (const auto& entry : kRanks) {
+    if (entry.module == module) return entry.rank;
+  }
+  return -1;
+}
+
+namespace {
+
+void check_layering(const Tree& tree, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const SourceFile& file = tree.files[i];
+    const std::string_view from_mod = module_of(file.path);
+    const int from_rank = module_rank(from_mod);
+    if (from_rank < 0) continue;
+    for (const Tree::Edge& edge : tree.edges[i]) {
+      const SourceFile& dep = tree.files[edge.target];
+      const std::string_view to_mod = module_of(dep.path);
+      const int to_rank = module_rank(to_mod);
+      if (to_rank < 0 || to_mod == from_mod) continue;
+      // Higher rank is always out; equal rank crosses between sibling
+      // modules (obs vs crypto) except inside the unordered cap tier.
+      const bool violation =
+          to_rank > from_rank ||
+          (to_rank == from_rank && from_rank < kTopRank);
+      if (violation) {
+        out.push_back(Finding{
+            file.path, edge.line, "layering",
+            "module '" + std::string(from_mod) + "' (rank " +
+                std::to_string(from_rank) + ") must not include '" +
+                dep.path + "' from module '" + std::string(to_mod) +
+                "' (rank " + std::to_string(to_rank) +
+                "); dependencies point strictly down the layering DAG "
+                "(see docs/STATIC_ANALYSIS.md)"});
+      }
+    }
+  }
+}
+
+// DFS cycle detection with dedup: a cycle of files {A,B,C} is one defect,
+// not three — report it once, anchored at its lexicographically-first
+// member's offending #include line.
+struct CycleFinder {
+  const Tree& tree;
+  std::vector<int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::size_t> stack;
+  std::set<std::set<std::size_t>> seen;
+  std::vector<Finding>& out;
+
+  CycleFinder(const Tree& t, std::vector<Finding>& o)
+      : tree(t), state(t.files.size(), 0), out(o) {}
+
+  void report(std::size_t back_to) {
+    // stack holds the path; the cycle is stack[pos(back_to)..end].
+    auto it = std::find(stack.begin(), stack.end(), back_to);
+    std::vector<std::size_t> cycle(it, stack.end());
+    if (!seen.insert(std::set<std::size_t>(cycle.begin(), cycle.end()))
+             .second) {
+      return;
+    }
+    // Rotate so the lexicographically-first path leads.
+    const auto first = std::min_element(
+        cycle.begin(), cycle.end(), [&](std::size_t a, std::size_t b) {
+          return tree.files[a].path < tree.files[b].path;
+        });
+    std::rotate(cycle.begin(), first, cycle.end());
+    std::string chain;
+    for (const std::size_t idx : cycle) {
+      chain += tree.files[idx].path;
+      chain += " -> ";
+    }
+    chain += tree.files[cycle.front()].path;
+    // Anchor on the first file's #include of the next cycle member, so a
+    // per-line allow() marker can suppress it where the edge lives.
+    std::size_t line = 1;
+    const std::size_t next = cycle[1 % cycle.size()];
+    for (const Tree::Edge& edge : tree.edges[cycle.front()]) {
+      if (edge.target == next) {
+        line = edge.line;
+        break;
+      }
+    }
+    out.push_back(Finding{tree.files[cycle.front()].path, line,
+                          "include-cycle",
+                          "#include cycle: " + chain +
+                              "; break the cycle with a forward "
+                              "declaration or by splitting the header"});
+  }
+
+  void visit(std::size_t i) {
+    state[i] = 1;
+    stack.push_back(i);
+    for (const Tree::Edge& edge : tree.edges[i]) {
+      if (state[edge.target] == 0) {
+        visit(edge.target);
+      } else if (state[edge.target] == 1) {
+        report(edge.target);
+      }
+    }
+    stack.pop_back();
+    state[i] = 2;
+  }
+};
+
+}  // namespace
+
+void check_include_graph(const Tree& tree, std::vector<Finding>& out) {
+  check_layering(tree, out);
+  CycleFinder finder(tree, out);
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    if (finder.state[i] == 0) finder.visit(i);
+  }
+}
+
+// ---------------------------------------------------------------- exports
+
+namespace {
+
+std::vector<std::string_view> modules_in_tree(const Tree& tree) {
+  std::vector<std::string_view> modules;
+  for (const SourceFile& file : tree.files) {
+    const std::string_view mod = module_of(file.path);
+    if (mod.empty()) continue;
+    if (std::find(modules.begin(), modules.end(), mod) == modules.end()) {
+      modules.push_back(mod);
+    }
+  }
+  std::sort(modules.begin(), modules.end(),
+            [](std::string_view a, std::string_view b) {
+              return std::make_pair(module_rank(a), a) <
+                     std::make_pair(module_rank(b), b);
+            });
+  return modules;
+}
+
+}  // namespace
+
+std::string graph_to_json(const Tree& tree) {
+  std::string out = "{\"modules\":[";
+  const auto modules = modules_in_tree(tree);
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"name\":\"" + std::string(modules[i]) + "\",\"rank\":" +
+           std::to_string(module_rank(modules[i])) + "}";
+  }
+  out += "],\"nodes\":[";
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const SourceFile& file = tree.files[i];
+    if (i) out += ',';
+    out += "{\"file\":\"" + file.path + "\",\"module\":\"" +
+           std::string(module_of(file.path)) + "\"}";
+  }
+  out += "],\"edges\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    for (const Tree::Edge& edge : tree.edges[i]) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"from\":\"" + tree.files[i].path + "\",\"to\":\"" +
+             tree.files[edge.target].path + "\"}";
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string graph_to_dot(const Tree& tree) {
+  std::string out = "digraph cadet_includes {\n  rankdir=BT;\n"
+                    "  node [shape=box, fontsize=10];\n";
+  const auto modules = modules_in_tree(tree);
+  // One cluster per module, ordered by rank so dot stacks the layers.
+  std::map<std::string_view, std::vector<std::size_t>> by_module;
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    by_module[module_of(tree.files[i].path)].push_back(i);
+  }
+  for (const std::string_view mod : modules) {
+    out += "  subgraph \"cluster_" + std::string(mod) + "\" {\n";
+    out += "    label=\"" + std::string(mod) + " (rank " +
+           std::to_string(module_rank(mod)) + ")\";\n";
+    for (const std::size_t i : by_module[mod]) {
+      out += "    \"" + tree.files[i].path + "\";\n";
+    }
+    out += "  }\n";
+  }
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    for (const Tree::Edge& edge : tree.edges[i]) {
+      out += "  \"" + tree.files[i].path + "\" -> \"" +
+             tree.files[edge.target].path + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cadet::lint

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_map>
 
 namespace cadet::lint {
 
@@ -173,6 +174,86 @@ std::string include_target(std::string_view line) {
   return std::string(line.substr(i + 1, end - i - 1));
 }
 
+constexpr std::string_view kUnorderedTokens[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// Collect identifiers declared with an unordered container type:
+/// `std::unordered_map<K, V> name;` (members, locals, and globals alike;
+/// declarations may wrap over a few lines). Aliases (`using X = ...`) and
+/// pointer/reference bindings are deliberately not chased.
+void collect_unordered(const std::vector<std::string>& code,
+                       std::vector<std::string>& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const auto token : kUnorderedTokens) {
+      std::size_t pos = find_token(code[i], token);
+      for (; pos != std::string_view::npos;
+           pos = find_token(code[i], token, pos + 1)) {
+        // Walk the template argument list, possibly wrapped.
+        std::size_t li = i;
+        std::size_t ci = pos + token.size();
+        int depth = 0;
+        bool seen_open = false;
+        bool closed = false;
+        while (li < code.size() && li < i + 4 && !closed) {
+          const std::string& l = code[li];
+          for (; ci < l.size(); ++ci) {
+            const char c = l[ci];
+            if (c == '<') {
+              ++depth;
+              seen_open = true;
+            } else if (c == '>') {
+              if (ci > 0 && l[ci - 1] == '-') continue;  // ->
+              if (--depth == 0) {
+                closed = true;
+                ++ci;
+                break;
+              }
+            } else if (!seen_open &&
+                       std::isspace(static_cast<unsigned char>(c)) == 0) {
+              break;  // token not followed by a template argument list
+            }
+          }
+          if (!closed) {
+            if (!seen_open) break;
+            ++li;
+            ci = 0;
+          }
+        }
+        if (!closed) continue;
+        // After the closing '>': an identifier directly (no * or &) that
+        // terminates with ';', '=', '{', or ',' is a declared name.
+        while (li < code.size()) {
+          const std::string& l = code[li];
+          while (ci < l.size() &&
+                 std::isspace(static_cast<unsigned char>(l[ci])) != 0) {
+            ++ci;
+          }
+          if (ci < l.size()) break;
+          ++li;
+          ci = 0;
+        }
+        if (li >= code.size()) continue;
+        const std::string& l = code[li];
+        std::size_t start = ci;
+        while (ci < l.size() && is_ident(l[ci])) ++ci;
+        if (ci == start) continue;  // '&', '*', '(', ')', ...
+        const std::string name = l.substr(start, ci - start);
+        while (ci < l.size() &&
+               std::isspace(static_cast<unsigned char>(l[ci])) != 0) {
+          ++ci;
+        }
+        if (ci < l.size() &&
+            (l[ci] == ';' || l[ci] == '=' || l[ci] == '{' || l[ci] == ',')) {
+          if (std::find(out.begin(), out.end(), name) == out.end()) {
+            out.push_back(name);
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 SourceFile make_source(std::string_view path, std::string_view content) {
@@ -181,13 +262,88 @@ SourceFile make_source(std::string_view path, std::string_view content) {
   std::replace(file.path.begin(), file.path.end(), '\\', '/');
   file.is_header =
       file.path.ends_with(".h") || file.path.ends_with(".hpp");
+  file.graph_only = file.path.starts_with("tests/");
   file.raw = split_lines(content);
   file.code = split_lines(scrub(content));
-  for (const auto& line : file.raw) {
-    auto target = include_target(line);
-    if (!target.empty()) file.includes.push_back(std::move(target));
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    auto target = include_target(file.raw[i]);
+    if (!target.empty()) {
+      file.includes.push_back(Include{std::move(target), i + 1});
+    }
   }
+  collect_unordered(file.code, file.unordered_members);
   return file;
+}
+
+// ------------------------------------------------------------ tree building
+
+namespace {
+
+std::string dirname_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(path.substr(0, slash));
+}
+
+}  // namespace
+
+Tree make_tree(std::vector<SourceFile> files) {
+  Tree tree;
+  tree.files = std::move(files);
+  tree.edges.resize(tree.files.size());
+
+  std::unordered_map<std::string, std::size_t> by_path;
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    by_path.emplace(tree.files[i].path, i);
+  }
+
+  // Includes are written relative to a -I root (src/, tools/, tests/) or,
+  // occasionally, to the including file's own directory.
+  static constexpr std::string_view kIncludeRoots[] = {
+      "src/", "tools/", "tests/", "bench/", "examples/"};
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const std::string dir = dirname_of(tree.files[i].path);
+    for (const Include& inc : tree.files[i].includes) {
+      std::size_t target = tree.files.size();
+      if (!dir.empty()) {
+        const auto it = by_path.find(dir + "/" + inc.target);
+        if (it != by_path.end()) target = it->second;
+      }
+      if (target == tree.files.size()) {
+        for (const auto root : kIncludeRoots) {
+          const auto it = by_path.find(std::string(root) + inc.target);
+          if (it != by_path.end()) {
+            target = it->second;
+            break;
+          }
+        }
+      }
+      if (target != tree.files.size() && target != i) {
+        tree.edges[i].push_back(Tree::Edge{target, inc.line});
+      }
+    }
+  }
+
+  // Determinism pass support: a .cpp iterating a hash-map member sees the
+  // declaration in its header — propagate declared unordered identifiers
+  // one include hop.
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    SourceFile& file = tree.files[i];
+    for (const Tree::Edge& edge : tree.edges[i]) {
+      for (const std::string& name :
+           tree.files[edge.target].unordered_members) {
+        if (std::find(file.imported_unordered.begin(),
+                      file.imported_unordered.end(),
+                      name) == file.imported_unordered.end() &&
+            std::find(file.unordered_members.begin(),
+                      file.unordered_members.end(),
+                      name) == file.unordered_members.end()) {
+          file.imported_unordered.push_back(name);
+        }
+      }
+    }
+  }
+  return tree;
 }
 
 std::size_t find_token(std::string_view line, std::string_view token,
@@ -269,6 +425,46 @@ bool suppressed(const std::string& raw_line, std::string_view rule) {
   return false;
 }
 
+void apply_suppressions_and_sort(const Tree& tree,
+                                 std::vector<Finding>& findings) {
+  std::unordered_map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : tree.files) by_path.emplace(file.path, &file);
+  std::erase_if(findings, [&](const Finding& f) {
+    const auto it = by_path.find(f.file);
+    if (it == by_path.end()) return false;
+    const auto& raw = it->second->raw;
+    return f.line >= 1 && f.line <= raw.size() &&
+           suppressed(raw[f.line - 1], f.rule);
+  });
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+}
+
+std::vector<Finding> run_passes(Tree tree) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : tree.files) {
+    if (file.graph_only) continue;
+    for (const auto& rule : rules()) {
+      rule.fn(file, findings);
+    }
+  }
+  check_include_graph(tree, findings);
+  apply_suppressions_and_sort(tree, findings);
+  return findings;
+}
+
+Tree tree_from_named(const std::vector<NamedSource>& files) {
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const auto& [path, content] : files) {
+    sources.push_back(make_source(path, content));
+  }
+  return make_tree(std::move(sources));
+}
+
 }  // namespace
 
 std::vector<RuleInfo> rule_catalog() {
@@ -276,38 +472,44 @@ std::vector<RuleInfo> rule_catalog() {
   for (const auto& rule : rules()) {
     catalog.push_back(RuleInfo{rule.id, rule.summary});
   }
+  catalog.push_back(RuleInfo{"include-cycle",
+                             "cyclic #include chains across the tree"});
+  catalog.push_back(RuleInfo{
+      "layering", "module dependencies must follow the layering DAG"});
   return catalog;
 }
 
 std::vector<Finding> lint_content(std::string_view path,
                                   std::string_view content) {
-  const SourceFile file = make_source(path, content);
-  std::vector<Finding> findings;
-  for (const auto& rule : rules()) {
-    rule.fn(file, findings);
-  }
-  std::erase_if(findings, [&](const Finding& f) {
-    return f.line >= 1 && f.line <= file.raw.size() &&
-           suppressed(file.raw[f.line - 1], f.rule);
-  });
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
-            });
-  return findings;
+  std::vector<SourceFile> files;
+  files.push_back(make_source(path, content));
+  files.back().graph_only = false;  // single-file mode: always run rules
+  return run_passes(make_tree(std::move(files)));
 }
 
-std::vector<Finding> lint_tree(const std::string& root) {
+std::vector<Finding> lint_files(const std::vector<NamedSource>& files) {
+  return run_passes(tree_from_named(files));
+}
+
+std::string export_graph(const std::vector<NamedSource>& files, bool dot) {
+  const Tree tree = tree_from_named(files);
+  return dot ? graph_to_dot(tree) : graph_to_json(tree);
+}
+
+std::vector<NamedSource> load_tree(const std::string& root) {
   namespace fs = std::filesystem;
   const fs::path base(root);
   if (!fs::exists(base)) {
     throw std::runtime_error("cadet_lint: no such directory: " + root);
   }
+  // tests/ joins the include graph (its fixtures and harness headers are
+  // part of the layering story) but is exempt from the per-file rules —
+  // tests get to use wall clocks and ad-hoc engines.
   static constexpr std::string_view kScanDirs[] = {"src", "tools", "bench",
-                                                   "examples"};
+                                                   "examples", "tests"};
   static constexpr std::string_view kExtensions[] = {".h", ".hpp", ".cc",
                                                      ".cpp"};
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const auto dir : kScanDirs) {
     const fs::path sub = base / dir;
     if (!fs::exists(sub)) continue;
@@ -318,24 +520,25 @@ std::vector<Finding> lint_tree(const std::string& root) {
           std::end(kExtensions)) {
         continue;
       }
-      files.push_back(entry.path());
+      paths.push_back(entry.path());
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  std::vector<Finding> findings;
-  for (const auto& path : files) {
+  std::vector<NamedSource> files;
+  files.reserve(paths.size());
+  for (const auto& path : paths) {
     std::ifstream in(path, std::ios::binary);
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string rel =
-        fs::relative(path, base).generic_string();
-    auto file_findings = lint_content(rel, buffer.str());
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    files.emplace_back(fs::relative(path, base).generic_string(),
+                       buffer.str());
   }
-  return findings;
+  return files;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  return lint_files(load_tree(root));
 }
 
 std::string format_text(const std::vector<Finding>& findings) {
@@ -403,6 +606,101 @@ std::string format_json(const std::vector<Finding>& findings) {
   }
   out += "],\"count\":" + std::to_string(findings.size()) + "}\n";
   return out;
+}
+
+std::string format_sarif(const std::vector<Finding>& findings) {
+  std::string out =
+      "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"cadet-lint\","
+      "\"informationUri\":\"docs/STATIC_ANALYSIS.md\",\"rules\":[";
+  const auto catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"id\":\"" + json_escape(catalog[i].id) + "\",";
+    out += "\"shortDescription\":{\"text\":\"" +
+           json_escape(catalog[i].summary) + "\"}}";
+  }
+  out += "]}},\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    if (i) out += ',';
+    out += "{\"ruleId\":\"" + json_escape(f.rule) + "\",";
+    out += "\"level\":\"error\",";
+    out += "\"message\":{\"text\":\"" + json_escape(f.message) + "\"},";
+    out += "\"locations\":[{\"physicalLocation\":{"
+           "\"artifactLocation\":{\"uri\":\"" + json_escape(f.file) +
+           "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":" +
+           std::to_string(f.line) + "}}}]}";
+  }
+  out += "]}]}\n";
+  return out;
+}
+
+// ------------------------------------------------------------- --diff mode
+
+ChangedLines parse_unified_diff(std::string_view diff) {
+  ChangedLines changed;
+  std::string current_file;
+  std::size_t pos = 0;
+  while (pos <= diff.size()) {
+    std::size_t nl = diff.find('\n', pos);
+    if (nl == std::string_view::npos) nl = diff.size();
+    const std::string_view line = diff.substr(pos, nl - pos);
+    pos = nl + 1;
+
+    if (line.starts_with("+++ ")) {
+      std::string_view name = line.substr(4);
+      if (name.starts_with("b/")) name.remove_prefix(2);
+      // Deleted files show as "+++ /dev/null" — no new-side lines.
+      current_file = name == "/dev/null" ? std::string()
+                                         : std::string(name);
+      continue;
+    }
+    if (line.starts_with("@@") && !current_file.empty()) {
+      // @@ -a,b +c,d @@ — the new-side range is c..c+d-1 (d omitted = 1).
+      const std::size_t plus = line.find('+');
+      if (plus == std::string_view::npos) continue;
+      std::size_t i = plus + 1;
+      std::size_t start = 0;
+      while (i < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[i])) != 0) {
+        start = start * 10 + static_cast<std::size_t>(line[i] - '0');
+        ++i;
+      }
+      std::size_t count = 1;
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        count = 0;
+        while (i < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[i])) != 0) {
+          count = count * 10 + static_cast<std::size_t>(line[i] - '0');
+          ++i;
+        }
+      }
+      if (count == 0) continue;  // pure deletion hunk
+      changed[current_file].emplace_back(start, start + count - 1);
+    }
+    if (nl == diff.size()) break;
+  }
+  for (auto& [file, ranges] : changed) {
+    std::sort(ranges.begin(), ranges.end());
+  }
+  return changed;
+}
+
+std::vector<Finding> filter_to_changed(std::vector<Finding> findings,
+                                       const ChangedLines& changed) {
+  std::erase_if(findings, [&](const Finding& f) {
+    const auto it = changed.find(f.file);
+    if (it == changed.end()) return true;
+    for (const auto& [first, last] : it->second) {
+      if (f.line >= first && f.line <= last) return false;
+    }
+    return true;
+  });
+  return findings;
 }
 
 }  // namespace cadet::lint

@@ -2,25 +2,46 @@
 //
 // Generic compilers cannot see CADET's own correctness contract: protocol
 // randomness must flow through the seeded RNGs, the deterministic tiers
-// must never read a wall clock, and key material must be wiped and
-// compared in constant time. cadet-lint encodes those contracts as
-// table-driven rules over a scrubbed token stream (comments and string
-// literals removed, so prose about std::rand never trips the scanner).
+// must never read a wall clock or iterate a hash map into a trace, module
+// dependencies must respect the layering DAG, and every mutex must be
+// provably locked. cadet-lint encodes those contracts as a multi-pass
+// analyzer over a scrubbed token stream (comments and string literals
+// removed, so prose about std::rand never trips the scanner):
+//
+//   per-file pass   token rules on one file at a time
+//   graph pass      #include edges across src/ tools/ tests/ bench/
+//                   examples/ — layering DAG + cycle detection, exportable
+//                   as JSON or DOT (--graph-out)
+//   determinism     unordered-iteration / pointer-keyed-order /
+//                   thread-in-sim in the deterministic tiers, with member
+//                   container types propagated header -> .cpp through the
+//                   include graph
+//   concurrency     unannotated-mutex: every mutex member must guard
+//                   something via CADET_GUARDED_BY (util/thread_annotations.h)
 //
 // Rules (see docs/STATIC_ANALYSIS.md for the full catalog):
-//   forbidden-rng    ad-hoc PRNG use outside the sanctioned modules
-//   sim-purity       wall-clock calls inside deterministic tiers
-//   secret-hygiene   elidable memset / timing-leaky memcmp on secrets
+//   forbidden-rng        ad-hoc PRNG use outside the sanctioned modules
+//   sim-purity           wall-clock calls inside deterministic tiers
+//   secret-hygiene       elidable memset / timing-leaky memcmp on secrets
 //   header-self-containment  missing #pragma once or std includes
-//   unchecked-return discarded transport send/recv results
+//   unchecked-return     discarded transport send/recv results
+//   obs-hot-path         obs emit helpers must be noexcept, allocation-free
+//   unordered-iteration  hash-order traversal in deterministic tiers
+//   pointer-keyed-order  pointer-keyed maps/sets, pointer < comparisons
+//   thread-in-sim        threading primitives inside deterministic tiers
+//   unannotated-mutex    mutex members without CADET_GUARDED_BY coverage
+//   include-cycle        cyclic #include chains
+//   layering             dependency against the layering DAG
 //
 // Suppress a finding by appending `// cadet-lint: allow(<rule>)` to the
 // offending line (comma-separate several rules, or use `allow(all)`).
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cadet::lint {
@@ -35,31 +56,66 @@ struct Finding {
   bool operator==(const Finding&) const = default;
 };
 
-/// Rule id + one-line summary, for --list-rules and the docs generator.
+/// Rule id + one-line summary, for --list-rules, SARIF metadata, and the
+/// docs generator.
 struct RuleInfo {
   std::string_view id;
   std::string_view summary;
 };
 
-/// The registered rule table, in evaluation order.
+/// The registered rule table (per-file rules first, then the tree-level
+/// graph rules), in evaluation order.
 std::vector<RuleInfo> rule_catalog();
+
+/// A loaded source file: repo-relative '/'-separated path + contents.
+using NamedSource = std::pair<std::string, std::string>;
 
 /// Lint a single file's contents. `path` must be repo-relative with
 /// forward slashes — it decides which rules and allowlists apply.
 /// Per-line `cadet-lint: allow(...)` suppressions are already honoured.
+/// Cross-file analyses see only this file (use lint_files for the rest).
 std::vector<Finding> lint_content(std::string_view path,
                                   std::string_view content);
 
-/// Walk `root`'s scanned directories (src, tools, bench, examples) and
-/// lint every C++ source/header. Findings come back sorted by file then
-/// line. Throws std::runtime_error if root does not exist.
+/// Full multi-pass analysis over a set of files: per-file rules (skipped
+/// for files under tests/, which join the include graph only), then the
+/// include-graph pass. Findings come back sorted by file then line.
+std::vector<Finding> lint_files(const std::vector<NamedSource>& files);
+
+/// Read every C++ source/header under `root`'s scanned directories
+/// (src, tools, bench, examples, plus tests for the include graph),
+/// sorted by path. Throws std::runtime_error if root does not exist.
+std::vector<NamedSource> load_tree(const std::string& root);
+
+/// load_tree + lint_files.
 std::vector<Finding> lint_tree(const std::string& root);
+
+/// Include-graph export over the same file set lint_files analyzes:
+/// deterministic JSON ({"modules":[...],"nodes":[...],"edges":[...]}) or
+/// Graphviz DOT with one cluster per module.
+std::string export_graph(const std::vector<NamedSource>& files, bool dot);
 
 /// "file:line: [rule] message" per finding, plus a trailing summary line.
 std::string format_text(const std::vector<Finding>& findings);
 
 /// {"findings":[...],"count":N} — machine-readable report.
 std::string format_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 for CI code-scanning upload (--sarif). Rule metadata comes
+/// from rule_catalog(); every finding is an "error"-level result.
+std::string format_sarif(const std::vector<Finding>& findings);
+
+/// Changed-line ranges per file, parsed from `git diff --unified=0`
+/// output: file -> sorted [first, last] line ranges on the new side.
+using ChangedLines = std::map<std::string, std::vector<std::pair<
+    std::size_t, std::size_t>>>;
+ChangedLines parse_unified_diff(std::string_view diff);
+
+/// Keep only findings whose (file, line) falls inside `changed` — the
+/// --diff gate: CI rejects new findings on touched lines while the full
+/// report still shows legacy ones.
+std::vector<Finding> filter_to_changed(std::vector<Finding> findings,
+                                       const ChangedLines& changed);
 
 /// Exposed for tests: blank out comments and string/char literals while
 /// preserving line structure, so token scans never match prose.

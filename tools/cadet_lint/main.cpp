@@ -1,13 +1,21 @@
-// cadet_lint CLI — scans src/, tools/, bench/, examples/ for violations of
-// CADET's domain rules. Exit 0 on a clean tree, 1 if findings, 2 on usage
-// errors, so `ctest -R lint` and CI gate on it directly.
+// cadet_lint CLI — multi-pass static analysis over src/, tools/, bench/,
+// examples/ (plus tests/ for the include graph). Exit 0 on a clean tree,
+// 1 if findings, 2 on usage errors, so `ctest -R lint` and CI gate on it
+// directly.
 //
 // Usage:
-//   cadet_lint [--root DIR] [--json] [--list-rules] [file...]
+//   cadet_lint [--root DIR] [--json | --sarif] [--graph-out FILE]
+//              [--diff REF] [--list-rules] [file...]
 //
 // With explicit files, only those are linted (paths are taken verbatim and
 // should be repo-relative so allowlists apply). Otherwise the whole tree
 // under --root (default: cwd) is scanned.
+//
+//   --graph-out FILE  write the include graph (Graphviz DOT if FILE ends
+//                     in .dot, JSON otherwise) and continue linting
+//   --diff REF        gate only on findings whose line changed vs. git REF
+//                     (`git diff --unified=0 REF`); the full count is still
+//                     reported to stderr
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -21,16 +29,37 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--root DIR] [--json] [--list-rules] [file...]\n",
+               "usage: %s [--root DIR] [--json | --sarif] "
+               "[--graph-out FILE] [--diff REF] [--list-rules] [file...]\n",
                argv0);
   return 2;
+}
+
+// `git -C root diff --unified=0 ref -- <scanned dirs>` captured via popen;
+// returns false (with a message) if git fails.
+bool git_diff(const std::string& root, const std::string& ref,
+              std::string& out) {
+  const std::string cmd = "git -C '" + root +
+                          "' diff --unified=0 '" + ref +
+                          "' -- src tools bench examples tests 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    out.append(buf, n);
+  }
+  return pclose(pipe) == 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string graph_out;
+  std::string diff_ref;
   bool json = false;
+  bool sarif = false;
   bool list_rules = false;
   std::vector<std::string> files;
 
@@ -41,6 +70,14 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--graph-out") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      graph_out = argv[++i];
+    } else if (arg == "--diff") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      diff_ref = argv[++i];
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -52,6 +89,7 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
+  if (json && sarif) return usage(argv[0]);
 
   if (list_rules) {
     for (const auto& rule : cadet::lint::rule_catalog()) {
@@ -64,7 +102,18 @@ int main(int argc, char** argv) {
   try {
     std::vector<cadet::lint::Finding> findings;
     if (files.empty()) {
-      findings = cadet::lint::lint_tree(root);
+      const auto sources = cadet::lint::load_tree(root);
+      if (!graph_out.empty()) {
+        const bool dot = graph_out.ends_with(".dot");
+        std::ofstream out(graph_out, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "cadet_lint: cannot write %s\n",
+                       graph_out.c_str());
+          return 2;
+        }
+        out << cadet::lint::export_graph(sources, dot);
+      }
+      findings = cadet::lint::lint_files(sources);
     } else {
       for (const auto& path : files) {
         std::ifstream in(path, std::ios::binary);
@@ -79,8 +128,26 @@ int main(int argc, char** argv) {
                         file_findings.end());
       }
     }
-    const std::string report = json ? cadet::lint::format_json(findings)
-                                    : cadet::lint::format_text(findings);
+
+    if (!diff_ref.empty()) {
+      std::string diff;
+      if (!git_diff(root, diff_ref, diff)) {
+        std::fprintf(stderr, "cadet_lint: git diff against '%s' failed\n",
+                     diff_ref.c_str());
+        return 2;
+      }
+      const std::size_t total = findings.size();
+      findings = cadet::lint::filter_to_changed(
+          std::move(findings), cadet::lint::parse_unified_diff(diff));
+      std::fprintf(stderr,
+                   "cadet_lint: %zu finding(s) tree-wide, %zu on lines "
+                   "changed vs %s\n",
+                   total, findings.size(), diff_ref.c_str());
+    }
+
+    const std::string report = sarif ? cadet::lint::format_sarif(findings)
+                               : json ? cadet::lint::format_json(findings)
+                                      : cadet::lint::format_text(findings);
     std::fputs(report.c_str(), stdout);
     return findings.empty() ? 0 : 1;
   } catch (const std::exception& e) {

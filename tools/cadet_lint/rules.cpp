@@ -299,10 +299,10 @@ void check_header_self_containment(const SourceFile& file,
 
   auto includes_any = [&](const std::array<std::string_view, 4>& headers) {
     return std::any_of(
-        file.includes.begin(), file.includes.end(), [&](const std::string& inc) {
+        file.includes.begin(), file.includes.end(), [&](const Include& inc) {
           return std::any_of(headers.begin(), headers.end(),
                              [&](std::string_view h) {
-                               return !h.empty() && inc == h;
+                               return !h.empty() && inc.target == h;
                              });
         });
   };
@@ -516,6 +516,366 @@ void check_obs_hot_path(const SourceFile& file, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Determinism pass. The deterministic tiers promise: same seed, same trace,
+// byte for byte. Hash-map iteration order (libstdc++ bucket order varies
+// with insertion history and, across platforms, with hash seeds), pointer
+// comparisons (ASLR), and free-running threads all break that promise in
+// ways no test on a single machine will catch.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kDeterministicDirs[] = {
+    "src/sim/",
+    "src/cadet/",
+    "src/entropy/",
+    "src/testbed/",
+};
+
+bool in_deterministic_tier(const SourceFile& file) {
+  return std::any_of(
+      std::begin(kDeterministicDirs), std::end(kDeterministicDirs),
+      [&](std::string_view d) { return starts_with(file.path, d); });
+}
+
+// unordered-iteration: traversal of a std::unordered_* container in a
+// deterministic tier. Known container identifiers come from this file's
+// own declarations plus those imported from directly-included headers
+// (so usage.cpp knows about the member usage.h declares).
+
+// The range expression of a single-line range-for: text after the first
+// top-level ':' (skipping '::') inside the for-parens. Empty if this is
+// not a range-for.
+std::string_view range_for_expr(std::string_view line) {
+  const std::size_t kw = find_token(line, "for");
+  if (kw == std::string_view::npos) return {};
+  const std::size_t open = line.find('(', kw + 3);
+  if (open == std::string_view::npos) return {};
+  int depth = 0;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '(' || c == '[') {
+      ++depth;
+    } else if (c == ')' || c == ']') {
+      if (--depth == 0) return line.substr(i, 0);  // plain for, no ':'
+    } else if (c == ':' && depth == 1) {
+      if (i + 1 < line.size() && line[i + 1] == ':') {
+        ++i;  // '::' qualifier, skip both
+        continue;
+      }
+      if (i > 0 && line[i - 1] == ':') continue;
+      // Range expr runs to the matching ')'.
+      std::size_t end = i + 1;
+      int d = depth;
+      for (; end < line.size(); ++end) {
+        if (line[end] == '(' || line[end] == '[') ++d;
+        if (line[end] == ')' || line[end] == ']') {
+          if (--d == 0) break;
+        }
+      }
+      return line.substr(i + 1, end - (i + 1));
+    }
+  }
+  return {};
+}
+
+void check_unordered_iteration(const SourceFile& file,
+                               std::vector<Finding>& out) {
+  if (!in_deterministic_tier(file)) return;
+  std::vector<std::string_view> names;
+  for (const auto& n : file.unordered_members) names.push_back(n);
+  for (const auto& n : file.imported_unordered) names.push_back(n);
+  if (names.empty()) return;
+
+  constexpr std::string_view kBeginCalls[] = {".begin(", ".cbegin(",
+                                              ".rbegin(", ".crbegin("};
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string_view line = file.code[i];
+    const std::string_view range = range_for_expr(line);
+    for (const auto name : names) {
+      bool hit = false;
+      if (!range.empty() && find_token(range, name) != std::string_view::npos) {
+        hit = true;
+      }
+      std::size_t pos = find_token(line, name);
+      for (; !hit && pos != std::string_view::npos;
+           pos = find_token(line, name, pos + 1)) {
+        const std::string_view after = line.substr(pos + name.size());
+        for (const auto call : kBeginCalls) {
+          if (after.starts_with(call)) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        add(out, file, i + 1, "unordered-iteration",
+            "iteration over unordered container '" + std::string(name) +
+                "' in a deterministic tier: bucket order depends on "
+                "insertion history and hash seed, so it leaks into traces "
+                "and metrics; use std::map / sorted keys instead");
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+// pointer-keyed-order: ordered containers keyed on pointer values, and raw
+// address comparisons. Pointer order is allocation order — different every
+// run under ASLR.
+
+constexpr std::string_view kOrderedContainers[] = {"map", "set", "multimap",
+                                                   "multiset"};
+
+// First top-level template argument after the '<' at `open`.
+std::string_view first_template_arg(std::string_view line, std::size_t open) {
+  int depth = 1;
+  const std::size_t start = open + 1;
+  for (std::size_t i = start; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '<' || c == '(') ++depth;
+    if (c == '>' || c == ')') --depth;
+    if ((c == ',' && depth == 1) || depth == 0) {
+      return line.substr(start, i - start);
+    }
+  }
+  return line.substr(start);
+}
+
+void check_pointer_keyed_order(const SourceFile& file,
+                               std::vector<Finding>& out) {
+  if (!starts_with(file.path, "src/")) return;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string_view line = file.code[i];
+    bool flagged = false;
+    for (const auto token : kOrderedContainers) {
+      std::size_t pos = find_token(line, token);
+      for (; !flagged && pos != std::string_view::npos;
+           pos = find_token(line, token, pos + 1)) {
+        // Require the std:: qualifier so a project type named `map` or a
+        // scrubbed word does not trip the rule.
+        if (pos < 5 || line.substr(pos - 5, 5) != "std::") continue;
+        std::size_t open = pos + token.size();
+        while (open < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[open])) != 0) {
+          ++open;
+        }
+        if (open >= line.size() || line[open] != '<') continue;
+        const std::string_view key = first_template_arg(line, open);
+        if (key.find('*') != std::string_view::npos) {
+          add(out, file, i + 1, "pointer-keyed-order",
+              "std::" + std::string(token) +
+                  " keyed on a pointer type orders by address, which "
+                  "differs every run (ASLR); key on a stable id instead");
+          flagged = true;
+        }
+      }
+    }
+    // std::less<T*> — explicit pointer comparator.
+    std::size_t pos = find_token(line, "less");
+    for (; pos != std::string_view::npos;
+         pos = find_token(line, "less", pos + 1)) {
+      if (pos < 5 || line.substr(pos - 5, 5) != "std::") continue;
+      const std::size_t open = pos + 4;
+      if (open < line.size() && line[open] == '<' &&
+          first_template_arg(line, open).find('*') !=
+              std::string_view::npos) {
+        add(out, file, i + 1, "pointer-keyed-order",
+            "std::less over a pointer type compares addresses; order by a "
+            "stable id instead");
+      }
+    }
+    // `&a < &b` — both sides address-of (exclude && and shifts).
+    for (std::size_t j = 1; j + 1 < line.size(); ++j) {
+      if (line[j] != '<') continue;
+      if (line[j - 1] == '<' || line[j + 1] == '<' || line[j + 1] == '=') {
+        continue;
+      }
+      // Left operand: identifier chain, then '&' not preceded by '&'.
+      std::size_t l = j;
+      while (l > 0 &&
+             std::isspace(static_cast<unsigned char>(line[l - 1])) != 0) {
+        --l;
+      }
+      while (l > 0 && (is_ident_char(line[l - 1]) || line[l - 1] == '.' ||
+                       line[l - 1] == '_')) {
+        --l;
+      }
+      if (l == 0 || line[l - 1] != '&' || (l >= 2 && line[l - 2] == '&')) {
+        continue;
+      }
+      // Right operand: optional spaces, then '&' not followed by '&'.
+      std::size_t r = j + 1;
+      while (r < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[r])) != 0) {
+        ++r;
+      }
+      if (r < line.size() && line[r] == '&' &&
+          (r + 1 >= line.size() || line[r + 1] != '&')) {
+        add(out, file, i + 1, "pointer-keyed-order",
+            "comparing object addresses with '<' yields a different order "
+            "every run; compare stable ids instead");
+        break;
+      }
+    }
+  }
+}
+
+// thread-in-sim: the deterministic tiers are single-threaded by contract —
+// the simulator owns the event order. A std::thread (or an atomic standing
+// in for one) inside them is either dead weight or a reproducibility bug.
+
+struct ThreadToken {
+  std::string_view token;
+  bool call_only;
+};
+
+constexpr ThreadToken kThreadTokens[] = {
+    {"thread", false},          {"jthread", false},
+    {"async", false},           {"future", false},
+    {"promise", false},         {"packaged_task", false},
+    {"atomic", false},          {"atomic_flag", false},
+    {"mutex", false},           {"shared_mutex", false},
+    {"recursive_mutex", false}, {"timed_mutex", false},
+    {"condition_variable", false},
+    {"condition_variable_any", false},
+    {"lock_guard", false},      {"unique_lock", false},
+    {"scoped_lock", false},     {"shared_lock", false},
+    {"call_once", false},       {"once_flag", false},
+    {"latch", false},           {"barrier", false},
+    {"counting_semaphore", false},
+    {"binary_semaphore", false},
+    {"this_thread", false},
+};
+
+constexpr std::string_view kThreadHeaders[] = {
+    "thread", "atomic", "mutex", "shared_mutex", "future",
+    "condition_variable", "latch", "barrier", "semaphore", "stop_token",
+};
+
+void check_thread_in_sim(const SourceFile& file, std::vector<Finding>& out) {
+  if (!in_deterministic_tier(file)) return;
+  for (const Include& inc : file.includes) {
+    for (const auto header : kThreadHeaders) {
+      if (inc.target == header) {
+        add(out, file, inc.line, "thread-in-sim",
+            "#include <" + std::string(header) +
+                "> in a deterministic tier; the simulator owns event order "
+                "— keep threading out of src/{sim,cadet,entropy,testbed}");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string_view line = file.code[i];
+    for (const auto& spec : kThreadTokens) {
+      // Require the std:: qualifier: `thread`, `barrier`, `future` are
+      // ordinary English that shows up in CADET identifiers.
+      std::size_t pos = find_token(line, spec.token);
+      for (; pos != std::string_view::npos;
+           pos = find_token(line, spec.token, pos + 1)) {
+        if (pos < 5 || line.substr(pos - 5, 5) != "std::") continue;
+        add(out, file, i + 1, "thread-in-sim",
+            "std::" + std::string(spec.token) +
+                " in a deterministic tier; scheduling belongs to the "
+                "simulator (src/sim), wall-clock concurrency to src/net");
+        break;
+      }
+    }
+    if (has_token(line, "pthread_create", true)) {
+      add(out, file, i + 1, "thread-in-sim",
+          "pthread_create in a deterministic tier; the simulator owns "
+          "event order");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unannotated-mutex: every mutex member in src/ must guard something —
+// i.e. the file must put CADET_GUARDED_BY(<mutex>) (or PT_GUARDED_BY) on
+// at least one member. A mutex that guards nothing is invisible to clang's
+// -Wthread-safety, so lock discipline around it is unchecked.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kMutexTypes[] = {
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+    "recursive_timed_mutex", "Mutex",
+};
+
+void check_unannotated_mutex(const SourceFile& file,
+                             std::vector<Finding>& out) {
+  if (!starts_with(file.path, "src/")) return;
+  // The annotation header itself wraps a raw std::mutex — that is the one
+  // sanctioned bare mutex in the tree.
+  if (file.path == "src/util/thread_annotations.h") return;
+
+  struct Decl {
+    std::string name;
+    std::size_t line;
+  };
+  std::vector<Decl> decls;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string_view line = file.code[i];
+    for (const auto type : kMutexTypes) {
+      std::size_t pos = find_token(line, type);
+      for (; pos != std::string_view::npos;
+           pos = find_token(line, type, pos + 1)) {
+        // Declarations only: `std::mutex name;` / `util::Mutex name;`.
+        const bool std_q = pos >= 5 && line.substr(pos - 5, 5) == "std::";
+        const bool util_q = pos >= 6 && line.substr(pos - 6, 6) == "util::";
+        if (!std_q && !util_q) continue;
+        std::size_t j = pos + type.size();
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        const std::size_t start = j;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        if (j == start) continue;  // util::MutexLock lock(mu_), casts, ...
+        const std::string name(line.substr(start, j - start));
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        if (j < line.size() && (line[j] == ';' || line[j] == '{')) {
+          decls.push_back(Decl{name, i + 1});
+        }
+      }
+    }
+  }
+  if (decls.empty()) return;
+
+  // Which mutex names appear inside a CADET_GUARDED_BY / PT_GUARDED_BY?
+  std::vector<std::string> guarded;
+  for (const std::string& raw_line : file.code) {
+    for (const auto macro : {std::string_view("CADET_GUARDED_BY"),
+                             std::string_view("CADET_PT_GUARDED_BY")}) {
+      std::size_t pos = find_token(raw_line, macro);
+      for (; pos != std::string_view::npos;
+           pos = find_token(raw_line, macro, pos + 1)) {
+        const std::size_t open = raw_line.find('(', pos + macro.size());
+        if (open == std::string::npos) continue;
+        for (std::string arg : call_args(raw_line, open)) {
+          std::erase_if(arg, [](char c) {
+            return std::isspace(static_cast<unsigned char>(c)) != 0;
+          });
+          guarded.push_back(std::move(arg));
+        }
+      }
+    }
+  }
+  for (const Decl& decl : decls) {
+    if (std::find(guarded.begin(), guarded.end(), decl.name) !=
+        guarded.end()) {
+      continue;
+    }
+    add(out, file, decl.line, "unannotated-mutex",
+        "mutex '" + decl.name +
+            "' guards no member: annotate the data it protects with "
+            "CADET_GUARDED_BY(" + decl.name +
+            ") (util/thread_annotations.h) so clang -Wthread-safety can "
+            "check the lock discipline");
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& rules() {
@@ -538,6 +898,18 @@ const std::vector<Rule>& rules() {
       {"obs-hot-path",
        "obs emit helpers must be noexcept and allocation-free", //
        check_obs_hot_path},
+      {"unordered-iteration",
+       "hash-order traversal inside the deterministic tiers", //
+       check_unordered_iteration},
+      {"pointer-keyed-order",
+       "pointer-keyed ordered containers / address comparisons", //
+       check_pointer_keyed_order},
+      {"thread-in-sim",
+       "threading primitives inside the deterministic tiers", //
+       check_thread_in_sim},
+      {"unannotated-mutex",
+       "mutex members must guard data via CADET_GUARDED_BY", //
+       check_unannotated_mutex},
   };
   return kRules;
 }
