@@ -35,6 +35,50 @@ inline constexpr double kUsageDecay = 0.96;
 /// Heavy-user threshold: this many standard deviations above the mean.
 inline constexpr double kUsageSigmaThreshold = 3.0;
 
+/// Relative floor on the heavy-user test: a device is only heavy when its
+/// score also exceeds this multiple of the median score. The MAD threshold
+/// alone is a pure spread test — under attacker-driven decay pressure the
+/// cohort's scores compress until honest Poisson double-fires clear
+/// median + 3 sigma even though they are barely above typical usage. The
+/// ratio floor pins "heavy" to "several times the typical user", which is
+/// what §III-C means by a heavy user. A zero median (idle network) keeps
+/// the stddev-fallback single-spike behaviour unchanged.
+inline constexpr double kUsageHeavyMedianRatio = 4.0;
+
+/// Consecutive over-threshold requests before the edge escalates from
+/// reserve-blocking to denying a heavy user outright. The instantaneous
+/// flag is noisy — an honest Poisson double-fire can cross the line for a
+/// packet or two, and in the first seconds of a run the whole cohort's
+/// scores are still near zero, so an early burst clears the relative
+/// floor easily — so full denial (which costs the client a retry-and-
+/// fallback round) waits for a sustained signal. Five consecutive
+/// over-line requests is ~10 s of sustained bursting for an honest-rate
+/// client but well under a second for a flooding attacker; and because
+/// strikes persist while a client is being denied (only a request judged
+/// normal resets them), a larger limit delays just the FIRST denial, not
+/// the steady-state policing.
+inline constexpr int kUsageHeavyStrikeLimit = 5;
+
+/// Full denial additionally requires the client to be OBSERVABLY fast:
+/// at least kUsageHeavyDenyWindow request arrivals whose measured rate is
+/// >= kUsageHeavyDenyMinRateHz. The EWMA score and its robust threshold
+/// are purely relative — under a regime change (an attack starting, the
+/// first seconds of a run) an honest client can sustain a heavy-looking
+/// relative episode for several requests — but wall-clock arrival rate is
+/// absolute: an honest device asks a few times a second at most, while
+/// flooding pays off only well above that. A client below the rate floor
+/// is at worst reserve-blocked (stage 1), never denied. Residual risk: an
+/// attacker throttled just under the floor evades denial, but at that
+/// rate it is within an order of magnitude of honest demand and the
+/// reserve + demand-estimator exclusion bound the damage.
+/// Sizing: at an honest ~0.5 Hz Poisson request rate, 12 arrivals inside
+/// 4.4 s (the span that reads as 2.5 Hz) is a ~1e-6 tail per window —
+/// negligible even across a 50-seed sweep of 36 honest clients — while
+/// any profitable flood sits at several Hz and fills the window in a few
+/// seconds.
+inline constexpr std::size_t kUsageHeavyDenyWindow = 12;
+inline constexpr double kUsageHeavyDenyMinRateHz = 2.5;
+
 // ---------------------------------------------------------------- penalty
 inline constexpr double kDropThresh = 10.0;
 inline constexpr double kMaxPenalty = 35.0;

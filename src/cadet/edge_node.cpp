@@ -147,16 +147,22 @@ std::vector<net::Outgoing> EdgeNode::on_packet(net::NodeId from,
     timing_state_ = h.finish();
     last_packet_at_ = now;
   }
+  // The usage clock (Eq. 1's per-packet decay) advances only on ACCEPTED
+  // work: recorded requests, sanity-passed uploads, server deliveries.
+  // Packets that die at a gate — malformed bytes, duplicates, penalty or
+  // sanity drops — must not tick it, because each gate is an
+  // attacker-reachable path: a garbage/retransmit flood would otherwise
+  // drive the whole cohort's scores toward zero until honest double-fires
+  // cross the (compressed) heavy threshold, recruiting the usage defense
+  // against the honest population (adversary harness, decay-clock attack).
   const auto packet = decode(data);
   if (!packet) {
-    usage_.tick();
     CADET_LOG_DEBUG << "edge " << config_.id << ": malformed packet from "
                     << from;
     return {};
   }
 
   if (packet->header.reg) {
-    usage_.tick();
     return handle_reg_packet(from, *packet, now);
   }
 
@@ -164,7 +170,6 @@ std::vector<net::Outgoing> EdgeNode::on_packet(net::NodeId from,
   // must not double-credit its device and a retransmitted request whose
   // first copy arrived must not be served twice.
   if (!replay_.accept(from, packet->header.seq)) {
-    usage_.tick();
     ctr_.dupes_dropped->inc();
     obs::span_event(now, "dupe_drop", "edge", config_.id,
                     obs::SpanTracker::global().lookup_seq(
@@ -180,7 +185,6 @@ std::vector<net::Outgoing> EdgeNode::on_packet(net::NodeId from,
   if (packet->header.req) {
     return handle_client_request(from, *packet, now);
   }
-  usage_.tick();
   return handle_client_upload(from, *packet, now);
 }
 
@@ -234,7 +238,10 @@ std::vector<net::Outgoing> EdgeNode::handle_client_upload(
   }
 
   // (4) accumulate in the upload buffer, optionally interleaved with
-  // locally harvested timing jitter (SVI-D3).
+  // locally harvested timing jitter (SVI-D3). Only now — past the penalty
+  // and sanity gates — does the packet advance the usage clock (see
+  // on_packet: gated packets must not drive cohort decay).
+  usage_.tick();
   ctr_.uploads_accepted->inc();
   buffer_contributors_.insert(client);
   util::append(upload_buffer_, packet.payload);
@@ -269,6 +276,19 @@ std::vector<net::Outgoing> EdgeNode::handle_client_upload(
   return out;
 }
 
+bool EdgeNode::sustained_fast(net::NodeId client) const {
+  const auto it = request_arrivals_.find(client);
+  if (it == request_arrivals_.end() ||
+      it->second.size() < kUsageHeavyDenyWindow) {
+    return false;  // too little history to establish a rate
+  }
+  const util::SimTime span = it->second.back() - it->second.front();
+  if (span <= 0) return true;  // whole window in one instant: a burst
+  const double rate_hz = static_cast<double>(kUsageHeavyDenyWindow - 1) /
+                         util::to_seconds(span);
+  return rate_hz >= kUsageHeavyDenyMinRateHz;
+}
+
 std::vector<net::Outgoing> EdgeNode::handle_client_request(
     net::NodeId client, const Packet& packet, util::SimTime now) {
   // Adopt the client's request root via the wire seq: the serve decision
@@ -286,8 +306,74 @@ std::vector<net::Outgoing> EdgeNode::handle_client_request(
   const std::size_t bytes =
       std::min<std::size_t>((packet.header.argument + 7) / 8,
                             cache_.capacity_bytes() - cache_.reserve_bytes());
+  // (Client retransmissions never reach this point: retries resend the
+  // same bytes under the same wire seq, so the replay gate above absorbs
+  // them — a retried request is scored and queued exactly once.)
+  // Heavy-user policing escalates in two stages. A request judged over
+  // the heavy line (instantaneous EWMA flag) is reserve-blocked, §III-C.
+  // Once a client has been over the line on kUsageHeavyStrikeLimit
+  // CONSECUTIVE requests it is denied outright: reserve-blocking alone
+  // is a leak — a fast requester still eats the open portion of every
+  // refill ahead of slower honest clients, each refill is repaid from
+  // the server pool, and the pool drains at the attacker's request rate
+  // (adversary harness, cache-inflation mix). The strike window keeps an
+  // honest Poisson double-fire (which can cross the line for a packet or
+  // two) from paying the full retry-and-fallback price, while a flooding
+  // attacker reaches the limit within a second.
+  //
+  // A DENIED packet dies at the gate and does NOT advance the usage
+  // clock (no record, no decay step). Eq. 1's per-packet decay is itself
+  // attackable: a flood of scored packets compresses every honest score
+  // toward zero, the robust threshold follows the compressed cohort, and
+  // honest double-fires start crossing it — the flood would recruit the
+  // defense against the honest population. Gated packets are "not
+  // processed", so the attacker's own score stays frozen above the line
+  // while the flood lasts, and only decays at the edge's organic packet
+  // rate once it stops.
+  const auto gate_deny = [&](int strikes) -> std::vector<net::Outgoing> {
+    ctr_.heavy_rejections->inc();
+    ++heavy_denied_[client];
+    obs::span_event(now, "heavy_deny", "edge", config_.id, root,
+                    {{"client", static_cast<double>(client)},
+                     {"bytes", static_cast<double>(bytes)},
+                     {"strikes", static_cast<double>(strikes)}});
+    return maybe_refill(0, now);
+  };
+  // Arrival-rate window: every request that reaches this gate (served,
+  // blocked, or denied) is an observed arrival. Denial requires the
+  // absolute rate floor in addition to the relative strike signal — see
+  // kUsageHeavyDenyMinRateHz in config.h.
+  {
+    auto& arrivals = request_arrivals_[client];
+    arrivals.push_back(now);
+    if (arrivals.size() > kUsageHeavyDenyWindow) arrivals.pop_front();
+  }
+  if (config_.heavy_denial_enabled) {
+    const auto struck = heavy_strikes_.find(client);
+    if (struck != heavy_strikes_.end() &&
+        struck->second >= kUsageHeavyStrikeLimit && usage_.is_heavy(client) &&
+        sustained_fast(client)) {
+      return gate_deny(struck->second);
+    }
+  }
+
   usage_.record(client, static_cast<double>(bytes));
-  note_demand(bytes, now);
+  const bool over = usage_.is_heavy(client);
+  int strikes = 0;
+  if (over) {
+    strikes = ++heavy_strikes_[client];
+  } else {
+    heavy_strikes_.erase(client);
+    // Over-line asks are excluded from the demand estimator, or phantom
+    // demand would size every refill.
+    note_demand(bytes, now);
+  }
+  if (config_.heavy_denial_enabled && over &&
+      strikes >= kUsageHeavyStrikeLimit && sustained_fast(client)) {
+    // Crossed the limit at flooding rate — denied from this packet on.
+    // The e2e path is gated too: it draws on the server pool directly.
+    return gate_deny(strikes);
+  }
 
   if (packet.header.end_to_end) {
     // Untrusted-edge mode: the cache holds plaintext this edge could read,
@@ -308,10 +394,8 @@ std::vector<net::Outgoing> EdgeNode::handle_client_request(
     return {{config_.server, std::move(datagram)}};
   }
 
-  const bool heavy = usage_.is_heavy(client);
-
   std::vector<net::Outgoing> out;
-  util::Bytes served = cache_.take(bytes, heavy);
+  util::Bytes served = cache_.take(bytes, over);
   cache_gauge_->set(static_cast<std::int64_t>(cache_.size_bytes()));
   if (!served.empty()) {
     ctr_.cache_hits->inc();
@@ -327,16 +411,18 @@ std::vector<net::Outgoing> EdgeNode::handle_client_request(
     cost_.add(cost::kCraftPacket);
     out.push_back(make_client_delivery(client, std::move(served), root));
   } else {
-    if (heavy && cache_.size_bytes() >= bytes) ctr_.heavy_rejections->inc();
+    if (over && cache_.size_bytes() >= bytes) ctr_.heavy_rejections->inc();
     ctr_.cache_misses->inc();
     obs::span_complete(now, "cache_miss", "edge", config_.id,
                        {root.trace, tracker.new_span()}, root.span,
                        {{"client", static_cast<double>(client)},
                         {"bytes", static_cast<double>(bytes)}});
-    pending_.push_back(PendingRequest{client, bytes, heavy, now, root});
+    pending_.push_back(PendingRequest{client, bytes, over, now, root});
   }
 
-  const auto refill = maybe_refill(bytes, now);
+  // Over-line asks must not inflate the refill size — refills are driven
+  // by the honest demand estimate plus honest misses only.
+  const auto refill = maybe_refill(over ? 0 : bytes, now);
   out.insert(out.end(), refill.begin(), refill.end());
   return out;
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -64,6 +65,10 @@ class EdgeNode {
     /// §VI-D3 mitigation: require contributions from at least this many
     /// distinct clients before forwarding the aggregate payload.
     std::size_t min_contributors = 1;
+    /// Stage-2 heavy-user policing: deny requests outright after
+    /// kUsageHeavyStrikeLimit consecutive over-line strikes at flooding
+    /// rate. Disabled = the paper prototype's reserve-blocking only.
+    bool heavy_denial_enabled = true;
     /// After this many consecutive failures to open sealed server data
     /// (e.g. the server restarted and lost the esk), the edge abandons its
     /// key and re-registers. 0 disables.
@@ -104,6 +109,17 @@ class EdgeNode {
   UsageTracker& usage() noexcept { return usage_; }
   PenaltyTable& penalty() noexcept { return penalty_; }
   CostMeter& cost() noexcept { return cost_; }
+  /// Requests queued awaiting a refill (heavy users are never queued).
+  std::size_t pending_requests() const noexcept { return pending_.size(); }
+  /// Requests from this client refused outright after sustained heavy
+  /// usage (strike escalation). Unlike UsageTracker::is_heavy — which is
+  /// an instantaneous, intentionally noisy flag — this counts actual
+  /// enforcement decisions and never resets, so it is the right signal
+  /// for "was this client ever policed as heavy".
+  std::uint64_t heavy_denials(net::NodeId client) const noexcept {
+    const auto it = heavy_denied_.find(client);
+    return it == heavy_denied_.end() ? 0 : it->second;
+  }
 
   struct Stats {
     std::uint64_t uploads_received = 0;
@@ -222,6 +238,19 @@ class EdgeNode {
     obs::SpanContext ctx;  // client request root (for delivery records)
   };
   std::deque<PendingRequest> pending_;
+  /// Consecutive requests judged over the heavy line, per client. While a
+  /// client is under kUsageHeavyStrikeLimit it is only reserve-blocked;
+  /// at the limit its requests are denied outright (see
+  /// handle_client_request). Ordered map: cadet-lint unordered-iteration.
+  std::map<net::NodeId, int> heavy_strikes_;
+  /// Total outright denials per client (monotone; see heavy_denials()).
+  std::map<net::NodeId, std::uint64_t> heavy_denied_;
+  /// Last kUsageHeavyDenyWindow request-arrival times per client, the
+  /// absolute rate signal gating full denial (see config.h).
+  std::map<net::NodeId, std::deque<util::SimTime>> request_arrivals_;
+  /// True when the client's recent arrivals establish a sustained rate at
+  /// or above kUsageHeavyDenyMinRateHz (a zero-span burst counts as fast).
+  bool sustained_fast(net::NodeId client) const;
   /// Cache lineage: one batch id per refill insert, debited on every take.
   ProvenanceLedger prov_;
   std::uint64_t refill_batch_ = 0;

@@ -40,6 +40,14 @@ double UsageTracker::score(DeviceId device) const {
   return it == scores_.end() ? 0.0 : it->second;
 }
 
+double UsageTracker::median() const {
+  if (scores_.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(scores_.size());
+  for (const auto& [id, score] : scores_) values.push_back(score);
+  return median_of(values);
+}
+
 double UsageTracker::heavy_threshold() const {
   if (scores_.empty()) return 0.0;
   std::vector<double> values;
@@ -66,7 +74,16 @@ double UsageTracker::heavy_threshold() const {
 
 bool UsageTracker::is_heavy(DeviceId device) const {
   const double threshold = heavy_threshold();
-  return threshold > 0.0 && score(device) > threshold;
+  if (threshold <= 0.0) return false;
+  const double s = score(device);
+  if (s <= threshold) return false;
+  // Relative floor: the MAD threshold is a spread test, and a cohort whose
+  // scores have been compressed by attacker-driven decay can put honest
+  // burst noise 3 MAD-sigmas out while it is still only ~2x the typical
+  // user. Require the score to also be a hard multiple of the median so
+  // "heavy" means "several times normal usage", not "least typical".
+  // Median 0 (idle network) keeps the stddev-fallback spike behaviour.
+  return s > kUsageHeavyMedianRatio * median();
 }
 
 void UsageTracker::track(DeviceId device) { scores_.emplace(device, 0.0); }

@@ -49,6 +49,13 @@ class UsageTracker {
   /// "3 standard deviations above the mean usage score").
   double heavy_threshold() const;
 
+  /// Median of all tracked devices' current scores (0 when none tracked).
+  double median() const;
+
+  /// Heavy iff score > heavy_threshold() AND score >
+  /// kUsageHeavyMedianRatio * median(): the MAD test catches outliers, the
+  /// median-ratio floor stops compressed-cohort false positives (an honest
+  /// burst that is 3 MAD-sigmas out but barely above typical usage).
   bool is_heavy(DeviceId device) const;
 
   /// Ensure a device is tracked (score 0) so it participates in the

@@ -1,0 +1,230 @@
+#include "testbed/adversary.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "entropy/sources.h"
+
+namespace cadet::testbed {
+
+const char* attack_name(AttackKind kind) noexcept {
+  switch (kind) {
+    case AttackKind::kFreeRider: return "free-rider";
+    case AttackKind::kPoisoner: return "poisoner";
+    case AttackKind::kCacheInflator: return "cache-inflator";
+    case AttackKind::kSybil: return "sybil";
+  }
+  return "unknown";
+}
+
+AttackerSpec AttackerSpec::free_rider() {
+  AttackerSpec s;
+  s.kind = AttackKind::kFreeRider;
+  s.request_rate_hz = 6.0;
+  s.request_bits = 2048;
+  s.rotate_period_s = 5.0;
+  return s;
+}
+
+AttackerSpec AttackerSpec::poisoner() {
+  AttackerSpec s;
+  s.kind = AttackKind::kPoisoner;
+  s.upload_rate_hz = 4.0;
+  s.upload_bytes = 96;
+  s.bias = 0.95;
+  return s;
+}
+
+AttackerSpec AttackerSpec::cache_inflator() {
+  AttackerSpec s;
+  s.kind = AttackKind::kCacheInflator;
+  s.request_rate_hz = 12.0;
+  s.request_bits = 2048;
+  return s;
+}
+
+AttackerSpec AttackerSpec::sybil(double activate_at_s) {
+  AttackerSpec s;
+  s.kind = AttackKind::kSybil;
+  s.request_rate_hz = 4.0;
+  s.request_bits = 1024;
+  s.activate_at_s = activate_at_s;
+  return s;
+}
+
+std::string AdversaryPlan::summary() const {
+  std::string out = "adversary seed=" + std::to_string(seed) + " attackers={";
+  bool first = true;
+  for (const auto& [idx, spec] : attackers) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(idx);
+    out += ':';
+    out += attack_name(spec.kind);
+  }
+  out += '}';
+  return out;
+}
+
+AdversaryDriver::AdversaryDriver(World& world, const AdversaryPlan& plan)
+    : world_(world), plan_(plan), rng_(plan.seed ^ 0xad7e25a1ULL) {}
+
+void AdversaryDriver::drive(util::SimTime start, util::SimTime until) {
+  auto& sim = world_.simulator();
+  for (const auto& [idx, spec] : plan_.attackers) {
+    if (spec.kind == AttackKind::kSybil) {
+      activate_sybil(idx, spec, until);
+      continue;
+    }
+    if (spec.request_rate_hz > 0.0) {
+      sim.schedule_at(start, [this, idx, spec, until]() {
+        schedule_next_request(idx, spec, until);
+      });
+    }
+    if (spec.upload_rate_hz > 0.0) {
+      sim.schedule_at(start, [this, idx, spec, until]() {
+        schedule_next_upload(idx, spec, until);
+      });
+    }
+    if (spec.rotate_period_s > 0.0) {
+      sim.schedule_at(start, [this, idx, spec, until]() {
+        schedule_rotation(idx, spec, until);
+      });
+    }
+  }
+}
+
+void AdversaryDriver::schedule_next_request(std::size_t idx, AttackerSpec spec,
+                                            util::SimTime until) {
+  auto& sim = world_.simulator();
+  const util::SimTime next =
+      sim.now() +
+      util::from_seconds(rng_.exponential(1.0 / spec.request_rate_hz));
+  if (next > until) return;
+  sim.schedule_at(next, [this, idx, spec, until]() {
+    ClientNode& client = world_.client(idx);
+    SimNode& node = world_.client_sim(idx);
+    ++stats_.requests_sent;
+    ++stats_.requests_by_attacker[idx];
+    node.post([this, &client, spec](util::SimTime t0) {
+      return client.request_entropy(
+          spec.request_bits, t0,
+          [this](util::BytesView data, util::SimTime) {
+            if (data.empty()) {
+              ++stats_.requests_denied;
+            } else {
+              ++stats_.requests_fulfilled;
+            }
+          });
+    });
+    schedule_next_request(idx, spec, until);
+  });
+}
+
+void AdversaryDriver::schedule_next_upload(std::size_t idx, AttackerSpec spec,
+                                           util::SimTime until) {
+  auto& sim = world_.simulator();
+  const util::SimTime next =
+      sim.now() +
+      util::from_seconds(rng_.exponential(1.0 / spec.upload_rate_hz));
+  if (next > until) return;
+  sim.schedule_at(next, [this, idx, spec, until]() {
+    ClientNode& client = world_.client(idx);
+    SimNode& node = world_.client_sim(idx);
+    ++stats_.uploads_sent;
+    ++stats_.uploads_by_attacker[idx];
+    util::Bytes payload = poison_payload(spec);
+    node.post([&client, payload = std::move(payload)](util::SimTime t0) {
+      return client.upload_entropy(payload, t0);
+    });
+    schedule_next_upload(idx, spec, until);
+  });
+}
+
+void AdversaryDriver::schedule_rotation(std::size_t idx, AttackerSpec spec,
+                                        util::SimTime until) {
+  auto& sim = world_.simulator();
+  const util::SimTime next =
+      sim.now() + util::from_seconds(spec.rotate_period_s);
+  if (next > until) return;
+  sim.schedule_at(next, [this, idx, spec, until]() {
+    ClientNode& client = world_.client(idx);
+    SimNode& node = world_.client_sim(idx);
+    ++stats_.token_rotations;
+    // A rotation is a full fresh registration under the same node id: a
+    // new init with the server (new csk + token), then a rereg with the
+    // edge (new cek). The usage and penalty tables key on the node id, so
+    // this must NOT shed any accumulated score — that is the defense the
+    // harness asserts.
+    node.post([this, &client, &node](util::SimTime t0) {
+      return client.begin_init(t0, [&client, &node](util::SimTime) {
+        node.post([&client](util::SimTime t1) {
+          return client.begin_rereg(t1);
+        });
+      });
+    });
+    schedule_rotation(idx, spec, until);
+  });
+}
+
+void AdversaryDriver::activate_sybil(std::size_t idx, AttackerSpec spec,
+                                     util::SimTime until) {
+  auto& sim = world_.simulator();
+  const util::SimTime at = std::max(
+      sim.now(), static_cast<util::SimTime>(
+                     util::from_seconds(spec.activate_at_s)));
+  sim.schedule_at(at, [this, idx, spec, until]() {
+    ClientNode& client = world_.client(idx);
+    SimNode& node = world_.client_sim(idx);
+    ++stats_.sybil_activations;
+    node.post([this, idx, spec, until, &client, &node](util::SimTime t0) {
+      return client.begin_init(
+          t0, [this, idx, spec, until, &client, &node](util::SimTime) {
+            node.post([this, idx, spec, until, &client](util::SimTime t1) {
+              return client.begin_rereg(
+                  t1, [this, idx, spec, until](util::SimTime) {
+                    schedule_next_request(idx, spec, until);
+                  });
+            });
+          });
+    });
+  });
+}
+
+util::Bytes AdversaryDriver::poison_payload(const AttackerSpec& spec) {
+  if (spec.patterned) {
+    return entropy::synth::patterned(spec.upload_bytes);
+  }
+  return entropy::synth::biased(rng_, spec.upload_bytes, spec.bias);
+}
+
+void register_clients_except_sybils(World& world, const AdversaryPlan& plan) {
+  auto& sim = world.simulator();
+  for (std::size_t i = 0; i < world.num_clients(); ++i) {
+    if (plan.is_sybil(i)) continue;
+    ClientNode& client = world.client(i);
+    world.client_sim(i).post(
+        [&client](util::SimTime now) { return client.begin_init(now); });
+  }
+  sim.run();
+  if (world.config().use_edge) {
+    for (std::size_t i = 0; i < world.num_clients(); ++i) {
+      if (plan.is_sybil(i)) continue;
+      ClientNode& client = world.client(i);
+      world.client_sim(i).post(
+          [&client](util::SimTime now) { return client.begin_rereg(now); });
+    }
+    sim.run();
+  }
+  for (std::size_t i = 0; i < world.num_clients(); ++i) {
+    if (plan.is_sybil(i)) continue;
+    if (!world.client(i).initialized()) {
+      throw std::runtime_error("adversary: client initialization failed");
+    }
+    if (world.config().use_edge && !world.client(i).reregistered()) {
+      throw std::runtime_error("adversary: client reregistration failed");
+    }
+  }
+}
+
+}  // namespace cadet::testbed

@@ -1,0 +1,138 @@
+// Seeded hostile-client driver for the adversarial economics suite
+// (ROADMAP item 3): behavior strategies that attack the paper's §IV–§V
+// defenses — the penalty table, the EWMA usage score, the edge reserve
+// cache, and the registration scheme. Like FaultPlan for network faults,
+// an AdversaryPlan is fully determined by its seed plus the attacker
+// assignments, so a failing adversary scenario replays exactly.
+//
+// Attack shapes (docs/ADVERSARIES.md):
+//   * free-rider        — floods entropy requests to inflate usage while
+//                         periodically rotating its reregistration token
+//                         (fresh init + rereg) hoping to shed the EWMA;
+//   * poisoner          — colluding producer uploading low-entropy batches
+//                         (Bernoulli-biased or fixed-pattern bytes) to
+//                         degrade the server pool;
+//   * cache inflator    — CAPnet-style phantom demand: max-size request
+//                         floods that drain the edge cache and inflate the
+//                         accounting without any real need;
+//   * sybil             — stays unregistered until a burst time, then
+//                         registers fresh and floods requests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "testbed/topology.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace cadet::testbed {
+
+enum class AttackKind { kFreeRider, kPoisoner, kCacheInflator, kSybil };
+
+const char* attack_name(AttackKind kind) noexcept;
+
+/// One hostile client's strategy. Presets encode the canonical mixes; every
+/// knob stays tunable so scenarios can scale the pressure.
+struct AttackerSpec {
+  AttackKind kind = AttackKind::kFreeRider;
+
+  /// Poisson rate of hostile entropy requests (free-rider / inflator /
+  /// sybil) and their size.
+  double request_rate_hz = 0.0;
+  std::uint16_t request_bits = 512;
+
+  /// Poisson rate of hostile uploads (poisoner) and their size.
+  double upload_rate_hz = 0.0;
+  std::size_t upload_bytes = 32;
+  /// Poison payload: Bernoulli bias of the uploaded bits, or a fixed
+  /// 0xaa/0x55 pattern when `patterned` (both fail the sanity battery —
+  /// the point is how fast the penalty table cuts the uploader off).
+  double bias = 0.95;
+  bool patterned = false;
+
+  /// Free-rider: rotate the reregistration token this often (0 = never).
+  /// A rotation is a fresh client init + edge rereg under the same node id.
+  double rotate_period_s = 0.0;
+
+  /// Sybil: remain unregistered until this sim time, then register and
+  /// start the request flood. Ignored for the other kinds.
+  double activate_at_s = 0.0;
+
+  static AttackerSpec free_rider();
+  static AttackerSpec poisoner();
+  static AttackerSpec cache_inflator();
+  static AttackerSpec sybil(double activate_at_s);
+};
+
+/// Which clients misbehave and how. The map is ordered by client index so
+/// scheduling order — and therefore the whole run — is deterministic.
+struct AdversaryPlan {
+  std::uint64_t seed = 1;
+  std::map<std::size_t, AttackerSpec> attackers;
+
+  bool is_attacker(std::size_t client_idx) const {
+    return attackers.find(client_idx) != attackers.end();
+  }
+  bool is_sybil(std::size_t client_idx) const {
+    const auto it = attackers.find(client_idx);
+    return it != attackers.end() && it->second.kind == AttackKind::kSybil;
+  }
+  /// One-line description (seed + per-attacker kinds) printed by failing
+  /// tests so a scenario can be reproduced from the log alone.
+  std::string summary() const;
+};
+
+/// Everything the hostile side did, split per attacker where the defense
+/// assertions need it (ordered maps: reports traverse them).
+struct AdversaryStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t requests_fulfilled = 0;
+  std::uint64_t requests_denied = 0;  // expired / resolved empty
+  std::uint64_t uploads_sent = 0;
+  std::uint64_t token_rotations = 0;
+  std::uint64_t sybil_activations = 0;
+  std::map<std::size_t, std::uint64_t> requests_by_attacker;
+  std::map<std::size_t, std::uint64_t> uploads_by_attacker;
+};
+
+/// Drives the hostile clients of a World according to an AdversaryPlan,
+/// mirroring WorkloadDriver for the honest side. All randomness derives
+/// from the plan seed.
+class AdversaryDriver {
+ public:
+  AdversaryDriver(World& world, const AdversaryPlan& plan);
+
+  /// Schedule every attacker in the plan on [start, until]. Sybil
+  /// attackers must NOT have been registered by the caller; they register
+  /// themselves at their activate_at_s.
+  void drive(util::SimTime start, util::SimTime until);
+
+  AdversaryStats& stats() noexcept { return stats_; }
+  const AdversaryPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void schedule_next_request(std::size_t idx, AttackerSpec spec,
+                             util::SimTime until);
+  void schedule_next_upload(std::size_t idx, AttackerSpec spec,
+                            util::SimTime until);
+  void schedule_rotation(std::size_t idx, AttackerSpec spec,
+                         util::SimTime until);
+  void activate_sybil(std::size_t idx, AttackerSpec spec,
+                      util::SimTime until);
+  util::Bytes poison_payload(const AttackerSpec& spec);
+
+  World& world_;
+  AdversaryPlan plan_;
+  util::Xoshiro256 rng_;
+  AdversaryStats stats_;
+};
+
+/// Register every client except the plan's sybils (which register
+/// themselves mid-run). Replicates World::register_clients() for a subset;
+/// throws if a non-sybil client fails to register.
+void register_clients_except_sybils(World& world, const AdversaryPlan& plan);
+
+}  // namespace cadet::testbed

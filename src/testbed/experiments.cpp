@@ -197,6 +197,11 @@ UsageTraceResult usage_score_trace(double duration_s, std::uint64_t seed) {
   config.clients_per_network = 8;
   config.profiles = {NetworkProfile::kBalanced};
   config.server_seed_bytes = 1 << 20;
+  // Fig. 8c traces the raw Eq. 1 score dynamics (rise during the burst,
+  // slow per-packet decay back under the threshold). The stage-2 denial
+  // gate would freeze the heavy clients' scores mid-burst — it is our
+  // hardening on top of the paper's prototype, so it is off here.
+  config.heavy_denial_enabled = false;
   World world(config);
   world.register_edges();
 

@@ -92,6 +92,7 @@ World::World(const TestbedConfig& config) : config_(config) {
       edge_config.refill_policy = config_.refill_policy;
       edge_config.inject_timing_entropy = config_.inject_timing_entropy;
       edge_config.min_contributors = config_.min_contributors;
+      edge_config.heavy_denial_enabled = config_.heavy_denial_enabled;
       edge_config.metrics = metrics_.get();
       // Timer work is routed through the node's own CPU queue so retries
       // pay processing cost like any other engine action.

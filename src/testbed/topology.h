@@ -54,6 +54,11 @@ struct TestbedConfig {
   RefillPolicy refill_policy = RefillPolicy::kFixedFraction;
   bool inject_timing_entropy = false;
   std::size_t min_contributors = 1;
+  /// Stage-2 heavy-user policing (outright denial after sustained
+  /// strikes at flooding rate). Off reproduces the paper's prototype,
+  /// which only reserve-blocks (§III-C) — the Fig. 8c score-trace
+  /// experiment needs the raw Eq. 1 dynamics.
+  bool heavy_denial_enabled = true;
   /// When set, every datagram crosses a FaultyTransport driven by this
   /// plan (chaos experiments); engines get retry timers either way.
   std::optional<net::FaultPlan> fault_plan;

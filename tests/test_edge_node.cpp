@@ -168,12 +168,28 @@ TEST(EdgeNode, HeavyUserBlockedFromReserve) {
   }
   ASSERT_LE(edge.cache().size_bytes(), 300u);
 
-  // The heavy user's modest request would dip into the reserve: queued,
-  // not served locally.
+  // The heavy user's modest request would dip into the reserve: blocked
+  // from it (queued for the next refill, not served locally).
   const auto before_hits = edge.stats().cache_hits;
   (void)edge.on_packet(2000, encode(Packet::data_request(512, false)), 0);
   EXPECT_EQ(edge.stats().cache_hits, before_hits);
   EXPECT_GE(edge.stats().heavy_rejections, 1u);
+  EXPECT_EQ(edge.heavy_denials(2000), 0u);
+
+  // Sustained over-line requests at flooding rate escalate from
+  // reserve-blocking to full denial: once the strike limit and the
+  // arrival-rate window (all these arrivals share one instant — a burst)
+  // are both satisfied, requests are refused outright, no longer queued.
+  const int flood = static_cast<int>(kUsageHeavyDenyWindow) +
+                    kUsageHeavyStrikeLimit;
+  for (int i = 0; i < flood && edge.heavy_denials(2000) == 0; ++i) {
+    (void)edge.on_packet(2000, encode(Packet::data_request(512, false)), 0);
+  }
+  ASSERT_GE(edge.heavy_denials(2000), 1u);
+  const auto before_pending = edge.pending_requests();
+  (void)edge.on_packet(2000, encode(Packet::data_request(512, false)), 0);
+  EXPECT_EQ(edge.stats().cache_hits, before_hits);
+  EXPECT_EQ(edge.pending_requests(), before_pending);
 
   // A regular user still gets served from the reserve.
   const auto out =
@@ -225,10 +241,44 @@ TEST(EdgeNode, SanityChecksCanBeDisabled) {
   EXPECT_EQ(edge.stats().uploads_accepted, 1u);
 }
 
-TEST(EdgeNode, MalformedPacketCountsAsTick) {
+// Adversary-harness finding (decay-clock attack): any attacker-reachable
+// gate that ticked the usage clock let a garbage or retransmit flood
+// compress every honest score toward zero until honest double-fires
+// crossed the shrunken heavy threshold. Gated packets are "not
+// processed" — they must not advance the clock.
+TEST(EdgeNode, GatedPacketsDoNotAdvanceUsageClock) {
   EdgeNode edge(edge_config());
-  const auto steps = edge.usage().steps();
+  util::Xoshiro256 rng(11);
+  // Malformed bytes die at the decode gate.
+  auto steps = edge.usage().steps();
   (void)edge.on_packet(1000, util::Bytes{0xff, 0xff}, 0);
+  EXPECT_EQ(edge.usage().steps(), steps);
+  // A duplicated packet (sequenced retransmission) dies at the replay
+  // gate. seq 0 would bypass dedup, so stamp one explicitly.
+  Packet req = Packet::data_request(512, false);
+  req.header.seq = 7;
+  const auto wire_req = encode(req);
+  (void)edge.on_packet(1000, wire_req, 0);
+  steps = edge.usage().steps();
+  (void)edge.on_packet(1000, wire_req, 0);
+  EXPECT_EQ(edge.usage().steps(), steps);
+  EXPECT_EQ(edge.stats().dupes_dropped, 1u);
+  // A sanity-rejected upload dies at the sanity gate.
+  const auto bad =
+      encode(Packet::data_upload(entropy::synth::biased(rng, 32, 0.85), false));
+  steps = edge.usage().steps();
+  (void)edge.on_packet(1001, bad, 0);
+  ASSERT_EQ(edge.stats().uploads_rejected_sanity, 1u);
+  EXPECT_EQ(edge.usage().steps(), steps);
+}
+
+// The flip side: accepted work does advance the clock, so scores still
+// decay at the edge's organic packet rate.
+TEST(EdgeNode, AcceptedUploadAdvancesUsageClock) {
+  EdgeNode edge(edge_config());
+  util::Xoshiro256 rng(12);
+  const auto steps = edge.usage().steps();
+  (void)edge.on_packet(1000, upload_from_client(rng), 0);
   EXPECT_EQ(edge.usage().steps(), steps + 1);
 }
 

@@ -163,5 +163,112 @@ TEST(PenaltyTable, RejectsInvalidConfig) {
   EXPECT_THROW(PenaltyTable{config}, std::invalid_argument);
 }
 
+// ---- property tests (adversarial economics suite) -------------------------
+
+TEST(PenaltyTableProperty, DropCurvesMonotoneAndBoundedOnAnyConfig) {
+  // Both curves, several (thresh, max) geometries: drop_percent must be 0
+  // below the threshold, bounded to [0, 1], and monotone nondecreasing —
+  // a delinquent device can never LOWER its drop rate by getting worse.
+  const double geometries[][2] = {{10, 35}, {5, 20}, {0.5, 3.5}, {10, 11}};
+  for (const auto curve : {DropCurve::kLinear, DropCurve::kSigmoid}) {
+    for (const auto& g : geometries) {
+      PenaltyConfig config;
+      config.drop_thresh = g[0];
+      config.max_penalty = g[1];
+      config.curve = curve;
+      PenaltyTable table(config);
+      SCOPED_TRACE((curve == DropCurve::kLinear ? "linear " : "sigmoid ") +
+                   std::to_string(g[0]) + ".." + std::to_string(g[1]));
+
+      double prev = 0.0;
+      const double span = g[1] - g[0];
+      for (int step = -20; step <= 220; ++step) {
+        const double p = g[0] + span * (static_cast<double>(step) / 200.0);
+        const double d = table.drop_percent(p);
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 1.0);
+        if (p < g[0]) {
+          EXPECT_EQ(d, 0.0);
+        } else {
+          EXPECT_GE(d, prev);
+          prev = d;
+        }
+      }
+      // Midpoint pins the two curves together; the endpoints tell them
+      // apart: linear saturates at a hard 100 %, the sigmoid never does.
+      EXPECT_NEAR(table.drop_percent((g[0] + g[1]) / 2.0), 0.5, 1e-9);
+      if (curve == DropCurve::kLinear) {
+        EXPECT_DOUBLE_EQ(table.drop_percent(g[1]), 1.0);
+        EXPECT_DOUBLE_EQ(table.drop_percent(g[1] + span), 1.0);
+      } else {
+        // 1/(1+e^-5) regardless of geometry (scale = span/10).
+        EXPECT_NEAR(table.drop_percent(g[1]), 0.99330714, 1e-6);
+        EXPECT_LT(table.drop_percent(g[1] + span), 1.0);
+      }
+    }
+  }
+}
+
+TEST(PenaltyTableProperty, ScoreInvariantsHoldUnderRandomSequences) {
+  // Seeded random upload outcomes across all three Table I schemes: the
+  // score can never go negative, and the delinquent/blacklist predicates
+  // always agree with the score against the configured thresholds.
+  util::Xoshiro256 rng(0xbadc0de5);
+  for (const PenaltyScheme& scheme :
+       {PenaltyScheme::base(), PenaltyScheme::loose(),
+        PenaltyScheme::strict()}) {
+    PenaltyConfig config;
+    config.scheme = scheme;
+    PenaltyTable table(config);
+    SCOPED_TRACE(scheme.name);
+    for (int i = 0; i < 5000; ++i) {
+      const PenaltyTable::DeviceId device =
+          static_cast<PenaltyTable::DeviceId>(rng.uniform(4));
+      table.record_result(device, static_cast<int>(rng.uniform(7)));
+      const double s = table.score(device);
+      ASSERT_GE(s, 0.0);
+      ASSERT_EQ(table.is_delinquent(device), s >= config.drop_thresh);
+      ASSERT_EQ(table.is_blacklisted(device), s >= config.max_penalty);
+    }
+  }
+}
+
+TEST(PenaltyTableProperty, LinearBlacklistIsPermanentUnderProtocol) {
+  // Under the protocol discipline (a packet is only scored if the
+  // pre-inspection gate let it through), the linear curve's blacklist is
+  // forever: every later packet is dropped before it can redeem points,
+  // even a perfect one.
+  PenaltyTable table;
+  for (int i = 0; i < 7; ++i) table.record_result(9, 0);  // 7 x +5 = 35
+  ASSERT_TRUE(table.is_blacklisted(9));
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    if (!table.should_drop(9, rng)) table.record_result(9, 6);
+  }
+  EXPECT_TRUE(table.is_blacklisted(9));
+  EXPECT_DOUBLE_EQ(table.score(9), 35.0);
+}
+
+TEST(PenaltyTableProperty, SigmoidAllowsEventualRedemptionUnderProtocol) {
+  // Same discipline under the sigmoid curve: the ~0.7 % acceptance sliver
+  // at max penalty lets a genuinely reformed device claw its way back
+  // below the drop threshold, which the linear curve forbids.
+  PenaltyConfig config;
+  config.curve = DropCurve::kSigmoid;
+  PenaltyTable table(config);
+  for (int i = 0; i < 7; ++i) table.record_result(9, 0);
+  ASSERT_TRUE(table.is_blacklisted(9));
+  util::Xoshiro256 rng(12);
+  int attempts = 0;
+  const int kAttemptBound = 200000;  // ~25 accepted-and-redeemed needed
+  while (table.is_delinquent(9) && attempts < kAttemptBound) {
+    ++attempts;
+    if (!table.should_drop(9, rng)) table.record_result(9, 6);
+  }
+  EXPECT_FALSE(table.is_delinquent(9))
+      << "still delinquent after " << attempts << " perfect uploads";
+  EXPECT_LT(table.score(9), config.drop_thresh);
+}
+
 }  // namespace
 }  // namespace cadet

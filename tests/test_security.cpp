@@ -222,5 +222,82 @@ TEST(ThreatModel, PassiveCaptureOfInitDoesNotYieldCsk) {
   }
 }
 
+TEST(TokenRotation, ReregistrationDoesNotResetPenaltyOrEscapeBlacklist) {
+  // The free-rider/poisoner evasion the adversary suite attacks head-on:
+  // a device that rotated its registration token (fresh init + rereg under
+  // the same node id) must carry its penalty score, delinquency band, and
+  // usage score across the rotation — the tables key on the device, not
+  // the token.
+  TappedWorld w(41);
+  util::Xoshiro256 rng(42);
+  w.server.seed_pool(rng.bytes(4096));
+  w.pump.pump(w.edge.begin_edge_reg(0), w.edge.id());
+  w.pump.pump(w.client.begin_init(0), w.client.id());
+  w.pump.pump(w.client.begin_rereg(0), w.client.id());
+  ASSERT_TRUE(w.client.reregistered());
+
+  // Build up usage (accepted requests tick the clock and accrue score)...
+  util::SimTime now = util::kSecond;
+  for (int i = 0; i < 4; ++i) {
+    now += util::kSecond;
+    w.pump.pump(w.client.request_entropy(256, now, {}), w.client.id(), now);
+  }
+  ASSERT_GT(w.edge.usage().score(w.client.id()), 0.0);
+
+  // ...and a delinquent penalty score with patterned poison uploads.
+  const util::Bytes poison = entropy::synth::patterned(96);
+  int uploads = 0;
+  while (!w.edge.penalty().is_delinquent(w.client.id()) && uploads < 40) {
+    ++uploads;
+    now += util::kSecond;
+    w.pump.pump(w.client.upload_entropy(poison, now), w.client.id(), now);
+  }
+  ASSERT_TRUE(w.edge.penalty().is_delinquent(w.client.id()));
+  const double penalty_before = w.edge.penalty().score(w.client.id());
+  const double usage_before = w.edge.usage().score(w.client.id());
+  ASSERT_GT(usage_before, 0.0);
+
+  // Rotate the token: a full fresh registration under the same node id.
+  now += util::kSecond;
+  w.pump.pump(w.client.begin_init(now), w.client.id(), now);
+  now += util::kSecond;
+  w.pump.pump(w.client.begin_rereg(now), w.client.id(), now);
+  ASSERT_TRUE(w.client.reregistered());
+
+  // Nothing shed: penalty exactly preserved, still delinquent, and the
+  // usage score untouched (registration packets do not advance the usage
+  // clock, so rotation cannot even decay it).
+  EXPECT_DOUBLE_EQ(w.edge.penalty().score(w.client.id()), penalty_before);
+  EXPECT_TRUE(w.edge.penalty().is_delinquent(w.client.id()));
+  EXPECT_DOUBLE_EQ(w.edge.usage().score(w.client.id()), usage_before);
+
+  // Keep poisoning through the random-drop band until blacklisted.
+  while (!w.edge.penalty().is_blacklisted(w.client.id()) && uploads < 100) {
+    ++uploads;
+    now += util::kSecond;
+    w.pump.pump(w.client.upload_entropy(poison, now), w.client.id(), now);
+  }
+  ASSERT_TRUE(w.edge.penalty().is_blacklisted(w.client.id()))
+      << "not blacklisted after " << uploads << " poison uploads";
+  const double blacklist_score = w.edge.penalty().score(w.client.id());
+
+  // Rotating again does not open the gate: still blacklisted, and a
+  // post-rotation upload dies at the penalty gate without being scored.
+  now += util::kSecond;
+  w.pump.pump(w.client.begin_init(now), w.client.id(), now);
+  now += util::kSecond;
+  w.pump.pump(w.client.begin_rereg(now), w.client.id(), now);
+  ASSERT_TRUE(w.client.reregistered());
+  EXPECT_TRUE(w.edge.penalty().is_blacklisted(w.client.id()));
+  EXPECT_DOUBLE_EQ(w.edge.penalty().score(w.client.id()), blacklist_score);
+
+  const std::uint64_t dropped_before =
+      w.edge.stats().uploads_dropped_penalty;
+  now += util::kSecond;
+  w.pump.pump(w.client.upload_entropy(poison, now), w.client.id(), now);
+  EXPECT_EQ(w.edge.stats().uploads_dropped_penalty, dropped_before + 1);
+  EXPECT_DOUBLE_EQ(w.edge.penalty().score(w.client.id()), blacklist_score);
+}
+
 }  // namespace
 }  // namespace cadet

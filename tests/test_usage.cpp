@@ -146,5 +146,94 @@ TEST(UsageTracker, TrackIsIdempotent) {
   EXPECT_EQ(tracker.tracked_count(), 1u);
 }
 
+// ---- edge cases (adversarial economics suite) -----------------------------
+
+TEST(UsageTracker, AllEqualNonzeroScoresNobodyHeavy) {
+  // MAD degenerates to 0 when every score is identical but NONZERO. The
+  // stddev fallback is also 0, so threshold == median — and with the
+  // strict > comparison plus the median-ratio floor, a perfectly uniform
+  // cohort can never flag anyone, no matter the load level.
+  UsageTracker tracker(1.0, 3.0);  // no decay: scores stay exactly equal
+  for (std::uint32_t c = 1; c <= 8; ++c) tracker.track(c);
+  for (std::uint32_t c = 1; c <= 8; ++c) {
+    // One batch per device on a decay-free tracker: all end equal.
+    tracker.record(c, 64.0);
+  }
+  for (std::uint32_t c = 1; c <= 8; ++c) {
+    ASSERT_DOUBLE_EQ(tracker.score(c), 64.0);
+  }
+  EXPECT_DOUBLE_EQ(tracker.median(), 64.0);
+  for (std::uint32_t c = 1; c <= 8; ++c) {
+    EXPECT_FALSE(tracker.is_heavy(c)) << "client " << c;
+  }
+}
+
+TEST(UsageTracker, SingleDeviceIsItsOwnCohort) {
+  // With one tracked device, median == score and MAD == 0: the device can
+  // never exceed a threshold derived from itself. A lone client on an
+  // edge must not be flagged heavy for merely being the only one active.
+  UsageTracker tracker(0.96, 3.0);
+  for (int i = 0; i < 500; ++i) tracker.record(1, 2048.0);
+  EXPECT_GT(tracker.score(1), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.median(), tracker.score(1));
+  EXPECT_FALSE(tracker.is_heavy(1));
+}
+
+TEST(UsageTracker, ScoreExactlyAtThresholdIsNotHeavy) {
+  // is_heavy demands score STRICTLY above the threshold (and above the
+  // median-ratio floor); a score sitting exactly on the line stays
+  // regular. Decay-free tracker so the hand-built distribution holds.
+  UsageTracker tracker(1.0, 3.0);
+  // Cohort {10, 10, 10, 10, 10}: median 10, MAD 0, stddev 0 -> threshold
+  // exactly 10, and a device at exactly 10 is not heavy.
+  for (std::uint32_t c = 1; c <= 5; ++c) tracker.record(c, 10.0);
+  // record() decays nothing at decay=1.0, so all five scores are 10.
+  ASSERT_DOUBLE_EQ(tracker.heavy_threshold(), 10.0);
+  for (std::uint32_t c = 1; c <= 5; ++c) {
+    EXPECT_DOUBLE_EQ(tracker.score(c), 10.0);
+    EXPECT_FALSE(tracker.is_heavy(c)) << "client " << c;
+  }
+}
+
+TEST(UsageTracker, LongTickOnlyGapDecaysEverybodyToEpsilon) {
+  // A long stretch of usage-free steps (infrastructure packets only) must
+  // drain every score toward zero without ever creating a heavy flag —
+  // the regime an attacker tried to force by flooding no-usage packets
+  // before the usage clock was gated to accepted work.
+  UsageTracker tracker(0.96, 3.0);
+  for (std::uint32_t c = 1; c <= 8; ++c) tracker.record(c, 64.0);
+  const double before = tracker.score(1);
+  for (int i = 0; i < 2000; ++i) {
+    tracker.tick();
+    for (std::uint32_t c = 1; c <= 8; ++c) {
+      ASSERT_FALSE(tracker.is_heavy(c)) << "step " << i << " client " << c;
+    }
+  }
+  EXPECT_LT(tracker.score(1), before * 1e-9);
+  EXPECT_LT(tracker.heavy_threshold(), 1e-6);
+  // A single fresh request in the drained cohort is the stddev-fallback
+  // regime again; the median-ratio floor alone decides, and one 64-byte
+  // request against an epsilon cohort IS an outlier — but the scores all
+  // being epsilon, enforcement elsewhere (the rate floor) is what keeps
+  // this from denying honest clients. Here we only pin the decay math.
+  EXPECT_EQ(tracker.steps(), 2008u);
+}
+
+TEST(UsageTracker, MedianRatioFloorStopsCompressedCohortFlags) {
+  // A device 3 MAD-sigmas out but within kUsageHeavyMedianRatio x median
+  // must NOT be heavy: tight cohorts (tiny MAD) would otherwise flag
+  // ordinary fluctuation. Cohort {100 x7, 130}: median 100, threshold
+  // 100 + 3*1.4826*0 (MAD 0) -> stddev fallback; either way 130 < 400 so
+  // the ratio floor keeps it regular.
+  UsageTracker tracker(1.0, 3.0);
+  for (std::uint32_t c = 1; c <= 7; ++c) tracker.record(c, 100.0);
+  tracker.record(8, 130.0);
+  EXPECT_FALSE(tracker.is_heavy(8));
+  // Push it past 4x the median: now both the MAD test and the ratio floor
+  // agree and the flag fires.
+  tracker.record(8, 300.0);  // score 430 > 4 * 100
+  EXPECT_TRUE(tracker.is_heavy(8));
+}
+
 }  // namespace
 }  // namespace cadet

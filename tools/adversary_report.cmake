@@ -1,0 +1,34 @@
+# Chains cadet_sim --adversary-mix into cadet_report --check --adversary:
+# the hostile trace must yield a policed-attacker section that passes the
+# defense checks, and an all-honest trace must FAIL the same checks (the
+# negative leg — a report that cannot tell the two apart is useless).
+# Invoked by the cli_cadet_report_adversary test with -DSIM=<binary>,
+# -DREPORT=<binary> and -DOUT=<scratch dir>.
+execute_process(
+  COMMAND ${SIM} --duration 30 --adversary-mix free-riders --seed 11
+          --trace-out ${OUT}/adv_trace.jsonl
+  RESULT_VARIABLE r1 OUTPUT_QUIET)
+if(NOT r1 EQUAL 0)
+  message(FATAL_ERROR "cadet_sim adversary run failed (${r1})")
+endif()
+execute_process(
+  COMMAND ${REPORT} ${OUT}/adv_trace.jsonl --check --adversary
+          --out ${OUT}/adv_report.txt
+  RESULT_VARIABLE r2)
+if(NOT r2 EQUAL 0)
+  message(FATAL_ERROR "--check --adversary failed on a hostile trace (${r2})")
+endif()
+execute_process(
+  COMMAND ${SIM} --duration 30 --networks 1 --clients 4 --seed 11
+          --trace-out ${OUT}/honest_trace.jsonl
+  RESULT_VARIABLE r3 OUTPUT_QUIET)
+if(NOT r3 EQUAL 0)
+  message(FATAL_ERROR "cadet_sim honest run failed (${r3})")
+endif()
+execute_process(
+  COMMAND ${REPORT} ${OUT}/honest_trace.jsonl --check --adversary
+          --out ${OUT}/honest_report.txt
+  RESULT_VARIABLE r4 ERROR_QUIET)
+if(r4 EQUAL 0)
+  message(FATAL_ERROR "--check --adversary passed on an all-honest trace")
+endif()

@@ -15,6 +15,8 @@
 //   cadet_sim --duration 120 --trace-out t.jsonl --metrics-out m.prom
 //   cadet_report t.jsonl --metrics m.prom --check
 //   cadet_report t.jsonl --html report.html
+//   cadet_sim --adversary-mix free-riders --trace-out adv.jsonl
+//   cadet_report adv.jsonl --check --adversary
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -41,6 +43,7 @@ struct Options {
   std::string html_path;     // optional HTML report
   std::string out_path;      // optional text report file ("" = stdout)
   bool check = false;        // trace/metrics disagreement is fatal
+  bool adversary = false;    // hostile-client policing section
   std::string validate_path;  // standalone exposition lint (no trace)
 };
 
@@ -51,6 +54,10 @@ void usage(const char* argv0) {
       "  --metrics FILE  Prometheus snapshot to join (cadet_sim"
       " --metrics-out)\n"
       "  --check         exit non-zero if trace and metrics disagree\n"
+      "  --adversary     add the hostile-client section: per-attacker\n"
+      "                  policing timelines + honest-vs-hostile service\n"
+      "                  split; with --check, exit non-zero unless the\n"
+      "                  attackers were policed (see docs/ADVERSARIES.md)\n"
       "  --html FILE     also write a self-contained HTML report\n"
       "  --out FILE      write the text report to FILE instead of stdout\n"
       "  --validate-metrics FILE  parse a Prometheus exposition (e.g. a\n"
@@ -75,6 +82,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.validate_path = next();
     } else if (arg == "--check") {
       opt.check = true;
+    } else if (arg == "--adversary") {
+      opt.adversary = true;
     } else if (arg == "--html") {
       opt.html_path = next();
     } else if (arg == "--out") {
@@ -122,6 +131,7 @@ int validate_metrics(const std::string& path) {
 
 /// One reconstructed request trace (root span "request" on the client).
 struct RequestTrace {
+  std::uint64_t node = 0;  // requesting client id
   double begin_s = 0.0;
   double end_s = 0.0;
   std::string outcome;     // reply | fallback | request_expired | (open)
@@ -149,10 +159,13 @@ struct TraceDigest {
   std::uint64_t cache_misses = 0;
   std::uint64_t e2e_forwards = 0;
 
-  // Upload policing events over time (edge + any tier that emits them).
+  // Policing events over time (edge + any tier that emits them), with the
+  // device they hit — penalty_drop / sanity_reject on the upload path,
+  // heavy_deny on the request path.
   struct Policing {
     double ts_s;
-    std::string name;  // penalty_drop | sanity_reject
+    std::string name;  // penalty_drop | sanity_reject | heavy_deny
+    std::uint64_t client;
   };
   std::vector<Policing> policing;
 
@@ -197,6 +210,7 @@ bool digest_trace(const std::string& path, TraceDigest& digest) {
 
     if (e.name == "request" && e.tier == "client" && e.phase == 'B') {
       RequestTrace req;
+      req.node = e.node;
       req.begin_s = e.ts_s;
       open_requests[e.trace] = req;
     } else if (e.tier == "client" && e.phase == 'E') {
@@ -231,8 +245,11 @@ bool digest_trace(const std::string& path, TraceDigest& digest) {
       ++digest.uploads;
     } else if (e.name == "bulk_upload") {
       ++digest.bulk_uploads;
-    } else if (e.name == "penalty_drop" || e.name == "sanity_reject") {
-      digest.policing.push_back({e.ts_s, e.name});
+    } else if (e.name == "penalty_drop" || e.name == "sanity_reject" ||
+               e.name == "heavy_deny") {
+      digest.policing.push_back(
+          {e.ts_s, e.name,
+           static_cast<std::uint64_t>(e.attr("client", 0.0))});
     } else if (e.name == "slo_alert" || e.name == "slo_clear") {
       digest.slo_transitions.push_back({e.ts_s, e.name == "slo_alert",
                                         e.attr("rule", -1.0),
@@ -414,22 +431,147 @@ struct Funnel {
   std::uint64_t open = 0;
 };
 
+void funnel_add(Funnel& f, const RequestTrace& req) {
+  ++f.sent;
+  if (req.retries > 0) ++f.retried;
+  if (req.outcome == "reply") {
+    (req.retries > 0 ? f.retry_reply : f.first_try) += 1;
+  } else if (req.outcome == "fallback") {
+    ++f.fallback;
+  } else if (req.outcome == "request_expired") {
+    ++f.expired;
+  } else {
+    ++f.open;
+  }
+}
+
 Funnel funnel_of(const TraceDigest& digest) {
   Funnel f;
-  for (const auto& req : digest.requests) {
-    ++f.sent;
-    if (req.retries > 0) ++f.retried;
-    if (req.outcome == "reply") {
-      (req.retries > 0 ? f.retry_reply : f.first_try) += 1;
-    } else if (req.outcome == "fallback") {
-      ++f.fallback;
-    } else if (req.outcome == "request_expired") {
-      ++f.expired;
-    } else {
-      ++f.open;
-    }
-  }
+  for (const auto& req : digest.requests) funnel_add(f, req);
   return f;
+}
+
+double ratio(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+// ---- adversary section (--adversary) ----
+
+/// A client is called hostile once it was denied as a heavy user at least
+/// once or accumulated this many upload-policing events. Honest devices do
+/// trip the sanity battery occasionally (its false-positive base rate), so
+/// a handful of rejects alone is not hostile.
+constexpr std::uint64_t kHostilePolicingFloor = 5;
+
+/// Per-policed-client defense activity reconstructed from the trace.
+struct PolicedClient {
+  std::uint64_t client = 0;
+  std::uint64_t penalty = 0;  // penalty_drop events
+  std::uint64_t sanity = 0;   // sanity_reject events
+  std::uint64_t heavy = 0;    // heavy_deny events
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  std::vector<std::uint64_t> buckets;  // policing events per time bucket
+  std::uint64_t total() const { return penalty + sanity + heavy; }
+  bool hostile() const {
+    return heavy > 0 || penalty + sanity >= kHostilePolicingFloor;
+  }
+};
+
+struct AdversarySection {
+  std::vector<PolicedClient> rows;  // sorted by client id
+  Funnel honest;                    // requests from never-hostile clients
+  Funnel hostile;                   // requests from hostile clients
+  std::size_t honest_clients = 0;   // distinct requesters per class
+  std::size_t hostile_clients = 0;  // (poisoners never request: rows only)
+};
+
+AdversarySection adversary_section_of(const TraceDigest& digest,
+                                      std::size_t buckets = 24) {
+  AdversarySection section;
+  const double span = std::max(digest.last_ts - digest.first_ts, 1e-9);
+  std::map<std::uint64_t, PolicedClient> by_client;
+  for (const auto& event : digest.policing) {
+    PolicedClient& row = by_client[event.client];
+    if (row.buckets.empty()) {
+      row.client = event.client;
+      row.buckets.assign(buckets, 0);
+      row.first_ts = event.ts_s;
+    }
+    row.first_ts = std::min(row.first_ts, event.ts_s);
+    row.last_ts = std::max(row.last_ts, event.ts_s);
+    if (event.name == "penalty_drop") {
+      ++row.penalty;
+    } else if (event.name == "sanity_reject") {
+      ++row.sanity;
+    } else {
+      ++row.heavy;
+    }
+    std::size_t i = static_cast<std::size_t>(
+        (event.ts_s - digest.first_ts) / span * static_cast<double>(buckets));
+    if (i >= buckets) i = buckets - 1;
+    ++row.buckets[i];
+  }
+
+  std::map<std::uint64_t, bool> is_hostile;
+  for (const auto& [id, row] : by_client) {
+    is_hostile[id] = row.hostile();
+    section.rows.push_back(row);
+  }
+  std::map<std::uint64_t, bool> requested;
+  for (const auto& req : digest.requests) {
+    const auto it = is_hostile.find(req.node);
+    const bool hostile = it != is_hostile.end() && it->second;
+    funnel_add(hostile ? section.hostile : section.honest, req);
+    requested[req.node] = hostile;
+  }
+  for (const auto& [id, hostile] : requested) {
+    (hostile ? section.hostile_clients : section.honest_clients) += 1;
+  }
+  return section;
+}
+
+/// ASCII density timeline for one policed client, scaled to `peak`.
+std::string spark_of(const std::vector<std::uint64_t>& buckets,
+                     std::uint64_t peak) {
+  static const char kLevels[] = " .:-=+*#%@";
+  std::string out;
+  for (const std::uint64_t n : buckets) {
+    const std::size_t level =
+        n == 0 ? 0 : 1 + n * 8 / std::max<std::uint64_t>(peak, 1);
+    out += kLevels[std::min<std::size_t>(level, 9)];
+  }
+  return out;
+}
+
+/// The defense claims --check enforces on an --adversary report. Empty
+/// means the trace shows the economics holding.
+std::vector<std::string> adversary_problems(const AdversarySection& s) {
+  std::vector<std::string> problems;
+  if (s.rows.empty()) {
+    problems.push_back(
+        "no policing events in trace: defenses never engaged (is this an"
+        " adversarial run?)");
+    return problems;
+  }
+  std::uint64_t hostile_rows = 0;
+  for (const auto& row : s.rows) hostile_rows += row.hostile() ? 1 : 0;
+  if (hostile_rows == 0) {
+    problems.push_back(
+        "no client crossed the hostile policing floor: attackers were"
+        " never cut off");
+  }
+  const std::uint64_t honest_ok = s.honest.first_try + s.honest.retry_reply;
+  const std::uint64_t hostile_ok =
+      s.hostile.first_try + s.hostile.retry_reply;
+  if (s.hostile.sent > 0 && s.honest.sent > 0 &&
+      ratio(hostile_ok, s.hostile.sent) >= ratio(honest_ok, s.honest.sent)) {
+    problems.push_back(
+        "hostile clients were served at least as well as honest ones:"
+        " the usage defenses did not bite");
+  }
+  return problems;
 }
 
 /// Policing events bucketed over the run (for the timeline).
@@ -442,7 +584,11 @@ struct TimelineBucket {
 std::vector<TimelineBucket> policing_timeline(const TraceDigest& digest,
                                               std::size_t buckets = 20) {
   std::vector<TimelineBucket> timeline;
-  if (digest.policing.empty() || digest.last_ts <= digest.first_ts) {
+  bool any_upload_policing = false;
+  for (const auto& event : digest.policing) {
+    if (event.name != "heavy_deny") any_upload_policing = true;
+  }
+  if (!any_upload_policing || digest.last_ts <= digest.first_ts) {
     return timeline;
   }
   const double span = digest.last_ts - digest.first_ts;
@@ -454,6 +600,7 @@ std::vector<TimelineBucket> policing_timeline(const TraceDigest& digest,
                                           static_cast<double>(buckets);
   }
   for (const auto& event : digest.policing) {
+    if (event.name == "heavy_deny") continue;  // request path, not uploads
     std::size_t i = static_cast<std::size_t>(
         (event.ts_s - digest.first_ts) / span * static_cast<double>(buckets));
     if (i >= buckets) i = buckets - 1;
@@ -463,16 +610,12 @@ std::vector<TimelineBucket> policing_timeline(const TraceDigest& digest,
   return timeline;
 }
 
-double ratio(std::uint64_t part, std::uint64_t whole) {
-  return whole == 0 ? 0.0
-                    : static_cast<double>(part) / static_cast<double>(whole);
-}
-
 // ---- text report ----
 
 std::string text_report(const TraceDigest& digest,
                         const MetricsDigest& metrics,
-                        std::uint64_t mismatches) {
+                        std::uint64_t mismatches,
+                        const AdversarySection* adversary) {
   std::string out;
   char buf[256];
   const auto add = [&](const char* fmt, auto... args) {
@@ -550,6 +693,42 @@ std::string text_report(const TraceDigest& digest,
     }
   }
 
+  if (adversary != nullptr) {
+    add("\n--- adversary: policed clients ---\n");
+    if (adversary->rows.empty()) {
+      add("(no policing events in trace)\n");
+    }
+    std::uint64_t peak = 1;
+    for (const auto& row : adversary->rows) {
+      for (const std::uint64_t n : row.buckets) peak = std::max(peak, n);
+    }
+    for (const auto& row : adversary->rows) {
+      add("client %6llu [%s] |%s| penalty %5llu sanity %5llu heavy %5llu"
+          "  %.1f..%.1f s\n",
+          static_cast<unsigned long long>(row.client),
+          row.hostile() ? "hostile" : "honest ",
+          spark_of(row.buckets, peak).c_str(),
+          static_cast<unsigned long long>(row.penalty),
+          static_cast<unsigned long long>(row.sanity),
+          static_cast<unsigned long long>(row.heavy), row.first_ts,
+          row.last_ts);
+    }
+    const std::uint64_t honest_ok =
+        adversary->honest.first_try + adversary->honest.retry_reply;
+    const std::uint64_t hostile_ok =
+        adversary->hostile.first_try + adversary->hostile.retry_reply;
+    add("service split: honest %zu client(s) %llu/%llu fulfilled (%.1f%%)"
+        ", hostile %zu client(s) %llu/%llu fulfilled (%.1f%%)\n",
+        adversary->honest_clients,
+        static_cast<unsigned long long>(honest_ok),
+        static_cast<unsigned long long>(adversary->honest.sent),
+        100.0 * ratio(honest_ok, adversary->honest.sent),
+        adversary->hostile_clients,
+        static_cast<unsigned long long>(hostile_ok),
+        static_cast<unsigned long long>(adversary->hostile.sent),
+        100.0 * ratio(hostile_ok, adversary->hostile.sent));
+  }
+
   if (!digest.slo_transitions.empty()) {
     add("\n--- watchdog alert timeline ---\n");
     for (const auto& t : digest.slo_transitions) {
@@ -603,6 +782,7 @@ void html_escape(std::string& out, const std::string& text) {
 std::string html_report(const TraceDigest& digest,
                         const MetricsDigest& metrics,
                         std::uint64_t mismatches,
+                        const AdversarySection* adversary,
                         const std::string& trace_path) {
   std::string out;
   char buf[512];
@@ -719,6 +899,51 @@ std::string html_report(const TraceDigest& digest,
     out += "</table>\n";
   }
 
+  if (adversary != nullptr) {
+    out += "<h2>Adversary: policed clients</h2>\n";
+    if (adversary->rows.empty()) {
+      out += "<p>(no policing events in trace)</p>\n";
+    } else {
+      std::uint64_t peak = 1;
+      for (const auto& row : adversary->rows) {
+        peak = std::max(peak, row.total());
+      }
+      out += "<table>\n<tr><th class=l>client</th><th class=l>class</th>"
+             "<th>penalty drops</th><th>sanity rejects</th>"
+             "<th>heavy denials</th><th class=l>window (s)</th>"
+             "<th class=l></th></tr>\n";
+      for (const auto& row : adversary->rows) {
+        add("<tr><td class=l>%llu</td><td class=l>%s</td><td>%llu</td>"
+            "<td>%llu</td><td>%llu</td><td class=l>%.1f&ndash;%.1f</td>"
+            "<td class=l><span class=bar style=\"width:%.0fpx\"></span>"
+            "</td></tr>\n",
+            static_cast<unsigned long long>(row.client),
+            row.hostile() ? "<span class=bad>hostile</span>"
+                          : "<span class=ok>honest</span>",
+            static_cast<unsigned long long>(row.penalty),
+            static_cast<unsigned long long>(row.sanity),
+            static_cast<unsigned long long>(row.heavy), row.first_ts,
+            row.last_ts, 150.0 * ratio(row.total(), peak));
+      }
+      out += "</table>\n";
+    }
+    const std::uint64_t honest_ok =
+        adversary->honest.first_try + adversary->honest.retry_reply;
+    const std::uint64_t hostile_ok =
+        adversary->hostile.first_try + adversary->hostile.retry_reply;
+    add("<p>service split: honest %zu client(s) %llu/%llu fulfilled"
+        " (%.1f%%), hostile %zu client(s) %llu/%llu fulfilled"
+        " (%.1f%%)</p>\n",
+        adversary->honest_clients,
+        static_cast<unsigned long long>(honest_ok),
+        static_cast<unsigned long long>(adversary->honest.sent),
+        100.0 * ratio(honest_ok, adversary->honest.sent),
+        adversary->hostile_clients,
+        static_cast<unsigned long long>(hostile_ok),
+        static_cast<unsigned long long>(adversary->hostile.sent),
+        100.0 * ratio(hostile_ok, adversary->hostile.sent));
+  }
+
   if (metrics.loaded) {
     out += "<h2>Trace vs metrics</h2>\n<table>\n"
            "<tr><th class=l>measure</th><th>trace</th><th>metrics</th>"
@@ -772,7 +997,11 @@ int main(int argc, char** argv) {
     if (digest.e2e_forwards != metrics.e2e_forwarded) ++mismatches;
   }
 
-  const std::string text = text_report(digest, metrics, mismatches);
+  AdversarySection adversary;
+  if (opt.adversary) adversary = adversary_section_of(digest);
+  const AdversarySection* adv = opt.adversary ? &adversary : nullptr;
+
+  const std::string text = text_report(digest, metrics, mismatches, adv);
   if (opt.out_path.empty()) {
     std::fputs(text.c_str(), stdout);
   } else if (!obs::write_file(opt.out_path, text)) {
@@ -781,15 +1010,23 @@ int main(int argc, char** argv) {
 
   if (!opt.html_path.empty()) {
     const std::string html =
-        html_report(digest, metrics, mismatches, opt.trace_path);
+        html_report(digest, metrics, mismatches, adv, opt.trace_path);
     if (!obs::write_file(opt.html_path, html)) return 2;
     std::fprintf(stderr, "html report -> %s\n", opt.html_path.c_str());
   }
 
+  int rc = 0;
   if (opt.check && metrics.loaded && mismatches > 0) {
     std::fprintf(stderr, "cadet_report --check: %llu mismatch(es)\n",
                  static_cast<unsigned long long>(mismatches));
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (opt.check && opt.adversary) {
+    for (const auto& problem : adversary_problems(adversary)) {
+      std::fprintf(stderr, "cadet_report --check --adversary: %s\n",
+                   problem.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }

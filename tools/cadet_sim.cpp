@@ -10,6 +10,7 @@
 //   cadet_sim --profiles consumer,producer --refill adaptive
 //   cadet_sim --servers 2 --exchange 10 --bad-fraction 0.3
 //   cadet_sim --no-edge                        # Fig. 10's W/O baseline
+//   cadet_sim --adversary-mix poisoners        # hostile clients attack
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
@@ -22,6 +23,7 @@
 
 #include "net/faulty_transport.h"
 #include "nist/battery.h"
+#include "testbed/adversary.h"
 #include "obs/admin.h"
 #include "obs/export.h"
 #include "obs/flight.h"
@@ -72,6 +74,13 @@ struct Options {
   std::vector<std::string> slo_rules;  // parse_slo_rule specs / "default"
   double slo_interval_s = 1.0;         // sim-time tick period
   double self_sigint_s = 0.0;  // test hook: raise SIGINT at sim time T
+
+  // Adversarial economics (docs/ADVERSARIES.md). A non-empty mix turns the
+  // top --adversary-count clients of every network hostile.
+  std::string adversary_mix;         // "" = no attackers
+  std::size_t adversary_count = 2;   // attackers per network
+  double adversary_rotate = 0.0;     // free-rider token rotation (0 = preset)
+  double adversary_burst_at = 0.0;   // sybil activation time (0 = duration/3)
 
   // Fault injection (docs/FAULT_INJECTION.md). Any non-default value puts
   // a FaultyTransport on every link.
@@ -125,6 +134,14 @@ void usage(const char* argv0) {
       "                      (default 1.0)\n"
       "  --self-sigint T     raise SIGINT at sim time T (signal-path test\n"
       "                      hook)\n"
+      "  --adversary-mix M   turn the top clients of every network hostile:\n"
+      "                      free-riders | poisoners | cache-inflation |\n"
+      "                      sybil-burst (docs/ADVERSARIES.md)\n"
+      "  --adversary-count N attackers per network (default 2)\n"
+      "  --adversary-rotate S  free-rider token-rotation period in seconds\n"
+      "                      (default: preset)\n"
+      "  --adversary-burst-at T  sybil activation time in seconds\n"
+      "                      (default: duration/3)\n"
       "  --fault-drop P      drop each datagram with probability P\n"
       "  --fault-dup P       duplicate each datagram with probability P\n"
       "  --fault-reorder P   delay (reorder) datagrams with probability P\n"
@@ -216,6 +233,14 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.slo_interval_s = std::strtod(next(), nullptr);
     } else if (arg == "--self-sigint") {
       opt.self_sigint_s = std::strtod(next(), nullptr);
+    } else if (arg == "--adversary-mix") {
+      opt.adversary_mix = next();
+    } else if (arg == "--adversary-count") {
+      opt.adversary_count = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--adversary-rotate") {
+      opt.adversary_rotate = std::strtod(next(), nullptr);
+    } else if (arg == "--adversary-burst-at") {
+      opt.adversary_burst_at = std::strtod(next(), nullptr);
     } else if (arg == "--fault-drop") {
       opt.fault_drop = std::strtod(next(), nullptr);
     } else if (arg == "--fault-dup") {
@@ -250,7 +275,62 @@ bool parse(int argc, char** argv, Options& opt) {
     std::fprintf(stderr, "networks, clients, servers, duration must be > 0\n");
     return false;
   }
+  if (!opt.adversary_mix.empty()) {
+    if (opt.adversary_mix != "free-riders" && opt.adversary_mix != "poisoners" &&
+        opt.adversary_mix != "cache-inflation" &&
+        opt.adversary_mix != "sybil-burst") {
+      std::fprintf(stderr,
+                   "--adversary-mix must be free-riders, poisoners, "
+                   "cache-inflation, or sybil-burst (got '%s')\n",
+                   opt.adversary_mix.c_str());
+      return false;
+    }
+    if (!opt.use_edge) {
+      std::fprintf(stderr,
+                   "--adversary-mix needs the edge tier (the policing under "
+                   "attack lives there); drop --no-edge\n");
+      return false;
+    }
+    if (opt.adversary_count == 0 || opt.adversary_count >= opt.clients) {
+      std::fprintf(stderr,
+                   "--adversary-count must be in [1, clients-1] so every "
+                   "network keeps at least one honest client\n");
+      return false;
+    }
+  }
   return true;
+}
+
+/// Same attacker placement as the test harness: the top --adversary-count
+/// indices of every network turn hostile, leaving the low indices honest.
+AdversaryPlan build_adversary_plan(const Options& opt) {
+  AdversaryPlan plan;
+  plan.seed = opt.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (std::size_t net = 0; net < opt.networks; ++net) {
+    for (std::size_t a = 0; a < opt.adversary_count; ++a) {
+      const std::size_t idx = net * opt.clients + (opt.clients - 1 - a);
+      AttackerSpec spec;
+      if (opt.adversary_mix == "free-riders") {
+        spec = AttackerSpec::free_rider();
+        if (opt.adversary_rotate > 0.0) {
+          spec.rotate_period_s = opt.adversary_rotate;
+        }
+      } else if (opt.adversary_mix == "poisoners") {
+        spec = AttackerSpec::poisoner();
+        // Colluders alternate payload styles, like the test harness.
+        spec.patterned = (a % 2 == 1);
+      } else if (opt.adversary_mix == "cache-inflation") {
+        spec = AttackerSpec::cache_inflator();
+      } else {
+        const double at = opt.adversary_burst_at > 0.0
+                              ? opt.adversary_burst_at
+                              : opt.duration_s / 3.0;
+        spec = AttackerSpec::sybil(at);
+      }
+      plan.attackers[idx] = spec;
+    }
+  }
+  return plan;
 }
 
 std::vector<NetworkProfile> parse_profiles(const std::string& list,
@@ -369,11 +449,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool adversarial = !opt.adversary_mix.empty();
+  AdversaryPlan adversary_plan;
+  if (adversarial) adversary_plan = build_adversary_plan(opt);
+
   // Register over a clean network, then arm the faults for the workload
   // (same discipline as the chaos harness; registration robustness has its
-  // own retry machinery and tests).
+  // own retry machinery and tests). Adversary runs register the clients up
+  // front too — except sybils, which register themselves at burst time.
   if (world.faults() != nullptr) world.faults()->set_enabled(false);
   if (opt.use_edge) world.register_edges();
+  if (adversarial) register_clients_except_sybils(world, adversary_plan);
   if (world.faults() != nullptr) world.faults()->set_enabled(true);
 
   std::printf("cadet_sim: %zu network(s) x %zu client(s), %zu server(s), "
@@ -393,11 +479,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     world.faults()->plan().seed));
   }
+  if (adversarial) {
+    std::printf("  adversary: %s, %zu attacker(s)/network (%zu total)\n",
+                opt.adversary_mix.c_str(), opt.adversary_count,
+                adversary_plan.attackers.size());
+  }
   std::printf("\n");
 
   WorkloadDriver driver(world, opt.seed + 1);
   const util::SimTime t_end = util::from_seconds(opt.duration_s);
   for (std::size_t i = 0; i < world.num_clients(); ++i) {
+    // Hostile clients follow their AttackerSpec, not the network profile.
+    if (adversarial && adversary_plan.is_attacker(i)) continue;
     ClientBehavior behavior =
         ClientBehavior::for_profile(world.profile_of(i));
     // Optionally make the first client of each network a misbehaving
@@ -408,6 +501,11 @@ int main(int argc, char** argv) {
       behavior.bad_fraction = opt.bad_fraction;
     }
     driver.drive(i, behavior, 0, t_end);
+  }
+  std::unique_ptr<AdversaryDriver> hostile;
+  if (adversarial) {
+    hostile = std::make_unique<AdversaryDriver>(world, adversary_plan);
+    hostile->drive(0, t_end);
   }
   if (opt.exchange_period_s > 0.0) {
     world.start_pool_exchange(opt.exchange_period_s, 2048, opt.duration_s);
@@ -558,6 +656,29 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.uploads_accepted),
           static_cast<unsigned long long>(stats.uploads_rejected_sanity),
           static_cast<unsigned long long>(stats.uploads_dropped_penalty));
+    }
+  }
+
+  if (hostile) {
+    const AdversaryStats& a = hostile->stats();
+    std::printf("\n--- adversary (%s) ---\n", opt.adversary_mix.c_str());
+    std::printf("hostile requests: %llu sent, %llu fulfilled, %llu denied | "
+                "uploads %llu, token rotations %llu, sybil activations %llu\n",
+                static_cast<unsigned long long>(a.requests_sent),
+                static_cast<unsigned long long>(a.requests_fulfilled),
+                static_cast<unsigned long long>(a.requests_denied),
+                static_cast<unsigned long long>(a.uploads_sent),
+                static_cast<unsigned long long>(a.token_rotations),
+                static_cast<unsigned long long>(a.sybil_activations));
+    for (const auto& [idx, spec] : adversary_plan.attackers) {
+      EdgeNode& e = world.edge(idx / opt.clients);
+      const net::NodeId cid = client_id(idx);
+      std::printf("  client %3zu (%-14s): penalty %5.1f%s | usage %s, "
+                  "%llu heavy denial(s)\n",
+                  idx, attack_name(spec.kind), e.penalty().score(cid),
+                  e.penalty().is_blacklisted(cid) ? " BLACKLISTED" : "",
+                  e.usage().is_heavy(cid) ? "heavy" : "normal",
+                  static_cast<unsigned long long>(e.heavy_denials(cid)));
     }
   }
 

@@ -12,9 +12,16 @@
 // times), so the same seeds produce byte-identical reports at any -j —
 // which is exactly what the cli_cadet_sweep_determinism test pins.
 //
+// With --adversary the sweep swaps the chaos scenarios for the hostile
+// client mixes (free-riders, poisoners, cache inflation, sybil bursts —
+// rotating per seed like the adversary test suite) and checks the defense
+// invariants instead: honest clients never blacklisted or denied as heavy,
+// poisoners always cut off, request floods always policed.
+//
 // Examples:
 //   cadet_sweep --seeds 50 -j 8
 //   cadet_sweep --seeds 100:120 --horizon 30 --json sweep.json
+//   cadet_sweep --adversary --seeds 50 -j 8
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -27,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "adversary_harness.h"
 #include "chaos_harness.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -45,6 +53,7 @@ struct Options {
   std::string json_out;
   std::string trace_out;  // single-seed span trace (forces one seed, -j 1)
   bool quiet = false;
+  bool adversary = false;  // hostile-client mixes instead of network chaos
 };
 
 struct SeedResult {
@@ -57,6 +66,12 @@ struct SeedResult {
   std::uint64_t pending = 0;
   std::uint64_t dupes_dropped = 0;
   std::uint64_t faults_injected = 0;
+  // --adversary mode only.
+  std::string mix;
+  std::uint64_t heavy_rejections = 0;
+  std::uint64_t penalty_drops = 0;
+  std::uint64_t sanity_rejects = 0;
+  std::uint64_t blacklisted = 0;
   bool ok = true;
   std::string violation;
 };
@@ -70,6 +85,9 @@ void usage(const char* argv0) {
       "  --json FILE         write a deterministic JSON report\n"
       "  --trace-out FILE    write the span trace as JSONL (single seed\n"
       "                      only: the tracer is one-world-per-process)\n"
+      "  --adversary         sweep hostile-client mixes (rotating per seed)\n"
+      "                      against the defense invariants instead of\n"
+      "                      network chaos (docs/ADVERSARIES.md)\n"
       "  --quiet             summary only\n",
       argv0);
 }
@@ -104,6 +122,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.json_out = next();
     } else if (arg == "--trace-out") {
       opt.trace_out = next();
+    } else if (arg == "--adversary") {
+      opt.adversary = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -156,6 +176,76 @@ SeedResult run_seed(std::uint64_t seed, double horizon_s) {
   return out;
 }
 
+SeedResult run_adversary_seed(std::uint64_t seed, double horizon_s) {
+  adversary::ScenarioConfig cfg = adversary::mix_for_seed(seed);
+  if (horizon_s > 0.0) cfg.horizon_s = horizon_s;
+  const adversary::ScenarioResult r = adversary::run_scenario(cfg);
+
+  SeedResult out;
+  out.seed = seed;
+  out.mix = adversary::mix_name(cfg.mix);
+  out.sent = r.honest_requests_sent;
+  out.fulfilled = r.honest_fulfilled;
+  out.fallback = r.honest_fallback;
+  out.expired = r.honest_expired;
+  out.pending = r.honest_pending + r.hostile_pending;
+  out.heavy_rejections = r.heavy_rejections;
+  out.penalty_drops = r.uploads_dropped_penalty;
+  out.sanity_rejects = r.uploads_rejected_sanity;
+  for (const auto& [idx, blacklisted] : r.attacker_blacklisted) {
+    (void)idx;
+    if (blacklisted) ++out.blacklisted;
+  }
+
+  // The adversary suite's absolute defense invariants. (The 5%-of-baseline
+  // service bound needs a second, all-honest run per seed, so it stays in
+  // the ctest suite; the sweep checks everything checkable from one run.)
+  auto fail = [&out](const char* why) {
+    if (out.ok) {
+      out.ok = false;
+      out.violation = why;
+    }
+  };
+  if (out.pending != 0) fail("pending != 0 after drain");
+  if (r.honest_requests_sent !=
+      r.honest_fulfilled + r.honest_fallback + r.honest_expired) {
+    fail("honest requests_sent != fulfilled + fallback + expired");
+  }
+  if (r.hostile_requests_sent !=
+      r.hostile_fulfilled + r.hostile_fallback + r.hostile_expired) {
+    fail("hostile requests_sent != fulfilled + fallback + expired");
+  }
+  if (r.honest_requests_sent == 0) fail("no honest requests sent");
+  if (r.honest_blacklisted) fail("honest client blacklisted");
+  if (r.honest_heavy) fail("honest client denied as heavy");
+  if (r.honest_delinquent > 2) fail("honest delinquency above base rate");
+  switch (cfg.mix) {
+    case adversary::AttackMix::kFreeRiders:
+    case adversary::AttackMix::kCacheInflation:
+      if (r.heavy_rejections == 0) fail("request flood never policed");
+      for (const auto& [idx, heavy] : r.attacker_heavy) {
+        (void)idx;
+        if (!heavy) fail("attacker evaded heavy detection");
+      }
+      break;
+    case adversary::AttackMix::kPoisoners:
+      if (out.blacklisted != r.attacker_blacklisted.size()) {
+        fail("poisoner evaded the blacklist");
+      }
+      if (r.uploads_rejected_sanity == 0) fail("no sanity rejections");
+      if (r.uploads_dropped_penalty == 0) fail("no penalty drops");
+      break;
+    case adversary::AttackMix::kSybilBurst:
+      if (r.adversary.sybil_activations !=
+          cfg.num_networks * cfg.attackers_per_network) {
+        fail("sybil burst did not fully activate");
+      }
+      if (r.hostile_requests_sent == 0) fail("sybils never flooded");
+      break;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,7 +291,9 @@ int main(int argc, char** argv) {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1);
       if (i >= count) return;
-      results[i] = run_seed(opt.seed_begin + i, opt.horizon_s);
+      results[i] = opt.adversary
+                       ? run_adversary_seed(opt.seed_begin + i, opt.horizon_s)
+                       : run_seed(opt.seed_begin + i, opt.horizon_s);
     }
   };
 
@@ -228,6 +320,21 @@ int main(int argc, char** argv) {
   for (const SeedResult& r : results) {
     if (!r.ok) ++failures;
     if (opt.quiet) continue;
+    if (opt.adversary) {
+      std::printf("seed %6llu [%-15s]: honest %5llu/%5llu fulfilled | "
+                  "heavy-rej %5llu, penalty-drop %4llu, sanity-rej %4llu, "
+                  "blacklisted %llu%s%s\n",
+                  static_cast<unsigned long long>(r.seed), r.mix.c_str(),
+                  static_cast<unsigned long long>(r.fulfilled),
+                  static_cast<unsigned long long>(r.sent),
+                  static_cast<unsigned long long>(r.heavy_rejections),
+                  static_cast<unsigned long long>(r.penalty_drops),
+                  static_cast<unsigned long long>(r.sanity_rejects),
+                  static_cast<unsigned long long>(r.blacklisted),
+                  r.ok ? "" : "  VIOLATION: ",
+                  r.ok ? "" : r.violation.c_str());
+      continue;
+    }
     std::printf("seed %6llu: sent %5llu = %5llu fulfilled + %4llu fallback "
                 "+ %4llu expired | %5llu retries, %4llu dupes dropped, "
                 "%6llu faults%s%s\n",
@@ -247,10 +354,34 @@ int main(int argc, char** argv) {
               static_cast<double>(count) / wall_s);
 
   if (!opt.json_out.empty()) {
-    std::string json = "{\n  \"tool\": \"cadet_sweep\",\n  \"seeds\": [\n";
-    char line[256];
+    std::string json = "{\n  \"tool\": \"cadet_sweep\",\n  \"mode\": \"";
+    json += opt.adversary ? "adversary" : "chaos";
+    json += "\",\n  \"seeds\": [\n";
+    char line[320];
     for (std::size_t i = 0; i < results.size(); ++i) {
       const SeedResult& r = results[i];
+      if (opt.adversary) {
+        std::snprintf(
+            line, sizeof line,
+            "    {\"seed\": %llu, \"mix\": \"%s\", \"sent\": %llu, "
+            "\"fulfilled\": %llu, \"fallback\": %llu, \"expired\": %llu, "
+            "\"pending\": %llu, \"heavy_rejections\": %llu, "
+            "\"penalty_drops\": %llu, \"sanity_rejects\": %llu, "
+            "\"blacklisted\": %llu, \"ok\": %s}%s\n",
+            static_cast<unsigned long long>(r.seed), r.mix.c_str(),
+            static_cast<unsigned long long>(r.sent),
+            static_cast<unsigned long long>(r.fulfilled),
+            static_cast<unsigned long long>(r.fallback),
+            static_cast<unsigned long long>(r.expired),
+            static_cast<unsigned long long>(r.pending),
+            static_cast<unsigned long long>(r.heavy_rejections),
+            static_cast<unsigned long long>(r.penalty_drops),
+            static_cast<unsigned long long>(r.sanity_rejects),
+            static_cast<unsigned long long>(r.blacklisted),
+            r.ok ? "true" : "false", i + 1 < results.size() ? "," : "");
+        json += line;
+        continue;
+      }
       std::snprintf(
           line, sizeof line,
           "    {\"seed\": %llu, \"sent\": %llu, \"fulfilled\": %llu, "
