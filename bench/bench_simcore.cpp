@@ -35,6 +35,11 @@
 #include <utility>
 #include <vector>
 
+#ifdef __linux__
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
 #include "crypto/chacha20.h"
 #include "crypto/sha256.h"
 #include "net/sim_transport.h"
@@ -45,10 +50,12 @@
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "testbed/scale.h"
 #include "testbed/topology.h"
 #include "testbed/workload.h"
 #include "util/buffer_pool.h"
 #include "util/rng.h"
+#include "util/task_pool.h"
 #include "util/time.h"
 
 namespace {
@@ -59,6 +66,36 @@ double now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Current (not peak) resident set in bytes; 0 where unsupported. Used for
+/// before/after deltas around a single large construction, where the
+/// page-granular error is small against the megabytes being measured.
+double current_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long total = 0;
+  long resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(sysconf(_SC_PAGESIZE));
+#else
+  return 0.0;
+#endif
+}
+
+/// Peak resident set in MB over the process lifetime; 0 where unsupported.
+double peak_rss_mb() {
+#ifdef __linux__
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KB
+#else
+  return 0.0;
+#endif
 }
 
 // ---------------------------------------------------------------------------
@@ -678,6 +715,9 @@ int main(int argc, char** argv) {
     }
     const unsigned cores = std::thread::hardware_concurrency();
     put(metrics, "metrics_contention_cores", static_cast<double>(cores));
+    // Lets a JSON reader distinguish "the 10x floor held" from "the floor
+    // could not be measured here" without re-deriving the core rule.
+    put(metrics, "sharded_counter_gate_measurable", cores >= 4 ? 1.0 : 0.0);
     put(metrics, "shared_counter_ops_per_sec", shared_best);
     put(metrics, "sharded_counter_ops_per_sec", sharded_best);
     put(metrics, "sharded_counter_speedup", sharded_best / shared_best);
@@ -685,6 +725,12 @@ int main(int argc, char** argv) {
                 "-> %.2fx (8 threads, %u core(s))\n",
                 sharded_best, shared_best, sharded_best / shared_best,
                 cores);
+    if (cores < 4) {
+      std::printf("WARNING    : %u core(s) < 4 — the 8 writers time-slice, "
+                  "so the sharded-counter contention floor cannot be "
+                  "measured; --check will SKIP (not pass) that gate\n",
+                  cores);
+    }
   }
 
   // ---- HDR histogram: record throughput + quantile accuracy ----
@@ -763,6 +809,110 @@ int main(int argc, char** argv) {
                 off, on, 100.0 * overhead);
   }
 
+  // ---- sharded scale world (BENCH_7: the million-client path) ----
+  // Quick mode runs 100k clients, full mode the ROADMAP's 1M. The section
+  // reports simulated-event throughput, the exact struct-of-arrays
+  // bytes/client (ScaleWorld::memory_bytes), process peak RSS, and the
+  // shrink factor against the per-node World's measured RSS footprint at
+  // the same construction point — the before/after the SoA refactor claims.
+  {
+    // Determinism cross-check first, small and cheap: -j1 and -j4 must
+    // produce byte-identical traces or every number below is suspect.
+    {
+      testbed::ScaleConfig cfg;
+      cfg.seed = 77;
+      cfg.num_clients = 20000;
+      cfg.clients_per_edge = 512;
+      cfg.duration_s = 2.0;
+      cfg.drop_prob = 0.02;
+      cfg.flooder_fraction = 0.005;
+      cfg.bad_uploader_fraction = 0.1;
+      testbed::ScaleWorld sequential(cfg);
+      const std::uint64_t seq_events = sequential.run();
+      testbed::ScaleWorld pooled(cfg);
+      util::TaskPool pool(4);
+      const std::uint64_t pool_events = pooled.run(
+          [&pool](std::size_t count,
+                  const std::function<void(std::size_t)>& task) {
+            pool.run(count, task);
+          });
+      if (sequential.checksum() != pooled.checksum() ||
+          seq_events != pool_events) {
+        std::fprintf(stderr,
+                     "FATAL: sharded trace diverged between -j1 and -j4 "
+                     "(checksum %llx vs %llx)\n",
+                     static_cast<unsigned long long>(sequential.checksum()),
+                     static_cast<unsigned long long>(pooled.checksum()));
+        return 3;
+      }
+    }
+
+    // Legacy footprint: RSS delta across constructing a per-node World
+    // with 2048 clients (32 networks x 64). RSS is the honest measure for
+    // the old side — its state is scattered across nodes, buffers, and
+    // crypto contexts with no exact accounting hook.
+    double legacy_bytes_per_client = 0.0;
+    {
+      const std::size_t kLegacyClients = 2048;
+      const double rss_before = current_rss_bytes();
+      testbed::TestbedConfig config;
+      config.num_networks = 32;
+      config.clients_per_network = kLegacyClients / 32;
+      config.profiles.assign(config.num_networks,
+                             testbed::NetworkProfile::kBalanced);
+      config.server_seed_bytes = 1 << 20;
+      testbed::World world(config);
+      world.register_edges();
+      const double rss_after = current_rss_bytes();
+      if (rss_after > rss_before) {
+        legacy_bytes_per_client =
+            (rss_after - rss_before) / static_cast<double>(kLegacyClients);
+      }
+    }
+
+    testbed::ScaleConfig cfg;
+    cfg.seed = 42;
+    cfg.num_clients = quick ? 100'000 : 1'000'000;
+    cfg.clients_per_edge = 1024;
+    cfg.duration_s = quick ? 5.0 : 10.0;
+    cfg.drop_prob = 0.02;
+    cfg.flooder_fraction = 0.002;
+    cfg.bad_uploader_fraction = 0.05;
+    testbed::ScaleWorld world(cfg);
+    util::TaskPool pool(std::max(1u, std::thread::hardware_concurrency()));
+    const double t0 = now_s();
+    const std::uint64_t events = world.run(
+        [&pool](std::size_t count,
+                const std::function<void(std::size_t)>& task) {
+          pool.run(count, task);
+        });
+    const double elapsed = now_s() - t0;
+    const double bytes_per_client =
+        static_cast<double>(world.memory_bytes()) /
+        static_cast<double>(world.num_clients());
+    const double eps = static_cast<double>(events) / elapsed;
+    put(metrics, "scale_clients", static_cast<double>(world.num_clients()));
+    put(metrics, "scale_shards", static_cast<double>(world.num_shards()));
+    put(metrics, "scale_events", static_cast<double>(events));
+    put(metrics, "scale_events_per_sec", eps);
+    put(metrics, "scale_bytes_per_client", bytes_per_client);
+    put(metrics, "scale_legacy_bytes_per_client", legacy_bytes_per_client);
+    if (legacy_bytes_per_client > 0.0) {
+      put(metrics, "scale_soa_shrink_factor",
+          legacy_bytes_per_client / bytes_per_client);
+    }
+    put(metrics, "scale_peak_rss_mb", peak_rss_mb());
+    std::printf("scale      : %zu clients / %zu shards, %11.0f events/s "
+                "(%.1f s wall), %.1f B/client vs legacy %.1f B/client",
+                world.num_clients(), world.num_shards(), eps, elapsed,
+                bytes_per_client, legacy_bytes_per_client);
+    if (legacy_bytes_per_client > 0.0) {
+      std::printf(" -> %.1fx smaller", legacy_bytes_per_client /
+                                           bytes_per_client);
+    }
+    std::printf(", peak RSS %.0f MB\n", peak_rss_mb());
+  }
+
   if (!out_path.empty()) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
@@ -817,15 +967,22 @@ int main(int argc, char** argv) {
     }
     // Health-plane absolute gates. The sharded-counter floor needs real
     // parallelism: with fewer than 4 cores the 8 writers time-slice on the
-    // same cache and both counters degenerate to the uncontended case.
-    if (get(metrics, "sharded_counter_speedup") > 0.0 &&
-        get(metrics, "metrics_contention_cores") >= 4.0 &&
-        get(metrics, "sharded_counter_speedup") < 10.0) {
-      std::fprintf(stderr,
-                   "REGRESSION: sharded counter speedup %.2fx under the "
-                   "10x contention floor\n",
-                   get(metrics, "sharded_counter_speedup"));
-      failed = true;
+    // same cache and both counters degenerate to the uncontended case —
+    // in that regime the gate is SKIPPED and says so, never silently
+    // counted as a pass.
+    if (get(metrics, "sharded_counter_speedup") > 0.0) {
+      if (get(metrics, "metrics_contention_cores") < 4.0) {
+        std::printf("SKIPPED    : sharded-counter 10x floor (%.0f core(s) "
+                    "< 4 — contention not measurable on this machine; see "
+                    "sharded_counter_gate_measurable in the report)\n",
+                    get(metrics, "metrics_contention_cores"));
+      } else if (get(metrics, "sharded_counter_speedup") < 10.0) {
+        std::fprintf(stderr,
+                     "REGRESSION: sharded counter speedup %.2fx under the "
+                     "10x contention floor\n",
+                     get(metrics, "sharded_counter_speedup"));
+        failed = true;
+      }
     }
     if (get(metrics, "hdr_exact_p99_seconds") > 0.0 &&
         get(metrics, "hdr_p99_rel_error") > 0.05) {
@@ -841,6 +998,26 @@ int main(int argc, char** argv) {
                    "REGRESSION: flight recorder overhead %.1f%% exceeds "
                    "the 3%% budget\n",
                    100.0 * get(metrics, "flight_overhead_fraction"));
+      failed = true;
+    }
+    // Scale-path absolute gates: the struct-of-arrays footprint must stay
+    // an order of magnitude under the per-node World's (the whole point of
+    // the refactor), with a hard bytes/client ceiling that does not move
+    // with the machine.
+    if (get(metrics, "scale_bytes_per_client") > 0.0 &&
+        get(metrics, "scale_bytes_per_client") > 512.0) {
+      std::fprintf(stderr,
+                   "REGRESSION: scale world uses %.1f bytes/client, over "
+                   "the 512 B ceiling\n",
+                   get(metrics, "scale_bytes_per_client"));
+      failed = true;
+    }
+    if (get(metrics, "scale_soa_shrink_factor") > 0.0 &&
+        get(metrics, "scale_soa_shrink_factor") < 5.0) {
+      std::fprintf(stderr,
+                   "REGRESSION: struct-of-arrays state only %.1fx smaller "
+                   "than the per-node World (floor 5x)\n",
+                   get(metrics, "scale_soa_shrink_factor"));
       failed = true;
     }
     if (failed) return 1;

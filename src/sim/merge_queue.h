@@ -1,0 +1,118 @@
+// Conservative cross-shard event channel for sharded deterministic worlds.
+//
+// A sharded simulation partitions the topology into sub-worlds (one per
+// edge subtree plus one for the server tier), each running its own
+// Simulator. Client<->edge traffic stays inside a shard; edge<->server
+// traffic crosses shards as BoundaryEvents. During a window each shard
+// appends to its own outbox — no two shards share an outbox, so the window
+// body needs no synchronization even when shards run on a thread pool. At
+// the window barrier a single thread drains every outbox into one batch
+// ordered by {time, seq, shard}: delivery time first, then the per-source
+// emission sequence, then the source shard index. The ordering is a pure
+// function of the simulation state, never of which worker ran which shard,
+// which is what keeps same-seed traces byte-identical for any -j.
+//
+// The channel is conservative in the classic windowed-PDES sense: every
+// event emitted during window k must be timestamped at or after the start
+// of window k+1 (the window length is the minimum cross-shard latency).
+// drain() validates that lookahead bound and the emitted/drained counters
+// give callers a conservation check — nothing crosses the boundary
+// unaccounted, even when fault injection is chewing on the shards.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace cadet::sim {
+
+/// One message crossing a shard boundary. POD on purpose: outboxes are
+/// plain vectors and the merge sort moves 48-byte values.
+struct BoundaryEvent {
+  util::SimTime time = 0;   ///< delivery time in the destination shard
+  std::uint64_t seq = 0;    ///< per-source-shard emission counter
+  std::uint32_t src = 0;    ///< emitting shard index
+  std::uint32_t dst = 0;    ///< destination shard index
+  std::uint32_t kind = 0;   ///< protocol-defined discriminator
+  std::uint32_t flags = 0;  ///< protocol-defined small payload
+  std::uint64_t a = 0;      ///< payload word (e.g. node id)
+  std::uint64_t b = 0;      ///< payload word (e.g. byte count)
+};
+
+/// Deterministic merge order: {time, seq, shard}.
+inline bool boundary_before(const BoundaryEvent& x,
+                            const BoundaryEvent& y) noexcept {
+  if (x.time != y.time) return x.time < y.time;
+  if (x.seq != y.seq) return x.seq < y.seq;
+  return x.src < y.src;
+}
+
+class MergeQueue {
+ public:
+  explicit MergeQueue(std::size_t shards)
+      : outbox_(shards), emitted_(shards, 0) {}
+
+  std::size_t shards() const noexcept { return outbox_.size(); }
+
+  /// Emit from shard `src`. Stamps the source index and the per-source
+  /// sequence number. Safe to call concurrently from different shards (one
+  /// writer per outbox); never from two threads for the same `src`.
+  void emit(std::uint32_t src, BoundaryEvent event) {
+    event.src = src;
+    event.seq = emitted_[src]++;
+    outbox_[src].push_back(event);
+  }
+
+  /// Drain every outbox into `out`, ordered by {time, seq, shard}. Called
+  /// single-threaded at the window barrier. Returns false when any event
+  /// violates the conservative bound `time >= not_before` — the caller
+  /// treats that as a lookahead bug, not a recoverable condition.
+  bool drain(util::SimTime not_before, std::vector<BoundaryEvent>& out) {
+    out.clear();
+    bool ok = true;
+    for (std::vector<BoundaryEvent>& box : outbox_) {
+      for (const BoundaryEvent& event : box) {
+        ok = ok && event.time >= not_before;
+      }
+      out.insert(out.end(), box.begin(), box.end());
+      box.clear();
+    }
+    std::sort(out.begin(), out.end(), boundary_before);
+    drained_ += out.size();
+    return ok;
+  }
+
+  /// Conservation counters: every emitted event must eventually be drained
+  /// (emitted() == drained() once the run settles).
+  std::uint64_t emitted() const noexcept {
+    std::uint64_t total = 0;
+    for (std::uint64_t count : emitted_) total += count;
+    return total;
+  }
+  std::uint64_t drained() const noexcept { return drained_; }
+
+  /// Events sitting in outboxes, not yet drained.
+  std::size_t pending() const noexcept {
+    std::size_t total = 0;
+    for (const std::vector<BoundaryEvent>& box : outbox_) total += box.size();
+    return total;
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    std::size_t total = emitted_.capacity() * sizeof(std::uint64_t);
+    for (const std::vector<BoundaryEvent>& box : outbox_) {
+      total += box.capacity() * sizeof(BoundaryEvent);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<BoundaryEvent>> outbox_;  // one per source shard
+  std::vector<std::uint64_t> emitted_;  // per-source seq = emission count
+  std::uint64_t drained_ = 0;
+};
+
+}  // namespace cadet::sim

@@ -119,6 +119,16 @@ class Simulator {
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t pending() const noexcept { return heap_.size(); }
 
+  /// Approximate heap footprint of the pending-event machinery: the heap
+  /// keys, the callback slab, and the free list. The scale harness divides
+  /// this by the client count for its bytes/client accounting.
+  std::size_t memory_bytes() const noexcept {
+    return heap_.capacity() * sizeof(HeapEntry) +
+           slab_.size() * (kSlabChunkSize * sizeof(Callback) +
+                           sizeof(std::unique_ptr<Callback[]>)) +
+           free_slots_.capacity() * sizeof(std::uint32_t);
+  }
+
   /// Total events executed over this simulator's lifetime.
   std::uint64_t events_executed() const noexcept { return events_executed_; }
 

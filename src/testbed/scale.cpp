@@ -1,0 +1,681 @@
+#include "testbed/scale.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace cadet::testbed {
+namespace {
+
+// Latency model. The client<->edge wire is the testbed LAN; the
+// edge<->server boundary rides a metro backbone. The window length equals
+// the boundary's MINIMUM latency — that is the whole conservative
+// synchronization argument: an event emitted inside window [t, t+W) is
+// delivered at emit_time + W + jitter >= t + W, i.e. never inside the
+// window that emitted it.
+constexpr util::SimTime kLanBaseNs = 200 * util::kMicrosecond;
+constexpr util::SimTime kLanJitterNs = 100 * util::kMicrosecond;
+constexpr util::SimTime kBoundaryBaseNs = 8 * util::kMillisecond;
+constexpr util::SimTime kBoundaryJitterNs = 2 * util::kMillisecond;
+
+// Client retry chain: kMaxScaleRetries retransmissions, then the CSPRNG
+// fallback has long since taken over and the slot expires.
+constexpr util::SimTime kRequestTimeoutNs = 1'500 * util::kMillisecond;
+constexpr std::uint8_t kMaxScaleRetries = 2;
+
+// Heavy-user scans sweep each edge's population with the robust
+// median + MAD threshold every couple of seconds (the per-request lazy
+// decay keeps packet processing O(1); the scan is the amortized sweep).
+constexpr util::SimTime kScanPeriodNs = 2 * util::kSecond;
+constexpr util::SimTime kSourcePeriodNs = 500 * util::kMillisecond;
+
+// Penalty points per processed upload: failing the sanity battery costs
+// +6 (kMaxPenalty after ~6 strikes), a clean upload redeems -1 — the same
+// shape as PenaltyScheme over the full engines.
+constexpr float kBadUploadPoints = 6.0F;
+constexpr float kGoodUploadPoints = -1.0F;
+
+// Event-kind tags folded into the per-shard trace checksums.
+enum : std::uint64_t {
+  kFoldRequest = 1,
+  kFoldFulfilled = 2,
+  kFoldFallback = 3,
+  kFoldExpired = 4,
+  kFoldHeavyDeny = 5,
+  kFoldCacheMiss = 6,
+  kFoldUpload = 7,
+  kFoldUploadBad = 8,
+  kFoldRefillReq = 9,
+  kFoldRefillData = 10,
+  kFoldScan = 11,
+  kFoldServerGrant = 12,
+  kFoldServerUpload = 13,
+  kFoldBoundary = 14,
+};
+
+inline void fold(std::uint64_t& cs, std::uint64_t x) noexcept {
+  cs = (cs ^ x) * 0x100000001b3ULL;
+}
+
+inline void fold_event(std::uint64_t& cs, std::uint64_t kind,
+                       std::uint64_t node, util::SimTime time,
+                       std::uint64_t extra) noexcept {
+  fold(cs, kind);
+  fold(cs, node);
+  fold(cs, static_cast<std::uint64_t>(time));
+  fold(cs, extra);
+}
+
+inline std::uint64_t float_bits(float value) noexcept {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void add_stats(ScaleStats& into, const ScaleStats& from) noexcept {
+  into.requests_sent += from.requests_sent;
+  into.local_serves += from.local_serves;
+  into.retried += from.retried;
+  into.fulfilled += from.fulfilled;
+  into.fallback += from.fallback;
+  into.expired += from.expired;
+  into.stale_replies += from.stale_replies;
+  into.heavy_denied += from.heavy_denied;
+  into.cache_misses += from.cache_misses;
+  into.bytes_delivered += from.bytes_delivered;
+  into.uploads_sent += from.uploads_sent;
+  into.uploads_accepted += from.uploads_accepted;
+  into.uploads_rejected += from.uploads_rejected;
+  into.blacklist_drops += from.blacklist_drops;
+  into.blacklisted_clients += from.blacklisted_clients;
+  into.wire_dropped_requests += from.wire_dropped_requests;
+  into.wire_dropped_replies += from.wire_dropped_replies;
+  into.wire_dropped_uploads += from.wire_dropped_uploads;
+  into.crash_dropped_requests += from.crash_dropped_requests;
+  into.crash_dropped_uploads += from.crash_dropped_uploads;
+  into.crash_dropped_refills += from.crash_dropped_refills;
+  into.refills_requested += from.refills_requested;
+  into.refill_reissues += from.refill_reissues;
+  into.refills_completed += from.refills_completed;
+  into.upload_forwards += from.upload_forwards;
+  into.upload_forward_bytes += from.upload_forward_bytes;
+  into.server_grants += from.server_grants;
+  into.server_grant_bytes += from.server_grant_bytes;
+  into.server_source_bytes += from.server_source_bytes;
+  into.heavy_scan_flags += from.heavy_scan_flags;
+}
+
+}  // namespace
+
+ScaleWorld::ScaleWorld(const ScaleConfig& config)
+    : config_(config),
+      num_clients_(config.num_clients),
+      window_(kBoundaryBaseNs),
+      horizon_(util::from_seconds(config.duration_s)),
+      merge_((config.num_clients + config.clients_per_edge - 1) /
+                 std::max<std::size_t>(config.clients_per_edge, 1) +
+             1) {
+  if (config_.num_clients == 0 || config_.clients_per_edge == 0) {
+    throw std::invalid_argument("ScaleWorld: need clients and an edge size");
+  }
+  if (config_.duration_s <= 0.0 || config_.request_rate_hz <= 0.0) {
+    throw std::invalid_argument("ScaleWorld: need a duration and a rate");
+  }
+  const std::size_t num_edges =
+      (num_clients_ + config_.clients_per_edge - 1) / config_.clients_per_edge;
+
+  // Auto-size the server source to ~125 % of the population's steady wire
+  // demand (each tick either drains the pool locally or asks the edge for
+  // 2x, so the long-run wire demand is rate * request_bits per client).
+  source_rate_ = config_.source_rate_bytes_per_s > 0.0
+                     ? config_.source_rate_bytes_per_s
+                     : static_cast<double>(num_clients_) *
+                           config_.request_rate_hz *
+                           (config_.request_bits / 8.0) * 1.25;
+  server_.rng = util::Xoshiro256(config_.seed ^ 0x5eedULL);
+  server_.pool_bytes = static_cast<std::int64_t>(source_rate_ * 2.0);
+  server_.sim.reserve(64);
+  server_.sim.schedule_at(kSourcePeriodNs, [this] { server_source_tick(); });
+
+  shards_.reserve(num_edges);
+  for (std::size_t k = 0; k < num_edges; ++k) {
+    auto shard = std::make_unique<EdgeShard>();
+    shard->index = static_cast<std::uint32_t>(k);
+    const std::size_t first = k * config_.clients_per_edge;
+    shard->clients = static_cast<std::uint32_t>(
+        std::min(config_.clients_per_edge, num_clients_ - first));
+    ClientEngine::Config engine_config;
+    // Same seed-mixing shape as the per-node World builders so shards stay
+    // decorrelated without sharing any generator state.
+    engine_config.seed = config_.seed * 40503ULL + 7 * k + 3;
+    engine_config.first_id = static_cast<std::uint32_t>(1000 + first);
+    engine_config.count = shard->clients;
+    shard->engine = std::make_unique<ClientEngine>(engine_config);
+    shard->rng = util::Xoshiro256(config_.seed ^ (0x9e3779b9ULL * (k + 1)));
+    shard->cache_capacity_bits =
+        static_cast<std::int64_t>(shard->clients) *
+        static_cast<std::int64_t>(kClientBufferBits);
+    shard->cache_bits = static_cast<std::int64_t>(
+        static_cast<double>(shard->cache_capacity_bits) *
+        std::min(std::max(config_.initial_cache_fill, 0.0), 1.0));
+    for (const ScaleCrashWindow& crash : config_.crashes) {
+      if (crash.edge == shard->index) shard->crashes.push_back(crash);
+    }
+    // Steady state holds roughly two pending events per client (the next
+    // request tick plus in-flight timeout/upload machinery).
+    shard->sim.reserve(2 * shard->clients + 64);
+
+    ClientEngine& engine = *shard->engine;
+    const std::uint32_t s = shard->index;
+    for (std::uint32_t i = 0; i < shard->clients; ++i) {
+      const double role = engine.uniform01(i);
+      if (role < config_.flooder_fraction) {
+        engine.set_flag(i, ClientEngine::kFlooder);
+      } else if (role < config_.flooder_fraction + config_.producer_fraction) {
+        engine.set_flag(i, ClientEngine::kProducer);
+        if (engine.uniform01(i) < config_.bad_uploader_fraction) {
+          engine.set_flag(i, ClientEngine::kBadUploader);
+        }
+      }
+      const double request_mean =
+          engine.has(i, ClientEngine::kFlooder)
+              ? 1.0 / config_.flooder_rate_hz
+              : 1.0 / config_.request_rate_hz;
+      const util::SimTime first_tick =
+          util::from_seconds(engine.next_exp(i, request_mean));
+      if (first_tick <= horizon_) {
+        shard->sim.schedule_at(first_tick,
+                               [this, s, i] { request_tick(s, i); });
+      }
+      if (engine.has(i, ClientEngine::kProducer) &&
+          config_.upload_rate_hz > 0.0) {
+        const util::SimTime first_upload = util::from_seconds(
+            engine.next_exp(i, 1.0 / config_.upload_rate_hz));
+        if (first_upload <= horizon_) {
+          shard->sim.schedule_at(first_upload,
+                                 [this, s, i] { upload_tick(s, i); });
+        }
+      }
+    }
+    shard->sim.schedule_at(kScanPeriodNs, [this, s] { edge_scan(s); });
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::uint64_t ScaleWorld::run(const Executor& executor) {
+  std::vector<sim::BoundaryEvent> batch;
+  const std::function<void(std::size_t)> task = [this](std::size_t s) {
+    step_shard(s);
+  };
+  for (;;) {
+    window_end_ += window_;
+    if (executor) {
+      executor(num_shards(), task);
+    } else {
+      for (std::size_t s = 0; s < num_shards(); ++s) step_shard(s);
+    }
+    // Single-threaded barrier: merge in {time, seq, shard} order and
+    // inject into the destination shards for the next window.
+    if (!merge_.drain(window_end_, batch)) {
+      throw std::logic_error(
+          "ScaleWorld: boundary event violates the conservative lookahead");
+    }
+    for (const sim::BoundaryEvent& event : batch) inject(event);
+    boundary_injected_ += batch.size();
+    if (window_end_ > horizon_ && batch.empty() && idle()) break;
+  }
+  return events_executed();
+}
+
+void ScaleWorld::step_shard(std::size_t s) {
+  // Events inside [window_start, window_end) — run_until is inclusive, so
+  // stop one tick short of the boundary.
+  if (s < shards_.size()) {
+    shards_[s]->sim.run_until(window_end_ - 1);
+  } else {
+    server_.sim.run_until(window_end_ - 1);
+  }
+}
+
+void ScaleWorld::inject(const sim::BoundaryEvent& event) {
+  fold_event(boundary_checksum_, kFoldBoundary,
+             (std::uint64_t{event.src} << 32) | event.dst, event.time,
+             (event.seq << 8) | event.kind);
+  fold(boundary_checksum_, event.a);
+  fold(boundary_checksum_, event.b);
+  switch (event.kind) {
+    case kRefillReq: {
+      const std::uint32_t edge = static_cast<std::uint32_t>(event.a);
+      const std::uint64_t bytes = event.b;
+      server_.sim.schedule_at(
+          event.time, [this, edge, bytes] { server_refill(edge, bytes); });
+      break;
+    }
+    case kUploadFwd: {
+      const std::uint64_t bytes = event.b;
+      server_.sim.schedule_at(event.time,
+                              [this, bytes] { server_upload(bytes); });
+      break;
+    }
+    case kRefillData: {
+      const std::uint32_t s = event.dst;
+      const std::uint64_t bytes = event.b;
+      shards_[s]->sim.schedule_at(event.time,
+                                  [this, s, bytes] { edge_refill(s, bytes); });
+      break;
+    }
+    default:
+      throw std::logic_error("ScaleWorld: unknown boundary event kind");
+  }
+}
+
+bool ScaleWorld::idle() const noexcept {
+  if (!server_.sim.empty()) return false;
+  for (const std::unique_ptr<EdgeShard>& shard : shards_) {
+    if (!shard->sim.empty()) return false;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------- client side
+
+void ScaleWorld::request_tick(std::uint32_t s, std::uint32_t i) {
+  EdgeShard& shard = *shards_[s];
+  ClientEngine& engine = *shard.engine;
+  const util::SimTime now = shard.sim.now();
+  const bool flooder = engine.has(i, ClientEngine::kFlooder);
+  // Chain the next arrival first so whatever this tick does cannot stall
+  // the process.
+  const double mean = flooder ? 1.0 / config_.flooder_rate_hz
+                              : 1.0 / config_.request_rate_hz;
+  const util::SimTime next =
+      now + util::from_seconds(engine.next_exp(i, mean));
+  if (next <= horizon_) {
+    shard.sim.schedule_at(next, [this, s, i] { request_tick(s, i); });
+  }
+  if (!flooder && engine.pool_consume(i, config_.request_bits)) {
+    ++shard.stats.local_serves;
+    return;
+  }
+  // One in-flight slot per client: while a request rides its retry chain,
+  // further ticks lean on the fallback path implicitly (flooders included,
+  // which caps a flooder at one outstanding request like a real socket).
+  if (engine.request_pending(i)) return;
+  const std::uint16_t wire_bits =
+      static_cast<std::uint16_t>(2 * config_.request_bits);
+  const std::uint16_t id = engine.issue_request(i, wire_bits);
+  ++shard.stats.requests_sent;
+  fold_event(shard.checksum, kFoldRequest, engine.global_id(i), now, id);
+  send_request(s, i, id, false);
+}
+
+void ScaleWorld::send_request(std::uint32_t s, std::uint32_t i,
+                              std::uint16_t id, bool retransmit) {
+  EdgeShard& shard = *shards_[s];
+  const util::SimTime now = shard.sim.now();
+  if (retransmit) ++shard.stats.retried;
+  if (config_.drop_prob > 0.0 && shard.rng.bernoulli(config_.drop_prob)) {
+    ++shard.stats.wire_dropped_requests;
+  } else {
+    shard.sim.schedule_at(now + lan_delay(shard),
+                          [this, s, i, id] { edge_request(s, i, id); });
+  }
+  shard.sim.schedule_at(now + kRequestTimeoutNs,
+                        [this, s, i, id] { client_timeout(s, i, id); });
+}
+
+void ScaleWorld::edge_request(std::uint32_t s, std::uint32_t i,
+                              std::uint16_t id) {
+  EdgeShard& shard = *shards_[s];
+  const util::SimTime now = shard.sim.now();
+  if (offline(shard, now)) {
+    ++shard.stats.crash_dropped_requests;
+    return;
+  }
+  ClientEngine& engine = *shard.engine;
+  const std::uint16_t bits = engine.pending_bits(i);
+  if (bits == 0 || !engine.pending_matches(i, id)) return;  // stale dup
+  const std::uint32_t step = ++shard.usage_step;
+  engine.usage_touch(i, step, static_cast<float>(bits));
+  if (engine.has(i, ClientEngine::kHeavy)) {
+    ++shard.stats.heavy_denied;
+    fold_event(shard.checksum, kFoldHeavyDeny, engine.global_id(i), now, id);
+    const bool dropped =
+        config_.drop_prob > 0.0 && shard.rng.bernoulli(config_.drop_prob);
+    if (dropped) {
+      ++shard.stats.wire_dropped_replies;
+    } else {
+      shard.sim.schedule_at(now + lan_delay(shard),
+                            [this, s, i, id] { client_reject(s, i, id); });
+    }
+    maybe_refill(shard);
+    return;
+  }
+  if (shard.cache_bits >= bits) {
+    shard.cache_bits -= bits;
+    const std::uint32_t grant = bits;
+    const bool dropped =
+        config_.drop_prob > 0.0 && shard.rng.bernoulli(config_.drop_prob);
+    if (dropped) {
+      ++shard.stats.wire_dropped_replies;
+    } else {
+      shard.sim.schedule_at(
+          now + lan_delay(shard),
+          [this, s, i, id, grant] { client_reply(s, i, id, grant); });
+    }
+  } else {
+    // Cache empty: the edge has nothing to serve — tell the client so it
+    // degrades to its CSPRNG fallback instead of burning retries.
+    ++shard.stats.cache_misses;
+    fold_event(shard.checksum, kFoldCacheMiss, engine.global_id(i), now, id);
+    const bool dropped =
+        config_.drop_prob > 0.0 && shard.rng.bernoulli(config_.drop_prob);
+    if (dropped) {
+      ++shard.stats.wire_dropped_replies;
+    } else {
+      shard.sim.schedule_at(now + lan_delay(shard),
+                            [this, s, i, id] { client_reject(s, i, id); });
+    }
+  }
+  maybe_refill(shard);
+}
+
+void ScaleWorld::client_reply(std::uint32_t s, std::uint32_t i,
+                              std::uint16_t id, std::uint32_t grant_bits) {
+  EdgeShard& shard = *shards_[s];
+  ClientEngine& engine = *shard.engine;
+  if (!engine.pending_matches(i, id)) {
+    ++shard.stats.stale_replies;
+    return;
+  }
+  engine.complete_request(i, grant_bits);
+  engine.pool_consume(i, config_.request_bits);  // the tick's original need
+  ++shard.stats.fulfilled;
+  shard.stats.bytes_delivered += grant_bits / 8;
+  fold_event(shard.checksum, kFoldFulfilled, engine.global_id(i),
+             shard.sim.now(), grant_bits);
+}
+
+void ScaleWorld::client_reject(std::uint32_t s, std::uint32_t i,
+                               std::uint16_t id) {
+  EdgeShard& shard = *shards_[s];
+  ClientEngine& engine = *shard.engine;
+  if (!engine.pending_matches(i, id)) {
+    ++shard.stats.stale_replies;
+    return;
+  }
+  // Denied or cache-missed: the client generates via its local CSPRNG
+  // (the paper's degradation path) and the slot resolves as a fallback.
+  engine.cancel_request(i);
+  ++shard.stats.fallback;
+  fold_event(shard.checksum, kFoldFallback, engine.global_id(i),
+             shard.sim.now(), id);
+}
+
+void ScaleWorld::client_timeout(std::uint32_t s, std::uint32_t i,
+                                std::uint16_t id) {
+  EdgeShard& shard = *shards_[s];
+  ClientEngine& engine = *shard.engine;
+  if (!engine.pending_matches(i, id)) return;  // resolved; stale timer
+  if (engine.bump_attempts(i) <= kMaxScaleRetries) {
+    send_request(s, i, id, true);
+    return;
+  }
+  engine.cancel_request(i);
+  ++shard.stats.expired;
+  fold_event(shard.checksum, kFoldExpired, engine.global_id(i),
+             shard.sim.now(), id);
+}
+
+// ------------------------------------------------------------ upload side
+
+void ScaleWorld::upload_tick(std::uint32_t s, std::uint32_t i) {
+  EdgeShard& shard = *shards_[s];
+  ClientEngine& engine = *shard.engine;
+  const util::SimTime now = shard.sim.now();
+  const util::SimTime next =
+      now + util::from_seconds(
+                engine.next_exp(i, 1.0 / config_.upload_rate_hz));
+  if (next <= horizon_) {
+    shard.sim.schedule_at(next, [this, s, i] { upload_tick(s, i); });
+  }
+  ++shard.stats.uploads_sent;
+  fold_event(shard.checksum, kFoldUpload, engine.global_id(i), now,
+             config_.upload_bytes);
+  if (config_.drop_prob > 0.0 && shard.rng.bernoulli(config_.drop_prob)) {
+    ++shard.stats.wire_dropped_uploads;
+    return;
+  }
+  shard.sim.schedule_at(now + lan_delay(shard),
+                        [this, s, i] { edge_upload(s, i); });
+}
+
+void ScaleWorld::edge_upload(std::uint32_t s, std::uint32_t i) {
+  EdgeShard& shard = *shards_[s];
+  const util::SimTime now = shard.sim.now();
+  if (offline(shard, now)) {
+    ++shard.stats.crash_dropped_uploads;
+    return;
+  }
+  ClientEngine& engine = *shard.engine;
+  if (engine.has(i, ClientEngine::kBlacklisted)) {
+    ++shard.stats.blacklist_drops;
+    return;
+  }
+  const float score = engine.penalty_score(i);
+  if (score >= static_cast<float>(kDropThresh)) {
+    // Probabilistic drop band between drop_thresh and max_penalty; dropped
+    // packets are NOT processed, so they give no chance to redeem.
+    const double drop_p = (score - kDropThresh) / (kMaxPenalty - kDropThresh);
+    if (shard.rng.bernoulli(drop_p)) {
+      ++shard.stats.uploads_rejected;
+      return;
+    }
+  }
+  if (engine.has(i, ClientEngine::kBadUploader)) {
+    // Fails the sanity battery: penalize, reject the payload.
+    ++shard.stats.uploads_rejected;
+    const bool was_blacklisted = engine.has(i, ClientEngine::kBlacklisted);
+    engine.penalty_add(i, kBadUploadPoints);
+    if (!was_blacklisted && engine.has(i, ClientEngine::kBlacklisted)) {
+      ++shard.stats.blacklisted_clients;
+    }
+    fold_event(shard.checksum, kFoldUploadBad, engine.global_id(i), now,
+               float_bits(engine.penalty_score(i)));
+    return;
+  }
+  engine.penalty_add(i, kGoodUploadPoints);
+  ++shard.stats.uploads_accepted;
+  // Accepted entropy mixes into the edge cache first, then accumulates
+  // toward the next upstream forward (kUploadForwardBytes, §III-A).
+  shard.cache_bits =
+      std::min(shard.cache_capacity_bits,
+               shard.cache_bits +
+                   static_cast<std::int64_t>(config_.upload_bytes) * 8);
+  shard.upload_buffer_bytes += config_.upload_bytes;
+  if (shard.upload_buffer_bytes >= kUploadForwardBytes) {
+    sim::BoundaryEvent event;
+    event.time = now + boundary_delay(shard.rng);
+    event.dst = static_cast<std::uint32_t>(shards_.size());
+    event.kind = kUploadFwd;
+    event.a = shard.index;
+    event.b = shard.upload_buffer_bytes;
+    merge_.emit(shard.index, event);
+    ++shard.stats.upload_forwards;
+    shard.stats.upload_forward_bytes += shard.upload_buffer_bytes;
+    shard.upload_buffer_bytes = 0;
+  }
+}
+
+// ------------------------------------------------------------- edge plane
+
+void ScaleWorld::edge_scan(std::uint32_t s) {
+  EdgeShard& shard = *shards_[s];
+  const util::SimTime now = shard.sim.now();
+  const util::SimTime next = now + kScanPeriodNs;
+  if (next <= horizon_) {
+    shard.sim.schedule_at(next, [this, s] { edge_scan(s); });
+  }
+  if (offline(shard, now)) return;  // a crashed edge does not police
+  // Absolute floor: several wire requests' worth of undecayed score — a
+  // single honest double-fire cannot reach it, a flooder's steady EWMA
+  // sits well above it.
+  const float floor =
+      4.5F * static_cast<float>(config_.request_bits);
+  const ClientEngine::HeavyScan scan = shard.engine->heavy_scan(
+      shard.usage_step, kUsageSigmaThreshold, kUsageHeavyMedianRatio, floor,
+      shard.scratch);
+  shard.stats.heavy_scan_flags += scan.heavy;
+  fold_event(shard.checksum, kFoldScan, shard.index, now,
+             (float_bits(scan.median) << 32) | float_bits(scan.threshold));
+  fold(shard.checksum, scan.heavy);
+}
+
+void ScaleWorld::maybe_refill(EdgeShard& shard) {
+  const double fill = static_cast<double>(shard.cache_bits);
+  if (fill >= kCacheRefillFraction *
+                  static_cast<double>(shard.cache_capacity_bits)) {
+    return;
+  }
+  const util::SimTime now = shard.sim.now();
+  if (shard.refill_pending &&
+      now - shard.refill_issued_at <= kRefillTimeoutNs) {
+    return;
+  }
+  const bool reissue = shard.refill_pending;
+  const std::uint64_t want_bytes = static_cast<std::uint64_t>(
+      (shard.cache_capacity_bits - shard.cache_bits) / 8);
+  sim::BoundaryEvent event;
+  event.time = now + boundary_delay(shard.rng);
+  event.dst = static_cast<std::uint32_t>(shards_.size());
+  event.kind = kRefillReq;
+  event.a = shard.index;
+  event.b = want_bytes;
+  merge_.emit(shard.index, event);
+  shard.refill_pending = true;
+  shard.refill_issued_at = now;
+  if (reissue) {
+    ++shard.stats.refill_reissues;
+  } else {
+    ++shard.stats.refills_requested;
+  }
+  fold_event(shard.checksum, kFoldRefillReq, shard.index, now, want_bytes);
+}
+
+void ScaleWorld::edge_refill(std::uint32_t s, std::uint64_t bytes) {
+  EdgeShard& shard = *shards_[s];
+  const util::SimTime now = shard.sim.now();
+  if (offline(shard, now)) {
+    // Lost to the crash; refill_pending stays set and the timeout path
+    // re-issues once the edge is back and traffic flows again.
+    ++shard.stats.crash_dropped_refills;
+    return;
+  }
+  shard.refill_pending = false;
+  ++shard.stats.refills_completed;
+  shard.cache_bits =
+      std::min(shard.cache_capacity_bits,
+               shard.cache_bits + static_cast<std::int64_t>(bytes) * 8);
+  fold_event(shard.checksum, kFoldRefillData, shard.index, now, bytes);
+}
+
+// ------------------------------------------------------------ server side
+
+void ScaleWorld::server_refill(std::uint32_t edge, std::uint64_t want_bytes) {
+  const util::SimTime now = server_.sim.now();
+  const std::uint64_t grant = std::min(
+      want_bytes, static_cast<std::uint64_t>(
+                      std::max<std::int64_t>(server_.pool_bytes, 0)));
+  server_.pool_bytes -= static_cast<std::int64_t>(grant);
+  ++server_.stats.server_grants;
+  server_.stats.server_grant_bytes += grant;
+  // Reply even when the grant is zero: the edge clears refill_pending and
+  // retries on later traffic instead of waiting out the full timeout.
+  sim::BoundaryEvent event;
+  event.time = now + boundary_delay(server_.rng);
+  event.dst = edge;
+  event.kind = kRefillData;
+  event.a = edge;
+  event.b = grant;
+  merge_.emit(static_cast<std::uint32_t>(shards_.size()), event);
+  fold_event(server_.checksum, kFoldServerGrant, edge, now, grant);
+}
+
+void ScaleWorld::server_upload(std::uint64_t bytes) {
+  server_.pool_bytes += static_cast<std::int64_t>(bytes);
+  fold_event(server_.checksum, kFoldServerUpload, 0, server_.sim.now(),
+             bytes);
+}
+
+void ScaleWorld::server_source_tick() {
+  const util::SimTime now = server_.sim.now();
+  const std::uint64_t added = static_cast<std::uint64_t>(
+      source_rate_ * util::to_seconds(kSourcePeriodNs));
+  server_.pool_bytes += static_cast<std::int64_t>(added);
+  server_.stats.server_source_bytes += added;
+  const util::SimTime next = now + kSourcePeriodNs;
+  if (next <= horizon_) {
+    server_.sim.schedule_at(next, [this] { server_source_tick(); });
+  }
+}
+
+// -------------------------------------------------------------- plumbing
+
+util::SimTime ScaleWorld::lan_delay(EdgeShard& shard) noexcept {
+  return kLanBaseNs + static_cast<util::SimTime>(
+                          shard.rng.uniform(kLanJitterNs));
+}
+
+util::SimTime ScaleWorld::boundary_delay(util::Xoshiro256& rng) noexcept {
+  return kBoundaryBaseNs +
+         static_cast<util::SimTime>(rng.uniform(kBoundaryJitterNs));
+}
+
+bool ScaleWorld::offline(const EdgeShard& shard,
+                         util::SimTime t) const noexcept {
+  for (const ScaleCrashWindow& crash : shard.crashes) {
+    if (t >= crash.begin && t < crash.end) return true;
+  }
+  return false;
+}
+
+std::uint64_t ScaleWorld::events_executed() const noexcept {
+  std::uint64_t total = server_.sim.events_executed();
+  for (const std::unique_ptr<EdgeShard>& shard : shards_) {
+    total += shard->sim.events_executed();
+  }
+  return total;
+}
+
+std::uint64_t ScaleWorld::checksum() const noexcept {
+  std::uint64_t cs = 0xcbf29ce484222325ULL;
+  for (const std::unique_ptr<EdgeShard>& shard : shards_) {
+    fold(cs, shard->checksum);
+  }
+  fold(cs, server_.checksum);
+  fold(cs, boundary_checksum_);
+  return cs;
+}
+
+ScaleStats ScaleWorld::stats() const noexcept {
+  ScaleStats total;
+  for (const std::unique_ptr<EdgeShard>& shard : shards_) {
+    add_stats(total, shard->stats);
+  }
+  add_stats(total, server_.stats);
+  return total;
+}
+
+std::size_t ScaleWorld::memory_bytes() const noexcept {
+  std::size_t total = sizeof(ScaleWorld) + merge_.memory_bytes() +
+                      server_.sim.memory_bytes();
+  for (const std::unique_ptr<EdgeShard>& shard : shards_) {
+    total += sizeof(EdgeShard) + shard->sim.memory_bytes() +
+             shard->engine->memory_bytes() +
+             shard->scratch.capacity() * sizeof(float) +
+             shard->crashes.capacity() * sizeof(ScaleCrashWindow);
+  }
+  return total;
+}
+
+}  // namespace cadet::testbed

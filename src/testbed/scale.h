@@ -1,0 +1,240 @@
+// Sharded deterministic worlds: the million-client testbed.
+//
+// The per-node World (topology.h) models protocol fidelity at paper scale —
+// 49 nodes, full crypto, per-packet CPU costs. ScaleWorld trades the
+// per-node machinery for density and parallelism so the ROADMAP's "heavy
+// traffic from millions of users" actually runs:
+//
+//   * Partitioning rule: one sub-world (shard) per edge subtree — the edge
+//     node plus every client homed on it — and one more shard for the
+//     server tier. The partition is a pure function of the topology, never
+//     of the worker count.
+//   * Each shard owns a private 4-ary-heap Simulator and a struct-of-arrays
+//     ClientEngine (cadet/client_engine.h); client<->edge traffic is
+//     intra-shard, edge<->server traffic crosses through the conservative
+//     MergeQueue (sim/merge_queue.h) ordered by {time, seq, shard}.
+//   * Execution is windowed: every shard runs [t, t + W) to completion,
+//     then a single-threaded barrier drains the merge queue and injects
+//     the boundary events, with W equal to the minimum edge<->server
+//     latency so no event can arrive inside the window that emitted it.
+//     The window bodies may run on any executor (tools hand in
+//     util::TaskPool the way cadet_sweep fans out across seeds); because
+//     shards touch disjoint state inside a window and the barrier is
+//     deterministic, same-seed traces are byte-identical for any -j —
+//     checksum() is the witness the determinism tests pin.
+//
+// Faults mirror the FaultPlan idioms at shard granularity: iid datagram
+// loss on the client<->edge wire and edge crash windows (an offline edge
+// drops arriving traffic; clients ride their retry/fallback chains, refill
+// responses lost to a crash are re-issued after kRefillTimeoutNs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cadet/client_engine.h"
+#include "sim/merge_queue.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace cadet::testbed {
+
+/// An edge that is offline (crashed) for [begin, end): arriving client
+/// traffic and refill deliveries are dropped on the floor.
+struct ScaleCrashWindow {
+  std::uint32_t edge = 0;
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+};
+
+struct ScaleConfig {
+  std::uint64_t seed = 42;
+  std::size_t num_clients = 1'000'000;
+  std::size_t clients_per_edge = 1024;
+  double duration_s = 10.0;
+
+  // Workload (per client, Poisson arrivals).
+  double request_rate_hz = 0.25;
+  double upload_rate_hz = 0.10;
+  std::uint16_t request_bits = 512;   ///< consumed from the pool per tick
+  std::uint32_t upload_bytes = 32;    ///< payload per producer upload
+  double producer_fraction = 0.5;     ///< clients that also upload
+  double bad_uploader_fraction = 0.0; ///< of producers: fail sanity checks
+  double flooder_fraction = 0.0;      ///< hostile request floods
+  double flooder_rate_hz = 8.0;
+
+  /// Initial edge-cache fill as a fraction of capacity. Defaults just
+  /// above the kCacheRefillFraction trigger so the edge<->server refill
+  /// plane is exercised from early in the run instead of only after the
+  /// population drains a full bootstrap cache.
+  double initial_cache_fill = 0.3;
+
+  // Faults.
+  double drop_prob = 0.0;  ///< iid loss on the client<->edge wire
+  std::vector<ScaleCrashWindow> crashes;
+
+  /// Server-side true-entropy source, bytes/s. 0 = auto-size to ~125 % of
+  /// the population's steady-state wire demand.
+  double source_rate_bytes_per_s = 0.0;
+};
+
+/// Aggregated run counters (summed across shards; all deterministic).
+struct ScaleStats {
+  // Client request economics.
+  std::uint64_t requests_sent = 0;   ///< wire requests (excl. retransmits)
+  std::uint64_t local_serves = 0;    ///< ticks covered by the local pool
+  std::uint64_t retried = 0;         ///< retransmissions
+  std::uint64_t fulfilled = 0;
+  std::uint64_t fallback = 0;        ///< resolved by local CSPRNG fallback
+  std::uint64_t expired = 0;         ///< retries exhausted
+  std::uint64_t stale_replies = 0;   ///< replies after the slot resolved
+  std::uint64_t heavy_denied = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t bytes_delivered = 0;
+  // Uploads.
+  std::uint64_t uploads_sent = 0;
+  std::uint64_t uploads_accepted = 0;
+  std::uint64_t uploads_rejected = 0;  ///< penalty drop or failed sanity
+  std::uint64_t blacklist_drops = 0;
+  std::uint64_t blacklisted_clients = 0;
+  // Faults.
+  std::uint64_t wire_dropped_requests = 0;
+  std::uint64_t wire_dropped_replies = 0;
+  std::uint64_t wire_dropped_uploads = 0;
+  std::uint64_t crash_dropped_requests = 0;
+  std::uint64_t crash_dropped_uploads = 0;
+  std::uint64_t crash_dropped_refills = 0;
+  // Edge<->server boundary.
+  std::uint64_t refills_requested = 0;
+  std::uint64_t refill_reissues = 0;
+  std::uint64_t refills_completed = 0;
+  std::uint64_t upload_forwards = 0;
+  std::uint64_t upload_forward_bytes = 0;
+  std::uint64_t server_grants = 0;
+  std::uint64_t server_grant_bytes = 0;
+  std::uint64_t server_source_bytes = 0;
+  std::uint64_t heavy_scan_flags = 0;  ///< sum of per-scan heavy counts
+};
+
+class ScaleWorld {
+ public:
+  /// Runs task(0), ..., task(count - 1), possibly concurrently; indices
+  /// touch disjoint shards, so any schedule is valid. Empty = sequential.
+  /// Deterministic tiers stay thread-free: the executor is an opaque
+  /// callback, and tools pass util::TaskPool::run from outside.
+  using Executor =
+      std::function<void(std::size_t count,
+                         const std::function<void(std::size_t)>& task)>;
+
+  explicit ScaleWorld(const ScaleConfig& config);
+
+  std::size_t num_edges() const noexcept { return shards_.size(); }
+  std::size_t num_shards() const noexcept { return shards_.size() + 1; }
+  std::size_t num_clients() const noexcept { return num_clients_; }
+  util::SimTime window() const noexcept { return window_; }
+  const ScaleConfig& config() const noexcept { return config_; }
+
+  /// Run the configured duration plus drain (every in-flight request
+  /// resolves). Returns the total events executed across all shards.
+  /// Throws std::logic_error if a boundary event violates the conservative
+  /// lookahead bound — that is a protocol bug, never a tuning matter.
+  std::uint64_t run(const Executor& executor = {});
+
+  std::uint64_t events_executed() const noexcept;
+  /// Deterministic trace witness: per-shard FNV chains over every protocol
+  /// event, combined in shard-index order with the boundary-injection
+  /// chain. Byte-identical across executors for the same config.
+  std::uint64_t checksum() const noexcept;
+  ScaleStats stats() const noexcept;
+
+  /// Boundary conservation counters (emitted must equal injected when
+  /// run() returns).
+  std::uint64_t boundary_emitted() const noexcept { return merge_.emitted(); }
+  std::uint64_t boundary_injected() const noexcept {
+    return boundary_injected_;
+  }
+
+  /// Heap bytes held by all shards: simulators, client engines, merge
+  /// queue, and shard bookkeeping. Divide by num_clients() for the
+  /// bytes/client figure BENCH_7 gates.
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct EdgeShard {
+    sim::Simulator sim;
+    std::unique_ptr<ClientEngine> engine;
+    util::Xoshiro256 rng{0};
+    std::uint32_t index = 0;
+    std::uint32_t clients = 0;
+    // Edge cache accounting (bits), kCacheRefillFraction refill trigger.
+    std::int64_t cache_bits = 0;
+    std::int64_t cache_capacity_bits = 0;
+    bool refill_pending = false;
+    util::SimTime refill_issued_at = 0;
+    std::uint64_t upload_buffer_bytes = 0;
+    std::uint32_t usage_step = 0;
+    std::vector<float> scratch;  // heavy-scan workspace
+    std::vector<ScaleCrashWindow> crashes;
+    std::uint64_t checksum = 0xcbf29ce484222325ULL;
+    ScaleStats stats;
+  };
+  struct ServerShard {
+    sim::Simulator sim;
+    util::Xoshiro256 rng{0};
+    std::int64_t pool_bytes = 0;
+    std::uint64_t checksum = 0xcbf29ce484222325ULL;
+    ScaleStats stats;
+  };
+
+  // Boundary event kinds.
+  static constexpr std::uint32_t kRefillReq = 1;
+  static constexpr std::uint32_t kRefillData = 2;
+  static constexpr std::uint32_t kUploadFwd = 3;
+
+  void step_shard(std::size_t s);
+  void inject(const sim::BoundaryEvent& event);
+  bool idle() const noexcept;
+
+  // Intra-shard event bodies (client<->edge); `s` is the shard index.
+  void request_tick(std::uint32_t s, std::uint32_t i);
+  void send_request(std::uint32_t s, std::uint32_t i, std::uint16_t id,
+                    bool retransmit);
+  void edge_request(std::uint32_t s, std::uint32_t i, std::uint16_t id);
+  void client_reply(std::uint32_t s, std::uint32_t i, std::uint16_t id,
+                    std::uint32_t grant_bits);
+  void client_reject(std::uint32_t s, std::uint32_t i, std::uint16_t id);
+  void client_timeout(std::uint32_t s, std::uint32_t i, std::uint16_t id);
+  void upload_tick(std::uint32_t s, std::uint32_t i);
+  void edge_upload(std::uint32_t s, std::uint32_t i);
+  void edge_scan(std::uint32_t s);
+  void maybe_refill(EdgeShard& shard);
+  void edge_refill(std::uint32_t s, std::uint64_t bytes);
+
+  // Server-shard event bodies.
+  void server_refill(std::uint32_t edge, std::uint64_t want_bytes);
+  void server_upload(std::uint64_t bytes);
+  void server_source_tick();
+
+  util::SimTime lan_delay(EdgeShard& shard) noexcept;
+  util::SimTime boundary_delay(util::Xoshiro256& rng) noexcept;
+  bool offline(const EdgeShard& shard, util::SimTime t) const noexcept;
+
+  ScaleConfig config_;
+  std::size_t num_clients_ = 0;
+  util::SimTime window_ = 0;
+  util::SimTime horizon_ = 0;
+  util::SimTime window_end_ = 0;
+  double source_rate_ = 0.0;
+
+  std::vector<std::unique_ptr<EdgeShard>> shards_;
+  ServerShard server_;
+  sim::MergeQueue merge_;
+  std::uint64_t boundary_injected_ = 0;
+  std::uint64_t boundary_checksum_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace cadet::testbed

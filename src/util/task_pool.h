@@ -1,0 +1,135 @@
+// Persistent worker pool for embarrassingly parallel index loops.
+//
+// The sharded testbed runs one deterministic sub-world per edge subtree and
+// needs to step all of them once per time window — thousands of windows per
+// run, so spawning threads per window (the cadet_sweep pattern) would cost
+// more than the window body. TaskPool keeps `workers - 1` threads parked on
+// a condition variable and dispatches indices {0 .. count-1} through an
+// under-lock cursor; the calling thread participates as the last worker, so
+// TaskPool(1) executes inline with zero threads and zero synchronization.
+//
+// Determinism note: the pool lives in src/util (the threaded tier) and is
+// only ever handed to deterministic code as an opaque executor callback —
+// which shard runs on which thread never influences simulation results,
+// because shards touch disjoint state during a window and merge at a
+// single-threaded barrier (see sim/merge_queue.h).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace cadet::util {
+
+class TaskPool {
+ public:
+  using Task = std::function<void(std::size_t)>;
+
+  /// `workers` is the total parallelism including the caller; the pool
+  /// spawns workers - 1 threads (0 means 1).
+  explicit TaskPool(std::size_t workers) {
+    if (workers == 0) workers = 1;
+    threads_.reserve(workers - 1);
+    for (std::size_t t = 0; t + 1 < workers; ++t) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  ~TaskPool() {
+    {
+      MutexLock lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  std::size_t workers() const noexcept { return threads_.size() + 1; }
+
+  /// Run task(0), task(1), ..., task(count - 1), distributed across the
+  /// workers; returns once every index has completed. Not reentrant: run()
+  /// must not be called from inside a task.
+  void run(std::size_t count, const Task& task) {
+    if (count == 0) return;
+    if (threads_.empty() || count == 1) {
+      for (std::size_t i = 0; i < count; ++i) task(i);
+      return;
+    }
+    {
+      MutexLock lock(mu_);
+      task_ = &task;
+      count_ = count;
+      next_ = 0;
+      active_ = threads_.size();
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    drain(task);
+    MutexLock lock(mu_);
+    while (active_ != 0) done_cv_.wait(mu_);
+    task_ = nullptr;
+  }
+
+ private:
+  /// Claim indices until the cursor is exhausted. The task pointer is read
+  /// under the same lock as the cursor, so workers never see a stale task.
+  void drain(const Task& task) {
+    for (;;) {
+      std::size_t index;
+      {
+        MutexLock lock(mu_);
+        if (next_ >= count_) return;
+        index = next_++;
+      }
+      task(index);
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        MutexLock lock(mu_);
+        while (!stop_ && generation_ == seen) work_cv_.wait(mu_);
+        if (stop_) return;
+        seen = generation_;
+      }
+      for (;;) {
+        std::size_t index;
+        const Task* task;
+        {
+          MutexLock lock(mu_);
+          if (next_ >= count_) break;
+          index = next_++;
+          task = task_;
+        }
+        (*task)(index);
+      }
+      {
+        MutexLock lock(mu_);
+        if (--active_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  std::vector<std::thread> threads_;
+  const Task* task_ CADET_GUARDED_BY(mu_) = nullptr;
+  std::size_t count_ CADET_GUARDED_BY(mu_) = 0;
+  std::size_t next_ CADET_GUARDED_BY(mu_) = 0;
+  std::size_t active_ CADET_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ CADET_GUARDED_BY(mu_) = 0;
+  bool stop_ CADET_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace cadet::util

@@ -1,0 +1,297 @@
+// Sharded-world tests: struct-of-arrays client engine semantics, the
+// windowed conservative execution's determinism across executors, the
+// protocol conservation invariants, and the bytes/client budget that
+// justifies the SoA refactor (docs/PERFORMANCE.md "Sharded worlds").
+#include "testbed/scale.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "cadet/client_engine.h"
+#include "util/task_pool.h"
+
+namespace cadet::testbed {
+namespace {
+
+ScaleWorld::Executor pool_executor(util::TaskPool& pool) {
+  return [&pool](std::size_t count,
+                 const std::function<void(std::size_t)>& task) {
+    pool.run(count, task);
+  };
+}
+
+void expect_stats_eq(const ScaleStats& a, const ScaleStats& b) {
+  EXPECT_EQ(a.requests_sent, b.requests_sent);
+  EXPECT_EQ(a.local_serves, b.local_serves);
+  EXPECT_EQ(a.retried, b.retried);
+  EXPECT_EQ(a.fulfilled, b.fulfilled);
+  EXPECT_EQ(a.fallback, b.fallback);
+  EXPECT_EQ(a.expired, b.expired);
+  EXPECT_EQ(a.heavy_denied, b.heavy_denied);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.uploads_accepted, b.uploads_accepted);
+  EXPECT_EQ(a.uploads_rejected, b.uploads_rejected);
+  EXPECT_EQ(a.blacklisted_clients, b.blacklisted_clients);
+  EXPECT_EQ(a.refills_requested, b.refills_requested);
+  EXPECT_EQ(a.refills_completed, b.refills_completed);
+  EXPECT_EQ(a.server_grant_bytes, b.server_grant_bytes);
+  EXPECT_EQ(a.bytes_delivered, b.bytes_delivered);
+}
+
+/// The terminal request invariant: every wire request resolves exactly
+/// once, and the boundary conserves every crossing event.
+void expect_conservation(const ScaleWorld& world) {
+  const ScaleStats stats = world.stats();
+  EXPECT_EQ(stats.requests_sent,
+            stats.fulfilled + stats.fallback + stats.expired);
+  EXPECT_EQ(world.boundary_emitted(), world.boundary_injected());
+  // Refill protocol: every request reaches the server (the boundary is
+  // reliable), every grant lands or dies in a crash window.
+  EXPECT_EQ(stats.refills_requested + stats.refill_reissues,
+            stats.server_grants);
+  EXPECT_EQ(stats.server_grants,
+            stats.refills_completed + stats.crash_dropped_refills);
+  // Upload ledger.
+  EXPECT_EQ(stats.uploads_sent,
+            stats.uploads_accepted + stats.uploads_rejected +
+                stats.blacklist_drops + stats.wire_dropped_uploads +
+                stats.crash_dropped_uploads);
+}
+
+// ------------------------------------------------------------ ClientEngine
+
+TEST(ClientEngine, LazyUsageDecayMatchesExplicit) {
+  ClientEngine::Config config;
+  config.seed = 7;
+  config.count = 4;
+  ClientEngine engine(config);
+  engine.usage_touch(0, 10, 100.0F);
+  // 25 steps later the score must equal 100 * decay^25 exactly (same pow
+  // call the eager implementation would make).
+  const float expected =
+      100.0F * static_cast<float>(std::pow(kUsageDecay, 25.0));
+  EXPECT_FLOAT_EQ(engine.usage_score(0, 35), expected);
+  // Touching folds the decay in and resets the step anchor.
+  const float touched = engine.usage_touch(0, 35, 50.0F);
+  EXPECT_FLOAT_EQ(touched, expected + 50.0F);
+  EXPECT_FLOAT_EQ(engine.usage_score(0, 35), touched);
+}
+
+TEST(ClientEngine, PoolCursorAndPendingSlot) {
+  ClientEngine::Config config;
+  config.seed = 3;
+  config.count = 2;
+  config.pool_capacity_bits = 1024;
+  ClientEngine engine(config);
+  EXPECT_FALSE(engine.pool_consume(0, 512));  // starts empty
+  engine.pool_credit(0, 4096);                // clamps to capacity
+  EXPECT_EQ(engine.pool_bits(0), 1024u);
+  EXPECT_TRUE(engine.pool_consume(0, 512));
+  EXPECT_EQ(engine.pool_bits(0), 512u);
+
+  const std::uint16_t id = engine.issue_request(0, 256);
+  EXPECT_TRUE(engine.request_pending(0));
+  EXPECT_TRUE(engine.pending_matches(0, id));
+  EXPECT_FALSE(engine.pending_matches(0, static_cast<std::uint16_t>(id + 1)));
+  EXPECT_FALSE(engine.request_pending(1));  // neighbours unaffected
+  engine.complete_request(0, 256);
+  EXPECT_FALSE(engine.request_pending(0));
+  EXPECT_EQ(engine.pool_bits(0), 768u);
+}
+
+TEST(ClientEngine, PenaltyClampsAndBlacklists) {
+  ClientEngine::Config config;
+  config.seed = 9;
+  config.count = 1;
+  ClientEngine engine(config);
+  engine.penalty_add(0, 8.0F);
+  engine.penalty_add(0, -20.0F);  // floors at zero
+  EXPECT_FLOAT_EQ(engine.penalty_score(0), 0.0F);
+  EXPECT_FALSE(engine.has(0, ClientEngine::kBlacklisted));
+  for (int i = 0; i < 6; ++i) engine.penalty_add(0, 6.0F);
+  EXPECT_FLOAT_EQ(engine.penalty_score(0),
+                  static_cast<float>(kMaxPenalty));
+  EXPECT_TRUE(engine.has(0, ClientEngine::kBlacklisted));
+}
+
+TEST(ClientEngine, HeavyScanFlagsTheOutlier) {
+  ClientEngine::Config config;
+  config.seed = 11;
+  config.count = 64;
+  ClientEngine engine(config);
+  // Population hums at ~10; client 7 runs 100x that.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    engine.usage_touch(i, 100, i == 7 ? 1000.0F : 10.0F);
+  }
+  std::vector<float> scratch;
+  const ClientEngine::HeavyScan scan =
+      engine.heavy_scan(100, kUsageSigmaThreshold, kUsageHeavyMedianRatio,
+                        50.0F, scratch);
+  EXPECT_EQ(scan.heavy, 1u);
+  EXPECT_TRUE(engine.has(7, ClientEngine::kHeavy));
+  EXPECT_FALSE(engine.has(6, ClientEngine::kHeavy));
+  // Decayed back under the threshold, the next scan clears the flag.
+  const ClientEngine::HeavyScan later =
+      engine.heavy_scan(1000, kUsageSigmaThreshold, kUsageHeavyMedianRatio,
+                        50.0F, scratch);
+  EXPECT_EQ(later.heavy, 0u);
+  EXPECT_FALSE(engine.has(7, ClientEngine::kHeavy));
+}
+
+TEST(ClientEngine, ColdStateIsDeterministicPerSeed) {
+  ClientEngine::Config config;
+  config.seed = 1234;
+  config.count = 8;
+  ClientEngine a(config);
+  ClientEngine b(config);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (std::size_t k = 0; k < ClientEngine::kColdBytes; ++k) {
+      ASSERT_EQ(a.cold(i)[k], b.cold(i)[k]);
+    }
+  }
+  config.seed = 1235;
+  ClientEngine c(config);
+  bool differs = false;
+  for (std::size_t k = 0; k < ClientEngine::kColdBytes; ++k) {
+    differs = differs || a.cold(0)[k] != c.cold(0)[k];
+  }
+  EXPECT_TRUE(differs);
+}
+
+// -------------------------------------------------------------- ScaleWorld
+
+ScaleConfig small_config() {
+  ScaleConfig config;
+  config.seed = 42;
+  config.num_clients = 4000;
+  config.clients_per_edge = 500;  // 8 edge shards + the server shard
+  config.duration_s = 3.0;
+  config.drop_prob = 0.02;
+  config.flooder_fraction = 0.005;
+  config.bad_uploader_fraction = 0.1;
+  return config;
+}
+
+TEST(ScaleWorld, SameSeedTracesAreExecutorIndependent) {
+  const ScaleConfig config = small_config();
+  ScaleWorld sequential(config);
+  sequential.run();
+
+  util::TaskPool pool4(4);
+  ScaleWorld pooled(config);
+  pooled.run(pool_executor(pool4));
+
+  util::TaskPool pool2(2);
+  ScaleWorld pooled2(config);
+  pooled2.run(pool_executor(pool2));
+
+  EXPECT_EQ(sequential.checksum(), pooled.checksum());
+  EXPECT_EQ(sequential.checksum(), pooled2.checksum());
+  EXPECT_EQ(sequential.events_executed(), pooled.events_executed());
+  EXPECT_EQ(sequential.events_executed(), pooled2.events_executed());
+  expect_stats_eq(sequential.stats(), pooled.stats());
+  expect_stats_eq(sequential.stats(), pooled2.stats());
+}
+
+TEST(ScaleWorld, DifferentSeedsDiverge) {
+  ScaleConfig config = small_config();
+  ScaleWorld a(config);
+  a.run();
+  config.seed = 43;
+  ScaleWorld b(config);
+  b.run();
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(ScaleWorld, RequestAndBoundaryConservation) {
+  const ScaleConfig config = small_config();
+  ScaleWorld world(config);
+  world.run();
+  const ScaleStats stats = world.stats();
+  EXPECT_GT(stats.requests_sent, 0u);
+  EXPECT_GT(stats.fulfilled, 0u);
+  EXPECT_GT(stats.local_serves, 0u);
+  EXPECT_GT(stats.wire_dropped_requests, 0u);  // drop_prob did something
+  expect_conservation(world);
+}
+
+TEST(ScaleWorld, FloodersGetHeavyDenied) {
+  ScaleConfig config = small_config();
+  config.drop_prob = 0.0;
+  config.flooder_fraction = 0.01;
+  config.duration_s = 6.0;  // past several scan periods
+  ScaleWorld world(config);
+  world.run();
+  const ScaleStats stats = world.stats();
+  EXPECT_GT(stats.heavy_scan_flags, 0u);
+  EXPECT_GT(stats.heavy_denied, 0u);
+  // Policing must not collapse honest service: wire requests still mostly
+  // fulfill (denials land on the flooders' requests).
+  EXPECT_GT(stats.fulfilled * 10, stats.requests_sent * 8);
+  expect_conservation(world);
+}
+
+TEST(ScaleWorld, BadUploadersAreBlacklisted) {
+  ScaleConfig config = small_config();
+  config.drop_prob = 0.0;
+  config.flooder_fraction = 0.0;
+  config.producer_fraction = 1.0;
+  config.bad_uploader_fraction = 0.25;
+  config.upload_rate_hz = 2.0;  // enough strikes inside the run
+  config.duration_s = 6.0;
+  ScaleWorld world(config);
+  world.run();
+  const ScaleStats stats = world.stats();
+  EXPECT_GT(stats.blacklisted_clients, 0u);
+  EXPECT_GT(stats.blacklist_drops, 0u);
+  EXPECT_GT(stats.uploads_accepted, 0u);  // honest producers unharmed
+  expect_conservation(world);
+}
+
+TEST(ScaleWorld, CrashWindowsLoseNoAccountedEvents) {
+  ScaleConfig config = small_config();
+  config.drop_prob = 0.0;
+  // Partition-aligned crash windows: multiples of the boundary window so
+  // a crash edge never splits a window (the alignment the merge queue's
+  // conservation argument assumes).
+  ScaleWorld probe(config);
+  const util::SimTime w = probe.window();
+  config.crashes.push_back({0, 50 * w, 150 * w});
+  config.crashes.push_back({3, 100 * w, 250 * w});
+  ScaleWorld world(config);
+  world.run();
+  const ScaleStats stats = world.stats();
+  EXPECT_GT(stats.crash_dropped_requests, 0u);
+  expect_conservation(world);
+}
+
+TEST(ScaleWorld, SoAFootprintStaysUnderBudget) {
+  ScaleConfig config;
+  config.seed = 7;
+  config.num_clients = 50'000;
+  config.clients_per_edge = 1024;
+  config.duration_s = 2.0;
+  ScaleWorld world(config);
+  world.run();
+  const double per_client = static_cast<double>(world.memory_bytes()) /
+                            static_cast<double>(world.num_clients());
+  // The committed BENCH_7 gate is 512 B/client; the order-of-magnitude
+  // claim vs the per-node ClientNode graph (multiple KB) rides on it.
+  EXPECT_LT(per_client, 512.0);
+  EXPECT_GT(world.events_executed(), 0u);
+}
+
+TEST(ScaleWorld, PartitionIsTopologyNotWorkerCount) {
+  ScaleConfig config = small_config();
+  ScaleWorld world(config);
+  EXPECT_EQ(world.num_edges(), 8u);
+  EXPECT_EQ(world.num_shards(), 9u);  // + the server shard
+  EXPECT_EQ(world.num_clients(), 4000u);
+  EXPECT_GT(world.window(), 0);
+}
+
+}  // namespace
+}  // namespace cadet::testbed

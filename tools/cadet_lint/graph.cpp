@@ -21,12 +21,17 @@ struct ModuleRank {
 // The layering DAG, bottom-up. A file may include same-module files and
 // strictly lower ranks only. Rationale (docs/STATIC_ANALYSIS.md has the
 // diagram):
-//   0 util                  leaf helpers: rng, bytes, time, annotations
+//   0 util                  leaf helpers: rng, bytes, time, annotations,
+//                           task_pool (threads live HERE, never in the
+//                           deterministic tiers — executors are injected)
 //   1 obs | crypto | nist   independent siblings over util
 //   2 entropy | sim         pool/estimator + discrete-event engine
+//                           (incl. the shard-boundary merge_queue)
 //   3 net                   transport + runners (drive sim, emit obs)
 //   4 cadet                 protocol nodes over net/entropy/sim
+//                           (incl. the struct-of-arrays client_engine)
 //   5 testbed               scenario harness over everything below
+//                           (incl. the sharded ScaleWorld)
 //   6 tools/tests/...       cap tier, internally unordered (tools link
 //                           test harness headers and vice versa)
 constexpr ModuleRank kRanks[] = {

@@ -12,6 +12,7 @@
 //   cadet_sim --no-edge                        # Fig. 10's W/O baseline
 //   cadet_sim --adversary-mix poisoners        # hostile clients attack
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -31,9 +32,11 @@
 #include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "testbed/scale.h"
 #include "testbed/topology.h"
 #include "testbed/workload.h"
 #include "util/log.h"
+#include "util/task_pool.h"
 
 namespace {
 
@@ -81,6 +84,17 @@ struct Options {
   std::size_t adversary_count = 2;   // attackers per network
   double adversary_rotate = 0.0;     // free-rider token rotation (0 = preset)
   double adversary_burst_at = 0.0;   // sybil activation time (0 = duration/3)
+
+  // Sharded scale mode (docs/PERFORMANCE.md "Sharded worlds"). In --scale
+  // mode --clients is the TOTAL population, --shards sizes the worker pool
+  // (the partition itself is fixed by the topology, so any -J is
+  // trace-identical), and --fault-drop / --crash map onto the sharded
+  // fault model (--crash N:T0:T1 crashes EDGE index N).
+  bool scale = false;
+  std::size_t shards = 1;
+  std::size_t clients_per_edge = 1024;
+  double scale_flooders = 0.0;
+  double scale_bad = 0.0;
 
   // Fault injection (docs/FAULT_INJECTION.md). Any non-default value puts
   // a FaultyTransport on every link.
@@ -142,6 +156,14 @@ void usage(const char* argv0) {
       "                      (default: preset)\n"
       "  --adversary-burst-at T  sybil activation time in seconds\n"
       "                      (default: duration/3)\n"
+      "  --scale             sharded million-client mode: --clients is the\n"
+      "                      total population over struct-of-arrays state\n"
+      "                      (docs/PERFORMANCE.md \"Sharded worlds\")\n"
+      "  --shards J          scale-mode worker threads (default 1; any J\n"
+      "                      yields a byte-identical trace)\n"
+      "  --clients-per-edge N  scale-mode edge subtree size (default 1024)\n"
+      "  --scale-flooders F  scale-mode hostile flooder fraction\n"
+      "  --scale-bad F       scale-mode bad-uploader fraction of producers\n"
       "  --fault-drop P      drop each datagram with probability P\n"
       "  --fault-dup P       duplicate each datagram with probability P\n"
       "  --fault-reorder P   delay (reorder) datagrams with probability P\n"
@@ -241,6 +263,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.adversary_rotate = std::strtod(next(), nullptr);
     } else if (arg == "--adversary-burst-at") {
       opt.adversary_burst_at = std::strtod(next(), nullptr);
+    } else if (arg == "--scale") {
+      opt.scale = true;
+    } else if (arg == "--shards") {
+      opt.shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--clients-per-edge") {
+      opt.clients_per_edge = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--scale-flooders") {
+      opt.scale_flooders = std::strtod(next(), nullptr);
+    } else if (arg == "--scale-bad") {
+      opt.scale_bad = std::strtod(next(), nullptr);
     } else if (arg == "--fault-drop") {
       opt.fault_drop = std::strtod(next(), nullptr);
     } else if (arg == "--fault-dup") {
@@ -362,6 +394,93 @@ std::vector<NetworkProfile> parse_profiles(const std::string& list,
   return out;
 }
 
+// --scale: the sharded million-client path. Skips the per-node World
+// entirely — ScaleWorld owns its own struct-of-arrays state and merge-queue
+// boundary, and the worker pool only changes wall-clock, never the trace.
+int run_scale(const Options& opt) {
+  ScaleConfig config;
+  config.seed = opt.seed;
+  config.num_clients = opt.clients;
+  config.clients_per_edge = opt.clients_per_edge;
+  config.duration_s = opt.duration_s;
+  config.drop_prob = opt.fault_drop;
+  config.flooder_fraction = opt.scale_flooders;
+  config.bad_uploader_fraction = opt.scale_bad;
+  for (const net::Crash& crash : opt.crashes) {
+    config.crashes.push_back({static_cast<std::uint32_t>(crash.node),
+                              crash.from, crash.until});
+  }
+
+  ScaleWorld world(config);
+  std::printf("cadet_sim --scale: %zu clients, %zu shards (%zu edges + "
+              "server), window %.1f ms, %zu worker(s)\n",
+              world.num_clients(), world.num_shards(), world.num_edges(),
+              util::to_seconds(world.window()) * 1e3, opt.shards);
+
+  util::TaskPool pool(opt.shards);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t events = world.run(
+      [&pool](std::size_t count,
+              const std::function<void(std::size_t)>& task) {
+        pool.run(count, task);
+      });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const ScaleStats stats = world.stats();
+  const double bytes_per_client =
+      static_cast<double>(world.memory_bytes()) /
+      static_cast<double>(world.num_clients());
+  std::printf("\n=== scale run report ===\n");
+  std::printf("events executed     %llu (%.0f events/s wall)\n",
+              static_cast<unsigned long long>(events),
+              wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0);
+  std::printf("wall time           %.2f s\n", wall_s);
+  std::printf("memory              %.1f bytes/client\n", bytes_per_client);
+  std::printf("trace checksum      %016llx\n",
+              static_cast<unsigned long long>(world.checksum()));
+  std::printf("requests sent       %llu (local serves %llu, retries %llu)\n",
+              static_cast<unsigned long long>(stats.requests_sent),
+              static_cast<unsigned long long>(stats.local_serves),
+              static_cast<unsigned long long>(stats.retried));
+  std::printf("  fulfilled         %llu\n",
+              static_cast<unsigned long long>(stats.fulfilled));
+  std::printf("  fallback          %llu\n",
+              static_cast<unsigned long long>(stats.fallback));
+  std::printf("  expired           %llu\n",
+              static_cast<unsigned long long>(stats.expired));
+  std::printf("  heavy denied      %llu\n",
+              static_cast<unsigned long long>(stats.heavy_denied));
+  std::printf("uploads             %llu sent, %llu accepted, %llu rejected, "
+              "%llu blacklisted client(s)\n",
+              static_cast<unsigned long long>(stats.uploads_sent),
+              static_cast<unsigned long long>(stats.uploads_accepted),
+              static_cast<unsigned long long>(stats.uploads_rejected),
+              static_cast<unsigned long long>(stats.blacklisted_clients));
+  std::printf("boundary            %llu emitted = %llu injected, "
+              "%llu refills, %llu upload forwards\n",
+              static_cast<unsigned long long>(world.boundary_emitted()),
+              static_cast<unsigned long long>(world.boundary_injected()),
+              static_cast<unsigned long long>(stats.refills_completed),
+              static_cast<unsigned long long>(stats.upload_forwards));
+  std::printf("bytes delivered     %llu\n",
+              static_cast<unsigned long long>(stats.bytes_delivered));
+
+  bool ok = true;
+  if (stats.requests_sent !=
+      stats.fulfilled + stats.fallback + stats.expired) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: request ledger unbalanced\n");
+    ok = false;
+  }
+  if (world.boundary_emitted() != world.boundary_injected()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: boundary lost events\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 const char* profile_name(NetworkProfile profile) {
   switch (profile) {
     case NetworkProfile::kConsumer: return "consumer";
@@ -379,6 +498,8 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+
+  if (opt.scale) return run_scale(opt);
 
   TestbedConfig config;
   config.seed = opt.seed;
