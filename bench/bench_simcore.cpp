@@ -878,15 +878,54 @@ int main(int argc, char** argv) {
     cfg.drop_prob = 0.02;
     cfg.flooder_fraction = 0.002;
     cfg.bad_uploader_fraction = 0.05;
-    testbed::ScaleWorld world(cfg);
     util::TaskPool pool(std::max(1u, std::thread::hardware_concurrency()));
+    const auto executor = [&pool](std::size_t count,
+                                  const std::function<void(std::size_t)>&
+                                      task) { pool.run(count, task); };
+
+    // Observability-overhead ladder over the same seeded run:
+    //   A  plane disabled (enable_obs(false)) — the naked simulation;
+    //   B  plane enabled, tracing off — shipping default, gated < 5% of A;
+    //   C  tracing on into a sinkless ring — worst-case absorb cost,
+    //      informational (tracing is opt-in via --trace-out).
+    // The run is deterministic, so all three must execute the same events.
+    std::uint64_t events_off = 0;
+    double eps_off = 0.0;
+    {
+      testbed::ScaleWorld world(cfg);
+      world.enable_obs(false);
+      const double t0 = now_s();
+      events_off = world.run(executor);
+      eps_off = static_cast<double>(events_off) / (now_s() - t0);
+    }
+
+    testbed::ScaleWorld world(cfg);
     const double t0 = now_s();
-    const std::uint64_t events = world.run(
-        [&pool](std::size_t count,
-                const std::function<void(std::size_t)>& task) {
-          pool.run(count, task);
-        });
+    const std::uint64_t events = world.run(executor);
     const double elapsed = now_s() - t0;
+
+    std::uint64_t events_traced = 0;
+    double eps_traced = 0.0;
+    {
+      obs::Tracer ring;  // no sink: bounded ring, every fold absorbed
+      ring.enable(true);
+      testbed::ScaleWorld traced(cfg);
+      traced.set_tracer(&ring);
+      traced.enable_tracing(true);
+      const double t1 = now_s();
+      events_traced = traced.run(executor);
+      eps_traced = static_cast<double>(events_traced) / (now_s() - t1);
+    }
+    if (events_off != events || events_traced != events) {
+      std::fprintf(stderr,
+                   "FATAL: observability changed the simulation "
+                   "(%llu / %llu / %llu events off/on/traced)\n",
+                   static_cast<unsigned long long>(events_off),
+                   static_cast<unsigned long long>(events),
+                   static_cast<unsigned long long>(events_traced));
+      return 3;
+    }
+
     const double bytes_per_client =
         static_cast<double>(world.memory_bytes()) /
         static_cast<double>(world.num_clients());
@@ -895,6 +934,11 @@ int main(int argc, char** argv) {
     put(metrics, "scale_shards", static_cast<double>(world.num_shards()));
     put(metrics, "scale_events", static_cast<double>(events));
     put(metrics, "scale_events_per_sec", eps);
+    put(metrics, "scale_obs_off_events_per_sec", eps_off);
+    put(metrics, "scale_obs_overhead_fraction", 1.0 - eps / eps_off);
+    put(metrics, "scale_tracing_events_per_sec", eps_traced);
+    put(metrics, "scale_tracing_overhead_fraction",
+        1.0 - eps_traced / eps_off);
     put(metrics, "scale_bytes_per_client", bytes_per_client);
     put(metrics, "scale_legacy_bytes_per_client", legacy_bytes_per_client);
     if (legacy_bytes_per_client > 0.0) {
@@ -911,6 +955,10 @@ int main(int argc, char** argv) {
                                            bytes_per_client);
     }
     std::printf(", peak RSS %.0f MB\n", peak_rss_mb());
+    std::printf("scale obs  : %11.0f events/s plane off, %11.0f on "
+                "(overhead %+.1f%%), %11.0f tracing (%+.1f%%)\n",
+                eps_off, eps, 100.0 * (1.0 - eps / eps_off), eps_traced,
+                100.0 * (1.0 - eps_traced / eps_off));
   }
 
   if (!out_path.empty()) {
@@ -1020,10 +1068,22 @@ int main(int argc, char** argv) {
                    get(metrics, "scale_soa_shrink_factor"));
       failed = true;
     }
+    // The always-on sharded obs plane (tracing off — the shipping default)
+    // must cost under 5% of the naked simulation's event rate. Absolute,
+    // like the span gate: the budget does not move with the machine.
+    // Tracing overhead is informational only (opt-in via --trace-out).
+    if (get(metrics, "scale_obs_off_events_per_sec") > 0.0 &&
+        get(metrics, "scale_obs_overhead_fraction") >= 0.05) {
+      std::fprintf(stderr,
+                   "REGRESSION: sharded obs plane overhead %.1f%% exceeds "
+                   "the 5%% budget\n",
+                   100.0 * get(metrics, "scale_obs_overhead_fraction"));
+      failed = true;
+    }
     if (failed) return 1;
     std::printf("check      : all gated metrics within 30%% of %s, span "
                 "overhead < 5%%, flight overhead < 3%%, HDR p99 within "
-                "5%%\n",
+                "5%%, sharded obs plane < 5%%\n",
                 check_path.c_str());
   }
   return 0;

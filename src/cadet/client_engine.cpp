@@ -29,6 +29,7 @@ ClientEngine::ClientEngine(const Config& config)
       penalty_(config.count, 0.0F),
       pending_bits_(config.count, 0),
       pending_id_(config.count, 0),
+      pending_since_(config.count, 0),
       attempts_(config.count, 0),
       flags_(config.count, 0),
       cold_(new std::uint8_t[std::size_t{config.count} * kColdBytes]) {
@@ -100,6 +101,7 @@ std::size_t ClientEngine::memory_bytes() const noexcept {
          penalty_.capacity() * sizeof(float) +
          pending_bits_.capacity() * sizeof(std::uint16_t) +
          pending_id_.capacity() * sizeof(std::uint16_t) +
+         pending_since_.capacity() * sizeof(util::SimTime) +
          attempts_.capacity() * sizeof(std::uint8_t) +
          flags_.capacity() * sizeof(std::uint8_t) +
          std::size_t{count_} * kColdBytes;

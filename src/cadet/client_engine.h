@@ -4,10 +4,11 @@
 // handles — kilobytes per client once the allocator has its say) is the
 // right model for protocol-fidelity experiments at testbed scale, but it is
 // two orders of magnitude too fat for the ROADMAP's "millions of users".
-// ClientEngine keeps one client's entire hot state in ~40 bytes spread
+// ClientEngine keeps one client's entire hot state in ~48 bytes spread
 // across packed parallel arrays — RNG stream, pool cursor, usage/penalty
-// scores, one pending-request slot — plus a 32-byte arena slot of cold key
-// material, all in a handful of allocations for the whole population. The
+// scores, one pending-request slot with its issue timestamp — plus a
+// 32-byte arena slot of cold key material, all in a handful of
+// allocations for the whole population. The
 // engine owns no behaviour: the sharded testbed (testbed/scale.h) drives it
 // from simulator events, so the same state supports honest, flooding, and
 // bad-uploader roles via the flag byte.
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "cadet/config.h"
+#include "util/time.h"
 
 namespace cadet {
 
@@ -104,9 +106,12 @@ class ClientEngine {
   // ------------------------------------------------- pending-request slot
   /// One in-flight network request per client (the real ClientNode keeps a
   /// deque; at scale one slot + retries is the paper's behaviour anyway).
-  /// Returns the generation id replies must match.
-  std::uint16_t issue_request(std::uint32_t i, std::uint16_t bits) noexcept {
+  /// `now` stamps the issue time so fulfillment latency is observable
+  /// (pending_since). Returns the generation id replies must match.
+  std::uint16_t issue_request(std::uint32_t i, std::uint16_t bits,
+                              util::SimTime now = 0) noexcept {
     pending_bits_[i] = bits;
+    pending_since_[i] = now;
     attempts_[i] = 0;
     return ++pending_id_[i];
   }
@@ -118,6 +123,12 @@ class ClientEngine {
   }
   std::uint16_t pending_bits(std::uint32_t i) const noexcept {
     return pending_bits_[i];
+  }
+  /// Issue time of the slot's current request (the `now` passed to
+  /// issue_request; survives until the next issue so a reply handler can
+  /// read the latency after resolving the slot).
+  util::SimTime pending_since(std::uint32_t i) const noexcept {
+    return pending_since_[i];
   }
   /// Retry bookkeeping: returns the attempt count after the bump.
   std::uint8_t bump_attempts(std::uint32_t i) noexcept {
@@ -200,6 +211,7 @@ class ClientEngine {
   std::vector<float> penalty_;
   std::vector<std::uint16_t> pending_bits_;  // 0 = no request in flight
   std::vector<std::uint16_t> pending_id_;
+  std::vector<util::SimTime> pending_since_;
   std::vector<std::uint8_t> attempts_;
   std::vector<std::uint8_t> flags_;
   std::unique_ptr<std::uint8_t[]> cold_;  // kColdBytes per client

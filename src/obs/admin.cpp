@@ -150,8 +150,20 @@ void AdminServer::handle_connection(int client_fd) {
     send_response(client_fd, "200 OK", "application/x-ndjson",
                   flight_->dump_jsonl());
   } else {
-    send_response(client_fd, "404 Not Found", "text/plain",
-                  "paths: /metrics /healthz /flight\n");
+    for (const Source& source : sources_) {
+      if (source.path == path) {
+        send_response(client_fd, "200 OK", source.content_type.c_str(),
+                      source.render ? source.render() : std::string());
+        return;
+      }
+    }
+    std::string paths = "paths: /metrics /healthz /flight";
+    for (const Source& source : sources_) {
+      paths += ' ';
+      paths += source.path;
+    }
+    paths += '\n';
+    send_response(client_fd, "404 Not Found", "text/plain", paths);
   }
 }
 

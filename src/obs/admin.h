@@ -14,8 +14,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -38,6 +41,16 @@ class AdminServer {
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
 
+  /// Register an extra GET endpoint (e.g. "/shards" live scale progress).
+  /// The callback runs on the acceptor thread per request, so it must be
+  /// thread-safe with respect to whatever it snapshots. Register before
+  /// start(); the path must begin with '/'.
+  void add_source(std::string path, std::string content_type,
+                  std::function<std::string()> render) {
+    sources_.push_back({std::move(path), std::move(content_type),
+                        std::move(render)});
+  }
+
   /// Bind + listen + spawn the acceptor thread. False on socket errors
   /// (message on stderr).
   bool start(const Options& options);
@@ -52,9 +65,16 @@ class AdminServer {
   }
 
  private:
+  struct Source {
+    std::string path;
+    std::string content_type;
+    std::function<std::string()> render;
+  };
+
   void serve_loop();
   void handle_connection(int client_fd);
 
+  std::vector<Source> sources_;
   Registry* registry_;
   SloEngine* slo_;
   FlightRecorder* flight_;

@@ -117,6 +117,22 @@ bool HdrSnapshot::merge(const HdrSnapshot& other) {
   return true;
 }
 
+bool HdrSnapshot::subtract(const HdrSnapshot& earlier) {
+  if (!(layout == earlier.layout) || counts.size() != earlier.counts.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] < earlier.counts[i]) return false;
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] -= earlier.counts[i];
+  }
+  count -= earlier.count;
+  sum_s -= earlier.sum_s;
+  saturated -= earlier.saturated;
+  return true;
+}
+
 // ------------------------------------------------------------- HdrHistogram
 
 HdrHistogram::HdrHistogram(const HdrConfig& config) {
@@ -252,6 +268,35 @@ std::uint64_t HdrHistogram::count_above(double seconds) const noexcept {
     above += cell(i);
   }
   return above;
+}
+
+bool HdrHistogram::absorb(const HdrSnapshot& delta) {
+  if (!(delta.layout == layout_) ||
+      delta.counts.size() != cells_per_stripe_) {
+    return false;
+  }
+  // All adds land in stripe 0; cell() merges stripes on the read side, so
+  // absorbed counts and directly recorded ones are indistinguishable.
+  std::uint64_t ns = 0;
+  for (std::size_t i = 0; i < cells_per_stripe_; ++i) {
+    if (delta.counts[i] == 0) continue;
+    cell_add(i, delta.counts[i]);
+    ns += delta.counts[i] * layout_.value_lo(i);
+  }
+  // Preserve the exact sum the source histogram accumulated rather than
+  // the cell-midpoint reconstruction when the delta carries one.
+  const double sum_ns = delta.sum_s > 0.0
+                            ? delta.sum_s * 1e9
+                            : static_cast<double>(ns);
+#if CADET_OBS_ENABLED
+  sum_ns_[0].fetch_add(static_cast<std::uint64_t>(sum_ns),
+                       std::memory_order_relaxed);
+  saturated_[0].fetch_add(delta.saturated, std::memory_order_relaxed);
+#else
+  sum_ns_[0] += static_cast<std::uint64_t>(sum_ns);
+  saturated_[0] += delta.saturated;
+#endif
+  return true;
 }
 
 HdrSnapshot HdrHistogram::snapshot() const {

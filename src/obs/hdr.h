@@ -78,6 +78,10 @@ struct HdrSnapshot {
   std::uint64_t count_above(double seconds) const noexcept;
   /// Cell-wise add. False (and no-op) when layouts differ.
   bool merge(const HdrSnapshot& other);
+  /// Cell-wise subtract of an EARLIER snapshot of the same histogram,
+  /// leaving the delta recorded between the two. False (and no-op) when
+  /// layouts differ or `earlier` is not cell-wise <= this one.
+  bool subtract(const HdrSnapshot& earlier);
 };
 
 class HdrHistogram {
@@ -107,6 +111,13 @@ class HdrHistogram {
   /// Epoch-stamped mergeable copy of the counts. Monotone: a later
   /// snapshot's count/cells are >= an earlier one's.
   HdrSnapshot snapshot() const;
+
+  /// Fold a (delta) snapshot's cells into this live histogram. The sharded
+  /// worlds use this to publish per-shard histograms into a registry-owned
+  /// instrument: integer cell adds commute, so absorbing shard deltas in
+  /// shard-index order yields the same counts as recording directly.
+  /// False (and no-op) when the layouts differ.
+  bool absorb(const HdrSnapshot& delta);
 
  private:
 #if CADET_OBS_ENABLED

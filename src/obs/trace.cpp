@@ -187,15 +187,24 @@ bool parse_string(std::string_view s, std::size_t& i, std::string& out) {
   return true;
 }
 
-bool parse_number(std::string_view s, std::size_t& i, double& out) {
+/// Parses a JSON number. `out` gets the double value; `out_u64` gets the
+/// EXACT integer when the token is a plain unsigned decimal — 64-bit
+/// trace/span ids (the scale path packs tag bits into the top bits) do not
+/// survive a double round trip, so id fields must read from `out_u64`.
+bool parse_number(std::string_view s, std::size_t& i, double& out,
+                  std::uint64_t& out_u64) {
   char* end = nullptr;
   // strtod needs a NUL-terminated buffer; numbers are short.
   char buf[64];
   std::size_t n = 0;
+  bool integral = true;
   while (i + n < s.size() && n + 1 < sizeof(buf) &&
          (std::isdigit(static_cast<unsigned char>(s[i + n])) ||
           s[i + n] == '-' || s[i + n] == '+' || s[i + n] == '.' ||
           s[i + n] == 'e' || s[i + n] == 'E')) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i + n]))) {
+      integral = false;
+    }
     buf[n] = s[i + n];
     ++n;
   }
@@ -203,6 +212,8 @@ bool parse_number(std::string_view s, std::size_t& i, double& out) {
   buf[n] = '\0';
   out = std::strtod(buf, &end);
   if (end == buf) return false;
+  out_u64 = integral ? std::strtoull(buf, nullptr, 10)
+                     : static_cast<std::uint64_t>(out);
   i += static_cast<std::size_t>(end - buf);
   return true;
 }
@@ -253,18 +264,19 @@ std::optional<ParsedEvent> parse_json_line(std::string_view line) {
       // Unknown string keys are tolerated (schema may grow).
     } else {
       double value = 0.0;
-      if (!parse_number(line, i, value)) return std::nullopt;
+      std::uint64_t exact = 0;
+      if (!parse_number(line, i, value, exact)) return std::nullopt;
       if (key == "ts") {
         event.ts_s = value;
         saw_ts = true;
       } else if (key == "node") {
-        event.node = static_cast<std::uint64_t>(value);
+        event.node = exact;
       } else if (key == "trace") {
-        event.trace = static_cast<std::uint64_t>(value);
+        event.trace = exact;
       } else if (key == "span") {
-        event.span = static_cast<std::uint64_t>(value);
+        event.span = exact;
       } else if (key == "parent") {
-        event.parent = static_cast<std::uint64_t>(value);
+        event.parent = exact;
       } else {
         event.attrs.emplace_back(std::move(key), value);
       }

@@ -30,7 +30,7 @@
 namespace cadet::sim {
 
 /// One message crossing a shard boundary. POD on purpose: outboxes are
-/// plain vectors and the merge sort moves 48-byte values.
+/// plain vectors and the merge sort moves 64-byte values.
 struct BoundaryEvent {
   util::SimTime time = 0;   ///< delivery time in the destination shard
   std::uint64_t seq = 0;    ///< per-source-shard emission counter
@@ -40,6 +40,10 @@ struct BoundaryEvent {
   std::uint32_t flags = 0;  ///< protocol-defined small payload
   std::uint64_t a = 0;      ///< payload word (e.g. node id)
   std::uint64_t b = 0;      ///< payload word (e.g. byte count)
+  util::SimTime emit_ts = 0;  ///< emission time in the source shard
+                              ///< (crossing latency = time - emit_ts)
+  std::uint64_t ctx = 0;    ///< span/trace context carried across the
+                            ///< boundary (0 = untraced)
 };
 
 /// Deterministic merge order: {time, seq, shard}.
@@ -68,21 +72,23 @@ class MergeQueue {
 
   /// Drain every outbox into `out`, ordered by {time, seq, shard}. Called
   /// single-threaded at the window barrier. Returns false when any event
-  /// violates the conservative bound `time >= not_before` — the caller
-  /// treats that as a lookahead bug, not a recoverable condition.
+  /// violates the conservative bound `time >= not_before` — a lookahead
+  /// bug; violations() counts every offending event so callers can
+  /// surface the defect as a metric instead of only a boolean.
   bool drain(util::SimTime not_before, std::vector<BoundaryEvent>& out) {
     out.clear();
-    bool ok = true;
+    std::uint64_t violations = 0;
     for (std::vector<BoundaryEvent>& box : outbox_) {
       for (const BoundaryEvent& event : box) {
-        ok = ok && event.time >= not_before;
+        if (event.time < not_before) ++violations;
       }
       out.insert(out.end(), box.begin(), box.end());
       box.clear();
     }
     std::sort(out.begin(), out.end(), boundary_before);
     drained_ += out.size();
-    return ok;
+    violations_ += violations;
+    return violations == 0;
   }
 
   /// Conservation counters: every emitted event must eventually be drained
@@ -93,6 +99,10 @@ class MergeQueue {
     return total;
   }
   std::uint64_t drained() const noexcept { return drained_; }
+
+  /// Total events that have violated the conservative lookahead bound
+  /// across all drains (0 on a healthy run).
+  std::uint64_t violations() const noexcept { return violations_; }
 
   /// Events sitting in outboxes, not yet drained.
   std::size_t pending() const noexcept {
@@ -113,6 +123,7 @@ class MergeQueue {
   std::vector<std::vector<BoundaryEvent>> outbox_;  // one per source shard
   std::vector<std::uint64_t> emitted_;  // per-source seq = emission count
   std::uint64_t drained_ = 0;
+  std::uint64_t violations_ = 0;
 };
 
 }  // namespace cadet::sim

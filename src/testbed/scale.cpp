@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace cadet::testbed {
 namespace {
@@ -72,6 +73,50 @@ inline std::uint64_t float_bits(float value) noexcept {
   return bits;
 }
 
+// Trace-id construction for the scale spans. The top two bits partition
+// the id space by span kind so ids never collide across kinds:
+//   10 request span   (gid << 16 | pending id)
+//   01 refill span    (edge shard << 32 | per-edge counter)
+//   11 upload forward (edge shard << 32 | per-edge counter)
+inline std::uint64_t request_trace(std::uint32_t gid,
+                                   std::uint16_t id) noexcept {
+  return (std::uint64_t{1} << 63) | (std::uint64_t{gid} << 16) | id;
+}
+inline std::uint64_t refill_trace(std::uint32_t shard,
+                                  std::uint64_t n) noexcept {
+  return (std::uint64_t{1} << 62) | (std::uint64_t{shard} << 32) | n;
+}
+inline std::uint64_t forward_trace(std::uint32_t shard,
+                                   std::uint64_t n) noexcept {
+  return (std::uint64_t{3} << 62) | (std::uint64_t{shard} << 32) | n;
+}
+
+/// Build one scale trace event; callers append payload attrs (two slots
+/// stay free — ShardObs::emit stamps {shard, seq} into the other two).
+inline obs::TraceEvent scale_event(util::SimTime ts, const char* name,
+                                   const char* tier, std::uint64_t node,
+                                   char phase, std::uint64_t trace,
+                                   std::uint64_t span,
+                                   std::uint64_t parent) noexcept {
+  obs::TraceEvent event;
+  event.ts = ts;
+  event.name = name;
+  event.tier = tier;
+  event.node = node;
+  event.phase = phase;
+  event.trace = trace;
+  event.span = span;
+  event.parent = parent;
+  return event;
+}
+
+inline void add_attr(obs::TraceEvent& event, const char* key,
+                     double value) noexcept {
+  if (event.num_attrs < event.attrs.size()) {
+    event.attrs[event.num_attrs++] = {key, value};
+  }
+}
+
 void add_stats(ScaleStats& into, const ScaleStats& from) noexcept {
   into.requests_sent += from.requests_sent;
   into.local_serves += from.local_serves;
@@ -114,7 +159,9 @@ ScaleWorld::ScaleWorld(const ScaleConfig& config)
       horizon_(util::from_seconds(config.duration_s)),
       merge_((config.num_clients + config.clients_per_edge - 1) /
                  std::max<std::size_t>(config.clients_per_edge, 1) +
-             1) {
+             1),
+      plane_((config.num_clients + config.clients_per_edge - 1) /
+             std::max<std::size_t>(config.clients_per_edge, 1)) {
   if (config_.num_clients == 0 || config_.clients_per_edge == 0) {
     throw std::invalid_argument("ScaleWorld: need clients and an edge size");
   }
@@ -215,15 +262,32 @@ std::uint64_t ScaleWorld::run(const Executor& executor) {
       for (std::size_t s = 0; s < num_shards(); ++s) step_shard(s);
     }
     // Single-threaded barrier: merge in {time, seq, shard} order and
-    // inject into the destination shards for the next window.
-    if (!merge_.drain(window_end_, batch)) {
-      throw std::logic_error(
-          "ScaleWorld: boundary event violates the conservative lookahead");
-    }
+    // inject into the destination shards for the next window. A drain
+    // reporting a lookahead violation is a protocol bug — it is counted
+    // (merge_.violations(), surfaced as a metric and a non-zero tool
+    // exit) but the events still inject so conservation holds and the
+    // run stays inspectable.
+    merge_.drain(window_end_, batch);
+    plane_.record_batch(batch.size());
     for (const sim::BoundaryEvent& event : batch) inject(event);
     boundary_injected_ += batch.size();
+    // Fold the per-stream obs buffers up to the merged watermark: every
+    // stream has now completed the window, so all events below the
+    // watermark exist and the fold order is final.
+    plane_.fold_window(tracer_, window_end_);
+    if (window_hook_) {
+      WindowReport report;
+      report.watermark = window_end_;
+      report.batch = batch.size();
+      report.events = events_executed();
+      report.lookahead_violations = merge_.violations();
+      window_hook_(report);
+    }
     if (window_end_ > horizon_ && batch.empty() && idle()) break;
   }
+  // Belt and braces: a healthy run has nothing left (every held event's
+  // delivery kept its shard busy until a later barrier folded it).
+  plane_.fold_all(tracer_);
   return events_executed();
 }
 
@@ -243,25 +307,43 @@ void ScaleWorld::inject(const sim::BoundaryEvent& event) {
              (event.seq << 8) | event.kind);
   fold(boundary_checksum_, event.a);
   fold(boundary_checksum_, event.b);
+  plane_.record_crossing(util::to_seconds(event.time - event.emit_ts));
+  if (plane_.tracing()) {
+    // The crossing event is timestamped at DELIVERY time — possibly up to
+    // two windows ahead — so the watermark-gated fold holds it until
+    // every stream has advanced past it.
+    const char* name = event.kind == kRefillReq    ? "cross_refill_req"
+                       : event.kind == kRefillData ? "cross_refill_data"
+                                                   : "cross_upload";
+    obs::TraceEvent cross = scale_event(event.time, name, "net", event.dst,
+                                        0, event.ctx, 0, 0);
+    add_attr(cross, "src", static_cast<double>(event.src));
+    add_attr(cross, "latency_s",
+             util::to_seconds(event.time - event.emit_ts));
+    plane_.boundary().emit(cross);
+  }
+  const std::uint64_t ctx = event.ctx;
   switch (event.kind) {
     case kRefillReq: {
       const std::uint32_t edge = static_cast<std::uint32_t>(event.a);
       const std::uint64_t bytes = event.b;
-      server_.sim.schedule_at(
-          event.time, [this, edge, bytes] { server_refill(edge, bytes); });
+      server_.sim.schedule_at(event.time, [this, edge, bytes, ctx] {
+        server_refill(edge, bytes, ctx);
+      });
       break;
     }
     case kUploadFwd: {
       const std::uint64_t bytes = event.b;
-      server_.sim.schedule_at(event.time,
-                              [this, bytes] { server_upload(bytes); });
+      server_.sim.schedule_at(
+          event.time, [this, bytes, ctx] { server_upload(bytes, ctx); });
       break;
     }
     case kRefillData: {
       const std::uint32_t s = event.dst;
       const std::uint64_t bytes = event.b;
-      shards_[s]->sim.schedule_at(event.time,
-                                  [this, s, bytes] { edge_refill(s, bytes); });
+      shards_[s]->sim.schedule_at(event.time, [this, s, bytes, ctx] {
+        edge_refill(s, bytes, ctx);
+      });
       break;
     }
     default:
@@ -303,9 +385,17 @@ void ScaleWorld::request_tick(std::uint32_t s, std::uint32_t i) {
   if (engine.request_pending(i)) return;
   const std::uint16_t wire_bits =
       static_cast<std::uint16_t>(2 * config_.request_bits);
-  const std::uint16_t id = engine.issue_request(i, wire_bits);
+  const std::uint16_t id = engine.issue_request(i, wire_bits, now);
   ++shard.stats.requests_sent;
   fold_event(shard.checksum, kFoldRequest, engine.global_id(i), now, id);
+  if (plane_.tracing()) {
+    const std::uint64_t trace = request_trace(engine.global_id(i), id);
+    obs::TraceEvent event = scale_event(now, "request", "client",
+                                        engine.global_id(i), 'B', trace,
+                                        trace, 0);
+    add_attr(event, "bits", static_cast<double>(wire_bits));
+    plane_.edge(s).emit(event);
+  }
   send_request(s, i, id, false);
 }
 
@@ -340,6 +430,11 @@ void ScaleWorld::edge_request(std::uint32_t s, std::uint32_t i,
   if (engine.has(i, ClientEngine::kHeavy)) {
     ++shard.stats.heavy_denied;
     fold_event(shard.checksum, kFoldHeavyDeny, engine.global_id(i), now, id);
+    if (plane_.tracing()) {
+      plane_.edge(s).emit(scale_event(
+          now, "heavy_deny", "edge", engine.global_id(i), 0,
+          request_trace(engine.global_id(i), id), 0, 0));
+    }
     const bool dropped =
         config_.drop_prob > 0.0 && shard.rng.bernoulli(config_.drop_prob);
     if (dropped) {
@@ -368,6 +463,11 @@ void ScaleWorld::edge_request(std::uint32_t s, std::uint32_t i,
     // degrades to its CSPRNG fallback instead of burning retries.
     ++shard.stats.cache_misses;
     fold_event(shard.checksum, kFoldCacheMiss, engine.global_id(i), now, id);
+    if (plane_.tracing()) {
+      plane_.edge(s).emit(scale_event(
+          now, "cache_miss", "edge", engine.global_id(i), 0,
+          request_trace(engine.global_id(i), id), 0, 0));
+    }
     const bool dropped =
         config_.drop_prob > 0.0 && shard.rng.bernoulli(config_.drop_prob);
     if (dropped) {
@@ -388,12 +488,24 @@ void ScaleWorld::client_reply(std::uint32_t s, std::uint32_t i,
     ++shard.stats.stale_replies;
     return;
   }
+  const util::SimTime now = shard.sim.now();
+  const double latency_s = util::to_seconds(now - engine.pending_since(i));
   engine.complete_request(i, grant_bits);
   engine.pool_consume(i, config_.request_bits);  // the tick's original need
   ++shard.stats.fulfilled;
   shard.stats.bytes_delivered += grant_bits / 8;
-  fold_event(shard.checksum, kFoldFulfilled, engine.global_id(i),
-             shard.sim.now(), grant_bits);
+  fold_event(shard.checksum, kFoldFulfilled, engine.global_id(i), now,
+             grant_bits);
+  plane_.edge(s).record(latency_s);
+  if (plane_.tracing()) {
+    const std::uint64_t trace = request_trace(engine.global_id(i), id);
+    obs::TraceEvent event = scale_event(now, "fulfilled", "client",
+                                        engine.global_id(i), 'E', trace,
+                                        trace, 0);
+    add_attr(event, "latency_s", latency_s);
+    add_attr(event, "bits", static_cast<double>(grant_bits));
+    plane_.edge(s).emit(event);
+  }
 }
 
 void ScaleWorld::client_reject(std::uint32_t s, std::uint32_t i,
@@ -408,8 +520,17 @@ void ScaleWorld::client_reject(std::uint32_t s, std::uint32_t i,
   // (the paper's degradation path) and the slot resolves as a fallback.
   engine.cancel_request(i);
   ++shard.stats.fallback;
-  fold_event(shard.checksum, kFoldFallback, engine.global_id(i),
-             shard.sim.now(), id);
+  const util::SimTime now = shard.sim.now();
+  fold_event(shard.checksum, kFoldFallback, engine.global_id(i), now, id);
+  if (plane_.tracing()) {
+    const std::uint64_t trace = request_trace(engine.global_id(i), id);
+    obs::TraceEvent event = scale_event(now, "fallback", "client",
+                                        engine.global_id(i), 'E', trace,
+                                        trace, 0);
+    add_attr(event, "latency_s",
+             util::to_seconds(now - engine.pending_since(i)));
+    plane_.edge(s).emit(event);
+  }
 }
 
 void ScaleWorld::client_timeout(std::uint32_t s, std::uint32_t i,
@@ -423,8 +544,14 @@ void ScaleWorld::client_timeout(std::uint32_t s, std::uint32_t i,
   }
   engine.cancel_request(i);
   ++shard.stats.expired;
-  fold_event(shard.checksum, kFoldExpired, engine.global_id(i),
-             shard.sim.now(), id);
+  const util::SimTime now = shard.sim.now();
+  fold_event(shard.checksum, kFoldExpired, engine.global_id(i), now, id);
+  if (plane_.tracing()) {
+    const std::uint64_t trace = request_trace(engine.global_id(i), id);
+    plane_.edge(s).emit(scale_event(now, "expired", "client",
+                                    engine.global_id(i), 'E', trace, trace,
+                                    0));
+  }
 }
 
 // ------------------------------------------------------------ upload side
@@ -442,6 +569,12 @@ void ScaleWorld::upload_tick(std::uint32_t s, std::uint32_t i) {
   ++shard.stats.uploads_sent;
   fold_event(shard.checksum, kFoldUpload, engine.global_id(i), now,
              config_.upload_bytes);
+  if (plane_.tracing()) {
+    obs::TraceEvent event = scale_event(now, "upload", "client",
+                                        engine.global_id(i), 0, 0, 0, 0);
+    add_attr(event, "bytes", static_cast<double>(config_.upload_bytes));
+    plane_.edge(s).emit(event);
+  }
   if (config_.drop_prob > 0.0 && shard.rng.bernoulli(config_.drop_prob)) {
     ++shard.stats.wire_dropped_uploads;
     return;
@@ -477,11 +610,19 @@ void ScaleWorld::edge_upload(std::uint32_t s, std::uint32_t i) {
     ++shard.stats.uploads_rejected;
     const bool was_blacklisted = engine.has(i, ClientEngine::kBlacklisted);
     engine.penalty_add(i, kBadUploadPoints);
-    if (!was_blacklisted && engine.has(i, ClientEngine::kBlacklisted)) {
-      ++shard.stats.blacklisted_clients;
-    }
+    const bool newly_blacklisted =
+        !was_blacklisted && engine.has(i, ClientEngine::kBlacklisted);
+    if (newly_blacklisted) ++shard.stats.blacklisted_clients;
     fold_event(shard.checksum, kFoldUploadBad, engine.global_id(i), now,
                float_bits(engine.penalty_score(i)));
+    if (plane_.tracing()) {
+      obs::TraceEvent event =
+          scale_event(now, newly_blacklisted ? "blacklisted" : "upload_bad",
+                      "edge", engine.global_id(i), 0, 0, 0, 0);
+      add_attr(event, "penalty",
+               static_cast<double>(engine.penalty_score(i)));
+      plane_.edge(s).emit(event);
+    }
     return;
   }
   engine.penalty_add(i, kGoodUploadPoints);
@@ -500,6 +641,16 @@ void ScaleWorld::edge_upload(std::uint32_t s, std::uint32_t i) {
     event.kind = kUploadFwd;
     event.a = shard.index;
     event.b = shard.upload_buffer_bytes;
+    event.emit_ts = now;
+    if (plane_.tracing()) {
+      event.ctx = forward_trace(shard.index, ++shard.forward_traces);
+      obs::TraceEvent open = scale_event(now, "upload_fwd", "edge",
+                                         shard.index, 'B', event.ctx,
+                                         event.ctx, 0);
+      add_attr(open, "bytes",
+               static_cast<double>(shard.upload_buffer_bytes));
+      plane_.edge(s).emit(open);
+    }
     merge_.emit(shard.index, event);
     ++shard.stats.upload_forwards;
     shard.stats.upload_forward_bytes += shard.upload_buffer_bytes;
@@ -529,6 +680,13 @@ void ScaleWorld::edge_scan(std::uint32_t s) {
   fold_event(shard.checksum, kFoldScan, shard.index, now,
              (float_bits(scan.median) << 32) | float_bits(scan.threshold));
   fold(shard.checksum, scan.heavy);
+  if (plane_.tracing()) {
+    obs::TraceEvent event =
+        scale_event(now, "heavy_scan", "edge", shard.index, 0, 0, 0, 0);
+    add_attr(event, "heavy", static_cast<double>(scan.heavy));
+    add_attr(event, "threshold", static_cast<double>(scan.threshold));
+    plane_.edge(s).emit(event);
+  }
 }
 
 void ScaleWorld::maybe_refill(EdgeShard& shard) {
@@ -551,6 +709,16 @@ void ScaleWorld::maybe_refill(EdgeShard& shard) {
   event.kind = kRefillReq;
   event.a = shard.index;
   event.b = want_bytes;
+  event.emit_ts = now;
+  if (plane_.tracing()) {
+    event.ctx = refill_trace(shard.index, ++shard.refill_traces);
+    obs::TraceEvent open = scale_event(now, "refill_req", "edge",
+                                       shard.index, 'B', event.ctx,
+                                       event.ctx, 0);
+    add_attr(open, "bytes", static_cast<double>(want_bytes));
+    add_attr(open, "reissue", reissue ? 1.0 : 0.0);
+    plane_.edge(shard.index).emit(open);
+  }
   merge_.emit(shard.index, event);
   shard.refill_pending = true;
   shard.refill_issued_at = now;
@@ -562,13 +730,20 @@ void ScaleWorld::maybe_refill(EdgeShard& shard) {
   fold_event(shard.checksum, kFoldRefillReq, shard.index, now, want_bytes);
 }
 
-void ScaleWorld::edge_refill(std::uint32_t s, std::uint64_t bytes) {
+void ScaleWorld::edge_refill(std::uint32_t s, std::uint64_t bytes,
+                             std::uint64_t ctx) {
   EdgeShard& shard = *shards_[s];
   const util::SimTime now = shard.sim.now();
   if (offline(shard, now)) {
     // Lost to the crash; refill_pending stays set and the timeout path
     // re-issues once the edge is back and traffic flows again.
     ++shard.stats.crash_dropped_refills;
+    if (plane_.tracing() && ctx != 0) {
+      // Close the refill span so the trace stays well-formed: the data
+      // existed, the crash ate it.
+      plane_.edge(s).emit(scale_event(now, "refill_lost", "edge",
+                                      shard.index, 'E', ctx, ctx, 0));
+    }
     return;
   }
   shard.refill_pending = false;
@@ -577,11 +752,18 @@ void ScaleWorld::edge_refill(std::uint32_t s, std::uint64_t bytes) {
       std::min(shard.cache_capacity_bits,
                shard.cache_bits + static_cast<std::int64_t>(bytes) * 8);
   fold_event(shard.checksum, kFoldRefillData, shard.index, now, bytes);
+  if (plane_.tracing() && ctx != 0) {
+    obs::TraceEvent close = scale_event(now, "refill_data", "edge",
+                                        shard.index, 'E', ctx, ctx, 0);
+    add_attr(close, "bytes", static_cast<double>(bytes));
+    plane_.edge(s).emit(close);
+  }
 }
 
 // ------------------------------------------------------------ server side
 
-void ScaleWorld::server_refill(std::uint32_t edge, std::uint64_t want_bytes) {
+void ScaleWorld::server_refill(std::uint32_t edge, std::uint64_t want_bytes,
+                               std::uint64_t ctx) {
   const util::SimTime now = server_.sim.now();
   const std::uint64_t grant = std::min(
       want_bytes, static_cast<std::uint64_t>(
@@ -597,14 +779,28 @@ void ScaleWorld::server_refill(std::uint32_t edge, std::uint64_t want_bytes) {
   event.kind = kRefillData;
   event.a = edge;
   event.b = grant;
+  event.emit_ts = now;
+  event.ctx = ctx;  // thread the refill span across the return crossing
   merge_.emit(static_cast<std::uint32_t>(shards_.size()), event);
   fold_event(server_.checksum, kFoldServerGrant, edge, now, grant);
+  if (plane_.tracing() && ctx != 0) {
+    obs::TraceEvent grant_event =
+        scale_event(now, "server_grant", "server", edge, 'X', ctx, 2, ctx);
+    add_attr(grant_event, "bytes", static_cast<double>(grant));
+    plane_.server().emit(grant_event);
+  }
 }
 
-void ScaleWorld::server_upload(std::uint64_t bytes) {
+void ScaleWorld::server_upload(std::uint64_t bytes, std::uint64_t ctx) {
+  const util::SimTime now = server_.sim.now();
   server_.pool_bytes += static_cast<std::int64_t>(bytes);
-  fold_event(server_.checksum, kFoldServerUpload, 0, server_.sim.now(),
-             bytes);
+  fold_event(server_.checksum, kFoldServerUpload, 0, now, bytes);
+  if (plane_.tracing() && ctx != 0) {
+    obs::TraceEvent close =
+        scale_event(now, "server_upload", "server", 0, 'E', ctx, ctx, 0);
+    add_attr(close, "bytes", static_cast<double>(bytes));
+    plane_.server().emit(close);
+  }
 }
 
 void ScaleWorld::server_source_tick() {
@@ -666,9 +862,138 @@ ScaleStats ScaleWorld::stats() const noexcept {
   return total;
 }
 
+void ScaleWorld::publish_metrics(obs::Registry& registry) {
+  const ScaleStats cur = stats();
+  const auto bump = [&registry](const char* name, std::uint64_t now_total,
+                                std::uint64_t before) {
+    if (now_total > before) registry.counter(name).inc(now_total - before);
+  };
+
+  // Canonical names the default SLO rules and dashboards already read, so
+  // the scale path lights up the same burn/ratio/gauge alerts per-node
+  // deployments use.
+  bump("cadet_edge_requests_received", cur.requests_sent,
+       published_.requests_sent);
+  bump("cadet_edge_refill_retries", cur.refill_reissues,
+       published_.refill_reissues);
+  bump("cadet_server_uploads_dropped_penalty", cur.uploads_rejected,
+       published_.uploads_rejected);
+  const std::uint64_t resolved = cur.fulfilled + cur.fallback + cur.expired;
+  registry.gauge("cadet_fulfillment_inflight")
+      .set(static_cast<std::int64_t>(cur.requests_sent) -
+           static_cast<std::int64_t>(resolved));
+
+  // Scale-world counters (request economics, uploads, boundary, faults).
+  bump("cadet_scale_requests", cur.requests_sent,
+       published_.requests_sent);
+  bump("cadet_scale_local_serves", cur.local_serves,
+       published_.local_serves);
+  bump("cadet_scale_retries", cur.retried, published_.retried);
+  bump("cadet_scale_fulfilled", cur.fulfilled, published_.fulfilled);
+  bump("cadet_scale_fallback", cur.fallback, published_.fallback);
+  bump("cadet_scale_expired", cur.expired, published_.expired);
+  bump("cadet_scale_heavy_denied", cur.heavy_denied,
+       published_.heavy_denied);
+  bump("cadet_scale_cache_misses", cur.cache_misses,
+       published_.cache_misses);
+  bump("cadet_scale_uploads_sent", cur.uploads_sent,
+       published_.uploads_sent);
+  bump("cadet_scale_uploads_accepted", cur.uploads_accepted,
+       published_.uploads_accepted);
+  bump("cadet_scale_penalty_drops", cur.blacklist_drops,
+       published_.blacklist_drops);
+  bump("cadet_scale_refills_requested", cur.refills_requested,
+       published_.refills_requested);
+  bump("cadet_scale_refills_completed", cur.refills_completed,
+       published_.refills_completed);
+  bump("cadet_scale_upload_forwards", cur.upload_forwards,
+       published_.upload_forwards);
+  bump("cadet_scale_server_grants", cur.server_grants,
+       published_.server_grants);
+  bump("cadet_scale_wire_drops",
+       cur.wire_dropped_requests + cur.wire_dropped_replies +
+           cur.wire_dropped_uploads,
+       published_.wire_dropped_requests + published_.wire_dropped_replies +
+           published_.wire_dropped_uploads);
+  bump("cadet_scale_crash_drops",
+       cur.crash_dropped_requests + cur.crash_dropped_uploads +
+           cur.crash_dropped_refills,
+       published_.crash_dropped_requests + published_.crash_dropped_uploads +
+           published_.crash_dropped_refills);
+  registry.gauge("cadet_scale_blacklisted_clients")
+      .set(static_cast<std::int64_t>(cur.blacklisted_clients));
+  registry.gauge("cadet_server_pool_bytes").set(server_.pool_bytes);
+
+  // Progress + boundary health. The violations counter is the satellite
+  // operators alert on: non-zero means the conservative lookahead bound
+  // was broken (a protocol bug, also a non-zero cadet_sim --scale exit).
+  const std::uint64_t events = events_executed();
+  bump("cadet_scale_events", events, published_events_);
+  published_events_ = events;
+  // Created even at zero so the alerting floor is a present series, not a
+  // missing one.
+  obs::Counter& violations =
+      registry.counter("cadet_shard_lookahead_violations");
+  if (merge_.violations() > published_violations_) {
+    violations.inc(merge_.violations() - published_violations_);
+  }
+  published_violations_ = merge_.violations();
+  bump("cadet_scale_trace_events_folded", plane_.events_folded(),
+       published_folded_);
+  published_folded_ = plane_.events_folded();
+  registry.gauge("cadet_scale_watermark_ms")
+      .set(static_cast<std::int64_t>(util::to_seconds(window_end_) * 1e3));
+  registry.gauge("cadet_scale_boundary_pending")
+      .set(static_cast<std::int64_t>(merge_.pending()));
+
+  // Latency histograms: per-shard deltas absorbed in shard-index order
+  // (integer cells commute, so the registry instrument matches a single-
+  // threaded recording exactly — see obs/shard_obs.h).
+  obs::HdrSnapshot latency = plane_.merged_latency();
+  obs::HdrSnapshot latency_delta = latency;
+  latency_delta.subtract(published_latency_);  // first publish: no-op, full
+  registry.hdr("cadet_fulfillment_seconds", {},
+               obs::ShardObsPlane::scale_latency())
+      .absorb(latency_delta);
+  published_latency_ = std::move(latency);
+
+  obs::HdrSnapshot crossing = plane_.crossing().snapshot();
+  obs::HdrSnapshot crossing_delta = crossing;
+  crossing_delta.subtract(published_crossing_);
+  registry.hdr("cadet_boundary_crossing_seconds", {},
+               obs::ShardObsPlane::boundary_crossing())
+      .absorb(crossing_delta);
+  published_crossing_ = std::move(crossing);
+
+  obs::HdrSnapshot occupancy = plane_.occupancy().snapshot();
+  obs::HdrSnapshot occupancy_delta = occupancy;
+  occupancy_delta.subtract(published_occupancy_);
+  registry.hdr("cadet_boundary_batch_events", {},
+               obs::ShardObsPlane::boundary_batch())
+      .absorb(occupancy_delta);
+  published_occupancy_ = std::move(occupancy);
+
+  // Per-shard load view (the imbalance table cadet_report renders).
+  published_shard_events_.resize(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::uint64_t executed = shards_[s]->sim.events_executed();
+    if (executed > published_shard_events_[s]) {
+      registry
+          .counter("cadet_shard_events",
+                   {{"shard", std::to_string(s)}})
+          .inc(executed - published_shard_events_[s]);
+    }
+    published_shard_events_[s] = executed;
+  }
+
+  published_ = cur;
+}
+
 std::size_t ScaleWorld::memory_bytes() const noexcept {
   std::size_t total = sizeof(ScaleWorld) + merge_.memory_bytes() +
-                      server_.sim.memory_bytes();
+                      server_.sim.memory_bytes() + plane_.memory_bytes() +
+                      published_shard_events_.capacity() *
+                          sizeof(std::uint64_t);
   for (const std::unique_ptr<EdgeShard>& shard : shards_) {
     total += sizeof(EdgeShard) + shard->sim.memory_bytes() +
              shard->engine->memory_bytes() +

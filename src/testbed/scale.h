@@ -33,9 +33,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cadet/client_engine.h"
+#include "obs/shard_obs.h"
 #include "sim/merge_queue.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -140,9 +142,61 @@ class ScaleWorld {
 
   /// Run the configured duration plus drain (every in-flight request
   /// resolves). Returns the total events executed across all shards.
-  /// Throws std::logic_error if a boundary event violates the conservative
-  /// lookahead bound — that is a protocol bug, never a tuning matter.
+  /// A boundary event violating the conservative lookahead bound is a
+  /// protocol bug; it is still injected (conservation holds) but counted
+  /// in lookahead_violations() so operators see it as a metric and
+  /// cadet_sim --scale exits non-zero.
   std::uint64_t run(const Executor& executor = {});
+
+  /// Per-barrier progress snapshot handed to the window hook after each
+  /// merge/fold. All fields are deterministic functions of the sim state.
+  struct WindowReport {
+    util::SimTime watermark = 0;    ///< merged sim-time watermark
+    std::uint64_t batch = 0;        ///< boundary events injected here
+    std::uint64_t events = 0;       ///< cumulative events executed
+    std::uint64_t lookahead_violations = 0;  ///< cumulative
+  };
+  using WindowHook = std::function<void(const WindowReport&)>;
+
+  /// Called single-threaded at every window barrier (after the merge
+  /// drain, injection, and obs fold). Tools hang SLO ticks, metric
+  /// publication, and admin progress snapshots off this.
+  void set_window_hook(WindowHook hook) { window_hook_ = std::move(hook); }
+
+  /// Destination for folded trace events (null = fold and discard).
+  /// The fold happens at barriers in {ts, seq, shard} order, so a sink
+  /// attached to the tracer sees a byte-identical stream at any -j.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  /// Master gates on the per-shard observability plane: enable_tracing
+  /// buffers protocol trace events (compiled out under CADET_OBS=OFF),
+  /// enable_obs gates the always-on instruments (latency + boundary
+  /// histograms).
+  void enable_tracing(bool on) noexcept { plane_.enable_tracing(on); }
+  void enable_obs(bool on) noexcept { plane_.set_enabled(on); }
+  obs::ShardObsPlane& obs_plane() noexcept { return plane_; }
+  const obs::ShardObsPlane& obs_plane() const noexcept { return plane_; }
+
+  /// Publish the world's observables into `registry` under the canonical
+  /// cadet_* names (deltas since the last publish; counters stay
+  /// monotone). Single-threaded: call from the window hook or after
+  /// run(). Exports from the registry are byte-identical at any -j.
+  void publish_metrics(obs::Registry& registry);
+
+  /// Conservative-lookahead violations observed at the merge boundary
+  /// (0 on a healthy run; surfaced as cadet_shard_lookahead_violations).
+  std::uint64_t lookahead_violations() const noexcept {
+    return merge_.violations();
+  }
+  /// Merged sim-time watermark (end of the last completed window).
+  util::SimTime watermark() const noexcept { return window_end_; }
+  std::size_t boundary_pending() const noexcept { return merge_.pending(); }
+  /// Events executed by edge shard `s` so far (the load-imbalance view).
+  std::uint64_t shard_events(std::size_t s) const noexcept {
+    return shards_[s]->sim.events_executed();
+  }
+  const ScaleStats& edge_stats(std::size_t s) const noexcept {
+    return shards_[s]->stats;
+  }
 
   std::uint64_t events_executed() const noexcept;
   /// Deterministic trace witness: per-shard FNV chains over every protocol
@@ -180,6 +234,8 @@ class ScaleWorld {
     std::vector<float> scratch;  // heavy-scan workspace
     std::vector<ScaleCrashWindow> crashes;
     std::uint64_t checksum = 0xcbf29ce484222325ULL;
+    std::uint64_t refill_traces = 0;   // per-edge refill span counter
+    std::uint64_t forward_traces = 0;  // per-edge upload-forward counter
     ScaleStats stats;
   };
   struct ServerShard {
@@ -212,11 +268,13 @@ class ScaleWorld {
   void edge_upload(std::uint32_t s, std::uint32_t i);
   void edge_scan(std::uint32_t s);
   void maybe_refill(EdgeShard& shard);
-  void edge_refill(std::uint32_t s, std::uint64_t bytes);
+  void edge_refill(std::uint32_t s, std::uint64_t bytes, std::uint64_t ctx);
 
-  // Server-shard event bodies.
-  void server_refill(std::uint32_t edge, std::uint64_t want_bytes);
-  void server_upload(std::uint64_t bytes);
+  // Server-shard event bodies. `ctx` is the span context carried across
+  // the boundary (0 = untraced).
+  void server_refill(std::uint32_t edge, std::uint64_t want_bytes,
+                     std::uint64_t ctx);
+  void server_upload(std::uint64_t bytes, std::uint64_t ctx);
   void server_source_tick();
 
   util::SimTime lan_delay(EdgeShard& shard) noexcept;
@@ -235,6 +293,22 @@ class ScaleWorld {
   sim::MergeQueue merge_;
   std::uint64_t boundary_injected_ = 0;
   std::uint64_t boundary_checksum_ = 0xcbf29ce484222325ULL;
+
+  // Observability plane: per-stream delta buffers + histograms, folded at
+  // barriers (see obs/shard_obs.h for the determinism argument).
+  obs::ShardObsPlane plane_;
+  obs::Tracer* tracer_ = nullptr;
+  WindowHook window_hook_;
+  // Publication state: totals already pushed into a registry, so each
+  // publish_metrics call emits only the monotone delta.
+  ScaleStats published_;
+  std::uint64_t published_events_ = 0;
+  std::uint64_t published_violations_ = 0;
+  std::uint64_t published_folded_ = 0;
+  obs::HdrSnapshot published_latency_;
+  obs::HdrSnapshot published_crossing_;
+  obs::HdrSnapshot published_occupancy_;
+  std::vector<std::uint64_t> published_shard_events_;
 };
 
 }  // namespace cadet::testbed

@@ -157,6 +157,25 @@ TEST(AdminServer, NullWiringReports404) {
   server.stop();
 }
 
+TEST(AdminServer, CustomSourceServesRenderedContent) {
+  AdminFixture f;
+  int calls = 0;
+  f.server.add_source("/shards", "application/json", [&calls] {
+    ++calls;
+    return std::string("{\"shards\":[1,2,3]}");
+  });
+  ASSERT_TRUE(f.start());
+  const std::string response = http_get(f.server.port(), "/shards");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("{\"shards\":[1,2,3]}"), std::string::npos);
+  EXPECT_EQ(calls, 1);
+  // The 404 listing advertises the registered path.
+  EXPECT_NE(http_get(f.server.port(), "/nope").find("/shards"),
+            std::string::npos);
+  f.server.stop();
+}
+
 TEST(AdminServer, StopIsIdempotentAndRestartable) {
   AdminFixture f;
   ASSERT_TRUE(f.start());

@@ -124,6 +124,19 @@ TEST(MergeQueue, DetectsLookaheadViolation) {
   EXPECT_EQ(out.size(), 2u);
 }
 
+TEST(MergeQueue, CountsViolationsCumulatively) {
+  MergeQueue queue(2);
+  std::vector<BoundaryEvent> out;
+  EXPECT_EQ(queue.violations(), 0u);
+  queue.emit(0, make_event(50));
+  queue.emit(1, make_event(80));
+  EXPECT_FALSE(queue.drain(100, out));  // both late
+  EXPECT_EQ(queue.violations(), 2u);
+  queue.emit(0, make_event(250));
+  EXPECT_TRUE(queue.drain(200, out));  // healthy window
+  EXPECT_EQ(queue.violations(), 2u);   // counter is cumulative, not reset
+}
+
 TEST(MergeQueue, StampsSourceShard) {
   MergeQueue queue(3);
   BoundaryEvent event = make_event(42);

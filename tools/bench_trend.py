@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Join the committed cadet_bench reports (BENCH_*.json) into one trend
+table: one row per metric, one column per bench generation, so a perf
+regression shows up as a readable series instead of a pair of JSON diffs.
+
+Usage:
+  tools/bench_trend.py [--repo DIR] [--metrics a,b,c] [--csv FILE]
+
+With no --metrics the table carries every numeric key that appears in at
+least two reports (a metric introduced by the newest PR still prints, with
+blanks for the older generations, when it appears in two files or --metrics
+names it). The last column is the relative change between the newest two
+generations that carry the metric. Exits non-zero only on malformed input,
+never on a regression — gating lives in cadet_bench --check; this is the
+trend view CI uploads as the perf-trend artifact.
+"""
+
+import argparse
+import csv
+import glob
+import json
+import os
+import re
+import sys
+
+
+def load_reports(repo):
+    """Return [(generation, {metric: value})] sorted by generation number."""
+    reports = []
+    for path in glob.glob(os.path.join(repo, "BENCH_*.json")):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if not match:
+            continue
+        with open(path) as f:
+            try:
+                data = json.load(f)
+            except json.JSONDecodeError as err:
+                sys.exit(f"error: {path} is not valid JSON: {err}")
+        metrics = {
+            key: value
+            for key, value in data.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        reports.append((int(match.group(1)), metrics))
+    return sorted(reports)
+
+
+def pick_metrics(reports, requested):
+    if requested:
+        return requested
+    seen = {}
+    for _, metrics in reports:
+        for key in metrics:
+            seen[key] = seen.get(key, 0) + 1
+    # Keep file order stable across runs: alphabetical.
+    return sorted(key for key, count in seen.items() if count >= 2)
+
+
+def fmt(value):
+    if value is None:
+        return ""
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3f}"
+
+
+def trend_rows(reports, metrics):
+    rows = []
+    for name in metrics:
+        series = [report.get(name) for _, report in reports]
+        present = [v for v in series if v is not None]
+        delta = ""
+        if len(present) >= 2 and present[-2] != 0:
+            delta = f"{100.0 * (present[-1] / present[-2] - 1.0):+.1f}%"
+        rows.append((name, series, delta))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Tabulate committed cadet_bench reports over time.")
+    parser.add_argument("--repo", default=".",
+                        help="directory holding BENCH_*.json (default: .)")
+    parser.add_argument("--metrics", default="",
+                        help="comma-separated metric names (default: every "
+                             "numeric key present in >=2 reports)")
+    parser.add_argument("--csv", default="",
+                        help="also write the table as CSV to this path")
+    args = parser.parse_args()
+
+    reports = load_reports(args.repo)
+    if not reports:
+        sys.exit(f"error: no BENCH_*.json under {args.repo}")
+    requested = [m for m in args.metrics.split(",") if m]
+    metrics = pick_metrics(reports, requested)
+    missing = [m for m in requested
+               if not any(m in r for _, r in reports)]
+    if missing:
+        sys.exit(f"error: metric(s) not in any report: {', '.join(missing)}")
+
+    header = ["metric"] + [f"BENCH_{gen}" for gen, _ in reports] + ["latest"]
+    rows = trend_rows(reports, metrics)
+
+    widths = [max(len(header[0]), *(len(name) for name, _, _ in rows))]
+    for col in range(len(reports)):
+        cells = [fmt(series[col]) for _, series, _ in rows]
+        widths.append(max(len(header[col + 1]), *(len(c) for c in cells)))
+    widths.append(max(len(header[-1]), *(len(d) for _, _, d in rows)))
+
+    def print_row(cells):
+        line = cells[0].ljust(widths[0])
+        for cell, width in zip(cells[1:], widths[1:]):
+            line += "  " + cell.rjust(width)
+        print(line.rstrip())
+
+    print_row(header)
+    print_row(["-" * w for w in widths])
+    for name, series, delta in rows:
+        print_row([name] + [fmt(v) for v in series] + [delta])
+
+    if args.csv:
+        with open(args.csv, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(header)
+            for name, series, delta in rows:
+                writer.writerow([name] +
+                                ["" if v is None else v for v in series] +
+                                [delta])
+        print(f"csv -> {args.csv}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

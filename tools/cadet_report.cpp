@@ -44,6 +44,7 @@ struct Options {
   std::string out_path;      // optional text report file ("" = stdout)
   bool check = false;        // trace/metrics disagreement is fatal
   bool adversary = false;    // hostile-client policing section
+  bool scale = false;        // sharded-world section (--scale traces)
   std::string validate_path;  // standalone exposition lint (no trace)
 };
 
@@ -58,6 +59,11 @@ void usage(const char* argv0) {
       "                  policing timelines + honest-vs-hostile service\n"
       "                  split; with --check, exit non-zero unless the\n"
       "                  attackers were policed (see docs/ADVERSARIES.md)\n"
+      "  --scale         add the sharded-world section for cadet_sim\n"
+      "                  --scale traces: shard load-imbalance table,\n"
+      "                  per-shard fulfillment percentiles, and the\n"
+      "                  boundary crossing-latency heatmap; the metrics\n"
+      "                  cross-check joins the cadet_scale_* counters\n"
       "  --html FILE     also write a self-contained HTML report\n"
       "  --out FILE      write the text report to FILE instead of stdout\n"
       "  --validate-metrics FILE  parse a Prometheus exposition (e.g. a\n"
@@ -84,6 +90,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.check = true;
     } else if (arg == "--adversary") {
       opt.adversary = true;
+    } else if (arg == "--scale") {
+      opt.scale = true;
     } else if (arg == "--html") {
       opt.html_path = next();
     } else if (arg == "--out") {
@@ -182,6 +190,20 @@ struct TraceDigest {
     double limit = 0.0;
   };
   std::vector<SloTransition> slo_transitions;
+
+  // Sharded-world (cadet_sim --scale) data: every scale event carries a
+  // `shard` stream attribute; fulfilled requests carry the edge-local
+  // fulfillment latency, and net-tier cross_* events carry the boundary
+  // crossing latency.
+  struct ScaleShard {
+    std::uint64_t events = 0;
+    util::Samples fulfill_s;
+  };
+  std::map<std::uint64_t, ScaleShard> scale_shards;
+  std::vector<std::pair<double, double>> scale_crossings;  // {ts, latency}
+  std::uint64_t scale_requests = 0;   // 'B' request roots
+  std::uint64_t scale_fulfilled = 0;
+  std::uint64_t scale_cache_misses = 0;
 };
 
 bool digest_trace(const std::string& path, TraceDigest& digest) {
@@ -262,6 +284,25 @@ bool digest_trace(const std::string& path, TraceDigest& digest) {
       digest.delivery_gen_lo.add(e.attr("src_lo", 0.0));
       digest.delivery_gen_hi.add(e.attr("src_hi", 0.0));
     }
+
+    // Sharded-world traces stamp every event with its stream's shard.
+    const double shard_attr = e.attr("shard", -1.0);
+    if (shard_attr >= 0.0) {
+      auto& row = digest.scale_shards[static_cast<std::uint64_t>(shard_attr)];
+      ++row.events;
+      if (e.tier == "client" && e.name == "fulfilled") {
+        row.fulfill_s.add(e.attr("latency_s", 0.0));
+        ++digest.scale_fulfilled;
+      } else if (e.tier == "client" && e.name == "request" &&
+                 e.phase == 'B') {
+        ++digest.scale_requests;
+      } else if (e.name == "cache_miss") {
+        ++digest.scale_cache_misses;
+      } else if (e.tier == "net") {
+        digest.scale_crossings.emplace_back(e.ts_s,
+                                            e.attr("latency_s", 0.0));
+      }
+    }
   }
 
   // Requests still open at end-of-trace (sim stopped mid-flight).
@@ -280,6 +321,12 @@ struct MetricsDigest {
   std::uint64_t requests_received = 0;
   std::uint64_t e2e_forwarded = 0;
   std::size_t samples = 0;
+
+  // Sharded-world counters (cadet_sim --scale exports); joined against the
+  // trace under --scale instead of the per-node edge counters above.
+  std::uint64_t scale_requests = 0;
+  std::uint64_t scale_fulfilled = 0;
+  std::uint64_t scale_cache_misses = 0;
 
   // Quantiles recovered from the cadet_fulfillment_seconds HDR histogram's
   // _bucket series (upper-edge estimates — exact to the HDR cell width).
@@ -378,6 +425,9 @@ bool digest_metrics(const std::string& path, MetricsDigest& digest) {
     add("cadet_edge_cache_misses_total", digest.cache_misses);
     add("cadet_edge_requests_received_total", digest.requests_received);
     add("cadet_edge_e2e_forwarded_total", digest.e2e_forwarded);
+    add("cadet_scale_requests_total", digest.scale_requests);
+    add("cadet_scale_fulfilled_total", digest.scale_fulfilled);
+    add("cadet_scale_cache_misses_total", digest.scale_cache_misses);
   }
   digest.fulfillment =
       hdr_quantiles_of(parsed.samples, "cadet_fulfillment_seconds");
@@ -397,7 +447,11 @@ std::vector<LatencyRow> latency_rows(const TraceDigest& digest) {
   std::map<std::string, util::Samples> by_path;
   util::Samples all;
   for (const auto& req : digest.requests) {
-    if (!req.closed || req.outcome != "reply") continue;
+    // "reply" is the single-node engine's close; "fulfilled" the scale one.
+    if (!req.closed ||
+        (req.outcome != "reply" && req.outcome != "fulfilled")) {
+      continue;
+    }
     all.add(req.latency_s());
     const std::string path =
         req.serve_path.empty() ? "(direct)" : req.serve_path;
@@ -434,11 +488,13 @@ struct Funnel {
 void funnel_add(Funnel& f, const RequestTrace& req) {
   ++f.sent;
   if (req.retries > 0) ++f.retried;
-  if (req.outcome == "reply") {
+  // reply/request_expired are the single-node engine's close names,
+  // fulfilled/expired the sharded engine's.
+  if (req.outcome == "reply" || req.outcome == "fulfilled") {
     (req.retries > 0 ? f.retry_reply : f.first_try) += 1;
   } else if (req.outcome == "fallback") {
     ++f.fallback;
-  } else if (req.outcome == "request_expired") {
+  } else if (req.outcome == "request_expired" || req.outcome == "expired") {
     ++f.expired;
   } else {
     ++f.open;
@@ -610,12 +666,158 @@ std::vector<TimelineBucket> policing_timeline(const TraceDigest& digest,
   return timeline;
 }
 
+// ---- sharded-world section (--scale) ----
+
+/// Shard load-imbalance table + per-shard fulfillment percentiles + the
+/// boundary crossing-latency heatmap, reconstructed from the shard/seq
+/// stream attributes a cadet_sim --scale trace carries.
+void scale_section(const TraceDigest& digest, std::string& out) {
+  char buf[256];
+  const auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+
+  if (digest.scale_shards.empty()) {
+    out += "\n--- scale ---\n(no shard-tagged events; expected a trace "
+           "from cadet_sim --scale --trace-out)\n";
+    return;
+  }
+
+  // Stream ids: 0..E-1 are edge shards, E is the server stream, E+1 the
+  // window-boundary stream (obs/shard_obs.h).
+  const std::uint64_t boundary_id = digest.scale_shards.rbegin()->first;
+  const std::uint64_t server_id = boundary_id > 0 ? boundary_id - 1 : 0;
+
+  std::uint64_t edge_total = 0;
+  std::uint64_t edge_min = ~0ULL;
+  std::uint64_t edge_max = 0;
+  std::size_t edges = 0;
+  for (const auto& [shard, row] : digest.scale_shards) {
+    if (shard >= server_id) continue;
+    ++edges;
+    edge_total += row.events;
+    edge_min = std::min(edge_min, row.events);
+    edge_max = std::max(edge_max, row.events);
+  }
+  const double edge_mean =
+      edges > 0 ? static_cast<double>(edge_total) / static_cast<double>(edges)
+                : 0.0;
+
+  add("\n--- scale: shard load ---\n");
+  add("%zu edge shard(s) + server + boundary streams, %llu edge events\n",
+      edges, static_cast<unsigned long long>(edge_total));
+  if (edges > 0) {
+    add("per-shard events min %llu / mean %.1f / max %llu, imbalance "
+        "%.2fx\n",
+        static_cast<unsigned long long>(edge_min), edge_mean,
+        static_cast<unsigned long long>(edge_max),
+        edge_mean > 0.0 ? static_cast<double>(edge_max) / edge_mean : 0.0);
+  }
+
+  // Per-shard table: everything when small, the busiest tail when huge.
+  std::vector<std::pair<std::uint64_t, const TraceDigest::ScaleShard*>> rows;
+  for (const auto& [shard, row] : digest.scale_shards) {
+    if (shard < server_id) rows.emplace_back(shard, &row);
+  }
+  const std::size_t limit = 32;
+  if (rows.size() > limit) {
+    std::sort(rows.begin(), rows.end(), [](const auto& x, const auto& y) {
+      return x.second->events > y.second->events;
+    });
+    rows.resize(limit);
+    std::sort(rows.begin(), rows.end(), [](const auto& x, const auto& y) {
+      return x.first < y.first;
+    });
+    add("(busiest %zu shards)\n", limit);
+  }
+  for (const auto& [shard, row] : rows) {
+    add("  shard %5llu  events %8llu (%5.1f%% of mean)",
+        static_cast<unsigned long long>(shard),
+        static_cast<unsigned long long>(row->events),
+        edge_mean > 0.0 ? 100.0 * static_cast<double>(row->events) / edge_mean
+                        : 0.0);
+    if (row->fulfill_s.count() > 0) {
+      add("  fulfill p50=%7.1f ms p99=%7.1f ms (n=%zu)",
+          row->fulfill_s.quantile(0.5) * 1e3,
+          row->fulfill_s.quantile(0.99) * 1e3, row->fulfill_s.count());
+    }
+    add("\n");
+  }
+  {
+    const auto server_it = digest.scale_shards.find(server_id);
+    const auto boundary_it = digest.scale_shards.find(boundary_id);
+    if (server_it != digest.scale_shards.end() && boundary_id != server_id) {
+      add("  server stream  events %8llu, boundary stream  events %8llu\n",
+          static_cast<unsigned long long>(server_it->second.events),
+          static_cast<unsigned long long>(
+              boundary_it != digest.scale_shards.end()
+                  ? boundary_it->second.events
+                  : 0));
+    }
+  }
+
+  // Boundary crossing-latency heatmap: time buckets down, latency bins
+  // across, shaded by count. Crossings live in [window, window + jitter]
+  // (~8-18 ms), so the bins resolve the jitter distribution over the run.
+  if (!digest.scale_crossings.empty()) {
+    double lat_lo = digest.scale_crossings[0].second;
+    double lat_hi = lat_lo;
+    for (const auto& [ts, lat] : digest.scale_crossings) {
+      lat_lo = std::min(lat_lo, lat);
+      lat_hi = std::max(lat_hi, lat);
+    }
+    const double t0 = digest.first_ts;
+    const double t1 = std::max(digest.last_ts, t0 + 1e-9);
+    constexpr std::size_t kRows = 12;
+    constexpr std::size_t kCols = 10;
+    std::uint64_t cells[kRows][kCols] = {};
+    const double lat_span = std::max(lat_hi - lat_lo, 1e-12);
+    for (const auto& [ts, lat] : digest.scale_crossings) {
+      std::size_t r = static_cast<std::size_t>((ts - t0) / (t1 - t0) *
+                                               static_cast<double>(kRows));
+      std::size_t c = static_cast<std::size_t>(
+          (lat - lat_lo) / lat_span * static_cast<double>(kCols));
+      if (r >= kRows) r = kRows - 1;
+      if (c >= kCols) c = kCols - 1;
+      ++cells[r][c];
+    }
+    std::uint64_t peak = 1;
+    for (const auto& row : cells) {
+      for (const std::uint64_t n : row) peak = std::max(peak, n);
+    }
+    static const char kShades[] = " .:-=+*#%@";
+    add("\n--- scale: boundary crossing latency heatmap ---\n");
+    add("%zu crossing(s), latency %.2f .. %.2f ms, peak cell %llu\n",
+        digest.scale_crossings.size(), lat_lo * 1e3, lat_hi * 1e3,
+        static_cast<unsigned long long>(peak));
+    add("%16s %.2f ms %*s %.2f ms\n", "", lat_lo * 1e3,
+        static_cast<int>(kCols) - 8, "", lat_hi * 1e3);
+    for (std::size_t r = 0; r < kRows; ++r) {
+      const double rt0 = t0 + (t1 - t0) * static_cast<double>(r) /
+                                  static_cast<double>(kRows);
+      const double rt1 = t0 + (t1 - t0) * static_cast<double>(r + 1) /
+                                  static_cast<double>(kRows);
+      add("%6.1f..%6.1f s |", rt0, rt1);
+      for (std::size_t c = 0; c < kCols; ++c) {
+        const std::size_t shade =
+            cells[r][c] == 0
+                ? 0
+                : 1 + (cells[r][c] * (sizeof(kShades) - 3)) / peak;
+        out += kShades[std::min(shade, sizeof(kShades) - 2)];
+      }
+      out += "|\n";
+    }
+  }
+}
+
 // ---- text report ----
 
 std::string text_report(const TraceDigest& digest,
                         const MetricsDigest& metrics,
                         std::uint64_t mismatches,
-                        const AdversarySection* adversary) {
+                        const AdversarySection* adversary,
+                        bool scale) {
   std::string out;
   char buf[256];
   const auto add = [&](const char* fmt, auto... args) {
@@ -744,21 +946,35 @@ std::string text_report(const TraceDigest& digest,
         digest.delivery_gen_hi.max());
   }
 
+  if (scale) scale_section(digest, out);
+
   if (metrics.loaded) {
     add("\n--- trace vs metrics ---\n");
     add("%-22s %12s %12s\n", "", "trace", "metrics");
-    add("%-22s %12llu %12llu\n", "edge requests",
-        static_cast<unsigned long long>(digest.edge_requests),
-        static_cast<unsigned long long>(metrics.requests_received));
-    add("%-22s %12llu %12llu\n", "cache hits",
-        static_cast<unsigned long long>(digest.cache_hits),
-        static_cast<unsigned long long>(metrics.cache_hits));
-    add("%-22s %12llu %12llu\n", "cache misses",
-        static_cast<unsigned long long>(digest.cache_misses),
-        static_cast<unsigned long long>(metrics.cache_misses));
-    add("%-22s %12llu %12llu\n", "e2e forwards",
-        static_cast<unsigned long long>(digest.e2e_forwards),
-        static_cast<unsigned long long>(metrics.e2e_forwarded));
+    if (scale) {
+      add("%-22s %12llu %12llu\n", "requests",
+          static_cast<unsigned long long>(digest.scale_requests),
+          static_cast<unsigned long long>(metrics.scale_requests));
+      add("%-22s %12llu %12llu\n", "fulfilled",
+          static_cast<unsigned long long>(digest.scale_fulfilled),
+          static_cast<unsigned long long>(metrics.scale_fulfilled));
+      add("%-22s %12llu %12llu\n", "cache misses",
+          static_cast<unsigned long long>(digest.scale_cache_misses),
+          static_cast<unsigned long long>(metrics.scale_cache_misses));
+    } else {
+      add("%-22s %12llu %12llu\n", "edge requests",
+          static_cast<unsigned long long>(digest.edge_requests),
+          static_cast<unsigned long long>(metrics.requests_received));
+      add("%-22s %12llu %12llu\n", "cache hits",
+          static_cast<unsigned long long>(digest.cache_hits),
+          static_cast<unsigned long long>(metrics.cache_hits));
+      add("%-22s %12llu %12llu\n", "cache misses",
+          static_cast<unsigned long long>(digest.cache_misses),
+          static_cast<unsigned long long>(metrics.cache_misses));
+      add("%-22s %12llu %12llu\n", "e2e forwards",
+          static_cast<unsigned long long>(digest.e2e_forwards),
+          static_cast<unsigned long long>(metrics.e2e_forwarded));
+    }
     add(mismatches == 0 ? "trace and metrics agree\n"
                         : "MISMATCH in %llu row(s)\n",
         static_cast<unsigned long long>(mismatches));
@@ -991,17 +1207,28 @@ int main(int argc, char** argv) {
 
   std::uint64_t mismatches = 0;
   if (metrics.loaded) {
-    if (digest.edge_requests != metrics.requests_received) ++mismatches;
-    if (digest.cache_hits != metrics.cache_hits) ++mismatches;
-    if (digest.cache_misses != metrics.cache_misses) ++mismatches;
-    if (digest.e2e_forwards != metrics.e2e_forwarded) ++mismatches;
+    if (opt.scale) {
+      // Scale exports publish cadet_scale_* counters, not the per-node
+      // edge counters; join the trace against those instead.
+      if (digest.scale_requests != metrics.scale_requests) ++mismatches;
+      if (digest.scale_fulfilled != metrics.scale_fulfilled) ++mismatches;
+      if (digest.scale_cache_misses != metrics.scale_cache_misses) {
+        ++mismatches;
+      }
+    } else {
+      if (digest.edge_requests != metrics.requests_received) ++mismatches;
+      if (digest.cache_hits != metrics.cache_hits) ++mismatches;
+      if (digest.cache_misses != metrics.cache_misses) ++mismatches;
+      if (digest.e2e_forwards != metrics.e2e_forwarded) ++mismatches;
+    }
   }
 
   AdversarySection adversary;
   if (opt.adversary) adversary = adversary_section_of(digest);
   const AdversarySection* adv = opt.adversary ? &adversary : nullptr;
 
-  const std::string text = text_report(digest, metrics, mismatches, adv);
+  const std::string text =
+      text_report(digest, metrics, mismatches, adv, opt.scale);
   if (opt.out_path.empty()) {
     std::fputs(text.c_str(), stdout);
   } else if (!obs::write_file(opt.out_path, text)) {

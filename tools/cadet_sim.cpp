@@ -19,8 +19,13 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "net/faulty_transport.h"
 #include "nist/battery.h"
@@ -158,7 +163,11 @@ void usage(const char* argv0) {
       "                      (default: duration/3)\n"
       "  --scale             sharded million-client mode: --clients is the\n"
       "                      total population over struct-of-arrays state\n"
-      "                      (docs/PERFORMANCE.md \"Sharded worlds\")\n"
+      "                      (docs/PERFORMANCE.md \"Sharded worlds\").\n"
+      "                      --metrics-out/--trace-out/--slo/--admin-port\n"
+      "                      work here too; exports are byte-identical at\n"
+      "                      any --shards, and --admin-port adds a live\n"
+      "                      /shards progress endpoint\n"
       "  --shards J          scale-mode worker threads (default 1; any J\n"
       "                      yields a byte-identical trace)\n"
       "  --clients-per-edge N  scale-mode edge subtree size (default 1024)\n"
@@ -394,9 +403,32 @@ std::vector<NetworkProfile> parse_profiles(const std::string& list,
   return out;
 }
 
+/// Current resident set in MB for the /shards progress endpoint; 0 where
+/// unsupported.
+double current_rss_mb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long total = 0;
+  long resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+#else
+  return 0.0;
+#endif
+}
+
 // --scale: the sharded million-client path. Skips the per-node World
 // entirely — ScaleWorld owns its own struct-of-arrays state and merge-queue
 // boundary, and the worker pool only changes wall-clock, never the trace.
+// The observability flags mean the same thing as on the per-node path:
+// --metrics-out / --trace-out exports are byte-identical at any --shards
+// (the per-shard obs plane folds at window barriers in {ts, seq, shard}
+// order), --slo ticks on the merged sim-time watermark, and --admin-port
+// adds a live /shards progress endpoint.
 int run_scale(const Options& opt) {
   ScaleConfig config;
   config.seed = opt.seed;
@@ -416,9 +448,145 @@ int run_scale(const Options& opt) {
               "server), window %.1f ms, %zu worker(s)\n",
               world.num_clients(), world.num_shards(), world.num_edges(),
               util::to_seconds(world.window()) * 1e3, opt.shards);
+  if (!opt.profile_out.empty() || !opt.flight_out.empty()) {
+    std::fprintf(stderr,
+                 "note: --profile-out/--flight-out are per-node-only; "
+                 "ignored in --scale mode\n");
+  }
+
+  // ---- observability wiring (flag parity with the per-node path) ----
+  obs::Registry registry;
+  if (!opt.metrics_out.empty() && !obs::write_file(opt.metrics_out, "")) {
+    return 2;
+  }
+
+  std::unique_ptr<obs::FileSink> trace_sink;
+  obs::Tracer tracer;  // private ring; the world folds into it at barriers
+  if (!opt.trace_out.empty()) {
+    trace_sink = std::make_unique<obs::FileSink>(opt.trace_out);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   opt.trace_out.c_str());
+      return 2;
+    }
+    tracer.set_sink(trace_sink.get());
+    tracer.enable();
+    world.set_tracer(&tracer);
+    world.enable_tracing(true);
+  }
+
+  std::unique_ptr<obs::SloEngine> slo;
+  if (!opt.slo_rules.empty() || opt.admin_port >= 0) {
+    slo = std::make_unique<obs::SloEngine>(&registry);
+    for (const std::string& spec : opt.slo_rules) {
+      if (spec == "default") {
+        for (const obs::SloRule& rule : obs::default_slo_rules()) {
+          slo->add_rule(rule);
+        }
+        continue;
+      }
+      const auto rule = obs::parse_slo_rule(spec);
+      if (!rule) {
+        std::fprintf(stderr, "bad --slo rule: %s\n", spec.c_str());
+        return 2;
+      }
+      slo->add_rule(*rule);
+    }
+    if (slo->rule_count() == 0) {
+      for (const obs::SloRule& rule : obs::default_slo_rules()) {
+        slo->add_rule(rule);
+      }
+    }
+    slo->set_alert_hook([](const obs::SloEngine::Alert& alert) {
+      std::fprintf(stderr, "slo %s: %s value %.6g limit %.6g at t=%.3f s\n",
+                   alert.firing ? "ALERT" : "clear", alert.rule.c_str(),
+                   alert.value, alert.limit, alert.at_s);
+    });
+  }
+
+  obs::AdminServer admin(&registry, slo.get(), nullptr);
+  // The /shards snapshot is rebuilt by the window hook (main thread) and
+  // served from the acceptor thread; the mutex hands the string across.
+  std::mutex shards_mu;
+  std::string shards_json = "{}\n";
+  if (opt.admin_port >= 0) {
+    admin.add_source("/shards", "application/json",
+                     [&shards_mu, &shards_json] {
+                       std::lock_guard<std::mutex> lock(shards_mu);
+                       return shards_json;
+                     });
+    obs::AdminServer::Options admin_opt;
+    admin_opt.port = opt.admin_port;
+    if (!admin.start(admin_opt)) return 2;
+    std::printf("admin: http://127.0.0.1:%d (/metrics /healthz /shards)\n",
+                admin.port());
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // The window hook runs single-threaded at every barrier: SLO evaluation
+  // rides the merged sim-time watermark (same cadence semantics as the
+  // per-node sim-time tick), and the admin progress snapshot is refreshed
+  // with wall-clock throughput. Neither touches the export determinism:
+  // metric publication depends only on sim state and the tick schedule.
+  const util::SimTime slo_period =
+      util::from_seconds(std::max(opt.slo_interval_s, 1e-3));
+  util::SimTime next_slo = slo_period;
+  double last_wall_s = 0.0;
+  std::uint64_t last_events = 0;
+  world.set_window_hook([&](const ScaleWorld::WindowReport& report) {
+    if (slo) {
+      while (next_slo <= report.watermark) {
+        world.publish_metrics(registry);
+        slo->tick(util::to_seconds(next_slo));
+        next_slo += slo_period;
+      }
+    }
+    if (opt.admin_port >= 0) {
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      const double interval = wall_s - last_wall_s;
+      const double rate =
+          interval > 0.0
+              ? static_cast<double>(report.events - last_events) / interval
+              : 0.0;
+      last_wall_s = wall_s;
+      last_events = report.events;
+      std::string json = "{\"watermark_s\":";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    util::to_seconds(report.watermark));
+      json += buf;
+      std::snprintf(buf, sizeof(buf), ",\"events\":%llu",
+                    static_cast<unsigned long long>(report.events));
+      json += buf;
+      std::snprintf(buf, sizeof(buf), ",\"events_per_sec\":%.0f", rate);
+      json += buf;
+      std::snprintf(buf, sizeof(buf), ",\"boundary_pending\":%zu",
+                    world.boundary_pending());
+      json += buf;
+      std::snprintf(
+          buf, sizeof(buf), ",\"lookahead_violations\":%llu",
+          static_cast<unsigned long long>(report.lookahead_violations));
+      json += buf;
+      std::snprintf(buf, sizeof(buf), ",\"rss_mb\":%.1f", current_rss_mb());
+      json += buf;
+      json += ",\"shard_events\":[";
+      for (std::size_t s = 0; s < world.num_edges(); ++s) {
+        if (s != 0) json += ',';
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(world.shard_events(s)));
+        json += buf;
+      }
+      json += "]}\n";
+      std::lock_guard<std::mutex> lock(shards_mu);
+      shards_json = std::move(json);
+    }
+  });
 
   util::TaskPool pool(opt.shards);
-  const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t events = world.run(
       [&pool](std::size_t count,
               const std::function<void(std::size_t)>& task) {
@@ -428,6 +596,7 @@ int run_scale(const Options& opt) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  world.publish_metrics(registry);  // final deltas (partial last period)
 
   const ScaleStats stats = world.stats();
   const double bytes_per_client =
@@ -467,6 +636,44 @@ int run_scale(const Options& opt) {
               static_cast<unsigned long long>(stats.upload_forwards));
   std::printf("bytes delivered     %llu\n",
               static_cast<unsigned long long>(stats.bytes_delivered));
+  {
+    const obs::HdrHistogram& latency =
+        registry.hdr("cadet_fulfillment_seconds", {},
+                     obs::ShardObsPlane::scale_latency());
+    if (latency.count() > 0) {
+      std::printf("fulfillment latency p50 %.1f ms, p99 %.1f ms, p999 "
+                  "%.1f ms (%llu obs)\n",
+                  latency.quantile(0.50) * 1e3, latency.quantile(0.99) * 1e3,
+                  latency.quantile(0.999) * 1e3,
+                  static_cast<unsigned long long>(latency.count()));
+    }
+  }
+
+  // ---- artifact flush (same order as the per-node path) ----
+  if (trace_sink) {
+    world.set_tracer(nullptr);
+    tracer.flush();
+    tracer.enable(false);
+    tracer.set_sink(nullptr);
+    std::printf("trace: %llu event(s) -> %s\n",
+                static_cast<unsigned long long>(tracer.recorded()),
+                opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    if (!obs::write_file(opt.metrics_out, obs::to_prometheus(registry))) {
+      return 2;
+    }
+    std::printf("metrics: %zu series -> %s\n", registry.size(),
+                opt.metrics_out.c_str());
+  }
+  if (slo) {
+    std::printf("slo: %zu rule(s), %llu tick(s), %llu fire(s)%s\n",
+                slo->rule_count(),
+                static_cast<unsigned long long>(slo->ticks()),
+                static_cast<unsigned long long>(slo->total_fires()),
+                slo->any_firing() ? " [still firing]" : "");
+  }
+  admin.stop();
 
   bool ok = true;
   if (stats.requests_sent !=
@@ -476,6 +683,14 @@ int run_scale(const Options& opt) {
   }
   if (world.boundary_emitted() != world.boundary_injected()) {
     std::fprintf(stderr, "INVARIANT VIOLATION: boundary lost events\n");
+    ok = false;
+  }
+  if (world.lookahead_violations() != 0) {
+    std::fprintf(
+        stderr,
+        "INVARIANT VIOLATION: %llu conservative-lookahead violation(s) at "
+        "the merge boundary (cadet_shard_lookahead_violations)\n",
+        static_cast<unsigned long long>(world.lookahead_violations()));
     ok = false;
   }
   return ok ? 0 : 1;

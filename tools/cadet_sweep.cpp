@@ -39,6 +39,7 @@
 
 #include "adversary_harness.h"
 #include "chaos_harness.h"
+#include "obs/export.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "testbed/scale.h"
@@ -267,9 +268,11 @@ SeedResult run_adversary_seed(std::uint64_t seed, double horizon_s) {
 }
 
 // --scale: same seed, same config, worker counts 1/2/4/8 — every run must
-// produce the same trace checksum and event count. A mismatch is a
-// determinism regression in the sharded path (lookahead too short, state
-// shared across shards, or an order dependence in the barrier).
+// produce the same trace checksum and event count, AND byte-identical
+// observability exports (the Prometheus metrics snapshot and the folded
+// JSONL event trace). A mismatch is a determinism regression in the
+// sharded path (lookahead too short, state shared across shards, an order
+// dependence in the barrier, or a fold that leaks worker scheduling).
 int run_scale_sweep(const Options& opt) {
   ScaleConfig config;
   config.seed = opt.seed_begin != 0 ? opt.seed_begin : 42;
@@ -285,10 +288,22 @@ int run_scale_sweep(const Options& opt) {
   static constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
   std::uint64_t reference_checksum = 0;
   std::uint64_t reference_events = 0;
+  std::string reference_metrics;
+  std::string reference_trace;
   bool identical = true;
   for (std::size_t n = 0; n < std::size(kWorkerCounts); ++n) {
     const std::size_t workers = kWorkerCounts[n];
     ScaleWorld world(config);
+    // Fresh per-run obs state: a registry for the metrics export and a
+    // memory-sinked tracer for the folded event trace, serialized to the
+    // same bytes --metrics-out/--trace-out would write.
+    obs::Registry registry;
+    obs::MemorySink sink;
+    obs::Tracer tracer;
+    tracer.set_sink(&sink);
+    tracer.enable();
+    world.set_tracer(&tracer);
+    world.enable_tracing(true);
     util::TaskPool pool(workers);
     const auto wall_start = std::chrono::steady_clock::now();
     const std::uint64_t events = world.run(
@@ -300,13 +315,25 @@ int run_scale_sweep(const Options& opt) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
+    tracer.flush();
+    world.publish_metrics(registry);
     const std::uint64_t checksum = world.checksum();
+    std::string metrics = obs::to_prometheus(registry);
+    std::string trace;
+    for (const obs::TraceEvent& event : sink.events()) {
+      trace += obs::to_json(event);
+      trace += '\n';
+    }
     if (n == 0) {
       reference_checksum = checksum;
       reference_events = events;
+      reference_metrics = std::move(metrics);
+      reference_trace = std::move(trace);
     }
-    const bool match =
-        checksum == reference_checksum && events == reference_events;
+    const bool match = checksum == reference_checksum &&
+                       events == reference_events &&
+                       (n == 0 || (metrics == reference_metrics &&
+                                   trace == reference_trace));
     identical = identical && match;
     if (!opt.quiet || !match) {
       std::printf("-j%zu: %llu events, checksum %016llx, %.2f s wall%s\n",
@@ -315,11 +342,12 @@ int run_scale_sweep(const Options& opt) {
                   match ? "" : "  MISMATCH");
     }
   }
-  std::printf("scale determinism sweep (%zu clients, seed %llu): %s\n",
-              config.num_clients,
-              static_cast<unsigned long long>(config.seed),
-              identical ? "all worker counts byte-identical"
-                        : "TRACES DIVERGED");
+  std::printf(
+      "scale determinism sweep (%zu clients, seed %llu): %s\n",
+      config.num_clients, static_cast<unsigned long long>(config.seed),
+      identical
+          ? "all worker counts byte-identical (checksum, metrics, trace)"
+          : "TRACES DIVERGED");
   return identical ? 0 : 1;
 }
 

@@ -13,6 +13,12 @@
 // closed ('E'), a close without an open, or a child whose parent id never
 // appears in its trace makes the tool exit non-zero.
 //
+// Multi-shard traces (cadet_sim --scale --trace-out) stamp every event
+// with `shard` and `seq` attributes; both modes then additionally verify
+// the merged {ts, seq, shard} ordering the barrier fold guarantees and
+// report a per-shard event census. An out-of-order tagged event exits
+// non-zero.
+//
 // Examples:
 //   cadet_trace t.jsonl
 //   cadet_trace t.jsonl --print 20
@@ -109,6 +115,84 @@ void pretty_print(const obs::ParsedEvent& event) {
 bool is_duration_attr(const std::string& key) {
   return key == "latency_s" || key == "waited_s";
 }
+
+const double* find_attr(const obs::ParsedEvent& event, const char* key) {
+  for (const auto& [k, v] : event.attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Multi-shard trace bookkeeping (cadet_sim --scale traces stamp every
+/// event with `shard` and `seq` attributes — the fold's merge keys). The
+/// folded file must be sorted by {ts, seq, shard}; any step backwards
+/// means the barrier fold or the writer interleaved, which breaks the
+/// byte-identical-at-any--shards contract.
+struct ShardAudit {
+  std::map<std::uint64_t, std::uint64_t> census;  // shard -> events
+  std::uint64_t order_violations = 0;
+  bool have_prev = false;
+  double prev_ts = 0.0;
+  double prev_seq = 0.0;
+  double prev_shard = 0.0;
+
+  void observe(const obs::ParsedEvent& event) {
+    const double* shard = find_attr(event, "shard");
+    const double* seq = find_attr(event, "seq");
+    if (shard == nullptr || seq == nullptr) return;
+    ++census[static_cast<std::uint64_t>(*shard)];
+    if (have_prev) {
+      const bool ordered =
+          event.ts_s != prev_ts
+              ? event.ts_s > prev_ts
+              : (*seq != prev_seq ? *seq > prev_seq : *shard > prev_shard);
+      if (!ordered) ++order_violations;
+    }
+    have_prev = true;
+    prev_ts = event.ts_s;
+    prev_seq = *seq;
+    prev_shard = *shard;
+  }
+
+  bool tagged() const { return !census.empty(); }
+
+  /// Census + order verdict; returns the violation count for the exit
+  /// status.
+  std::uint64_t report() const {
+    if (!tagged()) return 0;
+    std::uint64_t total = 0;
+    std::uint64_t lo = ~0ULL;
+    std::uint64_t hi = 0;
+    for (const auto& [shard, n] : census) {
+      total += n;
+      lo = std::min(lo, n);
+      hi = std::max(hi, n);
+    }
+    std::printf("\n--- shards ---\n");
+    std::printf("%zu shard stream(s), %llu tagged event(s), "
+                "per-shard min %llu / mean %.1f / max %llu\n",
+                census.size(), static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(lo),
+                static_cast<double>(total) /
+                    static_cast<double>(census.size()),
+                static_cast<unsigned long long>(hi));
+    if (census.size() <= 32) {
+      for (const auto& [shard, n] : census) {
+        std::printf("  shard %4llu  %8llu\n",
+                    static_cast<unsigned long long>(shard),
+                    static_cast<unsigned long long>(n));
+      }
+    }
+    if (order_violations > 0) {
+      std::printf("INVALID: %llu {ts, seq, shard} order violation(s) — the "
+                  "fold is not deterministic\n",
+                  static_cast<unsigned long long>(order_violations));
+    } else {
+      std::printf("merged {ts, seq, shard} order verified\n");
+    }
+    return order_violations;
+  }
+};
 
 /// Reconstruct span trees from the tagged events and validate structure.
 /// Returns the number of structural problems (orphans + unclosed spans).
@@ -236,6 +320,7 @@ int main(int argc, char** argv) {
   double last_ts = 0.0;
 
   std::vector<obs::ParsedEvent> tagged;  // span-mode working set
+  ShardAudit shards;                     // multi-shard (--scale) traces
 
   std::string line;
   while (std::getline(in, line)) {
@@ -248,6 +333,7 @@ int main(int argc, char** argv) {
     if (total == 0) first_ts = event->ts_s;
     last_ts = event->ts_s;
     ++total;
+    shards.observe(*event);
     if (opt.spans) {
       if (event->trace != 0) tagged.push_back(*event);
       continue;
@@ -269,7 +355,8 @@ int main(int argc, char** argv) {
                 opt.path.c_str(), static_cast<unsigned long long>(total),
                 static_cast<unsigned long long>(tagged.size()));
     const std::uint64_t problems = analyze_spans(tagged, opt.print);
-    return problems > 0 ? 1 : 0;
+    const std::uint64_t order_problems = shards.report();
+    return problems + order_problems > 0 ? 1 : 0;
   }
 
   std::printf("%s: %llu event(s)", opt.path.c_str(),
@@ -324,5 +411,5 @@ int main(int argc, char** argv) {
                   static_cast<double>(hits) / static_cast<double>(requests));
     }
   }
-  return 0;
+  return shards.report() > 0 ? 1 : 0;
 }

@@ -1,0 +1,56 @@
+# Chains the sharded observability exports end to end: the same seeded
+# cadet_sim --scale run at -j 1 and -j 4 must write byte-identical metrics
+# and trace files, cadet_trace must validate the merged {ts, seq, shard}
+# order and span trees of the folded stream, and cadet_report --scale
+# --check must reproduce the cadet_scale_* counters from the trace alone.
+# Invoked by the cli_cadet_scale_obs test with -DSIM=<binary>,
+# -DTRACE=<binary>, -DREPORT=<binary> and -DOUT=<scratch dir>.
+set(RUN_FLAGS --scale --clients 20000 --duration 3 --seed 77
+    --fault-drop 0.02 --scale-flooders 0.005 --scale-bad 0.1)
+execute_process(
+  COMMAND ${SIM} ${RUN_FLAGS} --shards 1
+          --metrics-out ${OUT}/scale_m1.txt --trace-out ${OUT}/scale_t1.jsonl
+  RESULT_VARIABLE r1 OUTPUT_QUIET)
+if(NOT r1 EQUAL 0)
+  message(FATAL_ERROR "cadet_sim --scale --shards 1 failed (${r1})")
+endif()
+execute_process(
+  COMMAND ${SIM} ${RUN_FLAGS} --shards 4
+          --metrics-out ${OUT}/scale_m4.txt --trace-out ${OUT}/scale_t4.jsonl
+  RESULT_VARIABLE r2 OUTPUT_QUIET)
+if(NOT r2 EQUAL 0)
+  message(FATAL_ERROR "cadet_sim --scale --shards 4 failed (${r2})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT}/scale_m1.txt ${OUT}/scale_m4.txt
+  RESULT_VARIABLE same_metrics)
+if(NOT same_metrics EQUAL 0)
+  message(FATAL_ERROR "scale metrics differ between -j 1 and -j 4")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT}/scale_t1.jsonl ${OUT}/scale_t4.jsonl
+  RESULT_VARIABLE same_trace)
+if(NOT same_trace EQUAL 0)
+  message(FATAL_ERROR "scale traces differ between -j 1 and -j 4")
+endif()
+execute_process(
+  COMMAND ${TRACE} ${OUT}/scale_t4.jsonl
+  RESULT_VARIABLE r3 OUTPUT_QUIET)
+if(NOT r3 EQUAL 0)
+  message(FATAL_ERROR "cadet_trace rejected the folded scale trace (${r3})")
+endif()
+execute_process(
+  COMMAND ${TRACE} ${OUT}/scale_t4.jsonl --spans
+  RESULT_VARIABLE r4 OUTPUT_QUIET)
+if(NOT r4 EQUAL 0)
+  message(FATAL_ERROR "cadet_trace --spans found broken scale spans (${r4})")
+endif()
+execute_process(
+  COMMAND ${REPORT} ${OUT}/scale_t4.jsonl --metrics ${OUT}/scale_m4.txt
+          --scale --check --out ${OUT}/scale_report.txt
+  RESULT_VARIABLE r5)
+if(NOT r5 EQUAL 0)
+  message(FATAL_ERROR "cadet_report --scale --check failed (${r5})")
+endif()
